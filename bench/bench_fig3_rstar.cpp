@@ -1,0 +1,121 @@
+// T3 — Fig. 3: R*-tree structure "goodness". Builds R*-trees over
+// workloads, reports per-level dead space and overlap, and measures the
+// phenomenon the figure illustrates: queries that descend into several
+// subtrees yet find no qualifying data (I/O caused by overlap/dead space).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "rstar/rstar_tree.h"
+#include "storage/pager.h"
+#include "storage/space.h"
+
+namespace grtdb {
+namespace {
+
+using bench::Fmt;
+using bench::TablePrinter;
+
+struct Built {
+  MemorySpace space;
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<PagerNodeStore> store;
+  std::unique_ptr<RStarTree> tree;
+  std::vector<RStarTree::Entry> data;
+};
+
+void Build(Built& built, uint64_t seed, size_t count, int64_t universe,
+           int64_t max_side, bool clustered) {
+  built.pager = std::make_unique<Pager>(&built.space, 4096);
+  built.store = std::make_unique<PagerNodeStore>(built.pager.get());
+  RStarTree::Options options;
+  NodeId anchor;
+  auto tree_or = RStarTree::Create(built.store.get(), options, &anchor);
+  bench::Check(tree_or.status(), "create");
+  built.tree = std::move(tree_or).value();
+  Random rng(seed);
+  for (uint64_t i = 1; i <= count; ++i) {
+    int64_t x, y;
+    if (clustered && rng.Bernoulli(0.8)) {
+      // 80% of rectangles inside 10 hot clusters.
+      const int64_t cx = (rng.Next() % 10) * (universe / 10);
+      x = cx + rng.UniformRange(0, universe / 20);
+      y = cx / 2 + rng.UniformRange(0, universe / 20);
+    } else {
+      x = rng.UniformRange(0, universe);
+      y = rng.UniformRange(0, universe);
+    }
+    const Rect rect = Rect::Of(x, x + rng.UniformRange(1, max_side), y,
+                               y + rng.UniformRange(1, max_side));
+    built.data.push_back({rect, i});
+    bench::Check(built.tree->Insert(rect, i), "insert");
+  }
+}
+
+void Report(const char* label, Built& built, uint64_t seed,
+            int64_t universe) {
+  std::printf("\n%s: %zu rectangles, height %u\n", label, built.data.size(),
+              built.tree->height());
+  std::vector<RStarLevelStats> levels;
+  bench::Check(built.tree->LevelStats(&levels), "stats");
+  TablePrinter table({"level", "nodes", "entries", "avg fill",
+                      "entry area (sum)", "within-node overlap"});
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    table.AddRow({std::to_string(it->level), std::to_string(it->nodes),
+                  std::to_string(it->entries),
+                  Fmt(static_cast<double>(it->entries) /
+                          static_cast<double>(it->nodes),
+                      1),
+                  Fmt(it->total_area, 0), Fmt(it->overlap_area, 0)});
+  }
+  table.Print();
+
+  // The Fig. 3 phenomenon: a query overlapping several root entries can
+  // read subtrees that contribute no answers.
+  Random rng(seed ^ 0x5A5A);
+  uint64_t queries = 0;
+  uint64_t empty_with_io = 0;
+  uint64_t total_reads = 0;
+  for (int q = 0; q < 500; ++q) {
+    const int64_t x = rng.UniformRange(0, universe);
+    const int64_t y = rng.UniformRange(0, universe);
+    const Rect query = Rect::Of(x, x + 5, y, y + 5);
+    const NodeStoreStats before = built.store->stats();
+    std::vector<RStarTree::Entry> results;
+    bench::Check(built.tree->SearchAll(query, &results), "search");
+    const uint64_t reads = built.store->stats().node_reads -
+                           before.node_reads;
+    total_reads += reads;
+    ++queries;
+    if (results.empty() && reads > 1) ++empty_with_io;
+  }
+  std::printf("point-ish queries: %llu, avg node reads %s, "
+              "empty-result queries that still read internal nodes: %llu "
+              "(dead-space/overlap I/O of Fig. 3)\n",
+              static_cast<unsigned long long>(queries),
+              Fmt(static_cast<double>(total_reads) /
+                      static_cast<double>(queries),
+                  2)
+                  .c_str(),
+              static_cast<unsigned long long>(empty_with_io));
+}
+
+}  // namespace
+}  // namespace grtdb
+
+int main() {
+  using namespace grtdb;
+  std::printf("T3: R*-tree dead space and overlap (Fig. 3)\n");
+  {
+    Built uniform;
+    Build(uniform, 7, 20000, 100000, 500, /*clustered=*/false);
+    Report("uniform workload", uniform, 7, 100000);
+  }
+  {
+    Built clustered;
+    Build(clustered, 11, 20000, 100000, 500, /*clustered=*/true);
+    Report("clustered workload", clustered, 11, 100000);
+  }
+  return 0;
+}

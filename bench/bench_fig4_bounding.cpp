@@ -1,0 +1,191 @@
+// T4 — Fig. 4 + Fig. 5: GR-tree bounding regions. Measures (a) the mix of
+// stair-shaped vs rectangular vs Hidden bounding regions the tree builds
+// over a now-relative workload, (b) the dead-space reduction of stair
+// bounding against the forced-rectangle ablation, and (c) Hidden-flag
+// activations as the current time advances past fixed valid-time tops.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/grtree.h"
+#include "storage/pager.h"
+#include "storage/space.h"
+#include "workload/workload.h"
+
+namespace grtdb {
+namespace {
+
+using bench::Fmt;
+using bench::TablePrinter;
+
+struct Built {
+  MemorySpace space;
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<PagerNodeStore> store;
+  std::unique_ptr<GRTree> tree;
+};
+
+int64_t Build(Built& built, bool stair_bounds, double now_fraction,
+              uint64_t seed, int actions) {
+  built.pager = std::make_unique<Pager>(&built.space, 4096);
+  built.store = std::make_unique<PagerNodeStore>(built.pager.get());
+  GRTree::Options options;
+  options.stair_bounds = stair_bounds;
+  NodeId anchor;
+  auto tree_or = GRTree::Create(built.store.get(), options, &anchor);
+  bench::Check(tree_or.status(), "create");
+  built.tree = std::move(tree_or).value();
+  WorkloadOptions wopts;
+  wopts.seed = seed;
+  wopts.now_relative_fraction = now_fraction;
+  BitemporalWorkload workload(wopts);
+  for (int action = 0; action < actions; ++action) {
+    for (const IndexOp& op : workload.NextAction()) {
+      if (op.kind == IndexOp::Kind::kInsert) {
+        bench::Check(built.tree->Insert(op.extent, op.payload, op.ct),
+                     "insert");
+      } else {
+        bool found = false;
+        bench::Check(built.tree->Delete(op.extent, op.payload, op.ct, &found),
+                     "delete");
+      }
+    }
+  }
+  return workload.current_time();
+}
+
+}  // namespace
+}  // namespace grtdb
+
+int main() {
+  using namespace grtdb;
+  std::printf("T4: GR-tree bounding regions (Fig. 4, Fig. 5)\n");
+
+  // (a) bound-kind mix across now-relative fractions.
+  std::printf("\nBounding-region mix by now-relative fraction "
+              "(8000 actions):\n\n");
+  bench::TablePrinter mix({"now-rel fraction", "stair bounds", "rect bounds",
+                           "hidden", "growing", "internal dead space",
+                           "within-node overlap"});
+  for (double fraction : {0.0, 0.3, 0.7, 1.0}) {
+    Built built;
+    const int64_t ct = Build(built, true, fraction, 42, 8000);
+    GRTreeStats stats;
+    bench::Check(built.tree->ComputeStats(ct, 400, &stats), "stats");
+    uint64_t stair = 0, rect = 0, hidden = 0, growing = 0;
+    double dead = 0.0, overlap = 0.0;
+    for (const auto& level : stats.levels) {
+      stair += level.stair_bounds;
+      rect += level.rect_bounds;
+      hidden += level.hidden_bounds;
+      growing += level.growing_bounds;
+      if (level.level > 0) {
+        dead += level.dead_space;
+        overlap += level.overlap_area;
+      }
+    }
+    mix.AddRow({Fmt(fraction, 1), std::to_string(stair), std::to_string(rect),
+                std::to_string(hidden), std::to_string(growing),
+                Fmt(dead, 0), Fmt(overlap, 0)});
+  }
+  mix.Print();
+
+  // (b) stair bounding vs forced rectangles (the Fig. 4(a)/(b) contrast).
+  std::printf("\nStair bounding vs forced-rectangle ablation "
+              "(now-rel fraction 0.7):\n\n");
+  bench::TablePrinter ablation({"bounding", "internal dead space",
+                                "within-node overlap",
+                                "avg node reads / query"});
+  for (bool stair_bounds : {true, false}) {
+    Built built;
+    const int64_t ct = Build(built, stair_bounds, 0.7, 43, 8000);
+    GRTreeStats stats;
+    bench::Check(built.tree->ComputeStats(ct, 400, &stats), "stats");
+    double dead = 0.0, overlap = 0.0;
+    for (const auto& level : stats.levels) {
+      if (level.level > 0) {
+        dead += level.dead_space;
+        overlap += level.overlap_area;
+      }
+    }
+    // Query I/O.
+    WorkloadOptions wopts;
+    wopts.seed = 999;
+    BitemporalWorkload probe(wopts);
+    built.store->ResetStats();
+    const int kQueries = 300;
+    for (int q = 0; q < kQueries; ++q) {
+      std::vector<GRTree::Entry> results;
+      bench::Check(built.tree->SearchAll(PredicateOp::kOverlaps,
+                                         probe.GroundRectQuery(30), ct,
+                                         &results),
+                   "search");
+    }
+    ablation.AddRow(
+        {stair_bounds ? "stairs + rectangles (GR-tree)"
+                      : "rectangles only (ablation)",
+         Fmt(dead, 0), Fmt(overlap, 0),
+         Fmt(static_cast<double>(built.store->stats().node_reads) / kQueries,
+             2)});
+  }
+  ablation.Print();
+
+  // (c) Hidden activations as the clock advances (Fig. 4(c)): a mixed
+  // workload of growing stairs and static rectangles with far-future
+  // valid-time tops, inserted interleaved so they share nodes.
+  std::printf("\nHidden-flag dynamics: bounds whose fixed valid-time top is "
+              "overtaken by the current time (Fig. 4(c)):\n\n");
+  Built built;
+  built.pager = std::make_unique<Pager>(&built.space, 4096);
+  built.store = std::make_unique<PagerNodeStore>(built.pager.get());
+  GRTree::Options options;
+  options.max_entries = 16;  // smaller fanout: more nodes, more bounds
+  NodeId anchor;
+  auto tree_or = GRTree::Create(built.store.get(), options, &anchor);
+  bench::Check(tree_or.status(), "create");
+  built.tree = std::move(tree_or).value();
+  Random rng(44);
+  int64_t ct = 10000;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    TimeExtent extent;
+    if (rng.Bernoulli(0.5)) {
+      extent = TimeExtent(Timestamp::FromChronon(ct), Timestamp::UC(),
+                          Timestamp::FromChronon(ct), Timestamp::NOW());
+    } else {
+      extent = TimeExtent(
+          Timestamp::FromChronon(ct), Timestamp::UC(),
+          Timestamp::FromChronon(ct - rng.UniformRange(0, 50)),
+          Timestamp::FromChronon(ct + rng.UniformRange(1, 60)));
+    }
+    bench::Check(built.tree->Insert(extent, i + 1, ct), "insert");
+    if (i % 5 == 4) ++ct;
+  }
+  bench::TablePrinter hidden_table(
+      {"current time", "hidden bounds", "escaped (ct > fixed top)"});
+  for (int64_t delta : {0, 200, 800, 3200}) {
+    GRTreeStats stats;
+    bench::Check(built.tree->ComputeStats(ct + delta, 0, &stats), "stats");
+    uint64_t hidden = 0;
+    uint64_t escaped = 0;
+    for (const auto& level : stats.levels) {
+      hidden += level.hidden_bounds;
+      escaped += level.hidden_escaped;
+    }
+    hidden_table.AddRow({"ct+" + std::to_string(delta),
+                         std::to_string(hidden), std::to_string(escaped)});
+  }
+  hidden_table.Print();
+  std::printf("\n(Hidden bounds are deliberately rare: the GR-tree's "
+              "insertion penalties segregate growing stairs from "
+              "fixed-top rectangles, so most nodes never need the flag — "
+              "it exists for the mixtures that remain.)\n");
+  std::printf("\n(Hidden encodings are static; what changes over time is "
+              "their resolution — §3's adjustment algorithm switches a "
+              "hidden bound's VTend to NOW once the current time passes "
+              "the fixed top, keeping every bound valid without index "
+              "maintenance. CHECK: ");
+  Status check = built.tree->CheckConsistency(ct + 3200);
+  std::printf("%s at ct+3200.)\n", check.ok() ? "consistent" : "VIOLATION");
+  return check.ok() ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// T7 — §5.2: "The cost of this extensibility is the overhead of dynamic
+// resolution and execution of strategy and support functions." Compares
+// index scans whose leaf predicates are hard-coded inside am_getnext (the
+// paper's choice) against scans that dynamically resolve and invoke the
+// registered strategy UDRs on every candidate entry.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "blades/grtree_blade.h"
+#include "blades/timeextent.h"
+#include "server/server.h"
+
+namespace grtdb {
+namespace {
+
+struct Deployment {
+  std::unique_ptr<Server> server;
+  ServerSession* session = nullptr;
+  std::string query;
+};
+
+// One server with two GR-tree AM variants over the same data: grtree_am
+// (hard-coded, the prototype's design) and grtree_dyn_am (dynamic UDR
+// dispatch in am_getnext).
+Deployment* BuildDeployment() {
+  auto* deployment = new Deployment();
+  deployment->server = std::make_unique<Server>();
+  Server& server = *deployment->server;
+  bench::Check(RegisterGRTreeBlade(&server), "register hard-coded");
+  GRTreeBladeOptions dynamic_options;
+  dynamic_options.am_name = "grtree_dyn_am";
+  dynamic_options.prefix = "grtdyn";
+  dynamic_options.dynamic_dispatch = true;
+  bench::Check(RegisterGRTreeBlade(&server, dynamic_options),
+               "register dynamic");
+  deployment->session = server.CreateSession();
+  ServerSession* session = deployment->session;
+  bench::Exec(server, session,
+              "CREATE TABLE hard (id int, e grt_timeextent)");
+  bench::Exec(server, session,
+              "CREATE TABLE dyn (id int, e grt_timeextent)");
+  bench::Exec(server, session,
+              "CREATE INDEX hard_idx ON hard(e grt_opclass) USING grtree_am");
+  bench::Exec(server, session,
+              "CREATE INDEX dyn_idx ON dyn(e grtdyn_opclass) "
+              "USING grtree_dyn_am");
+  bench::Exec(server, session, "SET CURRENT_TIME TO 20000");
+  for (int i = 0; i < 4000; ++i) {
+    const std::string extent =
+        "'20000, UC, " + std::to_string(19000 + (i % 1000)) + ", NOW'";
+    bench::Exec(server, session, "INSERT INTO hard VALUES (" +
+                                     std::to_string(i) + ", " + extent + ")");
+    bench::Exec(server, session, "INSERT INTO dyn VALUES (" +
+                                     std::to_string(i) + ", " + extent + ")");
+  }
+  deployment->query =
+      "WHERE Overlaps(e, '20000, 20000, 19200, 19400') "
+      "AND ContainedIn(e, '18000, UC, 18000, NOW')";
+  return deployment;
+}
+
+Deployment* GetDeployment() {
+  static Deployment* deployment = BuildDeployment();
+  return deployment;
+}
+
+void BM_HardCodedDispatch(benchmark::State& state) {
+  Deployment* deployment = GetDeployment();
+  for (auto _ : state) {
+    ResultSet result = bench::Exec(*deployment->server, deployment->session,
+                                   "SELECT COUNT(*) FROM hard " +
+                                       deployment->query);
+    benchmark::DoNotOptimize(result.rows);
+  }
+  state.SetLabel("strategy functions hard-coded in am_getnext (§5.2 choice)");
+}
+BENCHMARK(BM_HardCodedDispatch)->Unit(benchmark::kMicrosecond);
+
+void BM_DynamicDispatch(benchmark::State& state) {
+  Deployment* deployment = GetDeployment();
+  for (auto _ : state) {
+    ResultSet result = bench::Exec(*deployment->server, deployment->session,
+                                   "SELECT COUNT(*) FROM dyn " +
+                                       deployment->query);
+    benchmark::DoNotOptimize(result.rows);
+  }
+  state.SetLabel(
+      "am_getnext dynamically resolves registered strategy UDRs");
+}
+BENCHMARK(BM_DynamicDispatch)->Unit(benchmark::kMicrosecond);
+
+// The raw predicate cost difference, isolated from scan machinery.
+void BM_PredicateHardCoded(benchmark::State& state) {
+  TimeExtent a;
+  TimeExtent b;
+  bench::Check(TimeExtent::Parse("20000, UC, 19100, NOW", &a), "parse");
+  bench::Check(TimeExtent::Parse("20000, 20050, 19000, 19150", &b), "parse");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ResolveExtent(a, 20100).Overlaps(ResolveExtent(b, 20100)));
+  }
+}
+BENCHMARK(BM_PredicateHardCoded);
+
+void BM_PredicateViaUdr(benchmark::State& state) {
+  Deployment* deployment = GetDeployment();
+  Server& server = *deployment->server;
+  const UdrDef* overlaps = nullptr;
+  const TypeDesc type = TypeDesc::Opaque(TimeExtentTypeId(&server));
+  const TypeDesc types[2] = {type, type};
+  overlaps = server.udrs().Find("Overlaps", types);
+  bench::Check(overlaps != nullptr ? Status::OK()
+                                   : Status::NotFound("Overlaps UDR"),
+               "find");
+  TimeExtent a;
+  TimeExtent b;
+  bench::Check(TimeExtent::Parse("20000, UC, 19100, NOW", &a), "parse");
+  bench::Check(TimeExtent::Parse("20000, 20050, 19000, 19150", &b), "parse");
+  const Value va = ValueFromExtent(&server, a);
+  const Value vb = ValueFromExtent(&server, b);
+  MiCallContext ctx{&server, deployment->session, 20100};
+  const Value args[2] = {va, vb};
+  for (auto _ : state) {
+    auto result = overlaps->fn(ctx, args);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_PredicateViaUdr);
+
+}  // namespace
+}  // namespace grtdb
+
+BENCHMARK_MAIN();

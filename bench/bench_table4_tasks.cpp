@@ -1,0 +1,128 @@
+// T10 — Table 4: the paper's implementation-task inventory with its
+// complexity/LOC estimates, side by side with this reproduction's modules
+// and their measured line counts. (The paper measures only the DataBlade
+// layer — the access-method core existed beforehand; we report both.)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+#ifndef GRTDB_SOURCE_DIR
+#define GRTDB_SOURCE_DIR "."
+#endif
+
+namespace grtdb {
+namespace {
+
+uint64_t CountLines(const std::filesystem::path& root,
+                    const std::vector<std::string>& relative_paths) {
+  uint64_t lines = 0;
+  for (const std::string& relative : relative_paths) {
+    const std::filesystem::path path = root / relative;
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".cc" && ext != ".h" && ext != ".cpp") continue;
+        std::ifstream in(entry.path());
+        std::string line;
+        while (std::getline(in, line)) ++lines;
+      }
+    } else {
+      std::ifstream in(path);
+      std::string line;
+      while (std::getline(in, line)) ++lines;
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+}  // namespace grtdb
+
+int main() {
+  using namespace grtdb;
+  const std::filesystem::path root = GRTDB_SOURCE_DIR;
+  std::printf("T10: implementation tasks (paper Table 4 vs this repo)\n\n");
+
+  struct TaskRow {
+    const char* task;
+    const char* paper_complexity;
+    const char* paper_loc;
+    std::vector<std::string> our_paths;
+  };
+  const std::vector<TaskRow> tasks = {
+      {"Adapting existing code to DataBlade coding guidelines", "low", "-",
+       {"src/blade"}},
+      {"Defining the structure of the opaque type", "average", "-",
+       {"src/temporal/extent.h", "src/temporal/extent.cc"}},
+      {"UC and NOW handling in opaque-type support functions", "low", "30",
+       {"src/blades/timeextent.h", "src/blades/timeextent.cc"}},
+      {"Writing operations on the opaque type", "low", "30",
+       {"src/temporal/predicates.h"}},
+      {"Designing the operator class framework", "high", "-",
+       {"src/server/udr.h", "src/server/udr.cc", "src/server/vii.h",
+        "src/server/vii.cc"}},
+      {"Writing access method purpose functions", "high", "1020",
+       {"src/blades/grtree_blade.h", "src/blades/grtree_blade.cc"}},
+      {"Writing BLOB manipulation functions", "average", "280",
+       {"src/storage/sbspace.h", "src/storage/sbspace.cc",
+        "src/storage/node_store.h", "src/storage/node_store.cc"}},
+      {"Writing functions manipulating the qualification descriptor",
+       "average", "120",
+       {"src/server/vii.cc"}},
+  };
+
+  bench::TablePrinter table({"task (paper Table 4)", "paper complexity",
+                             "paper LOC", "this repo (LOC)"});
+  for (const TaskRow& task : tasks) {
+    table.AddRow({task.task, task.paper_complexity, task.paper_loc,
+                  std::to_string(CountLines(root, task.our_paths))});
+  }
+  table.Print();
+
+  std::printf("\nFull system inventory (the paper reused Informix and a "
+              "pre-existing GR-tree core; this reproduction builds both):\n\n");
+  bench::TablePrinter inventory({"module", "role", "LOC"});
+  const std::vector<std::tuple<const char*, const char*, const char*>>
+      modules = {
+          {"src/common", "status/date/string/random utilities", "common"},
+          {"src/temporal", "bitemporal model + region algebra", "temporal"},
+          {"src/storage", "pages, buffer pool, sbspace LOs", "storage"},
+          {"src/txn", "locks, transactions, sessions", "txn"},
+          {"src/blade", "DataBlade API (memory/trace/libraries)", "blade"},
+          {"src/rstar", "R*-tree substrate + baseline", "rstar"},
+          {"src/core", "the GR-tree", "core"},
+          {"src/server", "extensible server + VII", "server"},
+          {"src/sql", "SQL front end", "sql"},
+          {"src/blades", "GR-tree + R*-tree DataBlades", "blades"},
+          {"src/workload", "bitemporal workload generator", "workload"},
+          {"src/btree", "B+-tree substrate (custom compare())", "btree"},
+          {"src/gist", "generalized search tree (§7)", "gist"},
+          {"src/dbdk", "BladeSmith/BladeManager (§6.1)", "dbdk"},
+      };
+  uint64_t total = 0;
+  for (const auto& [path, role, name] : modules) {
+    const uint64_t lines = CountLines(root, {path});
+    total += lines;
+    inventory.AddRow({path, role, std::to_string(lines)});
+  }
+  inventory.AddRow({"(total src/)", "", std::to_string(total)});
+  inventory.AddRow({"tests/", "unit/integration/property tests",
+                    std::to_string(CountLines(root, {"tests"}))});
+  inventory.AddRow({"bench/", "experiment harnesses",
+                    std::to_string(CountLines(root, {"bench"}))});
+  inventory.AddRow({"examples/", "runnable examples",
+                    std::to_string(CountLines(root, {"examples"}))});
+  inventory.Print();
+
+  std::printf("\nPaper total effort: ~4.5 person-months for the DataBlade "
+              "layer, with Informix and the GR-tree core taken as given.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#ifndef GRTDB_BENCH_BENCH_UTIL_H_
+#define GRTDB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/server.h"
+
+namespace grtdb {
+namespace bench {
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+inline ResultSet Exec(Server& server, ServerSession* session,
+                      const std::string& sql) {
+  ResultSet result;
+  Status status = server.Execute(session, sql, &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL sql '%s': %s\n", sql.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Minimal fixed-width table printer for the bench reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        std::printf("%-*s%s", static_cast<int>(widths[i]), cells[i].c_str(),
+                    i + 1 < cells.size() ? "  " : "\n");
+      }
+    };
+    line(headers_);
+    std::vector<std::string> rule;
+    for (size_t w : widths) rule.push_back(std::string(w, '-'));
+    line(rule);
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double value, int decimals = 1) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace grtdb
+
+#endif  // GRTDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,125 @@
+// hr_history: a personnel system on the GR-tree DataBlade. Plays out the
+// paper's EmpDep scenario (§2, Table 1) as a living HR database: hires,
+// department changes (bitemporal updates = logical delete + insert),
+// retroactive corrections, and the three classic bitemporal queries —
+// current state, valid-time history, and transaction-time travel
+// ("what did we believe on date X?").
+
+#include <cstdio>
+#include <string>
+
+#include "blades/grtree_blade.h"
+#include "server/server.h"
+
+namespace {
+
+grtdb::Server g_server;
+grtdb::ServerSession* g_session = nullptr;
+
+void Sql(const std::string& sql, bool print = false) {
+  grtdb::ResultSet result;
+  grtdb::Status status = g_server.Execute(g_session, sql, &result);
+  if (!status.ok()) {
+    std::printf("ERROR in '%s': %s\n", sql.c_str(),
+                status.ToString().c_str());
+    std::exit(1);
+  }
+  if (print) std::printf("%s\n", result.ToString().c_str());
+}
+
+void Query(const char* label, const std::string& sql) {
+  std::printf("-- %s\n", label);
+  Sql(sql, /*print=*/true);
+}
+
+// A bitemporal "hire": the fact "name works in dept" valid from `since`
+// until changed, recorded now.
+void Hire(const std::string& name, const std::string& dept,
+          const std::string& now, const std::string& since) {
+  Sql("INSERT INTO EmpDep VALUES ('" + name + "', '" + dept + "', '" + now +
+      ", UC, " + since + ", NOW')");
+}
+
+// A bitemporal department change at current time `now`: freeze the old
+// version (logical deletion, §2) and insert the successor.
+void Transfer(const std::string& name, const std::string& old_extent_frozen,
+              const std::string& new_dept, const std::string& now) {
+  Sql("UPDATE EmpDep SET TimeExtent = '" + old_extent_frozen +
+      "' WHERE Employee = '" + name + "'");
+  Sql("INSERT INTO EmpDep VALUES ('" + name + "', '" + new_dept + "', '" +
+      now + ", UC, " + now + ", NOW')");
+}
+
+}  // namespace
+
+int main() {
+  grtdb::Status status = grtdb::RegisterGRTreeBlade(&g_server);
+  if (!status.ok()) {
+    std::printf("blade registration failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  g_session = g_server.CreateSession();
+
+  Sql("CREATE TABLE EmpDep (Employee text, Department text, "
+      "TimeExtent grt_timeextent)");
+  Sql("CREATE INDEX empdep_idx ON EmpDep(TimeExtent grt_opclass) "
+      "USING grtree_am");
+
+  // 1997: the company's history unfolds month by month.
+  Sql("SET CURRENT_TIME TO '01/15/1997'");
+  Hire("Ann", "Engineering", "01/15/1997", "01/15/1997");
+  Hire("Ben", "Sales", "01/15/1997", "01/01/1997");  // paperwork lagged
+
+  Sql("SET CURRENT_TIME TO '03/10/1997'");
+  Hire("Carol", "Engineering", "03/10/1997", "03/10/1997");
+  // Retroactive knowledge: we learn Dana already worked in Support during
+  // a closed past period (case 2 of Fig. 2 — ground valid time).
+  Sql("INSERT INTO EmpDep VALUES ('Dana', 'Support', "
+      "'03/10/1997, UC, 06/01/1996, 12/31/1996')");
+
+  Sql("SET CURRENT_TIME TO '06/01/1997'");
+  // Ben moves from Sales to Marketing on 6/1/1997.
+  Transfer("Ben", "01/15/1997, 06/01/1997, 01/01/1997, NOW", "Marketing",
+           "06/01/1997");
+
+  Sql("SET CURRENT_TIME TO '09/15/1997'");
+  // Carol leaves the company: pure logical deletion (region freezes).
+  Sql("UPDATE EmpDep SET TimeExtent = "
+      "'03/10/1997, 09/15/1997, 03/10/1997, NOW' "
+      "WHERE Employee = 'Carol'");
+
+  Sql("SET CURRENT_TIME TO '12/01/1997'");
+  std::printf("=== HR database on 12/01/1997 ===\n\n");
+  Query("Full bitemporal relation (no physical deletions, ever)",
+        "SELECT Employee, Department, TimeExtent FROM EmpDep");
+
+  Query("Who works here right now? (current + valid now)",
+        "SELECT Employee, Department FROM EmpDep WHERE "
+        "Overlaps(TimeExtent, '12/01/1997, UC, 12/01/1997, NOW')");
+
+  Query("Who was employed on 05/01/1997, per our best current knowledge?",
+        "SELECT Employee, Department FROM EmpDep WHERE "
+        "Overlaps(TimeExtent, "
+        "'12/01/1997, 12/01/1997, 05/01/1997, 05/01/1997')");
+
+  Query("Transaction-time travel: what did the database say on 04/01/1997?",
+        "SELECT Employee, Department FROM EmpDep WHERE "
+        "Overlaps(TimeExtent, "
+        "'04/01/1997, 04/01/1997, 01/01/1900, 01/01/2100')");
+
+  Query("Audit Ben: every version ever recorded about him",
+        "SELECT Employee, Department, TimeExtent FROM EmpDep "
+        "WHERE Employee = 'Ben'");
+
+  // One year later: growing regions grew, frozen ones did not — with zero
+  // index maintenance.
+  Sql("SET CURRENT_TIME TO '12/01/1998'");
+  Query("A year later: who works here now? (no index maintenance happened)",
+        "SELECT Employee, Department FROM EmpDep WHERE "
+        "Overlaps(TimeExtent, '12/01/1998, UC, 12/01/1998, NOW')");
+
+  Sql("CHECK INDEX empdep_idx", true);
+  g_server.CloseSession(g_session);
+  std::printf("hr_history OK\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "blade/library.h"
+
+#include "common/strings.h"
+
+namespace grtdb {
+
+Status BladeLibraryRegistry::Resolve(const std::string& external_name,
+                                     std::any* out) const {
+  const size_t open = external_name.find('(');
+  const size_t close = external_name.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return Status::InvalidArgument("EXTERNAL NAME must be 'path(symbol)': " +
+                                   external_name);
+  }
+  std::string path(StripWhitespace(external_name.substr(0, open)));
+  std::string symbol(
+      StripWhitespace(external_name.substr(open + 1, close - open - 1)));
+  auto it = libraries_.find(path);
+  if (it == libraries_.end()) {
+    return Status::NotFound("blade library '" + path + "' is not loaded");
+  }
+  const std::any* callable = it->second->Lookup(symbol);
+  if (callable == nullptr) {
+    return Status::NotFound("symbol '" + symbol + "' not found in '" + path +
+                            "'");
+  }
+  *out = *callable;
+  return Status::OK();
+}
+
+}  // namespace grtdb

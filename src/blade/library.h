@@ -1,0 +1,63 @@
+#ifndef GRTDB_BLADE_LIBRARY_H_
+#define GRTDB_BLADE_LIBRARY_H_
+
+#include <any>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace grtdb {
+
+// A DataBlade shared library: a symbol table mapping exported names to
+// callables (we stand in for dlopen/dlsym with std::any — the server casts
+// a looked-up symbol to the signature it expects, just as Informix casts
+// the void* from the .bld file). CREATE FUNCTION's
+//   EXTERNAL NAME "usr/functions/grtree.bld(grt_open)"
+// resolves against the library registered under that path.
+class BladeLibrary {
+ public:
+  explicit BladeLibrary(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  void Export(const std::string& symbol, std::any callable) {
+    symbols_[symbol] = std::move(callable);
+  }
+
+  const std::any* Lookup(const std::string& symbol) const {
+    auto it = symbols_.find(symbol);
+    return it == symbols_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::string path_;
+  std::map<std::string, std::any> symbols_;
+};
+
+// Registry of loaded blade libraries, keyed by path.
+class BladeLibraryRegistry {
+ public:
+  BladeLibraryRegistry() = default;
+
+  BladeLibraryRegistry(const BladeLibraryRegistry&) = delete;
+  BladeLibraryRegistry& operator=(const BladeLibraryRegistry&) = delete;
+
+  BladeLibrary* Load(const std::string& path) {
+    auto [it, inserted] =
+        libraries_.try_emplace(path, nullptr);
+    if (inserted) it->second = std::make_unique<BladeLibrary>(path);
+    return it->second.get();
+  }
+
+  // Resolves "path(symbol)" external names.
+  Status Resolve(const std::string& external_name, std::any* out) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<BladeLibrary>> libraries_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_BLADE_LIBRARY_H_

@@ -1,0 +1,82 @@
+#include "blade/mi_memory.h"
+
+namespace grtdb {
+
+void* MiMemory::Alloc(MiDuration duration, size_t size) {
+  if (size == 0) size = 1;
+  auto data = std::make_unique<uint8_t[]>(size);
+  std::memset(data.get(), 0, size);
+  void* ptr = data.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_[ptr] = Block{std::move(data), size, duration};
+  return ptr;
+}
+
+void MiMemory::Free(void* ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.erase(ptr);
+}
+
+void MiMemory::EndDuration(MiDuration duration) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second.duration == duration) {
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t MiMemory::LiveBlocks(MiDuration duration) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& [ptr, block] : blocks_) {
+    if (block.duration == duration) ++count;
+  }
+  return count;
+}
+
+size_t MiMemory::LiveBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [ptr, block] : blocks_) total += block.size;
+  return total;
+}
+
+Status MiNamedMemory::NamedAlloc(const std::string& name, size_t size,
+                                 void** ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = blocks_.try_emplace(name);
+  if (!inserted) {
+    return Status::AlreadyExists("named memory '" + name + "'");
+  }
+  it->second.assign(size, 0);
+  *ptr = it->second.data();
+  return Status::OK();
+}
+
+Status MiNamedMemory::NamedGet(const std::string& name, void** ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(name);
+  if (it == blocks_.end()) {
+    return Status::NotFound("named memory '" + name + "'");
+  }
+  *ptr = it->second.data();
+  return Status::OK();
+}
+
+Status MiNamedMemory::NamedFree(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (blocks_.erase(name) == 0) {
+    return Status::NotFound("named memory '" + name + "'");
+  }
+  return Status::OK();
+}
+
+size_t MiNamedMemory::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+}  // namespace grtdb

@@ -1,0 +1,92 @@
+#ifndef GRTDB_BLADE_MI_MEMORY_H_
+#define GRTDB_BLADE_MI_MEMORY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grtdb {
+
+// DataBlade memory durations (paper §6.2): the server frees everything
+// allocated with a duration when that duration ends — PER_FUNCTION at UDR
+// return, PER_STATEMENT at end of statement, PER_TRANSACTION at transaction
+// end, PER_SESSION when the session closes.
+enum class MiDuration {
+  kPerFunction = 0,
+  kPerStatement = 1,
+  kPerTransaction = 2,
+  kPerSession = 3,
+};
+inline constexpr int kMiDurationCount = 4;
+
+// Duration-scoped allocator standing in for mi_alloc/mi_dalloc/mi_free.
+// DataBlade code must not use global/static variables or plain new/delete
+// (§6.2); the GR-tree blade routes all allocation through this, and tests
+// assert that nothing outlives its duration.
+class MiMemory {
+ public:
+  MiMemory() = default;
+
+  MiMemory(const MiMemory&) = delete;
+  MiMemory& operator=(const MiMemory&) = delete;
+
+  // mi_dalloc: zeroed block with an explicit duration.
+  void* Alloc(MiDuration duration, size_t size);
+
+  // mi_free: early release of one block.
+  void Free(void* ptr);
+
+  // The server calls this when a duration ends; everything allocated under
+  // it (and not explicitly freed) is released.
+  void EndDuration(MiDuration duration);
+
+  // Live blocks under a duration (test/diagnostic hook).
+  size_t LiveBlocks(MiDuration duration) const;
+  size_t LiveBytes() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size;
+    MiDuration duration;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<void*, Block> blocks_;
+};
+
+// Named memory (paper §5.4): server-wide blocks identified by name. The
+// GR-tree blade stores the per-transaction current-time value under a name
+// containing the session id, and frees it from a transaction-end callback.
+class MiNamedMemory {
+ public:
+  MiNamedMemory() = default;
+
+  MiNamedMemory(const MiNamedMemory&) = delete;
+  MiNamedMemory& operator=(const MiNamedMemory&) = delete;
+
+  // mi_named_alloc: fails with AlreadyExists if the name is taken.
+  Status NamedAlloc(const std::string& name, size_t size, void** ptr);
+
+  // mi_named_get: fails with NotFound if absent.
+  Status NamedGet(const std::string& name, void** ptr);
+
+  // mi_named_free.
+  Status NamedFree(const std::string& name);
+
+  size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<uint8_t>> blocks_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_BLADE_MI_MEMORY_H_

@@ -1,0 +1,44 @@
+#include "blade/trace.h"
+
+#include <cstdio>
+
+namespace grtdb {
+
+void TraceFacility::SetClass(const std::string& trace_class, int level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level <= 0) {
+    class_levels_.erase(trace_class);
+  } else {
+    class_levels_[trace_class] = level;
+  }
+}
+
+bool TraceFacility::Enabled(const std::string& trace_class, int level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = class_levels_.find(trace_class);
+  return it != class_levels_.end() && it->second >= level;
+}
+
+void TraceFacility::Tprintf(const std::string& trace_class, int level,
+                            const char* format, ...) {
+  if (!Enabled(trace_class, level)) return;
+  char buffer[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.push_back(trace_class + " " + std::to_string(level) + ": " + buffer);
+}
+
+std::vector<std::string> TraceFacility::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+void TraceFacility::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.clear();
+}
+
+}  // namespace grtdb

@@ -1,0 +1,43 @@
+#ifndef GRTDB_BLADE_TRACE_H_
+#define GRTDB_BLADE_TRACE_H_
+
+#include <cstdarg>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grtdb {
+
+// The DataBlade trace facility (paper §6.4): messages carry a trace class
+// and level; a message is emitted only when its class is enabled at >= its
+// level. Messages go to an in-memory trace log (the "trace file"), which
+// tests and the debugging workflow read back.
+class TraceFacility {
+ public:
+  TraceFacility() = default;
+
+  TraceFacility(const TraceFacility&) = delete;
+  TraceFacility& operator=(const TraceFacility&) = delete;
+
+  // "tset": enables `trace_class` at `level` (0 disables).
+  void SetClass(const std::string& trace_class, int level);
+
+  bool Enabled(const std::string& trace_class, int level) const;
+
+  // "gl_tprintf"/tprintf: records the message if enabled.
+  void Tprintf(const std::string& trace_class, int level, const char* format,
+               ...) __attribute__((format(printf, 4, 5)));
+
+  std::vector<std::string> log() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, int> class_levels_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_BLADE_TRACE_H_

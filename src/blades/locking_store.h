@@ -1,0 +1,86 @@
+#ifndef GRTDB_BLADES_LOCKING_STORE_H_
+#define GRTDB_BLADES_LOCKING_STORE_H_
+
+#include <map>
+#include <memory>
+
+#include "server/server.h"
+#include "storage/node_store.h"
+#include "txn/lock_manager.h"
+
+namespace grtdb {
+
+// Decorates a large-object-backed NodeStore with the locking Informix
+// applies to sbspace smart large objects (paper §5.3): touching a node
+// acquires a lock on the *whole large object* that holds it — shared for
+// reads, exclusive for writes — under two-phase locking. Exclusive locks
+// always live to transaction end; shared locks are released when the
+// DataBlade closes the index unless the isolation level is Repeatable
+// Read. The developer has no control over this locking, which is exactly
+// the limitation bench T8 quantifies.
+class LockingNodeStore final : public NodeStore {
+ public:
+  LockingNodeStore(NodeStore* inner, LockManager* lock_manager,
+                   ServerSession* session)
+      : inner_(inner), lock_manager_(lock_manager), session_(session) {}
+
+  Status AllocateNode(NodeId* id) override { return inner_->AllocateNode(id); }
+  Status FreeNode(NodeId id) override { return inner_->FreeNode(id); }
+
+  Status ReadNode(NodeId id, uint8_t* out) override {
+    GRTDB_RETURN_IF_ERROR(LockFor(id, LockMode::kShared));
+    return inner_->ReadNode(id, out);
+  }
+
+  Status WriteNode(NodeId id, const uint8_t* data) override {
+    GRTDB_RETURN_IF_ERROR(LockFor(id, LockMode::kExclusive));
+    return inner_->WriteNode(id, data);
+  }
+
+  uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
+  Status Flush() override { return inner_->Flush(); }
+
+  // Called from am_close: drops the shared LO locks when the isolation
+  // level allows it (Committed/Dirty Read); exclusive locks stay until the
+  // transaction ends (released by the transaction manager).
+  void ReleaseSharedOnClose() {
+    if (session_->txn_session().isolation() ==
+        IsolationLevel::kRepeatableRead) {
+      return;
+    }
+    Transaction* txn = session_->txn_session().current_txn();
+    if (txn == nullptr) return;
+    for (const auto& [resource, mode] : acquired_) {
+      if (mode == LockMode::kShared) {
+        lock_manager_->Release(txn->id(), resource);
+      }
+    }
+    acquired_.clear();
+  }
+
+ private:
+  Status LockFor(NodeId id, LockMode mode) {
+    const uint64_t lo = inner_->LoOfNode(id);
+    if (lo == 0) return Status::OK();  // not an LO-backed layout
+    Transaction* txn = session_->txn_session().current_txn();
+    if (txn == nullptr) return Status::OK();
+    const ResourceId resource{ResourceKind::kLargeObject, lo};
+    auto it = acquired_.find(resource);
+    if (it != acquired_.end() &&
+        (it->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+      return Status::OK();  // already held strongly enough this open
+    }
+    GRTDB_RETURN_IF_ERROR(lock_manager_->Acquire(txn->id(), resource, mode));
+    acquired_[resource] = mode;
+    return Status::OK();
+  }
+
+  NodeStore* inner_;
+  LockManager* lock_manager_;
+  ServerSession* session_;
+  std::map<ResourceId, LockMode> acquired_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_BLADES_LOCKING_STORE_H_

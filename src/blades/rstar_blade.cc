@@ -1,0 +1,382 @@
+#include "blades/rstar_blade.h"
+
+#include <memory>
+#include <vector>
+
+#include "blades/locking_store.h"
+#include "blades/timeextent.h"
+#include "storage/layout.h"
+#include "temporal/predicates.h"
+
+namespace grtdb {
+
+Rect TransformExtent(const TimeExtent& extent, int64_t max_timestamp) {
+  return Rect::Of(
+      extent.tt_begin.chronon(),
+      extent.tt_end.is_uc() ? max_timestamp : extent.tt_end.chronon(),
+      extent.vt_begin.chronon(),
+      extent.vt_end.is_now() ? max_timestamp : extent.vt_end.chronon());
+}
+
+namespace {
+
+struct RstScanState {
+  // The R*-tree interface is callback-based; the scan materializes the
+  // candidate rowids at beginscan and verifies exact geometry in getnext.
+  std::vector<std::pair<Rect, uint64_t>> candidates;
+  size_t next = 0;
+  const MiAmQualDesc* qual = nullptr;
+  int64_t ct = 0;
+};
+
+struct RstTreeState {
+  RStarBladeOptions options;
+  std::unique_ptr<NodeStore> base_store;
+  std::unique_ptr<LockingNodeStore> locking_store;
+  NodeStore* store = nullptr;
+  std::unique_ptr<RStarTree> tree;
+};
+
+RstTreeState* StateOf(MiAmTableDesc* desc) {
+  return static_cast<RstTreeState*>(desc->user_data);
+}
+
+std::vector<uint8_t> EncodeRecord(uint64_t lo, NodeId anchor) {
+  std::vector<uint8_t> out(16);
+  StoreU64(out.data(), lo);
+  StoreU64(out.data() + 8, anchor);
+  return out;
+}
+
+// Conservative index filter: both the data's and the query's transformed
+// rectangles cover their true regions, so rectangle intersection is
+// necessary for every predicate; the exact check runs on the base tuples.
+Status QueryRectOf(const MiAmQualDesc& qual, int64_t max_timestamp,
+                   Rect* out, std::vector<const QualTerm*>* terms) {
+  switch (qual.op) {
+    case MiAmQualDesc::Op::kTerm: {
+      TimeExtent query;
+      GRTDB_RETURN_IF_ERROR(ExtentFromValue(qual.term.constant, &query));
+      const Rect rect = TransformExtent(query, max_timestamp);
+      // For conjunctions the index filters with the *first* term's
+      // rectangle only (intersecting the query rectangles would not be
+      // conservative); getnext verifies the full qualification exactly.
+      if (out->IsEmpty()) *out = rect;
+      terms->push_back(&qual.term);
+      return Status::OK();
+    }
+    case MiAmQualDesc::Op::kAnd:
+      for (const MiAmQualDesc& child : qual.children) {
+        GRTDB_RETURN_IF_ERROR(
+            QueryRectOf(child, max_timestamp, out, terms));
+      }
+      return Status::OK();
+    case MiAmQualDesc::Op::kOr:
+      return Status::NotSupported(
+          "rstar_am scans do not accept disjunctive qualifications");
+  }
+  return Status::Internal("bad qualification");
+}
+
+struct BladeFns {
+  AmSimpleFn create, drop, open, close, check;
+  AmScanFn beginscan, endscan, rescan;
+  AmGetNextFn getnext;
+  AmModifyFn insert, remove;
+  AmUpdateFn update;
+  AmScanCostFn scancost;
+};
+
+BladeFns MakeBladeFns(const RStarBladeOptions& options) {
+  BladeFns fns;
+  const std::string am_name = options.am_name;
+
+  auto make_store = [](MiCallContext& ctx, RstTreeState* state,
+                       const IndexDef* index, LoHandle handle,
+                       LoHandle* out_handle) -> Status {
+    Sbspace* sbspace = ctx.server->FindSbspace(index->space);
+    if (sbspace == nullptr) {
+      return Status::NotFound("sbspace '" + index->space + "'");
+    }
+    auto store_or = SingleLoNodeStore::Open(sbspace, handle);
+    if (!store_or.ok()) return store_or.status();
+    *out_handle = store_or.value()->handle();
+    state->base_store = std::move(store_or).value();
+    state->locking_store = std::make_unique<LockingNodeStore>(
+        state->base_store.get(), &ctx.server->lock_manager(), ctx.session);
+    state->store = state->locking_store.get();
+    return Status::OK();
+  };
+
+  auto open_tree = [options, am_name, make_store](
+                       MiCallContext& ctx, MiAmTableDesc* desc) -> Status {
+    auto state = std::make_unique<RstTreeState>();
+    state->options = options;
+    std::vector<uint8_t> bytes;
+    GRTDB_RETURN_IF_ERROR(
+        ctx.server->AmCatalogGet(am_name, desc->index->name, &bytes));
+    if (bytes.size() != 16) {
+      return Status::Corruption("bad rstar_am catalog record");
+    }
+    LoHandle handle{LoadU64(bytes.data())};
+    const NodeId anchor = LoadU64(bytes.data() + 8);
+    LoHandle out_handle;
+    GRTDB_RETURN_IF_ERROR(
+        make_store(ctx, state.get(), desc->index, handle, &out_handle));
+    auto tree_or =
+        RStarTree::Open(state->store, anchor, options.tree);
+    if (!tree_or.ok()) return tree_or.status();
+    state->tree = std::move(tree_or).value();
+    desc->user_data = state.release();
+    return Status::OK();
+  };
+
+  fns.create = [options, am_name, make_store](MiCallContext& ctx,
+                                              MiAmTableDesc* desc) -> Status {
+    if (desc->key_types.size() != 1 ||
+        desc->key_types[0].base != TypeDesc::Base::kOpaque ||
+        desc->key_types[0].opaque_id != TimeExtentTypeId(ctx.server)) {
+      return Status::InvalidArgument(
+          am_name + " indexes exactly one grt_timeextent column");
+    }
+    auto state = std::make_unique<RstTreeState>();
+    state->options = options;
+    LoHandle handle;
+    GRTDB_RETURN_IF_ERROR(
+        make_store(ctx, state.get(), desc->index, LoHandle{}, &handle));
+    NodeId anchor;
+    auto tree_or = RStarTree::Create(state->store, options.tree, &anchor);
+    if (!tree_or.ok()) return tree_or.status();
+    state->tree = std::move(tree_or).value();
+    GRTDB_RETURN_IF_ERROR(ctx.server->AmCatalogPut(
+        am_name, desc->index->name, EncodeRecord(handle.id, anchor)));
+    desc->user_data = state.release();
+    return Status::OK();
+  };
+
+  fns.open = [open_tree](MiCallContext& ctx, MiAmTableDesc* desc) -> Status {
+    if (desc->just_created || desc->user_data != nullptr) return Status::OK();
+    return open_tree(ctx, desc);
+  };
+
+  fns.close = [](MiCallContext&, MiAmTableDesc* desc) -> Status {
+    RstTreeState* state = StateOf(desc);
+    if (state == nullptr) return Status::OK();
+    if (state->locking_store != nullptr) {
+      state->locking_store->ReleaseSharedOnClose();
+    }
+    delete state;
+    desc->user_data = nullptr;
+    return Status::OK();
+  };
+
+  fns.drop = [am_name, open_tree](MiCallContext& ctx,
+                                  MiAmTableDesc* desc) -> Status {
+    if (desc->user_data == nullptr) {
+      GRTDB_RETURN_IF_ERROR(open_tree(ctx, desc));
+    }
+    RstTreeState* state = StateOf(desc);
+    Status status = state->tree->Drop();
+    std::vector<uint8_t> bytes;
+    if (status.ok() &&
+        ctx.server->AmCatalogGet(am_name, desc->index->name, &bytes).ok() &&
+        bytes.size() == 16) {
+      Sbspace* sbspace = ctx.server->FindSbspace(desc->index->space);
+      if (sbspace != nullptr) {
+        status = sbspace->DropLo(LoHandle{LoadU64(bytes.data())});
+      }
+    }
+    Status forget = ctx.server->AmCatalogDelete(am_name, desc->index->name);
+    if (status.ok()) status = forget;
+    delete state;
+    desc->user_data = nullptr;
+    return status;
+  };
+
+  fns.beginscan = [options](MiCallContext& ctx, MiAmScanDesc* sd) -> Status {
+    RstTreeState* state = StateOf(sd->table_desc);
+    if (state == nullptr || state->tree == nullptr) {
+      return Status::Internal("rst_beginscan on unopened index");
+    }
+    auto scan = std::make_unique<RstScanState>();
+    scan->ct = BladeCurrentTime(ctx);
+    scan->qual = sd->qual;
+    Rect query;
+    std::vector<const QualTerm*> terms;
+    GRTDB_RETURN_IF_ERROR(
+        QueryRectOf(*sd->qual, options.max_timestamp, &query, &terms));
+    GRTDB_RETURN_IF_ERROR(state->tree->Search(
+        query, [&scan](const RStarTree::Entry& entry) {
+          scan->candidates.emplace_back(entry.rect, entry.payload);
+          return true;
+        }));
+    sd->user_data = scan.release();
+    return Status::OK();
+  };
+
+  fns.getnext = [](MiCallContext& ctx, MiAmScanDesc* sd, bool* has,
+                   uint64_t* retrowid, Row* retrow) -> Status {
+    auto* scan = static_cast<RstScanState*>(sd->user_data);
+    if (scan == nullptr) {
+      return Status::Internal("rst_getnext without rst_beginscan");
+    }
+    *has = false;
+    Table* table = sd->table_desc->table;
+    const int key_column = sd->table_desc->key_columns.at(0);
+    while (scan->next < scan->candidates.size()) {
+      const auto& [rect, rowid] = scan->candidates[scan->next++];
+      // The transformed leaf rectangles over-approximate, so every
+      // candidate is verified against the exact geometry of the data
+      // tuple (§3's final step).
+      Row base_row;
+      GRTDB_RETURN_IF_ERROR(
+          table->Get(RecordId::Unpack(rowid), &base_row));
+      const Value& key = base_row.at(static_cast<size_t>(key_column));
+      bool matches = false;
+      GRTDB_RETURN_IF_ERROR(
+          EvaluateQualOnValue(ctx, *scan->qual, key, &matches));
+      if (!matches) continue;
+      *retrowid = rowid;
+      retrow->clear();
+      retrow->push_back(key);
+      *has = true;
+      return Status::OK();
+    }
+    return Status::OK();
+  };
+
+  fns.rescan = [](MiCallContext&, MiAmScanDesc* sd) -> Status {
+    auto* scan = static_cast<RstScanState*>(sd->user_data);
+    if (scan == nullptr) return Status::Internal("rescan without beginscan");
+    scan->next = 0;
+    return Status::OK();
+  };
+
+  fns.endscan = [](MiCallContext&, MiAmScanDesc* sd) -> Status {
+    delete static_cast<RstScanState*>(sd->user_data);
+    sd->user_data = nullptr;
+    return Status::OK();
+  };
+
+  fns.insert = [options](MiCallContext&, MiAmTableDesc* desc,
+                         const Row& keyrow, uint64_t rowid) -> Status {
+    RstTreeState* state = StateOf(desc);
+    if (state == nullptr) return Status::Internal("index not open");
+    TimeExtent extent;
+    GRTDB_RETURN_IF_ERROR(ExtentFromValue(keyrow.at(0), &extent));
+    return state->tree->Insert(
+        TransformExtent(extent, options.max_timestamp), rowid);
+  };
+
+  fns.remove = [options](MiCallContext&, MiAmTableDesc* desc,
+                         const Row& keyrow, uint64_t rowid) -> Status {
+    RstTreeState* state = StateOf(desc);
+    if (state == nullptr) return Status::Internal("index not open");
+    TimeExtent extent;
+    GRTDB_RETURN_IF_ERROR(ExtentFromValue(keyrow.at(0), &extent));
+    bool found = false;
+    GRTDB_RETURN_IF_ERROR(state->tree->Delete(
+        TransformExtent(extent, options.max_timestamp), rowid, &found));
+    if (!found) {
+      return Status::NotFound("index entry to delete was not found");
+    }
+    return Status::OK();
+  };
+
+  fns.update = [fns](MiCallContext& ctx, MiAmTableDesc* desc,
+                     const Row& oldrow, uint64_t oldrowid, const Row& newrow,
+                     uint64_t newrowid) -> Status {
+    GRTDB_RETURN_IF_ERROR(fns.remove(ctx, desc, oldrow, oldrowid));
+    return fns.insert(ctx, desc, newrow, newrowid);
+  };
+
+  fns.scancost = [options](MiCallContext&, MiAmTableDesc* desc,
+                           const MiAmQualDesc* qual, double* cost) -> Status {
+    RstTreeState* state = StateOf(desc);
+    if (state == nullptr) return Status::Internal("index not open");
+    Rect query;
+    std::vector<const QualTerm*> terms;
+    GRTDB_RETURN_IF_ERROR(
+        QueryRectOf(*qual, options.max_timestamp, &query, &terms));
+    auto cost_or = state->tree->EstimateScanCost(query);
+    if (!cost_or.ok()) return cost_or.status();
+    *cost = cost_or.value();
+    return Status::OK();
+  };
+
+  fns.check = [](MiCallContext&, MiAmTableDesc* desc) -> Status {
+    RstTreeState* state = StateOf(desc);
+    if (state == nullptr) return Status::Internal("index not open");
+    return state->tree->CheckConsistency();
+  };
+
+  return fns;
+}
+
+}  // namespace
+
+Status RegisterRStarBlade(Server* server, const RStarBladeOptions& options) {
+  GRTDB_RETURN_IF_ERROR(RegisterTimeExtentType(server));
+  if (server->catalog().FindAccessMethod(options.am_name) != nullptr) {
+    return Status::AlreadyExists("access method '" + options.am_name + "'");
+  }
+
+  BladeFns fns = MakeBladeFns(options);
+  BladeLibrary* library = server->blade_libraries().Load(kGrtBladeLibrary);
+  const std::string& p = options.prefix;
+  library->Export(p + "_create", std::any(AmSimpleFn(fns.create)));
+  library->Export(p + "_drop", std::any(AmSimpleFn(fns.drop)));
+  library->Export(p + "_open", std::any(AmSimpleFn(fns.open)));
+  library->Export(p + "_close", std::any(AmSimpleFn(fns.close)));
+  library->Export(p + "_beginscan", std::any(AmScanFn(fns.beginscan)));
+  library->Export(p + "_endscan", std::any(AmScanFn(fns.endscan)));
+  library->Export(p + "_rescan", std::any(AmScanFn(fns.rescan)));
+  library->Export(p + "_getnext", std::any(AmGetNextFn(fns.getnext)));
+  library->Export(p + "_insert", std::any(AmModifyFn(fns.insert)));
+  library->Export(p + "_delete", std::any(AmModifyFn(fns.remove)));
+  library->Export(p + "_update", std::any(AmUpdateFn(fns.update)));
+  library->Export(p + "_scancost", std::any(AmScanCostFn(fns.scancost)));
+  library->Export(p + "_check", std::any(AmSimpleFn(fns.check)));
+
+  auto fn = [&](const std::string& name, const std::string& symbol) {
+    return "CREATE FUNCTION " + name +
+           "(pointer) RETURNING int EXTERNAL NAME '" +
+           std::string(kGrtBladeLibrary) + "(" + symbol +
+           ")' LANGUAGE c;\n";
+  };
+  std::string script;
+  for (const char* suffix :
+       {"_create", "_drop", "_open", "_close", "_beginscan", "_endscan",
+        "_rescan", "_getnext", "_insert", "_delete", "_update", "_scancost",
+        "_check"}) {
+    script += fn(p + suffix, p + suffix);
+  }
+  script += "CREATE SECONDARY ACCESS_METHOD " + options.am_name + " (\n";
+  script += "  am_create = " + p + "_create,\n";
+  script += "  am_drop = " + p + "_drop,\n";
+  script += "  am_open = " + p + "_open,\n";
+  script += "  am_close = " + p + "_close,\n";
+  script += "  am_beginscan = " + p + "_beginscan,\n";
+  script += "  am_endscan = " + p + "_endscan,\n";
+  script += "  am_rescan = " + p + "_rescan,\n";
+  script += "  am_getnext = " + p + "_getnext,\n";
+  script += "  am_insert = " + p + "_insert,\n";
+  script += "  am_delete = " + p + "_delete,\n";
+  script += "  am_update = " + p + "_update,\n";
+  script += "  am_scancost = " + p + "_scancost,\n";
+  script += "  am_check = " + p + "_check,\n";
+  script += "  am_sptype = 'S'\n);\n";
+  script += "CREATE DEFAULT OPCLASS " + p + "_opclass FOR " +
+            options.am_name +
+            " STRATEGIES(Overlaps, Contains, ContainedIn, Equal) SUPPORT(" +
+            "grt_union, grt_size, grt_intersection);\n";
+
+  ServerSession* session = server->CreateSession();
+  ResultSet result;
+  Status status = server->ExecuteScript(session, script, &result);
+  Status close = server->CloseSession(session);
+  if (status.ok()) status = close;
+  return status;
+}
+
+}  // namespace grtdb

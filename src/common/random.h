@@ -1,0 +1,57 @@
+#ifndef GRTDB_COMMON_RANDOM_H_
+#define GRTDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace grtdb {
+
+// Deterministic xorshift128+ generator for workloads and tests. We avoid
+// std::mt19937 in hot paths: this is smaller, faster, and its sequences are
+// stable across standard-library versions so benchmark workloads are
+// reproducible everywhere.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    state_[0] = SplitMix(&seed);
+    state_[1] = SplitMix(&seed);
+  }
+
+  uint64_t Next() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_COMMON_RANDOM_H_

@@ -1,0 +1,128 @@
+#ifndef GRTDB_COMMON_STATUS_H_
+#define GRTDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace grtdb {
+
+// Status reports the outcome of an operation that can fail. Library code in
+// this project does not throw; every fallible operation returns a Status (or
+// a StatusOr<T>). Modeled on the RocksDB/Abseil idiom.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kInvalidArgument,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+    kAlreadyExists,
+    kLockTimeout,
+    kAborted,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(Code::kLockTimeout, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsLockTimeout() const { return code_ == Code::kLockTimeout; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // Human-readable "CODE: message" string for logs and test diagnostics.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+// StatusOr<T> holds either a value or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit from error Status is the idiom.
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+  StatusOr(T value)  // NOLINT: implicit from value is the idiom.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define GRTDB_RETURN_IF_ERROR(expr)       \
+  do {                                    \
+    ::grtdb::Status _st = (expr);         \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+}  // namespace grtdb
+
+#endif  // GRTDB_COMMON_STATUS_H_

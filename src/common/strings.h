@@ -1,0 +1,30 @@
+#ifndef GRTDB_COMMON_STRINGS_H_
+#define GRTDB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grtdb {
+
+// Returns `s` with leading and trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view s);
+
+// ASCII upper/lower-casing (SQL identifiers are case-insensitive).
+std::string ToUpper(std::string_view s);
+std::string ToLower(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Splits `s` on `sep`, trimming whitespace from each piece. Empty pieces are
+// kept so callers can detect malformed input.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+}  // namespace grtdb
+
+#endif  // GRTDB_COMMON_STRINGS_H_

@@ -1,0 +1,1031 @@
+#include "core/grtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+
+#include "storage/layout.h"
+
+namespace grtdb {
+
+namespace {
+
+constexpr uint32_t kAnchorMagic = 0x47525452;  // "GRTR"
+constexpr size_t kNodeHeaderSize = 8;          // level u32 + count u32
+constexpr size_t kEntrySize = BoundSpec::kBinarySize + 8;  // bound + payload
+
+size_t MaxEntriesForPage() {
+  return (kPageSize - kNodeHeaderSize) / kEntrySize;
+}
+
+// Encoding of an empty region (used for drained-but-kept nodes under the
+// kPostponeReinsert policy): resolves to Region::Empty at every time.
+BoundSpec EmptyBound() {
+  BoundSpec spec;
+  spec.tt_begin = Timestamp::FromChronon(1);
+  spec.tt_end = Timestamp::FromChronon(0);
+  spec.vt_begin = Timestamp::FromChronon(1);
+  spec.vt_end = Timestamp::FromChronon(0);
+  spec.rectangle = true;
+  spec.hidden = false;
+  return spec;
+}
+
+TimeExtent ExtentFromBound(const BoundSpec& bound) {
+  return TimeExtent(bound.tt_begin, bound.tt_end, bound.vt_begin,
+                    bound.vt_end);
+}
+
+double CenterDistance2(const Region& a, const Region& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return 0.0;
+  const double dx = 0.5 * (static_cast<double>(a.tt1() + a.tt2()) -
+                           static_cast<double>(b.tt1() + b.tt2()));
+  const double dy = 0.5 * (static_cast<double>(a.vt1() + a.vt2()) -
+                           static_cast<double>(b.vt1() + b.vt2()));
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+bool GRTree::InternalTest(PredicateOp op, const Region& bound,
+                          const Region& query) {
+  switch (op) {
+    case PredicateOp::kOverlaps:
+    case PredicateOp::kContainedIn:
+      return bound.Overlaps(query);
+    case PredicateOp::kContains:
+    case PredicateOp::kEqual:
+      return bound.Contains(query);
+  }
+  return false;
+}
+
+bool GRTree::LeafTest(PredicateOp op, const Region& data,
+                      const Region& query) {
+  switch (op) {
+    case PredicateOp::kOverlaps:
+      return data.Overlaps(query);
+    case PredicateOp::kContains:
+      return data.Contains(query);
+    case PredicateOp::kContainedIn:
+      return query.Contains(data);
+    case PredicateOp::kEqual:
+      return data.Equals(query);
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ lifecycle ---
+
+StatusOr<std::unique_ptr<GRTree>> GRTree::Create(NodeStore* store,
+                                                 const Options& options,
+                                                 NodeId* anchor) {
+  std::unique_ptr<GRTree> tree(new GRTree(store, options));
+  tree->max_entries_ =
+      options.max_entries != 0 ? options.max_entries : MaxEntriesForPage();
+  if (tree->max_entries_ > MaxEntriesForPage()) {
+    return Status::InvalidArgument("max_entries exceeds page capacity");
+  }
+  if (tree->max_entries_ < 4) {
+    return Status::InvalidArgument("max_entries must be >= 4");
+  }
+  tree->min_entries_ = std::max<size_t>(
+      1, static_cast<size_t>(options.min_fill *
+                             static_cast<double>(tree->max_entries_)));
+  GRTDB_RETURN_IF_ERROR(store->AllocateNode(&tree->anchor_));
+  GRTDB_RETURN_IF_ERROR(store->AllocateNode(&tree->root_));
+  Node root;
+  root.level = 0;
+  GRTDB_RETURN_IF_ERROR(tree->WriteNode(tree->root_, root));
+  GRTDB_RETURN_IF_ERROR(tree->SaveAnchor());
+  *anchor = tree->anchor_;
+  return tree;
+}
+
+StatusOr<std::unique_ptr<GRTree>> GRTree::Open(NodeStore* store,
+                                               NodeId anchor,
+                                               const Options& options) {
+  std::unique_ptr<GRTree> tree(new GRTree(store, options));
+  tree->max_entries_ =
+      options.max_entries != 0 ? options.max_entries : MaxEntriesForPage();
+  tree->min_entries_ = std::max<size_t>(
+      1, static_cast<size_t>(options.min_fill *
+                             static_cast<double>(tree->max_entries_)));
+  tree->anchor_ = anchor;
+  GRTDB_RETURN_IF_ERROR(tree->LoadAnchor());
+  return tree;
+}
+
+Status GRTree::LoadAnchor() {
+  uint8_t page[kPageSize];
+  GRTDB_RETURN_IF_ERROR(store_->ReadNode(anchor_, page));
+  if (LoadU32(page) != kAnchorMagic) {
+    return Status::Corruption("bad GR-tree anchor magic");
+  }
+  root_ = LoadU64(page + 4);
+  height_ = LoadU32(page + 12);
+  size_ = LoadU64(page + 16);
+  condense_epoch_ = LoadU64(page + 24);
+  has_pending_condense_ = page[32] != 0;
+  return Status::OK();
+}
+
+Status GRTree::SaveAnchor() {
+  uint8_t page[kPageSize];
+  std::memset(page, 0, sizeof(page));
+  StoreU32(page, kAnchorMagic);
+  StoreU64(page + 4, root_);
+  StoreU32(page + 12, height_);
+  StoreU64(page + 16, size_);
+  StoreU64(page + 24, condense_epoch_);
+  page[32] = has_pending_condense_ ? 1 : 0;
+  return store_->WriteNode(anchor_, page);
+}
+
+Status GRTree::ReadNode(NodeId id, Node* node) const {
+  uint8_t page[kPageSize];
+  GRTDB_RETURN_IF_ERROR(store_->ReadNode(id, page));
+  node->level = LoadU32(page);
+  const uint32_t count = LoadU32(page + 4);
+  if (count > MaxEntriesForPage()) {
+    return Status::Corruption("GR-tree node entry count out of range");
+  }
+  node->entries.clear();
+  node->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* p = page + kNodeHeaderSize + i * kEntrySize;
+    NodeEntry entry;
+    entry.bound = BoundSpec::DecodeFrom(p);
+    entry.payload = LoadU64(p + BoundSpec::kBinarySize);
+    node->entries.push_back(entry);
+  }
+  return Status::OK();
+}
+
+Status GRTree::WriteNode(NodeId id, const Node& node) {
+  uint8_t page[kPageSize];
+  std::memset(page, 0, sizeof(page));
+  StoreU32(page, node.level);
+  StoreU32(page + 4, static_cast<uint32_t>(node.entries.size()));
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    uint8_t* p = page + kNodeHeaderSize + i * kEntrySize;
+    node.entries[i].bound.EncodeTo(p);
+    StoreU64(p + BoundSpec::kBinarySize, node.entries[i].payload);
+  }
+  return store_->WriteNode(id, page);
+}
+
+BoundSpec GRTree::NodeBound(const Node& node, int64_t ct) const {
+  if (node.entries.empty()) return EmptyBound();
+  std::vector<BoundSpec> bounds;
+  bounds.reserve(node.entries.size());
+  for (const NodeEntry& entry : node.entries) bounds.push_back(entry.bound);
+  BoundSpec bound = BoundSpec::Enclose(bounds, ct);
+  if (!options_.stair_bounds && !bound.rectangle) {
+    // Ablation: degrade the stair to its bounding rectangle (top at the
+    // resolved TTend, i.e. VTend = NOW when growing, = TTend when frozen).
+    bound.rectangle = true;
+    bound.vt_end =
+        bound.tt_end.is_uc() ? Timestamp::NOW() : bound.tt_end;
+  }
+  return bound;
+}
+
+// --------------------------------------------------------------- insert ---
+
+size_t GRTree::ChooseSubtree(const Node& node, const BoundSpec& bound,
+                             int64_t ct) const {
+  const int64_t eval = ct + options_.horizon;
+  const bool children_are_leaves = node.level == 1;
+
+  size_t best_index = 0;
+  double best_primary = 0.0;
+  double best_secondary = 0.0;
+  int best_temporal = 0;
+  double best_area = 0.0;
+
+  std::vector<Region> resolved(node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    resolved[i] = node.entries[i].bound.Resolve(eval);
+  }
+
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const BoundSpec pair[2] = {node.entries[i].bound, bound};
+    const Region enlarged = BoundSpec::Enclose(pair, ct).Resolve(eval);
+    const double area = resolved[i].Area();
+    const double area_delta = enlarged.Area() - area;
+    double primary;
+    if (children_are_leaves) {
+      double overlap_before = 0.0;
+      double overlap_after = 0.0;
+      for (size_t j = 0; j < node.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += resolved[i].IntersectionArea(resolved[j]);
+        overlap_after += enlarged.IntersectionArea(resolved[j]);
+      }
+      primary = overlap_after - overlap_before;
+    } else {
+      primary = area_delta;
+    }
+    const double secondary = children_are_leaves ? area_delta : area;
+    // Temporal tie-break: prefer subtrees whose growth behaviour matches
+    // the incoming entry (growing entries go to growing subtrees).
+    const int temporal =
+        node.entries[i].bound.Grows() == bound.Grows() ? 0 : 1;
+    if (i == 0 || primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary) ||
+        (primary == best_primary && secondary == best_secondary &&
+         temporal < best_temporal) ||
+        (primary == best_primary && secondary == best_secondary &&
+         temporal == best_temporal && area < best_area)) {
+      best_index = i;
+      best_primary = primary;
+      best_secondary = secondary;
+      best_temporal = temporal;
+      best_area = area;
+    }
+  }
+  return best_index;
+}
+
+Status GRTree::Insert(const TimeExtent& extent, uint64_t payload,
+                      int64_t ct) {
+  GRTDB_RETURN_IF_ERROR(extent.Validate());
+  NodeEntry entry;
+  entry.bound = BoundSpec::FromExtent(extent);
+  entry.payload = payload;
+  std::vector<bool> reinsert_done(height_, false);
+  GRTDB_RETURN_IF_ERROR(InsertAtLevel(entry, 0, ct, &reinsert_done));
+  ++size_;
+  return SaveAnchor();
+}
+
+Status GRTree::InsertAtLevel(const NodeEntry& entry, uint32_t level,
+                             int64_t ct, std::vector<bool>* reinsert_done) {
+  struct Pending {
+    NodeEntry entry;
+    uint32_t level;
+  };
+  std::deque<Pending> work;
+  work.push_back(Pending{entry, level});
+  while (!work.empty()) {
+    Pending item = work.front();
+    work.pop_front();
+    bool split = false;
+    NodeEntry split_entry;
+    BoundSpec new_bound;
+    std::vector<std::pair<NodeEntry, uint32_t>> evicted;
+    GRTDB_RETURN_IF_ERROR(InsertRecursive(root_, item.entry, item.level, ct,
+                                          reinsert_done, &split, &split_entry,
+                                          &new_bound, &evicted));
+    for (auto& [evicted_entry, evicted_level] : evicted) {
+      work.push_back(Pending{evicted_entry, evicted_level});
+    }
+    if (split) {
+      Node probe;
+      GRTDB_RETURN_IF_ERROR(ReadNode(root_, &probe));
+      Node new_root;
+      new_root.level = probe.level + 1;
+      new_root.entries.push_back(NodeEntry{new_bound, root_});
+      new_root.entries.push_back(split_entry);
+      NodeId new_root_id;
+      GRTDB_RETURN_IF_ERROR(store_->AllocateNode(&new_root_id));
+      GRTDB_RETURN_IF_ERROR(WriteNode(new_root_id, new_root));
+      root_ = new_root_id;
+      ++height_;
+      ++condense_epoch_;
+      reinsert_done->resize(height_, false);
+      GRTDB_RETURN_IF_ERROR(SaveAnchor());
+    }
+  }
+  return Status::OK();
+}
+
+Status GRTree::InsertRecursive(
+    NodeId node_id, const NodeEntry& entry, uint32_t level, int64_t ct,
+    std::vector<bool>* reinsert_done, bool* split, NodeEntry* split_entry,
+    BoundSpec* new_bound,
+    std::vector<std::pair<NodeEntry, uint32_t>>* evicted) {
+  Node node;
+  GRTDB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  *split = false;
+  if (node.level == level) {
+    node.entries.push_back(entry);
+    if (node.entries.size() > max_entries_) {
+      return HandleOverflow(node_id, &node, ct, reinsert_done, split,
+                            split_entry, new_bound, evicted);
+    }
+    GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+    *new_bound = NodeBound(node, ct);
+    return Status::OK();
+  }
+
+  const size_t child_index = ChooseSubtree(node, entry.bound, ct);
+  const NodeId child_id = node.entries[child_index].payload;
+  bool child_split = false;
+  NodeEntry child_split_entry;
+  BoundSpec child_bound;
+  GRTDB_RETURN_IF_ERROR(InsertRecursive(child_id, entry, level, ct,
+                                        reinsert_done, &child_split,
+                                        &child_split_entry, &child_bound,
+                                        evicted));
+  node.entries[child_index].bound = child_bound;
+  if (child_split) {
+    node.entries.push_back(child_split_entry);
+    if (node.entries.size() > max_entries_) {
+      return HandleOverflow(node_id, &node, ct, reinsert_done, split,
+                            split_entry, new_bound, evicted);
+    }
+  }
+  GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+  *new_bound = NodeBound(node, ct);
+  return Status::OK();
+}
+
+Status GRTree::HandleOverflow(
+    NodeId node_id, Node* node, int64_t ct, std::vector<bool>* reinsert_done,
+    bool* split, NodeEntry* split_entry, BoundSpec* new_bound,
+    std::vector<std::pair<NodeEntry, uint32_t>>* evicted) {
+  const bool is_root = node_id == root_;
+  const int64_t eval = ct + options_.horizon;
+  if (options_.forced_reinsert && !is_root &&
+      node->level < reinsert_done->size() &&
+      !(*reinsert_done)[node->level]) {
+    (*reinsert_done)[node->level] = true;
+    const Region bound_region = NodeBound(*node, ct).Resolve(eval);
+    std::vector<size_t> order(node->entries.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::vector<double> distance(node->entries.size());
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      distance[i] =
+          CenterDistance2(node->entries[i].bound.Resolve(eval), bound_region);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return distance[a] < distance[b]; });
+    const size_t evict_count = std::max<size_t>(
+        1, static_cast<size_t>(options_.reinsert_fraction *
+                               static_cast<double>(node->entries.size())));
+    const size_t keep = node->entries.size() - evict_count;
+    std::vector<NodeEntry> kept;
+    kept.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) kept.push_back(node->entries[order[i]]);
+    for (size_t i = keep; i < order.size(); ++i) {
+      evicted->emplace_back(node->entries[order[i]], node->level);
+    }
+    node->entries = std::move(kept);
+    GRTDB_RETURN_IF_ERROR(WriteNode(node_id, *node));
+    *split = false;
+    *new_bound = NodeBound(*node, ct);
+    return Status::OK();
+  }
+
+  std::vector<NodeEntry> left;
+  std::vector<NodeEntry> right;
+  SplitEntries(node->entries, ct, &left, &right);
+  Node right_node;
+  right_node.level = node->level;
+  right_node.entries = std::move(right);
+  NodeId right_id;
+  GRTDB_RETURN_IF_ERROR(store_->AllocateNode(&right_id));
+  GRTDB_RETURN_IF_ERROR(WriteNode(right_id, right_node));
+  node->entries = std::move(left);
+  GRTDB_RETURN_IF_ERROR(WriteNode(node_id, *node));
+  ++condense_epoch_;
+  *split = true;
+  *split_entry = NodeEntry{NodeBound(right_node, ct), right_id};
+  *new_bound = NodeBound(*node, ct);
+  return Status::OK();
+}
+
+void GRTree::SplitEntries(const std::vector<NodeEntry>& entries, int64_t ct,
+                          std::vector<NodeEntry>* left,
+                          std::vector<NodeEntry>* right) const {
+  const size_t total = entries.size();
+  const size_t m = min_entries_;
+  const int64_t eval = ct + options_.horizon;
+
+  std::vector<Region> resolved(total);
+  for (size_t i = 0; i < total; ++i) {
+    resolved[i] = entries[i].bound.Resolve(eval);
+  }
+
+  struct Candidate {
+    std::vector<size_t> order;
+    size_t split_at = 0;
+    double overlap = 0.0;
+    double area = 0.0;
+  };
+
+  auto evaluate_axis = [&](bool tt_axis, double* margin_sum,
+                           Candidate* best) {
+    for (int by_upper = 0; by_upper < 2; ++by_upper) {
+      std::vector<size_t> order(total);
+      for (size_t i = 0; i < total; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const Region& ra = resolved[a];
+        const Region& rb = resolved[b];
+        const int64_t ka = tt_axis ? (by_upper ? ra.tt2() : ra.tt1())
+                                   : (by_upper ? ra.vt2() : ra.vt1());
+        const int64_t kb = tt_axis ? (by_upper ? rb.tt2() : rb.tt1())
+                                   : (by_upper ? rb.vt2() : rb.vt1());
+        return ka < kb;
+      });
+      // Cumulative encoded bounds, resolved for metric evaluation.
+      std::vector<BoundSpec> prefix(total);
+      std::vector<BoundSpec> suffix(total);
+      for (size_t i = 0; i < total; ++i) {
+        const BoundSpec& b = entries[order[i]].bound;
+        if (i == 0) {
+          prefix[i] = b;
+        } else {
+          const BoundSpec pair[2] = {prefix[i - 1], b};
+          prefix[i] = BoundSpec::Enclose(pair, ct);
+        }
+      }
+      for (size_t i = total; i-- > 0;) {
+        const BoundSpec& b = entries[order[i]].bound;
+        if (i + 1 == total) {
+          suffix[i] = b;
+        } else {
+          const BoundSpec pair[2] = {suffix[i + 1], b};
+          suffix[i] = BoundSpec::Enclose(pair, ct);
+        }
+      }
+      for (size_t k = m; k + m <= total; ++k) {
+        const Region lb = prefix[k - 1].Resolve(eval);
+        const Region rb = suffix[k].Resolve(eval);
+        *margin_sum += lb.Margin() + rb.Margin();
+        const double overlap = lb.IntersectionArea(rb);
+        const double area = lb.Area() + rb.Area();
+        if (best->order.empty() || overlap < best->overlap ||
+            (overlap == best->overlap && area < best->area)) {
+          best->order = order;
+          best->split_at = k;
+          best->overlap = overlap;
+          best->area = area;
+        }
+      }
+    }
+  };
+
+  double tt_margin = 0.0;
+  double vt_margin = 0.0;
+  Candidate tt_best;
+  Candidate vt_best;
+  evaluate_axis(true, &tt_margin, &tt_best);
+  evaluate_axis(false, &vt_margin, &vt_best);
+  const Candidate& chosen = (tt_margin <= vt_margin) ? tt_best : vt_best;
+
+  left->clear();
+  right->clear();
+  for (size_t i = 0; i < chosen.split_at; ++i) {
+    left->push_back(entries[chosen.order[i]]);
+  }
+  for (size_t i = chosen.split_at; i < total; ++i) {
+    right->push_back(entries[chosen.order[i]]);
+  }
+}
+
+// --------------------------------------------------------------- delete ---
+
+Status GRTree::Delete(const TimeExtent& extent, uint64_t payload, int64_t ct,
+                      bool* found) {
+  const BoundSpec target = BoundSpec::FromExtent(extent);
+  *found = false;
+  bool removed_node = false;
+  bool structure_changed = false;
+  std::vector<std::pair<NodeEntry, uint32_t>> orphans;
+  BoundSpec new_bound;
+  GRTDB_RETURN_IF_ERROR(DeleteRecursive(root_, target, payload, ct, found,
+                                        &removed_node, &orphans, &new_bound,
+                                        &structure_changed));
+  if (!*found) return Status::OK();
+  --size_;
+  if (removed_node) {
+    return Status::Internal("root unexpectedly removed");
+  }
+  if (structure_changed) {
+    ++condense_epoch_;
+    std::stable_sort(
+        orphans.begin(), orphans.end(),
+        [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::vector<bool> reinsert_done(height_, true);
+    for (auto& [entry, level] : orphans) {
+      GRTDB_RETURN_IF_ERROR(InsertAtLevel(entry, level, ct, &reinsert_done));
+    }
+    GRTDB_RETURN_IF_ERROR(ShrinkRoot());
+  }
+  return SaveAnchor();
+}
+
+Status GRTree::DeleteRecursive(
+    NodeId node_id, const BoundSpec& target, uint64_t payload, int64_t ct,
+    bool* found, bool* removed_node,
+    std::vector<std::pair<NodeEntry, uint32_t>>* orphans,
+    BoundSpec* new_bound, bool* structure_changed) {
+  Node node;
+  GRTDB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  *removed_node = false;
+  const bool postpone =
+      options_.deletion_policy == DeletionPolicy::kPostponeReinsert;
+
+  auto handle_underfull = [&](uint32_t entry_level) -> Status {
+    if (node_id != root_ && node.entries.size() < min_entries_) {
+      if (postpone) {
+        has_pending_condense_ = true;
+        GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+        *new_bound = NodeBound(node, ct);
+        return Status::OK();
+      }
+      for (const NodeEntry& entry : node.entries) {
+        orphans->emplace_back(entry, entry_level);
+      }
+      GRTDB_RETURN_IF_ERROR(store_->FreeNode(node_id));
+      *removed_node = true;
+      *structure_changed = true;
+      return Status::OK();
+    }
+    GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+    *new_bound = NodeBound(node, ct);
+    return Status::OK();
+  };
+
+  if (node.level == 0) {
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (node.entries[i].payload == payload &&
+          node.entries[i].bound == target) {
+        node.entries.erase(node.entries.begin() + i);
+        *found = true;
+        break;
+      }
+    }
+    if (!*found) return Status::OK();
+    return handle_underfull(0);
+  }
+
+  const Region target_region = target.Resolve(ct);
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (!node.entries[i].bound.Resolve(ct).Contains(target_region)) continue;
+    bool child_removed = false;
+    BoundSpec child_bound;
+    GRTDB_RETURN_IF_ERROR(DeleteRecursive(
+        node.entries[i].payload, target, payload, ct, found, &child_removed,
+        orphans, &child_bound, structure_changed));
+    if (!*found) continue;
+    if (child_removed) {
+      node.entries.erase(node.entries.begin() + i);
+    } else {
+      node.entries[i].bound = child_bound;
+    }
+    return handle_underfull(node.level);
+  }
+  return Status::OK();
+}
+
+Status GRTree::ShrinkRoot() {
+  while (true) {
+    Node root_node;
+    GRTDB_RETURN_IF_ERROR(ReadNode(root_, &root_node));
+    if (root_node.level == 0) break;
+    if (root_node.entries.empty()) {
+      root_node.level = 0;
+      GRTDB_RETURN_IF_ERROR(WriteNode(root_, root_node));
+      height_ = 1;
+      break;
+    }
+    if (root_node.entries.size() != 1) break;
+    const NodeId child = root_node.entries[0].payload;
+    GRTDB_RETURN_IF_ERROR(store_->FreeNode(root_));
+    root_ = child;
+    --height_;
+    ++condense_epoch_;
+  }
+  return Status::OK();
+}
+
+Status GRTree::FlushPending(int64_t ct) {
+  if (!has_pending_condense_) return Status::OK();
+
+  std::vector<std::pair<NodeEntry, uint32_t>> orphans;
+  // Post-order condense: collect entries of underfull non-root nodes.
+  std::function<Status(NodeId, bool, bool*, BoundSpec*)> condense =
+      [&](NodeId node_id, bool is_root, bool* removed,
+          BoundSpec* bound) -> Status {
+    Node node;
+    GRTDB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+    *removed = false;
+    if (node.level > 0) {
+      for (size_t i = 0; i < node.entries.size();) {
+        bool child_removed = false;
+        BoundSpec child_bound;
+        GRTDB_RETURN_IF_ERROR(condense(node.entries[i].payload, false,
+                                       &child_removed, &child_bound));
+        if (child_removed) {
+          node.entries.erase(node.entries.begin() + i);
+        } else {
+          node.entries[i].bound = child_bound;
+          ++i;
+        }
+      }
+    }
+    if (!is_root && node.entries.size() < min_entries_) {
+      for (const NodeEntry& entry : node.entries) {
+        orphans.emplace_back(entry, node.level);
+      }
+      GRTDB_RETURN_IF_ERROR(store_->FreeNode(node_id));
+      *removed = true;
+      return Status::OK();
+    }
+    GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+    *bound = NodeBound(node, ct);
+    return Status::OK();
+  };
+
+  bool removed = false;
+  BoundSpec bound;
+  GRTDB_RETURN_IF_ERROR(condense(root_, /*is_root=*/true, &removed, &bound));
+  ++condense_epoch_;
+  has_pending_condense_ = false;
+
+  std::stable_sort(
+      orphans.begin(), orphans.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<bool> reinsert_done(height_, true);
+  for (auto& [entry, level] : orphans) {
+    GRTDB_RETURN_IF_ERROR(InsertAtLevel(entry, level, ct, &reinsert_done));
+  }
+  GRTDB_RETURN_IF_ERROR(ShrinkRoot());
+  return SaveAnchor();
+}
+
+// --------------------------------------------------------------- search ---
+
+GRTree::Cursor::Cursor(GRTree* tree, PredicateOp op, TimeExtent query,
+                       int64_t ct)
+    : tree_(tree),
+      op_(op),
+      query_extent_(query),
+      query_(ResolveExtent(query, ct)),
+      ct_(ct),
+      epoch_(tree->condense_epoch()) {}
+
+bool GRTree::Cursor::InternalMatches(const BoundSpec& bound) const {
+  return GRTree::InternalTest(op_, bound.Resolve(ct_), query_);
+}
+
+bool GRTree::Cursor::LeafMatches(const BoundSpec& bound) const {
+  return GRTree::LeafTest(op_, bound.Resolve(ct_), query_);
+}
+
+Status GRTree::Cursor::PushNode(NodeId id) {
+  Node node;
+  GRTDB_RETURN_IF_ERROR(tree_->ReadNode(id, &node));
+  Frame frame;
+  frame.id = id;
+  frame.level = node.level;
+  frame.entries.reserve(node.entries.size());
+  for (const NodeEntry& entry : node.entries) {
+    frame.entries.emplace_back(entry.bound, entry.payload);
+  }
+  frame.next = 0;
+  stack_.push_back(std::move(frame));
+  return Status::OK();
+}
+
+void GRTree::Cursor::Reset() {
+  stack_.clear();
+  epoch_ = tree_->condense_epoch();
+  needs_prime_ = true;
+  ++restarts_;
+}
+
+Status GRTree::Cursor::Next(bool* has, Entry* out) {
+  *has = false;
+  if (tree_->condense_epoch() != epoch_) {
+    // The tree condensed under us (paper §5.5): restart from the root.
+    // Entries already returned stay in returned_ and are skipped.
+    Reset();
+  }
+  if (needs_prime_) {
+    needs_prime_ = false;
+    GRTDB_RETURN_IF_ERROR(PushNode(tree_->root_));
+  }
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    if (frame.next >= frame.entries.size()) {
+      stack_.pop_back();
+      continue;
+    }
+    const auto& [bound, payload] = frame.entries[frame.next];
+    ++frame.next;
+    if (frame.level == 0) {
+      if (LeafMatches(bound) && returned_.find(payload) == returned_.end()) {
+        returned_.insert(payload);
+        out->extent = ExtentFromBound(bound);
+        out->payload = payload;
+        *has = true;
+        return Status::OK();
+      }
+    } else if (InternalMatches(bound)) {
+      GRTDB_RETURN_IF_ERROR(PushNode(payload));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<GRTree::Cursor>> GRTree::Search(
+    PredicateOp op, const TimeExtent& query, int64_t ct) {
+  return std::unique_ptr<Cursor>(new Cursor(this, op, query, ct));
+}
+
+Status GRTree::SearchAll(PredicateOp op, const TimeExtent& query, int64_t ct,
+                         std::vector<Entry>* out) {
+  out->clear();
+  auto cursor_or = Search(op, query, ct);
+  if (!cursor_or.ok()) return cursor_or.status();
+  std::unique_ptr<Cursor> cursor = std::move(cursor_or).value();
+  while (true) {
+    bool has = false;
+    Entry entry;
+    GRTDB_RETURN_IF_ERROR(cursor->Next(&has, &entry));
+    if (!has) break;
+    out->push_back(entry);
+  }
+  return Status::OK();
+}
+
+StatusOr<double> GRTree::EstimateScanCost(PredicateOp op,
+                                          const TimeExtent& query,
+                                          int64_t ct) const {
+  const Region query_region = ResolveExtent(query, ct);
+  double cost = 1.0;
+  std::vector<NodeId> frontier = {root_};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    uint64_t overlapping = 0;
+    bool children_are_leaves = false;
+    for (NodeId id : frontier) {
+      Node node;
+      GRTDB_RETURN_IF_ERROR(ReadNode(id, &node));
+      if (node.level == 0) return cost;
+      children_are_leaves = node.level == 1;
+      for (const NodeEntry& entry : node.entries) {
+        if (InternalTest(op, entry.bound.Resolve(ct), query_region)) {
+          ++overlapping;
+          if (!children_are_leaves) next.push_back(entry.payload);
+        }
+      }
+    }
+    cost += static_cast<double>(overlapping);
+    if (children_are_leaves) break;
+    frontier = std::move(next);
+  }
+  return cost;
+}
+
+// ---------------------------------------------------------------- check ---
+
+Status GRTree::CheckConsistency(int64_t ct) const {
+  uint64_t leaf_entries = 0;
+  GRTDB_RETURN_IF_ERROR(
+      CheckRecursive(root_, height_ - 1, nullptr, ct, &leaf_entries));
+  if (leaf_entries != size_) {
+    return Status::Corruption("size mismatch: anchor says " +
+                              std::to_string(size_) + ", tree holds " +
+                              std::to_string(leaf_entries));
+  }
+  return Status::OK();
+}
+
+Status GRTree::CheckRecursive(NodeId node_id, uint32_t expected_level,
+                              const BoundSpec* parent_bound, int64_t ct,
+                              uint64_t* leaf_entries) const {
+  Node node;
+  GRTDB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  if (node.level != expected_level) {
+    return Status::Corruption("node level mismatch");
+  }
+  if (node_id != root_ && node.entries.size() < min_entries_ &&
+      !has_pending_condense_) {
+    return Status::Corruption("underfull node");
+  }
+  if (node.entries.size() > max_entries_) {
+    return Status::Corruption("overfull node");
+  }
+  if (parent_bound != nullptr) {
+    // The minimum bounding region must contain each entry now and at every
+    // later time; sample the future (growing regions are monotone, so
+    // violations show up at sampled horizons).
+    const int64_t samples[4] = {ct, ct + 1, ct + options_.horizon,
+                                ct + 10 * options_.horizon};
+    for (const NodeEntry& entry : node.entries) {
+      for (int64_t t : samples) {
+        if (!parent_bound->ContainsAt(entry.bound, t)) {
+          return Status::Corruption(
+              "bound " + parent_bound->ToString() + " does not contain " +
+              entry.bound.ToString() + " at t=" + std::to_string(t));
+        }
+      }
+    }
+  }
+  if (node.level == 0) {
+    *leaf_entries += node.entries.size();
+    return Status::OK();
+  }
+  for (const NodeEntry& entry : node.entries) {
+    GRTDB_RETURN_IF_ERROR(CheckRecursive(entry.payload, node.level - 1,
+                                         &entry.bound, ct, leaf_entries));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- stats ---
+
+Status GRTree::ComputeStats(int64_t ct, uint64_t dead_space_samples,
+                            GRTreeStats* out) const {
+  out->size = size_;
+  out->height = height_;
+  out->nodes = 0;
+  out->levels.assign(height_, GRTreeLevelStats{});
+  for (uint32_t i = 0; i < height_; ++i) out->levels[i].level = i;
+
+  uint64_t seed = 0x9d2c5680;
+  std::vector<NodeId> frontier = {root_};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId id : frontier) {
+      Node node;
+      GRTDB_RETURN_IF_ERROR(ReadNode(id, &node));
+      GRTreeLevelStats& stats = out->levels[node.level];
+      ++out->nodes;
+      ++stats.nodes;
+      stats.entries += node.entries.size();
+      std::vector<Region> resolved(node.entries.size());
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        const BoundSpec& bound = node.entries[i].bound;
+        resolved[i] = bound.Resolve(ct);
+        if (node.level > 0) {
+          if (bound.rectangle) {
+            ++stats.rect_bounds;
+          } else {
+            ++stats.stair_bounds;
+          }
+          if (bound.hidden) {
+            ++stats.hidden_bounds;
+            if (bound.vt_end.IsGround() && bound.vt_end.chronon() < ct) {
+              ++stats.hidden_escaped;
+            }
+          }
+          if (bound.Grows()) ++stats.growing_bounds;
+        }
+        stats.total_area += resolved[i].Area();
+        for (size_t j = 0; j < i; ++j) {
+          stats.overlap_area += resolved[i].IntersectionArea(resolved[j]);
+        }
+      }
+      if (node.level > 0) {
+        // Dead space of each child bound w.r.t. the grandchild regions.
+        for (const NodeEntry& entry : node.entries) {
+          next.push_back(entry.payload);
+          if (dead_space_samples > 0) {
+            Node child;
+            GRTDB_RETURN_IF_ERROR(ReadNode(entry.payload, &child));
+            std::vector<Region> child_regions;
+            child_regions.reserve(child.entries.size());
+            for (const NodeEntry& child_entry : child.entries) {
+              child_regions.push_back(child_entry.bound.Resolve(ct));
+            }
+            stats.dead_space += Region::DeadSpaceSampled(
+                entry.bound.Resolve(ct), child_regions, dead_space_samples,
+                ++seed);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- bulkload ---
+
+Status GRTree::BulkLoad(std::vector<Entry> entries, int64_t ct) {
+  if (size_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  if (entries.empty()) return Status::OK();
+  const size_t fill = std::max<size_t>(
+      2, static_cast<size_t>(0.7 * static_cast<double>(max_entries_)));
+  size_ = entries.size();
+
+  std::vector<NodeEntry> current;
+  current.reserve(entries.size());
+  for (const Entry& entry : entries) {
+    current.push_back(
+        NodeEntry{BoundSpec::FromExtent(entry.extent), entry.payload});
+  }
+
+  auto center_tt = [&](const NodeEntry& entry) {
+    const Region r = entry.bound.Resolve(ct);
+    return r.tt1() + r.tt2();
+  };
+  auto center_vt = [&](const NodeEntry& entry) {
+    const Region r = entry.bound.Resolve(ct);
+    return r.vt1() + r.vt2();
+  };
+
+  uint32_t level = 0;
+  NodeId last_node = kInvalidNodeId;
+  while (true) {
+    const size_t node_count = (current.size() + fill - 1) / fill;
+    const size_t slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(node_count))));
+    const size_t slab_size = slabs * fill;
+    std::sort(current.begin(), current.end(),
+              [&](const NodeEntry& a, const NodeEntry& b) {
+                return center_tt(a) < center_tt(b);
+              });
+    std::vector<std::vector<NodeEntry>> groups;
+    for (size_t s = 0; s * slab_size < current.size(); ++s) {
+      const size_t begin = s * slab_size;
+      const size_t end = std::min(current.size(), begin + slab_size);
+      std::sort(current.begin() + begin, current.begin() + end,
+                [&](const NodeEntry& a, const NodeEntry& b) {
+                  return center_vt(a) < center_vt(b);
+                });
+      for (size_t i = begin; i < end; i += fill) {
+        groups.emplace_back(current.begin() + i,
+                            current.begin() + std::min(end, i + fill));
+      }
+    }
+    // STR remainders can leave underfull tail groups; rebalance them with a
+    // neighbour so the min-fill invariant holds for every non-root node.
+    for (size_t i = 0; groups.size() > 1 && i < groups.size();) {
+      if (groups[i].size() >= min_entries_) {
+        ++i;
+        continue;
+      }
+      const size_t neighbor = i > 0 ? i - 1 : i + 1;
+      std::vector<NodeEntry> merged = std::move(groups[std::min(i, neighbor)]);
+      std::vector<NodeEntry>& other = groups[std::max(i, neighbor)];
+      merged.insert(merged.end(), other.begin(), other.end());
+      groups.erase(groups.begin() + std::max(i, neighbor));
+      if (merged.size() <= max_entries_) {
+        groups[std::min(i, neighbor)] = std::move(merged);
+      } else {
+        const size_t half = merged.size() / 2;
+        groups[std::min(i, neighbor)].assign(merged.begin(),
+                                             merged.begin() + half);
+        groups.insert(groups.begin() + std::min(i, neighbor) + 1,
+                      std::vector<NodeEntry>(merged.begin() + half,
+                                             merged.end()));
+      }
+      i = std::min(i, neighbor);
+    }
+    std::vector<NodeEntry> next_level;
+    for (std::vector<NodeEntry>& group : groups) {
+      Node node;
+      node.level = level;
+      node.entries = std::move(group);
+      NodeId id;
+      GRTDB_RETURN_IF_ERROR(store_->AllocateNode(&id));
+      GRTDB_RETURN_IF_ERROR(WriteNode(id, node));
+      next_level.push_back(NodeEntry{NodeBound(node, ct), id});
+      last_node = id;
+    }
+    if (next_level.size() == 1) {
+      GRTDB_RETURN_IF_ERROR(store_->FreeNode(root_));
+      root_ = last_node;
+      height_ = level + 1;
+      ++condense_epoch_;
+      return SaveAnchor();
+    }
+    current = std::move(next_level);
+    ++level;
+  }
+}
+
+Status GRTree::Drop() {
+  std::vector<NodeId> frontier = {root_};
+  while (!frontier.empty()) {
+    NodeId id = frontier.back();
+    frontier.pop_back();
+    Node node;
+    GRTDB_RETURN_IF_ERROR(ReadNode(id, &node));
+    if (node.level > 0) {
+      for (const NodeEntry& entry : node.entries) {
+        frontier.push_back(entry.payload);
+      }
+    }
+    GRTDB_RETURN_IF_ERROR(store_->FreeNode(id));
+  }
+  GRTDB_RETURN_IF_ERROR(store_->FreeNode(anchor_));
+  root_ = kInvalidNodeId;
+  anchor_ = kInvalidNodeId;
+  size_ = 0;
+  height_ = 1;
+  return Status::OK();
+}
+
+}  // namespace grtdb

@@ -1,0 +1,266 @@
+#ifndef GRTDB_CORE_GRTREE_H_
+#define GRTDB_CORE_GRTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/node_store.h"
+#include "temporal/extent.h"
+#include "temporal/region.h"
+
+namespace grtdb {
+
+// The bitemporal predicates an index scan can evaluate — the operator
+// class's strategy functions (paper §5.2). For each, the tree knows both
+// the leaf-exact test and the internal-node pruning test (the hard-coded
+// "...Internal()" functions of §5.2).
+enum class PredicateOp {
+  kOverlaps,
+  kContains,     // data region contains the query region
+  kContainedIn,  // data region contained in the query region
+  kEqual,
+};
+
+// How deletions interact with open scans (paper §5.5).
+enum class DeletionPolicy {
+  // Restart the scan from the root after every deletion.
+  kRestartAlways,
+  // Restart only when the deletion actually condensed the tree (the
+  // compromise the paper's prototype chose).
+  kRestartOnCondense,
+  // Never condense during the scan: underfull nodes are tolerated until
+  // FlushPending() re-balances, so scans keep their position.
+  kPostponeReinsert,
+};
+
+struct GRTreeLevelStats {
+  uint32_t level = 0;
+  uint64_t nodes = 0;
+  uint64_t entries = 0;
+  uint64_t stair_bounds = 0;
+  uint64_t rect_bounds = 0;
+  uint64_t hidden_bounds = 0;
+  // Hidden bounds whose fixed valid-time top the current time has already
+  // passed (§3's adjustment resolves their VTend as NOW).
+  uint64_t hidden_escaped = 0;
+  uint64_t growing_bounds = 0;  // TTend = UC
+  double total_area = 0.0;      // at the stats call's current time
+  double overlap_area = 0.0;    // pairwise within-node overlap
+  double dead_space = 0.0;      // Monte-Carlo sampled, internal levels only
+};
+
+struct GRTreeStats {
+  uint64_t size = 0;
+  uint32_t height = 0;
+  uint64_t nodes = 0;
+  std::vector<GRTreeLevelStats> levels;
+};
+
+// The GR-tree [BJSS98, paper §3]: an R*-tree-derived disk index for
+// now-relative bitemporal data. Node entries carry four timestamps that may
+// include the variables UC and NOW plus the "Rectangle" and "Hidden" flags,
+// so minimum bounding regions can be growing rectangles or growing
+// stair-shapes; all penalty metrics are evaluated at `ct + horizon`, the
+// time parameter capturing the development of entries over time.
+//
+// Every operation takes the current time `ct` explicitly: the DataBlade
+// decides whether that is per-statement or per-transaction time (§5.4).
+class GRTree {
+ public:
+  struct Options {
+    size_t max_entries = 0;  // 0 = derive from the page size
+    double min_fill = 0.4;
+    double reinsert_fraction = 0.3;
+    bool forced_reinsert = true;
+    // The time parameter: penalties are evaluated this many chronons past
+    // the operation's current time.
+    int64_t horizon = 30;
+    // Ablation switch (bench T4): false forces every internal bounding
+    // region to be a rectangle, as a plain R*-tree would.
+    bool stair_bounds = true;
+    DeletionPolicy deletion_policy = DeletionPolicy::kRestartOnCondense;
+  };
+
+  struct Entry {
+    TimeExtent extent;
+    uint64_t payload = 0;
+  };
+
+  // A scan over qualifying leaf entries (the Cursor object of Table 5:
+  // query predicate + tree-traversal state). Created by Search(); stays
+  // valid across deletions according to the tree's DeletionPolicy — it
+  // restarts itself when the tree's condense epoch moved, skipping entries
+  // it already returned.
+  class Cursor {
+   public:
+    // Fetches the next qualifying entry; *has = false at end of scan.
+    Status Next(bool* has, Entry* out);
+
+    // Restarts from the root; already-returned entries stay skipped.
+    void Reset();
+
+    uint64_t restarts() const { return restarts_; }
+
+   private:
+    friend class GRTree;
+
+    struct Frame {
+      NodeId id = kInvalidNodeId;
+      uint32_t level = 0;
+      std::vector<std::pair<BoundSpec, uint64_t>> entries;
+      size_t next = 0;
+    };
+
+    Cursor(GRTree* tree, PredicateOp op, TimeExtent query, int64_t ct);
+
+    Status PushNode(NodeId id);
+    bool InternalMatches(const BoundSpec& bound) const;
+    bool LeafMatches(const BoundSpec& bound) const;
+
+    GRTree* tree_;
+    PredicateOp op_;
+    TimeExtent query_extent_;
+    Region query_;
+    int64_t ct_;
+    uint64_t epoch_;
+    uint64_t restarts_ = 0;
+    bool needs_prime_ = true;
+    std::vector<Frame> stack_;
+    std::set<uint64_t> returned_;
+  };
+
+  static StatusOr<std::unique_ptr<GRTree>> Create(NodeStore* store,
+                                                  const Options& options,
+                                                  NodeId* anchor);
+  static StatusOr<std::unique_ptr<GRTree>> Open(NodeStore* store,
+                                                NodeId anchor,
+                                                const Options& options);
+
+  GRTree(const GRTree&) = delete;
+  GRTree& operator=(const GRTree&) = delete;
+
+  // Inserts a (validated) extent. `ct` is the operation's current time.
+  Status Insert(const TimeExtent& extent, uint64_t payload, int64_t ct);
+
+  // Removes one entry matching (extent, payload) exactly.
+  Status Delete(const TimeExtent& extent, uint64_t payload, int64_t ct,
+                bool* found);
+
+  // Opens a scan for `op`(data, query) evaluated at current time `ct`.
+  StatusOr<std::unique_ptr<Cursor>> Search(PredicateOp op,
+                                           const TimeExtent& query,
+                                           int64_t ct);
+
+  // Convenience: drains a full scan.
+  Status SearchAll(PredicateOp op, const TimeExtent& query, int64_t ct,
+                   std::vector<Entry>* out);
+
+  // Estimated node reads for a scan (am_scancost).
+  StatusOr<double> EstimateScanCost(PredicateOp op, const TimeExtent& query,
+                                    int64_t ct) const;
+
+  // Re-balances nodes left underfull by kPostponeReinsert deletions.
+  Status FlushPending(int64_t ct);
+
+  // Structural invariants (am_check): levels, fill, bound containment at
+  // `ct` and at sampled future times (growing bounds must stay valid).
+  Status CheckConsistency(int64_t ct) const;
+
+  // Structure statistics (am_stats / benches T4, T5). Dead space is
+  // sampled with `dead_space_samples` Monte-Carlo points per node (0
+  // disables).
+  Status ComputeStats(int64_t ct, uint64_t dead_space_samples,
+                      GRTreeStats* out) const;
+
+  // Bulk-loads an empty tree bottom-up (vacuum rebuild path, bench T9).
+  Status BulkLoad(std::vector<Entry> entries, int64_t ct);
+
+  // Frees every node including the anchor.
+  Status Drop();
+
+  uint64_t size() const { return size_; }
+  uint32_t height() const { return height_; }
+  NodeId anchor() const { return anchor_; }
+  size_t max_entries() const { return max_entries_; }
+  uint64_t condense_epoch() const { return condense_epoch_; }
+  const Options& options() const { return options_; }
+
+  // Internal-node pruning test for `op` — the hard-coded counterpart of a
+  // strategy function (OverlapsInternal() etc., §5.2). Exposed for tests.
+  static bool InternalTest(PredicateOp op, const Region& bound,
+                           const Region& query);
+  // Exact leaf test for `op`.
+  static bool LeafTest(PredicateOp op, const Region& data,
+                       const Region& query);
+
+ private:
+  struct NodeEntry {
+    BoundSpec bound;
+    uint64_t payload = 0;
+  };
+  struct Node {
+    uint32_t level = 0;
+    std::vector<NodeEntry> entries;
+  };
+
+  GRTree(NodeStore* store, const Options& options)
+      : store_(store), options_(options) {}
+
+  Status LoadAnchor();
+  Status SaveAnchor();
+  Status ReadNode(NodeId id, Node* node) const;
+  Status WriteNode(NodeId id, const Node& node);
+
+  // Minimum bounding region of a node's entries, honoring the stair_bounds
+  // ablation option.
+  BoundSpec NodeBound(const Node& node, int64_t ct) const;
+
+  size_t ChooseSubtree(const Node& node, const BoundSpec& bound,
+                       int64_t ct) const;
+
+  Status InsertAtLevel(const NodeEntry& entry, uint32_t level, int64_t ct,
+                       std::vector<bool>* reinsert_done);
+  Status InsertRecursive(
+      NodeId node_id, const NodeEntry& entry, uint32_t level, int64_t ct,
+      std::vector<bool>* reinsert_done, bool* split, NodeEntry* split_entry,
+      BoundSpec* new_bound,
+      std::vector<std::pair<NodeEntry, uint32_t>>* evicted);
+  Status HandleOverflow(
+      NodeId node_id, Node* node, int64_t ct,
+      std::vector<bool>* reinsert_done, bool* split, NodeEntry* split_entry,
+      BoundSpec* new_bound,
+      std::vector<std::pair<NodeEntry, uint32_t>>* evicted);
+  void SplitEntries(const std::vector<NodeEntry>& entries, int64_t ct,
+                    std::vector<NodeEntry>* left,
+                    std::vector<NodeEntry>* right) const;
+
+  Status DeleteRecursive(
+      NodeId node_id, const BoundSpec& target, uint64_t payload, int64_t ct,
+      bool* found, bool* removed_node,
+      std::vector<std::pair<NodeEntry, uint32_t>>* orphans,
+      BoundSpec* new_bound, bool* structure_changed);
+  Status ShrinkRoot();
+
+  Status CheckRecursive(NodeId node_id, uint32_t expected_level,
+                        const BoundSpec* parent_bound, int64_t ct,
+                        uint64_t* leaf_entries) const;
+
+  NodeStore* store_;
+  Options options_;
+  size_t max_entries_ = 0;
+  size_t min_entries_ = 0;
+  NodeId anchor_ = kInvalidNodeId;
+  NodeId root_ = kInvalidNodeId;
+  uint32_t height_ = 1;
+  uint64_t size_ = 0;
+  uint64_t condense_epoch_ = 0;
+  bool has_pending_condense_ = false;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_CORE_GRTREE_H_

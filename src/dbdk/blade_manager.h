@@ -1,0 +1,37 @@
+#ifndef GRTDB_DBDK_BLADE_MANAGER_H_
+#define GRTDB_DBDK_BLADE_MANAGER_H_
+
+#include <map>
+#include <string>
+
+#include "dbdk/bladesmith.h"
+#include "server/server.h"
+
+namespace grtdb {
+
+// BladeManager (paper §6.1): registers and unregisters a DataBlade for a
+// database. Registration verifies the blade library actually exports every
+// symbol the project references, registers the project's opaque types, and
+// runs BladeSmith's objects.sql; unregistration runs remove.sql and
+// removes the types. The paper found this register/unregister cycle "very
+// convenient" because testing repeats it many times — the tests here do
+// exactly that.
+class BladeManager {
+ public:
+  // Support functions for each project opaque type (text input/output at
+  // minimum), keyed by SQL type name. The compiled blade provides these;
+  // BladeSmith only generated their skeletons.
+  using TypeSupport = std::map<std::string, OpaqueType>;
+
+  static Status Register(Server* server, const BladeProject& project,
+                         const TypeSupport& type_support = {});
+
+  static Status Unregister(Server* server, const BladeProject& project);
+
+  // True when every object of the project is present in the server.
+  static bool IsRegistered(Server* server, const BladeProject& project);
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_DBDK_BLADE_MANAGER_H_

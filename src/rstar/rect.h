@@ -1,0 +1,81 @@
+#ifndef GRTDB_RSTAR_RECT_H_
+#define GRTDB_RSTAR_RECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace grtdb {
+
+// Axis-aligned rectangle with closed integer coordinates; the entry
+// geometry of the classic R*-tree [BEC90]. In the bitemporal baseline the
+// axes are (transaction time, valid time) and UC/NOW have been transformed
+// to a fixed maximum timestamp before indexing.
+struct Rect {
+  int64_t x1 = 0;
+  int64_t x2 = -1;  // default-constructed rect is empty (x1 > x2)
+  int64_t y1 = 0;
+  int64_t y2 = -1;
+
+  static Rect Of(int64_t x1, int64_t x2, int64_t y1, int64_t y2) {
+    return Rect{x1, x2, y1, y2};
+  }
+
+  bool IsEmpty() const { return x1 > x2 || y1 > y2; }
+
+  double Area() const {
+    if (IsEmpty()) return 0.0;
+    return static_cast<double>(x2 - x1) * static_cast<double>(y2 - y1);
+  }
+
+  double Margin() const {
+    if (IsEmpty()) return 0.0;
+    return static_cast<double>(x2 - x1) + static_cast<double>(y2 - y1);
+  }
+
+  bool Intersects(const Rect& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return x1 <= o.x2 && o.x1 <= x2 && y1 <= o.y2 && o.y1 <= y2;
+  }
+
+  bool Contains(const Rect& o) const {
+    if (o.IsEmpty()) return true;
+    if (IsEmpty()) return false;
+    return x1 <= o.x1 && o.x2 <= x2 && y1 <= o.y1 && o.y2 <= y2;
+  }
+
+  double IntersectionArea(const Rect& o) const {
+    if (!Intersects(o)) return 0.0;
+    return static_cast<double>(std::min(x2, o.x2) - std::max(x1, o.x1)) *
+           static_cast<double>(std::min(y2, o.y2) - std::max(y1, o.y1));
+  }
+
+  static Rect Enclose(const Rect& a, const Rect& b) {
+    if (a.IsEmpty()) return b;
+    if (b.IsEmpty()) return a;
+    return Rect{std::min(a.x1, b.x1), std::max(a.x2, b.x2),
+                std::min(a.y1, b.y1), std::max(a.y2, b.y2)};
+  }
+
+  // Squared distance between centers (for R* forced-reinsert ordering).
+  double CenterDistance2(const Rect& o) const {
+    const double dx = 0.5 * (static_cast<double>(x1 + x2) -
+                             static_cast<double>(o.x1 + o.x2));
+    const double dy = 0.5 * (static_cast<double>(y1 + y2) -
+                             static_cast<double>(o.y1 + o.y2));
+    return dx * dx + dy * dy;
+  }
+
+  std::string ToString() const {
+    return "[" + std::to_string(x1) + "," + std::to_string(x2) + "]x[" +
+           std::to_string(y1) + "," + std::to_string(y2) + "]";
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x1 == b.x1 && a.x2 == b.x2 && a.y1 == b.y1 && a.y2 == b.y2;
+  }
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_RSTAR_RECT_H_

@@ -1,0 +1,742 @@
+#include "rstar/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+
+#include "storage/layout.h"
+
+namespace grtdb {
+
+namespace {
+
+constexpr uint32_t kAnchorMagic = 0x52535452;  // "RSTR"
+constexpr size_t kNodeHeaderSize = 8;          // level u32 + count u32
+constexpr size_t kEntrySize = 40;              // 4 x i64 + payload u64
+
+size_t MaxEntriesForPage() {
+  return (kPageSize - kNodeHeaderSize) / kEntrySize;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RStarTree>> RStarTree::Create(NodeStore* store,
+                                                       const Options& options,
+                                                       NodeId* anchor) {
+  std::unique_ptr<RStarTree> tree(new RStarTree(store, options));
+  tree->max_entries_ =
+      options.max_entries != 0 ? options.max_entries : MaxEntriesForPage();
+  if (tree->max_entries_ > MaxEntriesForPage()) {
+    return Status::InvalidArgument("max_entries exceeds page capacity");
+  }
+  if (tree->max_entries_ < 4) {
+    return Status::InvalidArgument("max_entries must be >= 4");
+  }
+  tree->min_entries_ = std::max<size_t>(
+      1, static_cast<size_t>(options.min_fill *
+                             static_cast<double>(tree->max_entries_)));
+  GRTDB_RETURN_IF_ERROR(store->AllocateNode(&tree->anchor_));
+  GRTDB_RETURN_IF_ERROR(store->AllocateNode(&tree->root_));
+  Node root;
+  root.level = 0;
+  GRTDB_RETURN_IF_ERROR(tree->WriteNode(tree->root_, root));
+  GRTDB_RETURN_IF_ERROR(tree->SaveAnchor());
+  *anchor = tree->anchor_;
+  return tree;
+}
+
+StatusOr<std::unique_ptr<RStarTree>> RStarTree::Open(NodeStore* store,
+                                                     NodeId anchor,
+                                                     const Options& options) {
+  std::unique_ptr<RStarTree> tree(new RStarTree(store, options));
+  tree->max_entries_ =
+      options.max_entries != 0 ? options.max_entries : MaxEntriesForPage();
+  tree->min_entries_ = std::max<size_t>(
+      1, static_cast<size_t>(options.min_fill *
+                             static_cast<double>(tree->max_entries_)));
+  tree->anchor_ = anchor;
+  GRTDB_RETURN_IF_ERROR(tree->LoadAnchor());
+  return tree;
+}
+
+Status RStarTree::LoadAnchor() {
+  uint8_t page[kPageSize];
+  GRTDB_RETURN_IF_ERROR(store_->ReadNode(anchor_, page));
+  if (LoadU32(page) != kAnchorMagic) {
+    return Status::Corruption("bad R*-tree anchor magic");
+  }
+  root_ = LoadU64(page + 4);
+  height_ = LoadU32(page + 12);
+  size_ = LoadU64(page + 16);
+  return Status::OK();
+}
+
+Status RStarTree::SaveAnchor() {
+  uint8_t page[kPageSize];
+  std::memset(page, 0, sizeof(page));
+  StoreU32(page, kAnchorMagic);
+  StoreU64(page + 4, root_);
+  StoreU32(page + 12, height_);
+  StoreU64(page + 16, size_);
+  return store_->WriteNode(anchor_, page);
+}
+
+Status RStarTree::ReadNode(NodeId id, Node* node) const {
+  uint8_t page[kPageSize];
+  GRTDB_RETURN_IF_ERROR(store_->ReadNode(id, page));
+  node->level = LoadU32(page);
+  const uint32_t count = LoadU32(page + 4);
+  if (count > MaxEntriesForPage()) {
+    return Status::Corruption("node entry count out of range");
+  }
+  node->entries.clear();
+  node->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* p = page + kNodeHeaderSize + i * kEntrySize;
+    Entry entry;
+    entry.rect.x1 = LoadI64(p);
+    entry.rect.x2 = LoadI64(p + 8);
+    entry.rect.y1 = LoadI64(p + 16);
+    entry.rect.y2 = LoadI64(p + 24);
+    entry.payload = LoadU64(p + 32);
+    node->entries.push_back(entry);
+  }
+  return Status::OK();
+}
+
+Status RStarTree::WriteNode(NodeId id, const Node& node) {
+  uint8_t page[kPageSize];
+  std::memset(page, 0, sizeof(page));
+  StoreU32(page, node.level);
+  StoreU32(page + 4, static_cast<uint32_t>(node.entries.size()));
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    uint8_t* p = page + kNodeHeaderSize + i * kEntrySize;
+    const Entry& entry = node.entries[i];
+    StoreI64(p, entry.rect.x1);
+    StoreI64(p + 8, entry.rect.x2);
+    StoreI64(p + 16, entry.rect.y1);
+    StoreI64(p + 24, entry.rect.y2);
+    StoreU64(p + 32, entry.payload);
+  }
+  return store_->WriteNode(id, page);
+}
+
+Rect RStarTree::NodeBound(const Node& node) const {
+  Rect bound;
+  for (const Entry& entry : node.entries) {
+    bound = Rect::Enclose(bound, entry.rect);
+  }
+  return bound;
+}
+
+Status RStarTree::ChooseSubtree(const Node& node, const Rect& rect,
+                                size_t* best) {
+  const bool children_are_leaves = node.level == 1;
+  double best_primary = 0.0;
+  double best_secondary = 0.0;
+  double best_area = 0.0;
+  size_t best_index = 0;
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const Rect& child = node.entries[i].rect;
+    const Rect enlarged = Rect::Enclose(child, rect);
+    const double area = child.Area();
+    const double area_enlargement = enlarged.Area() - area;
+    double primary;
+    if (children_are_leaves) {
+      // Minimum overlap enlargement [BEC90 §4.1].
+      double overlap_before = 0.0;
+      double overlap_after = 0.0;
+      for (size_t j = 0; j < node.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += child.IntersectionArea(node.entries[j].rect);
+        overlap_after += enlarged.IntersectionArea(node.entries[j].rect);
+      }
+      primary = overlap_after - overlap_before;
+    } else {
+      primary = area_enlargement;
+    }
+    const double secondary = children_are_leaves ? area_enlargement : area;
+    if (i == 0 || primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary) ||
+        (primary == best_primary && secondary == best_secondary &&
+         area < best_area)) {
+      best_primary = primary;
+      best_secondary = secondary;
+      best_area = area;
+      best_index = i;
+    }
+  }
+  *best = best_index;
+  return Status::OK();
+}
+
+Status RStarTree::Insert(const Rect& rect, uint64_t payload) {
+  if (rect.IsEmpty()) {
+    return Status::InvalidArgument("cannot index an empty rectangle");
+  }
+  std::vector<bool> reinsert_done(height_, false);
+  GRTDB_RETURN_IF_ERROR(
+      InsertAtLevel(Entry{rect, payload}, 0, &reinsert_done));
+  ++size_;
+  return SaveAnchor();
+}
+
+Status RStarTree::InsertAtLevel(const Entry& entry, uint32_t level,
+                                std::vector<bool>* reinsert_done) {
+  struct Pending {
+    Entry entry;
+    uint32_t level;
+  };
+  std::deque<Pending> work;
+  work.push_back(Pending{entry, level});
+  while (!work.empty()) {
+    Pending item = work.front();
+    work.pop_front();
+    bool split = false;
+    Entry split_entry;
+    Rect new_bound;
+    // InsertRecursive may push forced-reinsert evictions onto `work` via
+    // the pending vector.
+    std::vector<std::pair<Entry, uint32_t>> evicted;
+    GRTDB_RETURN_IF_ERROR(InsertRecursiveImpl(root_, item.entry, item.level,
+                                              reinsert_done, &split,
+                                              &split_entry, &new_bound,
+                                              &evicted));
+    for (auto& [evicted_entry, evicted_level] : evicted) {
+      work.push_back(Pending{evicted_entry, evicted_level});
+    }
+    if (split) {
+      // Grow a new root over the two halves.
+      Node old_root_probe;
+      GRTDB_RETURN_IF_ERROR(ReadNode(root_, &old_root_probe));
+      Node new_root;
+      new_root.level = old_root_probe.level + 1;
+      new_root.entries.push_back(Entry{new_bound, root_});
+      new_root.entries.push_back(split_entry);
+      NodeId new_root_id;
+      GRTDB_RETURN_IF_ERROR(store_->AllocateNode(&new_root_id));
+      GRTDB_RETURN_IF_ERROR(WriteNode(new_root_id, new_root));
+      root_ = new_root_id;
+      ++height_;
+      reinsert_done->resize(height_, false);
+      GRTDB_RETURN_IF_ERROR(SaveAnchor());
+    }
+  }
+  return Status::OK();
+}
+
+Status RStarTree::InsertRecursiveImpl(
+    NodeId node_id, const Entry& entry, uint32_t level,
+    std::vector<bool>* reinsert_done, bool* split, Entry* split_entry,
+    Rect* new_bound, std::vector<std::pair<Entry, uint32_t>>* evicted) {
+  Node node;
+  GRTDB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  *split = false;
+  if (node.level == level) {
+    node.entries.push_back(entry);
+    if (node.entries.size() > max_entries_) {
+      return HandleOverflowImpl(node_id, &node, reinsert_done, split,
+                                split_entry, new_bound, evicted);
+    }
+    GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+    *new_bound = NodeBound(node);
+    return Status::OK();
+  }
+
+  size_t child_index;
+  GRTDB_RETURN_IF_ERROR(ChooseSubtree(node, entry.rect, &child_index));
+  const NodeId child_id = node.entries[child_index].payload;
+  bool child_split = false;
+  Entry child_split_entry;
+  Rect child_bound;
+  GRTDB_RETURN_IF_ERROR(InsertRecursiveImpl(child_id, entry, level,
+                                            reinsert_done, &child_split,
+                                            &child_split_entry, &child_bound,
+                                            evicted));
+  node.entries[child_index].rect = child_bound;
+  if (child_split) {
+    node.entries.push_back(child_split_entry);
+    if (node.entries.size() > max_entries_) {
+      return HandleOverflowImpl(node_id, &node, reinsert_done, split,
+                                split_entry, new_bound, evicted);
+    }
+  }
+  GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+  *new_bound = NodeBound(node);
+  return Status::OK();
+}
+
+Status RStarTree::HandleOverflowImpl(
+    NodeId node_id, Node* node, std::vector<bool>* reinsert_done, bool* split,
+    Entry* split_entry, Rect* new_bound,
+    std::vector<std::pair<Entry, uint32_t>>* evicted) {
+  const bool is_root = node_id == root_;
+  if (options_.forced_reinsert && !is_root && node->level < height_ &&
+      !(*reinsert_done)[node->level]) {
+    (*reinsert_done)[node->level] = true;
+    // Evict the reinsert_fraction entries farthest from the node center and
+    // defer their reinsertion (close-reinsert order: nearest first).
+    const Rect bound = NodeBound(*node);
+    std::vector<size_t> order(node->entries.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return node->entries[a].rect.CenterDistance2(bound) <
+             node->entries[b].rect.CenterDistance2(bound);
+    });
+    const size_t evict_count = std::max<size_t>(
+        1, static_cast<size_t>(options_.reinsert_fraction *
+                               static_cast<double>(node->entries.size())));
+    const size_t keep = node->entries.size() - evict_count;
+    std::vector<Entry> kept;
+    kept.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) kept.push_back(node->entries[order[i]]);
+    for (size_t i = keep; i < order.size(); ++i) {
+      evicted->emplace_back(node->entries[order[i]], node->level);
+    }
+    node->entries = std::move(kept);
+    GRTDB_RETURN_IF_ERROR(WriteNode(node_id, *node));
+    *split = false;
+    *new_bound = NodeBound(*node);
+    return Status::OK();
+  }
+
+  // Topological split.
+  std::vector<Entry> left;
+  std::vector<Entry> right;
+  SplitEntries(&node->entries, &left, &right);
+  Node right_node;
+  right_node.level = node->level;
+  right_node.entries = std::move(right);
+  NodeId right_id;
+  GRTDB_RETURN_IF_ERROR(store_->AllocateNode(&right_id));
+  GRTDB_RETURN_IF_ERROR(WriteNode(right_id, right_node));
+  node->entries = std::move(left);
+  GRTDB_RETURN_IF_ERROR(WriteNode(node_id, *node));
+  *split = true;
+  *split_entry = Entry{NodeBound(right_node), right_id};
+  *new_bound = NodeBound(*node);
+  return Status::OK();
+}
+
+void RStarTree::SplitEntries(std::vector<Entry>* entries,
+                             std::vector<Entry>* left,
+                             std::vector<Entry>* right) const {
+  const size_t total = entries->size();
+  const size_t m = min_entries_;
+
+  struct Candidate {
+    std::vector<size_t> order;
+    size_t split_at = 0;  // left gets order[0 .. split_at)
+    double overlap = 0.0;
+    double area = 0.0;
+  };
+
+  auto evaluate_axis = [&](bool x_axis, double* margin_sum,
+                           Candidate* best_candidate) {
+    for (int by_upper = 0; by_upper < 2; ++by_upper) {
+      std::vector<size_t> order(total);
+      for (size_t i = 0; i < total; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const Rect& ra = (*entries)[a].rect;
+        const Rect& rb = (*entries)[b].rect;
+        const int64_t ka = x_axis ? (by_upper ? ra.x2 : ra.x1)
+                                  : (by_upper ? ra.y2 : ra.y1);
+        const int64_t kb = x_axis ? (by_upper ? rb.x2 : rb.x1)
+                                  : (by_upper ? rb.y2 : rb.y1);
+        return ka < kb;
+      });
+      // Prefix/suffix bounds.
+      std::vector<Rect> prefix(total);
+      std::vector<Rect> suffix(total);
+      Rect acc;
+      for (size_t i = 0; i < total; ++i) {
+        acc = Rect::Enclose(acc, (*entries)[order[i]].rect);
+        prefix[i] = acc;
+      }
+      acc = Rect();
+      for (size_t i = total; i-- > 0;) {
+        acc = Rect::Enclose(acc, (*entries)[order[i]].rect);
+        suffix[i] = acc;
+      }
+      for (size_t k = m; k + m <= total; ++k) {
+        const Rect& lb = prefix[k - 1];
+        const Rect& rb = suffix[k];
+        *margin_sum += lb.Margin() + rb.Margin();
+        const double overlap = lb.IntersectionArea(rb);
+        const double area = lb.Area() + rb.Area();
+        if (best_candidate->order.empty() ||
+            overlap < best_candidate->overlap ||
+            (overlap == best_candidate->overlap &&
+             area < best_candidate->area)) {
+          best_candidate->order = order;
+          best_candidate->split_at = k;
+          best_candidate->overlap = overlap;
+          best_candidate->area = area;
+        }
+      }
+    }
+  };
+
+  double x_margin = 0.0;
+  double y_margin = 0.0;
+  Candidate x_best;
+  Candidate y_best;
+  evaluate_axis(true, &x_margin, &x_best);
+  evaluate_axis(false, &y_margin, &y_best);
+  const Candidate& chosen = (x_margin <= y_margin) ? x_best : y_best;
+
+  left->clear();
+  right->clear();
+  for (size_t i = 0; i < chosen.split_at; ++i) {
+    left->push_back((*entries)[chosen.order[i]]);
+  }
+  for (size_t i = chosen.split_at; i < total; ++i) {
+    right->push_back((*entries)[chosen.order[i]]);
+  }
+}
+
+Status RStarTree::Delete(const Rect& rect, uint64_t payload, bool* found) {
+  *found = false;
+  bool removed_node = false;
+  std::vector<std::pair<Entry, uint32_t>> orphans;
+  Rect new_bound;
+  GRTDB_RETURN_IF_ERROR(DeleteRecursiveImpl(root_, rect, payload, found,
+                                            &removed_node, &orphans,
+                                            &new_bound));
+  if (!*found) return Status::OK();
+  --size_;
+  if (removed_node) {
+    // The root itself went underfull only in the leaf-root case, which we
+    // never remove; removed_node true here would be a logic error.
+    return Status::Internal("root unexpectedly removed");
+  }
+  // Re-insert orphaned entries at their original levels, highest level
+  // first and before any root shrink so every target level still exists.
+  // Forced reinsertion is disabled to keep condensation bounded.
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::vector<bool> reinsert_done(height_, true);
+  for (auto& [entry, level] : orphans) {
+    GRTDB_RETURN_IF_ERROR(InsertAtLevel(entry, level, &reinsert_done));
+  }
+  // Shrink the root while it is an internal node with a single child; an
+  // internal root drained of all children degenerates to an empty leaf.
+  while (true) {
+    Node root_node;
+    GRTDB_RETURN_IF_ERROR(ReadNode(root_, &root_node));
+    if (root_node.level == 0) break;
+    if (root_node.entries.empty()) {
+      root_node.level = 0;
+      GRTDB_RETURN_IF_ERROR(WriteNode(root_, root_node));
+      height_ = 1;
+      break;
+    }
+    if (root_node.entries.size() != 1) break;
+    const NodeId child = root_node.entries[0].payload;
+    GRTDB_RETURN_IF_ERROR(store_->FreeNode(root_));
+    root_ = child;
+    --height_;
+  }
+  return SaveAnchor();
+}
+
+Status RStarTree::DeleteRecursiveImpl(
+    NodeId node_id, const Rect& rect, uint64_t payload, bool* found,
+    bool* removed_node, std::vector<std::pair<Entry, uint32_t>>* orphans,
+    Rect* new_bound) {
+  Node node;
+  GRTDB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  *removed_node = false;
+  if (node.level == 0) {
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (node.entries[i].rect == rect && node.entries[i].payload == payload) {
+        node.entries.erase(node.entries.begin() + i);
+        *found = true;
+        break;
+      }
+    }
+    if (!*found) return Status::OK();
+    if (node_id != root_ && node.entries.size() < min_entries_) {
+      for (const Entry& entry : node.entries) {
+        orphans->emplace_back(entry, 0);
+      }
+      GRTDB_RETURN_IF_ERROR(store_->FreeNode(node_id));
+      *removed_node = true;
+      return Status::OK();
+    }
+    GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+    *new_bound = NodeBound(node);
+    return Status::OK();
+  }
+
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (!node.entries[i].rect.Contains(rect)) continue;
+    bool child_removed = false;
+    Rect child_bound;
+    GRTDB_RETURN_IF_ERROR(DeleteRecursiveImpl(node.entries[i].payload, rect,
+                                              payload, found, &child_removed,
+                                              orphans, &child_bound));
+    if (!*found) continue;
+    if (child_removed) {
+      node.entries.erase(node.entries.begin() + i);
+    } else {
+      node.entries[i].rect = child_bound;
+    }
+    if (node_id != root_ && node.entries.size() < min_entries_) {
+      for (const Entry& entry : node.entries) {
+        orphans->emplace_back(entry, node.level);
+      }
+      GRTDB_RETURN_IF_ERROR(store_->FreeNode(node_id));
+      *removed_node = true;
+      return Status::OK();
+    }
+    GRTDB_RETURN_IF_ERROR(WriteNode(node_id, node));
+    *new_bound = NodeBound(node);
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status RStarTree::Search(const Rect& query,
+                         const std::function<bool(const Entry&)>& fn) const {
+  bool keep_going = true;
+  return SearchRecursive(root_, query, fn, &keep_going);
+}
+
+Status RStarTree::SearchRecursive(NodeId node_id, const Rect& query,
+                                  const std::function<bool(const Entry&)>& fn,
+                                  bool* keep_going) const {
+  Node node;
+  GRTDB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  for (const Entry& entry : node.entries) {
+    if (!*keep_going) return Status::OK();
+    if (!entry.rect.Intersects(query)) continue;
+    if (node.level == 0) {
+      if (!fn(entry)) {
+        *keep_going = false;
+        return Status::OK();
+      }
+    } else {
+      GRTDB_RETURN_IF_ERROR(
+          SearchRecursive(entry.payload, query, fn, keep_going));
+    }
+  }
+  return Status::OK();
+}
+
+Status RStarTree::SearchAll(const Rect& query, std::vector<Entry>* out) const {
+  out->clear();
+  return Search(query, [out](const Entry& entry) {
+    out->push_back(entry);
+    return true;
+  });
+}
+
+StatusOr<double> RStarTree::EstimateScanCost(const Rect& query) const {
+  // Walk the internal levels, counting every node whose bound intersects
+  // the query; leaf visits are estimated from the last internal level.
+  double cost = 1.0;  // root
+  std::vector<NodeId> frontier = {root_};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    uint64_t overlapping_children = 0;
+    bool children_are_leaves = false;
+    for (NodeId id : frontier) {
+      Node node;
+      GRTDB_RETURN_IF_ERROR(ReadNode(id, &node));
+      if (node.level == 0) return cost;
+      children_are_leaves = node.level == 1;
+      for (const Entry& entry : node.entries) {
+        if (entry.rect.Intersects(query)) {
+          ++overlapping_children;
+          if (!children_are_leaves) next.push_back(entry.payload);
+        }
+      }
+    }
+    cost += static_cast<double>(overlapping_children);
+    if (children_are_leaves) break;
+    frontier = std::move(next);
+  }
+  return cost;
+}
+
+Status RStarTree::CheckConsistency() const {
+  uint64_t leaf_entries = 0;
+  GRTDB_RETURN_IF_ERROR(
+      CheckRecursive(root_, height_ - 1, nullptr, &leaf_entries));
+  if (leaf_entries != size_) {
+    return Status::Corruption("size mismatch: anchor says " +
+                              std::to_string(size_) + ", tree holds " +
+                              std::to_string(leaf_entries));
+  }
+  return Status::OK();
+}
+
+Status RStarTree::CheckRecursive(NodeId node_id, uint32_t expected_level,
+                                 const Rect* parent_bound,
+                                 uint64_t* leaf_entries) const {
+  Node node;
+  GRTDB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  if (node.level != expected_level) {
+    return Status::Corruption("node level mismatch");
+  }
+  if (node_id != root_ && node.entries.size() < min_entries_) {
+    return Status::Corruption("underfull node");
+  }
+  if (node.entries.size() > max_entries_) {
+    return Status::Corruption("overfull node");
+  }
+  if (parent_bound != nullptr) {
+    for (const Entry& entry : node.entries) {
+      if (!parent_bound->Contains(entry.rect)) {
+        return Status::Corruption("parent bound does not contain entry");
+      }
+    }
+  }
+  if (node.level == 0) {
+    *leaf_entries += node.entries.size();
+    return Status::OK();
+  }
+  for (const Entry& entry : node.entries) {
+    GRTDB_RETURN_IF_ERROR(CheckRecursive(entry.payload, node.level - 1,
+                                         &entry.rect, leaf_entries));
+  }
+  return Status::OK();
+}
+
+Status RStarTree::LevelStats(std::vector<RStarLevelStats>* out) const {
+  out->assign(height_, RStarLevelStats{});
+  for (uint32_t i = 0; i < height_; ++i) (*out)[i].level = i;
+  std::vector<NodeId> frontier = {root_};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId id : frontier) {
+      Node node;
+      GRTDB_RETURN_IF_ERROR(ReadNode(id, &node));
+      RStarLevelStats& stats = (*out)[node.level];
+      ++stats.nodes;
+      stats.entries += node.entries.size();
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        stats.total_area += node.entries[i].rect.Area();
+        for (size_t j = i + 1; j < node.entries.size(); ++j) {
+          stats.overlap_area +=
+              node.entries[i].rect.IntersectionArea(node.entries[j].rect);
+        }
+      }
+      if (node.level > 0) {
+        for (const Entry& entry : node.entries) {
+          next.push_back(entry.payload);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return Status::OK();
+}
+
+Status RStarTree::Drop() {
+  std::vector<NodeId> frontier = {root_};
+  while (!frontier.empty()) {
+    NodeId id = frontier.back();
+    frontier.pop_back();
+    Node node;
+    GRTDB_RETURN_IF_ERROR(ReadNode(id, &node));
+    if (node.level > 0) {
+      for (const Entry& entry : node.entries) {
+        frontier.push_back(entry.payload);
+      }
+    }
+    GRTDB_RETURN_IF_ERROR(store_->FreeNode(id));
+  }
+  GRTDB_RETURN_IF_ERROR(store_->FreeNode(anchor_));
+  root_ = kInvalidNodeId;
+  anchor_ = kInvalidNodeId;
+  size_ = 0;
+  height_ = 1;
+  return Status::OK();
+}
+
+Status RStarTree::BulkLoad(std::vector<Entry> entries) {
+  if (size_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  if (entries.empty()) return Status::OK();
+  const size_t fill = std::max<size_t>(
+      2, static_cast<size_t>(0.7 * static_cast<double>(max_entries_)));
+  size_ = entries.size();
+
+  // Sort-Tile-Recursive packing, one tree level at a time.
+  uint32_t level = 0;
+  std::vector<Entry> current = std::move(entries);
+  NodeId last_node = kInvalidNodeId;
+  while (true) {
+    const size_t node_count = (current.size() + fill - 1) / fill;
+    const size_t slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(node_count))));
+    const size_t slab_size = slabs * fill;
+    std::sort(current.begin(), current.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.rect.x1 + a.rect.x2 < b.rect.x1 + b.rect.x2;
+              });
+    std::vector<std::vector<Entry>> groups;
+    for (size_t s = 0; s * slab_size < current.size(); ++s) {
+      const size_t begin = s * slab_size;
+      const size_t end = std::min(current.size(), begin + slab_size);
+      std::sort(current.begin() + begin, current.begin() + end,
+                [](const Entry& a, const Entry& b) {
+                  return a.rect.y1 + a.rect.y2 < b.rect.y1 + b.rect.y2;
+                });
+      for (size_t i = begin; i < end; i += fill) {
+        groups.emplace_back(current.begin() + i,
+                            current.begin() + std::min(end, i + fill));
+      }
+    }
+    // Rebalance STR remainders so no non-root node is underfull.
+    for (size_t i = 0; groups.size() > 1 && i < groups.size();) {
+      if (groups[i].size() >= min_entries_) {
+        ++i;
+        continue;
+      }
+      const size_t neighbor = i > 0 ? i - 1 : i + 1;
+      std::vector<Entry> merged = std::move(groups[std::min(i, neighbor)]);
+      std::vector<Entry>& other = groups[std::max(i, neighbor)];
+      merged.insert(merged.end(), other.begin(), other.end());
+      groups.erase(groups.begin() + std::max(i, neighbor));
+      if (merged.size() <= max_entries_) {
+        groups[std::min(i, neighbor)] = std::move(merged);
+      } else {
+        const size_t half = merged.size() / 2;
+        groups[std::min(i, neighbor)].assign(merged.begin(),
+                                             merged.begin() + half);
+        groups.insert(
+            groups.begin() + std::min(i, neighbor) + 1,
+            std::vector<Entry>(merged.begin() + half, merged.end()));
+      }
+      i = std::min(i, neighbor);
+    }
+    std::vector<Entry> next_level;
+    for (std::vector<Entry>& group : groups) {
+      Node node;
+      node.level = level;
+      node.entries = std::move(group);
+      NodeId id;
+      GRTDB_RETURN_IF_ERROR(store_->AllocateNode(&id));
+      GRTDB_RETURN_IF_ERROR(WriteNode(id, node));
+      next_level.push_back(Entry{NodeBound(node), id});
+      last_node = id;
+    }
+    if (next_level.size() == 1) {
+      GRTDB_RETURN_IF_ERROR(store_->FreeNode(root_));
+      root_ = last_node;
+      height_ = level + 1;
+      return SaveAnchor();
+    }
+    current = std::move(next_level);
+    ++level;
+  }
+}
+
+}  // namespace grtdb

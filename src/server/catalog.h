@@ -1,0 +1,88 @@
+#ifndef GRTDB_SERVER_CATALOG_H_
+#define GRTDB_SERVER_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/table.h"
+#include "server/vii.h"
+
+namespace grtdb {
+
+// SYSAMS row: a secondary access method created with CREATE SECONDARY
+// ACCESS_METHOD — purpose-function names as registered plus the resolved
+// hook table.
+struct AccessMethodDef {
+  std::string name;
+  char sptype = 'S';  // 'S': index lives in an sbspace (paper §4 Step 3)
+  // am_create -> grt_create, ... (the names used in purpose-call logs).
+  std::map<std::string, std::string> purpose_names;
+  PurposeFunctions hooks;
+  std::string default_opclass;
+};
+
+// A row of SYSOPCLASSES.
+struct OpClassDef {
+  std::string name;
+  std::string access_method;
+  std::vector<std::string> strategies;
+  std::vector<std::string> supports;
+};
+
+// A row of SYSINDICES (+ SYSFRAGMENTS): one virtual index instance.
+struct IndexDef {
+  std::string name;
+  std::string table;
+  std::string access_method;
+  std::string space;  // sbspace name from CREATE INDEX ... IN <space>
+  std::vector<std::string> columns;
+  std::vector<std::string> opclasses;  // parallel to columns
+  std::vector<int> key_columns;        // resolved column numbers
+  std::vector<TypeDesc> key_types;
+};
+
+// The system catalog: tables plus the SYSAMS / SYSOPCLASSES / SYSINDICES
+// registries the CREATE statements populate.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status AddTable(std::unique_ptr<Table> table);
+  Table* FindTable(const std::string& name);
+  Status DropTable(const std::string& name);
+  std::vector<const Table*> AllTables() const;
+
+  Status AddAccessMethod(AccessMethodDef am);
+  AccessMethodDef* FindAccessMethod(const std::string& name);
+  Status DropAccessMethod(const std::string& name);
+  std::vector<const AccessMethodDef*> AllAccessMethods() const;
+
+  Status AddOpClass(OpClassDef opclass);
+  const OpClassDef* FindOpClass(const std::string& name) const;
+  Status DropOpClass(const std::string& name);
+  std::vector<const OpClassDef*> OpClassesOfAccessMethod(
+      const std::string& am) const;
+  std::vector<const OpClassDef*> AllOpClasses() const;
+
+  Status AddIndex(IndexDef index);
+  IndexDef* FindIndex(const std::string& name);
+  Status DropIndex(const std::string& name);
+  std::vector<IndexDef*> IndexesOnTable(const std::string& table);
+  std::vector<const IndexDef*> AllIndexes() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;     // lower-case key
+  std::map<std::string, AccessMethodDef> access_methods_;    // lower-case key
+  std::map<std::string, OpClassDef> opclasses_;              // lower-case key
+  std::map<std::string, IndexDef> indices_;                  // lower-case key
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_CATALOG_H_

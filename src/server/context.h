@@ -1,0 +1,27 @@
+#ifndef GRTDB_SERVER_CONTEXT_H_
+#define GRTDB_SERVER_CONTEXT_H_
+
+#include <cstdint>
+
+namespace grtdb {
+
+class Server;
+class ServerSession;
+
+// Execution context handed to every UDR and purpose-function invocation —
+// the stand-in for the implicit MI_CONNECTION of the DataBlade API. Through
+// `server` the blade reaches the DataBlade services it is allowed to use
+// (duration memory, named memory, trace, sbspaces, the AM catalog table,
+// transaction-end callbacks).
+struct MiCallContext {
+  Server* server = nullptr;
+  ServerSession* session = nullptr;
+  // The server clock value when the current statement started. Whether a
+  // DataBlade uses this per-statement value or a per-transaction value it
+  // stashed in named memory is the §5.4 design decision.
+  int64_t statement_time = 0;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_CONTEXT_H_

@@ -1,0 +1,929 @@
+#include <algorithm>
+
+#include "common/date.h"
+#include "common/strings.h"
+#include "server/server.h"
+
+namespace grtdb {
+
+namespace {
+
+ResourceId TableResource(const std::string& name) {
+  return ResourceId{ResourceKind::kTable,
+                    std::hash<std::string>{}(ToLower(name))};
+}
+
+// Collects the top-level AND conjuncts of a WHERE tree.
+void FlattenConjuncts(const sql::Expr* expr,
+                      std::vector<const sql::Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == sql::Expr::Kind::kAnd) {
+    for (const auto& child : expr->children) {
+      FlattenConjuncts(child.get(), out);
+    }
+    return;
+  }
+  out->push_back(expr);
+}
+
+}  // namespace
+
+Status Server::CoerceLiteral(const sql::Literal& literal,
+                             const TypeDesc& type, Value* out) const {
+  switch (type.base) {
+    case TypeDesc::Base::kInteger:
+      if (literal.kind == sql::Literal::Kind::kInteger) {
+        *out = Value::Integer(literal.integer);
+        return Status::OK();
+      }
+      break;
+    case TypeDesc::Base::kFloat:
+      if (literal.kind == sql::Literal::Kind::kFloat) {
+        *out = Value::Float(literal.real);
+        return Status::OK();
+      }
+      if (literal.kind == sql::Literal::Kind::kInteger) {
+        *out = Value::Float(static_cast<double>(literal.integer));
+        return Status::OK();
+      }
+      break;
+    case TypeDesc::Base::kText:
+      if (literal.kind == sql::Literal::Kind::kString) {
+        *out = Value::Text(literal.text);
+        return Status::OK();
+      }
+      break;
+    case TypeDesc::Base::kDate:
+      if (literal.kind == sql::Literal::Kind::kString) {
+        int64_t day = 0;
+        GRTDB_RETURN_IF_ERROR(ParseDate(literal.text, &day));
+        *out = Value::Date(day);
+        return Status::OK();
+      }
+      if (literal.kind == sql::Literal::Kind::kInteger) {
+        *out = Value::Date(literal.integer);
+        return Status::OK();
+      }
+      break;
+    case TypeDesc::Base::kBoolean:
+      if (literal.kind == sql::Literal::Kind::kString) {
+        if (EqualsIgnoreCase(literal.text, "t") ||
+            EqualsIgnoreCase(literal.text, "true")) {
+          *out = Value::Boolean(true);
+          return Status::OK();
+        }
+        if (EqualsIgnoreCase(literal.text, "f") ||
+            EqualsIgnoreCase(literal.text, "false")) {
+          *out = Value::Boolean(false);
+          return Status::OK();
+        }
+      }
+      break;
+    case TypeDesc::Base::kPointer:
+      break;
+    case TypeDesc::Base::kOpaque: {
+      // Opaque values enter SQL as quoted text; the type's input support
+      // function parses them (paper §6.3).
+      if (literal.kind == sql::Literal::Kind::kString) {
+        const OpaqueType* opaque = types_.FindOpaque(type.opaque_id);
+        if (opaque == nullptr) {
+          return Status::Corruption("unregistered opaque type id");
+        }
+        std::vector<uint8_t> bytes;
+        GRTDB_RETURN_IF_ERROR(opaque->input(literal.text, &bytes));
+        *out = Value::Opaque(type.opaque_id, std::move(bytes));
+        return Status::OK();
+      }
+      break;
+    }
+  }
+  if (literal.kind == sql::Literal::Kind::kNull) {
+    *out = Value::Null();
+    return Status::OK();
+  }
+  return Status::InvalidArgument("cannot coerce literal to " +
+                                 types_.NameOf(type));
+}
+
+Status Server::EvaluateExpr(MiCallContext& ctx, const sql::Expr& expr,
+                            const Table& table, const Row& row, Value* out) {
+  switch (expr.kind) {
+    case sql::Expr::Kind::kLiteral:
+      switch (expr.literal.kind) {
+        case sql::Literal::Kind::kNull:
+          *out = Value::Null();
+          return Status::OK();
+        case sql::Literal::Kind::kInteger:
+          *out = Value::Integer(expr.literal.integer);
+          return Status::OK();
+        case sql::Literal::Kind::kFloat:
+          *out = Value::Float(expr.literal.real);
+          return Status::OK();
+        case sql::Literal::Kind::kString:
+          *out = Value::Text(expr.literal.text);
+          return Status::OK();
+      }
+      return Status::Internal("bad literal");
+    case sql::Expr::Kind::kColumn: {
+      const int index = table.ColumnIndex(expr.column);
+      if (index < 0) {
+        return Status::NotFound("column '" + expr.column + "'");
+      }
+      *out = row[static_cast<size_t>(index)];
+      return Status::OK();
+    }
+    case sql::Expr::Kind::kCall: {
+      std::vector<Value> args;
+      args.reserve(expr.children.size());
+      for (const auto& child : expr.children) {
+        Value value;
+        GRTDB_RETURN_IF_ERROR(EvaluateExpr(ctx, *child, table, row, &value));
+        args.push_back(std::move(value));
+      }
+      // Coerce text literals toward the type of a non-text sibling (dates
+      // and opaque values are written as strings in SQL).
+      TypeDesc target;
+      bool has_target = false;
+      for (const Value& value : args) {
+        if (!value.is_null() && value.base() != TypeDesc::Base::kText) {
+          target = value.type();
+          has_target = true;
+          break;
+        }
+      }
+      if (has_target) {
+        for (Value& value : args) {
+          if (!value.is_null() && value.base() == TypeDesc::Base::kText &&
+              !(target == value.type())) {
+            sql::Literal literal;
+            literal.kind = sql::Literal::Kind::kString;
+            literal.text = value.text();
+            Value coerced;
+            if (CoerceLiteral(literal, target, &coerced).ok()) {
+              value = std::move(coerced);
+            }
+          }
+        }
+      }
+      std::vector<TypeDesc> arg_types;
+      arg_types.reserve(args.size());
+      for (const Value& value : args) arg_types.push_back(value.type());
+      const UdrDef* udr = udrs_.Find(expr.func, arg_types);
+      if (udr == nullptr || !udr->fn) {
+        return Status::NotFound("no function '" + expr.func +
+                                "' matching the argument types");
+      }
+      StatusOr<Value> result = udr->fn(ctx, args);
+      if (!result.ok()) return result.status();
+      *out = std::move(result).value();
+      return Status::OK();
+    }
+    case sql::Expr::Kind::kNot: {
+      Value value;
+      GRTDB_RETURN_IF_ERROR(
+          EvaluateExpr(ctx, *expr.children[0], table, row, &value));
+      if (value.base() != TypeDesc::Base::kBoolean) {
+        return Status::InvalidArgument("NOT requires a boolean");
+      }
+      *out = Value::Boolean(!value.boolean());
+      return Status::OK();
+    }
+    case sql::Expr::Kind::kAnd:
+    case sql::Expr::Kind::kOr: {
+      const bool is_and = expr.kind == sql::Expr::Kind::kAnd;
+      for (const auto& child : expr.children) {
+        Value value;
+        GRTDB_RETURN_IF_ERROR(
+            EvaluateExpr(ctx, *child, table, row, &value));
+        if (value.base() != TypeDesc::Base::kBoolean) {
+          return Status::InvalidArgument("AND/OR requires booleans");
+        }
+        if (is_and && !value.boolean()) {
+          *out = Value::Boolean(false);
+          return Status::OK();
+        }
+        if (!is_and && value.boolean()) {
+          *out = Value::Boolean(true);
+          return Status::OK();
+        }
+      }
+      *out = Value::Boolean(is_and);
+      return Status::OK();
+    }
+    case sql::Expr::Kind::kCompare: {
+      Value left;
+      Value right;
+      GRTDB_RETURN_IF_ERROR(
+          EvaluateExpr(ctx, *expr.children[0], table, row, &left));
+      GRTDB_RETURN_IF_ERROR(
+          EvaluateExpr(ctx, *expr.children[1], table, row, &right));
+      // Text vs typed-value coercion (dates written as strings).
+      auto coerce_side = [&](Value& text_side, const Value& typed_side) {
+        if (!text_side.is_null() && !typed_side.is_null() &&
+            text_side.base() == TypeDesc::Base::kText &&
+            typed_side.base() != TypeDesc::Base::kText) {
+          sql::Literal literal;
+          literal.kind = sql::Literal::Kind::kString;
+          literal.text = text_side.text();
+          Value coerced;
+          if (CoerceLiteral(literal, typed_side.type(), &coerced).ok()) {
+            text_side = std::move(coerced);
+          }
+        }
+      };
+      coerce_side(left, right);
+      coerce_side(right, left);
+      if (left.is_null() || right.is_null()) {
+        *out = Value::Boolean(false);
+        return Status::OK();
+      }
+      if (expr.cmp == sql::Expr::CmpOp::kEq ||
+          expr.cmp == sql::Expr::CmpOp::kNe) {
+        // Equality falls back to deep equality for non-orderable types.
+        int cmp = 0;
+        bool equal;
+        if (left.Compare(right, &cmp).ok()) {
+          equal = cmp == 0;
+        } else {
+          equal = left.Equals(right);
+        }
+        *out = Value::Boolean(expr.cmp == sql::Expr::CmpOp::kEq ? equal
+                                                                : !equal);
+        return Status::OK();
+      }
+      int cmp = 0;
+      GRTDB_RETURN_IF_ERROR(left.Compare(right, &cmp));
+      bool result = false;
+      switch (expr.cmp) {
+        case sql::Expr::CmpOp::kLt:
+          result = cmp < 0;
+          break;
+        case sql::Expr::CmpOp::kLe:
+          result = cmp <= 0;
+          break;
+        case sql::Expr::CmpOp::kGt:
+          result = cmp > 0;
+          break;
+        case sql::Expr::CmpOp::kGe:
+          result = cmp >= 0;
+          break;
+        default:
+          break;
+      }
+      *out = Value::Boolean(result);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad expression");
+}
+
+Status Server::PlanQuery(ServerSession* session, Table* table,
+                         const sql::Expr* where, Plan* plan) {
+  plan->use_index = false;
+  plan->seq_cost = static_cast<double>(table->row_count());
+  if (where == nullptr) return Status::OK();
+
+  std::vector<const sql::Expr*> conjuncts;
+  FlattenConjuncts(where, &conjuncts);
+
+  double best_cost = 0.0;
+  for (IndexDef* index : catalog_.IndexesOnTable(table->name())) {
+    const OpClassDef* opclass = catalog_.FindOpClass(index->opclasses[0]);
+    if (opclass == nullptr) continue;
+    const std::string& key_column = index->columns[0];
+    const TypeDesc& key_type = index->key_types[0];
+
+    auto is_strategy = [&](const std::string& name) {
+      for (const std::string& strategy : opclass->strategies) {
+        if (EqualsIgnoreCase(strategy, name)) return true;
+      }
+      return false;
+    };
+
+    MiAmQualDesc qual;
+    std::vector<MiAmQualDesc> terms;
+    std::vector<const sql::Expr*> residual;
+    for (const sql::Expr* conjunct : conjuncts) {
+      bool matched = false;
+      // NOT f(...) qualifies when f declares a NEGATOR that is itself a
+      // strategy function (§5.2: that and COMMUTATOR are the only
+      // associations Informix lets a function declare).
+      const sql::Expr* call = conjunct;
+      bool negated = false;
+      if (call->kind == sql::Expr::Kind::kNot &&
+          call->children.size() == 1 &&
+          call->children[0]->kind == sql::Expr::Kind::kCall) {
+        call = call->children[0].get();
+        negated = true;
+      }
+      if (call->kind == sql::Expr::Kind::kCall) {
+        // Qualification shapes (§5.1): f(col, const), f(const, col), f(col).
+        QualTerm term;
+        bool shape_ok = false;
+        if (call->children.size() == 2) {
+          const sql::Expr* first = call->children[0].get();
+          const sql::Expr* second = call->children[1].get();
+          const sql::Expr* column_expr = nullptr;
+          const sql::Expr* literal_expr = nullptr;
+          if (first->kind == sql::Expr::Kind::kColumn &&
+              second->kind == sql::Expr::Kind::kLiteral) {
+            column_expr = first;
+            literal_expr = second;
+            term.column_first = true;
+          } else if (first->kind == sql::Expr::Kind::kLiteral &&
+                     second->kind == sql::Expr::Kind::kColumn) {
+            column_expr = second;
+            literal_expr = first;
+            term.column_first = false;
+          }
+          if (column_expr != nullptr &&
+              EqualsIgnoreCase(column_expr->column, key_column)) {
+            Value constant;
+            if (CoerceLiteral(literal_expr->literal, key_type, &constant)
+                    .ok()) {
+              term.constant = std::move(constant);
+              shape_ok = true;
+            }
+          }
+        } else if (call->children.size() == 1 &&
+                   call->children[0]->kind == sql::Expr::Kind::kColumn &&
+                   EqualsIgnoreCase(call->children[0]->column, key_column)) {
+          term.unary = true;
+          shape_ok = true;
+        }
+        if (shape_ok) {
+          const TypeDesc pair_types[2] = {key_type, key_type};
+          const TypeDesc single_type[1] = {key_type};
+          auto find_udr = [&](const std::string& name) {
+            return term.unary
+                       ? udrs_.Find(name,
+                                    std::span<const TypeDesc>(single_type, 1))
+                       : udrs_.Find(name,
+                                    std::span<const TypeDesc>(pair_types, 2));
+          };
+          const UdrDef* udr = find_udr(call->func);
+          const UdrDef* effective = nullptr;
+          bool column_first = term.column_first;
+          if (udr != nullptr) {
+            if (negated) {
+              if (!udr->negator.empty() && is_strategy(udr->negator)) {
+                effective = find_udr(udr->negator);
+              }
+            } else if (is_strategy(udr->name)) {
+              effective = udr;
+            } else if (!term.unary && !term.column_first &&
+                       !udr->commutator.empty() &&
+                       is_strategy(udr->commutator)) {
+              // f(const, col) with a commutator that is a strategy:
+              // rewrite to commutator(col, const).
+              effective = find_udr(udr->commutator);
+              column_first = true;
+            }
+          }
+          if (effective != nullptr) {
+            term.func = effective;
+            term.column_first = column_first;
+            MiAmQualDesc term_desc;
+            term_desc.op = MiAmQualDesc::Op::kTerm;
+            term_desc.term = std::move(term);
+            terms.push_back(std::move(term_desc));
+            matched = true;
+          }
+        }
+      }
+      if (!matched) residual.push_back(conjunct);
+    }
+    if (terms.empty()) continue;
+    if (terms.size() == 1) {
+      qual = std::move(terms[0]);
+    } else {
+      qual.op = MiAmQualDesc::Op::kAnd;
+      qual.children = std::move(terms);
+    }
+
+    // Cost the candidate with am_scancost when the AM provides it.
+    double cost = plan->seq_cost * 0.5;
+    AccessMethodDef* am = catalog_.FindAccessMethod(index->access_method);
+    if (am != nullptr && am->hooks.am_scancost) {
+      MiCallContext ctx{this, session, current_time_};
+      std::unique_ptr<OpenIndex> open;
+      Status status = OpenIndexDesc(session, index, false, ctx, &open);
+      if (status.ok()) {
+        session->LogPurposeCall(am->purpose_names.count("am_scancost") != 0
+                                    ? am->purpose_names.at("am_scancost")
+                                    : "am_scancost");
+        status = am->hooks.am_scancost(ctx, &open->desc, &qual, &cost);
+        Status close = CloseIndexDesc(ctx, open.get());
+        if (status.ok()) status = close;
+      }
+      if (!status.ok()) return status;
+    }
+    if (!plan->use_index || cost < best_cost) {
+      plan->use_index = true;
+      plan->index = index;
+      plan->qual = std::move(qual);
+      plan->residual = std::move(residual);
+      plan->index_cost = cost;
+      best_cost = cost;
+    }
+  }
+  if (plan->use_index && plan->index_cost >= plan->seq_cost &&
+      plan->seq_cost > 0) {
+    // The optimizer prefers the sequential scan when it is cheaper.
+    plan->use_index = false;
+  }
+  if (!plan->use_index) {
+    plan->residual.clear();
+  }
+  return Status::OK();
+}
+
+Status Server::ExecInsert(ServerSession* session, const sql::InsertStmt& stmt,
+                          ResultSet* out) {
+  Table* table = catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "'");
+  }
+  if (stmt.values.size() != table->columns().size()) {
+    return Status::InvalidArgument("INSERT arity mismatch");
+  }
+  Row row;
+  row.reserve(stmt.values.size());
+  for (size_t i = 0; i < stmt.values.size(); ++i) {
+    Value value;
+    GRTDB_RETURN_IF_ERROR(
+        CoerceLiteral(stmt.values[i], table->columns()[i].type, &value));
+    row.push_back(std::move(value));
+  }
+  return InsertRow(session, table, stmt.table, std::move(row), out);
+}
+
+Status Server::InsertRow(ServerSession* session, Table* table,
+                         const std::string& table_name, Row row,
+                         ResultSet* out) {
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  const TxnId txn = session->txn_session().current_txn()->id();
+  MiCallContext ctx{this, session, current_time_};
+
+  Status status =
+      lock_manager_.Acquire(txn, TableResource(table_name),
+                            LockMode::kExclusive);
+  RecordId id;
+  if (status.ok()) status = table->Insert(std::move(row), &id);
+  if (status.ok()) {
+    // Fig. 6(a): am_open -> am_insert -> am_close for each virtual index.
+    for (IndexDef* index : catalog_.IndexesOnTable(table_name)) {
+      std::unique_ptr<OpenIndex> open;
+      status = OpenIndexDesc(session, index, false, ctx, &open);
+      if (!status.ok()) break;
+      if (open->am->hooks.am_insert) {
+        Row base_row;
+        status = table->Get(id, &base_row);
+        if (status.ok()) {
+          Row key_row = KeyRowFor(open->desc, base_row);
+          session->LogPurposeCall(
+              open->am->purpose_names.count("am_insert") != 0
+                  ? open->am->purpose_names.at("am_insert")
+                  : "am_insert");
+          status =
+              open->am->hooks.am_insert(ctx, &open->desc, key_row, id.Pack());
+        }
+      }
+      Status close = CloseIndexDesc(ctx, open.get());
+      if (status.ok()) status = close;
+      if (!status.ok()) break;
+    }
+  }
+  if (status.ok()) out->affected += 1;
+
+  if (implicit) {
+    Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
+                             : txn_manager_.Rollback(&session->txn_session());
+    memory_.EndDuration(MiDuration::kPerTransaction);
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+Status Server::ExecSelect(ServerSession* session, const sql::SelectStmt& stmt,
+                          ResultSet* out) {
+  Table* table = catalog_.FindTable(stmt.table);
+  std::unique_ptr<Table> system_table;
+  if (table == nullptr) {
+    // System catalog tables materialize on demand and are read-only.
+    system_table = BuildSystemTable(stmt.table);
+    table = system_table.get();
+  }
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "'");
+  }
+  // Resolve the projection.
+  std::vector<int> projection;
+  if (stmt.star) {
+    for (size_t i = 0; i < table->columns().size(); ++i) {
+      projection.push_back(static_cast<int>(i));
+      out->columns.push_back(table->columns()[i].name);
+    }
+  } else if (!stmt.count_star) {
+    for (const std::string& column : stmt.columns) {
+      const int index = table->ColumnIndex(column);
+      if (index < 0) {
+        return Status::NotFound("column '" + column + "'");
+      }
+      projection.push_back(index);
+      out->columns.push_back(table->columns()[static_cast<size_t>(index)].name);
+    }
+  } else {
+    out->columns.push_back("count");
+  }
+
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  const TxnId txn = session->txn_session().current_txn()->id();
+  MiCallContext ctx{this, session, current_time_};
+
+  Status status = lock_manager_.Acquire(txn, TableResource(stmt.table),
+                                        LockMode::kShared);
+  uint64_t count = 0;
+  auto emit = [&](const Row& row) -> Status {
+    ++count;
+    if (stmt.count_star) return Status::OK();
+    std::vector<std::string> rendered;
+    rendered.reserve(projection.size());
+    for (int column : projection) {
+      rendered.push_back(RenderValue(row[static_cast<size_t>(column)]));
+    }
+    out->rows.push_back(std::move(rendered));
+    return Status::OK();
+  };
+
+  Plan plan;
+  if (status.ok()) status = PlanQuery(session, table, stmt.where.get(), &plan);
+  if (status.ok() && session->explain()) {
+    if (plan.use_index) {
+      out->messages.push_back(
+          "PLAN: index scan on " + plan.index->name + " using " +
+          plan.index->access_method + ", qual: " +
+          plan.qual.ToString(plan.index->columns[0],
+                             [this](const Value& v) {
+                               return RenderValue(v);
+                             }) +
+          ", cost " + std::to_string(plan.index_cost) + " (seq " +
+          std::to_string(plan.seq_cost) + ")");
+    } else {
+      out->messages.push_back("PLAN: sequential scan");
+    }
+  }
+
+  if (status.ok() && plan.use_index) {
+    // Fig. 6(b): am_open -> am_beginscan -> am_getnext* -> am_endscan ->
+    // am_close.
+    std::unique_ptr<OpenIndex> open;
+    status = OpenIndexDesc(session, plan.index, false, ctx, &open);
+    if (status.ok()) {
+      MiAmScanDesc scan;
+      scan.table_desc = &open->desc;
+      scan.qual = &plan.qual;
+      if (open->am->hooks.am_beginscan) {
+        session->LogPurposeCall(
+            open->am->purpose_names.count("am_beginscan") != 0
+                ? open->am->purpose_names.at("am_beginscan")
+                : "am_beginscan");
+        status = open->am->hooks.am_beginscan(ctx, &scan);
+      }
+      while (status.ok()) {
+        bool has = false;
+        uint64_t retrowid = 0;
+        Row retrow;
+        session->LogPurposeCall(
+            open->am->purpose_names.count("am_getnext") != 0
+                ? open->am->purpose_names.at("am_getnext")
+                : "am_getnext");
+        status = open->am->hooks.am_getnext(ctx, &scan, &has, &retrowid,
+                                            &retrow);
+        if (!status.ok() || !has) break;
+        Row base_row;
+        status = table->Get(RecordId::Unpack(retrowid), &base_row);
+        if (!status.ok()) break;
+        bool matches = true;
+        for (const sql::Expr* residual : plan.residual) {
+          Value value;
+          status = EvaluateExpr(ctx, *residual, *table, base_row, &value);
+          if (!status.ok()) break;
+          if (value.base() != TypeDesc::Base::kBoolean || !value.boolean()) {
+            matches = false;
+            break;
+          }
+        }
+        if (!status.ok()) break;
+        if (matches) {
+          status = emit(base_row);
+          if (!status.ok()) break;
+        }
+      }
+      if (open->am->hooks.am_endscan) {
+        session->LogPurposeCall(
+            open->am->purpose_names.count("am_endscan") != 0
+                ? open->am->purpose_names.at("am_endscan")
+                : "am_endscan");
+        Status end = open->am->hooks.am_endscan(ctx, &scan);
+        if (status.ok()) status = end;
+      }
+      Status close = CloseIndexDesc(ctx, open.get());
+      if (status.ok()) status = close;
+    }
+  } else if (status.ok()) {
+    Status scan_status = table->Scan([&](RecordId, const Row& row) {
+      if (stmt.where != nullptr) {
+        Value value;
+        Status eval = EvaluateExpr(ctx, *stmt.where, *table, row, &value);
+        if (!eval.ok()) {
+          status = eval;
+          return false;
+        }
+        if (value.base() != TypeDesc::Base::kBoolean || !value.boolean()) {
+          return true;
+        }
+      }
+      Status emit_status = emit(row);
+      if (!emit_status.ok()) {
+        status = emit_status;
+        return false;
+      }
+      return true;
+    });
+    if (status.ok()) status = scan_status;
+  }
+
+  if (status.ok() && stmt.count_star) {
+    out->rows.push_back({std::to_string(count)});
+  }
+  if (status.ok()) out->affected = count;
+
+  if (implicit) {
+    Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
+                             : txn_manager_.Rollback(&session->txn_session());
+    memory_.EndDuration(MiDuration::kPerTransaction);
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+Status Server::ExecDelete(ServerSession* session, const sql::DeleteStmt& stmt,
+                          ResultSet* out) {
+  Table* table = catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "'");
+  }
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  const TxnId txn = session->txn_session().current_txn()->id();
+  MiCallContext ctx{this, session, current_time_};
+
+  Status status = lock_manager_.Acquire(txn, TableResource(stmt.table),
+                                        LockMode::kExclusive);
+
+  // Open every index on the table once for the statement.
+  std::vector<std::unique_ptr<OpenIndex>> opens;
+  if (status.ok()) {
+    for (IndexDef* index : catalog_.IndexesOnTable(stmt.table)) {
+      std::unique_ptr<OpenIndex> open;
+      status = OpenIndexDesc(session, index, false, ctx, &open);
+      if (!status.ok()) break;
+      opens.push_back(std::move(open));
+    }
+  }
+
+  auto delete_row = [&](RecordId id, const Row& row) -> Status {
+    GRTDB_RETURN_IF_ERROR(table->Delete(id));
+    for (auto& open : opens) {
+      if (!open->am->hooks.am_delete) continue;
+      Row key_row = KeyRowFor(open->desc, row);
+      session->LogPurposeCall(
+          open->am->purpose_names.count("am_delete") != 0
+              ? open->am->purpose_names.at("am_delete")
+              : "am_delete");
+      GRTDB_RETURN_IF_ERROR(
+          open->am->hooks.am_delete(ctx, &open->desc, key_row, id.Pack()));
+    }
+    ++out->affected;
+    return Status::OK();
+  };
+
+  Plan plan;
+  if (status.ok()) status = PlanQuery(session, table, stmt.where.get(), &plan);
+  if (status.ok() && session->explain()) {
+    out->messages.push_back(plan.use_index
+                                ? "PLAN: index scan on " + plan.index->name
+                                : "PLAN: sequential scan");
+  }
+
+  if (status.ok() && plan.use_index) {
+    // §5.5: retrieve qualifying entries with am_getnext, delete one by one.
+    OpenIndex* scan_open = nullptr;
+    for (auto& open : opens) {
+      if (open->index == plan.index) scan_open = open.get();
+    }
+    if (scan_open == nullptr) {
+      status = Status::Internal("scan index not opened");
+    } else {
+      MiAmScanDesc scan;
+      scan.table_desc = &scan_open->desc;
+      scan.qual = &plan.qual;
+      if (scan_open->am->hooks.am_beginscan) {
+        session->LogPurposeCall(
+            scan_open->am->purpose_names.count("am_beginscan") != 0
+                ? scan_open->am->purpose_names.at("am_beginscan")
+                : "am_beginscan");
+        status = scan_open->am->hooks.am_beginscan(ctx, &scan);
+      }
+      while (status.ok()) {
+        bool has = false;
+        uint64_t retrowid = 0;
+        Row retrow;
+        session->LogPurposeCall(
+            scan_open->am->purpose_names.count("am_getnext") != 0
+                ? scan_open->am->purpose_names.at("am_getnext")
+                : "am_getnext");
+        status = scan_open->am->hooks.am_getnext(ctx, &scan, &has, &retrowid,
+                                                 &retrow);
+        if (!status.ok() || !has) break;
+        const RecordId id = RecordId::Unpack(retrowid);
+        Row base_row;
+        status = table->Get(id, &base_row);
+        if (!status.ok()) break;
+        bool matches = true;
+        for (const sql::Expr* residual : plan.residual) {
+          Value value;
+          status = EvaluateExpr(ctx, *residual, *table, base_row, &value);
+          if (!status.ok()) break;
+          if (value.base() != TypeDesc::Base::kBoolean || !value.boolean()) {
+            matches = false;
+            break;
+          }
+        }
+        if (!status.ok()) break;
+        if (matches) {
+          status = delete_row(id, base_row);
+          if (!status.ok()) break;
+        }
+      }
+      if (scan_open->am->hooks.am_endscan) {
+        session->LogPurposeCall(
+            scan_open->am->purpose_names.count("am_endscan") != 0
+                ? scan_open->am->purpose_names.at("am_endscan")
+                : "am_endscan");
+        Status end = scan_open->am->hooks.am_endscan(ctx, &scan);
+        if (status.ok()) status = end;
+      }
+    }
+  } else if (status.ok()) {
+    // Sequential scan: collect matches first, then delete.
+    std::vector<std::pair<RecordId, Row>> matches;
+    Status scan_status = table->Scan([&](RecordId id, const Row& row) {
+      if (stmt.where != nullptr) {
+        Value value;
+        Status eval = EvaluateExpr(ctx, *stmt.where, *table, row, &value);
+        if (!eval.ok()) {
+          status = eval;
+          return false;
+        }
+        if (value.base() != TypeDesc::Base::kBoolean || !value.boolean()) {
+          return true;
+        }
+      }
+      matches.emplace_back(id, row);
+      return true;
+    });
+    if (status.ok()) status = scan_status;
+    if (status.ok()) {
+      for (auto& [id, row] : matches) {
+        status = delete_row(id, row);
+        if (!status.ok()) break;
+      }
+    }
+  }
+
+  for (auto& open : opens) {
+    Status close = CloseIndexDesc(ctx, open.get());
+    if (status.ok()) status = close;
+  }
+
+  if (implicit) {
+    Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
+                             : txn_manager_.Rollback(&session->txn_session());
+    memory_.EndDuration(MiDuration::kPerTransaction);
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+Status Server::ExecUpdate(ServerSession* session, const sql::UpdateStmt& stmt,
+                          ResultSet* out) {
+  Table* table = catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "'");
+  }
+  // Resolve the assignments.
+  std::vector<std::pair<int, Value>> assignments;
+  for (const auto& [column, literal] : stmt.assignments) {
+    const int index = table->ColumnIndex(column);
+    if (index < 0) {
+      return Status::NotFound("column '" + column + "'");
+    }
+    Value value;
+    GRTDB_RETURN_IF_ERROR(CoerceLiteral(
+        literal, table->columns()[static_cast<size_t>(index)].type, &value));
+    assignments.emplace_back(index, std::move(value));
+  }
+
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  const TxnId txn = session->txn_session().current_txn()->id();
+  MiCallContext ctx{this, session, current_time_};
+
+  Status status = lock_manager_.Acquire(txn, TableResource(stmt.table),
+                                        LockMode::kExclusive);
+
+  // Collect matching rows with a sequential scan (updates via index scans
+  // would self-invalidate when the new key re-qualifies; Informix also
+  // collects first for "Halloween" protection).
+  std::vector<std::pair<RecordId, Row>> matches;
+  if (status.ok()) {
+    Status scan_status = table->Scan([&](RecordId id, const Row& row) {
+      if (stmt.where != nullptr) {
+        Value value;
+        Status eval = EvaluateExpr(ctx, *stmt.where, *table, row, &value);
+        if (!eval.ok()) {
+          status = eval;
+          return false;
+        }
+        if (value.base() != TypeDesc::Base::kBoolean || !value.boolean()) {
+          return true;
+        }
+      }
+      matches.emplace_back(id, row);
+      return true;
+    });
+    if (status.ok()) status = scan_status;
+  }
+
+  std::vector<std::unique_ptr<OpenIndex>> opens;
+  if (status.ok()) {
+    for (IndexDef* index : catalog_.IndexesOnTable(stmt.table)) {
+      std::unique_ptr<OpenIndex> open;
+      status = OpenIndexDesc(session, index, false, ctx, &open);
+      if (!status.ok()) break;
+      opens.push_back(std::move(open));
+    }
+  }
+
+  if (status.ok()) {
+    for (auto& [id, old_row] : matches) {
+      Row new_row = old_row;
+      for (auto& [column, value] : assignments) {
+        new_row[static_cast<size_t>(column)] = value;
+      }
+      status = table->Update(id, new_row);
+      if (!status.ok()) break;
+      for (auto& open : opens) {
+        Row old_key = KeyRowFor(open->desc, old_row);
+        Row new_key = KeyRowFor(open->desc, new_row);
+        bool key_changed = old_key.size() != new_key.size();
+        for (size_t i = 0; !key_changed && i < old_key.size(); ++i) {
+          if (!old_key[i].Equals(new_key[i])) key_changed = true;
+        }
+        if (!key_changed || !open->am->hooks.am_update) continue;
+        session->LogPurposeCall(
+            open->am->purpose_names.count("am_update") != 0
+                ? open->am->purpose_names.at("am_update")
+                : "am_update");
+        status = open->am->hooks.am_update(ctx, &open->desc, old_key,
+                                           id.Pack(), new_key, id.Pack());
+        if (!status.ok()) break;
+      }
+      if (!status.ok()) break;
+      ++out->affected;
+    }
+  }
+
+  for (auto& open : opens) {
+    Status close = CloseIndexDesc(ctx, open.get());
+    if (status.ok()) status = close;
+  }
+
+  if (implicit) {
+    Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
+                             : txn_manager_.Rollback(&session->txn_session());
+    memory_.EndDuration(MiDuration::kPerTransaction);
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+}  // namespace grtdb

@@ -1,0 +1,48 @@
+#include "server/result.h"
+
+#include <algorithm>
+
+namespace grtdb {
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  for (const std::string& message : messages) {
+    out += "-- " + message + "\n";
+  }
+  if (columns.empty()) {
+    if (affected != 0 || rows.empty()) {
+      out += std::to_string(affected) + " row(s) affected\n";
+    }
+    return out;
+  }
+  std::vector<size_t> widths(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t width) {
+    std::string padded = s;
+    padded.resize(width, ' ');
+    return padded;
+  };
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += pad(columns[i], widths[i]);
+    out += (i + 1 < columns.size()) ? "  " : "\n";
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += std::string(widths[i], '-');
+    out += (i + 1 < columns.size()) ? "  " : "\n";
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out += pad(row[i], i < widths.size() ? widths[i] : row[i].size());
+      out += (i + 1 < row.size()) ? "  " : "\n";
+    }
+  }
+  out += std::to_string(rows.size()) + " row(s) returned\n";
+  return out;
+}
+
+}  // namespace grtdb

@@ -1,0 +1,32 @@
+#ifndef GRTDB_SERVER_RESULT_H_
+#define GRTDB_SERVER_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grtdb {
+
+// Result of one SQL statement. Rows are rendered to text with the types'
+// output functions (opaque values via their type support functions).
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  // Informational messages (e.g. the SET EXPLAIN plan text).
+  std::vector<std::string> messages;
+  uint64_t affected = 0;
+
+  void Clear() {
+    columns.clear();
+    rows.clear();
+    messages.clear();
+    affected = 0;
+  }
+
+  // Simple fixed-width rendering for examples and debugging.
+  std::string ToString() const;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_RESULT_H_

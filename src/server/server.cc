@@ -1,0 +1,835 @@
+#include "server/server.h"
+
+#include <algorithm>
+
+#include "common/date.h"
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace grtdb {
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      lock_manager_(options.lock_timeout),
+      txn_manager_(&lock_manager_),
+      current_time_(options.initial_time) {
+  // A default sbspace so CREATE INDEX without IN <space> works.
+  Status st = CreateSbspace("default");
+  (void)st;  // cannot fail on a fresh server
+}
+
+Server::~Server() = default;
+
+Status Server::CreateSbspace(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (sbspaces_.count(key) != 0) {
+    return Status::AlreadyExists("sbspace '" + name + "'");
+  }
+  auto backend = std::make_unique<MemorySpace>();
+  auto sbspace_or = Sbspace::Open(backend.get(), options_.sbspace_pool_pages);
+  if (!sbspace_or.ok()) return sbspace_or.status();
+  space_backends_[key] = std::move(backend);
+  sbspaces_[key] = std::move(sbspace_or).value();
+  return Status::OK();
+}
+
+Sbspace* Server::FindSbspace(const std::string& name) {
+  auto it = sbspaces_.find(ToLower(name));
+  return it == sbspaces_.end() ? nullptr : it->second.get();
+}
+
+Status Server::AmCatalogPut(const std::string& am, const std::string& index,
+                            std::vector<uint8_t> record) {
+  std::lock_guard<std::mutex> lock(am_catalog_mu_);
+  am_catalog_[ToLower(am) + "/" + ToLower(index)] = std::move(record);
+  return Status::OK();
+}
+
+Status Server::AmCatalogGet(const std::string& am, const std::string& index,
+                            std::vector<uint8_t>* record) {
+  std::lock_guard<std::mutex> lock(am_catalog_mu_);
+  auto it = am_catalog_.find(ToLower(am) + "/" + ToLower(index));
+  if (it == am_catalog_.end()) {
+    return Status::NotFound("no AM catalog record for index '" + index +
+                            "'");
+  }
+  *record = it->second;
+  return Status::OK();
+}
+
+Status Server::AmCatalogDelete(const std::string& am,
+                               const std::string& index) {
+  std::lock_guard<std::mutex> lock(am_catalog_mu_);
+  if (am_catalog_.erase(ToLower(am) + "/" + ToLower(index)) == 0) {
+    return Status::NotFound("no AM catalog record for index '" + index +
+                            "'");
+  }
+  return Status::OK();
+}
+
+ServerSession* Server::CreateSession() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.push_back(std::make_unique<ServerSession>(next_session_id_++));
+  return sessions_.back().get();
+}
+
+Status Server::CloseSession(ServerSession* session) {
+  if (session->txn_session().current_txn() != nullptr) {
+    GRTDB_RETURN_IF_ERROR(txn_manager_.Rollback(&session->txn_session()));
+  }
+  memory_.EndDuration(MiDuration::kPerSession);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == session) {
+      sessions_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("session not registered");
+}
+
+std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
+  auto text_cols = [](std::initializer_list<const char*> names) {
+    std::vector<ColumnDef> cols;
+    for (const char* col : names) {
+      cols.push_back(ColumnDef{col, TypeDesc::Text()});
+    }
+    return cols;
+  };
+  RecordId ignored;
+  if (EqualsIgnoreCase(name, "systables")) {
+    std::vector<ColumnDef> cols = {{"tabname", TypeDesc::Text()},
+                                   {"ncols", TypeDesc::Integer()},
+                                   {"nrows", TypeDesc::Integer()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    for (const Table* t : catalog_.AllTables()) {
+      Status st = table->Insert(
+          {Value::Text(t->name()),
+           Value::Integer(static_cast<int64_t>(t->columns().size())),
+           Value::Integer(static_cast<int64_t>(t->row_count()))},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sysams")) {
+    auto table = std::make_unique<Table>(
+        name, text_cols({"amname", "am_sptype", "am_getnext",
+                         "defaultopclass"}));
+    for (const AccessMethodDef* am : catalog_.AllAccessMethods()) {
+      auto purpose = am->purpose_names.find("am_getnext");
+      Status st = table->Insert(
+          {Value::Text(am->name), Value::Text(std::string(1, am->sptype)),
+           Value::Text(purpose != am->purpose_names.end() ? purpose->second
+                                                          : ""),
+           Value::Text(am->default_opclass)},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sysopclasses")) {
+    auto table = std::make_unique<Table>(
+        name, text_cols({"opclassname", "amname", "strategies", "support"}));
+    for (const OpClassDef* opclass : catalog_.AllOpClasses()) {
+      Status st = table->Insert(
+          {Value::Text(opclass->name), Value::Text(opclass->access_method),
+           Value::Text(Join(opclass->strategies, ", ")),
+           Value::Text(Join(opclass->supports, ", "))},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sysindices")) {
+    auto table = std::make_unique<Table>(
+        name, text_cols({"idxname", "tabname", "amname", "colname",
+                         "opclassname", "spacename"}));
+    for (const IndexDef* index : catalog_.AllIndexes()) {
+      Status st = table->Insert(
+          {Value::Text(index->name), Value::Text(index->table),
+           Value::Text(index->access_method),
+           Value::Text(Join(index->columns, ", ")),
+           Value::Text(Join(index->opclasses, ", ")),
+           Value::Text(index->space)},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sysprocedures")) {
+    std::vector<ColumnDef> cols = {{"procname", TypeDesc::Text()},
+                                   {"numargs", TypeDesc::Integer()},
+                                   {"argtypes", TypeDesc::Text()},
+                                   {"rettype", TypeDesc::Text()},
+                                   {"externalname", TypeDesc::Text()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    for (const UdrDef* def : udrs_.AllDefs()) {
+      std::vector<std::string> arg_names;
+      for (const TypeDesc& type : def->arg_types) {
+        arg_names.push_back(types_.NameOf(type));
+      }
+      Status st = table->Insert(
+          {Value::Text(def->name),
+           Value::Integer(static_cast<int64_t>(def->arg_types.size())),
+           Value::Text(Join(arg_names, ", ")),
+           Value::Text(types_.NameOf(def->return_type)),
+           Value::Text(def->external_name)},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  return nullptr;
+}
+
+std::string Server::RenderValue(const Value& value) const {
+  if (!value.is_null() && value.base() == TypeDesc::Base::kOpaque) {
+    const OpaqueType* type = types_.FindOpaque(value.type().opaque_id);
+    if (type != nullptr) {
+      std::string text;
+      if (type->output(value.opaque(), &text).ok()) return text;
+    }
+  }
+  return value.ToString();
+}
+
+Status Server::Execute(ServerSession* session, const std::string& sql,
+                       ResultSet* out) {
+  sql::Statement stmt;
+  GRTDB_RETURN_IF_ERROR(sql::Parser::Parse(sql, &stmt));
+  out->Clear();
+  Status status = ExecuteStatement(session, stmt, out);
+  // PER_FUNCTION and PER_STATEMENT memory die with the statement (§6.2).
+  memory_.EndDuration(MiDuration::kPerFunction);
+  memory_.EndDuration(MiDuration::kPerStatement);
+  return status;
+}
+
+Status Server::ExecuteScript(ServerSession* session,
+                             const std::string& script, ResultSet* out) {
+  std::vector<sql::Statement> statements;
+  GRTDB_RETURN_IF_ERROR(sql::Parser::ParseScript(script, &statements));
+  for (const sql::Statement& stmt : statements) {
+    out->Clear();
+    GRTDB_RETURN_IF_ERROR(ExecuteStatement(session, stmt, out));
+    memory_.EndDuration(MiDuration::kPerFunction);
+    memory_.EndDuration(MiDuration::kPerStatement);
+  }
+  return Status::OK();
+}
+
+Status Server::ExecuteStatement(ServerSession* session,
+                                const sql::Statement& stmt, ResultSet* out) {
+  struct Visitor {
+    Server* server;
+    ServerSession* session;
+    ResultSet* out;
+
+    Status operator()(const sql::CreateTableStmt& s) {
+      return server->ExecCreateTable(s);
+    }
+    Status operator()(const sql::DropTableStmt& s) {
+      return server->ExecDropTable(s);
+    }
+    Status operator()(const sql::CreateFunctionStmt& s) {
+      return server->ExecCreateFunction(s);
+    }
+    Status operator()(const sql::CreateAccessMethodStmt& s) {
+      return server->ExecCreateAccessMethod(s);
+    }
+    Status operator()(const sql::CreateOpclassStmt& s) {
+      return server->ExecCreateOpclass(s);
+    }
+    Status operator()(const sql::CreateIndexStmt& s) {
+      return server->ExecCreateIndex(session, s, out);
+    }
+    Status operator()(const sql::DropIndexStmt& s) {
+      return server->ExecDropIndex(session, s);
+    }
+    Status operator()(const sql::DropFunctionStmt& s) {
+      return server->ExecDropFunction(s);
+    }
+    Status operator()(const sql::DropAccessMethodStmt& s) {
+      return server->ExecDropAccessMethod(s);
+    }
+    Status operator()(const sql::DropOpclassStmt& s) {
+      return server->ExecDropOpclass(s);
+    }
+    Status operator()(const sql::InsertStmt& s) {
+      return server->ExecInsert(session, s, out);
+    }
+    Status operator()(const sql::SelectStmt& s) {
+      return server->ExecSelect(session, s, out);
+    }
+    Status operator()(const sql::DeleteStmt& s) {
+      return server->ExecDelete(session, s, out);
+    }
+    Status operator()(const sql::UpdateStmt& s) {
+      return server->ExecUpdate(session, s, out);
+    }
+    Status operator()(const sql::BeginWorkStmt&) {
+      return server->txn_manager_.Begin(&session->txn_session(),
+                                        /*explicit_txn=*/true);
+    }
+    Status operator()(const sql::CommitWorkStmt&) {
+      GRTDB_RETURN_IF_ERROR(
+          server->txn_manager_.Commit(&session->txn_session()));
+      server->memory_.EndDuration(MiDuration::kPerTransaction);
+      return Status::OK();
+    }
+    Status operator()(const sql::RollbackWorkStmt&) {
+      GRTDB_RETURN_IF_ERROR(
+          server->txn_manager_.Rollback(&session->txn_session()));
+      server->memory_.EndDuration(MiDuration::kPerTransaction);
+      return Status::OK();
+    }
+    Status operator()(const sql::SetStmt& s) {
+      return server->ExecSet(session, s, out);
+    }
+    Status operator()(const sql::CheckIndexStmt& s) {
+      return server->ExecCheckIndex(session, s, out);
+    }
+    Status operator()(const sql::UpdateStatisticsStmt& s) {
+      return server->ExecUpdateStatistics(session, s, out);
+    }
+    Status operator()(const sql::LoadStmt& s) {
+      return server->ExecLoad(session, s, out);
+    }
+    Status operator()(const sql::UnloadStmt& s) {
+      return server->ExecUnload(session, s, out);
+    }
+  };
+  return std::visit(Visitor{this, session, out}, stmt);
+}
+
+// ------------------------------------------------------------------- DDL ---
+
+Status Server::ExecCreateTable(const sql::CreateTableStmt& stmt) {
+  std::vector<ColumnDef> columns;
+  columns.reserve(stmt.columns.size());
+  for (const sql::ColumnSpec& spec : stmt.columns) {
+    ColumnDef column;
+    column.name = spec.name;
+    GRTDB_RETURN_IF_ERROR(types_.Resolve(spec.type_name, &column.type));
+    columns.push_back(std::move(column));
+  }
+  return catalog_.AddTable(
+      std::make_unique<Table>(stmt.table, std::move(columns)));
+}
+
+Status Server::ExecDropTable(const sql::DropTableStmt& stmt) {
+  // Indexes on the table must be dropped first (Informix drops them
+  // implicitly; we keep it explicit and strict).
+  if (!catalog_.IndexesOnTable(stmt.table).empty()) {
+    return Status::InvalidArgument("table '" + stmt.table +
+                                   "' still has indexes; drop them first");
+  }
+  return catalog_.DropTable(stmt.table);
+}
+
+Status Server::ExecCreateFunction(const sql::CreateFunctionStmt& stmt) {
+  UdrDef def;
+  def.name = stmt.name;
+  for (const std::string& type_name : stmt.arg_types) {
+    TypeDesc type;
+    GRTDB_RETURN_IF_ERROR(types_.Resolve(type_name, &type));
+    def.arg_types.push_back(type);
+  }
+  GRTDB_RETURN_IF_ERROR(types_.Resolve(stmt.return_type, &def.return_type));
+  def.external_name = stmt.external_name;
+  def.negator = stmt.negator;
+  def.commutator = stmt.commutator;
+  GRTDB_RETURN_IF_ERROR(
+      blade_libraries_.Resolve(stmt.external_name, &def.symbol));
+  return udrs_.Register(std::move(def));
+}
+
+Status Server::ExecCreateAccessMethod(
+    const sql::CreateAccessMethodStmt& stmt) {
+  AccessMethodDef am;
+  am.name = stmt.name;
+  for (const auto& [key_raw, value] : stmt.properties) {
+    const std::string key = ToLower(key_raw);
+    if (key == "am_sptype") {
+      if (value.empty()) {
+        return Status::InvalidArgument("empty am_sptype");
+      }
+      am.sptype = value[0];
+      continue;
+    }
+    const UdrDef* udr = udrs_.FindAny(value);
+    if (udr == nullptr) {
+      return Status::NotFound("purpose function '" + value +
+                              "' is not a registered function");
+    }
+    am.purpose_names[key] = udr->name;
+    auto cast_error = [&]() {
+      return Status::InvalidArgument(
+          "function '" + value + "' does not have the signature required by " +
+          key);
+    };
+    if (key == "am_create" || key == "am_drop" || key == "am_open" ||
+        key == "am_close" || key == "am_stats" || key == "am_check") {
+      const auto* fn = std::any_cast<AmSimpleFn>(&udr->symbol);
+      if (fn == nullptr) return cast_error();
+      if (key == "am_create") am.hooks.am_create = *fn;
+      if (key == "am_drop") am.hooks.am_drop = *fn;
+      if (key == "am_open") am.hooks.am_open = *fn;
+      if (key == "am_close") am.hooks.am_close = *fn;
+      if (key == "am_stats") am.hooks.am_stats = *fn;
+      if (key == "am_check") am.hooks.am_check = *fn;
+    } else if (key == "am_beginscan" || key == "am_endscan" ||
+               key == "am_rescan") {
+      const auto* fn = std::any_cast<AmScanFn>(&udr->symbol);
+      if (fn == nullptr) return cast_error();
+      if (key == "am_beginscan") am.hooks.am_beginscan = *fn;
+      if (key == "am_endscan") am.hooks.am_endscan = *fn;
+      if (key == "am_rescan") am.hooks.am_rescan = *fn;
+    } else if (key == "am_getnext") {
+      const auto* fn = std::any_cast<AmGetNextFn>(&udr->symbol);
+      if (fn == nullptr) return cast_error();
+      am.hooks.am_getnext = *fn;
+    } else if (key == "am_insert" || key == "am_delete") {
+      const auto* fn = std::any_cast<AmModifyFn>(&udr->symbol);
+      if (fn == nullptr) return cast_error();
+      if (key == "am_insert") am.hooks.am_insert = *fn;
+      if (key == "am_delete") am.hooks.am_delete = *fn;
+    } else if (key == "am_update") {
+      const auto* fn = std::any_cast<AmUpdateFn>(&udr->symbol);
+      if (fn == nullptr) return cast_error();
+      am.hooks.am_update = *fn;
+    } else if (key == "am_scancost") {
+      const auto* fn = std::any_cast<AmScanCostFn>(&udr->symbol);
+      if (fn == nullptr) return cast_error();
+      am.hooks.am_scancost = *fn;
+    } else {
+      return Status::InvalidArgument("unknown access-method property '" +
+                                     key_raw + "'");
+    }
+  }
+  if (!am.hooks.am_getnext) {
+    return Status::InvalidArgument(
+        "am_getnext is mandatory for a secondary access method");
+  }
+  return catalog_.AddAccessMethod(std::move(am));
+}
+
+Status Server::ExecCreateOpclass(const sql::CreateOpclassStmt& stmt) {
+  AccessMethodDef* am = catalog_.FindAccessMethod(stmt.access_method);
+  if (am == nullptr) {
+    return Status::NotFound("access method '" + stmt.access_method + "'");
+  }
+  // Strategy and support functions must be registered UDRs so the
+  // optimizer can recognize them in WHERE clauses (paper §4 Step 4).
+  for (const std::string& name : stmt.strategies) {
+    if (udrs_.FindAny(name) == nullptr) {
+      return Status::NotFound("strategy function '" + name +
+                              "' is not registered");
+    }
+  }
+  for (const std::string& name : stmt.supports) {
+    if (udrs_.FindAny(name) == nullptr) {
+      return Status::NotFound("support function '" + name +
+                              "' is not registered");
+    }
+  }
+  OpClassDef opclass;
+  opclass.name = stmt.name;
+  opclass.access_method = stmt.access_method;
+  opclass.strategies = stmt.strategies;
+  opclass.supports = stmt.supports;
+  GRTDB_RETURN_IF_ERROR(catalog_.AddOpClass(std::move(opclass)));
+  if (stmt.is_default || am->default_opclass.empty()) {
+    am->default_opclass = stmt.name;
+  }
+  return Status::OK();
+}
+
+Status Server::ExecDropIndex(ServerSession* session,
+                             const sql::DropIndexStmt& stmt) {
+  IndexDef* index = catalog_.FindIndex(stmt.index);
+  if (index == nullptr) {
+    return Status::NotFound("index '" + stmt.index + "'");
+  }
+  AccessMethodDef* am = catalog_.FindAccessMethod(index->access_method);
+  if (am == nullptr) {
+    return Status::Corruption("index references unknown access method");
+  }
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  MiCallContext ctx{this, session, current_time_};
+  MiAmTableDesc desc;
+  desc.index = index;
+  desc.table = catalog_.FindTable(index->table);
+  desc.key_columns = index->key_columns;
+  desc.key_types = index->key_types;
+  Status status = Status::OK();
+  if (am->hooks.am_drop) {
+    session->LogPurposeCall(am->purpose_names.count("am_drop") != 0
+                                ? am->purpose_names.at("am_drop")
+                                : "am_drop");
+    status = am->hooks.am_drop(ctx, &desc);
+  }
+  if (status.ok()) status = catalog_.DropIndex(stmt.index);
+  if (implicit) {
+    Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
+                             : txn_manager_.Rollback(&session->txn_session());
+    memory_.EndDuration(MiDuration::kPerTransaction);
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+Status Server::ExecDropFunction(const sql::DropFunctionStmt& stmt) {
+  return udrs_.Unregister(stmt.name);
+}
+
+Status Server::ExecDropAccessMethod(const sql::DropAccessMethodStmt& stmt) {
+  if (catalog_.FindAccessMethod(stmt.name) == nullptr) {
+    return Status::NotFound("access method '" + stmt.name + "'");
+  }
+  for (const IndexDef* index : catalog_.AllIndexes()) {
+    if (EqualsIgnoreCase(index->access_method, stmt.name)) {
+      return Status::InvalidArgument("access method '" + stmt.name +
+                                     "' is used by index '" + index->name +
+                                     "'; drop the index first");
+    }
+  }
+  // Operator classes belong to the access method and go with it.
+  for (const OpClassDef* opclass :
+       catalog_.OpClassesOfAccessMethod(stmt.name)) {
+    GRTDB_RETURN_IF_ERROR(catalog_.DropOpClass(opclass->name));
+  }
+  return catalog_.DropAccessMethod(stmt.name);
+}
+
+Status Server::ExecDropOpclass(const sql::DropOpclassStmt& stmt) {
+  if (catalog_.FindOpClass(stmt.name) == nullptr) {
+    return Status::NotFound("operator class '" + stmt.name + "'");
+  }
+  for (const IndexDef* index : catalog_.AllIndexes()) {
+    for (const std::string& opclass : index->opclasses) {
+      if (EqualsIgnoreCase(opclass, stmt.name)) {
+        return Status::InvalidArgument("operator class '" + stmt.name +
+                                       "' is used by index '" + index->name +
+                                       "'; drop the index first");
+      }
+    }
+  }
+  return catalog_.DropOpClass(stmt.name);
+}
+
+Status Server::ExecSet(ServerSession* session, const sql::SetStmt& stmt,
+                       ResultSet* out) {
+  switch (stmt.what) {
+    case sql::SetStmt::What::kIsolation: {
+      IsolationLevel level;
+      if (stmt.argument == "DIRTY") {
+        level = IsolationLevel::kDirtyRead;
+      } else if (stmt.argument == "COMMITTED") {
+        level = IsolationLevel::kCommittedRead;
+      } else if (stmt.argument == "REPEATABLE") {
+        level = IsolationLevel::kRepeatableRead;
+      } else {
+        return Status::InvalidArgument("unknown isolation level '" +
+                                       stmt.argument + "'");
+      }
+      session->txn_session().set_isolation(level);
+      return Status::OK();
+    }
+    case sql::SetStmt::What::kExplain:
+      if (stmt.argument == "ON") {
+        session->set_explain(true);
+      } else if (stmt.argument == "OFF") {
+        session->set_explain(false);
+      } else {
+        return Status::InvalidArgument("SET EXPLAIN expects ON or OFF");
+      }
+      return Status::OK();
+    case sql::SetStmt::What::kCurrentTime: {
+      if (stmt.value.kind == sql::Literal::Kind::kInteger) {
+        current_time_ = stmt.value.integer;
+      } else if (stmt.value.kind == sql::Literal::Kind::kString) {
+        int64_t day = 0;
+        GRTDB_RETURN_IF_ERROR(ParseDate(stmt.value.text, &day));
+        current_time_ = day;
+      } else {
+        return Status::InvalidArgument(
+            "SET CURRENT_TIME expects an integer or a date string");
+      }
+      out->messages.push_back("current time set to " +
+                              FormatDate(current_time_));
+      return Status::OK();
+    }
+    case sql::SetStmt::What::kTimeMode:
+      if (stmt.argument == "STATEMENT") {
+        session->set_time_mode(CurrentTimeMode::kPerStatement);
+      } else if (stmt.argument == "TRANSACTION") {
+        session->set_time_mode(CurrentTimeMode::kPerTransaction);
+      } else {
+        return Status::InvalidArgument(
+            "SET TIME MODE expects STATEMENT or TRANSACTION");
+      }
+      return Status::OK();
+    case sql::SetStmt::What::kTrace:
+      if (stmt.value.kind != sql::Literal::Kind::kInteger) {
+        return Status::InvalidArgument("SET TRACE expects an integer level");
+      }
+      trace_.SetClass(stmt.argument,
+                      static_cast<int>(stmt.value.integer));
+      return Status::OK();
+  }
+  return Status::Internal("bad SET statement");
+}
+
+Status Server::ExecCheckIndex(ServerSession* session,
+                              const sql::CheckIndexStmt& stmt,
+                              ResultSet* out) {
+  IndexDef* index = catalog_.FindIndex(stmt.index);
+  if (index == nullptr) {
+    return Status::NotFound("index '" + stmt.index + "'");
+  }
+  AccessMethodDef* am = catalog_.FindAccessMethod(index->access_method);
+  if (am == nullptr || !am->hooks.am_check) {
+    return Status::NotSupported("access method provides no am_check");
+  }
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  MiCallContext ctx{this, session, current_time_};
+  std::unique_ptr<OpenIndex> open;
+  Status status = OpenIndexDesc(session, index, false, ctx, &open);
+  if (status.ok()) {
+    session->LogPurposeCall(am->purpose_names.count("am_check") != 0
+                                ? am->purpose_names.at("am_check")
+                                : "am_check");
+    status = am->hooks.am_check(ctx, &open->desc);
+    Status close = CloseIndexDesc(ctx, open.get());
+    if (status.ok()) status = close;
+  }
+  if (status.ok()) {
+    out->messages.push_back("index '" + stmt.index + "' is consistent");
+  }
+  if (implicit) {
+    Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
+                             : txn_manager_.Rollback(&session->txn_session());
+    memory_.EndDuration(MiDuration::kPerTransaction);
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+Status Server::ExecUpdateStatistics(ServerSession* session,
+                                    const sql::UpdateStatisticsStmt& stmt,
+                                    ResultSet* out) {
+  IndexDef* index = catalog_.FindIndex(stmt.index);
+  if (index == nullptr) {
+    return Status::NotFound("index '" + stmt.index + "'");
+  }
+  AccessMethodDef* am = catalog_.FindAccessMethod(index->access_method);
+  if (am == nullptr || !am->hooks.am_stats) {
+    return Status::NotSupported("access method provides no am_stats");
+  }
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  MiCallContext ctx{this, session, current_time_};
+  std::unique_ptr<OpenIndex> open;
+  Status status = OpenIndexDesc(session, index, false, ctx, &open);
+  if (status.ok()) {
+    session->LogPurposeCall(am->purpose_names.count("am_stats") != 0
+                                ? am->purpose_names.at("am_stats")
+                                : "am_stats");
+    status = am->hooks.am_stats(ctx, &open->desc);
+    Status close = CloseIndexDesc(ctx, open.get());
+    if (status.ok()) status = close;
+  }
+  if (status.ok()) {
+    out->messages.push_back("statistics updated for index '" + stmt.index +
+                            "'");
+  }
+  if (implicit) {
+    Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
+                             : txn_manager_.Rollback(&session->txn_session());
+    memory_.EndDuration(MiDuration::kPerTransaction);
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+// ------------------------------------------------- purpose-fn plumbing ---
+
+Status Server::OpenIndexDesc(ServerSession* session, IndexDef* index,
+                             bool just_created, MiCallContext& ctx,
+                             std::unique_ptr<OpenIndex>* out) {
+  AccessMethodDef* am = catalog_.FindAccessMethod(index->access_method);
+  if (am == nullptr) {
+    return Status::Corruption("index '" + index->name +
+                              "' references unknown access method");
+  }
+  auto open = std::make_unique<OpenIndex>();
+  open->index = index;
+  open->am = am;
+  open->desc.index = index;
+  open->desc.table = catalog_.FindTable(index->table);
+  open->desc.key_columns = index->key_columns;
+  open->desc.key_types = index->key_types;
+  open->desc.just_created = just_created;
+  if (am->hooks.am_open) {
+    session->LogPurposeCall(am->purpose_names.count("am_open") != 0
+                                ? am->purpose_names.at("am_open")
+                                : "am_open");
+    GRTDB_RETURN_IF_ERROR(am->hooks.am_open(ctx, &open->desc));
+  }
+  *out = std::move(open);
+  return Status::OK();
+}
+
+Status Server::CloseIndexDesc(MiCallContext& ctx, OpenIndex* open) {
+  if (open->am->hooks.am_close) {
+    ctx.session->LogPurposeCall(
+        open->am->purpose_names.count("am_close") != 0
+            ? open->am->purpose_names.at("am_close")
+            : "am_close");
+    return open->am->hooks.am_close(ctx, &open->desc);
+  }
+  return Status::OK();
+}
+
+Row Server::KeyRowFor(const MiAmTableDesc& desc, const Row& base_row) const {
+  Row key_row;
+  key_row.reserve(desc.key_columns.size());
+  for (int column : desc.key_columns) {
+    key_row.push_back(base_row[static_cast<size_t>(column)]);
+  }
+  return key_row;
+}
+
+Status Server::ExecCreateIndex(ServerSession* session,
+                               const sql::CreateIndexStmt& stmt,
+                               ResultSet* out) {
+  Table* table = catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "'");
+  }
+  AccessMethodDef* am = catalog_.FindAccessMethod(stmt.access_method);
+  if (am == nullptr) {
+    return Status::NotFound("access method '" + stmt.access_method + "'");
+  }
+  if (stmt.columns.size() != 1) {
+    // §5.1: qualification descriptors accommodate only single-column
+    // predicates, so virtual indexes are single-column here.
+    return Status::NotSupported(
+        "virtual indexes support exactly one key column");
+  }
+
+  IndexDef index;
+  index.name = stmt.name;
+  index.table = stmt.table;
+  index.access_method = stmt.access_method;
+  index.space = stmt.space.empty() ? "default" : stmt.space;
+  if (FindSbspace(index.space) == nullptr) {
+    return Status::NotFound("sbspace '" + index.space +
+                            "' (create it with onspaces/CreateSbspace)");
+  }
+  for (const auto& [column, opclass_name] : stmt.columns) {
+    const int column_index = table->ColumnIndex(column);
+    if (column_index < 0) {
+      return Status::NotFound("column '" + column + "' in table '" +
+                              stmt.table + "'");
+    }
+    std::string opclass = opclass_name;
+    if (opclass.empty()) opclass = am->default_opclass;
+    if (opclass.empty()) {
+      return Status::InvalidArgument(
+          "no operator class given and access method has no default");
+    }
+    const OpClassDef* opclass_def = catalog_.FindOpClass(opclass);
+    if (opclass_def == nullptr) {
+      return Status::NotFound("operator class '" + opclass + "'");
+    }
+    if (!EqualsIgnoreCase(opclass_def->access_method, stmt.access_method)) {
+      return Status::InvalidArgument("operator class '" + opclass +
+                                     "' belongs to access method '" +
+                                     opclass_def->access_method + "'");
+    }
+    index.columns.push_back(column);
+    index.opclasses.push_back(opclass);
+    index.key_columns.push_back(column_index);
+    index.key_types.push_back(table->columns()[column_index].type);
+  }
+
+  GRTDB_RETURN_IF_ERROR(catalog_.AddIndex(index));
+  IndexDef* stored = catalog_.FindIndex(stmt.name);
+
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  MiCallContext ctx{this, session, current_time_};
+
+  auto fail = [&](Status status) {
+    catalog_.DropIndex(stmt.name);
+    if (implicit) {
+      txn_manager_.Rollback(&session->txn_session());
+      memory_.EndDuration(MiDuration::kPerTransaction);
+    }
+    return status;
+  };
+
+  // am_create, then am_open (which sees just_created, Table 5 step 1),
+  // then a build pass inserting the existing rows, then am_close.
+  MiAmTableDesc create_desc;
+  create_desc.index = stored;
+  create_desc.table = table;
+  create_desc.key_columns = stored->key_columns;
+  create_desc.key_types = stored->key_types;
+  if (am->hooks.am_create) {
+    session->LogPurposeCall(am->purpose_names.count("am_create") != 0
+                                ? am->purpose_names.at("am_create")
+                                : "am_create");
+    Status status = am->hooks.am_create(ctx, &create_desc);
+    if (!status.ok()) return fail(status);
+  }
+  std::unique_ptr<OpenIndex> open;
+  Status status = OpenIndexDesc(session, stored, /*just_created=*/true, ctx,
+                                &open);
+  if (!status.ok()) return fail(status);
+  // The descriptor created by am_create carries the blade's Tree object;
+  // keep it (Informix passes the same descriptor to the following calls).
+  open->desc.user_data = create_desc.user_data;
+  if (am->hooks.am_insert) {
+    status = table->Scan([&](RecordId id, const Row& row) {
+      Row key_row = KeyRowFor(open->desc, row);
+      session->LogPurposeCall(am->purpose_names.count("am_insert") != 0
+                                  ? am->purpose_names.at("am_insert")
+                                  : "am_insert");
+      Status insert_status =
+          am->hooks.am_insert(ctx, &open->desc, key_row, id.Pack());
+      if (!insert_status.ok()) {
+        status = insert_status;
+        return false;
+      }
+      return true;
+    });
+  }
+  if (status.ok()) {
+    Status close = CloseIndexDesc(ctx, open.get());
+    if (!close.ok()) status = close;
+  } else {
+    CloseIndexDesc(ctx, open.get());
+  }
+  if (!status.ok()) return fail(status);
+
+  if (implicit) {
+    Status end = txn_manager_.Commit(&session->txn_session());
+    memory_.EndDuration(MiDuration::kPerTransaction);
+    if (!end.ok()) return end;
+  }
+  out->messages.push_back("index '" + stmt.name + "' created using " +
+                          stmt.access_method);
+  return Status::OK();
+}
+
+}  // namespace grtdb

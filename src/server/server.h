@@ -1,0 +1,231 @@
+#ifndef GRTDB_SERVER_SERVER_H_
+#define GRTDB_SERVER_SERVER_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "blade/library.h"
+#include "blade/mi_memory.h"
+#include "blade/trace.h"
+#include "common/status.h"
+#include "server/catalog.h"
+#include "server/result.h"
+#include "server/types.h"
+#include "server/udr.h"
+#include "server/vii.h"
+#include "sql/ast.h"
+#include "storage/sbspace.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace grtdb {
+
+// Whether a DataBlade should resolve UC/NOW with a per-statement or a
+// per-transaction current time (paper §5.4).
+enum class CurrentTimeMode { kPerStatement, kPerTransaction };
+
+// A client session: transaction state plus server-side session settings
+// and the purpose-function call log tests and bench T2 read.
+class ServerSession {
+ public:
+  explicit ServerSession(SessionId id) : session_(id) {}
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  Session& txn_session() { return session_; }
+  SessionId id() const { return session_.id(); }
+
+  bool explain() const { return explain_; }
+  void set_explain(bool on) { explain_ = on; }
+
+  CurrentTimeMode time_mode() const { return time_mode_; }
+  void set_time_mode(CurrentTimeMode mode) { time_mode_ = mode; }
+
+  // Purpose-function invocations, in order ("grt_open", "grt_insert", ...).
+  const std::vector<std::string>& purpose_log() const { return purpose_log_; }
+  void ClearPurposeLog() { purpose_log_.clear(); }
+  void LogPurposeCall(const std::string& name) {
+    purpose_log_.push_back(name);
+  }
+
+ private:
+  Session session_;
+  bool explain_ = false;
+  CurrentTimeMode time_mode_ = CurrentTimeMode::kPerStatement;
+  std::vector<std::string> purpose_log_;
+};
+
+struct ServerOptions {
+  // Buffer-pool frames per sbspace created with CreateSbspace.
+  size_t sbspace_pool_pages = 512;
+  std::chrono::milliseconds lock_timeout{500};
+  // Simulation clock start (chronons = days since 1970-01-01).
+  int64_t initial_time = 10000;
+};
+
+// The extensible database server: catalog, SQL execution, the Virtual
+// Index Interface, and the DataBlade services (duration memory, named
+// memory, trace, blade libraries, sbspaces). The substitute for the
+// Informix Dynamic Server with Universal Data Option (see DESIGN.md).
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = ServerOptions());
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // ---- infrastructure the DataBlade API exposes -------------------------
+  TypeRegistry& types() { return types_; }
+  UdrRegistry& udrs() { return udrs_; }
+  BladeLibraryRegistry& blade_libraries() { return blade_libraries_; }
+  MiMemory& memory() { return memory_; }
+  MiNamedMemory& named_memory() { return named_memory_; }
+  TraceFacility& trace() { return trace_; }
+  LockManager& lock_manager() { return lock_manager_; }
+  TransactionManager& txn_manager() { return txn_manager_; }
+  Catalog& catalog() { return catalog_; }
+
+  // ---- simulation clock (granularity: days, §5.1) -----------------------
+  int64_t current_time() const { return current_time_; }
+  void set_current_time(int64_t ct) { current_time_ = ct; }
+  void AdvanceTime(int64_t days) { current_time_ += days; }
+
+  // ---- storage spaces ("onspaces", §4 Step 5) ---------------------------
+  Status CreateSbspace(const std::string& name);
+  Sbspace* FindSbspace(const std::string& name);
+
+  // ---- the access method's associated catalog table (Table 5: records of
+  // index id, fragment id, and BLOB handle) ------------------------------
+  Status AmCatalogPut(const std::string& am, const std::string& index,
+                      std::vector<uint8_t> record);
+  Status AmCatalogGet(const std::string& am, const std::string& index,
+                      std::vector<uint8_t>* record);
+  Status AmCatalogDelete(const std::string& am, const std::string& index);
+
+  // ---- sessions and execution ------------------------------------------
+  ServerSession* CreateSession();
+  Status CloseSession(ServerSession* session);
+
+  // Executes one statement.
+  Status Execute(ServerSession* session, const std::string& sql,
+                 ResultSet* out);
+  // Executes a ;-separated script, stopping at the first error; `out`
+  // holds the last statement's result.
+  Status ExecuteScript(ServerSession* session, const std::string& script,
+                       ResultSet* out);
+
+  // Renders a value using opaque output support functions.
+  std::string RenderValue(const Value& value) const;
+
+  // Materializes a system catalog table (systables, sysams, sysopclasses,
+  // sysindices, sysprocedures) on demand — the catalogs the CREATE
+  // statements populate (paper §4 Step 6 names SYSAMS, SYSINDICES,
+  // SYSFRAGMENTS). Returns nullptr for unknown names.
+  std::unique_ptr<Table> BuildSystemTable(const std::string& name);
+
+ private:
+  // The server-side state of one opened virtual index (between the am_open
+  // and am_close of a statement).
+  struct OpenIndex {
+    IndexDef* index = nullptr;
+    AccessMethodDef* am = nullptr;
+    MiAmTableDesc desc;
+  };
+
+  Status ExecuteStatement(ServerSession* session, const sql::Statement& stmt,
+                          ResultSet* out);
+
+  Status ExecCreateTable(const sql::CreateTableStmt& stmt);
+  Status ExecDropTable(const sql::DropTableStmt& stmt);
+  Status ExecCreateFunction(const sql::CreateFunctionStmt& stmt);
+  Status ExecCreateAccessMethod(const sql::CreateAccessMethodStmt& stmt);
+  Status ExecCreateOpclass(const sql::CreateOpclassStmt& stmt);
+  Status ExecCreateIndex(ServerSession* session,
+                         const sql::CreateIndexStmt& stmt, ResultSet* out);
+  Status ExecDropIndex(ServerSession* session, const sql::DropIndexStmt& stmt);
+  Status ExecDropFunction(const sql::DropFunctionStmt& stmt);
+  Status ExecDropAccessMethod(const sql::DropAccessMethodStmt& stmt);
+  Status ExecDropOpclass(const sql::DropOpclassStmt& stmt);
+  Status ExecInsert(ServerSession* session, const sql::InsertStmt& stmt,
+                    ResultSet* out);
+  Status ExecSelect(ServerSession* session, const sql::SelectStmt& stmt,
+                    ResultSet* out);
+  Status ExecDelete(ServerSession* session, const sql::DeleteStmt& stmt,
+                    ResultSet* out);
+  Status ExecUpdate(ServerSession* session, const sql::UpdateStmt& stmt,
+                    ResultSet* out);
+  Status ExecSet(ServerSession* session, const sql::SetStmt& stmt,
+                 ResultSet* out);
+  Status ExecCheckIndex(ServerSession* session,
+                        const sql::CheckIndexStmt& stmt, ResultSet* out);
+  Status ExecUpdateStatistics(ServerSession* session,
+                              const sql::UpdateStatisticsStmt& stmt,
+                              ResultSet* out);
+  Status ExecLoad(ServerSession* session, const sql::LoadStmt& stmt,
+                  ResultSet* out);
+  // Shared insert path (heap insert + Fig. 6(a) index maintenance) used by
+  // INSERT and LOAD.
+  Status InsertRow(ServerSession* session, Table* table,
+                   const std::string& table_name, Row row, ResultSet* out);
+  Status ExecUnload(ServerSession* session, const sql::UnloadStmt& stmt,
+                    ResultSet* out);
+
+  // Literal -> Value coercion against a column/argument type.
+  Status CoerceLiteral(const sql::Literal& literal, const TypeDesc& type,
+                       Value* out) const;
+
+  // WHERE evaluation on a row (UDF calls go through the UDR registry).
+  Status EvaluateExpr(MiCallContext& ctx, const sql::Expr& expr,
+                      const Table& table, const Row& row, Value* out);
+
+  // Query planning: find an index whose opclass strategy functions cover
+  // top-level AND conjuncts of `where` on the indexed column.
+  struct Plan {
+    bool use_index = false;
+    IndexDef* index = nullptr;
+    MiAmQualDesc qual;
+    // Conjuncts not handled by the index (evaluated on fetched rows);
+    // pointers into the WHERE tree.
+    std::vector<const sql::Expr*> residual;
+    double index_cost = 0.0;
+    double seq_cost = 0.0;
+  };
+  Status PlanQuery(ServerSession* session, Table* table,
+                   const sql::Expr* where, Plan* plan);
+
+  // Purpose-function plumbing (Fig. 6 call sequences).
+  Status OpenIndexDesc(ServerSession* session, IndexDef* index,
+                       bool just_created, MiCallContext& ctx,
+                       std::unique_ptr<OpenIndex>* out);
+  Status CloseIndexDesc(MiCallContext& ctx, OpenIndex* open);
+  Row KeyRowFor(const MiAmTableDesc& desc, const Row& base_row) const;
+
+  ServerOptions options_;
+  TypeRegistry types_;
+  UdrRegistry udrs_;
+  BladeLibraryRegistry blade_libraries_;
+  MiMemory memory_;
+  MiNamedMemory named_memory_;
+  TraceFacility trace_;
+  LockManager lock_manager_;
+  TransactionManager txn_manager_;
+  Catalog catalog_;
+  int64_t current_time_;
+  std::map<std::string, std::unique_ptr<MemorySpace>> space_backends_;
+  std::map<std::string, std::unique_ptr<Sbspace>> sbspaces_;
+  mutable std::mutex am_catalog_mu_;
+  std::map<std::string, std::vector<uint8_t>> am_catalog_;
+  std::vector<std::unique_ptr<ServerSession>> sessions_;
+  std::mutex sessions_mu_;
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_SERVER_H_

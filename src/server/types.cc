@@ -1,0 +1,118 @@
+#include "server/types.h"
+
+#include "common/strings.h"
+
+namespace grtdb {
+
+Status TypeRegistry::RegisterOpaque(OpaqueType type, uint32_t* id) {
+  if (!type.input || !type.output) {
+    return Status::InvalidArgument(
+        "opaque types require text input/output support functions");
+  }
+  const std::string key = ToLower(type.name);
+  if (by_name_.count(key) != 0) {
+    return Status::AlreadyExists("type '" + type.name + "'");
+  }
+  if (!type.send) {
+    type.send = [](const std::vector<uint8_t>& in, std::vector<uint8_t>* out) {
+      *out = in;
+      return Status::OK();
+    };
+  }
+  if (!type.receive) {
+    type.receive = [](const std::vector<uint8_t>& in,
+                      std::vector<uint8_t>* out) {
+      *out = in;
+      return Status::OK();
+    };
+  }
+  if (!type.import) type.import = type.input;
+  if (!type.do_export) type.do_export = type.output;
+  type.id = next_id_++;
+  *id = type.id;
+  by_name_[key] = type.id;
+  by_id_[type.id] = std::move(type);
+  return Status::OK();
+}
+
+Status TypeRegistry::Unregister(const std::string& name) {
+  const std::string key = ToLower(name);
+  auto it = by_name_.find(key);
+  if (it == by_name_.end()) {
+    return Status::NotFound("type '" + name + "'");
+  }
+  by_id_.erase(it->second);
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+Status TypeRegistry::Resolve(const std::string& name, TypeDesc* out) const {
+  const std::string key = ToLower(name);
+  if (key == "integer" || key == "int" || key == "smallint") {
+    *out = TypeDesc::Integer();
+    return Status::OK();
+  }
+  if (key == "float" || key == "double" || key == "real") {
+    *out = TypeDesc::Float();
+    return Status::OK();
+  }
+  if (key == "text" || key == "varchar" || key == "char" ||
+      key == "lvarchar") {
+    *out = TypeDesc::Text();
+    return Status::OK();
+  }
+  if (key == "date") {
+    *out = TypeDesc::Date();
+    return Status::OK();
+  }
+  if (key == "boolean") {
+    *out = TypeDesc::Boolean();
+    return Status::OK();
+  }
+  if (key == "pointer") {
+    *out = TypeDesc::Pointer();
+    return Status::OK();
+  }
+  auto it = by_name_.find(key);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown type '" + name + "'");
+  }
+  *out = TypeDesc::Opaque(it->second);
+  return Status::OK();
+}
+
+const OpaqueType* TypeRegistry::FindOpaque(uint32_t id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+const OpaqueType* TypeRegistry::FindOpaqueByName(
+    const std::string& name) const {
+  auto it = by_name_.find(ToLower(name));
+  return it == by_name_.end() ? nullptr : FindOpaque(it->second);
+}
+
+std::string TypeRegistry::NameOf(const TypeDesc& type) const {
+  switch (type.base) {
+    case TypeDesc::Base::kInteger:
+      return "integer";
+    case TypeDesc::Base::kFloat:
+      return "float";
+    case TypeDesc::Base::kText:
+      return "text";
+    case TypeDesc::Base::kDate:
+      return "date";
+    case TypeDesc::Base::kBoolean:
+      return "boolean";
+    case TypeDesc::Base::kPointer:
+      return "pointer";
+    case TypeDesc::Base::kOpaque: {
+      const OpaqueType* opaque = FindOpaque(type.opaque_id);
+      return opaque != nullptr ? opaque->name
+                               : "opaque#" + std::to_string(type.opaque_id);
+    }
+  }
+  return "?";
+}
+
+}  // namespace grtdb

@@ -1,0 +1,68 @@
+#ifndef GRTDB_SERVER_TYPES_H_
+#define GRTDB_SERVER_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/value.h"
+
+namespace grtdb {
+
+// An opaque (user-defined) data type with its type support functions
+// (paper §6.3): text input/output (SQL literals and results), binary
+// send/receive (client-server wire format), and text-file import/export
+// (LOAD). Defaults copy bytes / delegate to input/output.
+struct OpaqueType {
+  uint32_t id = 0;
+  std::string name;
+  // Text representation -> internal structure.
+  std::function<Status(const std::string&, std::vector<uint8_t>*)> input;
+  // Internal structure -> text representation.
+  std::function<Status(const std::vector<uint8_t>&, std::string*)> output;
+  // Wire representation; defaults to the identity on the internal bytes.
+  std::function<Status(const std::vector<uint8_t>&, std::vector<uint8_t>*)>
+      send;
+  std::function<Status(const std::vector<uint8_t>&, std::vector<uint8_t>*)>
+      receive;
+  // LOAD file format; defaults to input/output.
+  std::function<Status(const std::string&, std::vector<uint8_t>*)> import;
+  std::function<Status(const std::vector<uint8_t>&, std::string*)> do_export;
+};
+
+// Name -> TypeDesc resolution for built-ins and registered opaque types.
+class TypeRegistry {
+ public:
+  TypeRegistry() = default;
+
+  TypeRegistry(const TypeRegistry&) = delete;
+  TypeRegistry& operator=(const TypeRegistry&) = delete;
+
+  // Registers an opaque type; fills in defaulted support functions and
+  // assigns the id. `type.input` and `type.output` are required.
+  Status RegisterOpaque(OpaqueType type, uint32_t* id);
+
+  Status Unregister(const std::string& name);
+
+  // Resolves a type name ("integer", "date", "grt_timeextent", ...).
+  Status Resolve(const std::string& name, TypeDesc* out) const;
+
+  const OpaqueType* FindOpaque(uint32_t id) const;
+  const OpaqueType* FindOpaqueByName(const std::string& name) const;
+
+  // Name of `type` for error messages and catalogs.
+  std::string NameOf(const TypeDesc& type) const;
+
+ private:
+  uint32_t next_id_ = 1;
+  std::map<uint32_t, OpaqueType> by_id_;
+  std::map<std::string, uint32_t> by_name_;  // lower-cased
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_TYPES_H_

@@ -1,0 +1,74 @@
+#include "server/udr.h"
+
+#include "common/strings.h"
+
+namespace grtdb {
+
+Status UdrRegistry::Register(UdrDef def) {
+  const std::string key = ToLower(def.name);
+  // Cache the plain-UDR cast when the exported symbol is one.
+  if (const auto* fn = std::any_cast<UdrFunction>(&def.symbol)) {
+    def.fn = *fn;
+  }
+  auto& overloads = routines_[key];
+  for (const UdrDef& existing : overloads) {
+    if (existing.arg_types == def.arg_types) {
+      return Status::AlreadyExists("function '" + def.name +
+                                   "' with identical signature");
+    }
+  }
+  overloads.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status UdrRegistry::Unregister(const std::string& name) {
+  if (routines_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("function '" + name + "'");
+  }
+  return Status::OK();
+}
+
+const UdrDef* UdrRegistry::Find(const std::string& name,
+                                std::span<const TypeDesc> arg_types) const {
+  auto it = routines_.find(ToLower(name));
+  if (it == routines_.end()) return nullptr;
+  const UdrDef* arity_match = nullptr;
+  int arity_matches = 0;
+  for (const UdrDef& def : it->second) {
+    if (def.arg_types.size() != arg_types.size()) continue;
+    bool exact = true;
+    for (size_t i = 0; i < arg_types.size(); ++i) {
+      if (!(def.arg_types[i] == arg_types[i])) {
+        exact = false;
+        break;
+      }
+    }
+    if (exact) return &def;
+    arity_match = &def;
+    ++arity_matches;
+  }
+  return arity_matches == 1 ? arity_match : nullptr;
+}
+
+const UdrDef* UdrRegistry::FindAny(const std::string& name) const {
+  auto it = routines_.find(ToLower(name));
+  if (it == routines_.end() || it->second.empty()) return nullptr;
+  return &it->second.front();
+}
+
+std::vector<const UdrDef*> UdrRegistry::AllDefs() const {
+  std::vector<const UdrDef*> out;
+  for (const auto& [name, overloads] : routines_) {
+    for (const UdrDef& def : overloads) out.push_back(&def);
+  }
+  return out;
+}
+
+std::vector<std::string> UdrRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(routines_.size());
+  for (const auto& [name, overloads] : routines_) names.push_back(name);
+  return names;
+}
+
+}  // namespace grtdb

@@ -1,0 +1,73 @@
+#ifndef GRTDB_SERVER_UDR_H_
+#define GRTDB_SERVER_UDR_H_
+
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/context.h"
+#include "server/value.h"
+
+namespace grtdb {
+
+// A user-defined routine body. UDRs receive the call context and the
+// argument values; strategy/support functions of operator classes have this
+// shape (e.g. Overlaps(GRT_TimeExtent_t*, GRT_TimeExtent_t*) -> boolean).
+using UdrFunction =
+    std::function<StatusOr<Value>(MiCallContext&, std::span<const Value>)>;
+
+// A routine registered with CREATE FUNCTION. `symbol` is the std::any the
+// blade library exported under the EXTERNAL NAME: a UdrFunction for
+// SQL-callable routines, or one of the vii.h purpose-function types for
+// access-method purpose functions (those are not SQL-callable).
+struct UdrDef {
+  std::string name;  // SQL name, original case
+  std::vector<TypeDesc> arg_types;
+  TypeDesc return_type;
+  std::string external_name;
+  // §5.2 associations the optimizer may use; empty when undeclared.
+  std::string negator;
+  std::string commutator;
+  std::any symbol;
+  // Cached cast of `symbol` when it is a plain UdrFunction (empty else).
+  UdrFunction fn;
+};
+
+// The routine catalog (SYSPROCEDURES). Overload resolution is by name and
+// arity with exact argument types preferred.
+class UdrRegistry {
+ public:
+  UdrRegistry() = default;
+
+  UdrRegistry(const UdrRegistry&) = delete;
+  UdrRegistry& operator=(const UdrRegistry&) = delete;
+
+  Status Register(UdrDef def);
+  Status Unregister(const std::string& name);
+
+  // Exact-name lookup with argument types; falls back to the unique
+  // same-arity overload.
+  const UdrDef* Find(const std::string& name,
+                     std::span<const TypeDesc> arg_types) const;
+
+  // Any overload with this name (registration checks, purpose lookup).
+  const UdrDef* FindAny(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+  // Every registered overload (system catalog enumeration).
+  std::vector<const UdrDef*> AllDefs() const;
+
+ private:
+  // lower-cased name -> overloads
+  std::map<std::string, std::vector<UdrDef>> routines_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_UDR_H_

@@ -1,0 +1,143 @@
+#include "server/value.h"
+
+#include <cstdio>
+
+#include "common/date.h"
+
+namespace grtdb {
+
+Value Value::Integer(int64_t v) {
+  Value value;
+  value.null_ = false;
+  value.type_ = TypeDesc::Integer();
+  value.integer_ = v;
+  return value;
+}
+
+Value Value::Float(double v) {
+  Value value;
+  value.null_ = false;
+  value.type_ = TypeDesc::Float();
+  value.real_ = v;
+  return value;
+}
+
+Value Value::Text(std::string v) {
+  Value value;
+  value.null_ = false;
+  value.type_ = TypeDesc::Text();
+  value.text_ = std::move(v);
+  return value;
+}
+
+Value Value::Date(int64_t day_number) {
+  Value value;
+  value.null_ = false;
+  value.type_ = TypeDesc::Date();
+  value.integer_ = day_number;
+  return value;
+}
+
+Value Value::Boolean(bool v) {
+  Value value;
+  value.null_ = false;
+  value.type_ = TypeDesc::Boolean();
+  value.integer_ = v ? 1 : 0;
+  return value;
+}
+
+Value Value::Opaque(uint32_t type_id, std::vector<uint8_t> bytes) {
+  Value value;
+  value.null_ = false;
+  value.type_ = TypeDesc::Opaque(type_id);
+  value.bytes_ = std::move(bytes);
+  return value;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (null_ || other.null_) return false;
+  if (!(type_ == other.type_)) return false;
+  switch (type_.base) {
+    case TypeDesc::Base::kInteger:
+    case TypeDesc::Base::kDate:
+    case TypeDesc::Base::kBoolean:
+      return integer_ == other.integer_;
+    case TypeDesc::Base::kFloat:
+      return real_ == other.real_;
+    case TypeDesc::Base::kText:
+      return text_ == other.text_;
+    case TypeDesc::Base::kOpaque:
+      return bytes_ == other.bytes_;
+    case TypeDesc::Base::kPointer:
+      return false;
+  }
+  return false;
+}
+
+Status Value::Compare(const Value& other, int* cmp) const {
+  if (null_ || other.null_) {
+    return Status::InvalidArgument("cannot compare NULL values");
+  }
+  auto three_way = [cmp](auto a, auto b) {
+    *cmp = (a < b) ? -1 : (a > b ? 1 : 0);
+    return Status::OK();
+  };
+  // Numeric cross-comparisons (integer vs float) are allowed.
+  const bool numeric_a = type_.base == TypeDesc::Base::kInteger ||
+                         type_.base == TypeDesc::Base::kFloat;
+  const bool numeric_b = other.type_.base == TypeDesc::Base::kInteger ||
+                         other.type_.base == TypeDesc::Base::kFloat;
+  if (numeric_a && numeric_b) {
+    const double a =
+        type_.base == TypeDesc::Base::kFloat ? real_ : static_cast<double>(integer_);
+    const double b = other.type_.base == TypeDesc::Base::kFloat
+                         ? other.real_
+                         : static_cast<double>(other.integer_);
+    return three_way(a, b);
+  }
+  if (!(type_ == other.type_)) {
+    return Status::InvalidArgument("cannot compare values of different types");
+  }
+  switch (type_.base) {
+    case TypeDesc::Base::kDate:
+    case TypeDesc::Base::kBoolean:
+      return three_way(integer_, other.integer_);
+    case TypeDesc::Base::kText:
+      return three_way(text_, other.text_);
+    default:
+      return Status::InvalidArgument("type is not orderable");
+  }
+}
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_.base) {
+    case TypeDesc::Base::kInteger:
+      return std::to_string(integer_);
+    case TypeDesc::Base::kFloat: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", real_);
+      return buf;
+    }
+    case TypeDesc::Base::kText:
+      return text_;
+    case TypeDesc::Base::kDate:
+      return FormatDate(integer_);
+    case TypeDesc::Base::kBoolean:
+      return integer_ != 0 ? "t" : "f";
+    case TypeDesc::Base::kPointer:
+      return "<pointer>";
+    case TypeDesc::Base::kOpaque: {
+      std::string out = "0x";
+      for (uint8_t b : bytes_) {
+        char buf[3];
+        std::snprintf(buf, sizeof(buf), "%02x", b);
+        out += buf;
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace grtdb

@@ -1,0 +1,90 @@
+#ifndef GRTDB_SERVER_VALUE_H_
+#define GRTDB_SERVER_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grtdb {
+
+// SQL type descriptor. Built-in base types plus opaque (user-defined)
+// types, which carry the id assigned by the TypeRegistry.
+struct TypeDesc {
+  enum class Base {
+    kInteger,
+    kFloat,
+    kText,
+    kDate,
+    kBoolean,
+    kPointer,  // purpose-function registration only ("pointer" args)
+    kOpaque,
+  };
+
+  Base base = Base::kInteger;
+  uint32_t opaque_id = 0;
+
+  static TypeDesc Integer() { return {Base::kInteger, 0}; }
+  static TypeDesc Float() { return {Base::kFloat, 0}; }
+  static TypeDesc Text() { return {Base::kText, 0}; }
+  static TypeDesc Date() { return {Base::kDate, 0}; }
+  static TypeDesc Boolean() { return {Base::kBoolean, 0}; }
+  static TypeDesc Pointer() { return {Base::kPointer, 0}; }
+  static TypeDesc Opaque(uint32_t id) { return {Base::kOpaque, id}; }
+
+  friend bool operator==(const TypeDesc& a, const TypeDesc& b) {
+    return a.base == b.base && a.opaque_id == b.opaque_id;
+  }
+};
+
+// A SQL value: NULL or one of the base types. Opaque values hold the
+// type's internal binary structure, interpreted only by the opaque type's
+// support functions and the DataBlade code that owns it.
+class Value {
+ public:
+  Value() : null_(true) {}
+
+  static Value Null() { return Value(); }
+  static Value Integer(int64_t v);
+  static Value Float(double v);
+  static Value Text(std::string v);
+  static Value Date(int64_t day_number);
+  static Value Boolean(bool v);
+  static Value Opaque(uint32_t type_id, std::vector<uint8_t> bytes);
+
+  bool is_null() const { return null_; }
+  TypeDesc::Base base() const { return type_.base; }
+  const TypeDesc& type() const { return type_; }
+
+  int64_t integer() const { return integer_; }
+  double real() const { return real_; }
+  const std::string& text() const { return text_; }
+  int64_t date() const { return integer_; }
+  bool boolean() const { return integer_ != 0; }
+  const std::vector<uint8_t>& opaque() const { return bytes_; }
+
+  // Deep equality (same type, same contents). NULL equals nothing.
+  bool Equals(const Value& other) const;
+
+  // Three-way comparison for orderable types (integer/float/date/text).
+  Status Compare(const Value& other, int* cmp) const;
+
+  // Rendering of built-in types; opaque values render via the type's
+  // output support function in the server (this fallback shows hex).
+  std::string ToString() const;
+
+ private:
+  bool null_ = true;
+  TypeDesc type_;
+  int64_t integer_ = 0;  // integer / date / boolean
+  double real_ = 0.0;
+  std::string text_;
+  std::vector<uint8_t> bytes_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_VALUE_H_

@@ -1,0 +1,88 @@
+#include "server/vii.h"
+
+namespace grtdb {
+
+std::string MiAmQualDesc::ToString(
+    const std::string& column_name,
+    const std::function<std::string(const Value&)>& render) const {
+  switch (op) {
+    case Op::kTerm: {
+      std::string fn = term.func != nullptr ? term.func->name : "?";
+      if (term.unary) return fn + "(" + column_name + ")";
+      const std::string constant =
+          render ? render(term.constant) : term.constant.ToString();
+      if (term.column_first) {
+        return fn + "(" + column_name + ", '" + constant + "')";
+      }
+      return fn + "('" + constant + "', " + column_name + ")";
+    }
+    case Op::kAnd:
+    case Op::kOr: {
+      std::string sep = op == Op::kAnd ? " AND " : " OR ";
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i != 0) out += sep;
+        out += "(" + children[i].ToString(column_name, render) + ")";
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+Status EvaluateQualOnValue(MiCallContext& ctx, const MiAmQualDesc& qual,
+                           const Value& key, bool* matches) {
+  switch (qual.op) {
+    case MiAmQualDesc::Op::kTerm: {
+      if (qual.term.func == nullptr || !qual.term.func->fn) {
+        return Status::Internal("qualification term has no bound routine");
+      }
+      std::vector<Value> args;
+      if (qual.term.unary) {
+        args = {key};
+      } else if (qual.term.column_first) {
+        args = {key, qual.term.constant};
+      } else {
+        args = {qual.term.constant, key};
+      }
+      StatusOr<Value> result = qual.term.func->fn(ctx, args);
+      if (!result.ok()) return result.status();
+      if (result.value().base() != TypeDesc::Base::kBoolean) {
+        return Status::InvalidArgument("strategy function '" +
+                                       qual.term.func->name +
+                                       "' did not return boolean");
+      }
+      *matches = result.value().boolean();
+      return Status::OK();
+    }
+    case MiAmQualDesc::Op::kAnd: {
+      for (const MiAmQualDesc& child : qual.children) {
+        bool child_matches = false;
+        GRTDB_RETURN_IF_ERROR(
+            EvaluateQualOnValue(ctx, child, key, &child_matches));
+        if (!child_matches) {
+          *matches = false;
+          return Status::OK();
+        }
+      }
+      *matches = true;
+      return Status::OK();
+    }
+    case MiAmQualDesc::Op::kOr: {
+      for (const MiAmQualDesc& child : qual.children) {
+        bool child_matches = false;
+        GRTDB_RETURN_IF_ERROR(
+            EvaluateQualOnValue(ctx, child, key, &child_matches));
+        if (child_matches) {
+          *matches = true;
+          return Status::OK();
+        }
+      }
+      *matches = false;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad qualification op");
+}
+
+}  // namespace grtdb

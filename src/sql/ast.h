@@ -1,0 +1,180 @@
+#ifndef GRTDB_SQL_AST_H_
+#define GRTDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace grtdb {
+namespace sql {
+
+// Untyped literal as written in the SQL text; the executor coerces it to
+// the column/argument type (string literals become dates, opaque values,
+// or text depending on context).
+struct Literal {
+  enum class Kind { kNull, kInteger, kFloat, kString };
+  Kind kind = Kind::kNull;
+  int64_t integer = 0;
+  double real = 0.0;
+  std::string text;
+};
+
+// Boolean/value expression in a WHERE clause.
+struct Expr {
+  enum class Kind { kLiteral, kColumn, kCall, kAnd, kOr, kNot, kCompare };
+  enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  Kind kind = Kind::kLiteral;
+  Literal literal;      // kLiteral
+  std::string column;   // kColumn (identifier)
+  std::string func;     // kCall (function name)
+  CmpOp cmp = CmpOp::kEq;
+  std::vector<std::unique_ptr<Expr>> children;  // operands
+};
+
+struct ColumnSpec {
+  std::string name;
+  std::string type_name;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnSpec> columns;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct CreateFunctionStmt {
+  std::string name;
+  std::vector<std::string> arg_types;
+  std::string return_type;
+  std::string external_name;  // "path(symbol)"
+  std::string language;
+  // §5.2: Informix lets a function declare its negator (returns the
+  // opposite) and its commutator (same result with swapped arguments) —
+  // and nothing stronger, such as implications between predicates.
+  std::string negator;
+  std::string commutator;
+};
+
+struct CreateAccessMethodStmt {
+  std::string name;
+  // am_create = grt_create, am_sptype = "S", ...
+  std::vector<std::pair<std::string, std::string>> properties;
+};
+
+struct CreateOpclassStmt {
+  std::string name;
+  std::string access_method;
+  std::vector<std::string> strategies;
+  std::vector<std::string> supports;
+  bool is_default = false;
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  // (column, operator class); empty opclass selects the AM's default.
+  std::vector<std::pair<std::string, std::string>> columns;
+  std::string access_method;  // USING <am>
+  std::string space;          // IN <space>
+};
+
+struct DropIndexStmt {
+  std::string index;
+};
+
+struct DropFunctionStmt {
+  std::string name;
+};
+
+struct DropAccessMethodStmt {
+  std::string name;
+};
+
+struct DropOpclassStmt {
+  std::string name;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<Literal> values;
+};
+
+struct SelectStmt {
+  bool star = false;
+  bool count_star = false;
+  std::vector<std::string> columns;
+  std::string table;
+  std::unique_ptr<Expr> where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::unique_ptr<Expr> where;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Literal>> assignments;
+  std::unique_ptr<Expr> where;
+};
+
+struct BeginWorkStmt {};
+struct CommitWorkStmt {};
+struct RollbackWorkStmt {};
+
+struct SetStmt {
+  enum class What {
+    kIsolation,    // SET ISOLATION TO {DIRTY|COMMITTED|REPEATABLE} READ
+    kExplain,      // SET EXPLAIN {ON|OFF}
+    kCurrentTime,  // SET CURRENT_TIME TO <literal>   (simulation clock)
+    kTimeMode,     // SET TIME MODE {STATEMENT|TRANSACTION}   (§5.4)
+    kTrace,        // SET TRACE <class> TO <level>
+  };
+  What what = What::kExplain;
+  std::string argument;  // textual argument
+  Literal value;         // literal argument where applicable
+};
+
+// LOAD FROM 'file' INSERT INTO t — bulk text loading through the opaque
+// types' import support functions (paper §6.3 task 3). Fields are
+// |-separated, one row per line.
+struct LoadStmt {
+  std::string path;
+  std::string table;
+};
+
+// UNLOAD TO 'file' SELECT * FROM t [WHERE ...] — the reverse, through the
+// export support functions.
+struct UnloadStmt {
+  std::string path;
+  std::string table;
+  std::unique_ptr<Expr> where;
+};
+
+// Extensions surfacing am_check / am_stats (Informix reaches them through
+// oncheck / UPDATE STATISTICS).
+struct CheckIndexStmt {
+  std::string index;
+};
+struct UpdateStatisticsStmt {
+  std::string index;
+};
+
+using Statement =
+    std::variant<CreateTableStmt, DropTableStmt, CreateFunctionStmt,
+                 CreateAccessMethodStmt, CreateOpclassStmt, CreateIndexStmt,
+                 DropIndexStmt, DropFunctionStmt, DropAccessMethodStmt,
+                 DropOpclassStmt, InsertStmt, SelectStmt, DeleteStmt,
+                 UpdateStmt, BeginWorkStmt, CommitWorkStmt, RollbackWorkStmt,
+                 SetStmt, CheckIndexStmt, UpdateStatisticsStmt, LoadStmt,
+                 UnloadStmt>;
+
+}  // namespace sql
+}  // namespace grtdb
+
+#endif  // GRTDB_SQL_AST_H_

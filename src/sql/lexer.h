@@ -1,0 +1,34 @@
+#ifndef GRTDB_SQL_LEXER_H_
+#define GRTDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grtdb {
+namespace sql {
+
+struct Token {
+  enum class Kind {
+    kIdentifier,  // unquoted word (keywords included; matching is by text)
+    kInteger,
+    kFloat,
+    kString,  // 'single' or "double" quoted
+    kSymbol,  // ( ) , ; = < > <= >= <> * .
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;  // identifier text (original case), symbol, or string body
+  int64_t integer = 0;
+  double real = 0.0;
+  size_t offset = 0;  // position in the input, for error messages
+};
+
+// Tokenizes one SQL statement (or a ;-separated script).
+Status Tokenize(const std::string& input, std::vector<Token>* out);
+
+}  // namespace sql
+}  // namespace grtdb
+
+#endif  // GRTDB_SQL_LEXER_H_

@@ -1,0 +1,72 @@
+#ifndef GRTDB_SQL_PARSER_H_
+#define GRTDB_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace grtdb {
+namespace sql {
+
+// Recursive-descent parser for the SQL dialect the paper exercises:
+// creation of tables, functions, secondary access methods, operator
+// classes, and virtual indexes; DML with WHERE clauses combining
+// strategy-function calls and comparisons; transactions; and SET commands
+// (plus the simulation extensions SET CURRENT_TIME / SET TIME MODE and the
+// CHECK INDEX / UPDATE STATISTICS hooks for am_check / am_stats).
+class Parser {
+ public:
+  // Parses one statement.
+  static Status Parse(const std::string& text, Statement* out);
+
+  // Parses a ;-separated script (trailing ; optional).
+  static Status ParseScript(const std::string& text,
+                            std::vector<Statement>* out);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  Token Take();
+  bool AtKeyword(const std::string& word) const;
+  Status ExpectKeyword(const std::string& word);
+  Status ExpectSymbol(const std::string& symbol);
+  bool TrySymbol(const std::string& symbol);
+  Status TakeIdentifier(std::string* out);
+
+  Status ParseStatement(Statement* out);
+  Status ParseCreate(Statement* out);
+  Status ParseCreateTable(Statement* out);
+  Status ParseCreateFunction(Statement* out);
+  Status ParseCreateAccessMethod(Statement* out);
+  Status ParseCreateOpclass(bool is_default, Statement* out);
+  Status ParseCreateIndex(Statement* out);
+  Status ParseDrop(Statement* out);
+  Status ParseInsert(Statement* out);
+  Status ParseSelect(Statement* out);
+  Status ParseDelete(Statement* out);
+  Status ParseUpdate(Statement* out);
+  Status ParseSet(Statement* out);
+  Status ParseCheck(Statement* out);
+  Status ParseLoad(Statement* out);
+  Status ParseUnload(Statement* out);
+
+  Status ParseLiteral(Literal* out);
+  Status ParseExpr(std::unique_ptr<Expr>* out);
+  Status ParseOr(std::unique_ptr<Expr>* out);
+  Status ParseAnd(std::unique_ptr<Expr>* out);
+  Status ParseNot(std::unique_ptr<Expr>* out);
+  Status ParsePredicate(std::unique_ptr<Expr>* out);
+  Status ParseOperand(std::unique_ptr<Expr>* out);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sql
+}  // namespace grtdb
+
+#endif  // GRTDB_SQL_PARSER_H_

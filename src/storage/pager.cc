@@ -1,0 +1,127 @@
+#include "storage/pager.h"
+
+#include <cstring>
+
+namespace grtdb {
+
+Pager::Pager(Space* space, size_t capacity) : space_(space) {
+  if (capacity == 0) capacity = 1;
+  frames_.resize(capacity);
+  for (Frame& frame : frames_) {
+    frame.data = std::make_unique<uint8_t[]>(kPageSize);
+  }
+}
+
+Status Pager::GrabFrameLocked(size_t* frame_index) {
+  size_t victim = frames_.size();
+  uint64_t best_tick = UINT64_MAX;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& frame = frames_[i];
+    if (frame.page_id == kInvalidPageId) {
+      *frame_index = i;
+      return Status::OK();
+    }
+    if (frame.pin_count == 0 && frame.lru_tick < best_tick) {
+      best_tick = frame.lru_tick;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::Internal("buffer pool exhausted: all frames pinned");
+  }
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    GRTDB_RETURN_IF_ERROR(space_->WritePage(frame.page_id, frame.data.get()));
+    ++stats_.physical_writes;
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  ++stats_.evictions;
+  *frame_index = victim;
+  return Status::OK();
+}
+
+Status Pager::NewPage(PageId* id, uint8_t** data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId new_id;
+  GRTDB_RETURN_IF_ERROR(space_->Extend(&new_id));
+  size_t frame_index;
+  GRTDB_RETURN_IF_ERROR(GrabFrameLocked(&frame_index));
+  Frame& frame = frames_[frame_index];
+  frame.page_id = new_id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.lru_tick = ++tick_;
+  std::memset(frame.data.get(), 0, kPageSize);
+  page_table_[new_id] = frame_index;
+  *id = new_id;
+  *data = frame.data.get();
+  return Status::OK();
+}
+
+Status Pager::FetchPage(PageId id, uint8_t** data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.logical_reads;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.lru_tick = ++tick_;
+    ++stats_.hits;
+    *data = frame.data.get();
+    return Status::OK();
+  }
+  ++stats_.misses;
+  size_t frame_index;
+  GRTDB_RETURN_IF_ERROR(GrabFrameLocked(&frame_index));
+  Frame& frame = frames_[frame_index];
+  GRTDB_RETURN_IF_ERROR(space_->ReadPage(id, frame.data.get()));
+  ++stats_.physical_reads;
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.lru_tick = ++tick_;
+  page_table_[id] = frame_index;
+  *data = frame.data.get();
+  return Status::OK();
+}
+
+void Pager::MarkDirty(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) frames_[it->second].dirty = true;
+}
+
+void Pager::Unpin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end() && frames_[it->second].pin_count > 0) {
+    --frames_[it->second].pin_count;
+  }
+}
+
+Status Pager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      GRTDB_RETURN_IF_ERROR(
+          space_->WritePage(frame.page_id, frame.data.get()));
+      ++stats_.physical_writes;
+      frame.dirty = false;
+    }
+  }
+  return space_->Sync();
+}
+
+PagerStats Pager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Pager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = PagerStats();
+}
+
+}  // namespace grtdb

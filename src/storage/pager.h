@@ -1,0 +1,123 @@
+#ifndef GRTDB_STORAGE_PAGER_H_
+#define GRTDB_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/space.h"
+
+namespace grtdb {
+
+// Buffer-pool statistics. `logical_reads` counts FetchPage calls;
+// `physical_reads`/`physical_writes` count actual Space I/O.
+struct PagerStats {
+  uint64_t logical_reads = 0;
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+// A buffer pool with LRU replacement over a Space. Thread-safe; pages are
+// pinned while a caller holds the frame pointer and must be unpinned.
+//
+// PageGuard is the RAII pin: prefer it over raw Fetch/Unpin pairs.
+class Pager {
+ public:
+  // `capacity` is the number of in-memory frames (>= 1).
+  Pager(Space* space, size_t capacity);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // Allocates a fresh zeroed page in the space and pins it (dirty).
+  Status NewPage(PageId* id, uint8_t** data);
+
+  // Pins page `id`, reading it from the space on a miss.
+  Status FetchPage(PageId id, uint8_t** data);
+
+  // Marks a pinned page dirty so eviction/flush writes it back.
+  void MarkDirty(PageId id);
+
+  // Releases one pin.
+  void Unpin(PageId id);
+
+  // Writes back all dirty frames and syncs the space.
+  Status FlushAll();
+
+  PagerStats stats() const;
+  void ResetStats();
+
+  size_t capacity() const { return frames_.size(); }
+  Space* space() const { return space_; }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    uint64_t lru_tick = 0;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  // Returns the index of a free or evictable frame. Requires mu_ held.
+  Status GrabFrameLocked(size_t* frame_index);
+
+  Space* space_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  uint64_t tick_ = 0;
+  PagerStats stats_;
+};
+
+// RAII pin on a page.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(Pager* pager, PageId id, uint8_t* data)
+      : pager_(pager), id_(id), data_(data) {}
+  ~PageGuard() { Reset(); }
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      pager_ = other.pager_;
+      id_ = other.id_;
+      data_ = other.data_;
+      other.pager_ = nullptr;
+      other.data_ = nullptr;
+    }
+    return *this;
+  }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return data_ != nullptr; }
+  PageId id() const { return id_; }
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  void MarkDirty() { pager_->MarkDirty(id_); }
+
+  void Reset() {
+    if (pager_ != nullptr && data_ != nullptr) pager_->Unpin(id_);
+    pager_ = nullptr;
+    data_ = nullptr;
+  }
+
+ private:
+  Pager* pager_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  uint8_t* data_ = nullptr;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_STORAGE_PAGER_H_

@@ -1,0 +1,441 @@
+#include "storage/sbspace.h"
+
+#include <algorithm>
+#include <vector>
+#include <cstring>
+
+#include "storage/layout.h"
+
+namespace grtdb {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5342535043303031ull;  // "SBSPC001"
+
+// Header page (page 0) offsets.
+constexpr size_t kHdrMagic = 0;
+constexpr size_t kHdrNextLoId = 8;
+constexpr size_t kHdrFreeHead = 16;
+constexpr size_t kHdrDirHead = 20;
+
+// Directory page offsets.
+constexpr size_t kDirNext = 0;
+constexpr size_t kDirCount = 4;
+constexpr size_t kDirEntries = 8;
+constexpr size_t kDirEntrySize = 12;  // lo_id u64 + inode u32
+constexpr size_t kDirCapacity = (kPageSize - kDirEntries) / kDirEntrySize;
+
+// Inode page offsets.
+constexpr size_t kInodeSize = 0;  // u64, root inode only
+constexpr size_t kInodeNext = 8;
+constexpr size_t kInodeCount = 12;
+constexpr size_t kInodePages = 16;
+constexpr size_t kInodeCapacity = (kPageSize - kInodePages) / 4;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Sbspace>> Sbspace::Open(Space* space,
+                                                 size_t pool_pages) {
+  std::unique_ptr<Sbspace> sbspace(new Sbspace(space, pool_pages));
+  if (space->page_count() == 0) {
+    GRTDB_RETURN_IF_ERROR(sbspace->Format());
+  } else {
+    uint8_t* hdr;
+    GRTDB_RETURN_IF_ERROR(sbspace->pager_.FetchPage(0, &hdr));
+    const uint64_t magic = LoadU64(hdr + kHdrMagic);
+    sbspace->pager_.Unpin(0);
+    if (magic != kMagic) {
+      return Status::Corruption("not an sbspace (bad magic)");
+    }
+  }
+  return sbspace;
+}
+
+Status Sbspace::Format() {
+  PageId hdr_id;
+  uint8_t* hdr;
+  GRTDB_RETURN_IF_ERROR(pager_.NewPage(&hdr_id, &hdr));
+  if (hdr_id != 0) {
+    pager_.Unpin(hdr_id);
+    return Status::Internal("sbspace header must be page 0");
+  }
+  StoreU64(hdr + kHdrMagic, kMagic);
+  StoreU64(hdr + kHdrNextLoId, 1);
+  StoreU32(hdr + kHdrFreeHead, kInvalidPageId);
+
+  PageId dir_id;
+  uint8_t* dir;
+  Status st = pager_.NewPage(&dir_id, &dir);
+  if (!st.ok()) {
+    pager_.Unpin(hdr_id);
+    return st;
+  }
+  StoreU32(dir + kDirNext, kInvalidPageId);
+  StoreU32(dir + kDirCount, 0);
+  pager_.Unpin(dir_id);
+
+  StoreU32(hdr + kHdrDirHead, dir_id);
+  pager_.MarkDirty(hdr_id);
+  pager_.Unpin(hdr_id);
+  return Status::OK();
+}
+
+Status Sbspace::AllocPage(PageId* id) {
+  uint8_t* hdr;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(0, &hdr));
+  PageGuard hdr_guard(&pager_, 0, hdr);
+  PageId free_head = LoadU32(hdr + kHdrFreeHead);
+  if (free_head != kInvalidPageId) {
+    uint8_t* page;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(free_head, &page));
+    PageGuard guard(&pager_, free_head, page);
+    StoreU32(hdr + kHdrFreeHead, LoadU32(page + kDirNext));
+    hdr_guard.MarkDirty();
+    std::memset(page, 0, kPageSize);
+    guard.MarkDirty();
+    *id = free_head;
+    return Status::OK();
+  }
+  uint8_t* page;
+  GRTDB_RETURN_IF_ERROR(pager_.NewPage(id, &page));
+  pager_.Unpin(*id);
+  return Status::OK();
+}
+
+Status Sbspace::FreePage(PageId id) {
+  uint8_t* hdr;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(0, &hdr));
+  PageGuard hdr_guard(&pager_, 0, hdr);
+  uint8_t* page;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(id, &page));
+  PageGuard guard(&pager_, id, page);
+  StoreU32(page, LoadU32(hdr + kHdrFreeHead));
+  guard.MarkDirty();
+  StoreU32(hdr + kHdrFreeHead, id);
+  hdr_guard.MarkDirty();
+  return Status::OK();
+}
+
+Status Sbspace::CreateLo(LoHandle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint8_t* hdr;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(0, &hdr));
+  PageGuard hdr_guard(&pager_, 0, hdr);
+  const uint64_t lo_id = LoadU64(hdr + kHdrNextLoId);
+  StoreU64(hdr + kHdrNextLoId, lo_id + 1);
+  hdr_guard.MarkDirty();
+
+  PageId inode_id;
+  GRTDB_RETURN_IF_ERROR(AllocPage(&inode_id));
+  {
+    uint8_t* inode;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(inode_id, &inode));
+    PageGuard guard(&pager_, inode_id, inode);
+    StoreU64(inode + kInodeSize, 0);
+    StoreU32(inode + kInodeNext, kInvalidPageId);
+    StoreU32(inode + kInodeCount, 0);
+    guard.MarkDirty();
+  }
+
+  // Add a directory entry (reusing a vacated slot when one exists).
+  PageId dir_id = LoadU32(hdr + kHdrDirHead);
+  while (true) {
+    uint8_t* dir;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(dir_id, &dir));
+    PageGuard guard(&pager_, dir_id, dir);
+    const uint32_t count = LoadU32(dir + kDirCount);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint8_t* entry = dir + kDirEntries + i * kDirEntrySize;
+      if (LoadU64(entry) == 0) {
+        StoreU64(entry, lo_id);
+        StoreU32(entry + 8, inode_id);
+        guard.MarkDirty();
+        handle->id = lo_id;
+        return Status::OK();
+      }
+    }
+    if (count < kDirCapacity) {
+      uint8_t* entry = dir + kDirEntries + count * kDirEntrySize;
+      StoreU64(entry, lo_id);
+      StoreU32(entry + 8, inode_id);
+      StoreU32(dir + kDirCount, count + 1);
+      guard.MarkDirty();
+      handle->id = lo_id;
+      return Status::OK();
+    }
+    PageId next = LoadU32(dir + kDirNext);
+    if (next == kInvalidPageId) {
+      GRTDB_RETURN_IF_ERROR(AllocPage(&next));
+      uint8_t* next_dir;
+      GRTDB_RETURN_IF_ERROR(pager_.FetchPage(next, &next_dir));
+      PageGuard next_guard(&pager_, next, next_dir);
+      StoreU32(next_dir + kDirNext, kInvalidPageId);
+      StoreU32(next_dir + kDirCount, 0);
+      next_guard.MarkDirty();
+      StoreU32(dir + kDirNext, next);
+      guard.MarkDirty();
+    }
+    dir_id = next;
+  }
+}
+
+Status Sbspace::FindInode(uint64_t lo_id, PageId* inode_page) {
+  uint8_t* hdr;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(0, &hdr));
+  PageId dir_id = LoadU32(hdr + kHdrDirHead);
+  pager_.Unpin(0);
+  while (dir_id != kInvalidPageId) {
+    uint8_t* dir;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(dir_id, &dir));
+    PageGuard guard(&pager_, dir_id, dir);
+    const uint32_t count = LoadU32(dir + kDirCount);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint8_t* entry = dir + kDirEntries + i * kDirEntrySize;
+      if (LoadU64(entry) == lo_id) {
+        *inode_page = LoadU32(entry + 8);
+        return Status::OK();
+      }
+    }
+    dir_id = LoadU32(dir + kDirNext);
+  }
+  return Status::NotFound("large object " + std::to_string(lo_id));
+}
+
+Status Sbspace::DataPageFor(PageId inode_root, uint64_t page_index, bool grow,
+                            PageId* data_page) {
+  PageId inode_id = inode_root;
+  uint64_t index = page_index;
+  while (true) {
+    uint8_t* inode;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(inode_id, &inode));
+    PageGuard guard(&pager_, inode_id, inode);
+    uint32_t count = LoadU32(inode + kInodeCount);
+    if (index < count) {
+      *data_page = LoadU32(inode + kInodePages + index * 4);
+      return Status::OK();
+    }
+    if (index < kInodeCapacity) {
+      if (!grow) return Status::IOError("read past end of large object");
+      // Append pages up to `index` within this inode page.
+      while (count <= index) {
+        PageId page;
+        GRTDB_RETURN_IF_ERROR(AllocPage(&page));
+        StoreU32(inode + kInodePages + count * 4, page);
+        ++count;
+      }
+      StoreU32(inode + kInodeCount, count);
+      guard.MarkDirty();
+      *data_page = LoadU32(inode + kInodePages + index * 4);
+      return Status::OK();
+    }
+    // Move to the next inode page in the chain.
+    PageId next = LoadU32(inode + kInodeNext);
+    if (next == kInvalidPageId) {
+      if (!grow) return Status::IOError("read past end of large object");
+      if (count < kInodeCapacity) {
+        while (count < kInodeCapacity) {
+          PageId page;
+          GRTDB_RETURN_IF_ERROR(AllocPage(&page));
+          StoreU32(inode + kInodePages + count * 4, page);
+          ++count;
+        }
+        StoreU32(inode + kInodeCount, count);
+      }
+      GRTDB_RETURN_IF_ERROR(AllocPage(&next));
+      uint8_t* next_inode;
+      GRTDB_RETURN_IF_ERROR(pager_.FetchPage(next, &next_inode));
+      PageGuard next_guard(&pager_, next, next_inode);
+      StoreU32(next_inode + kInodeNext, kInvalidPageId);
+      StoreU32(next_inode + kInodeCount, 0);
+      next_guard.MarkDirty();
+      StoreU32(inode + kInodeNext, next);
+      guard.MarkDirty();
+    }
+    inode_id = next;
+    index -= kInodeCapacity;
+  }
+}
+
+Status Sbspace::LoSize(LoHandle handle, uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId inode_id;
+  GRTDB_RETURN_IF_ERROR(FindInode(handle.id, &inode_id));
+  uint8_t* inode;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(inode_id, &inode));
+  *size = LoadU64(inode + kInodeSize);
+  pager_.Unpin(inode_id);
+  return Status::OK();
+}
+
+Status Sbspace::LoRead(LoHandle handle, uint64_t offset, size_t len,
+                       uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId inode_id;
+  GRTDB_RETURN_IF_ERROR(FindInode(handle.id, &inode_id));
+  {
+    uint8_t* inode;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(inode_id, &inode));
+    const uint64_t size = LoadU64(inode + kInodeSize);
+    pager_.Unpin(inode_id);
+    if (offset + len > size) {
+      return Status::IOError("LO read past end (offset " +
+                             std::to_string(offset) + " + " +
+                             std::to_string(len) + " > size " +
+                             std::to_string(size) + ")");
+    }
+  }
+  while (len > 0) {
+    const uint64_t page_index = offset / kPageSize;
+    const size_t in_page = static_cast<size_t>(offset % kPageSize);
+    const size_t chunk = std::min(len, kPageSize - in_page);
+    PageId data_page;
+    GRTDB_RETURN_IF_ERROR(
+        DataPageFor(inode_id, page_index, /*grow=*/false, &data_page));
+    uint8_t* data;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(data_page, &data));
+    std::memcpy(out, data + in_page, chunk);
+    pager_.Unpin(data_page);
+    out += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+  return Status::OK();
+}
+
+Status Sbspace::LoWrite(LoHandle handle, uint64_t offset, size_t len,
+                        const uint8_t* data_in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId inode_id;
+  GRTDB_RETURN_IF_ERROR(FindInode(handle.id, &inode_id));
+  const uint64_t end = offset + len;
+  while (len > 0) {
+    const uint64_t page_index = offset / kPageSize;
+    const size_t in_page = static_cast<size_t>(offset % kPageSize);
+    const size_t chunk = std::min(len, kPageSize - in_page);
+    PageId data_page;
+    GRTDB_RETURN_IF_ERROR(
+        DataPageFor(inode_id, page_index, /*grow=*/true, &data_page));
+    uint8_t* data;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(data_page, &data));
+    std::memcpy(data + in_page, data_in, chunk);
+    pager_.MarkDirty(data_page);
+    pager_.Unpin(data_page);
+    data_in += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+  uint8_t* inode;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(inode_id, &inode));
+  if (end > LoadU64(inode + kInodeSize)) {
+    StoreU64(inode + kInodeSize, end);
+    pager_.MarkDirty(inode_id);
+  }
+  pager_.Unpin(inode_id);
+  return Status::OK();
+}
+
+Status Sbspace::LoTruncate(LoHandle handle, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId inode_id;
+  GRTDB_RETURN_IF_ERROR(FindInode(handle.id, &inode_id));
+  // Walk the inode chain, releasing whole pages past the new size.
+  const uint64_t keep_pages = (size + kPageSize - 1) / kPageSize;
+  PageId current = inode_id;
+  uint64_t base = 0;
+  while (current != kInvalidPageId) {
+    uint8_t* inode;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(current, &inode));
+    PageGuard guard(&pager_, current, inode);
+    const uint32_t count = LoadU32(inode + kInodeCount);
+    uint32_t keep_here = 0;
+    if (keep_pages > base) {
+      keep_here = static_cast<uint32_t>(
+          std::min<uint64_t>(count, keep_pages - base));
+    }
+    for (uint32_t i = keep_here; i < count; ++i) {
+      GRTDB_RETURN_IF_ERROR(FreePage(LoadU32(inode + kInodePages + i * 4)));
+    }
+    if (keep_here != count) {
+      StoreU32(inode + kInodeCount, keep_here);
+      guard.MarkDirty();
+    }
+    if (current == inode_id) {
+      StoreU64(inode + kInodeSize, size);
+      guard.MarkDirty();
+    }
+    base += kInodeCapacity;
+    current = LoadU32(inode + kInodeNext);
+  }
+  return Status::OK();
+}
+
+Status Sbspace::DropLo(LoHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId inode_root;
+  GRTDB_RETURN_IF_ERROR(FindInode(handle.id, &inode_root));
+  // Free all data pages and inode pages.
+  PageId current = inode_root;
+  while (current != kInvalidPageId) {
+    uint8_t* inode;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(current, &inode));
+    const uint32_t count = LoadU32(inode + kInodeCount);
+    const PageId next = LoadU32(inode + kInodeNext);
+    std::vector<PageId> pages;
+    pages.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      pages.push_back(LoadU32(inode + kInodePages + i * 4));
+    }
+    pager_.Unpin(current);
+    for (PageId page : pages) {
+      GRTDB_RETURN_IF_ERROR(FreePage(page));
+    }
+    GRTDB_RETURN_IF_ERROR(FreePage(current));
+    current = next;
+  }
+  // Vacate the directory slot.
+  uint8_t* hdr;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(0, &hdr));
+  PageId dir_id = LoadU32(hdr + kHdrDirHead);
+  pager_.Unpin(0);
+  while (dir_id != kInvalidPageId) {
+    uint8_t* dir;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(dir_id, &dir));
+    PageGuard guard(&pager_, dir_id, dir);
+    const uint32_t count = LoadU32(dir + kDirCount);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint8_t* entry = dir + kDirEntries + i * kDirEntrySize;
+      if (LoadU64(entry) == handle.id) {
+        StoreU64(entry, 0);
+        StoreU32(entry + 8, kInvalidPageId);
+        guard.MarkDirty();
+        return Status::OK();
+      }
+    }
+    dir_id = LoadU32(dir + kDirNext);
+  }
+  return Status::Corruption("LO directory entry vanished during drop");
+}
+
+Status Sbspace::CountLos(uint64_t* count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint8_t* hdr;
+  GRTDB_RETURN_IF_ERROR(pager_.FetchPage(0, &hdr));
+  PageId dir_id = LoadU32(hdr + kHdrDirHead);
+  pager_.Unpin(0);
+  uint64_t total = 0;
+  while (dir_id != kInvalidPageId) {
+    uint8_t* dir;
+    GRTDB_RETURN_IF_ERROR(pager_.FetchPage(dir_id, &dir));
+    const uint32_t n = LoadU32(dir + kDirCount);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (LoadU64(dir + kDirEntries + i * kDirEntrySize) != 0) ++total;
+    }
+    PageId next = LoadU32(dir + kDirNext);
+    pager_.Unpin(dir_id);
+    dir_id = next;
+  }
+  *count = total;
+  return Status::OK();
+}
+
+}  // namespace grtdb

@@ -1,0 +1,111 @@
+#include "storage/space.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace grtdb {
+
+Status MemorySpace::ReadPage(PageId id, uint8_t* out) {
+  if (id >= pages_.size()) {
+    return Status::IOError("read past end of space: page " +
+                           std::to_string(id));
+  }
+  std::memcpy(out, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status MemorySpace::WritePage(PageId id, const uint8_t* data) {
+  if (id >= pages_.size()) {
+    return Status::IOError("write past end of space: page " +
+                           std::to_string(id));
+  }
+  std::memcpy(pages_[id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+PageId MemorySpace::page_count() const {
+  return static_cast<PageId>(pages_.size());
+}
+
+Status MemorySpace::Extend(PageId* id) {
+  auto page = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  *id = static_cast<PageId>(pages_.size() - 1);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<FileSpace>> FileSpace::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("lseek failed on '" + path + "'");
+  }
+  PageId pages = static_cast<PageId>(static_cast<uint64_t>(size) / kPageSize);
+  return std::unique_ptr<FileSpace>(new FileSpace(fd, pages));
+}
+
+FileSpace::~FileSpace() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileSpace::ReadPage(PageId id, uint8_t* out) {
+  if (id >= page_count_) {
+    return Status::IOError("read past end of space: page " +
+                           std::to_string(id));
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short read on page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FileSpace::WritePage(PageId id, const uint8_t* data) {
+  if (id >= page_count_) {
+    return Status::IOError("write past end of space: page " +
+                           std::to_string(id));
+  }
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short write on page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+PageId FileSpace::page_count() const { return page_count_; }
+
+Status FileSpace::Extend(PageId* id) {
+  uint8_t zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  PageId new_id = page_count_;
+  ssize_t n =
+      ::pwrite(fd_, zeros, kPageSize,
+               static_cast<off_t>(new_id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("extend failed at page " + std::to_string(new_id));
+  }
+  ++page_count_;
+  *id = new_id;
+  return Status::OK();
+}
+
+Status FileSpace::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(std::string("fsync failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace grtdb

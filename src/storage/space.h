@@ -1,0 +1,79 @@
+#ifndef GRTDB_STORAGE_SPACE_H_
+#define GRTDB_STORAGE_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grtdb {
+
+// Pages are the unit of I/O everywhere in the system.
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+// A Space is a raw array of pages — the storage substrate under a Pager.
+// Implementations: in-memory (benchmarks, tests) and file-backed.
+class Space {
+ public:
+  virtual ~Space() = default;
+
+  virtual Status ReadPage(PageId id, uint8_t* out) = 0;
+  virtual Status WritePage(PageId id, const uint8_t* data) = 0;
+
+  // Number of pages currently in the space.
+  virtual PageId page_count() const = 0;
+
+  // Appends a zeroed page and returns its id.
+  virtual Status Extend(PageId* id) = 0;
+
+  // Durably persists written pages (no-op for memory spaces).
+  virtual Status Sync() = 0;
+};
+
+// Heap-allocated page array.
+class MemorySpace final : public Space {
+ public:
+  MemorySpace() = default;
+
+  Status ReadPage(PageId id, uint8_t* out) override;
+  Status WritePage(PageId id, const uint8_t* data) override;
+  PageId page_count() const override;
+  Status Extend(PageId* id) override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+// POSIX-file-backed page array.
+class FileSpace final : public Space {
+ public:
+  // Creates the file if missing; existing contents are kept.
+  static StatusOr<std::unique_ptr<FileSpace>> Open(const std::string& path);
+
+  ~FileSpace() override;
+
+  FileSpace(const FileSpace&) = delete;
+  FileSpace& operator=(const FileSpace&) = delete;
+
+  Status ReadPage(PageId id, uint8_t* out) override;
+  Status WritePage(PageId id, const uint8_t* data) override;
+  PageId page_count() const override;
+  Status Extend(PageId* id) override;
+  Status Sync() override;
+
+ private:
+  FileSpace(int fd, PageId page_count) : fd_(fd), page_count_(page_count) {}
+
+  int fd_;
+  PageId page_count_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_STORAGE_SPACE_H_

@@ -1,0 +1,234 @@
+#include "storage/wal_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/layout.h"
+
+namespace grtdb {
+
+namespace {
+
+// Log record types. A transaction is BEGIN (WRITE | FREE)* COMMIT; only
+// transactions whose COMMIT made it to disk are replayed.
+constexpr uint8_t kRecBegin = 1;
+constexpr uint8_t kRecWrite = 2;
+constexpr uint8_t kRecFree = 3;
+constexpr uint8_t kRecCommit = 4;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WalNodeStore>> WalNodeStore::Open(
+    NodeStore* inner, const std::string& log_path) {
+  std::unique_ptr<WalNodeStore> store(new WalNodeStore(inner, log_path));
+  GRTDB_RETURN_IF_ERROR(store->OpenLogForAppend());
+  return store;
+}
+
+WalNodeStore::~WalNodeStore() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+Status WalNodeStore::OpenLogForAppend() {
+  log_fd_ = ::open(log_path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (log_fd_ < 0) {
+    return Status::IOError("cannot open WAL '" + log_path_ +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WalNodeStore::Recover() {
+  // Read the whole log and replay committed transactions in order.
+  std::vector<uint8_t> log;
+  {
+    const off_t size = ::lseek(log_fd_, 0, SEEK_END);
+    if (size < 0) return Status::IOError("lseek on WAL failed");
+    log.resize(static_cast<size_t>(size));
+    if (size > 0 &&
+        ::pread(log_fd_, log.data(), log.size(), 0) !=
+            static_cast<ssize_t>(log.size())) {
+      return Status::IOError("short read on WAL");
+    }
+  }
+
+  struct PendingTxn {
+    std::map<NodeId, std::vector<uint8_t>> writes;
+    std::vector<NodeId> frees;
+  };
+  PendingTxn txn;
+  bool open = false;
+  size_t offset = 0;
+  while (offset < log.size()) {
+    const uint8_t type = log[offset];
+    if (type == kRecBegin) {
+      if (offset + 1 > log.size()) break;
+      txn = PendingTxn();
+      open = true;
+      offset += 1;
+    } else if (type == kRecWrite) {
+      if (offset + 1 + 8 + kPageSize > log.size()) break;  // torn tail
+      const NodeId id = LoadU64(log.data() + offset + 1);
+      txn.writes[id].assign(log.begin() + offset + 9,
+                            log.begin() + offset + 9 + kPageSize);
+      offset += 1 + 8 + kPageSize;
+    } else if (type == kRecFree) {
+      if (offset + 1 + 8 > log.size()) break;
+      txn.frees.push_back(LoadU64(log.data() + offset + 1));
+      offset += 1 + 8;
+    } else if (type == kRecCommit) {
+      if (!open) break;  // corrupt; stop here
+      for (const auto& [id, image] : txn.writes) {
+        GRTDB_RETURN_IF_ERROR(inner_->WriteNode(id, image.data()));
+      }
+      for (NodeId id : txn.frees) {
+        GRTDB_RETURN_IF_ERROR(inner_->FreeNode(id));
+      }
+      ++wal_stats_.transactions_replayed;
+      open = false;
+      offset += 1;
+    } else {
+      break;  // unknown byte: treat as torn tail
+    }
+  }
+  if (open || offset < log.size()) ++wal_stats_.transactions_discarded;
+
+  GRTDB_RETURN_IF_ERROR(inner_->Flush());
+  // The log's work is done; truncate it.
+  if (::ftruncate(log_fd_, 0) != 0) {
+    return Status::IOError("cannot truncate WAL");
+  }
+  return Status::OK();
+}
+
+Status WalNodeStore::Begin() {
+  if (in_txn_) {
+    return Status::InvalidArgument("WAL transaction already open");
+  }
+  in_txn_ = true;
+  pending_.clear();
+  pending_frees_.clear();
+  return Status::OK();
+}
+
+Status WalNodeStore::AppendTransactionToLog() {
+  std::vector<uint8_t> buffer;
+  buffer.reserve(1 + pending_.size() * (1 + 8 + kPageSize) +
+                 pending_frees_.size() * 9 + 1);
+  buffer.push_back(kRecBegin);
+  for (const auto& [id, image] : pending_) {
+    buffer.push_back(kRecWrite);
+    uint8_t id_bytes[8];
+    StoreU64(id_bytes, id);
+    buffer.insert(buffer.end(), id_bytes, id_bytes + 8);
+    buffer.insert(buffer.end(), image.begin(), image.end());
+  }
+  for (NodeId id : pending_frees_) {
+    buffer.push_back(kRecFree);
+    uint8_t id_bytes[8];
+    StoreU64(id_bytes, id);
+    buffer.insert(buffer.end(), id_bytes, id_bytes + 8);
+  }
+  buffer.push_back(kRecCommit);
+  if (::write(log_fd_, buffer.data(), buffer.size()) !=
+      static_cast<ssize_t>(buffer.size())) {
+    return Status::IOError("short write to WAL");
+  }
+  if (::fsync(log_fd_) != 0) {
+    return Status::IOError("fsync on WAL failed");
+  }
+  wal_stats_.log_records += 2 + pending_.size() + pending_frees_.size();
+  wal_stats_.log_bytes += buffer.size();
+  ++wal_stats_.syncs;
+  return Status::OK();
+}
+
+Status WalNodeStore::ApplyPending() {
+  for (const auto& [id, image] : pending_) {
+    GRTDB_RETURN_IF_ERROR(inner_->WriteNode(id, image.data()));
+  }
+  for (NodeId id : pending_frees_) {
+    GRTDB_RETURN_IF_ERROR(inner_->FreeNode(id));
+  }
+  pending_.clear();
+  pending_frees_.clear();
+  return Status::OK();
+}
+
+Status WalNodeStore::Commit() {
+  if (!in_txn_) return Status::InvalidArgument("no WAL transaction open");
+  GRTDB_RETURN_IF_ERROR(AppendTransactionToLog());
+  GRTDB_RETURN_IF_ERROR(ApplyPending());
+  in_txn_ = false;
+  ++wal_stats_.transactions_committed;
+  return Status::OK();
+}
+
+Status WalNodeStore::CommitWithCrashBeforeApply() {
+  if (!in_txn_) return Status::InvalidArgument("no WAL transaction open");
+  GRTDB_RETURN_IF_ERROR(AppendTransactionToLog());
+  // "Crash": the durable log has the transaction, the store does not.
+  pending_.clear();
+  pending_frees_.clear();
+  in_txn_ = false;
+  ++wal_stats_.transactions_committed;
+  return Status::OK();
+}
+
+Status WalNodeStore::Rollback() {
+  if (!in_txn_) return Status::InvalidArgument("no WAL transaction open");
+  pending_.clear();
+  pending_frees_.clear();
+  in_txn_ = false;
+  return Status::OK();
+}
+
+Status WalNodeStore::Checkpoint() {
+  if (in_txn_) {
+    return Status::InvalidArgument("cannot checkpoint inside a transaction");
+  }
+  GRTDB_RETURN_IF_ERROR(inner_->Flush());
+  if (::ftruncate(log_fd_, 0) != 0) {
+    return Status::IOError("cannot truncate WAL");
+  }
+  return Status::OK();
+}
+
+Status WalNodeStore::AllocateNode(NodeId* id) {
+  // Allocation mutates the inner store immediately; a crash before commit
+  // merely leaks the slot (documented trade-off of the simple protocol).
+  return inner_->AllocateNode(id);
+}
+
+Status WalNodeStore::FreeNode(NodeId id) {
+  if (!in_txn_) return inner_->FreeNode(id);
+  pending_.erase(id);
+  pending_frees_.push_back(id);
+  return Status::OK();
+}
+
+Status WalNodeStore::ReadNode(NodeId id, uint8_t* out) {
+  ++stats_.node_reads;
+  if (in_txn_) {
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      std::memcpy(out, it->second.data(), kPageSize);
+      return Status::OK();
+    }
+  }
+  return inner_->ReadNode(id, out);
+}
+
+Status WalNodeStore::WriteNode(NodeId id, const uint8_t* data) {
+  ++stats_.node_writes;
+  if (!in_txn_) return inner_->WriteNode(id, data);
+  pending_[id].assign(data, data + kPageSize);
+  return Status::OK();
+}
+
+Status WalNodeStore::Flush() { return inner_->Flush(); }
+
+}  // namespace grtdb

@@ -1,0 +1,94 @@
+#ifndef GRTDB_STORAGE_WAL_STORE_H_
+#define GRTDB_STORAGE_WAL_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/node_store.h"
+
+namespace grtdb {
+
+struct WalStats {
+  uint64_t log_records = 0;
+  uint64_t log_bytes = 0;
+  uint64_t syncs = 0;
+  uint64_t transactions_committed = 0;
+  uint64_t transactions_replayed = 0;  // by Recover()
+  uint64_t transactions_discarded = 0;  // incomplete tails dropped
+};
+
+// Write-ahead logging for a NodeStore — the recovery machinery a DataBlade
+// that stores its index in a regular operating-system file must build
+// itself, because "there are no means to integrate the access-method
+// recovery with the Informix Server's recovery subsystem" (paper §5.3).
+//
+// Protocol: no-steal / no-force with physical redo records. Writes inside
+// a transaction stay in memory; Commit() appends them to the log, fsyncs,
+// and only then applies them to the inner store. A crash before the commit
+// record loses nothing but the uncommitted transaction; a crash after it
+// is repaired by Recover(), which replays every committed transaction
+// (idempotent physical redo) and discards incomplete tails — including
+// torn final records.
+class WalNodeStore final : public NodeStore {
+ public:
+  // Opens the log at `log_path` (created if absent) over `inner`. Call
+  // Recover() before any other operation.
+  static StatusOr<std::unique_ptr<WalNodeStore>> Open(
+      NodeStore* inner, const std::string& log_path);
+
+  ~WalNodeStore() override;
+
+  // Replays committed-but-unapplied transactions into the inner store and
+  // truncates the log. Safe to call on a clean log.
+  Status Recover();
+
+  // Transaction brackets. Node writes outside a transaction are
+  // write-through (no atomicity), matching a blade that skips the work.
+  Status Begin();
+  Status Commit();
+  // Drops the transaction's buffered writes.
+  Status Rollback();
+
+  // Truncates the log once the inner store is durable (checkpoint).
+  Status Checkpoint();
+
+  // NodeStore interface.
+  Status AllocateNode(NodeId* id) override;
+  Status FreeNode(NodeId id) override;
+  Status ReadNode(NodeId id, uint8_t* out) override;
+  Status WriteNode(NodeId id, const uint8_t* data) override;
+  uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
+  Status Flush() override;
+
+  const WalStats& wal_stats() const { return wal_stats_; }
+  bool in_transaction() const { return in_txn_; }
+
+  // Test hook: commit to the log but "crash" before applying to the inner
+  // store — Recover() must repair this.
+  Status CommitWithCrashBeforeApply();
+
+ private:
+  WalNodeStore(NodeStore* inner, std::string log_path)
+      : inner_(inner), log_path_(std::move(log_path)) {}
+
+  Status AppendTransactionToLog();
+  Status ApplyPending();
+  Status OpenLogForAppend();
+
+  NodeStore* inner_;
+  std::string log_path_;
+  int log_fd_ = -1;
+  bool in_txn_ = false;
+  // Buffered writes of the open transaction, last image per node.
+  std::map<NodeId, std::vector<uint8_t>> pending_;
+  std::vector<NodeId> pending_frees_;
+  WalStats wal_stats_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_STORAGE_WAL_STORE_H_

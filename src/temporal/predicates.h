@@ -1,0 +1,38 @@
+#ifndef GRTDB_TEMPORAL_PREDICATES_H_
+#define GRTDB_TEMPORAL_PREDICATES_H_
+
+#include "temporal/extent.h"
+#include "temporal/region.h"
+
+namespace grtdb {
+
+// The bitemporal predicates behind the GR-tree operator class's strategy
+// functions (paper §5.2): each predicate resolves both extents at the same
+// current time `ct` and compares the resulting regions. A bitemporal
+// predicate cannot be decomposed into one valid-time and one
+// transaction-time interval predicate (the "Julie" example of §5.1);
+// tests/bench T6 demonstrate the failure of the decomposition.
+
+inline bool ExtentsOverlap(const TimeExtent& a, const TimeExtent& b,
+                           int64_t ct) {
+  return ResolveExtent(a, ct).Overlaps(ResolveExtent(b, ct));
+}
+
+inline bool ExtentContains(const TimeExtent& a, const TimeExtent& b,
+                           int64_t ct) {
+  return ResolveExtent(a, ct).Contains(ResolveExtent(b, ct));
+}
+
+inline bool ExtentContainedIn(const TimeExtent& a, const TimeExtent& b,
+                              int64_t ct) {
+  return ResolveExtent(b, ct).Contains(ResolveExtent(a, ct));
+}
+
+inline bool ExtentsEqual(const TimeExtent& a, const TimeExtent& b,
+                         int64_t ct) {
+  return ResolveExtent(a, ct).Equals(ResolveExtent(b, ct));
+}
+
+}  // namespace grtdb
+
+#endif  // GRTDB_TEMPORAL_PREDICATES_H_

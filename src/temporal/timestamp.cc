@@ -1,0 +1,47 @@
+#include "temporal/timestamp.h"
+
+#include <cstdlib>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace grtdb {
+
+Status Timestamp::Parse(const std::string& text, Timestamp* out) {
+  std::string trimmed(StripWhitespace(text));
+  if (EqualsIgnoreCase(trimmed, "UC")) {
+    *out = Timestamp::UC();
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(trimmed, "NOW")) {
+    *out = Timestamp::NOW();
+    return Status::OK();
+  }
+  if (trimmed.find('/') != std::string::npos) {
+    int64_t day = 0;
+    GRTDB_RETURN_IF_ERROR(ParseDate(trimmed, &day));
+    *out = Timestamp::FromChronon(day);
+    return Status::OK();
+  }
+  char* end = nullptr;
+  long long value = std::strtoll(trimmed.c_str(), &end, 10);
+  if (end == trimmed.c_str() || *end != '\0') {
+    return Status::InvalidArgument("cannot parse timestamp '" + text + "'");
+  }
+  *out = Timestamp::FromChronon(value);
+  return Status::OK();
+}
+
+std::string Timestamp::ToString() const {
+  if (is_uc()) return "UC";
+  if (is_now()) return "NOW";
+  return FormatDate(value_);
+}
+
+std::string Timestamp::ToChrononString() const {
+  if (is_uc()) return "UC";
+  if (is_now()) return "NOW";
+  return std::to_string(value_);
+}
+
+}  // namespace grtdb

@@ -1,0 +1,117 @@
+#include "txn/lock_manager.h"
+
+namespace grtdb {
+
+bool LockManager::CompatibleLocked(const LockState& state, TxnId txn,
+                                   LockMode mode) {
+  for (const auto& [holder_txn, holder] : state.holders) {
+    if (holder_txn == txn) continue;
+    if (mode == LockMode::kExclusive || holder.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode) {
+  return AcquireWithTimeout(txn, resource, mode, default_timeout_);
+}
+
+Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
+                                       LockMode mode,
+                                       std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.acquisitions;
+  // Never hold a reference into locks_ across a wait: other transactions
+  // release (and erase empty) lock states while this thread is blocked.
+  {
+    LockState& state = locks_[resource];
+    auto self = state.holders.find(txn);
+    if (self != state.holders.end()) {
+      if (self->second.mode == LockMode::kExclusive ||
+          mode == LockMode::kShared) {
+        // Already strong enough; nest.
+        ++self->second.count;
+        return Status::OK();
+      }
+      // Shared -> exclusive upgrade: wait until we are the sole holder.
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool waited = false;
+  while (!CompatibleLocked(locks_[resource], txn, mode)) {
+    waited = true;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !CompatibleLocked(locks_[resource], txn, mode)) {
+      ++stats_.timeouts;
+      auto it = locks_.find(resource);
+      if (it != locks_.end() && it->second.holders.empty()) locks_.erase(it);
+      return Status::LockTimeout("lock wait timeout (resource kind " +
+                                 std::to_string(static_cast<int>(
+                                     resource.kind)) +
+                                 ", id " + std::to_string(resource.id) + ")");
+    }
+  }
+  if (waited) ++stats_.waits;
+
+  LockState& state = locks_[resource];
+  auto self = state.holders.find(txn);
+  if (self != state.holders.end()) {
+    // Upgrade in place; keep the nesting count.
+    self->second.mode = LockMode::kExclusive;
+    ++self->second.count;
+  } else {
+    state.holders[txn] = Holder{mode, 1};
+  }
+  return Status::OK();
+}
+
+void LockManager::Release(TxnId txn, ResourceId resource) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return;
+  auto self = it->second.holders.find(txn);
+  if (self == it->second.holders.end()) return;
+  if (--self->second.count == 0) {
+    it->second.holders.erase(self);
+    if (it->second.holders.empty()) locks_.erase(it);
+    cv_.notify_all();
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool released = false;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second.holders.erase(txn) > 0) released = true;
+    if (it->second.holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (released) cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, ResourceId resource, LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return false;
+  auto self = it->second.holders.find(txn);
+  if (self == it->second.holders.end()) return false;
+  return mode == LockMode::kShared ||
+         self->second.mode == LockMode::kExclusive;
+}
+
+LockManagerStats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void LockManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = LockManagerStats();
+}
+
+}  // namespace grtdb

@@ -1,0 +1,100 @@
+#ifndef GRTDB_TXN_LOCK_MANAGER_H_
+#define GRTDB_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grtdb {
+
+using TxnId = uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+// Lockable resources. The server locks large objects (this is the
+// granularity Informix gives sbspace users, §5.3), tables, and rows.
+enum class ResourceKind : uint8_t {
+  kLargeObject = 1,
+  kTable = 2,
+  kRow = 3,
+};
+
+struct ResourceId {
+  ResourceKind kind;
+  uint64_t id;
+
+  friend bool operator==(ResourceId a, ResourceId b) {
+    return a.kind == b.kind && a.id == b.id;
+  }
+  friend bool operator<(ResourceId a, ResourceId b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.id < b.id;
+  }
+};
+
+struct LockManagerStats {
+  uint64_t acquisitions = 0;
+  uint64_t waits = 0;      // acquisitions that had to block
+  uint64_t timeouts = 0;   // acquisitions that failed with LockTimeout
+};
+
+// A strict two-phase lock manager with shared/exclusive modes, lock
+// upgrades, and timeout-based deadlock resolution (a blocked request that
+// exceeds its timeout returns Status::LockTimeout and the caller aborts).
+class LockManager {
+ public:
+  explicit LockManager(
+      std::chrono::milliseconds default_timeout = std::chrono::milliseconds(
+          500))
+      : default_timeout_(default_timeout) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Acquires (or upgrades to) `mode` on `resource` for `txn`. Re-entrant:
+  // lock counts nest, and Release undoes one level.
+  Status Acquire(TxnId txn, ResourceId resource, LockMode mode);
+  Status AcquireWithTimeout(TxnId txn, ResourceId resource, LockMode mode,
+                            std::chrono::milliseconds timeout);
+
+  // Releases one nesting level; the lock is dropped when the count hits 0.
+  void Release(TxnId txn, ResourceId resource);
+
+  // Drops every lock held by `txn` (end of transaction).
+  void ReleaseAll(TxnId txn);
+
+  // True if `txn` currently holds `resource` in at least `mode`.
+  bool Holds(TxnId txn, ResourceId resource, LockMode mode) const;
+
+  LockManagerStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Holder {
+    LockMode mode;
+    uint32_t count;
+  };
+  struct LockState {
+    std::map<TxnId, Holder> holders;
+  };
+
+  // True if `txn` may be granted `mode` given current holders.
+  static bool CompatibleLocked(const LockState& state, TxnId txn,
+                               LockMode mode);
+
+  std::chrono::milliseconds default_timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<ResourceId, LockState> locks_;
+  LockManagerStats stats_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,54 @@
+#include "txn/transaction.h"
+
+namespace grtdb {
+
+Status TransactionManager::Begin(Session* session, bool explicit_txn) {
+  if (session->current_txn_ != nullptr) {
+    if (explicit_txn) {
+      return Status::InvalidArgument("transaction already in progress");
+    }
+    return Status::OK();
+  }
+  session->current_txn_ = std::make_unique<Transaction>(
+      next_txn_id_.fetch_add(1), session->id(), session->isolation());
+  session->explicit_txn_ = explicit_txn;
+  return Status::OK();
+}
+
+Status TransactionManager::End(Session* session, bool committed) {
+  Transaction* txn = session->current_txn_.get();
+  if (txn == nullptr) {
+    return Status::InvalidArgument("no transaction in progress");
+  }
+  // Callbacks run before lock release so they can still touch locked state
+  // (the paper's §5.4 callback frees named memory holding the transaction's
+  // current-time value).
+  for (TxnEndCallback& callback : txn->end_callbacks_) {
+    callback(committed);
+  }
+  lock_manager_->ReleaseAll(txn->id());
+  session->current_txn_.reset();
+  session->explicit_txn_ = false;
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(Session* session) {
+  return End(session, /*committed=*/true);
+}
+
+Status TransactionManager::Rollback(Session* session) {
+  return End(session, /*committed=*/false);
+}
+
+Status TransactionManager::EnsureTxn(Session* session,
+                                     bool* started_implicit) {
+  if (session->current_txn_ != nullptr) {
+    *started_implicit = false;
+    return Status::OK();
+  }
+  GRTDB_RETURN_IF_ERROR(Begin(session, /*explicit_txn=*/false));
+  *started_implicit = true;
+  return Status::OK();
+}
+
+}  // namespace grtdb

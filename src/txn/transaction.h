@@ -1,0 +1,113 @@
+#ifndef GRTDB_TXN_TRANSACTION_H_
+#define GRTDB_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/lock_manager.h"
+
+namespace grtdb {
+
+using SessionId = uint64_t;
+
+enum class IsolationLevel {
+  kDirtyRead,
+  kCommittedRead,
+  kRepeatableRead,
+};
+
+// Fired at transaction end. `committed` distinguishes COMMIT from ROLLBACK —
+// the DataBlade API's MI_EVENT_END_XACT callback the paper relies on in §5.4
+// to free per-transaction named memory.
+using TxnEndCallback = std::function<void(bool committed)>;
+
+class Transaction {
+ public:
+  Transaction(TxnId id, SessionId session, IsolationLevel isolation)
+      : id_(id), session_(session), isolation_(isolation) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  SessionId session() const { return session_; }
+  IsolationLevel isolation() const { return isolation_; }
+
+  void AddEndCallback(TxnEndCallback callback) {
+    end_callbacks_.push_back(std::move(callback));
+  }
+
+ private:
+  friend class TransactionManager;
+
+  TxnId id_;
+  SessionId session_;
+  IsolationLevel isolation_;
+  std::vector<TxnEndCallback> end_callbacks_;
+};
+
+// A client session: identity, isolation setting, and the transaction it is
+// running (every statement runs inside one; singleton statements run in an
+// auto-committed transaction).
+class Session {
+ public:
+  explicit Session(SessionId id) : id_(id) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  SessionId id() const { return id_; }
+
+  IsolationLevel isolation() const { return isolation_; }
+  void set_isolation(IsolationLevel isolation) { isolation_ = isolation; }
+
+  Transaction* current_txn() const { return current_txn_.get(); }
+  bool in_explicit_txn() const { return explicit_txn_; }
+
+ private:
+  friend class TransactionManager;
+
+  SessionId id_;
+  IsolationLevel isolation_ = IsolationLevel::kCommittedRead;
+  std::unique_ptr<Transaction> current_txn_;
+  bool explicit_txn_ = false;
+};
+
+// Hands out transactions and runs the end-of-transaction protocol:
+// callbacks fire, then every lock is released (strict two-phase locking).
+class TransactionManager {
+ public:
+  explicit TransactionManager(LockManager* lock_manager)
+      : lock_manager_(lock_manager) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  // Starts a transaction on `session`. `explicit_txn` marks BEGIN WORK
+  // transactions (auto-commit statements pass false).
+  Status Begin(Session* session, bool explicit_txn);
+
+  Status Commit(Session* session);
+  Status Rollback(Session* session);
+
+  // Ensures `session` has a running transaction; returns whether this call
+  // started an implicit one (which the statement executor must commit).
+  Status EnsureTxn(Session* session, bool* started_implicit);
+
+  LockManager* lock_manager() { return lock_manager_; }
+
+ private:
+  Status End(Session* session, bool committed);
+
+  LockManager* lock_manager_;
+  std::atomic<TxnId> next_txn_id_{1};
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_TXN_TRANSACTION_H_

@@ -1,0 +1,125 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "temporal/predicates.h"
+
+namespace grtdb {
+
+BitemporalWorkload::BitemporalWorkload(const WorkloadOptions& options)
+    : options_(options), rng_(options.seed), now_(options.start_time) {}
+
+TimeExtent BitemporalWorkload::MakeInsertExtent() {
+  TimeExtent extent;
+  extent.tt_begin = Timestamp::FromChronon(now_);
+  extent.tt_end = Timestamp::UC();
+  const int64_t lag = rng_.UniformRange(0, options_.vt_lag);
+  extent.vt_begin = Timestamp::FromChronon(now_ - lag);
+  if (rng_.Bernoulli(options_.now_relative_fraction)) {
+    extent.vt_end = Timestamp::NOW();
+  } else if (rng_.Bernoulli(0.5)) {
+    // Information about a closed past/future period.
+    extent.vt_end = Timestamp::FromChronon(
+        extent.vt_begin.chronon() + rng_.UniformRange(1, options_.vt_span));
+  } else {
+    // Pre-recorded future information (case 2 with vt1 > ct is legal as
+    // long as VTend is ground).
+    const int64_t future_start = now_ + rng_.UniformRange(0, options_.vt_span);
+    extent.vt_begin = Timestamp::FromChronon(future_start);
+    extent.vt_end = Timestamp::FromChronon(
+        future_start + rng_.UniformRange(1, options_.vt_span));
+  }
+  return extent;
+}
+
+std::vector<IndexOp> BitemporalWorkload::NextAction() {
+  if (++ops_since_tick_ >= options_.ops_per_tick) {
+    ops_since_tick_ = 0;
+    ++now_;
+  }
+  std::vector<IndexOp> ops;
+  const double roll = rng_.NextDouble();
+  const bool can_mutate = !current_.empty();
+
+  if (can_mutate && roll < options_.delete_fraction) {
+    // Logical deletion: TTend: UC -> now - 1 (§2). In the index this is a
+    // physical delete of the UC version plus an insert of the frozen one.
+    // A tuple inserted this very chronon cannot be frozen to ct-1 <
+    // TTbegin; the action becomes a no-op then.
+    const size_t pick = rng_.Uniform(current_.size());
+    const uint64_t payload = current_[pick];
+    TimeExtent old_extent = live_[payload];
+    TimeExtent frozen = old_extent;
+    if (frozen.LogicalDelete(now_).ok()) {
+      current_[pick] = current_.back();
+      current_.pop_back();
+      ops.push_back(
+          IndexOp{IndexOp::Kind::kDelete, old_extent, payload, now_});
+      live_[payload] = frozen;
+      ops.push_back(IndexOp{IndexOp::Kind::kInsert, frozen, payload, now_});
+    }
+    return ops;
+  }
+
+  if (can_mutate &&
+      roll < options_.delete_fraction + options_.update_fraction) {
+    // Modification = logical deletion + insertion of the new version (§2).
+    const size_t pick = rng_.Uniform(current_.size());
+    const uint64_t payload = current_[pick];
+    TimeExtent old_extent = live_[payload];
+    TimeExtent frozen = old_extent;
+    if (frozen.LogicalDelete(now_).ok()) {
+      current_[pick] = current_.back();
+      current_.pop_back();
+      ops.push_back(
+          IndexOp{IndexOp::Kind::kDelete, old_extent, payload, now_});
+      live_[payload] = frozen;
+      ops.push_back(IndexOp{IndexOp::Kind::kInsert, frozen, payload, now_});
+    }
+    // Insert the successor version as a fresh tuple.
+    TimeExtent next = MakeInsertExtent();
+    const uint64_t next_payload = next_payload_++;
+    live_[next_payload] = next;
+    current_.push_back(next_payload);
+    ops.push_back(IndexOp{IndexOp::Kind::kInsert, next, next_payload, now_});
+    return ops;
+  }
+
+  TimeExtent extent = MakeInsertExtent();
+  const uint64_t payload = next_payload_++;
+  live_[payload] = extent;
+  current_.push_back(payload);
+  ops.push_back(IndexOp{IndexOp::Kind::kInsert, extent, payload, now_});
+  return ops;
+}
+
+std::vector<uint64_t> BitemporalWorkload::BruteForceOverlaps(
+    const TimeExtent& query, int64_t ct) const {
+  std::vector<uint64_t> out;
+  for (const auto& [payload, extent] : live_) {
+    if (ExtentsOverlap(extent, query, ct)) out.push_back(payload);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TimeExtent BitemporalWorkload::GroundRectQuery(int64_t max_span) {
+  const int64_t tt1 =
+      rng_.UniformRange(options_.start_time, std::max(options_.start_time, now_));
+  const int64_t vt1 = rng_.UniformRange(options_.start_time - options_.vt_lag,
+                                        now_ + options_.vt_span);
+  return TimeExtent::Ground(tt1, tt1 + rng_.UniformRange(0, max_span), vt1,
+                            vt1 + rng_.UniformRange(0, max_span));
+}
+
+TimeExtent BitemporalWorkload::CurrentStairQuery() {
+  // "What is current in the database and valid now": [ct, UC] x [ct, NOW].
+  return TimeExtent(Timestamp::FromChronon(now_), Timestamp::UC(),
+                    Timestamp::FromChronon(now_), Timestamp::NOW());
+}
+
+TimeExtent BitemporalWorkload::TimeSliceQuery(int64_t tt, int64_t vt) {
+  return TimeExtent::Ground(tt, tt, vt, vt);
+}
+
+}  // namespace grtdb

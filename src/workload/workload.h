@@ -1,0 +1,89 @@
+#ifndef GRTDB_WORKLOAD_WORKLOAD_H_
+#define GRTDB_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "temporal/extent.h"
+
+namespace grtdb {
+
+// One primitive index maintenance operation produced by the workload.
+struct IndexOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  TimeExtent extent;
+  uint64_t payload = 0;
+  int64_t ct = 0;  // current time when the operation executes
+};
+
+struct WorkloadOptions {
+  uint64_t seed = 42;
+  // Simulation starts at this current time (chronons = days).
+  int64_t start_time = 10000;
+  // Current time advances by one chronon every `ops_per_tick` operations.
+  uint64_t ops_per_tick = 10;
+  // Fraction of inserted tuples that are now-relative in valid time
+  // (VTend = NOW; cases 3/5 of Fig. 2). The rest get ground VTend.
+  double now_relative_fraction = 0.7;
+  // Of the non-now-relative tuples, VTend = VTbegin + U(1, vt_span).
+  int64_t vt_span = 365;
+  // How far in the past VTbegin may lie relative to the insertion time
+  // (VTbegin = ct - U(0, vt_lag); cases 5/6 arise when the lag > 0).
+  int64_t vt_lag = 180;
+  // Probability that an operation is a logical update of a current tuple
+  // (delete + re-insert, §2) rather than a fresh insertion.
+  double update_fraction = 0.2;
+  // Probability that an operation is a logical deletion of a current tuple.
+  double delete_fraction = 0.1;
+};
+
+// Generates a stream of index operations that evolves a now-relative
+// bitemporal relation over advancing current time, obeying the insertion,
+// deletion, and modification constraints of paper §2. Tracks the exact
+// relation contents so tests can compare index answers against brute force.
+class BitemporalWorkload {
+ public:
+  explicit BitemporalWorkload(const WorkloadOptions& options);
+
+  // Produces the next operation batch (one logical user action = 1..2
+  // primitive index ops: an update is a delete of the UC tuple followed by
+  // inserts of its frozen version and the new current version).
+  std::vector<IndexOp> NextAction();
+
+  int64_t current_time() const { return now_; }
+
+  // Every tuple version ever created that is still in the relation
+  // (bitemporal relations never physically delete).
+  const std::unordered_map<uint64_t, TimeExtent>& live() const {
+    return live_;
+  }
+
+  // Brute-force evaluation of Overlaps against the live relation at `ct`.
+  std::vector<uint64_t> BruteForceOverlaps(const TimeExtent& query,
+                                           int64_t ct) const;
+
+  // Query generators.
+  TimeExtent GroundRectQuery(int64_t max_span);         // fixed rectangle
+  TimeExtent CurrentStairQuery();                       // "as of now" stair
+  TimeExtent TimeSliceQuery(int64_t tt, int64_t vt);    // bitemporal point
+
+ private:
+  TimeExtent MakeInsertExtent();
+
+  WorkloadOptions options_;
+  Random rng_;
+  int64_t now_;
+  uint64_t ops_since_tick_ = 0;
+  uint64_t next_payload_ = 1;
+  // payload -> extent for every stored tuple version.
+  std::unordered_map<uint64_t, TimeExtent> live_;
+  // Payloads of tuples whose TTend is still UC (modifiable/deletable).
+  std::vector<uint64_t> current_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "blades/grtree_blade.h"
+#include "blades/rstar_blade.h"
+#include "blades/timeextent.h"
+#include "common/random.h"
+#include "server/server.h"
+#include "workload/workload.h"
+
+namespace grtdb {
+namespace {
+
+class BladeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RegisterGRTreeBlade(&server_).ok());
+    RStarBladeOptions rstar;
+    ASSERT_TRUE(RegisterRStarBlade(&server_, rstar).ok());
+    session_ = server_.CreateSession();
+  }
+
+  Status Exec(const std::string& sql) {
+    return server_.Execute(session_, sql, &result_);
+  }
+
+  void MustExec(const std::string& sql) {
+    Status status = Exec(sql);
+    ASSERT_TRUE(status.ok()) << sql << " -> " << status.ToString();
+  }
+
+  std::set<std::string> Column0() {
+    std::set<std::string> out;
+    for (const auto& row : result_.rows) out.insert(row[0]);
+    return out;
+  }
+
+  Server server_;
+  ServerSession* session_ = nullptr;
+  ResultSet result_;
+};
+
+TEST_F(BladeTest, OpaqueTypeTextIO) {
+  MustExec("CREATE TABLE t (e grt_timeextent)");
+  MustExec("INSERT INTO t VALUES ('05/01/1997, UC, 05/01/1997, NOW')");
+  MustExec("SELECT e FROM t");
+  ASSERT_EQ(result_.rows.size(), 1u);
+  EXPECT_EQ(result_.rows[0][0], "05/01/1997, UC, 05/01/1997, NOW");
+  // The input support function enforces the §2 constraints.
+  EXPECT_TRUE(
+      Exec("INSERT INTO t VALUES ('05/01/1997, UC, 06/01/1997, NOW')")
+          .IsInvalidArgument());
+  EXPECT_TRUE(Exec("INSERT INTO t VALUES ('garbage')").IsInvalidArgument());
+}
+
+TEST_F(BladeTest, SupportFunctionsAreSqlCallable) {
+  MustExec("CREATE TABLE t (e grt_timeextent)");
+  MustExec("SET CURRENT_TIME TO 10000");
+  MustExec("INSERT INTO t VALUES ('9000, 9999, 9000, 9500')");
+  // grt_size is a registered UDR usable in WHERE even without an index.
+  MustExec("SELECT e FROM t WHERE grt_size(e) > 100.0");
+  EXPECT_EQ(result_.rows.size(), 1u);
+  MustExec("SELECT e FROM t WHERE grt_size(e) > 1000000.0");
+  EXPECT_EQ(result_.rows.size(), 0u);
+  MustExec(
+      "SELECT e FROM t WHERE grt_intersection(e, '9000, 9999, 9000, 9500') "
+      "> 0.0");
+  EXPECT_EQ(result_.rows.size(), 1u);
+}
+
+// Table 1: the EmpDep relation, with the month granularity scaled onto day
+// chronons via mm/01/1997 dates. Current time 9/97.
+class EmpDepTest : public BladeTest {
+ protected:
+  void SetUp() override {
+    BladeTest::SetUp();
+    MustExec("CREATE TABLE EmpDep (Employee text, Department text, "
+             "TimeExtent grt_timeextent)");
+    MustExec("CREATE INDEX empdep_idx ON EmpDep(TimeExtent grt_opclass) "
+             "USING grtree_am");
+    // Tuples (1)-(6) of Table 1. TTbegin must equal the insertion-time
+    // current time, so the clock advances as the history is recorded.
+    MustExec("SET CURRENT_TIME TO '03/01/1997'");
+    MustExec("INSERT INTO EmpDep VALUES ('Tom', 'Management', "
+             "'03/01/1997, UC, 06/01/1997, 08/01/1997')");     // (2) at 3/97
+    MustExec("INSERT INTO EmpDep VALUES ('Julie', 'Sales', "
+             "'03/01/1997, UC, 03/01/1997, NOW')");             // (4) at 3/97
+    MustExec("SET CURRENT_TIME TO '04/01/1997'");
+    MustExec("INSERT INTO EmpDep VALUES ('John', 'Advertising', "
+             "'04/01/1997, UC, 03/01/1997, 05/01/1997')");      // (1)
+    MustExec("SET CURRENT_TIME TO '05/01/1997'");
+    MustExec("INSERT INTO EmpDep VALUES ('Jane', 'Sales', "
+             "'05/01/1997, UC, 05/01/1997, NOW')");             // (3)
+    MustExec("INSERT INTO EmpDep VALUES ('Michelle', 'Management', "
+             "'05/01/1997, UC, 03/01/1997, NOW')");             // (6)
+    // 7/97: Tom's tuple is logically deleted; Julie's is frozen and
+    // superseded (the update that led to tuples (4) and (5)).
+    MustExec("SET CURRENT_TIME TO '07/01/1997'");
+    MustExec("UPDATE EmpDep SET TimeExtent = "
+             "'03/01/1997, 07/01/1997, 06/01/1997, 08/01/1997' "
+             "WHERE Employee = 'Tom'");
+    MustExec("UPDATE EmpDep SET TimeExtent = "
+             "'03/01/1997, 07/01/1997, 03/01/1997, NOW' "
+             "WHERE Employee = 'Julie'");
+    MustExec("SET CURRENT_TIME TO '08/01/1997'");
+    MustExec("INSERT INTO EmpDep VALUES ('Julie', 'Sales', "
+             "'08/01/1997, UC, 03/01/1997, 07/01/1997')");      // (5)
+    MustExec("SET CURRENT_TIME TO '09/01/1997'");
+  }
+};
+
+TEST_F(EmpDepTest, CurrentStateQuery) {
+  // Who is in the current database state and valid now?
+  MustExec("SELECT Employee FROM EmpDep WHERE "
+           "Overlaps(TimeExtent, '09/01/1997, UC, 09/01/1997, NOW')");
+  EXPECT_EQ(Column0(), (std::set<std::string>{"Jane", "Michelle"}));
+}
+
+TEST_F(EmpDepTest, JulieQueryTable3) {
+  // §5.1: "Who worked in the Sales department during 7/97 according to the
+  // knowledge we had during 5/97?", issued at current time 9/97. Julie's
+  // stair does NOT overlap the query point — the one-column bitemporal
+  // predicate answers correctly.
+  MustExec("SELECT Employee FROM EmpDep WHERE "
+           "Overlaps(TimeExtent, "
+           "'05/01/1997, 05/01/1997, 07/01/1997, 07/01/1997') "
+           "AND Department = 'Sales'");
+  EXPECT_EQ(Column0(), std::set<std::string>{});
+  // The decomposed (incorrect) version would have answered Julie: her
+  // transaction interval covers 5/97 and her resolved valid interval
+  // covers 7/97.
+  MustExec("SELECT Employee FROM EmpDep WHERE "
+           "Overlaps(TimeExtent, "
+           "'05/01/1997, 05/01/1997, 03/01/1997, 03/01/1997') "
+           "AND Department = 'Sales'");
+  EXPECT_EQ(Column0(), std::set<std::string>{"Julie"});  // sanity: stair hit
+}
+
+TEST_F(EmpDepTest, TransactionTimeTravel) {
+  // What did the database believe on 4/15/1997? Tom's and Julie's first
+  // versions plus John's tuple (recorded 4/97) were current then; Jane and
+  // Michelle were not recorded until 5/97.
+  MustExec("SELECT Employee FROM EmpDep WHERE "
+           "Overlaps(TimeExtent, "
+           "'04/15/1997, 04/15/1997, 01/01/1990, 01/01/2010')");
+  EXPECT_EQ(Column0(), (std::set<std::string>{"Tom", "Julie", "John"}));
+}
+
+TEST_F(EmpDepTest, IndexAgreesWithSequentialScan) {
+  MustExec("SELECT Employee FROM EmpDep WHERE "
+           "Overlaps(TimeExtent, '06/01/1997, UC, 01/01/1997, NOW')");
+  const std::set<std::string> with_index = Column0();
+  MustExec("DROP INDEX empdep_idx");
+  MustExec("SELECT Employee FROM EmpDep WHERE "
+           "Overlaps(TimeExtent, '06/01/1997, UC, 01/01/1997, NOW')");
+  EXPECT_EQ(Column0(), with_index);
+}
+
+TEST_F(EmpDepTest, CheckAndStatistics) {
+  MustExec("CHECK INDEX empdep_idx");
+  MustExec("SET TRACE grtree TO 2");
+  MustExec("UPDATE STATISTICS FOR INDEX empdep_idx");
+  const auto log = server_.trace().log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_NE(log.back().find("stats empdep_idx"), std::string::npos);
+}
+
+// Differential test through SQL: GR-tree answers == R*-tree answers ==
+// sequential-scan answers on a random evolving history.
+class DifferentialTest : public BladeTest,
+                         public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(DifferentialTest, ThreeWayAgreement) {
+  MustExec("CREATE TABLE h (id int, e grt_timeextent)");
+  MustExec("CREATE INDEX h_grt ON h(e grt_opclass) USING grtree_am");
+  MustExec("CREATE TABLE h2 (id int, e grt_timeextent)");
+  MustExec("CREATE INDEX h2_rst ON h2(e rst_opclass) USING rstar_am");
+  MustExec("CREATE TABLE h3 (id int, e grt_timeextent)");
+
+  WorkloadOptions wopts;
+  wopts.seed = GetParam();
+  BitemporalWorkload workload(wopts);
+  int64_t last_ct = -1;
+  for (int action = 0; action < 250; ++action) {
+    for (const IndexOp& op : workload.NextAction()) {
+      if (op.ct != last_ct) {
+        MustExec("SET CURRENT_TIME TO " + std::to_string(op.ct));
+        last_ct = op.ct;
+      }
+      const std::string extent = "'" + op.extent.ToString() + "'";
+      const std::string id = std::to_string(op.payload);
+      if (op.kind == IndexOp::Kind::kInsert) {
+        for (const char* table : {"h", "h2", "h3"}) {
+          MustExec(std::string("INSERT INTO ") + table + " VALUES (" + id +
+                   ", " + extent + ")");
+        }
+      } else {
+        for (const char* table : {"h", "h2", "h3"}) {
+          MustExec(std::string("DELETE FROM ") + table + " WHERE id = " + id +
+                   " AND Equal(e, " + extent + ")");
+          ASSERT_EQ(result_.affected, 1u)
+              << table << " id=" << id << " extent=" << extent;
+        }
+      }
+    }
+  }
+
+  Random rng(GetParam() ^ 0xBEEF);
+  for (int q = 0; q < 12; ++q) {
+    TimeExtent query = workload.GroundRectQuery(150);
+    const char* pred = (q % 3 == 0)   ? "Overlaps"
+                       : (q % 3 == 1) ? "ContainedIn"
+                                      : "Contains";
+    const std::string where =
+        std::string(pred) + "(e, '" + query.ToString() + "')";
+    MustExec("SELECT id FROM h WHERE " + where);
+    const std::set<std::string> grt = Column0();
+    MustExec("SELECT id FROM h2 WHERE " + where);
+    const std::set<std::string> rst = Column0();
+    MustExec("SELECT id FROM h3 WHERE " + where);
+    const std::set<std::string> seq = Column0();
+    EXPECT_EQ(grt, seq) << pred << " '" << query.ToString() << "'";
+    EXPECT_EQ(rst, seq) << pred << " '" << query.ToString() << "'";
+  }
+  MustExec("CHECK INDEX h_grt");
+  MustExec("CHECK INDEX h2_rst");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1001, 2002));
+
+// §5.3 storage options: the same workload runs on each layout.
+class StorageVariantTest
+    : public ::testing::TestWithParam<GRTreeBladeOptions::Storage> {};
+
+TEST_P(StorageVariantTest, EndToEnd) {
+  Server server;
+  GRTreeBladeOptions options;
+  options.storage = GetParam();
+  options.nodes_per_lo = 4;
+  options.external_dir = ::testing::TempDir();
+  ASSERT_TRUE(RegisterGRTreeBlade(&server, options).ok());
+  ServerSession* session = server.CreateSession();
+  ResultSet result;
+  auto exec = [&](const std::string& sql) {
+    Status status = server.Execute(session, sql, &result);
+    ASSERT_TRUE(status.ok()) << sql << " -> " << status.ToString();
+  };
+  exec("CREATE TABLE t (id int, e grt_timeextent)");
+  exec("CREATE INDEX t_idx ON t(e grt_opclass) USING grtree_am");
+  exec("SET CURRENT_TIME TO 20000");
+  for (int i = 0; i < 120; ++i) {
+    const int64_t vt1 = 19000 + i * 7;
+    exec("INSERT INTO t VALUES (" + std::to_string(i) + ", '20000, UC, " +
+         std::to_string(std::min<int64_t>(vt1, 20000)) + ", NOW')");
+  }
+  exec("SELECT COUNT(*) FROM t WHERE Overlaps(e, '20000, UC, 19000, NOW')");
+  EXPECT_EQ(result.rows[0][0], "120");
+  exec("CHECK INDEX t_idx");
+  exec("DELETE FROM t WHERE id < 60 AND Overlaps(e, '0, UC, 0, NOW')");
+  EXPECT_EQ(result.affected, 60u);
+  exec("SELECT COUNT(*) FROM t WHERE Overlaps(e, '20000, UC, 19000, NOW')");
+  EXPECT_EQ(result.rows[0][0], "60");
+  exec("CHECK INDEX t_idx");
+  exec("DROP INDEX t_idx");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, StorageVariantTest,
+    ::testing::Values(GRTreeBladeOptions::Storage::kSingleLo,
+                      GRTreeBladeOptions::Storage::kLoPerNode,
+                      GRTreeBladeOptions::Storage::kLoPerSubtree,
+                      GRTreeBladeOptions::Storage::kExternalFile));
+
+// §5.2: dynamic strategy-function dispatch returns the same answers as the
+// hard-coded prototype.
+TEST(DynamicDispatch, SameAnswersAsHardCoded) {
+  Server server;
+  GRTreeBladeOptions dynamic_options;
+  dynamic_options.dynamic_dispatch = true;
+  ASSERT_TRUE(RegisterGRTreeBlade(&server, dynamic_options).ok());
+  ServerSession* session = server.CreateSession();
+  ResultSet result;
+  auto exec = [&](const std::string& sql) {
+    Status status = server.Execute(session, sql, &result);
+    ASSERT_TRUE(status.ok()) << sql << " -> " << status.ToString();
+  };
+  exec("CREATE TABLE t (id int, e grt_timeextent)");
+  exec("CREATE INDEX t_idx ON t(e grt_opclass) USING grtree_am");
+  exec("SET CURRENT_TIME TO 20000");
+  for (int i = 0; i < 60; ++i) {
+    exec("INSERT INTO t VALUES (" + std::to_string(i) + ", '20000, UC, " +
+         std::to_string(19900 + i) + ", NOW')");
+  }
+  exec("SELECT COUNT(*) FROM t WHERE "
+       "Overlaps(e, '20000, 20000, 19950, 19950')");
+  EXPECT_EQ(result.rows[0][0], "51");  // vt1 in [19900, 19950]
+}
+
+// §5.4: per-transaction current time is captured once per transaction in
+// named memory and released by the transaction-end callback.
+TEST(CurrentTimeMode, TransactionModeFreezesTime) {
+  Server server;
+  ASSERT_TRUE(RegisterGRTreeBlade(&server).ok());
+  ServerSession* session = server.CreateSession();
+  ResultSet result;
+  auto exec = [&](const std::string& sql) {
+    Status status = server.Execute(session, sql, &result);
+    ASSERT_TRUE(status.ok()) << sql << " -> " << status.ToString();
+  };
+  exec("CREATE TABLE t (e grt_timeextent)");
+  exec("SET CURRENT_TIME TO 10000");
+  exec("INSERT INTO t VALUES ('10000, UC, 10000, NOW')");
+
+  // Statement mode: the growing stair reaches (10050, 10050) once the
+  // clock moves there.
+  exec("SET CURRENT_TIME TO 10050");
+  exec("SELECT COUNT(*) FROM t WHERE "
+       "Overlaps(e, '10050, 10050, 10050, 10050')");
+  EXPECT_EQ(result.rows[0][0], "1");
+
+  // Transaction mode: the first statement of the transaction pins the
+  // current time; later clock movement is invisible until COMMIT.
+  exec("SET TIME MODE TRANSACTION");
+  exec("BEGIN WORK");
+  exec("SELECT COUNT(*) FROM t WHERE "
+       "Overlaps(e, '10050, 10050, 10050, 10050')");
+  EXPECT_EQ(result.rows[0][0], "1");
+  EXPECT_EQ(server.named_memory().count(), 1u);  // pinned time lives
+  exec("SET CURRENT_TIME TO 10100");
+  exec("SELECT COUNT(*) FROM t WHERE "
+       "Overlaps(e, '10100, 10100, 10100, 10100')");
+  EXPECT_EQ(result.rows[0][0], "0");  // still evaluated at 10050
+  exec("COMMIT WORK");
+  EXPECT_EQ(server.named_memory().count(), 0u);  // callback freed it
+  exec("BEGIN WORK");
+  exec("SELECT COUNT(*) FROM t WHERE "
+       "Overlaps(e, '10100, 10100, 10100, 10100')");
+  EXPECT_EQ(result.rows[0][0], "1");  // new transaction sees the new time
+  exec("COMMIT WORK");
+}
+
+// The maximum-timestamp transform (baseline) in isolation.
+TEST(MaxTimestampTransform, CoversTrueRegions) {
+  TimeExtent stair(Timestamp::FromChronon(100), Timestamp::UC(),
+                   Timestamp::FromChronon(80), Timestamp::NOW());
+  const Rect rect = TransformExtent(stair, 5000);
+  EXPECT_EQ(rect.x1, 100);
+  EXPECT_EQ(rect.x2, 5000);
+  EXPECT_EQ(rect.y1, 80);
+  EXPECT_EQ(rect.y2, 5000);
+  TimeExtent ground = TimeExtent::Ground(100, 200, 80, 90);
+  const Rect grect = TransformExtent(ground, 5000);
+  EXPECT_EQ(grect.x2, 200);
+  EXPECT_EQ(grect.y2, 90);
+}
+
+}  // namespace
+}  // namespace grtdb

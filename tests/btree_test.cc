@@ -1,0 +1,348 @@
+#include "btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "blades/btree_blade.h"
+#include "common/random.h"
+#include "server/server.h"
+#include "storage/pager.h"
+#include "storage/space.h"
+
+namespace grtdb {
+namespace {
+
+// --------------------------------------------------------------- core ----
+
+struct TreeFixture {
+  MemorySpace space;
+  Pager pager{&space, 512};
+  PagerNodeStore store{&pager};
+  std::unique_ptr<BtreeIndex> tree;
+  NodeId anchor = kInvalidNodeId;
+
+  explicit TreeFixture(BtreeIndex::Options options = {}) {
+    if (options.max_entries == 0) options.max_entries = 6;
+    auto tree_or = BtreeIndex::Create(&store, options, &anchor);
+    EXPECT_TRUE(tree_or.ok());
+    tree = std::move(tree_or).value();
+  }
+};
+
+std::vector<int64_t> Keys(const std::vector<BtreeIndex::Entry>& entries) {
+  std::vector<int64_t> out;
+  for (const auto& entry : entries) out.push_back(entry.key);
+  return out;
+}
+
+TEST(Btree, EmptyScan) {
+  TreeFixture fx;
+  std::vector<BtreeIndex::Entry> results;
+  ASSERT_TRUE(fx.tree->ScanAll({}, NaturalCompare, &results).ok());
+  EXPECT_TRUE(results.empty());
+  ASSERT_TRUE(fx.tree->CheckConsistency(NaturalCompare).ok());
+}
+
+TEST(Btree, InsertAndPointLookup) {
+  TreeFixture fx;
+  for (int64_t k : {5, 1, 9, 3, 7}) {
+    ASSERT_TRUE(fx.tree->Insert(k, static_cast<uint64_t>(k), NaturalCompare)
+                    .ok());
+  }
+  BtreeIndex::Range eq;
+  eq.lo = 3;
+  eq.hi = 3;
+  std::vector<BtreeIndex::Entry> results;
+  ASSERT_TRUE(fx.tree->ScanAll(eq, NaturalCompare, &results).ok());
+  EXPECT_EQ(Keys(results), (std::vector<int64_t>{3}));
+}
+
+TEST(Btree, DuplicateKeysDistinctPayloads) {
+  TreeFixture fx;
+  for (uint64_t payload = 1; payload <= 20; ++payload) {
+    ASSERT_TRUE(fx.tree->Insert(42, payload, NaturalCompare).ok());
+  }
+  EXPECT_TRUE(fx.tree->Insert(42, 7, NaturalCompare).IsAlreadyExists());
+  BtreeIndex::Range eq;
+  eq.lo = 42;
+  eq.hi = 42;
+  std::vector<BtreeIndex::Entry> results;
+  ASSERT_TRUE(fx.tree->ScanAll(eq, NaturalCompare, &results).ok());
+  EXPECT_EQ(results.size(), 20u);
+  ASSERT_TRUE(fx.tree->CheckConsistency(NaturalCompare).ok());
+}
+
+class BtreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BtreeRandomTest, ScansMatchSortedReference) {
+  TreeFixture fx;
+  Random rng(GetParam());
+  std::vector<BtreeIndex::Entry> reference;
+  for (uint64_t i = 1; i <= 2000; ++i) {
+    const int64_t key = rng.UniformRange(-500, 500);
+    reference.push_back({key, i});
+    ASSERT_TRUE(fx.tree->Insert(key, i, NaturalCompare).ok());
+  }
+  ASSERT_TRUE(fx.tree->CheckConsistency(NaturalCompare).ok());
+  EXPECT_GT(fx.tree->height(), 2u);
+
+  auto expect_range = [&](BtreeIndex::Range range) {
+    std::vector<BtreeIndex::Entry> expected;
+    for (const auto& entry : reference) {
+      if (range.lo.has_value() &&
+          (entry.key < *range.lo ||
+           (range.lo_strict && entry.key == *range.lo))) {
+        continue;
+      }
+      if (range.hi.has_value() &&
+          (entry.key > *range.hi ||
+           (range.hi_strict && entry.key == *range.hi))) {
+        continue;
+      }
+      expected.push_back(entry);
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const auto& a, const auto& b) {
+                return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+              });
+    std::vector<BtreeIndex::Entry> actual;
+    ASSERT_TRUE(fx.tree->ScanAll(range, NaturalCompare, &actual).ok());
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].key, expected[i].key);
+      EXPECT_EQ(actual[i].payload, expected[i].payload);
+    }
+  };
+
+  expect_range({});  // full scan, sorted
+  for (int i = 0; i < 20; ++i) {
+    BtreeIndex::Range range;
+    range.lo = rng.UniformRange(-600, 600);
+    range.hi = *range.lo + rng.UniformRange(0, 200);
+    range.lo_strict = rng.Bernoulli(0.5);
+    range.hi_strict = rng.Bernoulli(0.5);
+    expect_range(range);
+  }
+}
+
+TEST_P(BtreeRandomTest, DeleteHalfThenScan) {
+  TreeFixture fx;
+  Random rng(GetParam() ^ 0xAA);
+  std::vector<BtreeIndex::Entry> kept;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    const int64_t key = rng.UniformRange(0, 300);
+    ASSERT_TRUE(fx.tree->Insert(key, i, NaturalCompare).ok());
+    if (i % 2 == 0) {
+      bool found = false;
+      ASSERT_TRUE(fx.tree->Delete(key, i, NaturalCompare, &found).ok());
+      ASSERT_TRUE(found);
+    } else {
+      kept.push_back({key, i});
+    }
+  }
+  EXPECT_EQ(fx.tree->size(), kept.size());
+  ASSERT_TRUE(fx.tree->CheckConsistency(NaturalCompare).ok());
+  std::vector<BtreeIndex::Entry> all;
+  ASSERT_TRUE(fx.tree->ScanAll({}, NaturalCompare, &all).ok());
+  EXPECT_EQ(all.size(), kept.size());
+  bool found = true;
+  ASSERT_TRUE(fx.tree->Delete(-999, 1, NaturalCompare, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreeRandomTest,
+                         ::testing::Values(3, 33, 333));
+
+TEST(Btree, CustomComparatorReordersEverything) {
+  // The paper's §4 example: compare() replaced so integers order as
+  // 0, -1, 1, -2, 2, ...
+  auto abs_cmp = [](int64_t a, int64_t b) {
+    const int64_t abs_a = a < 0 ? -a : a;
+    const int64_t abs_b = b < 0 ? -b : b;
+    if (abs_a != abs_b) return abs_a < abs_b ? -1 : 1;
+    return NaturalCompare(a, b);
+  };
+  TreeFixture fx;
+  uint64_t payload = 1;
+  for (int64_t k : {2, -1, 0, 1, -2}) {
+    ASSERT_TRUE(fx.tree->Insert(k, payload++, abs_cmp).ok());
+  }
+  std::vector<BtreeIndex::Entry> all;
+  ASSERT_TRUE(fx.tree->ScanAll({}, abs_cmp, &all).ok());
+  EXPECT_EQ(Keys(all), (std::vector<int64_t>{0, -1, 1, -2, 2}));
+  ASSERT_TRUE(fx.tree->CheckConsistency(abs_cmp).ok());
+  // "LessThan 1" under this order = {0, -1}.
+  BtreeIndex::Range range;
+  range.hi = 1;
+  range.hi_strict = true;
+  ASSERT_TRUE(fx.tree->ScanAll(range, abs_cmp, &all).ok());
+  EXPECT_EQ(Keys(all), (std::vector<int64_t>{0, -1}));
+}
+
+TEST(Btree, PersistsThroughAnchor) {
+  MemorySpace space;
+  Pager pager(&space, 512);
+  PagerNodeStore store(&pager);
+  BtreeIndex::Options options;
+  options.max_entries = 6;
+  NodeId anchor;
+  {
+    auto tree_or = BtreeIndex::Create(&store, options, &anchor);
+    ASSERT_TRUE(tree_or.ok());
+    auto tree = std::move(tree_or).value();
+    for (int64_t k = 0; k < 200; ++k) {
+      ASSERT_TRUE(
+          tree->Insert(k * 7 % 101, static_cast<uint64_t>(k + 1),
+                       NaturalCompare)
+              .ok());
+    }
+  }
+  auto tree_or = BtreeIndex::Open(&store, anchor, options);
+  ASSERT_TRUE(tree_or.ok());
+  auto tree = std::move(tree_or).value();
+  EXPECT_EQ(tree->size(), 200u);
+  ASSERT_TRUE(tree->CheckConsistency(NaturalCompare).ok());
+}
+
+TEST(Btree, ScanCostTracksRangeWidth) {
+  TreeFixture fx;
+  for (int64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(
+        fx.tree->Insert(k, static_cast<uint64_t>(k + 1), NaturalCompare)
+            .ok());
+  }
+  BtreeIndex::Range narrow;
+  narrow.lo = 100;
+  narrow.hi = 110;
+  BtreeIndex::Range wide;
+  wide.lo = 100;
+  wide.hi = 2900;
+  auto narrow_cost = fx.tree->EstimateScanCost(narrow, NaturalCompare);
+  auto wide_cost = fx.tree->EstimateScanCost(wide, NaturalCompare);
+  ASSERT_TRUE(narrow_cost.ok());
+  ASSERT_TRUE(wide_cost.ok());
+  EXPECT_LT(narrow_cost.value(), wide_cost.value());
+}
+
+// --------------------------------------------------------- blade + SQL ---
+
+class BtreeBladeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RegisterBtreeBlade(&server_).ok());
+    session_ = server_.CreateSession();
+    MustExec("CREATE TABLE emp (name text, salary int, hired date)");
+    MustExec("CREATE INDEX salary_idx ON emp(salary) USING btree_am");
+    const char* rows[] = {
+        "('ann', 100, '01/15/1995')", "('bob', 250, '03/02/1996')",
+        "('cid', 175, '07/20/1994')", "('dee', 250, '11/11/1997')",
+        "('eve', 90, '05/05/1998')"};
+    for (const char* row : rows) {
+      MustExec(std::string("INSERT INTO emp VALUES ") + row);
+    }
+  }
+
+  Status Exec(const std::string& sql) {
+    return server_.Execute(session_, sql, &result_);
+  }
+  void MustExec(const std::string& sql) {
+    Status status = Exec(sql);
+    ASSERT_TRUE(status.ok()) << sql << " -> " << status.ToString();
+  }
+  std::set<std::string> Column0() {
+    std::set<std::string> out;
+    for (const auto& row : result_.rows) out.insert(row[0]);
+    return out;
+  }
+
+  Server server_;
+  ServerSession* session_ = nullptr;
+  ResultSet result_;
+};
+
+TEST_F(BtreeBladeTest, RangeQueriesUseTheIndex) {
+  MustExec("SET EXPLAIN ON");
+  MustExec("SELECT name FROM emp WHERE GreaterThan(salary, 150)");
+  ASSERT_FALSE(result_.messages.empty());
+  EXPECT_NE(result_.messages[0].find("index scan on salary_idx"),
+            std::string::npos);
+  EXPECT_EQ(Column0(), (std::set<std::string>{"bob", "cid", "dee"}));
+}
+
+TEST_F(BtreeBladeTest, ConjunctionsNarrowTheRange) {
+  MustExec("SELECT name FROM emp WHERE GreaterThanOrEqual(salary, 100) "
+           "AND LessThan(salary, 250)");
+  EXPECT_EQ(Column0(), (std::set<std::string>{"ann", "cid"}));
+  MustExec("SELECT name FROM emp WHERE Equal(salary, 250)");
+  EXPECT_EQ(Column0(), (std::set<std::string>{"bob", "dee"}));
+}
+
+TEST_F(BtreeBladeTest, CommutedArgumentsFlipTheSlot) {
+  // LessThan(150, salary) means 150 < salary.
+  MustExec("SELECT name FROM emp WHERE LessThan(150, salary)");
+  EXPECT_EQ(Column0(), (std::set<std::string>{"bob", "cid", "dee"}));
+}
+
+TEST_F(BtreeBladeTest, MaintenanceOnDeleteAndUpdate) {
+  MustExec("DELETE FROM emp WHERE Equal(salary, 250)");
+  EXPECT_EQ(result_.affected, 2u);
+  MustExec("UPDATE emp SET salary = 1000 WHERE name = 'eve'");
+  MustExec("SELECT name FROM emp WHERE GreaterThanOrEqual(salary, 200)");
+  EXPECT_EQ(Column0(), (std::set<std::string>{"eve"}));
+  MustExec("CHECK INDEX salary_idx");
+}
+
+TEST_F(BtreeBladeTest, DateColumnsIndexToo) {
+  MustExec("CREATE INDEX hired_idx ON emp(hired) USING btree_am");
+  MustExec("SET EXPLAIN ON");
+  MustExec("SELECT name FROM emp WHERE LessThan(hired, '01/01/1996')");
+  EXPECT_NE(result_.messages[0].find("index scan on hired_idx"),
+            std::string::npos);
+  EXPECT_EQ(Column0(), (std::set<std::string>{"ann", "cid"}));
+}
+
+TEST_F(BtreeBladeTest, IndexAgreesWithSequentialScan) {
+  for (int i = 0; i < 300; ++i) {
+    MustExec("INSERT INTO emp VALUES ('p" + std::to_string(i) + "', " +
+             std::to_string((i * 37) % 500) + ", '01/01/2000')");
+  }
+  MustExec("SELECT COUNT(*) FROM emp WHERE "
+           "GreaterThan(salary, 120) AND LessThanOrEqual(salary, 380)");
+  const std::string with_index = result_.rows[0][0];
+  MustExec("DROP INDEX salary_idx");
+  MustExec("SELECT COUNT(*) FROM emp WHERE "
+           "GreaterThan(salary, 120) AND LessThanOrEqual(salary, 380)");
+  EXPECT_EQ(result_.rows[0][0], with_index);
+}
+
+TEST_F(BtreeBladeTest, RejectsUnsupportedColumnTypes) {
+  MustExec("CREATE TABLE blobs (label text)");
+  EXPECT_FALSE(
+      Exec("CREATE INDEX bad ON blobs(label) USING btree_am").ok());
+}
+
+// The §4 extensibility example: a NEW operator class with a substitute
+// compare() re-orders the index — no purpose-function changes.
+TEST_F(BtreeBladeTest, SubstituteCompareReordersTheIndex) {
+  ASSERT_TRUE(RegisterAbsOpclass(&server_).ok());
+  MustExec("CREATE TABLE ints (v int)");
+  MustExec("CREATE INDEX abs_idx ON ints(v bt_abs_opclass) USING btree_am");
+  for (int v : {2, -1, 0, 1, -2, 5, -4}) {
+    MustExec("INSERT INTO ints VALUES (" + std::to_string(v) + ")");
+  }
+  MustExec("SET EXPLAIN ON");
+  // Under the 0,-1,1,-2,2 order, AbsLessThan(v, -2) selects {0, -1, 1}.
+  MustExec("SELECT v FROM ints WHERE AbsLessThan(v, -2)");
+  EXPECT_NE(result_.messages[0].find("index scan on abs_idx"),
+            std::string::npos);
+  EXPECT_EQ(Column0(), (std::set<std::string>{"0", "-1", "1"}));
+  // And AbsGreaterThan(v, 2) selects {-4, 5}.
+  MustExec("SELECT v FROM ints WHERE AbsGreaterThan(v, 2)");
+  EXPECT_EQ(Column0(), (std::set<std::string>{"-4", "5"}));
+  MustExec("CHECK INDEX abs_idx");
+}
+
+}  // namespace
+}  // namespace grtdb

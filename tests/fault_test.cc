@@ -1,0 +1,181 @@
+// Failure injection: storage errors must surface as Status values — never
+// crashes, hangs, or silent corruption of already-durable state.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/grtree.h"
+#include "rstar/rstar_tree.h"
+#include "storage/pager.h"
+#include "storage/space.h"
+#include "temporal/region.h"
+
+namespace grtdb {
+namespace {
+
+// Fails every storage operation once `remaining` hits zero.
+class FailingStore final : public NodeStore {
+ public:
+  explicit FailingStore(NodeStore* inner) : inner_(inner) {}
+
+  void Arm(uint64_t remaining) { remaining_ = remaining; }
+  bool tripped() const { return tripped_; }
+
+  Status AllocateNode(NodeId* id) override {
+    GRTDB_RETURN_IF_ERROR(Tick());
+    return inner_->AllocateNode(id);
+  }
+  Status FreeNode(NodeId id) override {
+    GRTDB_RETURN_IF_ERROR(Tick());
+    return inner_->FreeNode(id);
+  }
+  Status ReadNode(NodeId id, uint8_t* out) override {
+    GRTDB_RETURN_IF_ERROR(Tick());
+    return inner_->ReadNode(id, out);
+  }
+  Status WriteNode(NodeId id, const uint8_t* data) override {
+    GRTDB_RETURN_IF_ERROR(Tick());
+    return inner_->WriteNode(id, data);
+  }
+  uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
+  Status Flush() override { return inner_->Flush(); }
+
+ private:
+  Status Tick() {
+    if (remaining_ == 0) {
+      tripped_ = true;
+      return Status::IOError("injected storage failure");
+    }
+    --remaining_;
+    return Status::OK();
+  }
+
+  NodeStore* inner_;
+  uint64_t remaining_ = ~0ull;
+  bool tripped_ = false;
+};
+
+TEST(FaultInjection, GRTreeInsertSurfacesIOErrors) {
+  MemorySpace space;
+  Pager pager(&space, 512);
+  PagerNodeStore inner(&pager);
+  FailingStore store(&inner);
+  GRTree::Options options;
+  options.max_entries = 8;
+  NodeId anchor;
+  auto tree_or = GRTree::Create(&store, options, &anchor);
+  ASSERT_TRUE(tree_or.ok());
+  auto tree = std::move(tree_or).value();
+  const int64_t ct = 1000;
+
+  // Preload without faults.
+  Random rng(3);
+  for (uint64_t i = 1; i <= 200; ++i) {
+    const int64_t tt1 = rng.UniformRange(500, 999);
+    ASSERT_TRUE(tree->Insert(TimeExtent::Ground(tt1, tt1 + 5, 400, 450), i,
+                             ct)
+                    .ok());
+  }
+
+  // Now fail at progressively later points in an insert; every attempt
+  // must return IOError cleanly.
+  uint64_t failures = 0;
+  for (uint64_t budget = 0; budget < 12; ++budget) {
+    store.Arm(budget);
+    Status status =
+        tree->Insert(TimeExtent::Ground(700, 710, 400, 450), 9000 + budget,
+                     ct);
+    if (!status.ok()) {
+      EXPECT_TRUE(status.IsIOError()) << status.ToString();
+      ++failures;
+    }
+    store.Arm(~0ull);  // disarm
+  }
+  EXPECT_GT(failures, 0u);
+  // With faults disarmed the tree still answers searches.
+  std::vector<GRTree::Entry> results;
+  ASSERT_TRUE(tree->SearchAll(PredicateOp::kOverlaps,
+                              TimeExtent::Ground(0, 2000, 0, 2000), ct,
+                              &results)
+                  .ok());
+  EXPECT_GE(results.size(), 200u);
+}
+
+TEST(FaultInjection, SearchFailuresPropagate) {
+  MemorySpace space;
+  Pager pager(&space, 512);
+  PagerNodeStore inner(&pager);
+  FailingStore store(&inner);
+  RStarTree::Options options;
+  options.max_entries = 8;
+  NodeId anchor;
+  auto tree_or = RStarTree::Create(&store, options, &anchor);
+  ASSERT_TRUE(tree_or.ok());
+  auto tree = std::move(tree_or).value();
+  Random rng(5);
+  for (uint64_t i = 1; i <= 300; ++i) {
+    const int64_t x = rng.UniformRange(0, 1000);
+    ASSERT_TRUE(tree->Insert(Rect::Of(x, x + 10, x, x + 10), i).ok());
+  }
+  store.Arm(2);  // fail on the third node read
+  std::vector<RStarTree::Entry> results;
+  Status status = tree->SearchAll(Rect::Of(0, 1000, 0, 1000), &results);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_TRUE(store.tripped());
+}
+
+TEST(FaultInjection, PagerSurfacesSpaceErrors) {
+  // A space that refuses to extend models a full disk.
+  class FullSpace final : public Space {
+   public:
+    Status ReadPage(PageId, uint8_t*) override { return Status::OK(); }
+    Status WritePage(PageId, const uint8_t*) override { return Status::OK(); }
+    PageId page_count() const override { return 0; }
+    Status Extend(PageId*) override { return Status::IOError("disk full"); }
+    Status Sync() override { return Status::OK(); }
+  };
+  FullSpace space;
+  Pager pager(&space, 4);
+  PageId id;
+  uint8_t* data;
+  EXPECT_TRUE(pager.NewPage(&id, &data).IsIOError());
+}
+
+// Growing bounds are monotone: a growing encoding resolved later contains
+// its earlier resolution — the property that lets the GR-tree skip all
+// maintenance as time passes.
+TEST(Property, GrowingResolutionsAreMonotone) {
+  Random rng(31);
+  for (int round = 0; round < 500; ++round) {
+    BoundSpec spec;
+    const int64_t tt1 = rng.UniformRange(100, 1000);
+    spec.tt_begin = Timestamp::FromChronon(tt1);
+    spec.tt_end =
+        rng.Bernoulli(0.7)
+            ? Timestamp::UC()
+            : Timestamp::FromChronon(tt1 + rng.UniformRange(0, 500));
+    spec.vt_begin = Timestamp::FromChronon(tt1 - rng.UniformRange(0, 200));
+    spec.rectangle = rng.Bernoulli(0.5);
+    if (spec.rectangle) {
+      spec.vt_end = rng.Bernoulli(0.5)
+                        ? Timestamp::NOW()
+                        : Timestamp::FromChronon(
+                              spec.vt_begin.chronon() +
+                              rng.UniformRange(0, 800));
+      spec.hidden = spec.vt_end.IsGround() && rng.Bernoulli(0.5);
+    } else {
+      spec.vt_end = Timestamp::NOW();
+      spec.hidden = false;
+    }
+    int64_t t1 = 1000;
+    for (int step = 0; step < 6; ++step) {
+      const int64_t t2 = t1 + rng.UniformRange(1, 400);
+      EXPECT_TRUE(spec.Resolve(t2).Contains(spec.Resolve(t1)))
+          << spec.ToString() << " t1=" << t1 << " t2=" << t2;
+      t1 = t2;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grtdb

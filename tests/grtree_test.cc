@@ -1,0 +1,469 @@
+#include "core/grtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "storage/pager.h"
+#include "storage/space.h"
+#include "temporal/predicates.h"
+#include "workload/workload.h"
+
+namespace grtdb {
+namespace {
+
+struct TreeFixture {
+  MemorySpace space;
+  Pager pager{&space, 512};
+  PagerNodeStore store{&pager};
+  std::unique_ptr<GRTree> tree;
+  NodeId anchor = kInvalidNodeId;
+
+  explicit TreeFixture(GRTree::Options options = {}) {
+    if (options.max_entries == 0) options.max_entries = 8;
+    auto tree_or = GRTree::Create(&store, options, &anchor);
+    EXPECT_TRUE(tree_or.ok());
+    tree = std::move(tree_or).value();
+  }
+};
+
+std::set<uint64_t> TreeQuery(GRTree& tree, PredicateOp op,
+                             const TimeExtent& query, int64_t ct) {
+  std::vector<GRTree::Entry> results;
+  EXPECT_TRUE(tree.SearchAll(op, query, ct, &results).ok());
+  std::set<uint64_t> out;
+  for (const auto& entry : results) out.insert(entry.payload);
+  return out;
+}
+
+std::set<uint64_t> BruteQuery(
+    const std::unordered_map<uint64_t, TimeExtent>& live, PredicateOp op,
+    const TimeExtent& query, int64_t ct) {
+  std::set<uint64_t> out;
+  const Region query_region = ResolveExtent(query, ct);
+  for (const auto& [payload, extent] : live) {
+    if (GRTree::LeafTest(op, ResolveExtent(extent, ct), query_region)) {
+      out.insert(payload);
+    }
+  }
+  return out;
+}
+
+TEST(GRTree, EmptyTree) {
+  TreeFixture fx;
+  EXPECT_EQ(fx.tree->size(), 0u);
+  EXPECT_TRUE(fx.tree->CheckConsistency(1000).ok());
+  EXPECT_TRUE(TreeQuery(*fx.tree, PredicateOp::kOverlaps,
+                        TimeExtent::Ground(0, 10000, 0, 10000), 1000)
+                  .empty());
+}
+
+TEST(GRTree, RejectsMalformedExtent) {
+  TreeFixture fx;
+  EXPECT_FALSE(fx.tree->Insert(TimeExtent::Ground(10, 5, 0, 1), 1, 20).ok());
+}
+
+TEST(GRTree, SingleGrowingStair) {
+  TreeFixture fx;
+  TimeExtent extent(Timestamp::FromChronon(100), Timestamp::UC(),
+                    Timestamp::FromChronon(100), Timestamp::NOW());
+  ASSERT_TRUE(fx.tree->Insert(extent, 1, 100).ok());
+  // Visible at a later current time in the grown area...
+  EXPECT_EQ(TreeQuery(*fx.tree, PredicateOp::kOverlaps,
+                      TimeExtent::Ground(150, 150, 150, 150), 200),
+            (std::set<uint64_t>{1}));
+  // ...but not above the diagonal.
+  EXPECT_TRUE(TreeQuery(*fx.tree, PredicateOp::kOverlaps,
+                        TimeExtent::Ground(120, 120, 150, 150), 200)
+                  .empty());
+}
+
+// Differential test: evolve a now-relative bitemporal relation and compare
+// every predicate against brute force at several current times.
+class GRTreeWorkloadTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GRTreeWorkloadTest, AllPredicatesMatchBruteForce) {
+  TreeFixture fx;
+  WorkloadOptions wopts;
+  wopts.seed = GetParam();
+  BitemporalWorkload workload(wopts);
+  for (int action = 0; action < 1200; ++action) {
+    for (const IndexOp& op : workload.NextAction()) {
+      if (op.kind == IndexOp::Kind::kInsert) {
+        ASSERT_TRUE(fx.tree->Insert(op.extent, op.payload, op.ct).ok());
+      } else {
+        bool found = false;
+        ASSERT_TRUE(
+            fx.tree->Delete(op.extent, op.payload, op.ct, &found).ok());
+        ASSERT_TRUE(found) << "payload " << op.payload;
+      }
+    }
+    if (action % 400 == 399) {
+      ASSERT_TRUE(fx.tree->CheckConsistency(workload.current_time()).ok());
+    }
+  }
+  EXPECT_EQ(fx.tree->size(), workload.live().size());
+  ASSERT_TRUE(fx.tree->CheckConsistency(workload.current_time()).ok());
+
+  const int64_t ct = workload.current_time();
+  for (int q = 0; q < 25; ++q) {
+    const TimeExtent query = workload.GroundRectQuery(120);
+    for (PredicateOp op :
+         {PredicateOp::kOverlaps, PredicateOp::kContains,
+          PredicateOp::kContainedIn, PredicateOp::kEqual}) {
+      EXPECT_EQ(TreeQuery(*fx.tree, op, query, ct),
+                BruteQuery(workload.live(), op, query, ct))
+          << "op " << static_cast<int>(op) << " query "
+          << query.ToChrononString();
+    }
+  }
+  // Now-relative queries (stair-shaped query regions).
+  const TimeExtent stair_query = workload.CurrentStairQuery();
+  EXPECT_EQ(TreeQuery(*fx.tree, PredicateOp::kOverlaps, stair_query, ct),
+            BruteQuery(workload.live(), PredicateOp::kOverlaps, stair_query,
+                       ct));
+  // Queries keep matching brute force as the clock advances further with
+  // no index maintenance at all — the point of the GR-tree.
+  for (int64_t later : {ct + 50, ct + 500, ct + 5000}) {
+    const TimeExtent query = workload.GroundRectQuery(200);
+    EXPECT_EQ(TreeQuery(*fx.tree, PredicateOp::kOverlaps, query, later),
+              BruteQuery(workload.live(), PredicateOp::kOverlaps, query,
+                         later));
+    ASSERT_TRUE(fx.tree->CheckConsistency(later).ok());
+  }
+}
+
+TEST_P(GRTreeWorkloadTest, AblationRectangleOnlyBoundsStayCorrect) {
+  GRTree::Options options;
+  options.max_entries = 8;
+  options.stair_bounds = false;  // force rectangle bounds everywhere
+  TreeFixture fx(options);
+  WorkloadOptions wopts;
+  wopts.seed = GetParam() ^ 0x77;
+  BitemporalWorkload workload(wopts);
+  for (int action = 0; action < 600; ++action) {
+    for (const IndexOp& op : workload.NextAction()) {
+      if (op.kind == IndexOp::Kind::kInsert) {
+        ASSERT_TRUE(fx.tree->Insert(op.extent, op.payload, op.ct).ok());
+      } else {
+        bool found = false;
+        ASSERT_TRUE(
+            fx.tree->Delete(op.extent, op.payload, op.ct, &found).ok());
+        ASSERT_TRUE(found);
+      }
+    }
+  }
+  const int64_t ct = workload.current_time();
+  ASSERT_TRUE(fx.tree->CheckConsistency(ct).ok());
+  GRTreeStats stats;
+  ASSERT_TRUE(fx.tree->ComputeStats(ct, 0, &stats).ok());
+  for (const auto& level : stats.levels) {
+    EXPECT_EQ(level.stair_bounds, 0u);
+  }
+  for (int q = 0; q < 15; ++q) {
+    const TimeExtent query = workload.GroundRectQuery(150);
+    EXPECT_EQ(TreeQuery(*fx.tree, PredicateOp::kOverlaps, query, ct),
+              BruteQuery(workload.live(), PredicateOp::kOverlaps, query, ct));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GRTreeWorkloadTest,
+                         ::testing::Values(101, 202, 303));
+
+TEST(GRTree, StatsReflectStairAndGrowingBounds) {
+  TreeFixture fx;
+  // A purely now-relative workload: internal bounds should be stairs and
+  // growing.
+  int64_t ct = 1000;
+  for (uint64_t i = 0; i < 300; ++i) {
+    TimeExtent extent(Timestamp::FromChronon(ct), Timestamp::UC(),
+                      Timestamp::FromChronon(ct - 5), Timestamp::NOW());
+    ASSERT_TRUE(fx.tree->Insert(extent, i + 1, ct).ok());
+    if (i % 3 == 2) ++ct;
+  }
+  GRTreeStats stats;
+  ASSERT_TRUE(fx.tree->ComputeStats(ct, 200, &stats).ok());
+  EXPECT_EQ(stats.size, 300u);
+  ASSERT_GT(stats.levels.size(), 1u);
+  uint64_t stair_bounds = 0;
+  uint64_t rect_bounds = 0;
+  for (const auto& level : stats.levels) {
+    stair_bounds += level.stair_bounds;
+    rect_bounds += level.rect_bounds;
+  }
+  EXPECT_GT(stair_bounds, 0u);
+  EXPECT_EQ(rect_bounds, 0u);  // everything lies under the diagonal
+}
+
+TEST(GRTree, HiddenBoundsAppearInMixedWorkloads) {
+  TreeFixture fx;
+  Random rng(9);
+  int64_t ct = 1000;
+  for (uint64_t i = 0; i < 400; ++i) {
+    TimeExtent extent;
+    if (rng.Bernoulli(0.5)) {
+      extent = TimeExtent(Timestamp::FromChronon(ct), Timestamp::UC(),
+                          Timestamp::FromChronon(ct), Timestamp::NOW());
+    } else {
+      // Static rectangles with far-future valid time hide the stairs.
+      const int64_t vt1 = ct - rng.UniformRange(0, 50);
+      extent = TimeExtent(Timestamp::FromChronon(ct), Timestamp::UC(),
+                          Timestamp::FromChronon(vt1),
+                          Timestamp::FromChronon(ct + 2000));
+    }
+    ASSERT_TRUE(fx.tree->Insert(extent, i + 1, ct).ok());
+    if (i % 4 == 3) ++ct;
+  }
+  GRTreeStats stats;
+  ASSERT_TRUE(fx.tree->ComputeStats(ct, 0, &stats).ok());
+  uint64_t hidden = 0;
+  for (const auto& level : stats.levels) hidden += level.hidden_bounds;
+  EXPECT_GT(hidden, 0u);
+  // The hidden flags must keep bounds valid far into the future.
+  ASSERT_TRUE(fx.tree->CheckConsistency(ct + 5000).ok());
+}
+
+// §5.5 deletion policies: a cursor-driven scan deleting every returned
+// entry must deliver every qualifying entry exactly once under each policy.
+class DeletionPolicyTest : public ::testing::TestWithParam<DeletionPolicy> {};
+
+TEST_P(DeletionPolicyTest, ScanAndDeleteVisitsEverything) {
+  GRTree::Options options;
+  options.max_entries = 8;
+  options.deletion_policy = GetParam();
+  TreeFixture fx(options);
+  Random rng(77);
+  const int64_t ct = 2000;
+  std::set<uint64_t> qualifying;
+  for (uint64_t i = 1; i <= 400; ++i) {
+    const int64_t tt1 = rng.UniformRange(1000, 1999);
+    const int64_t vt1 = rng.UniformRange(900, 1900);
+    TimeExtent extent = TimeExtent::Ground(
+        tt1, tt1 + rng.UniformRange(0, 50), vt1, vt1 + rng.UniformRange(0, 50));
+    ASSERT_TRUE(fx.tree->Insert(extent, i, ct).ok());
+    if (ExtentsOverlap(extent, TimeExtent::Ground(1000, 1500, 900, 1500),
+                       ct)) {
+      qualifying.insert(i);
+    }
+  }
+  ASSERT_FALSE(qualifying.empty());
+
+  // Retrieve-and-delete, as the server's DELETE statement drives it.
+  auto cursor_or =
+      fx.tree->Search(PredicateOp::kOverlaps,
+                      TimeExtent::Ground(1000, 1500, 900, 1500), ct);
+  ASSERT_TRUE(cursor_or.ok());
+  auto cursor = std::move(cursor_or).value();
+  std::set<uint64_t> deleted;
+  while (true) {
+    bool has = false;
+    GRTree::Entry entry;
+    ASSERT_TRUE(cursor->Next(&has, &entry).ok());
+    if (!has) break;
+    EXPECT_TRUE(deleted.insert(entry.payload).second)
+        << "duplicate delivery of " << entry.payload;
+    bool found = false;
+    ASSERT_TRUE(fx.tree->Delete(entry.extent, entry.payload, ct, &found).ok());
+    ASSERT_TRUE(found);
+    if (GetParam() == DeletionPolicy::kRestartAlways) cursor->Reset();
+  }
+  EXPECT_EQ(deleted, qualifying);
+  ASSERT_TRUE(fx.tree->FlushPending(ct).ok());
+  ASSERT_TRUE(fx.tree->CheckConsistency(ct).ok());
+  EXPECT_EQ(fx.tree->size(), 400u - qualifying.size());
+  // Remaining entries are still all reachable.
+  EXPECT_EQ(TreeQuery(*fx.tree, PredicateOp::kOverlaps,
+                      TimeExtent::Ground(0, 10000, 0, 10000), ct)
+                .size(),
+            400u - qualifying.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DeletionPolicyTest,
+                         ::testing::Values(DeletionPolicy::kRestartAlways,
+                                           DeletionPolicy::kRestartOnCondense,
+                                           DeletionPolicy::kPostponeReinsert));
+
+TEST(GRTree, PostponePolicyAvoidsRestarts) {
+  GRTree::Options postpone;
+  postpone.max_entries = 8;
+  postpone.deletion_policy = DeletionPolicy::kPostponeReinsert;
+  GRTree::Options restart;
+  restart.max_entries = 8;
+  restart.deletion_policy = DeletionPolicy::kRestartOnCondense;
+
+  auto run = [](auto& fx) {
+    Random rng(5);
+    const int64_t ct = 2000;
+    for (uint64_t i = 1; i <= 300; ++i) {
+      const int64_t tt1 = rng.UniformRange(1000, 1999);
+      ASSERT_TRUE(fx.tree
+                      ->Insert(TimeExtent::Ground(tt1, tt1 + 10, tt1 - 50,
+                                                  tt1 - 20),
+                               i, ct)
+                      .ok());
+    }
+    auto cursor_or = fx.tree->Search(
+        PredicateOp::kOverlaps, TimeExtent::Ground(0, 10000, 0, 10000), ct);
+    ASSERT_TRUE(cursor_or.ok());
+    auto cursor = std::move(cursor_or).value();
+    while (true) {
+      bool has = false;
+      GRTree::Entry entry;
+      ASSERT_TRUE(cursor->Next(&has, &entry).ok());
+      if (!has) break;
+      bool found = false;
+      ASSERT_TRUE(
+          fx.tree->Delete(entry.extent, entry.payload, ct, &found).ok());
+    }
+    fx.restarts = cursor->restarts();
+  };
+
+  struct FixtureWithRestarts : TreeFixture {
+    using TreeFixture::TreeFixture;
+    uint64_t restarts = 0;
+  };
+  FixtureWithRestarts fx_postpone(postpone);
+  FixtureWithRestarts fx_restart(restart);
+  run(fx_postpone);
+  run(fx_restart);
+  EXPECT_EQ(fx_postpone.restarts, 0u);
+  EXPECT_GT(fx_restart.restarts, 0u);
+  ASSERT_TRUE(fx_postpone.tree->FlushPending(2000).ok());
+  ASSERT_TRUE(fx_postpone.tree->CheckConsistency(2000).ok());
+}
+
+TEST(GRTree, PersistsThroughAnchor) {
+  MemorySpace space;
+  Pager pager(&space, 512);
+  PagerNodeStore store(&pager);
+  GRTree::Options options;
+  options.max_entries = 8;
+  NodeId anchor;
+  WorkloadOptions wopts;
+  wopts.seed = 404;
+  BitemporalWorkload workload(wopts);
+  {
+    auto tree_or = GRTree::Create(&store, options, &anchor);
+    ASSERT_TRUE(tree_or.ok());
+    auto tree = std::move(tree_or).value();
+    for (int action = 0; action < 500; ++action) {
+      for (const IndexOp& op : workload.NextAction()) {
+        if (op.kind == IndexOp::Kind::kInsert) {
+          ASSERT_TRUE(tree->Insert(op.extent, op.payload, op.ct).ok());
+        } else {
+          bool found = false;
+          ASSERT_TRUE(tree->Delete(op.extent, op.payload, op.ct, &found).ok());
+        }
+      }
+    }
+  }
+  {
+    auto tree_or = GRTree::Open(&store, anchor, options);
+    ASSERT_TRUE(tree_or.ok());
+    auto tree = std::move(tree_or).value();
+    const int64_t ct = workload.current_time();
+    EXPECT_EQ(tree->size(), workload.live().size());
+    ASSERT_TRUE(tree->CheckConsistency(ct).ok());
+    const TimeExtent query = workload.GroundRectQuery(200);
+    EXPECT_EQ(TreeQuery(*tree, PredicateOp::kOverlaps, query, ct),
+              BruteQuery(workload.live(), PredicateOp::kOverlaps, query, ct));
+  }
+}
+
+TEST(GRTree, BulkLoadMatchesIncremental) {
+  TreeFixture incremental;
+  TreeFixture bulk;
+  WorkloadOptions wopts;
+  wopts.seed = 512;
+  BitemporalWorkload workload(wopts);
+  std::vector<GRTree::Entry> entries;
+  for (int action = 0; action < 700; ++action) {
+    for (const IndexOp& op : workload.NextAction()) {
+      if (op.kind == IndexOp::Kind::kInsert) {
+        ASSERT_TRUE(
+            incremental.tree->Insert(op.extent, op.payload, op.ct).ok());
+      } else {
+        bool found = false;
+        ASSERT_TRUE(incremental.tree
+                        ->Delete(op.extent, op.payload, op.ct, &found)
+                        .ok());
+      }
+    }
+  }
+  const int64_t ct = workload.current_time();
+  for (const auto& [payload, extent] : workload.live()) {
+    entries.push_back(GRTree::Entry{extent, payload});
+  }
+  ASSERT_TRUE(bulk.tree->BulkLoad(entries, ct).ok());
+  ASSERT_TRUE(bulk.tree->CheckConsistency(ct).ok());
+  EXPECT_EQ(bulk.tree->size(), incremental.tree->size());
+  for (int q = 0; q < 20; ++q) {
+    const TimeExtent query = workload.GroundRectQuery(150);
+    EXPECT_EQ(TreeQuery(*bulk.tree, PredicateOp::kOverlaps, query, ct),
+              TreeQuery(*incremental.tree, PredicateOp::kOverlaps, query,
+                        ct));
+  }
+}
+
+TEST(GRTree, ScanCostTracksSelectivity) {
+  TreeFixture fx;
+  WorkloadOptions wopts;
+  wopts.seed = 606;
+  BitemporalWorkload workload(wopts);
+  for (int action = 0; action < 800; ++action) {
+    for (const IndexOp& op : workload.NextAction()) {
+      if (op.kind == IndexOp::Kind::kInsert) {
+        ASSERT_TRUE(fx.tree->Insert(op.extent, op.payload, op.ct).ok());
+      } else {
+        bool found = false;
+        ASSERT_TRUE(
+            fx.tree->Delete(op.extent, op.payload, op.ct, &found).ok());
+      }
+    }
+  }
+  const int64_t ct = workload.current_time();
+  auto tiny = fx.tree->EstimateScanCost(
+      PredicateOp::kOverlaps, workload.TimeSliceQuery(ct - 1, ct - 1), ct);
+  auto huge = fx.tree->EstimateScanCost(
+      PredicateOp::kOverlaps, TimeExtent::Ground(0, 100000, 0, 100000), ct);
+  ASSERT_TRUE(tiny.ok());
+  ASSERT_TRUE(huge.ok());
+  EXPECT_LE(tiny.value(), huge.value());
+}
+
+TEST(GRTree, CursorRescanAfterResetSkipsNothingNew) {
+  TreeFixture fx;
+  const int64_t ct = 1000;
+  for (uint64_t i = 1; i <= 50; ++i) {
+    ASSERT_TRUE(fx.tree
+                    ->Insert(TimeExtent::Ground(500 + i, 510 + i, 400, 450),
+                             i, ct)
+                    .ok());
+  }
+  auto cursor_or = fx.tree->Search(
+      PredicateOp::kOverlaps, TimeExtent::Ground(0, 10000, 0, 10000), ct);
+  ASSERT_TRUE(cursor_or.ok());
+  auto cursor = std::move(cursor_or).value();
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 20; ++i) {
+    bool has = false;
+    GRTree::Entry entry;
+    ASSERT_TRUE(cursor->Next(&has, &entry).ok());
+    ASSERT_TRUE(has);
+    seen.insert(entry.payload);
+  }
+  cursor->Reset();  // mid-scan restart must not produce duplicates
+  while (true) {
+    bool has = false;
+    GRTree::Entry entry;
+    ASSERT_TRUE(cursor->Next(&has, &entry).ok());
+    if (!has) break;
+    EXPECT_TRUE(seen.insert(entry.payload).second);
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+}  // namespace
+}  // namespace grtdb

@@ -1,0 +1,303 @@
+#include "temporal/region.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace grtdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference implementations: the closed-form region algebra is validated
+// against point-wise brute force on the integer grid. Region boundaries are
+// integer lines plus the vt = tt diagonal, so integer witnesses are exact
+// for overlap, and corner checks are exact for containment.
+// ---------------------------------------------------------------------------
+
+bool BruteOverlap(const Region& a, const Region& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  for (int64_t tt = std::max(a.tt1(), b.tt1());
+       tt <= std::min(a.tt2(), b.tt2()); ++tt) {
+    for (int64_t vt = std::max(a.vt1(), b.vt1());
+         vt <= std::min(a.vt2(), b.vt2()); ++vt) {
+      if (a.ContainsPoint(tt, vt) && b.ContainsPoint(tt, vt)) return true;
+    }
+  }
+  return false;
+}
+
+bool BruteContains(const Region& a, const Region& b) {
+  if (b.IsEmpty()) return true;
+  if (a.IsEmpty()) return false;
+  for (int64_t tt = b.tt1(); tt <= b.tt2(); ++tt) {
+    for (int64_t vt = b.vt1(); vt <= b.vt2(); ++vt) {
+      if (b.ContainsPoint(tt, vt) && !a.ContainsPoint(tt, vt)) return false;
+    }
+  }
+  return true;
+}
+
+// Cross-section of the region at transaction time tt: [lo, hi] in vt, or
+// empty. All regions have piecewise-linear cross-sections with integer
+// breakpoints, so unit-step trapezoid integration is exact.
+bool CrossSection(const Region& r, double tt, double* lo, double* hi) {
+  if (r.IsEmpty()) return false;
+  if (tt < static_cast<double>(r.tt1()) || tt > static_cast<double>(r.tt2())) {
+    return false;
+  }
+  *lo = static_cast<double>(r.vt1());
+  *hi = r.IsStair() ? tt : static_cast<double>(r.vt2());
+  return *hi >= *lo;
+}
+
+double BruteIntersectionArea(const Region& a, const Region& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return 0.0;
+  const int64_t lo = std::max(a.tt1(), b.tt1());
+  const int64_t hi = std::min(a.tt2(), b.tt2());
+  if (lo > hi) return 0.0;
+  auto height = [&](double tt) {
+    double alo, ahi, blo, bhi;
+    if (!CrossSection(a, tt, &alo, &ahi)) return 0.0;
+    if (!CrossSection(b, tt, &blo, &bhi)) return 0.0;
+    return std::max(0.0, std::min(ahi, bhi) - std::max(alo, blo));
+  };
+  double area = 0.0;
+  for (int64_t t = lo; t < hi; ++t) {
+    area += 0.5 * (height(static_cast<double>(t)) +
+                   height(static_cast<double>(t + 1)));
+  }
+  return area;
+}
+
+// -------------------------------------------------------------- factories --
+
+TEST(RegionFactory, EmptyRectWhenInverted) {
+  EXPECT_TRUE(Region::Rect(5, 4, 0, 10).IsEmpty());
+  EXPECT_TRUE(Region::Rect(0, 10, 5, 4).IsEmpty());
+  EXPECT_FALSE(Region::Rect(5, 5, 4, 4).IsEmpty());  // a point is a region
+}
+
+TEST(RegionFactory, StairNormalizesLowTt1) {
+  // Points need vt <= tt, so the populated range starts at vt1.
+  Region stair = Region::Stair(0, 10, 5);
+  EXPECT_EQ(stair.tt1(), 5);
+  EXPECT_EQ(stair.tt2(), 10);
+  EXPECT_EQ(stair.vt2(), 10);
+}
+
+TEST(RegionFactory, StairEmptyWhenTopBelowFloor) {
+  EXPECT_TRUE(Region::Stair(0, 4, 5).IsEmpty());
+}
+
+TEST(RegionFactory, DegenerateStairBecomesRect) {
+  // A single-column stair is canonically a vertical segment.
+  Region r = Region::Stair(10, 10, 3);
+  EXPECT_EQ(r.kind(), Region::Kind::kRect);
+  EXPECT_TRUE(r.Equals(Region::Rect(10, 10, 3, 10)));
+}
+
+TEST(RegionPoints, StairFollowsDiagonal) {
+  Region stair = Region::Stair(2, 8, 2);
+  EXPECT_TRUE(stair.ContainsPoint(5, 5));
+  EXPECT_FALSE(stair.ContainsPoint(5, 6));  // above the diagonal
+  EXPECT_TRUE(stair.ContainsPoint(8, 2));
+  EXPECT_FALSE(stair.ContainsPoint(1, 1));  // before tt1
+  EXPECT_FALSE(stair.ContainsPoint(5, 1));  // below vt1
+}
+
+// ------------------------------------------------------------------ areas --
+
+TEST(RegionArea, Rect) {
+  EXPECT_DOUBLE_EQ(Region::Rect(0, 4, 0, 3).Area(), 12.0);
+  EXPECT_DOUBLE_EQ(Region::Rect(2, 2, 0, 9).Area(), 0.0);
+}
+
+TEST(RegionArea, StairTriangle) {
+  // Stair from (0,0) to tt=10: right triangle of area 50.
+  EXPECT_DOUBLE_EQ(Region::Stair(0, 10, 0).Area(), 50.0);
+}
+
+TEST(RegionArea, StairWithHighFirstStep) {
+  // tt in [4,10], vt1 = 0: trapezoid with heights 4..10.
+  EXPECT_DOUBLE_EQ(Region::Stair(4, 10, 0).Area(), 6.0 * 7.0);
+}
+
+TEST(RegionMargin, BoundingRectHalfPerimeter) {
+  EXPECT_DOUBLE_EQ(Region::Rect(0, 4, 0, 3).Margin(), 7.0);
+  EXPECT_DOUBLE_EQ(Region::Stair(0, 10, 0).Margin(), 20.0);
+}
+
+// ----------------------------------------------------------- hand checks --
+
+TEST(RegionOverlap, RectRect) {
+  Region a = Region::Rect(0, 10, 0, 10);
+  EXPECT_TRUE(a.Overlaps(Region::Rect(10, 20, 10, 20)));  // corner touch
+  EXPECT_FALSE(a.Overlaps(Region::Rect(11, 20, 0, 10)));
+}
+
+TEST(RegionOverlap, StairRect) {
+  Region stair = Region::Stair(0, 10, 0);
+  // Rectangle entirely above the diagonal within the tt-range.
+  EXPECT_FALSE(stair.Overlaps(Region::Rect(0, 4, 6, 9)));
+  // Rectangle touching the diagonal at (6, 6).
+  EXPECT_TRUE(stair.Overlaps(Region::Rect(0, 6, 6, 9)));
+}
+
+TEST(RegionContains, StairContainsUnderDiagonalRect) {
+  Region stair = Region::Stair(0, 20, 0);
+  EXPECT_TRUE(stair.Contains(Region::Rect(10, 15, 2, 9)));   // vt2 <= tt1
+  EXPECT_FALSE(stair.Contains(Region::Rect(10, 15, 2, 11)));  // pokes above
+}
+
+TEST(RegionContains, EmptyIsContainedEverywhere) {
+  EXPECT_TRUE(Region::Rect(0, 1, 0, 1).Contains(Region::Empty()));
+  EXPECT_TRUE(Region::Empty().Contains(Region::Empty()));
+  EXPECT_FALSE(Region::Empty().Contains(Region::Rect(0, 1, 0, 1)));
+}
+
+TEST(RegionEnclose, TwoStairsStayStair) {
+  Region a = Region::Stair(0, 10, 0);
+  Region b = Region::Stair(5, 20, 3);
+  Region enclosed = Region::Enclose(a, b);
+  EXPECT_TRUE(enclosed.IsStair());
+  EXPECT_TRUE(enclosed.Contains(a));
+  EXPECT_TRUE(enclosed.Contains(b));
+}
+
+TEST(RegionEnclose, StairPlusAboveDiagonalRectBecomesRect) {
+  Region a = Region::Stair(0, 10, 0);
+  Region b = Region::Rect(2, 4, 5, 9);  // above diagonal
+  Region enclosed = Region::Enclose(a, b);
+  EXPECT_EQ(enclosed.kind(), Region::Kind::kRect);
+  EXPECT_TRUE(enclosed.Contains(a));
+  EXPECT_TRUE(enclosed.Contains(b));
+}
+
+TEST(RegionIntersectionArea, RectRect) {
+  EXPECT_DOUBLE_EQ(
+      Region::Rect(0, 10, 0, 10).IntersectionArea(Region::Rect(5, 15, 5, 15)),
+      25.0);
+}
+
+TEST(RegionIntersectionArea, StairStair) {
+  Region a = Region::Stair(0, 10, 0);
+  Region b = Region::Stair(0, 10, 5);
+  // Intersection is the smaller stair {5<=tt<=10, 5<=vt<=tt}: area 12.5.
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(b), 12.5);
+}
+
+// --------------------------------------------------------- property sweep --
+
+Region RandomRegion(Random& rng) {
+  const int kind = static_cast<int>(rng.Uniform(3));
+  const int64_t a = rng.UniformRange(0, 30);
+  const int64_t b = rng.UniformRange(0, 30);
+  const int64_t c = rng.UniformRange(0, 30);
+  const int64_t d = rng.UniformRange(0, 30);
+  switch (kind) {
+    case 0:
+      return Region::Rect(std::min(a, b), std::max(a, b), std::min(c, d),
+                          std::max(c, d));
+    case 1:
+      return Region::Stair(std::min(a, b), std::max(a, b), c);
+    default:
+      return Region::Empty();
+  }
+}
+
+class RegionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegionPropertyTest, OverlapMatchesBruteForce) {
+  Random rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    Region a = RandomRegion(rng);
+    Region b = RandomRegion(rng);
+    EXPECT_EQ(a.Overlaps(b), BruteOverlap(a, b))
+        << "a=" << a.ToString() << " b=" << b.ToString();
+    EXPECT_EQ(a.Overlaps(b), b.Overlaps(a)) << "overlap must be symmetric";
+  }
+}
+
+TEST_P(RegionPropertyTest, ContainsMatchesBruteForce) {
+  Random rng(GetParam() ^ 0x1234);
+  for (int i = 0; i < 300; ++i) {
+    Region a = RandomRegion(rng);
+    Region b = RandomRegion(rng);
+    EXPECT_EQ(a.Contains(b), BruteContains(a, b))
+        << "a=" << a.ToString() << " b=" << b.ToString();
+  }
+}
+
+TEST_P(RegionPropertyTest, IntersectionAreaMatchesExactIntegration) {
+  Random rng(GetParam() ^ 0x5678);
+  for (int i = 0; i < 300; ++i) {
+    Region a = RandomRegion(rng);
+    Region b = RandomRegion(rng);
+    const double expected = BruteIntersectionArea(a, b);
+    EXPECT_NEAR(a.IntersectionArea(b), expected, 1e-9)
+        << "a=" << a.ToString() << " b=" << b.ToString();
+    EXPECT_NEAR(a.IntersectionArea(b), b.IntersectionArea(a), 1e-9);
+  }
+}
+
+TEST_P(RegionPropertyTest, SelfIntersectionIsArea) {
+  Random rng(GetParam() ^ 0x9abc);
+  for (int i = 0; i < 200; ++i) {
+    Region a = RandomRegion(rng);
+    EXPECT_NEAR(a.IntersectionArea(a), a.Area(), 1e-9) << a.ToString();
+  }
+}
+
+TEST_P(RegionPropertyTest, EncloseContainsBoth) {
+  Random rng(GetParam() ^ 0xdef0);
+  for (int i = 0; i < 300; ++i) {
+    Region a = RandomRegion(rng);
+    Region b = RandomRegion(rng);
+    Region enclosed = Region::Enclose(a, b);
+    EXPECT_TRUE(enclosed.Contains(a))
+        << enclosed.ToString() << " vs " << a.ToString();
+    EXPECT_TRUE(enclosed.Contains(b))
+        << enclosed.ToString() << " vs " << b.ToString();
+    // Note a stair enclosure may legitimately exceed the bounding box of
+    // the union in the valid-time direction (its top follows the diagonal
+    // to tt2); what the GR-tree gains is less dead space *and* an encoding
+    // that stays valid as the regions grow.
+  }
+}
+
+TEST_P(RegionPropertyTest, ContainsImpliesOverlapAndAreaOrder) {
+  Random rng(GetParam() ^ 0x7777);
+  for (int i = 0; i < 300; ++i) {
+    Region a = RandomRegion(rng);
+    Region b = RandomRegion(rng);
+    if (a.Contains(b) && !b.IsEmpty()) {
+      EXPECT_TRUE(a.Overlaps(b));
+      EXPECT_GE(a.Area(), b.Area() - 1e-9);
+      EXPECT_NEAR(a.IntersectionArea(b), b.Area(), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 42, 99));
+
+TEST(DeadSpace, FullyCoveredParentHasNone) {
+  Region parent = Region::Rect(0, 10, 0, 10);
+  std::vector<Region> children = {parent};
+  EXPECT_DOUBLE_EQ(
+      Region::DeadSpaceSampled(parent, children, 2000, 1), 0.0);
+}
+
+TEST(DeadSpace, HalfCoveredParentIsAboutHalf) {
+  Region parent = Region::Rect(0, 10, 0, 10);
+  std::vector<Region> children = {Region::Rect(0, 5, 0, 10)};
+  const double dead = Region::DeadSpaceSampled(parent, children, 20000, 7);
+  EXPECT_NEAR(dead, 50.0, 3.0);
+}
+
+}  // namespace
+}  // namespace grtdb

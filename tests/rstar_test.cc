@@ -1,0 +1,285 @@
+#include "rstar/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "storage/pager.h"
+#include "storage/space.h"
+
+namespace grtdb {
+namespace {
+
+Rect RandomRect(Random& rng, int64_t extent) {
+  const int64_t x = rng.UniformRange(0, extent);
+  const int64_t y = rng.UniformRange(0, extent);
+  return Rect::Of(x, x + rng.UniformRange(0, extent / 10), y,
+                  y + rng.UniformRange(0, extent / 10));
+}
+
+std::set<uint64_t> BruteQuery(const std::vector<RStarTree::Entry>& entries,
+                              const Rect& query) {
+  std::set<uint64_t> out;
+  for (const auto& entry : entries) {
+    if (entry.rect.Intersects(query)) out.insert(entry.payload);
+  }
+  return out;
+}
+
+std::set<uint64_t> TreeQuery(RStarTree& tree, const Rect& query) {
+  std::vector<RStarTree::Entry> results;
+  EXPECT_TRUE(tree.SearchAll(query, &results).ok());
+  std::set<uint64_t> out;
+  for (const auto& entry : results) out.insert(entry.payload);
+  return out;
+}
+
+struct TreeFixture {
+  MemorySpace space;
+  Pager pager{&space, 256};
+  PagerNodeStore store{&pager};
+  std::unique_ptr<RStarTree> tree;
+  NodeId anchor = kInvalidNodeId;
+
+  explicit TreeFixture(RStarTree::Options options = {}) {
+    // Small fanout exercises splits and reinserts quickly.
+    if (options.max_entries == 0) options.max_entries = 8;
+    auto tree_or = RStarTree::Create(&store, options, &anchor);
+    EXPECT_TRUE(tree_or.ok());
+    tree = std::move(tree_or).value();
+  }
+};
+
+TEST(RStarTree, EmptyTreeFindsNothing) {
+  TreeFixture fx;
+  std::vector<RStarTree::Entry> results;
+  ASSERT_TRUE(fx.tree->SearchAll(Rect::Of(0, 100, 0, 100), &results).ok());
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(fx.tree->CheckConsistency().ok());
+}
+
+TEST(RStarTree, RejectsEmptyRect) {
+  TreeFixture fx;
+  EXPECT_FALSE(fx.tree->Insert(Rect(), 1).ok());
+}
+
+TEST(RStarTree, SingleInsertFindable) {
+  TreeFixture fx;
+  ASSERT_TRUE(fx.tree->Insert(Rect::Of(5, 10, 5, 10), 42).ok());
+  EXPECT_EQ(fx.tree->size(), 1u);
+  EXPECT_EQ(TreeQuery(*fx.tree, Rect::Of(0, 6, 0, 6)),
+            (std::set<uint64_t>{42}));
+  EXPECT_TRUE(TreeQuery(*fx.tree, Rect::Of(11, 20, 0, 20)).empty());
+}
+
+class RStarRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RStarRandomTest, SearchMatchesBruteForce) {
+  TreeFixture fx;
+  Random rng(GetParam());
+  std::vector<RStarTree::Entry> reference;
+  for (uint64_t i = 1; i <= 800; ++i) {
+    RStarTree::Entry entry{RandomRect(rng, 1000), i};
+    reference.push_back(entry);
+    ASSERT_TRUE(fx.tree->Insert(entry.rect, entry.payload).ok());
+  }
+  EXPECT_EQ(fx.tree->size(), 800u);
+  ASSERT_TRUE(fx.tree->CheckConsistency().ok());
+  EXPECT_GT(fx.tree->height(), 1u);
+  for (int q = 0; q < 50; ++q) {
+    const Rect query = RandomRect(rng, 1000);
+    EXPECT_EQ(TreeQuery(*fx.tree, query), BruteQuery(reference, query))
+        << query.ToString();
+  }
+}
+
+TEST_P(RStarRandomTest, DeleteHalfStaysConsistent) {
+  TreeFixture fx;
+  Random rng(GetParam() ^ 0xABCD);
+  std::vector<RStarTree::Entry> reference;
+  for (uint64_t i = 1; i <= 500; ++i) {
+    RStarTree::Entry entry{RandomRect(rng, 500), i};
+    reference.push_back(entry);
+    ASSERT_TRUE(fx.tree->Insert(entry.rect, entry.payload).ok());
+  }
+  // Delete every other entry.
+  std::vector<RStarTree::Entry> kept;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (i % 2 == 0) {
+      bool found = false;
+      ASSERT_TRUE(fx.tree->Delete(reference[i].rect, reference[i].payload,
+                                  &found)
+                      .ok());
+      EXPECT_TRUE(found) << i;
+    } else {
+      kept.push_back(reference[i]);
+    }
+  }
+  EXPECT_EQ(fx.tree->size(), kept.size());
+  ASSERT_TRUE(fx.tree->CheckConsistency().ok());
+  for (int q = 0; q < 30; ++q) {
+    const Rect query = RandomRect(rng, 500);
+    EXPECT_EQ(TreeQuery(*fx.tree, query), BruteQuery(kept, query));
+  }
+  // Deleting a non-existent entry reports not found.
+  bool found = true;
+  ASSERT_TRUE(fx.tree->Delete(Rect::Of(-5, -1, -5, -1), 1, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_P(RStarRandomTest, DeleteEverything) {
+  TreeFixture fx;
+  Random rng(GetParam() ^ 0x3333);
+  std::vector<RStarTree::Entry> reference;
+  for (uint64_t i = 1; i <= 300; ++i) {
+    RStarTree::Entry entry{RandomRect(rng, 200), i};
+    reference.push_back(entry);
+    ASSERT_TRUE(fx.tree->Insert(entry.rect, entry.payload).ok());
+  }
+  for (const auto& entry : reference) {
+    bool found = false;
+    ASSERT_TRUE(fx.tree->Delete(entry.rect, entry.payload, &found).ok());
+    ASSERT_TRUE(found);
+  }
+  EXPECT_EQ(fx.tree->size(), 0u);
+  EXPECT_EQ(fx.tree->height(), 1u);
+  ASSERT_TRUE(fx.tree->CheckConsistency().ok());
+  EXPECT_TRUE(TreeQuery(*fx.tree, Rect::Of(0, 200, 0, 200)).empty());
+  // The tree remains usable.
+  ASSERT_TRUE(fx.tree->Insert(Rect::Of(1, 2, 1, 2), 9).ok());
+  EXPECT_EQ(TreeQuery(*fx.tree, Rect::Of(0, 3, 0, 3)),
+            (std::set<uint64_t>{9}));
+}
+
+TEST_P(RStarRandomTest, NoForcedReinsertIsStillCorrect) {
+  RStarTree::Options options;
+  options.max_entries = 8;
+  options.forced_reinsert = false;
+  TreeFixture fx(options);
+  Random rng(GetParam() ^ 0x4444);
+  std::vector<RStarTree::Entry> reference;
+  for (uint64_t i = 1; i <= 400; ++i) {
+    RStarTree::Entry entry{RandomRect(rng, 300), i};
+    reference.push_back(entry);
+    ASSERT_TRUE(fx.tree->Insert(entry.rect, entry.payload).ok());
+  }
+  ASSERT_TRUE(fx.tree->CheckConsistency().ok());
+  for (int q = 0; q < 20; ++q) {
+    const Rect query = RandomRect(rng, 300);
+    EXPECT_EQ(TreeQuery(*fx.tree, query), BruteQuery(reference, query));
+  }
+}
+
+TEST_P(RStarRandomTest, BulkLoadMatchesBruteForce) {
+  TreeFixture fx;
+  Random rng(GetParam() ^ 0x5555);
+  std::vector<RStarTree::Entry> reference;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    reference.push_back({RandomRect(rng, 1000), i});
+  }
+  ASSERT_TRUE(fx.tree->BulkLoad(reference).ok());
+  EXPECT_EQ(fx.tree->size(), reference.size());
+  ASSERT_TRUE(fx.tree->CheckConsistency().ok());
+  for (int q = 0; q < 30; ++q) {
+    const Rect query = RandomRect(rng, 1000);
+    EXPECT_EQ(TreeQuery(*fx.tree, query), BruteQuery(reference, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RStarRandomTest,
+                         ::testing::Values(7, 21, 63, 189));
+
+TEST(RStarTree, PersistsThroughAnchor) {
+  MemorySpace space;
+  Pager pager(&space, 256);
+  PagerNodeStore store(&pager);
+  RStarTree::Options options;
+  options.max_entries = 8;
+  NodeId anchor;
+  Random rng(5);
+  std::vector<RStarTree::Entry> reference;
+  {
+    auto tree_or = RStarTree::Create(&store, options, &anchor);
+    ASSERT_TRUE(tree_or.ok());
+    auto tree = std::move(tree_or).value();
+    for (uint64_t i = 1; i <= 200; ++i) {
+      RStarTree::Entry entry{RandomRect(rng, 100), i};
+      reference.push_back(entry);
+      ASSERT_TRUE(tree->Insert(entry.rect, entry.payload).ok());
+    }
+  }
+  {
+    auto tree_or = RStarTree::Open(&store, anchor, options);
+    ASSERT_TRUE(tree_or.ok());
+    auto tree = std::move(tree_or).value();
+    EXPECT_EQ(tree->size(), 200u);
+    ASSERT_TRUE(tree->CheckConsistency().ok());
+    const Rect query = Rect::Of(0, 50, 0, 50);
+    EXPECT_EQ(TreeQuery(*tree, query), BruteQuery(reference, query));
+  }
+}
+
+TEST(RStarTree, EstimateScanCostTracksSelectivity) {
+  TreeFixture fx;
+  Random rng(11);
+  for (uint64_t i = 1; i <= 500; ++i) {
+    ASSERT_TRUE(fx.tree->Insert(RandomRect(rng, 1000), i).ok());
+  }
+  auto tiny = fx.tree->EstimateScanCost(Rect::Of(0, 1, 0, 1));
+  auto huge = fx.tree->EstimateScanCost(Rect::Of(0, 1100, 0, 1100));
+  ASSERT_TRUE(tiny.ok());
+  ASSERT_TRUE(huge.ok());
+  EXPECT_LT(tiny.value(), huge.value());
+}
+
+TEST(RStarTree, LevelStatsCoverAllEntries) {
+  TreeFixture fx;
+  Random rng(13);
+  for (uint64_t i = 1; i <= 300; ++i) {
+    ASSERT_TRUE(fx.tree->Insert(RandomRect(rng, 400), i).ok());
+  }
+  std::vector<RStarLevelStats> stats;
+  ASSERT_TRUE(fx.tree->LevelStats(&stats).ok());
+  ASSERT_EQ(stats.size(), fx.tree->height());
+  EXPECT_EQ(stats[0].entries, 300u);  // leaf level holds all data entries
+  uint64_t internal_entries = 0;
+  uint64_t nodes_below = 0;
+  for (size_t i = 1; i < stats.size(); ++i) {
+    internal_entries += stats[i].entries;
+    nodes_below += stats[i - 1].nodes;
+  }
+  EXPECT_EQ(internal_entries, nodes_below);  // one entry per child node
+}
+
+TEST(RStarTree, DropReleasesNodes) {
+  MemorySpace space;
+  Pager pager(&space, 256);
+  PagerNodeStore store(&pager);
+  RStarTree::Options options;
+  options.max_entries = 8;
+  NodeId anchor;
+  auto tree_or = RStarTree::Create(&store, options, &anchor);
+  ASSERT_TRUE(tree_or.ok());
+  auto tree = std::move(tree_or).value();
+  Random rng(3);
+  for (uint64_t i = 1; i <= 200; ++i) {
+    ASSERT_TRUE(tree->Insert(RandomRect(rng, 100), i).ok());
+  }
+  const PageId pages = space.page_count();
+  ASSERT_TRUE(tree->Drop().ok());
+  // A new tree of the same size reuses the freed nodes (no growth).
+  NodeId anchor2;
+  auto tree2_or = RStarTree::Create(&store, options, &anchor2);
+  ASSERT_TRUE(tree2_or.ok());
+  auto tree2 = std::move(tree2_or).value();
+  Random rng2(3);
+  for (uint64_t i = 1; i <= 200; ++i) {
+    ASSERT_TRUE(tree2->Insert(RandomRect(rng2, 100), i).ok());
+  }
+  EXPECT_EQ(space.page_count(), pages);
+}
+
+}  // namespace
+}  // namespace grtdb

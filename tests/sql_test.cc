@@ -1,0 +1,244 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace grtdb {
+namespace sql {
+namespace {
+
+// ------------------------------------------------------------------ Lexer --
+
+TEST(Lexer, BasicTokens) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Tokenize("SELECT a, b FROM t WHERE x >= 10.5;", &tokens).ok());
+  ASSERT_EQ(tokens.size(), 12u);  // incl. end token
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[2].text, ",");
+  EXPECT_EQ(tokens[8].text, ">=");
+  EXPECT_EQ(tokens[9].kind, Token::Kind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[9].real, 10.5);
+}
+
+TEST(Lexer, StringsAndEscapes) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Tokenize("'it''s' \"double\"", &tokens).ok());
+  EXPECT_EQ(tokens[0].text, "it's");
+  EXPECT_EQ(tokens[1].text, "double");
+  EXPECT_TRUE(Tokenize("'unterminated", &tokens).IsInvalidArgument());
+}
+
+TEST(Lexer, CommentsAndNegatives) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Tokenize("-- a comment\n42 -7", &tokens).ok());
+  EXPECT_EQ(tokens[0].integer, 42);
+  EXPECT_EQ(tokens[1].integer, -7);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  std::vector<Token> tokens;
+  EXPECT_TRUE(Tokenize("SELECT @", &tokens).IsInvalidArgument());
+}
+
+// ----------------------------------------------------------------- Parser --
+
+template <typename T>
+const T& As(const Statement& stmt) {
+  const T* value = std::get_if<T>(&stmt);
+  EXPECT_NE(value, nullptr);
+  return *value;
+}
+
+TEST(Parser, CreateTable) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse(
+                  "CREATE TABLE Employees (Name text, Extent grt_timeextent)",
+                  &stmt)
+                  .ok());
+  const auto& create = As<CreateTableStmt>(stmt);
+  EXPECT_EQ(create.table, "Employees");
+  ASSERT_EQ(create.columns.size(), 2u);
+  EXPECT_EQ(create.columns[1].type_name, "grt_timeextent");
+}
+
+TEST(Parser, CreateFunctionMatchesPaperExample) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse(
+                  "CREATE FUNCTION grt_open(pointer) RETURNING int EXTERNAL "
+                  "NAME 'usr/functions/grtree.bld(grt_open)' LANGUAGE c",
+                  &stmt)
+                  .ok());
+  const auto& create = As<CreateFunctionStmt>(stmt);
+  EXPECT_EQ(create.name, "grt_open");
+  EXPECT_EQ(create.arg_types, std::vector<std::string>{"pointer"});
+  EXPECT_EQ(create.return_type, "int");
+  EXPECT_EQ(create.external_name, "usr/functions/grtree.bld(grt_open)");
+}
+
+TEST(Parser, CreateSecondaryAccessMethod) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse("CREATE SECONDARY ACCESS_METHOD grtree_am ("
+                            "am_create = grt_create, am_getnext = grt_getnext,"
+                            " am_sptype = 'S')",
+                            &stmt)
+                  .ok());
+  const auto& create = As<CreateAccessMethodStmt>(stmt);
+  EXPECT_EQ(create.name, "grtree_am");
+  ASSERT_EQ(create.properties.size(), 3u);
+  EXPECT_EQ(create.properties[2].second, "S");
+}
+
+TEST(Parser, CreateOpclass) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse(
+                  "CREATE OPCLASS grt_opclass FOR grtree_am "
+                  "STRATEGIES(grt_overlap, grt_contains) "
+                  "SUPPORT(grt_union, grt_size, grt_intersection)",
+                  &stmt)
+                  .ok());
+  const auto& create = As<CreateOpclassStmt>(stmt);
+  EXPECT_FALSE(create.is_default);
+  EXPECT_EQ(create.strategies.size(), 2u);
+  EXPECT_EQ(create.supports.size(), 3u);
+  ASSERT_TRUE(Parser::Parse("CREATE DEFAULT OPCLASS x FOR y "
+                            "STRATEGIES(a) SUPPORT(b)",
+                            &stmt)
+                  .ok());
+  EXPECT_TRUE(As<CreateOpclassStmt>(stmt).is_default);
+}
+
+TEST(Parser, CreateIndexMatchesPaperExample) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse("CREATE INDEX grt_index ON "
+                            "employees(column1 grt_opclass) USING grtree_am "
+                            "IN spc",
+                            &stmt)
+                  .ok());
+  const auto& create = As<CreateIndexStmt>(stmt);
+  EXPECT_EQ(create.name, "grt_index");
+  EXPECT_EQ(create.table, "employees");
+  ASSERT_EQ(create.columns.size(), 1u);
+  EXPECT_EQ(create.columns[0].first, "column1");
+  EXPECT_EQ(create.columns[0].second, "grt_opclass");
+  EXPECT_EQ(create.access_method, "grtree_am");
+  EXPECT_EQ(create.space, "spc");
+}
+
+TEST(Parser, CreateIndexWithoutOpclassOrSpace) {
+  Statement stmt;
+  ASSERT_TRUE(
+      Parser::Parse("CREATE INDEX i ON t(c) USING am", &stmt).ok());
+  const auto& create = As<CreateIndexStmt>(stmt);
+  EXPECT_TRUE(create.columns[0].second.empty());
+  EXPECT_TRUE(create.space.empty());
+}
+
+TEST(Parser, InsertSelectDeleteUpdate) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse(
+                  "INSERT INTO t VALUES ('a', 42, NULL, 3.5)", &stmt)
+                  .ok());
+  EXPECT_EQ(As<InsertStmt>(stmt).values.size(), 4u);
+
+  ASSERT_TRUE(Parser::Parse("SELECT * FROM t", &stmt).ok());
+  EXPECT_TRUE(As<SelectStmt>(stmt).star);
+
+  ASSERT_TRUE(Parser::Parse("SELECT COUNT(*) FROM t", &stmt).ok());
+  EXPECT_TRUE(As<SelectStmt>(stmt).count_star);
+
+  ASSERT_TRUE(Parser::Parse("DELETE FROM t WHERE a = 1", &stmt).ok());
+  EXPECT_NE(As<DeleteStmt>(stmt).where, nullptr);
+
+  ASSERT_TRUE(
+      Parser::Parse("UPDATE t SET a = 1, b = 'x' WHERE c = 2", &stmt).ok());
+  EXPECT_EQ(As<UpdateStmt>(stmt).assignments.size(), 2u);
+}
+
+TEST(Parser, WherePrecedenceAndCalls) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse(
+                  "SELECT a FROM t WHERE Overlaps(x, 'q') AND b = 1 OR "
+                  "NOT Contains(x, 'r')",
+                  &stmt)
+                  .ok());
+  const Expr* where = As<SelectStmt>(stmt).where.get();
+  ASSERT_NE(where, nullptr);
+  // OR binds loosest: (Overlaps AND b=1) OR (NOT Contains).
+  EXPECT_EQ(where->kind, Expr::Kind::kOr);
+  ASSERT_EQ(where->children.size(), 2u);
+  EXPECT_EQ(where->children[0]->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(where->children[1]->kind, Expr::Kind::kNot);
+  const Expr* call = where->children[0]->children[0].get();
+  EXPECT_EQ(call->kind, Expr::Kind::kCall);
+  EXPECT_EQ(call->func, "Overlaps");
+  ASSERT_EQ(call->children.size(), 2u);
+  EXPECT_EQ(call->children[0]->kind, Expr::Kind::kColumn);
+  EXPECT_EQ(call->children[1]->kind, Expr::Kind::kLiteral);
+}
+
+TEST(Parser, Parentheses) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse(
+                  "SELECT a FROM t WHERE a = 1 AND (b = 2 OR c = 3)", &stmt)
+                  .ok());
+  const Expr* where = As<SelectStmt>(stmt).where.get();
+  EXPECT_EQ(where->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(where->children[1]->kind, Expr::Kind::kOr);
+}
+
+TEST(Parser, TransactionsAndSet) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse("BEGIN WORK", &stmt).ok());
+  EXPECT_NE(std::get_if<BeginWorkStmt>(&stmt), nullptr);
+  ASSERT_TRUE(Parser::Parse("COMMIT WORK", &stmt).ok());
+  EXPECT_NE(std::get_if<CommitWorkStmt>(&stmt), nullptr);
+  ASSERT_TRUE(Parser::Parse("ROLLBACK", &stmt).ok());
+  EXPECT_NE(std::get_if<RollbackWorkStmt>(&stmt), nullptr);
+
+  ASSERT_TRUE(Parser::Parse("SET ISOLATION TO REPEATABLE READ", &stmt).ok());
+  EXPECT_EQ(As<SetStmt>(stmt).argument, "REPEATABLE");
+  ASSERT_TRUE(Parser::Parse("SET EXPLAIN ON", &stmt).ok());
+  EXPECT_EQ(As<SetStmt>(stmt).what, SetStmt::What::kExplain);
+  ASSERT_TRUE(Parser::Parse("SET CURRENT_TIME TO '01/02/2003'", &stmt).ok());
+  EXPECT_EQ(As<SetStmt>(stmt).what, SetStmt::What::kCurrentTime);
+  ASSERT_TRUE(Parser::Parse("SET TIME MODE TRANSACTION", &stmt).ok());
+  EXPECT_EQ(As<SetStmt>(stmt).argument, "TRANSACTION");
+  ASSERT_TRUE(Parser::Parse("SET TRACE grtree TO 2", &stmt).ok());
+  EXPECT_EQ(As<SetStmt>(stmt).value.integer, 2);
+}
+
+TEST(Parser, CheckIndexAndUpdateStatistics) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse("CHECK INDEX grt_index", &stmt).ok());
+  EXPECT_EQ(As<CheckIndexStmt>(stmt).index, "grt_index");
+  ASSERT_TRUE(
+      Parser::Parse("UPDATE STATISTICS FOR INDEX grt_index", &stmt).ok());
+  EXPECT_EQ(As<UpdateStatisticsStmt>(stmt).index, "grt_index");
+}
+
+TEST(Parser, Script) {
+  std::vector<Statement> statements;
+  ASSERT_TRUE(Parser::ParseScript(
+                  "CREATE TABLE a (x int);\n"
+                  "INSERT INTO a VALUES (1);\n"
+                  "SELECT * FROM a;",
+                  &statements)
+                  .ok());
+  EXPECT_EQ(statements.size(), 3u);
+}
+
+TEST(Parser, Errors) {
+  Statement stmt;
+  EXPECT_FALSE(Parser::Parse("", &stmt).ok());
+  EXPECT_FALSE(Parser::Parse("SELEC * FROM t", &stmt).ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM", &stmt).ok());
+  EXPECT_FALSE(Parser::Parse("CREATE TABLE t ()", &stmt).ok());
+  EXPECT_FALSE(Parser::Parse("INSERT INTO t VALUES (1", &stmt).ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM t extra garbage", &stmt).ok());
+  EXPECT_FALSE(Parser::Parse("SET NONSENSE TO 1", &stmt).ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace grtdb

@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "storage/node_store.h"
+#include "storage/pager.h"
+#include "storage/sbspace.h"
+#include "storage/space.h"
+
+namespace grtdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ------------------------------------------------------------------ Space --
+
+TEST(MemorySpace, ExtendReadWrite) {
+  MemorySpace space;
+  EXPECT_EQ(space.page_count(), 0u);
+  PageId id;
+  ASSERT_TRUE(space.Extend(&id).ok());
+  EXPECT_EQ(id, 0u);
+  uint8_t page[kPageSize];
+  std::memset(page, 0xAB, sizeof(page));
+  ASSERT_TRUE(space.WritePage(id, page).ok());
+  uint8_t read[kPageSize];
+  ASSERT_TRUE(space.ReadPage(id, read).ok());
+  EXPECT_EQ(std::memcmp(page, read, kPageSize), 0);
+}
+
+TEST(MemorySpace, OutOfRangeIsError) {
+  MemorySpace space;
+  uint8_t page[kPageSize];
+  EXPECT_TRUE(space.ReadPage(3, page).IsIOError());
+  EXPECT_TRUE(space.WritePage(3, page).IsIOError());
+}
+
+TEST(FileSpace, PersistsAcrossOpens) {
+  const std::string path = TempPath("grtdb_filespace_test.dat");
+  std::remove(path.c_str());
+  {
+    auto space_or = FileSpace::Open(path);
+    ASSERT_TRUE(space_or.ok());
+    auto space = std::move(space_or).value();
+    PageId id;
+    ASSERT_TRUE(space->Extend(&id).ok());
+    uint8_t page[kPageSize];
+    std::memset(page, 0x5C, sizeof(page));
+    ASSERT_TRUE(space->WritePage(id, page).ok());
+    ASSERT_TRUE(space->Sync().ok());
+  }
+  {
+    auto space_or = FileSpace::Open(path);
+    ASSERT_TRUE(space_or.ok());
+    auto space = std::move(space_or).value();
+    EXPECT_EQ(space->page_count(), 1u);
+    uint8_t read[kPageSize];
+    ASSERT_TRUE(space->ReadPage(0, read).ok());
+    EXPECT_EQ(read[100], 0x5C);
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------ Pager --
+
+TEST(Pager, NewPageIsZeroedAndPinned) {
+  MemorySpace space;
+  Pager pager(&space, 4);
+  PageId id;
+  uint8_t* data;
+  ASSERT_TRUE(pager.NewPage(&id, &data).ok());
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ(data[i], 0);
+  pager.Unpin(id);
+}
+
+TEST(Pager, HitAndMissAccounting) {
+  MemorySpace space;
+  Pager pager(&space, 4);
+  PageId id;
+  uint8_t* data;
+  ASSERT_TRUE(pager.NewPage(&id, &data).ok());
+  pager.Unpin(id);
+  ASSERT_TRUE(pager.FetchPage(id, &data).ok());
+  pager.Unpin(id);
+  ASSERT_TRUE(pager.FetchPage(id, &data).ok());
+  pager.Unpin(id);
+  PagerStats stats = pager.stats();
+  EXPECT_EQ(stats.logical_reads, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(Pager, EvictionWritesBackDirtyPages) {
+  MemorySpace space;
+  Pager pager(&space, 2);
+  // Create 3 pages; writing to each forces evictions.
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    uint8_t* data;
+    ASSERT_TRUE(pager.NewPage(&ids[i], &data).ok());
+    data[0] = static_cast<uint8_t>(0x10 + i);
+    pager.MarkDirty(ids[i]);
+    pager.Unpin(ids[i]);
+  }
+  // All three pages must read back their bytes despite eviction.
+  for (int i = 0; i < 3; ++i) {
+    uint8_t* data;
+    ASSERT_TRUE(pager.FetchPage(ids[i], &data).ok());
+    EXPECT_EQ(data[0], 0x10 + i);
+    pager.Unpin(ids[i]);
+  }
+  EXPECT_GT(pager.stats().evictions, 0u);
+  EXPECT_GT(pager.stats().physical_writes, 0u);
+}
+
+TEST(Pager, AllPinnedExhaustsPool) {
+  MemorySpace space;
+  Pager pager(&space, 2);
+  PageId a, b, c;
+  uint8_t* data;
+  ASSERT_TRUE(pager.NewPage(&a, &data).ok());
+  ASSERT_TRUE(pager.NewPage(&b, &data).ok());
+  EXPECT_FALSE(pager.NewPage(&c, &data).ok());  // both frames pinned
+  pager.Unpin(a);
+  ASSERT_TRUE(pager.NewPage(&c, &data).ok());
+  pager.Unpin(b);
+  pager.Unpin(c);
+}
+
+TEST(Pager, FlushAllPersistsToSpace) {
+  MemorySpace space;
+  {
+    Pager pager(&space, 4);
+    PageId id;
+    uint8_t* data;
+    ASSERT_TRUE(pager.NewPage(&id, &data).ok());
+    data[7] = 0x77;
+    pager.MarkDirty(id);
+    pager.Unpin(id);
+    ASSERT_TRUE(pager.FlushAll().ok());
+  }
+  uint8_t read[kPageSize];
+  ASSERT_TRUE(space.ReadPage(0, read).ok());
+  EXPECT_EQ(read[7], 0x77);
+}
+
+TEST(PageGuard, UnpinsOnDestruction) {
+  MemorySpace space;
+  Pager pager(&space, 1);
+  PageId id;
+  uint8_t* data;
+  ASSERT_TRUE(pager.NewPage(&id, &data).ok());
+  { PageGuard guard(&pager, id, data); }
+  // Frame free again: allocating a second page succeeds.
+  PageId id2;
+  ASSERT_TRUE(pager.NewPage(&id2, &data).ok());
+  pager.Unpin(id2);
+}
+
+// ---------------------------------------------------------------- Sbspace --
+
+class SbspaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto sbspace_or = Sbspace::Open(&space_, 64);
+    ASSERT_TRUE(sbspace_or.ok());
+    sbspace_ = std::move(sbspace_or).value();
+  }
+
+  MemorySpace space_;
+  std::unique_ptr<Sbspace> sbspace_;
+};
+
+TEST_F(SbspaceTest, CreateWriteRead) {
+  LoHandle handle;
+  ASSERT_TRUE(sbspace_->CreateLo(&handle).ok());
+  EXPECT_TRUE(handle.valid());
+  const std::string payload = "hello large object";
+  ASSERT_TRUE(sbspace_
+                  ->LoWrite(handle, 0, payload.size(),
+                            reinterpret_cast<const uint8_t*>(payload.data()))
+                  .ok());
+  uint64_t size;
+  ASSERT_TRUE(sbspace_->LoSize(handle, &size).ok());
+  EXPECT_EQ(size, payload.size());
+  std::string read(payload.size(), '\0');
+  ASSERT_TRUE(sbspace_
+                  ->LoRead(handle, 0, payload.size(),
+                           reinterpret_cast<uint8_t*>(read.data()))
+                  .ok());
+  EXPECT_EQ(read, payload);
+}
+
+TEST_F(SbspaceTest, SparseWriteZeroFills) {
+  LoHandle handle;
+  ASSERT_TRUE(sbspace_->CreateLo(&handle).ok());
+  const uint8_t byte = 0x42;
+  ASSERT_TRUE(sbspace_->LoWrite(handle, 10000, 1, &byte).ok());
+  uint8_t read[16];
+  ASSERT_TRUE(sbspace_->LoRead(handle, 9990, 11, read).ok());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(read[i], 0);
+  EXPECT_EQ(read[10], 0x42);
+}
+
+TEST_F(SbspaceTest, ReadPastEndFails) {
+  LoHandle handle;
+  ASSERT_TRUE(sbspace_->CreateLo(&handle).ok());
+  uint8_t buffer[8];
+  EXPECT_FALSE(sbspace_->LoRead(handle, 0, 8, buffer).ok());
+}
+
+TEST_F(SbspaceTest, CrossPageBoundaryWrites) {
+  LoHandle handle;
+  ASSERT_TRUE(sbspace_->CreateLo(&handle).ok());
+  std::vector<uint8_t> data(3 * kPageSize);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(
+      sbspace_->LoWrite(handle, kPageSize / 2, data.size(), data.data()).ok());
+  std::vector<uint8_t> read(data.size());
+  ASSERT_TRUE(
+      sbspace_->LoRead(handle, kPageSize / 2, read.size(), read.data()).ok());
+  EXPECT_EQ(read, data);
+}
+
+TEST_F(SbspaceTest, ManyLosCoexist) {
+  // Enough to overflow one directory page (capacity ~340).
+  std::vector<LoHandle> handles(400);
+  for (size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_TRUE(sbspace_->CreateLo(&handles[i]).ok());
+    const uint64_t marker = i * 1000003;
+    ASSERT_TRUE(sbspace_
+                    ->LoWrite(handles[i], 0, sizeof(marker),
+                              reinterpret_cast<const uint8_t*>(&marker))
+                    .ok());
+  }
+  uint64_t count;
+  ASSERT_TRUE(sbspace_->CountLos(&count).ok());
+  EXPECT_EQ(count, handles.size());
+  for (size_t i = 0; i < handles.size(); ++i) {
+    uint64_t marker;
+    ASSERT_TRUE(sbspace_
+                    ->LoRead(handles[i], 0, sizeof(marker),
+                             reinterpret_cast<uint8_t*>(&marker))
+                    .ok());
+    EXPECT_EQ(marker, i * 1000003);
+  }
+}
+
+TEST_F(SbspaceTest, DropFreesPagesForReuse) {
+  LoHandle a;
+  ASSERT_TRUE(sbspace_->CreateLo(&a).ok());
+  std::vector<uint8_t> big(20 * kPageSize, 0x11);
+  ASSERT_TRUE(sbspace_->LoWrite(a, 0, big.size(), big.data()).ok());
+  const PageId pages_before = space_.page_count();
+  ASSERT_TRUE(sbspace_->DropLo(a).ok());
+  // A second LO of the same size reuses the freed pages.
+  LoHandle b;
+  ASSERT_TRUE(sbspace_->CreateLo(&b).ok());
+  ASSERT_TRUE(sbspace_->LoWrite(b, 0, big.size(), big.data()).ok());
+  EXPECT_EQ(space_.page_count(), pages_before);
+  uint64_t count;
+  ASSERT_TRUE(sbspace_->CountLos(&count).ok());
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(SbspaceTest, DroppedLoIsGone) {
+  LoHandle handle;
+  ASSERT_TRUE(sbspace_->CreateLo(&handle).ok());
+  ASSERT_TRUE(sbspace_->DropLo(handle).ok());
+  uint64_t size;
+  EXPECT_TRUE(sbspace_->LoSize(handle, &size).IsNotFound());
+  EXPECT_TRUE(sbspace_->DropLo(handle).IsNotFound());
+}
+
+TEST_F(SbspaceTest, TruncateReleasesTail) {
+  LoHandle handle;
+  ASSERT_TRUE(sbspace_->CreateLo(&handle).ok());
+  std::vector<uint8_t> big(10 * kPageSize, 0x33);
+  ASSERT_TRUE(sbspace_->LoWrite(handle, 0, big.size(), big.data()).ok());
+  ASSERT_TRUE(sbspace_->LoTruncate(handle, kPageSize).ok());
+  uint64_t size;
+  ASSERT_TRUE(sbspace_->LoSize(handle, &size).ok());
+  EXPECT_EQ(size, kPageSize);
+  uint8_t byte;
+  EXPECT_TRUE(sbspace_->LoRead(handle, 0, 1, &byte).ok());
+  EXPECT_FALSE(sbspace_->LoRead(handle, kPageSize, 1, &byte).ok());
+}
+
+TEST(SbspacePersistence, ReopenFindsLos) {
+  MemorySpace space;
+  LoHandle handle;
+  {
+    auto sbspace_or = Sbspace::Open(&space, 16);
+    ASSERT_TRUE(sbspace_or.ok());
+    auto sbspace = std::move(sbspace_or).value();
+    ASSERT_TRUE(sbspace->CreateLo(&handle).ok());
+    const uint64_t marker = 0xDEADBEEF;
+    ASSERT_TRUE(sbspace
+                    ->LoWrite(handle, 0, sizeof(marker),
+                              reinterpret_cast<const uint8_t*>(&marker))
+                    .ok());
+    ASSERT_TRUE(sbspace->pager().FlushAll().ok());
+  }
+  {
+    auto sbspace_or = Sbspace::Open(&space, 16);
+    ASSERT_TRUE(sbspace_or.ok());
+    auto sbspace = std::move(sbspace_or).value();
+    uint64_t marker = 0;
+    ASSERT_TRUE(sbspace
+                    ->LoRead(handle, 0, sizeof(marker),
+                             reinterpret_cast<uint8_t*>(&marker))
+                    .ok());
+    EXPECT_EQ(marker, 0xDEADBEEFu);
+  }
+}
+
+TEST(SbspaceOpen, RejectsForeignSpaces) {
+  MemorySpace space;
+  PageId id;
+  ASSERT_TRUE(space.Extend(&id).ok());
+  uint8_t junk[kPageSize];
+  std::memset(junk, 0xFF, sizeof(junk));
+  ASSERT_TRUE(space.WritePage(0, junk).ok());
+  auto sbspace_or = Sbspace::Open(&space, 16);
+  EXPECT_FALSE(sbspace_or.ok());
+}
+
+// -------------------------------------------------------------- NodeStore --
+
+template <typename MakeStore>
+void ExerciseNodeStore(MakeStore make_store) {
+  auto store = make_store();
+  NodeId a, b;
+  ASSERT_TRUE(store->AllocateNode(&a).ok());
+  ASSERT_TRUE(store->AllocateNode(&b).ok());
+  EXPECT_NE(a, b);
+  uint8_t page[kPageSize];
+  std::memset(page, 0x21, sizeof(page));
+  ASSERT_TRUE(store->WriteNode(a, page).ok());
+  std::memset(page, 0x42, sizeof(page));
+  ASSERT_TRUE(store->WriteNode(b, page).ok());
+  uint8_t read[kPageSize];
+  ASSERT_TRUE(store->ReadNode(a, read).ok());
+  EXPECT_EQ(read[17], 0x21);
+  ASSERT_TRUE(store->ReadNode(b, read).ok());
+  EXPECT_EQ(read[17], 0x42);
+  EXPECT_EQ(store->stats().node_reads, 2u);
+  EXPECT_EQ(store->stats().node_writes, 2u);
+  // Freed nodes are recycled.
+  ASSERT_TRUE(store->FreeNode(a).ok());
+  NodeId c;
+  ASSERT_TRUE(store->AllocateNode(&c).ok());
+  EXPECT_EQ(c, a);
+}
+
+TEST(NodeStore, PagerBacked) {
+  MemorySpace space;
+  Pager pager(&space, 32);
+  ExerciseNodeStore([&] { return std::make_unique<PagerNodeStore>(&pager); });
+}
+
+TEST(NodeStore, SingleLo) {
+  MemorySpace space;
+  auto sbspace_or = Sbspace::Open(&space, 64);
+  ASSERT_TRUE(sbspace_or.ok());
+  auto sbspace = std::move(sbspace_or).value();
+  ExerciseNodeStore([&] {
+    auto store_or = SingleLoNodeStore::Open(sbspace.get(), LoHandle{});
+    EXPECT_TRUE(store_or.ok());
+    return std::move(store_or).value();
+  });
+}
+
+TEST(NodeStore, ClusteredLo) {
+  MemorySpace space;
+  auto sbspace_or = Sbspace::Open(&space, 64);
+  ASSERT_TRUE(sbspace_or.ok());
+  auto sbspace = std::move(sbspace_or).value();
+  ExerciseNodeStore([&] {
+    return std::make_unique<ClusteredLoNodeStore>(sbspace.get(), 4);
+  });
+}
+
+TEST(NodeStore, ExternalFile) {
+  const std::string path = TempPath("grtdb_extstore_test.dat");
+  std::remove(path.c_str());
+  ExerciseNodeStore([&] {
+    auto store_or = ExternalFileNodeStore::Open(path);
+    EXPECT_TRUE(store_or.ok());
+    return std::move(store_or).value();
+  });
+  std::remove(path.c_str());
+}
+
+TEST(NodeStore, SingleLoPersistsViaHandle) {
+  MemorySpace space;
+  auto sbspace_or = Sbspace::Open(&space, 64);
+  ASSERT_TRUE(sbspace_or.ok());
+  auto sbspace = std::move(sbspace_or).value();
+  LoHandle handle;
+  NodeId node;
+  {
+    auto store_or = SingleLoNodeStore::Open(sbspace.get(), LoHandle{});
+    ASSERT_TRUE(store_or.ok());
+    auto store = std::move(store_or).value();
+    handle = store->handle();
+    ASSERT_TRUE(store->AllocateNode(&node).ok());
+    uint8_t page[kPageSize];
+    std::memset(page, 0x66, sizeof(page));
+    ASSERT_TRUE(store->WriteNode(node, page).ok());
+  }
+  {
+    auto store_or = SingleLoNodeStore::Open(sbspace.get(), handle);
+    ASSERT_TRUE(store_or.ok());
+    auto store = std::move(store_or).value();
+    uint8_t read[kPageSize];
+    ASSERT_TRUE(store->ReadNode(node, read).ok());
+    EXPECT_EQ(read[9], 0x66);
+    // The freelist header survived: the next allocation is a new slot.
+    NodeId next;
+    ASSERT_TRUE(store->AllocateNode(&next).ok());
+    EXPECT_GT(next, node);
+  }
+}
+
+TEST(NodeStore, ClusteredLoMapsNodesToLos) {
+  MemorySpace space;
+  auto sbspace_or = Sbspace::Open(&space, 64);
+  ASSERT_TRUE(sbspace_or.ok());
+  auto sbspace = std::move(sbspace_or).value();
+  ClusteredLoNodeStore store(sbspace.get(), 2);
+  NodeId ids[5];
+  for (auto& id : ids) ASSERT_TRUE(store.AllocateNode(&id).ok());
+  EXPECT_EQ(store.LoOfNode(ids[0]), store.LoOfNode(ids[1]));
+  EXPECT_NE(store.LoOfNode(ids[0]), store.LoOfNode(ids[2]));
+  EXPECT_EQ(store.cluster_handles().size(), 3u);
+  // Per-node layout advertises its handle overhead (§5.3's complaint).
+  ClusteredLoNodeStore per_node(sbspace.get(), 1);
+  EXPECT_EQ(per_node.handle_overhead_per_entry(), LoHandle::kSerializedSize);
+  EXPECT_EQ(store.handle_overhead_per_entry(), 0u);
+}
+
+}  // namespace
+}  // namespace grtdb

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "blade/library.h"
+#include "blade/mi_memory.h"
+#include "blade/trace.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace grtdb {
+namespace {
+
+constexpr ResourceId kResA{ResourceKind::kLargeObject, 1};
+constexpr ResourceId kResB{ResourceKind::kLargeObject, 2};
+
+// ------------------------------------------------------------ LockManager --
+
+TEST(LockManager, SharedLocksCoexist) {
+  LockManager lm(std::chrono::milliseconds(50));
+  EXPECT_TRUE(lm.Acquire(1, kResA, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, kResA, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, kResA, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, kResA, LockMode::kShared));
+}
+
+TEST(LockManager, ExclusiveConflictsTimeOut) {
+  LockManager lm(std::chrono::milliseconds(50));
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, kResA, LockMode::kShared).IsLockTimeout());
+  EXPECT_TRUE(lm.Acquire(2, kResA, LockMode::kExclusive).IsLockTimeout());
+  EXPECT_EQ(lm.stats().timeouts, 2u);
+}
+
+TEST(LockManager, ReentrantAndNested) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kShared).ok());
+  lm.Release(1, kResA);
+  EXPECT_TRUE(lm.Holds(1, kResA, LockMode::kShared));  // one level left
+  lm.Release(1, kResA);
+  EXPECT_FALSE(lm.Holds(1, kResA, LockMode::kShared));
+}
+
+TEST(LockManager, UpgradeWhenSoleHolder) {
+  LockManager lm(std::chrono::milliseconds(50));
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, kResA, LockMode::kExclusive));
+  // Another shared holder blocks the upgrade.
+  ASSERT_TRUE(lm.Acquire(2, kResB, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(3, kResB, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, kResB, LockMode::kExclusive).IsLockTimeout());
+}
+
+TEST(LockManager, ReleaseAllWakesWaiters) {
+  LockManager lm(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kExclusive).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    if (lm.Acquire(2, kResA, LockMode::kExclusive).ok()) acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired);
+  EXPECT_GE(lm.stats().waits, 1u);
+}
+
+TEST(LockManager, ConcurrentSharedReaders) {
+  LockManager lm;
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      if (lm.Acquire(static_cast<TxnId>(i + 1), kResA, LockMode::kShared)
+              .ok()) {
+        ++successes;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes, 8);
+}
+
+// ----------------------------------------------------- TransactionManager --
+
+TEST(TransactionManager, ImplicitAndExplicit) {
+  LockManager lm;
+  TransactionManager tm(&lm);
+  Session session(1);
+  bool implicit = false;
+  ASSERT_TRUE(tm.EnsureTxn(&session, &implicit).ok());
+  EXPECT_TRUE(implicit);
+  ASSERT_TRUE(tm.Commit(&session).ok());
+  ASSERT_TRUE(tm.Begin(&session, /*explicit_txn=*/true).ok());
+  EXPECT_TRUE(session.in_explicit_txn());
+  ASSERT_TRUE(tm.EnsureTxn(&session, &implicit).ok());
+  EXPECT_FALSE(implicit);  // already inside the explicit transaction
+  EXPECT_FALSE(tm.Begin(&session, true).ok());  // nested BEGIN is an error
+  ASSERT_TRUE(tm.Rollback(&session).ok());
+  EXPECT_FALSE(tm.Commit(&session).ok());  // nothing in progress
+}
+
+TEST(TransactionManager, EndCallbacksSeeOutcome) {
+  LockManager lm;
+  TransactionManager tm(&lm);
+  Session session(1);
+  bool committed_flag = false;
+  ASSERT_TRUE(tm.Begin(&session, true).ok());
+  session.current_txn()->AddEndCallback(
+      [&](bool committed) { committed_flag = committed; });
+  ASSERT_TRUE(tm.Commit(&session).ok());
+  EXPECT_TRUE(committed_flag);
+  ASSERT_TRUE(tm.Begin(&session, true).ok());
+  session.current_txn()->AddEndCallback(
+      [&](bool committed) { committed_flag = committed; });
+  ASSERT_TRUE(tm.Rollback(&session).ok());
+  EXPECT_FALSE(committed_flag);
+}
+
+TEST(TransactionManager, CommitReleasesLocks) {
+  LockManager lm(std::chrono::milliseconds(50));
+  TransactionManager tm(&lm);
+  Session session(1);
+  ASSERT_TRUE(tm.Begin(&session, true).ok());
+  const TxnId txn = session.current_txn()->id();
+  ASSERT_TRUE(lm.Acquire(txn, kResA, LockMode::kExclusive).ok());
+  ASSERT_TRUE(tm.Commit(&session).ok());
+  EXPECT_TRUE(lm.Acquire(99, kResA, LockMode::kExclusive).ok());
+}
+
+// --------------------------------------------------------------- MiMemory --
+
+TEST(MiMemory, DurationsAreScoped) {
+  MiMemory memory;
+  void* a = memory.Alloc(MiDuration::kPerFunction, 16);
+  void* b = memory.Alloc(MiDuration::kPerStatement, 16);
+  void* c = memory.Alloc(MiDuration::kPerSession, 16);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(memory.LiveBlocks(MiDuration::kPerFunction), 1u);
+  memory.EndDuration(MiDuration::kPerFunction);
+  EXPECT_EQ(memory.LiveBlocks(MiDuration::kPerFunction), 0u);
+  EXPECT_EQ(memory.LiveBlocks(MiDuration::kPerStatement), 1u);
+  memory.Free(b);
+  EXPECT_EQ(memory.LiveBlocks(MiDuration::kPerStatement), 0u);
+  memory.EndDuration(MiDuration::kPerSession);
+  EXPECT_EQ(memory.LiveBytes(), 0u);
+  (void)c;
+}
+
+TEST(MiMemory, AllocZeroes) {
+  MiMemory memory;
+  auto* p = static_cast<uint8_t*>(memory.Alloc(MiDuration::kPerFunction, 64));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(p[i], 0);
+  memory.EndDuration(MiDuration::kPerFunction);
+}
+
+TEST(MiNamedMemory, AllocGetFree) {
+  MiNamedMemory named;
+  void* ptr = nullptr;
+  ASSERT_TRUE(named.NamedAlloc("grt_ct_session_7", 8, &ptr).ok());
+  EXPECT_TRUE(named.NamedAlloc("grt_ct_session_7", 8, &ptr).IsAlreadyExists());
+  void* again = nullptr;
+  ASSERT_TRUE(named.NamedGet("grt_ct_session_7", &again).ok());
+  EXPECT_EQ(ptr, again);
+  ASSERT_TRUE(named.NamedFree("grt_ct_session_7").ok());
+  EXPECT_TRUE(named.NamedGet("grt_ct_session_7", &again).IsNotFound());
+  EXPECT_TRUE(named.NamedFree("grt_ct_session_7").IsNotFound());
+}
+
+// ------------------------------------------------------------------ Trace --
+
+TEST(Trace, ClassesAndLevels) {
+  TraceFacility trace;
+  trace.Tprintf("grtree", 1, "dropped before enabling");
+  EXPECT_TRUE(trace.log().empty());
+  trace.SetClass("grtree", 2);
+  EXPECT_TRUE(trace.Enabled("grtree", 1));
+  EXPECT_TRUE(trace.Enabled("grtree", 2));
+  EXPECT_FALSE(trace.Enabled("grtree", 3));
+  trace.Tprintf("grtree", 1, "insert into node %d", 42);
+  trace.Tprintf("grtree", 3, "too detailed");
+  trace.Tprintf("other", 1, "wrong class");
+  ASSERT_EQ(trace.log().size(), 1u);
+  EXPECT_EQ(trace.log()[0], "grtree 1: insert into node 42");
+  trace.SetClass("grtree", 0);  // disable
+  trace.Tprintf("grtree", 1, "gone again");
+  EXPECT_EQ(trace.log().size(), 1u);
+  trace.Clear();
+  EXPECT_TRUE(trace.log().empty());
+}
+
+// ---------------------------------------------------------- BladeLibrary --
+
+TEST(BladeLibrary, ResolveExternalNames) {
+  BladeLibraryRegistry registry;
+  BladeLibrary* library = registry.Load("usr/functions/grtree.bld");
+  library->Export("grt_open", std::any(std::string("marker")));
+  std::any symbol;
+  ASSERT_TRUE(
+      registry.Resolve("usr/functions/grtree.bld(grt_open)", &symbol).ok());
+  EXPECT_EQ(std::any_cast<std::string>(symbol), "marker");
+  EXPECT_TRUE(registry.Resolve("usr/functions/grtree.bld(missing)", &symbol)
+                  .IsNotFound());
+  EXPECT_TRUE(registry.Resolve("unloaded.bld(grt_open)", &symbol)
+                  .IsNotFound());
+  EXPECT_TRUE(
+      registry.Resolve("no-parens", &symbol).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace grtdb

@@ -1,0 +1,127 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "temporal/predicates.h"
+
+namespace grtdb {
+namespace {
+
+TEST(Workload, EveryExtentIsValidAndObeysInsertionRules) {
+  WorkloadOptions options;
+  options.seed = 5;
+  BitemporalWorkload workload(options);
+  for (int action = 0; action < 2000; ++action) {
+    for (const IndexOp& op : workload.NextAction()) {
+      ASSERT_TRUE(op.extent.Validate().ok()) << op.extent.ToChrononString();
+      ASSERT_LE(op.ct, workload.current_time());
+      if (op.kind == IndexOp::Kind::kInsert && op.extent.IsCurrent()) {
+        // Freshly inserted current tuples obey the §2 insertion rules.
+        if (op.extent.tt_begin.chronon() == op.ct) {
+          EXPECT_TRUE(op.extent.ValidateInsertion(op.ct).ok())
+              << op.extent.ToChrononString();
+        }
+      }
+    }
+  }
+}
+
+TEST(Workload, DeletesAlwaysNameLiveEntries) {
+  WorkloadOptions options;
+  options.seed = 6;
+  options.delete_fraction = 0.3;
+  options.update_fraction = 0.3;
+  BitemporalWorkload workload(options);
+  std::map<uint64_t, TimeExtent> shadow;
+  for (int action = 0; action < 3000; ++action) {
+    for (const IndexOp& op : workload.NextAction()) {
+      if (op.kind == IndexOp::Kind::kInsert) {
+        shadow[op.payload] = op.extent;
+      } else {
+        auto it = shadow.find(op.payload);
+        ASSERT_NE(it, shadow.end()) << op.payload;
+        ASSERT_EQ(it->second, op.extent)
+            << "delete names a different version";
+        shadow.erase(it);
+      }
+    }
+  }
+  // The shadow copy and the workload's own live set agree.
+  ASSERT_EQ(shadow.size(), workload.live().size());
+  for (const auto& [payload, extent] : workload.live()) {
+    auto it = shadow.find(payload);
+    ASSERT_NE(it, shadow.end());
+    EXPECT_EQ(it->second, extent);
+  }
+}
+
+TEST(Workload, NowRelativeFractionIsRespected) {
+  for (double fraction : {0.0, 1.0}) {
+    WorkloadOptions options;
+    options.seed = 7;
+    options.now_relative_fraction = fraction;
+    options.update_fraction = 0;
+    options.delete_fraction = 0;
+    BitemporalWorkload workload(options);
+    int now_relative = 0;
+    int total = 0;
+    for (int action = 0; action < 500; ++action) {
+      for (const IndexOp& op : workload.NextAction()) {
+        ++total;
+        if (op.extent.vt_end.is_now()) ++now_relative;
+      }
+    }
+    if (fraction == 0.0) {
+      EXPECT_EQ(now_relative, 0);
+    }
+    if (fraction == 1.0) {
+      EXPECT_EQ(now_relative, total);
+    }
+  }
+}
+
+TEST(Workload, ClockAdvances) {
+  WorkloadOptions options;
+  options.seed = 8;
+  options.ops_per_tick = 5;
+  BitemporalWorkload workload(options);
+  const int64_t start = workload.current_time();
+  for (int action = 0; action < 100; ++action) workload.NextAction();
+  EXPECT_EQ(workload.current_time(), start + 100 / 5);
+}
+
+TEST(Workload, BruteForceMatchesManualEvaluation) {
+  WorkloadOptions options;
+  options.seed = 9;
+  BitemporalWorkload workload(options);
+  for (int action = 0; action < 500; ++action) workload.NextAction();
+  const int64_t ct = workload.current_time();
+  const TimeExtent query = workload.GroundRectQuery(100);
+  const std::vector<uint64_t> result = workload.BruteForceOverlaps(query, ct);
+  size_t manual = 0;
+  for (const auto& [payload, extent] : workload.live()) {
+    if (ExtentsOverlap(extent, query, ct)) ++manual;
+  }
+  EXPECT_EQ(result.size(), manual);
+  // Sorted and duplicate-free.
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LT(result[i - 1], result[i]);
+  }
+}
+
+TEST(Workload, QueriesAreValidExtents) {
+  WorkloadOptions options;
+  options.seed = 10;
+  BitemporalWorkload workload(options);
+  for (int action = 0; action < 200; ++action) workload.NextAction();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(workload.GroundRectQuery(50).Validate().ok());
+  }
+  EXPECT_TRUE(workload.CurrentStairQuery().Validate().ok());
+  EXPECT_TRUE(workload.TimeSliceQuery(100, 50).Validate().ok());
+}
+
+}  // namespace
+}  // namespace grtdb
