@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_current_time.dir/bench_current_time.cpp.o"
+  "CMakeFiles/bench_current_time.dir/bench_current_time.cpp.o.d"
+  "bench_current_time"
+  "bench_current_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_current_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rstar.dir/bench_fig3_rstar.cpp.o"
+  "CMakeFiles/bench_fig3_rstar.dir/bench_fig3_rstar.cpp.o.d"
+  "bench_fig3_rstar"
+  "bench_fig3_rstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

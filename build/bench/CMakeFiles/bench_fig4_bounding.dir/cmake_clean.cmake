@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bounding.dir/bench_fig4_bounding.cpp.o"
+  "CMakeFiles/bench_fig4_bounding.dir/bench_fig4_bounding.cpp.o.d"
+  "bench_fig4_bounding"
+  "bench_fig4_bounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_callseq.dir/bench_fig6_callseq.cpp.o"
+  "CMakeFiles/bench_fig6_callseq.dir/bench_fig6_callseq.cpp.o.d"
+  "bench_fig6_callseq"
+  "bench_fig6_callseq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_callseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gist_generic.dir/bench_gist_generic.cpp.o"
+  "CMakeFiles/bench_gist_generic.dir/bench_gist_generic.cpp.o.d"
+  "bench_gist_generic"
+  "bench_gist_generic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gist_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

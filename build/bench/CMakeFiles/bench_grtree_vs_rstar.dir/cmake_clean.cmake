@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grtree_vs_rstar.dir/bench_grtree_vs_rstar.cpp.o"
+  "CMakeFiles/bench_grtree_vs_rstar.dir/bench_grtree_vs_rstar.cpp.o.d"
+  "bench_grtree_vs_rstar"
+  "bench_grtree_vs_rstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grtree_vs_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

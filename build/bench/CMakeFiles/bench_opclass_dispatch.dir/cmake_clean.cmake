@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opclass_dispatch.dir/bench_opclass_dispatch.cpp.o"
+  "CMakeFiles/bench_opclass_dispatch.dir/bench_opclass_dispatch.cpp.o.d"
+  "bench_opclass_dispatch"
+  "bench_opclass_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opclass_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_options.dir/bench_storage_options.cpp.o"
+  "CMakeFiles/bench_storage_options.dir/bench_storage_options.cpp.o.d"
+  "bench_storage_options"
+  "bench_storage_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_julie.dir/bench_table3_julie.cpp.o"
+  "CMakeFiles/bench_table3_julie.dir/bench_table3_julie.cpp.o.d"
+  "bench_table3_julie"
+  "bench_table3_julie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_julie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

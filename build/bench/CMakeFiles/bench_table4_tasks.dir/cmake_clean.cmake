@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tasks.dir/bench_table4_tasks.cpp.o"
+  "CMakeFiles/bench_table4_tasks.dir/bench_table4_tasks.cpp.o.d"
+  "bench_table4_tasks"
+  "bench_table4_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_vacuum.dir/audit_vacuum.cpp.o"
+  "CMakeFiles/audit_vacuum.dir/audit_vacuum.cpp.o.d"
+  "audit_vacuum"
+  "audit_vacuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_vacuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

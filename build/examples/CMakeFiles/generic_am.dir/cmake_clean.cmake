@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_am.dir/generic_am.cpp.o"
+  "CMakeFiles/generic_am.dir/generic_am.cpp.o.d"
+  "generic_am"
+  "generic_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hr_history.dir/hr_history.cpp.o"
+  "CMakeFiles/hr_history.dir/hr_history.cpp.o.d"
+  "hr_history"
+  "hr_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hr_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser.dir/multiuser.cpp.o"
+  "CMakeFiles/multiuser.dir/multiuser.cpp.o.d"
+  "multiuser"
+  "multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

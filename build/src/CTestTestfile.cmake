@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("temporal")
+subdirs("storage")
+subdirs("txn")
+subdirs("blade")
+subdirs("rstar")
+subdirs("core")
+subdirs("server")
+subdirs("sql")
+subdirs("blades")
+subdirs("workload")
+subdirs("btree")
+subdirs("dbdk")
+subdirs("gist")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_blade.dir/library.cc.o"
+  "CMakeFiles/grt_blade.dir/library.cc.o.d"
+  "CMakeFiles/grt_blade.dir/mi_memory.cc.o"
+  "CMakeFiles/grt_blade.dir/mi_memory.cc.o.d"
+  "CMakeFiles/grt_blade.dir/trace.cc.o"
+  "CMakeFiles/grt_blade.dir/trace.cc.o.d"
+  "libgrt_blade.a"
+  "libgrt_blade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_blade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_blades.dir/btree_blade.cc.o"
+  "CMakeFiles/grt_blades.dir/btree_blade.cc.o.d"
+  "CMakeFiles/grt_blades.dir/gist_blade.cc.o"
+  "CMakeFiles/grt_blades.dir/gist_blade.cc.o.d"
+  "CMakeFiles/grt_blades.dir/grtree_blade.cc.o"
+  "CMakeFiles/grt_blades.dir/grtree_blade.cc.o.d"
+  "CMakeFiles/grt_blades.dir/rstar_blade.cc.o"
+  "CMakeFiles/grt_blades.dir/rstar_blade.cc.o.d"
+  "CMakeFiles/grt_blades.dir/timeextent.cc.o"
+  "CMakeFiles/grt_blades.dir/timeextent.cc.o.d"
+  "libgrt_blades.a"
+  "libgrt_blades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_blades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

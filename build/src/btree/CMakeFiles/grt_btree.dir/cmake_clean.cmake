@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_btree.dir/btree.cc.o"
+  "CMakeFiles/grt_btree.dir/btree.cc.o.d"
+  "libgrt_btree.a"
+  "libgrt_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_common.dir/date.cc.o"
+  "CMakeFiles/grt_common.dir/date.cc.o.d"
+  "CMakeFiles/grt_common.dir/status.cc.o"
+  "CMakeFiles/grt_common.dir/status.cc.o.d"
+  "CMakeFiles/grt_common.dir/strings.cc.o"
+  "CMakeFiles/grt_common.dir/strings.cc.o.d"
+  "libgrt_common.a"
+  "libgrt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_core.dir/grtree.cc.o"
+  "CMakeFiles/grt_core.dir/grtree.cc.o.d"
+  "libgrt_core.a"
+  "libgrt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_dbdk.dir/blade_manager.cc.o"
+  "CMakeFiles/grt_dbdk.dir/blade_manager.cc.o.d"
+  "CMakeFiles/grt_dbdk.dir/bladesmith.cc.o"
+  "CMakeFiles/grt_dbdk.dir/bladesmith.cc.o.d"
+  "libgrt_dbdk.a"
+  "libgrt_dbdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_dbdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

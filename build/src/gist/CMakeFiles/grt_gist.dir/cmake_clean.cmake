@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_gist.dir/gist.cc.o"
+  "CMakeFiles/grt_gist.dir/gist.cc.o.d"
+  "libgrt_gist.a"
+  "libgrt_gist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_gist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

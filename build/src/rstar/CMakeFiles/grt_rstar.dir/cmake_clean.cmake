@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_rstar.dir/rstar_tree.cc.o"
+  "CMakeFiles/grt_rstar.dir/rstar_tree.cc.o.d"
+  "libgrt_rstar.a"
+  "libgrt_rstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for grt_rstar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/catalog.cc" "src/server/CMakeFiles/grt_server.dir/catalog.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/catalog.cc.o.d"
+  "/root/repo/src/server/executor.cc" "src/server/CMakeFiles/grt_server.dir/executor.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/executor.cc.o.d"
+  "/root/repo/src/server/load_unload.cc" "src/server/CMakeFiles/grt_server.dir/load_unload.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/load_unload.cc.o.d"
+  "/root/repo/src/server/result.cc" "src/server/CMakeFiles/grt_server.dir/result.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/result.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/server/CMakeFiles/grt_server.dir/server.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/server.cc.o.d"
+  "/root/repo/src/server/table.cc" "src/server/CMakeFiles/grt_server.dir/table.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/table.cc.o.d"
+  "/root/repo/src/server/types.cc" "src/server/CMakeFiles/grt_server.dir/types.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/types.cc.o.d"
+  "/root/repo/src/server/udr.cc" "src/server/CMakeFiles/grt_server.dir/udr.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/udr.cc.o.d"
+  "/root/repo/src/server/value.cc" "src/server/CMakeFiles/grt_server.dir/value.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/value.cc.o.d"
+  "/root/repo/src/server/vii.cc" "src/server/CMakeFiles/grt_server.dir/vii.cc.o" "gcc" "src/server/CMakeFiles/grt_server.dir/vii.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/grt_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/grt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/grt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/grt_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_server.dir/catalog.cc.o"
+  "CMakeFiles/grt_server.dir/catalog.cc.o.d"
+  "CMakeFiles/grt_server.dir/executor.cc.o"
+  "CMakeFiles/grt_server.dir/executor.cc.o.d"
+  "CMakeFiles/grt_server.dir/load_unload.cc.o"
+  "CMakeFiles/grt_server.dir/load_unload.cc.o.d"
+  "CMakeFiles/grt_server.dir/result.cc.o"
+  "CMakeFiles/grt_server.dir/result.cc.o.d"
+  "CMakeFiles/grt_server.dir/server.cc.o"
+  "CMakeFiles/grt_server.dir/server.cc.o.d"
+  "CMakeFiles/grt_server.dir/table.cc.o"
+  "CMakeFiles/grt_server.dir/table.cc.o.d"
+  "CMakeFiles/grt_server.dir/types.cc.o"
+  "CMakeFiles/grt_server.dir/types.cc.o.d"
+  "CMakeFiles/grt_server.dir/udr.cc.o"
+  "CMakeFiles/grt_server.dir/udr.cc.o.d"
+  "CMakeFiles/grt_server.dir/value.cc.o"
+  "CMakeFiles/grt_server.dir/value.cc.o.d"
+  "CMakeFiles/grt_server.dir/vii.cc.o"
+  "CMakeFiles/grt_server.dir/vii.cc.o.d"
+  "libgrt_server.a"
+  "libgrt_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_sql.dir/lexer.cc.o"
+  "CMakeFiles/grt_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/grt_sql.dir/parser.cc.o"
+  "CMakeFiles/grt_sql.dir/parser.cc.o.d"
+  "libgrt_sql.a"
+  "libgrt_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

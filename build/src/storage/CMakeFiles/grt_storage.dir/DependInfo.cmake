@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/node_store.cc" "src/storage/CMakeFiles/grt_storage.dir/node_store.cc.o" "gcc" "src/storage/CMakeFiles/grt_storage.dir/node_store.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/storage/CMakeFiles/grt_storage.dir/pager.cc.o" "gcc" "src/storage/CMakeFiles/grt_storage.dir/pager.cc.o.d"
+  "/root/repo/src/storage/sbspace.cc" "src/storage/CMakeFiles/grt_storage.dir/sbspace.cc.o" "gcc" "src/storage/CMakeFiles/grt_storage.dir/sbspace.cc.o.d"
+  "/root/repo/src/storage/space.cc" "src/storage/CMakeFiles/grt_storage.dir/space.cc.o" "gcc" "src/storage/CMakeFiles/grt_storage.dir/space.cc.o.d"
+  "/root/repo/src/storage/wal_store.cc" "src/storage/CMakeFiles/grt_storage.dir/wal_store.cc.o" "gcc" "src/storage/CMakeFiles/grt_storage.dir/wal_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_storage.dir/node_store.cc.o"
+  "CMakeFiles/grt_storage.dir/node_store.cc.o.d"
+  "CMakeFiles/grt_storage.dir/pager.cc.o"
+  "CMakeFiles/grt_storage.dir/pager.cc.o.d"
+  "CMakeFiles/grt_storage.dir/sbspace.cc.o"
+  "CMakeFiles/grt_storage.dir/sbspace.cc.o.d"
+  "CMakeFiles/grt_storage.dir/space.cc.o"
+  "CMakeFiles/grt_storage.dir/space.cc.o.d"
+  "CMakeFiles/grt_storage.dir/wal_store.cc.o"
+  "CMakeFiles/grt_storage.dir/wal_store.cc.o.d"
+  "libgrt_storage.a"
+  "libgrt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/extent.cc" "src/temporal/CMakeFiles/grt_temporal.dir/extent.cc.o" "gcc" "src/temporal/CMakeFiles/grt_temporal.dir/extent.cc.o.d"
+  "/root/repo/src/temporal/region.cc" "src/temporal/CMakeFiles/grt_temporal.dir/region.cc.o" "gcc" "src/temporal/CMakeFiles/grt_temporal.dir/region.cc.o.d"
+  "/root/repo/src/temporal/timestamp.cc" "src/temporal/CMakeFiles/grt_temporal.dir/timestamp.cc.o" "gcc" "src/temporal/CMakeFiles/grt_temporal.dir/timestamp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_temporal.dir/extent.cc.o"
+  "CMakeFiles/grt_temporal.dir/extent.cc.o.d"
+  "CMakeFiles/grt_temporal.dir/region.cc.o"
+  "CMakeFiles/grt_temporal.dir/region.cc.o.d"
+  "CMakeFiles/grt_temporal.dir/timestamp.cc.o"
+  "CMakeFiles/grt_temporal.dir/timestamp.cc.o.d"
+  "libgrt_temporal.a"
+  "libgrt_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/grt_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/grt_txn.dir/transaction.cc.o"
+  "CMakeFiles/grt_txn.dir/transaction.cc.o.d"
+  "libgrt_txn.a"
+  "libgrt_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_workload.dir/workload.cc.o"
+  "CMakeFiles/grt_workload.dir/workload.cc.o.d"
+  "libgrt_workload.a"
+  "libgrt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blades_test.dir/blades_test.cc.o"
+  "CMakeFiles/blades_test.dir/blades_test.cc.o.d"
+  "blades_test"
+  "blades_test.pdb"
+  "blades_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blades_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

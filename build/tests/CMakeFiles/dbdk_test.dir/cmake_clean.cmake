@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdk_test.dir/dbdk_test.cc.o"
+  "CMakeFiles/dbdk_test.dir/dbdk_test.cc.o.d"
+  "dbdk_test"
+  "dbdk_test.pdb"
+  "dbdk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

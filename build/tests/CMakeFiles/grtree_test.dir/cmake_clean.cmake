@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grtree_test.dir/grtree_test.cc.o"
+  "CMakeFiles/grtree_test.dir/grtree_test.cc.o.d"
+  "grtree_test"
+  "grtree_test.pdb"
+  "grtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

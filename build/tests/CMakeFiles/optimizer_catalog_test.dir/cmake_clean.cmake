@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_catalog_test.dir/optimizer_catalog_test.cc.o"
+  "CMakeFiles/optimizer_catalog_test.dir/optimizer_catalog_test.cc.o.d"
+  "optimizer_catalog_test"
+  "optimizer_catalog_test.pdb"
+  "optimizer_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_blade_test.dir/txn_blade_test.cc.o"
+  "CMakeFiles/txn_blade_test.dir/txn_blade_test.cc.o.d"
+  "txn_blade_test"
+  "txn_blade_test.pdb"
+  "txn_blade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_blade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
