@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/grt_core.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/grt_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/grt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
   "/root/repo/build/src/temporal/CMakeFiles/grt_temporal.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
   )

@@ -17,12 +17,12 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/blades/CMakeFiles/grt_blades.dir/DependInfo.cmake"
   "/root/repo/build/src/server/CMakeFiles/grt_server.dir/DependInfo.cmake"
   "/root/repo/build/src/txn/CMakeFiles/grt_txn.dir/DependInfo.cmake"
-  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
   "/root/repo/build/src/sql/CMakeFiles/grt_sql.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/grt_core.dir/DependInfo.cmake"
   "/root/repo/build/src/rstar/CMakeFiles/grt_rstar.dir/DependInfo.cmake"
   "/root/repo/build/src/btree/CMakeFiles/grt_btree.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/grt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
   "/root/repo/build/src/temporal/CMakeFiles/grt_temporal.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
   )

@@ -19,11 +19,11 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/grt_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/server/CMakeFiles/grt_server.dir/DependInfo.cmake"
   "/root/repo/build/src/txn/CMakeFiles/grt_txn.dir/DependInfo.cmake"
-  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
   "/root/repo/build/src/sql/CMakeFiles/grt_sql.dir/DependInfo.cmake"
   "/root/repo/build/src/btree/CMakeFiles/grt_btree.dir/DependInfo.cmake"
   "/root/repo/build/src/gist/CMakeFiles/grt_gist.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/grt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
   "/root/repo/build/src/temporal/CMakeFiles/grt_temporal.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
   )

@@ -243,5 +243,6 @@ bench/CMakeFiles/bench_storage_options.dir/bench_storage_options.cpp.o: \
  /root/repo/src/core/grtree.h /root/repo/src/storage/node_store.h \
  /root/repo/src/temporal/extent.h /root/repo/src/temporal/timestamp.h \
  /root/repo/src/temporal/region.h /root/repo/src/storage/wal_store.h \
- /root/repo/src/blades/grtree_blade.h /root/repo/src/workload/workload.h \
- /root/repo/src/common/random.h
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/blades/grtree_blade.h \
+ /root/repo/src/workload/workload.h /root/repo/src/common/random.h

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_wal_commit.cpp" "bench/CMakeFiles/bench_wal_commit.dir/bench_wal_commit.cpp.o" "gcc" "bench/CMakeFiles/bench_wal_commit.dir/bench_wal_commit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/grt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/grt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/grt_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/grt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/grt_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wal_commit.dir/bench_wal_commit.cpp.o"
+  "CMakeFiles/bench_wal_commit.dir/bench_wal_commit.cpp.o.d"
+  "bench_wal_commit"
+  "bench_wal_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wal_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -24,9 +24,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/gist/CMakeFiles/grt_gist.dir/DependInfo.cmake"
   "/root/repo/build/src/temporal/CMakeFiles/grt_temporal.dir/DependInfo.cmake"
   "/root/repo/build/src/txn/CMakeFiles/grt_txn.dir/DependInfo.cmake"
-  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
   "/root/repo/build/src/sql/CMakeFiles/grt_sql.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/grt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
   )
 

@@ -247,4 +247,6 @@ src/blades/CMakeFiles/grt_blades.dir/grtree_blade.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/txn/transaction.h /root/repo/src/blades/locking_store.h \
  /root/repo/src/blades/timeextent.h /root/repo/src/common/strings.h \
- /root/repo/src/storage/layout.h /root/repo/src/temporal/predicates.h
+ /root/repo/src/storage/layout.h /root/repo/src/storage/wal_store.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/temporal/predicates.h

@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blade/CMakeFiles/grt_blade.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -213,4 +213,4 @@ src/storage/CMakeFiles/grt_storage.dir/node_store.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/storage/space.h \
  /root/repo/src/storage/sbspace.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/storage/layout.h
+ /root/repo/src/storage/layout.h /usr/include/c++/12/array

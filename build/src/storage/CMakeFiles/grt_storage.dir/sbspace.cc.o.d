@@ -219,4 +219,4 @@ src/storage/CMakeFiles/grt_storage.dir/sbspace.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/storage/layout.h
+ /root/repo/src/storage/layout.h /usr/include/c++/12/array

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_stress.dir/wal_stress.cc.o"
+  "CMakeFiles/wal_stress.dir/wal_stress.cc.o.d"
+  "wal_stress"
+  "wal_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -21,3 +21,5 @@ include("/root/repo/build/tests/common_test[1]_include.cmake")
 include("/root/repo/build/tests/workload_test[1]_include.cmake")
 include("/root/repo/build/tests/gist_test[1]_include.cmake")
 include("/root/repo/build/tests/fault_test[1]_include.cmake")
+add_test(wal_stress "/root/repo/build/tests/wal_stress")
+set_tests_properties(wal_stress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")

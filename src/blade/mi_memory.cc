@@ -46,6 +46,9 @@ size_t MiMemory::LiveBytes() const {
 
 Status MiNamedMemory::NamedAlloc(const std::string& name, size_t size,
                                  void** ptr) {
+  // Clamp like MiMemory::Alloc: data() of an empty vector is not a valid
+  // pointer to hand a caller who will write through it.
+  if (size == 0) size = 1;
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = blocks_.try_emplace(name);
   if (!inserted) {

@@ -9,6 +9,7 @@
 #include "blades/timeextent.h"
 #include "common/strings.h"
 #include "storage/layout.h"
+#include "storage/wal_store.h"
 #include "temporal/predicates.h"
 
 namespace grtdb {
@@ -34,11 +35,28 @@ struct GrtScanState {
 struct GrtTreeState {
   GRTreeBladeOptions options;
   std::unique_ptr<NodeStore> base_store;
+  // kExternalFile only: the developer-built recovery layer of §5.3 — the
+  // server's own logging covers sbspace LOs, an OS file gets nothing.
+  std::unique_ptr<WalNodeStore> wal_store;
   std::unique_ptr<LockingNodeStore> locking_store;
   NodeStore* store = nullptr;
   std::unique_ptr<GRTree> tree;
   GrtScanState* active_scan = nullptr;
 };
+
+// Brackets one index mutation in a WAL transaction when the index lives in
+// an external file: the statement's node writes hit the log first, so a
+// mid-statement crash can no longer tear the tree.
+Status WithWalTxn(GrtTreeState* state, const std::function<Status()>& body) {
+  if (state->wal_store == nullptr) return body();
+  GRTDB_RETURN_IF_ERROR(state->wal_store->Begin());
+  Status status = body();
+  if (!status.ok()) {
+    (void)state->wal_store->Rollback();
+    return status;
+  }
+  return state->wal_store->Commit();
+}
 
 // ---------------------------------------------------- AM catalog records --
 // The record grt_create() inserts "in the table associated with the
@@ -122,13 +140,22 @@ Status MakeStore(MiCallContext& ctx, GrtTreeState* state,
         creating ? ExternalPath(options, index) : record->path;
     if (creating) {
       std::remove(path.c_str());
+      std::remove((path + ".wal").c_str());
       record->kind = options.storage;
       record->path = path;
     }
     auto store_or = ExternalFileNodeStore::Open(path);
     if (!store_or.ok()) return store_or.status();
     state->base_store = std::move(store_or).value();
-    state->store = state->base_store.get();
+    // §5.3: with an OS file the DataBlade must provide all recovery
+    // itself. Every open replays whatever a previous crash left behind.
+    auto wal_or =
+        WalNodeStore::Open(state->base_store.get(), path + ".wal");
+    if (!wal_or.ok()) return wal_or.status();
+    state->wal_store = std::move(wal_or).value();
+    state->wal_store->set_trace(&ctx.server->trace());
+    GRTDB_RETURN_IF_ERROR(state->wal_store->Recover());
+    state->store = state->wal_store.get();
     return Status::OK();
   }
 
@@ -407,6 +434,7 @@ BladeFns MakeBladeFns(const GRTreeBladeOptions& options) {
             break;
           case GRTreeBladeOptions::Storage::kExternalFile:
             std::remove(record.path.c_str());
+            std::remove((record.path + ".wal").c_str());
             break;
         }
       }
@@ -524,7 +552,9 @@ BladeFns MakeBladeFns(const GRTreeBladeOptions& options) {
     if (state == nullptr) return Status::Internal("index not open");
     TimeExtent extent;
     GRTDB_RETURN_IF_ERROR(ExtentFromValue(keyrow.at(0), &extent));
-    return state->tree->Insert(extent, rowid, BladeCurrentTime(ctx));
+    return WithWalTxn(state, [&] {
+      return state->tree->Insert(extent, rowid, BladeCurrentTime(ctx));
+    });
   };
 
   fns.remove = [](MiCallContext& ctx, MiAmTableDesc* desc, const Row& keyrow,
@@ -535,8 +565,9 @@ BladeFns MakeBladeFns(const GRTreeBladeOptions& options) {
     GRTDB_RETURN_IF_ERROR(ExtentFromValue(keyrow.at(0), &extent));
     bool found = false;
     const uint64_t epoch_before = state->tree->condense_epoch();
-    GRTDB_RETURN_IF_ERROR(
-        state->tree->Delete(extent, rowid, BladeCurrentTime(ctx), &found));
+    GRTDB_RETURN_IF_ERROR(WithWalTxn(state, [&] {
+      return state->tree->Delete(extent, rowid, BladeCurrentTime(ctx), &found);
+    }));
     if (!found) {
       return Status::NotFound("index entry to delete was not found");
     }

@@ -42,7 +42,9 @@ class LockingNodeStore final : public NodeStore {
 
   // Called from am_close: drops the shared LO locks when the isolation
   // level allows it (Committed/Dirty Read); exclusive locks stay until the
-  // transaction ends (released by the transaction manager).
+  // transaction ends (released by the transaction manager), so their
+  // acquired_ entries are kept — a reopen in the same transaction must not
+  // re-acquire (and re-nest) locks it already holds.
   void ReleaseSharedOnClose() {
     if (session_->txn_session().isolation() ==
         IsolationLevel::kRepeatableRead) {
@@ -50,12 +52,14 @@ class LockingNodeStore final : public NodeStore {
     }
     Transaction* txn = session_->txn_session().current_txn();
     if (txn == nullptr) return;
-    for (const auto& [resource, mode] : acquired_) {
-      if (mode == LockMode::kShared) {
-        lock_manager_->Release(txn->id(), resource);
+    for (auto it = acquired_.begin(); it != acquired_.end();) {
+      if (it->second == LockMode::kShared) {
+        lock_manager_->Release(txn->id(), it->first);
+        it = acquired_.erase(it);
+      } else {
+        ++it;
       }
     }
-    acquired_.clear();
   }
 
  private:
@@ -70,6 +74,9 @@ class LockingNodeStore final : public NodeStore {
         (it->second == LockMode::kExclusive || mode == LockMode::kShared)) {
       return Status::OK();  // already held strongly enough this open
     }
+    // May fail with LockTimeout — or, for a shared→exclusive upgrade that
+    // collides with another upgrader, Status::Deadlock. Both propagate to
+    // the executor, which aborts the statement's transaction.
     GRTDB_RETURN_IF_ERROR(lock_manager_->Acquire(txn->id(), resource, mode));
     acquired_[resource] = mode;
     return Status::OK();

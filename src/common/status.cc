@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "AlreadyExists";
     case Status::Code::kLockTimeout:
       return "LockTimeout";
+    case Status::Code::kDeadlock:
+      return "Deadlock";
     case Status::Code::kAborted:
       return "Aborted";
     case Status::Code::kInternal:

@@ -21,6 +21,7 @@ class Status {
     kNotSupported,
     kAlreadyExists,
     kLockTimeout,
+    kDeadlock,
     kAborted,
     kInternal,
   };
@@ -54,6 +55,9 @@ class Status {
   static Status LockTimeout(std::string msg) {
     return Status(Code::kLockTimeout, std::move(msg));
   }
+  static Status Deadlock(std::string msg) {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
   static Status Aborted(std::string msg) {
     return Status(Code::kAborted, std::move(msg));
   }
@@ -69,6 +73,7 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsLockTimeout() const { return code_ == Code::kLockTimeout; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
   bool IsAborted() const { return code_ == Code::kAborted; }
 
   Code code() const { return code_; }

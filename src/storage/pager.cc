@@ -44,10 +44,13 @@ Status Pager::GrabFrameLocked(size_t* frame_index) {
 
 Status Pager::NewPage(PageId* id, uint8_t** data) {
   std::lock_guard<std::mutex> lock(mu_);
-  PageId new_id;
-  GRTDB_RETURN_IF_ERROR(space_->Extend(&new_id));
+  // Grab the frame *before* extending the space: Extend is irreversible,
+  // so doing it first would leak the fresh page forever whenever the pool
+  // has no evictable frame. A failed grab leaves the space untouched.
   size_t frame_index;
   GRTDB_RETURN_IF_ERROR(GrabFrameLocked(&frame_index));
+  PageId new_id;
+  GRTDB_RETURN_IF_ERROR(space_->Extend(&new_id));
   Frame& frame = frames_[frame_index];
   frame.page_id = new_id;
   frame.pin_count = 1;
@@ -76,7 +79,16 @@ Status Pager::FetchPage(PageId id, uint8_t** data) {
   size_t frame_index;
   GRTDB_RETURN_IF_ERROR(GrabFrameLocked(&frame_index));
   Frame& frame = frames_[frame_index];
-  GRTDB_RETURN_IF_ERROR(space_->ReadPage(id, frame.data.get()));
+  Status read = space_->ReadPage(id, frame.data.get());
+  if (!read.ok()) {
+    // Leave the frame fully free and the page table without an entry for
+    // `id`: a later fetch must retry the physical read, not serve the
+    // garbage this one left in the frame.
+    frame.page_id = kInvalidPageId;
+    frame.pin_count = 0;
+    frame.dirty = false;
+    return read;
+  }
   ++stats_.physical_reads;
   frame.page_id = id;
   frame.pin_count = 1;

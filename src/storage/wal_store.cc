@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "storage/layout.h"
@@ -12,18 +14,18 @@ namespace grtdb {
 
 namespace {
 
-// Log record types. A transaction is BEGIN (WRITE | FREE)* COMMIT; only
-// transactions whose COMMIT made it to disk are replayed.
-constexpr uint8_t kRecBegin = 1;
-constexpr uint8_t kRecWrite = 2;
-constexpr uint8_t kRecFree = 3;
-constexpr uint8_t kRecCommit = 4;
+// One redo record: type byte + (for writes/frees) a node id, + (for
+// writes) the full page image.
+constexpr size_t kWriteRecordSize = 1 + 8 + kPageSize;
+constexpr size_t kFreeRecordSize = 1 + 8;
 
 }  // namespace
 
 StatusOr<std::unique_ptr<WalNodeStore>> WalNodeStore::Open(
-    NodeStore* inner, const std::string& log_path) {
-  std::unique_ptr<WalNodeStore> store(new WalNodeStore(inner, log_path));
+    NodeStore* inner, const std::string& log_path, WalOptions options) {
+  if (options.max_batch == 0) options.max_batch = 1;
+  std::unique_ptr<WalNodeStore> store(
+      new WalNodeStore(inner, log_path, options));
   GRTDB_RETURN_IF_ERROR(store->OpenLogForAppend());
   return store;
 }
@@ -38,197 +40,558 @@ Status WalNodeStore::OpenLogForAppend() {
     return Status::IOError("cannot open WAL '" + log_path_ +
                            "': " + std::strerror(errno));
   }
+  const off_t size = ::lseek(log_fd_, 0, SEEK_END);
+  if (size < 0) return Status::IOError("lseek on WAL failed");
+  log_size_ = static_cast<uint64_t>(size);
   return Status::OK();
 }
+
+// --------------------------------------------------------------- recovery --
+
+namespace {
+
+// Sequential chunked reader over the log fd: recovery touches the file in
+// fixed-size pread chunks instead of slurping it whole into memory, so
+// replay memory is bounded by the largest single transaction, not by the
+// log size.
+class ChunkedLogReader {
+ public:
+  static constexpr size_t kChunk = 256 * 1024;
+
+  explicit ChunkedLogReader(int fd) : fd_(fd) {
+    buf_.resize(kChunk);
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    file_size_ = size < 0 ? 0 : static_cast<uint64_t>(size);
+  }
+
+  bool failed() const { return failed_; }
+  uint64_t file_size() const { return file_size_; }
+
+  // Reads up to `n` sequential bytes; returns how many were available.
+  size_t Read(uint8_t* out, size_t n) {
+    size_t copied = 0;
+    while (copied < n) {
+      if (pos_ >= len_) {
+        if (!Fill()) break;
+      }
+      const size_t take = std::min(n - copied, len_ - pos_);
+      std::memcpy(out + copied, buf_.data() + pos_, take);
+      pos_ += take;
+      copied += take;
+    }
+    return copied;
+  }
+
+ private:
+  bool Fill() {
+    if (file_pos_ >= file_size_) return false;
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(kChunk, file_size_ - file_pos_));
+    const ssize_t got =
+        ::pread(fd_, buf_.data(), want, static_cast<off_t>(file_pos_));
+    if (got <= 0) {
+      failed_ = got < 0;
+      file_pos_ = file_size_;  // stop
+      return false;
+    }
+    file_pos_ += static_cast<uint64_t>(got);
+    len_ = static_cast<size_t>(got);
+    pos_ = 0;
+    return true;
+  }
+
+  int fd_;
+  uint64_t file_size_ = 0;
+  uint64_t file_pos_ = 0;
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+  size_t len_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
 
 Status WalNodeStore::Recover() {
-  // Read the whole log and replay committed transactions in order.
-  std::vector<uint8_t> log;
-  {
-    const off_t size = ::lseek(log_fd_, 0, SEEK_END);
-    if (size < 0) return Status::IOError("lseek on WAL failed");
-    log.resize(static_cast<size_t>(size));
-    if (size > 0 &&
-        ::pread(log_fd_, log.data(), log.size(), 0) !=
-            static_cast<ssize_t>(log.size())) {
-      return Status::IOError("short read on WAL");
-    }
-  }
+  AcquirePipeline();
+  Status status = [&]() -> Status {
+    ChunkedLogReader reader(log_fd_);
+    uint64_t replayed = 0;
+    uint64_t discarded = 0;
+    uint64_t crc_failures = 0;
+    uint64_t bytes_scanned = 0;
+    std::vector<uint8_t> payload;
 
-  struct PendingTxn {
-    std::map<NodeId, std::vector<uint8_t>> writes;
-    std::vector<NodeId> frees;
-  };
-  PendingTxn txn;
-  bool open = false;
-  size_t offset = 0;
-  while (offset < log.size()) {
-    const uint8_t type = log[offset];
-    if (type == kRecBegin) {
-      if (offset + 1 > log.size()) break;
-      txn = PendingTxn();
-      open = true;
-      offset += 1;
-    } else if (type == kRecWrite) {
-      if (offset + 1 + 8 + kPageSize > log.size()) break;  // torn tail
-      const NodeId id = LoadU64(log.data() + offset + 1);
-      txn.writes[id].assign(log.begin() + offset + 9,
-                            log.begin() + offset + 9 + kPageSize);
-      offset += 1 + 8 + kPageSize;
-    } else if (type == kRecFree) {
-      if (offset + 1 + 8 > log.size()) break;
-      txn.frees.push_back(LoadU64(log.data() + offset + 1));
-      offset += 1 + 8;
-    } else if (type == kRecCommit) {
-      if (!open) break;  // corrupt; stop here
-      for (const auto& [id, image] : txn.writes) {
-        GRTDB_RETURN_IF_ERROR(inner_->WriteNode(id, image.data()));
+    for (;;) {
+      uint8_t header[wal::kFrameHeaderSize];
+      const size_t got = reader.Read(header, sizeof(header));
+      if (got == 0) break;  // clean end of log
+      if (got < sizeof(header)) {
+        ++discarded;  // torn frame header
+        break;
       }
-      for (NodeId id : txn.frees) {
-        GRTDB_RETURN_IF_ERROR(inner_->FreeNode(id));
+      const uint32_t payload_len = LoadU32(header);
+      const uint32_t expected_crc = LoadU32(header + 4);
+      if (payload_len == 0 || payload_len > wal::kMaxFramePayload) {
+        ++crc_failures;  // header is garbage; nothing after it is trusted
+        ++discarded;
+        break;
       }
-      ++wal_stats_.transactions_replayed;
-      open = false;
-      offset += 1;
-    } else {
-      break;  // unknown byte: treat as torn tail
-    }
-  }
-  if (open || offset < log.size()) ++wal_stats_.transactions_discarded;
+      payload.resize(payload_len);
+      if (reader.Read(payload.data(), payload_len) < payload_len) {
+        ++discarded;  // torn payload
+        break;
+      }
+      if (Crc32(payload.data(), payload_len) != expected_crc) {
+        ++crc_failures;
+        ++discarded;
+        break;
+      }
+      bytes_scanned += wal::kFrameHeaderSize + payload_len;
 
-  GRTDB_RETURN_IF_ERROR(inner_->Flush());
-  // The log's work is done; truncate it.
-  if (::ftruncate(log_fd_, 0) != 0) {
-    return Status::IOError("cannot truncate WAL");
-  }
-  return Status::OK();
+      // The frame checksummed clean: replay its committed transactions.
+      // Every BEGIN that reaches end-of-frame without a COMMIT is one
+      // discarded transaction (counted individually).
+      TxnBuffer txn;
+      bool open = false;
+      size_t offset = 0;
+      while (offset < payload_len) {
+        const uint8_t type = payload[offset];
+        if (type == wal::kRecBegin) {
+          if (open) ++discarded;  // BEGIN without COMMIT before it
+          txn = TxnBuffer();
+          open = true;
+          offset += 1;
+        } else if (type == wal::kRecWrite) {
+          if (offset + kWriteRecordSize > payload_len) {
+            return Status::Corruption("WAL write record overruns its frame");
+          }
+          const NodeId id = LoadU64(payload.data() + offset + 1);
+          txn.writes[id].assign(payload.begin() + offset + 9,
+                                payload.begin() + offset + 9 + kPageSize);
+          offset += kWriteRecordSize;
+        } else if (type == wal::kRecFree) {
+          if (offset + kFreeRecordSize > payload_len) {
+            return Status::Corruption("WAL free record overruns its frame");
+          }
+          txn.frees.push_back(LoadU64(payload.data() + offset + 1));
+          offset += kFreeRecordSize;
+        } else if (type == wal::kRecCommit) {
+          if (!open) {
+            return Status::Corruption("WAL COMMIT record without BEGIN");
+          }
+          {
+            std::lock_guard<std::mutex> il(inner_mu_);
+            GRTDB_RETURN_IF_ERROR(ApplyTxnInnerLocked(txn));
+          }
+          ++replayed;
+          open = false;
+          offset += 1;
+        } else {
+          return Status::Corruption("unknown WAL record type inside frame");
+        }
+      }
+      if (open) ++discarded;  // frame ended with the transaction open
+    }
+    if (reader.failed()) return Status::IOError("read of WAL failed");
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      wal_stats_.transactions_replayed += replayed;
+      wal_stats_.transactions_discarded += discarded;
+      wal_stats_.crc_failures += crc_failures;
+      wal_stats_.bytes_replayed += bytes_scanned;
+    }
+    if (trace_ != nullptr) {
+      trace_->Tprintf(
+          "wal", 1,
+          "recover: %llu txns replayed, %llu discarded, %llu CRC failures, "
+          "%llu bytes scanned",
+          static_cast<unsigned long long>(replayed),
+          static_cast<unsigned long long>(discarded),
+          static_cast<unsigned long long>(crc_failures),
+          static_cast<unsigned long long>(bytes_scanned));
+    }
+
+    // The log's work is done; flush the replayed state and truncate it.
+    {
+      std::lock_guard<std::mutex> il(inner_mu_);
+      GRTDB_RETURN_IF_ERROR(inner_->Flush());
+      if (::ftruncate(log_fd_, 0) != 0) {
+        return Status::IOError("cannot truncate WAL");
+      }
+      log_size_ = 0;
+      unapplied_in_log_ = false;
+    }
+    return Status::OK();
+  }();
+  ReleasePipeline();
+  return status;
 }
+
+// ------------------------------------------------------------ txn buffers --
 
 Status WalNodeStore::Begin() {
-  if (in_txn_) {
+  if (default_txn_.open) {
     return Status::InvalidArgument("WAL transaction already open");
   }
-  in_txn_ = true;
-  pending_.clear();
-  pending_frees_.clear();
-  return Status::OK();
-}
-
-Status WalNodeStore::AppendTransactionToLog() {
-  std::vector<uint8_t> buffer;
-  buffer.reserve(1 + pending_.size() * (1 + 8 + kPageSize) +
-                 pending_frees_.size() * 9 + 1);
-  buffer.push_back(kRecBegin);
-  for (const auto& [id, image] : pending_) {
-    buffer.push_back(kRecWrite);
-    uint8_t id_bytes[8];
-    StoreU64(id_bytes, id);
-    buffer.insert(buffer.end(), id_bytes, id_bytes + 8);
-    buffer.insert(buffer.end(), image.begin(), image.end());
-  }
-  for (NodeId id : pending_frees_) {
-    buffer.push_back(kRecFree);
-    uint8_t id_bytes[8];
-    StoreU64(id_bytes, id);
-    buffer.insert(buffer.end(), id_bytes, id_bytes + 8);
-  }
-  buffer.push_back(kRecCommit);
-  if (::write(log_fd_, buffer.data(), buffer.size()) !=
-      static_cast<ssize_t>(buffer.size())) {
-    return Status::IOError("short write to WAL");
-  }
-  if (::fsync(log_fd_) != 0) {
-    return Status::IOError("fsync on WAL failed");
-  }
-  wal_stats_.log_records += 2 + pending_.size() + pending_frees_.size();
-  wal_stats_.log_bytes += buffer.size();
-  ++wal_stats_.syncs;
-  return Status::OK();
-}
-
-Status WalNodeStore::ApplyPending() {
-  for (const auto& [id, image] : pending_) {
-    GRTDB_RETURN_IF_ERROR(inner_->WriteNode(id, image.data()));
-  }
-  for (NodeId id : pending_frees_) {
-    GRTDB_RETURN_IF_ERROR(inner_->FreeNode(id));
-  }
-  pending_.clear();
-  pending_frees_.clear();
+  default_txn_.open = true;
+  default_txn_.writes.clear();
+  default_txn_.frees.clear();
   return Status::OK();
 }
 
 Status WalNodeStore::Commit() {
-  if (!in_txn_) return Status::InvalidArgument("no WAL transaction open");
-  GRTDB_RETURN_IF_ERROR(AppendTransactionToLog());
-  GRTDB_RETURN_IF_ERROR(ApplyPending());
-  in_txn_ = false;
-  ++wal_stats_.transactions_committed;
-  return Status::OK();
+  return CommitBuffer(&default_txn_, /*apply=*/true);
 }
 
 Status WalNodeStore::CommitWithCrashBeforeApply() {
-  if (!in_txn_) return Status::InvalidArgument("no WAL transaction open");
-  GRTDB_RETURN_IF_ERROR(AppendTransactionToLog());
-  // "Crash": the durable log has the transaction, the store does not.
-  pending_.clear();
-  pending_frees_.clear();
-  in_txn_ = false;
-  ++wal_stats_.transactions_committed;
-  return Status::OK();
+  return CommitBuffer(&default_txn_, /*apply=*/false);
 }
 
 Status WalNodeStore::Rollback() {
-  if (!in_txn_) return Status::InvalidArgument("no WAL transaction open");
-  pending_.clear();
-  pending_frees_.clear();
-  in_txn_ = false;
+  if (!default_txn_.open) {
+    return Status::InvalidArgument("no WAL transaction open");
+  }
+  default_txn_.writes.clear();
+  default_txn_.frees.clear();
+  default_txn_.open = false;
   return Status::OK();
 }
 
-Status WalNodeStore::Checkpoint() {
-  if (in_txn_) {
-    return Status::InvalidArgument("cannot checkpoint inside a transaction");
+std::unique_ptr<WalTxn> WalNodeStore::BeginConcurrent() {
+  return std::unique_ptr<WalTxn>(new WalTxn(this));
+}
+
+// ------------------------------------------------------------ commit path --
+
+std::vector<uint8_t> WalNodeStore::BuildFrame(const TxnBuffer& txn) {
+  const size_t payload_size = 1 + txn.writes.size() * kWriteRecordSize +
+                              txn.frees.size() * kFreeRecordSize + 1;
+  std::vector<uint8_t> frame;
+  frame.reserve(wal::kFrameHeaderSize + payload_size);
+  frame.resize(wal::kFrameHeaderSize);
+  frame.push_back(wal::kRecBegin);
+  for (const auto& [id, image] : txn.writes) {
+    frame.push_back(wal::kRecWrite);
+    uint8_t id_bytes[8];
+    StoreU64(id_bytes, id);
+    frame.insert(frame.end(), id_bytes, id_bytes + 8);
+    frame.insert(frame.end(), image.begin(), image.end());
   }
+  for (NodeId id : txn.frees) {
+    frame.push_back(wal::kRecFree);
+    uint8_t id_bytes[8];
+    StoreU64(id_bytes, id);
+    frame.insert(frame.end(), id_bytes, id_bytes + 8);
+  }
+  frame.push_back(wal::kRecCommit);
+  const size_t payload_len = frame.size() - wal::kFrameHeaderSize;
+  StoreU32(frame.data(), static_cast<uint32_t>(payload_len));
+  StoreU32(frame.data() + 4,
+           Crc32(frame.data() + wal::kFrameHeaderSize, payload_len));
+  return frame;
+}
+
+Status WalNodeStore::WriteAllToLog(const uint8_t* data, size_t size) {
+  while (size > 0) {
+    const ssize_t written = write_hook_
+                                ? write_hook_(log_fd_, data, size)
+                                : ::write(log_fd_, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;  // interrupted before any byte moved
+      return Status::IOError(std::string("write to WAL failed: ") +
+                             std::strerror(errno));
+    }
+    // A short write (signal, quota boundary) is not an error: the kernel
+    // accepted a prefix, so push the remainder until it is all durable in
+    // the page cache. Giving up here would leave a torn record in the log.
+    data += written;
+    size -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+Status WalNodeStore::ApplyTxnInnerLocked(const TxnBuffer& txn) {
+  for (const auto& [id, image] : txn.writes) {
+    GRTDB_RETURN_IF_ERROR(inner_->WriteNode(id, image.data()));
+  }
+  for (NodeId id : txn.frees) {
+    GRTDB_RETURN_IF_ERROR(inner_->FreeNode(id));
+  }
+  return Status::OK();
+}
+
+Status WalNodeStore::CommitBuffer(TxnBuffer* txn, bool apply) {
+  if (!txn->open) return Status::InvalidArgument("no WAL transaction open");
+
+  CommitRequest req;
+  req.txn = txn;
+  req.apply = apply;
+  req.frame = BuildFrame(*txn);
+  req.records = 2 + txn->writes.size() + txn->frees.size();
+
+  std::unique_lock<std::mutex> lk(commit_mu_);
+  commit_queue_.push_back(&req);
+  commit_cv_.notify_all();  // a lingering leader may be waiting for joiners
+  for (;;) {
+    if (req.done) break;
+    if (!leader_active_) {
+      // No leader: this thread drains the queue (including its own
+      // request, unless the batch cap defers it to the next round).
+      RunLeaderRound(lk);
+      continue;
+    }
+    commit_cv_.wait(lk);
+  }
+  lk.unlock();
+
+  if (req.result.ok()) {
+    txn->writes.clear();
+    txn->frees.clear();
+    txn->open = false;
+  }
+  return req.result;
+}
+
+void WalNodeStore::RunLeaderRound(std::unique_lock<std::mutex>& lk) {
+  leader_active_ = true;
+  if (options_.max_wait_us > 0 && commit_queue_.size() < options_.max_batch) {
+    // Linger briefly so concurrent committers can join this batch.
+    commit_cv_.wait_for(
+        lk, std::chrono::microseconds(options_.max_wait_us),
+        [&] { return commit_queue_.size() >= options_.max_batch; });
+  }
+  std::vector<CommitRequest*> batch;
+  while (!commit_queue_.empty() && batch.size() < options_.max_batch) {
+    batch.push_back(commit_queue_.front());
+    commit_queue_.pop_front();
+  }
+  lk.unlock();
+
+  size_t blob_size = 0;
+  uint64_t records = 0;
+  for (const CommitRequest* r : batch) {
+    blob_size += r->frame.size();
+    records += r->records;
+  }
+  std::vector<uint8_t> blob;
+  blob.reserve(blob_size);
+  for (const CommitRequest* r : batch) {
+    blob.insert(blob.end(), r->frame.begin(), r->frame.end());
+  }
+
+  Status io = WriteAllToLog(blob.data(), blob.size());
+  if (io.ok() && ::fsync(log_fd_) != 0) {
+    io = Status::IOError("fsync on WAL failed");
+  }
+
+  if (io.ok()) {
+    std::lock_guard<std::mutex> il(inner_mu_);
+    log_size_ += blob.size();
+    for (CommitRequest* r : batch) {
+      if (r->apply) {
+        r->result = ApplyTxnInnerLocked(*r->txn);
+      } else {
+        // "Crash" hook: the durable log has the transaction, the store
+        // does not. Recover() must repair it, so the log must survive.
+        unapplied_in_log_ = true;
+        r->result = Status::OK();
+      }
+    }
+  } else {
+    for (CommitRequest* r : batch) r->result = io;
+  }
+
+  if (io.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++wal_stats_.syncs;
+    wal_stats_.log_bytes += blob.size();
+    wal_stats_.log_records += records;
+    wal_stats_.transactions_committed += batch.size();
+    if (batch.size() > 1) {
+      ++wal_stats_.group_commits;
+      wal_stats_.batched_commits += batch.size() - 1;
+      wal_stats_.fsyncs_saved += batch.size() - 1;
+    }
+  }
+  if (trace_ != nullptr && batch.size() > 1) {
+    trace_->Tprintf("wal", 2, "group commit: %llu txns, %llu bytes, 1 fsync",
+                    static_cast<unsigned long long>(batch.size()),
+                    static_cast<unsigned long long>(blob.size()));
+  }
+  if (io.ok()) MaybeAutoCheckpoint();
+
+  lk.lock();
+  for (CommitRequest* r : batch) r->done = true;
+  leader_active_ = false;
+  commit_cv_.notify_all();
+}
+
+void WalNodeStore::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_log_bytes == 0) return;
+  std::lock_guard<std::mutex> il(inner_mu_);
+  // Never truncate while the log holds a committed-but-unapplied
+  // transaction (crash-test hook): the log is its only copy.
+  if (unapplied_in_log_ || log_size_ < options_.checkpoint_log_bytes) return;
+  // Incremental checkpoint: make the inner store durable, then drop the
+  // log. A failure here is not a commit failure — the log simply stays and
+  // the next commit retries the checkpoint.
+  Status status = inner_->Flush();
+  if (status.ok() && ::ftruncate(log_fd_, 0) != 0) {
+    status = Status::IOError("cannot truncate WAL");
+  }
+  if (status.ok()) {
+    const uint64_t dropped = log_size_;
+    log_size_ = 0;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++wal_stats_.checkpoints;
+    }
+    if (trace_ != nullptr) {
+      trace_->Tprintf("wal", 1,
+                      "size-triggered checkpoint: dropped %llu log bytes",
+                      static_cast<unsigned long long>(dropped));
+    }
+  } else if (trace_ != nullptr) {
+    trace_->Tprintf("wal", 1, "checkpoint failed: %s",
+                    status.ToString().c_str());
+  }
+}
+
+// ------------------------------------------------------------- checkpoint --
+
+void WalNodeStore::AcquirePipeline() {
+  std::unique_lock<std::mutex> lk(commit_mu_);
+  commit_cv_.wait(lk, [&] { return !leader_active_; });
+  leader_active_ = true;  // blocks commit leaders; appends are quiesced
+}
+
+void WalNodeStore::ReleasePipeline() {
+  {
+    std::lock_guard<std::mutex> lk(commit_mu_);
+    leader_active_ = false;
+  }
+  commit_cv_.notify_all();
+}
+
+Status WalNodeStore::CheckpointQuiesced() {
+  std::lock_guard<std::mutex> il(inner_mu_);
   GRTDB_RETURN_IF_ERROR(inner_->Flush());
   if (::ftruncate(log_fd_, 0) != 0) {
     return Status::IOError("cannot truncate WAL");
   }
+  log_size_ = 0;
+  unapplied_in_log_ = false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++wal_stats_.checkpoints;
+  }
   return Status::OK();
 }
+
+Status WalNodeStore::Checkpoint() {
+  if (default_txn_.open) {
+    return Status::InvalidArgument("cannot checkpoint inside a transaction");
+  }
+  AcquirePipeline();
+  Status status = CheckpointQuiesced();
+  ReleasePipeline();
+  if (status.ok() && trace_ != nullptr) {
+    trace_->Tprintf("wal", 1, "checkpoint: log truncated");
+  }
+  return status;
+}
+
+// -------------------------------------------------------- NodeStore calls --
 
 Status WalNodeStore::AllocateNode(NodeId* id) {
   // Allocation mutates the inner store immediately; a crash before commit
   // merely leaks the slot (documented trade-off of the simple protocol).
+  std::lock_guard<std::mutex> il(inner_mu_);
   return inner_->AllocateNode(id);
 }
 
 Status WalNodeStore::FreeNode(NodeId id) {
-  if (!in_txn_) return inner_->FreeNode(id);
-  pending_.erase(id);
-  pending_frees_.push_back(id);
+  if (!default_txn_.open) {
+    std::lock_guard<std::mutex> il(inner_mu_);
+    return inner_->FreeNode(id);
+  }
+  default_txn_.writes.erase(id);
+  default_txn_.frees.push_back(id);
   return Status::OK();
 }
 
+Status WalNodeStore::ReadNodeInner(NodeId id, uint8_t* out) {
+  std::lock_guard<std::mutex> il(inner_mu_);
+  return inner_->ReadNode(id, out);
+}
+
 Status WalNodeStore::ReadNode(NodeId id, uint8_t* out) {
-  ++stats_.node_reads;
-  if (in_txn_) {
-    auto it = pending_.find(id);
-    if (it != pending_.end()) {
+  {
+    std::lock_guard<std::mutex> il(inner_mu_);
+    ++stats_.node_reads;
+  }
+  if (default_txn_.open) {
+    auto it = default_txn_.writes.find(id);
+    if (it != default_txn_.writes.end()) {
       std::memcpy(out, it->second.data(), kPageSize);
       return Status::OK();
     }
   }
-  return inner_->ReadNode(id, out);
+  return ReadNodeInner(id, out);
 }
 
 Status WalNodeStore::WriteNode(NodeId id, const uint8_t* data) {
+  std::lock_guard<std::mutex> il(inner_mu_);
   ++stats_.node_writes;
-  if (!in_txn_) return inner_->WriteNode(id, data);
-  pending_[id].assign(data, data + kPageSize);
+  if (!default_txn_.open) return inner_->WriteNode(id, data);
+  default_txn_.writes[id].assign(data, data + kPageSize);
   return Status::OK();
 }
 
-Status WalNodeStore::Flush() { return inner_->Flush(); }
+Status WalNodeStore::Flush() {
+  std::lock_guard<std::mutex> il(inner_mu_);
+  return inner_->Flush();
+}
+
+WalStats WalNodeStore::wal_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return wal_stats_;
+}
+
+// ------------------------------------------------------------------ WalTxn --
+
+Status WalTxn::Rollback() {
+  if (!buf_.open) return Status::InvalidArgument("no WAL transaction open");
+  buf_.writes.clear();
+  buf_.frees.clear();
+  buf_.open = false;
+  return Status::OK();
+}
+
+Status WalTxn::FreeNode(NodeId id) {
+  if (!buf_.open) return Status::InvalidArgument("WAL transaction finished");
+  buf_.writes.erase(id);
+  buf_.frees.push_back(id);
+  return Status::OK();
+}
+
+Status WalTxn::ReadNode(NodeId id, uint8_t* out) {
+  if (!buf_.open) return Status::InvalidArgument("WAL transaction finished");
+  ++stats_.node_reads;
+  auto it = buf_.writes.find(id);
+  if (it != buf_.writes.end()) {
+    std::memcpy(out, it->second.data(), kPageSize);
+    return Status::OK();
+  }
+  return wal_->ReadNodeInner(id, out);
+}
+
+Status WalTxn::WriteNode(NodeId id, const uint8_t* data) {
+  if (!buf_.open) return Status::InvalidArgument("WAL transaction finished");
+  ++stats_.node_writes;
+  buf_.writes[id].assign(data, data + kPageSize);
+  return Status::OK();
+}
 
 }  // namespace grtdb

@@ -24,6 +24,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
   ++stats_.acquisitions;
   // Never hold a reference into locks_ across a wait: other transactions
   // release (and erase empty) lock states while this thread is blocked.
+  bool upgrading = false;
   {
     LockState& state = locks_[resource];
     auto self = state.holders.find(txn);
@@ -35,8 +36,31 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
         return Status::OK();
       }
       // Shared -> exclusive upgrade: wait until we are the sole holder.
+      // If another shared holder is already waiting for *its* upgrade,
+      // neither can proceed until the other releases — a guaranteed
+      // deadlock. Fail the newcomer now instead of burning its timeout.
+      if (state.has_upgrader && state.upgrader != txn) {
+        ++stats_.deadlocks;
+        return Status::Deadlock(
+            "upgrade-upgrade deadlock (resource kind " +
+            std::to_string(static_cast<int>(resource.kind)) + ", id " +
+            std::to_string(resource.id) + "): another shared holder is " +
+            "already waiting to upgrade");
+      }
+      upgrading = true;
+      state.has_upgrader = true;
+      state.upgrader = txn;
     }
   }
+
+  auto clear_upgrader = [&] {
+    if (!upgrading) return;
+    auto it = locks_.find(resource);
+    if (it != locks_.end() && it->second.has_upgrader &&
+        it->second.upgrader == txn) {
+      it->second.has_upgrader = false;
+    }
+  };
 
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   bool waited = false;
@@ -45,6 +69,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
         !CompatibleLocked(locks_[resource], txn, mode)) {
       ++stats_.timeouts;
+      clear_upgrader();
       auto it = locks_.find(resource);
       if (it != locks_.end() && it->second.holders.empty()) locks_.erase(it);
       return Status::LockTimeout("lock wait timeout (resource kind " +
@@ -54,6 +79,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
     }
   }
   if (waited) ++stats_.waits;
+  clear_upgrader();
 
   LockState& state = locks_[resource];
   auto self = state.holders.find(txn);
@@ -75,6 +101,9 @@ void LockManager::Release(TxnId txn, ResourceId resource) {
   if (self == it->second.holders.end()) return;
   if (--self->second.count == 0) {
     it->second.holders.erase(self);
+    if (it->second.has_upgrader && it->second.upgrader == txn) {
+      it->second.has_upgrader = false;
+    }
     if (it->second.holders.empty()) locks_.erase(it);
     cv_.notify_all();
   }
@@ -85,6 +114,9 @@ void LockManager::ReleaseAll(TxnId txn) {
   bool released = false;
   for (auto it = locks_.begin(); it != locks_.end();) {
     if (it->second.holders.erase(txn) > 0) released = true;
+    if (it->second.has_upgrader && it->second.upgrader == txn) {
+      it->second.has_upgrader = false;
+    }
     if (it->second.holders.empty()) {
       it = locks_.erase(it);
     } else {

@@ -42,11 +42,16 @@ struct LockManagerStats {
   uint64_t acquisitions = 0;
   uint64_t waits = 0;      // acquisitions that had to block
   uint64_t timeouts = 0;   // acquisitions that failed with LockTimeout
+  uint64_t deadlocks = 0;  // acquisitions that failed with Status::Deadlock
 };
 
 // A strict two-phase lock manager with shared/exclusive modes, lock
 // upgrades, and timeout-based deadlock resolution (a blocked request that
 // exceeds its timeout returns Status::LockTimeout and the caller aborts).
+// The one deadlock shape a timeout cannot resolve cheaply — two shared
+// holders that both request a shared→exclusive upgrade and so can never
+// grant each other — is detected eagerly: the second upgrader fails
+// immediately with Status::Deadlock instead of burning its full timeout.
 class LockManager {
  public:
   explicit LockManager(
@@ -82,6 +87,11 @@ class LockManager {
   };
   struct LockState {
     std::map<TxnId, Holder> holders;
+    // The shared holder currently waiting on an upgrade to exclusive, if
+    // any. A second holder requesting an upgrade while this is set is in
+    // an upgrade–upgrade cycle and fails fast with Status::Deadlock.
+    bool has_upgrader = false;
+    TxnId upgrader = 0;
   };
 
   // True if `txn` may be granted `mode` given current holders.

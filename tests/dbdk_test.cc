@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "blade/mi_memory.h"
 #include "server/server.h"
 #include "sql/parser.h"
 
@@ -259,6 +260,22 @@ TEST(BladeManager, DropAccessMethodInUseIsRejected) {
   ASSERT_TRUE(server.catalog().DropTable("t").ok());
   EXPECT_TRUE(BladeManager::Unregister(&server, project).ok());
   ASSERT_TRUE(server.CloseSession(session).ok());
+}
+
+// Regression: mi_named_alloc(0) used to hand back data() of an empty
+// vector — not a pointer a UDR may write through. Zero-size allocations
+// clamp to one byte, exactly like MiMemory::Alloc.
+TEST(MiNamedMemory, ZeroSizeAllocReturnsWritablePointer) {
+  MiNamedMemory named;
+  void* ptr = nullptr;
+  ASSERT_TRUE(named.NamedAlloc("grt_zero_block", 0, &ptr).ok());
+  ASSERT_NE(ptr, nullptr);
+  *static_cast<uint8_t*>(ptr) = 0xAB;
+  void* again = nullptr;
+  ASSERT_TRUE(named.NamedGet("grt_zero_block", &again).ok());
+  EXPECT_EQ(again, ptr);
+  EXPECT_EQ(*static_cast<uint8_t*>(again), 0xAB);
+  ASSERT_TRUE(named.NamedFree("grt_zero_block").ok());
 }
 
 }  // namespace

@@ -131,6 +131,73 @@ TEST(Pager, AllPinnedExhaustsPool) {
   pager.Unpin(c);
 }
 
+// Regression: NewPage must not extend the space before it has a frame to
+// hold the page. Extend is irreversible, so the old order leaked one page
+// per failed NewPage whenever the pool was fully pinned.
+TEST(Pager, FailedNewPageDoesNotLeakPages) {
+  MemorySpace space;
+  Pager pager(&space, 1);
+  PageId a, b;
+  uint8_t* data;
+  ASSERT_TRUE(pager.NewPage(&a, &data).ok());  // pins the only frame
+  EXPECT_FALSE(pager.NewPage(&b, &data).ok());
+  EXPECT_FALSE(pager.NewPage(&b, &data).ok());
+  EXPECT_EQ(space.page_count(), 1u);  // no orphaned pages from the failures
+  pager.Unpin(a);
+  ASSERT_TRUE(pager.NewPage(&b, &data).ok());
+  EXPECT_EQ(space.page_count(), 2u);
+  pager.Unpin(b);
+}
+
+// A Space whose reads can be made to fail on demand.
+class FlakySpace final : public Space {
+ public:
+  Status ReadPage(PageId id, uint8_t* out) override {
+    if (fail_reads) return Status::IOError("injected read failure");
+    return inner.ReadPage(id, out);
+  }
+  Status WritePage(PageId id, const uint8_t* data) override {
+    return inner.WritePage(id, data);
+  }
+  PageId page_count() const override { return inner.page_count(); }
+  Status Extend(PageId* id) override { return inner.Extend(id); }
+  Status Sync() override { return inner.Sync(); }
+
+  MemorySpace inner;
+  bool fail_reads = false;
+};
+
+// Regression: a failed physical read must leave no stale frame or page
+// table entry behind — the next fetch retries the read instead of serving
+// garbage or a phantom pin.
+TEST(Pager, FailedFetchLeavesNoStaleState) {
+  FlakySpace space;
+  Pager pager(&space, 2);
+  PageId id;
+  uint8_t* data;
+  ASSERT_TRUE(pager.NewPage(&id, &data).ok());
+  data[0] = 0x5A;
+  pager.MarkDirty(id);
+  pager.Unpin(id);
+  ASSERT_TRUE(pager.FlushAll().ok());
+
+  // Evict the page by filling the pool with fresh pages.
+  PageId other;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pager.NewPage(&other, &data).ok());
+    pager.Unpin(other);
+  }
+
+  space.fail_reads = true;
+  EXPECT_FALSE(pager.FetchPage(id, &data).ok());
+  // The failed fetch must not have cached anything for `id`: fetching again
+  // with reads healthy goes back to the space and gets the real bytes.
+  space.fail_reads = false;
+  ASSERT_TRUE(pager.FetchPage(id, &data).ok());
+  EXPECT_EQ(data[0], 0x5A);
+  pager.Unpin(id);
+}
+
 TEST(Pager, FlushAllPersistsToSpace) {
   MemorySpace space;
   {

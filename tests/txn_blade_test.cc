@@ -55,6 +55,38 @@ TEST(LockManager, UpgradeWhenSoleHolder) {
   EXPECT_TRUE(lm.Acquire(2, kResB, LockMode::kExclusive).IsLockTimeout());
 }
 
+// Two shared holders that both want exclusive can never grant each other:
+// the second upgrader must fail fast with Deadlock, not burn its timeout.
+TEST(LockManager, UpgradeUpgradeDeadlockDetected) {
+  LockManager lm(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(2, kResA, LockMode::kShared).ok());
+  const auto start = std::chrono::steady_clock::now();
+  Status first, second;
+  std::thread upgrader([&] {
+    first = lm.Acquire(1, kResA, LockMode::kExclusive);
+    if (first.IsDeadlock()) lm.ReleaseAll(1);  // victim aborts
+  });
+  // Let txn 1 start waiting on its upgrade before txn 2 collides with it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  second = lm.Acquire(2, kResA, LockMode::kExclusive);
+  if (second.IsDeadlock()) lm.ReleaseAll(2);
+  upgrader.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Exactly one side is the victim; the survivor ends up exclusive.
+  ASSERT_NE(first.IsDeadlock(), second.IsDeadlock());
+  if (second.IsDeadlock()) {
+    EXPECT_TRUE(first.ok()) << first.ToString();
+    EXPECT_TRUE(lm.Holds(1, kResA, LockMode::kExclusive));
+  } else {
+    EXPECT_TRUE(second.ok()) << second.ToString();
+    EXPECT_TRUE(lm.Holds(2, kResA, LockMode::kExclusive));
+  }
+  EXPECT_EQ(lm.stats().deadlocks, 1u);
+  // Detection is eager — nowhere near the 5 s lock timeout.
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
 TEST(LockManager, ReleaseAllWakesWaiters) {
   LockManager lm(std::chrono::milliseconds(2000));
   ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kExclusive).ok());
