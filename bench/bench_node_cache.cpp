@@ -1,0 +1,205 @@
+// Node-cache effectiveness across the four §5.3 storage layouts: the same
+// GR-tree repeated-query workload runs with the cache off and on, and the
+// table reports the *physical* node I/O the base store saw (node_reads +
+// lo_opens) plus the cache hit rate. Self-checking: exits non-zero unless
+// the cache strictly reduces physical node I/O for every layout.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/grtree.h"
+#include "storage/node_cache.h"
+#include "storage/node_store.h"
+#include "storage/pager.h"
+#include "storage/sbspace.h"
+#include "storage/space.h"
+#include "temporal/predicates.h"
+
+namespace grtdb {
+namespace {
+
+enum class Layout { kPager, kSingleLo, kClusteredLo, kExternalFile };
+
+const char* Name(Layout layout) {
+  switch (layout) {
+    case Layout::kPager: return "pager";
+    case Layout::kSingleLo: return "single_lo";
+    case Layout::kClusteredLo: return "clustered_lo";
+    case Layout::kExternalFile: return "external_file";
+  }
+  return "?";
+}
+
+constexpr size_t kCachePages = 48;
+constexpr int kExtents = 2000;
+constexpr int kQueryRounds = 8;
+constexpr int kQueriesPerRound = 25;
+
+struct Backing {
+  MemorySpace space;
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<Sbspace> sbspace;
+  std::string path;
+  std::unique_ptr<NodeStore> base;
+  std::unique_ptr<NodeCache> cache;
+  NodeStore* store = nullptr;  // what the tree runs on
+
+  ~Backing() {
+    cache.reset();
+    base.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+std::unique_ptr<Backing> MakeBacking(Layout layout, bool cached) {
+  auto backing = std::make_unique<Backing>();
+  switch (layout) {
+    case Layout::kPager: {
+      backing->pager = std::make_unique<Pager>(&backing->space, 1024);
+      backing->base = std::make_unique<PagerNodeStore>(backing->pager.get());
+      break;
+    }
+    case Layout::kSingleLo:
+    case Layout::kClusteredLo: {
+      auto sbspace_or = Sbspace::Open(&backing->space, 1024);
+      bench::Check(sbspace_or.ok() ? Status::OK() : sbspace_or.status(),
+                   "sbspace open");
+      backing->sbspace = std::move(sbspace_or).value();
+      if (layout == Layout::kSingleLo) {
+        auto store_or =
+            SingleLoNodeStore::Open(backing->sbspace.get(), LoHandle{});
+        bench::Check(store_or.ok() ? Status::OK() : store_or.status(),
+                     "single-lo open");
+        backing->base = std::move(store_or).value();
+      } else {
+        backing->base = std::make_unique<ClusteredLoNodeStore>(
+            backing->sbspace.get(), /*nodes_per_lo=*/8);
+      }
+      break;
+    }
+    case Layout::kExternalFile: {
+      backing->path = (std::filesystem::temp_directory_path() /
+                       "bench_node_cache.dat")
+                          .string();
+      std::remove(backing->path.c_str());
+      auto store_or = ExternalFileNodeStore::Open(backing->path);
+      bench::Check(store_or.ok() ? Status::OK() : store_or.status(),
+                   "external-file open");
+      backing->base = std::move(store_or).value();
+      break;
+    }
+  }
+  if (cached) {
+    backing->cache =
+        std::make_unique<NodeCache>(backing->base.get(), kCachePages);
+    backing->store = backing->cache.get();
+  } else {
+    backing->store = backing->base.get();
+  }
+  return backing;
+}
+
+TimeExtent ExtentFor(int i) {
+  const int64_t tt = 10 + (i % 499) * 2;
+  return TimeExtent::Ground(tt, tt + 4, tt - 5, tt + 25);
+}
+
+TimeExtent QueryFor(int i) {
+  const int64_t tt = 10 + (i % kQueriesPerRound) * 37;
+  return TimeExtent::Ground(tt, tt + 60, tt - 20, tt + 80);
+}
+
+struct RunResult {
+  uint64_t node_reads = 0;
+  uint64_t lo_opens = 0;
+  double hit_rate = 0.0;
+  double ms = 0.0;
+  size_t results = 0;
+};
+
+RunResult RunWorkload(Layout layout, bool cached) {
+  auto backing = MakeBacking(layout, cached);
+  GRTree::Options options;
+  options.max_entries = 32;  // deep enough that traversal re-reads pay off
+  NodeId anchor = kInvalidNodeId;
+  auto tree_or = GRTree::Create(backing->store, options, &anchor);
+  bench::Check(tree_or.ok() ? Status::OK() : tree_or.status(), "create");
+  auto tree = std::move(tree_or).value();
+  for (int i = 0; i < kExtents; ++i) {
+    bench::Check(tree->Insert(ExtentFor(i), i + 1, 10000), "insert");
+  }
+  // Only the query phase is measured.
+  backing->base->ResetStats();
+  if (backing->cache != nullptr) backing->cache->ResetStats();
+
+  RunResult run;
+  bench::Timer timer;
+  for (int round = 0; round < kQueryRounds; ++round) {
+    for (int q = 0; q < kQueriesPerRound; ++q) {
+      std::vector<GRTree::Entry> results;
+      bench::Check(tree->SearchAll(PredicateOp::kOverlaps, QueryFor(q),
+                                   10000, &results),
+                   "search");
+      run.results += results.size();
+    }
+  }
+  run.ms = timer.ElapsedMs();
+  run.node_reads = backing->base->stats().node_reads;
+  run.lo_opens = backing->base->stats().lo_opens;
+  if (backing->cache != nullptr) {
+    run.hit_rate = backing->cache->stats().cache_hit_rate();
+  }
+  return run;
+}
+
+int Run() {
+  std::printf(
+      "bench_node_cache: %d extents, %d rounds x %d overlap queries, "
+      "cache %zu frames\n\n",
+      kExtents, kQueryRounds, kQueriesPerRound, kCachePages);
+  bench::TablePrinter table({"layout", "cache", "node_reads", "lo_opens",
+                             "physical_io", "hit_rate", "ms"});
+  bool ok = true;
+  for (Layout layout : {Layout::kPager, Layout::kSingleLo,
+                        Layout::kClusteredLo, Layout::kExternalFile}) {
+    const RunResult off = RunWorkload(layout, /*cached=*/false);
+    const RunResult on = RunWorkload(layout, /*cached=*/true);
+    if (off.results != on.results) {
+      std::fprintf(stderr, "FATAL %s: result mismatch (%zu vs %zu)\n",
+                   Name(layout), off.results, on.results);
+      return 1;
+    }
+    const uint64_t io_off = off.node_reads + off.lo_opens;
+    const uint64_t io_on = on.node_reads + on.lo_opens;
+    table.AddRow({Name(layout), "off", std::to_string(off.node_reads),
+                  std::to_string(off.lo_opens), std::to_string(io_off), "-",
+                  bench::Fmt(off.ms)});
+    table.AddRow({Name(layout), "on", std::to_string(on.node_reads),
+                  std::to_string(on.lo_opens), std::to_string(io_on),
+                  bench::Fmt(100.0 * on.hit_rate) + "%",
+                  bench::Fmt(on.ms)});
+    if (io_on >= io_off) {
+      std::fprintf(stderr,
+                   "FATAL %s: cache did not reduce physical node I/O "
+                   "(%llu -> %llu)\n",
+                   Name(layout), static_cast<unsigned long long>(io_off),
+                   static_cast<unsigned long long>(io_on));
+      ok = false;
+    }
+  }
+  table.Print();
+  if (!ok) return 1;
+  std::printf("\nbench_node_cache: cache reduced physical node I/O on all "
+              "four layouts\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace grtdb
+
+int main() { return grtdb::Run(); }

@@ -9,6 +9,7 @@
 #include "blades/timeextent.h"
 #include "common/strings.h"
 #include "storage/layout.h"
+#include "storage/node_cache.h"
 #include "storage/wal_store.h"
 #include "temporal/predicates.h"
 
@@ -35,6 +36,11 @@ struct GrtScanState {
 struct GrtTreeState {
   GRTreeBladeOptions options;
   std::unique_ptr<NodeStore> base_store;
+  // Buffer-managed frame pool directly above the base layout; the WAL and
+  // lock decorators sit on top so their semantics are unchanged. Declared
+  // here so destruction (reverse order) tears down locking → WAL → cache
+  // → base and the cache's write-back lands in a live base store.
+  std::unique_ptr<NodeCache> node_cache;
   // kExternalFile only: the developer-built recovery layer of §5.3 — the
   // server's own logging covers sbspace LOs, an OS file gets nothing.
   std::unique_ptr<WalNodeStore> wal_store;
@@ -147,10 +153,18 @@ Status MakeStore(MiCallContext& ctx, GrtTreeState* state,
     auto store_or = ExternalFileNodeStore::Open(path);
     if (!store_or.ok()) return store_or.status();
     state->base_store = std::move(store_or).value();
+    NodeStore* wal_inner = state->base_store.get();
+    if (options.node_cache_pages > 0) {
+      // Cache below the WAL: safe because the WAL flushes its inner store
+      // (here: the cache, which writes back) before every log truncation.
+      state->node_cache = std::make_unique<NodeCache>(
+          wal_inner, options.node_cache_pages);
+      state->node_cache->set_trace(&ctx.server->trace());
+      wal_inner = state->node_cache.get();
+    }
     // §5.3: with an OS file the DataBlade must provide all recovery
     // itself. Every open replays whatever a previous crash left behind.
-    auto wal_or =
-        WalNodeStore::Open(state->base_store.get(), path + ".wal");
+    auto wal_or = WalNodeStore::Open(wal_inner, path + ".wal");
     if (!wal_or.ok()) return wal_or.status();
     state->wal_store = std::move(wal_or).value();
     state->wal_store->set_trace(&ctx.server->trace());
@@ -195,12 +209,19 @@ Status MakeStore(MiCallContext& ctx, GrtTreeState* state,
     case GRTreeBladeOptions::Storage::kExternalFile:
       break;  // handled above
   }
+  NodeStore* tree_store = state->base_store.get();
+  if (options.node_cache_pages > 0) {
+    state->node_cache =
+        std::make_unique<NodeCache>(tree_store, options.node_cache_pages);
+    state->node_cache->set_trace(&ctx.server->trace());
+    tree_store = state->node_cache.get();
+  }
   if (options.lock_large_objects) {
     state->locking_store = std::make_unique<LockingNodeStore>(
-        state->base_store.get(), &ctx.server->lock_manager(), ctx.session);
+        tree_store, &ctx.server->lock_manager(), ctx.session);
     state->store = state->locking_store.get();
   } else {
-    state->store = state->base_store.get();
+    state->store = tree_store;
   }
   return Status::OK();
 }
@@ -390,6 +411,13 @@ BladeFns MakeBladeFns(const GRTreeBladeOptions& options) {
     }
     Status persist = PersistRecord(ctx, state, desc->index, am_name);
     if (status.ok()) status = persist;
+    // Write dirty cached nodes back to the (server-shared) base storage
+    // while this statement's exclusive LO locks are still held — the next
+    // opener builds a fresh cache and must see them.
+    if (state->node_cache != nullptr) {
+      Status flushed = state->node_cache->Flush();
+      if (status.ok()) status = flushed;
+    }
     if (state->locking_store != nullptr) {
       state->locking_store->ReleaseSharedOnClose();
     }

@@ -37,6 +37,11 @@ class LockingNodeStore final : public NodeStore {
     return inner_->WriteNode(id, data);
   }
 
+  Status ViewNode(NodeId id, NodeView* view) override {
+    GRTDB_RETURN_IF_ERROR(LockFor(id, LockMode::kShared));
+    return inner_->ViewNode(id, view);  // zero-copy when inner is a cache
+  }
+
   uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
   Status Flush() override { return inner_->Flush(); }
 

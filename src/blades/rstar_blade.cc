@@ -6,6 +6,7 @@
 #include "blades/locking_store.h"
 #include "blades/timeextent.h"
 #include "storage/layout.h"
+#include "storage/node_cache.h"
 #include "temporal/predicates.h"
 
 namespace grtdb {
@@ -32,6 +33,9 @@ struct RstScanState {
 struct RstTreeState {
   RStarBladeOptions options;
   std::unique_ptr<NodeStore> base_store;
+  // Frame pool above the base store; locking decorates the cache so the
+  // destruction order (locking → cache → base) keeps write-back safe.
+  std::unique_ptr<NodeCache> node_cache;
   std::unique_ptr<LockingNodeStore> locking_store;
   NodeStore* store = nullptr;
   std::unique_ptr<RStarTree> tree;
@@ -91,9 +95,9 @@ BladeFns MakeBladeFns(const RStarBladeOptions& options) {
   BladeFns fns;
   const std::string am_name = options.am_name;
 
-  auto make_store = [](MiCallContext& ctx, RstTreeState* state,
-                       const IndexDef* index, LoHandle handle,
-                       LoHandle* out_handle) -> Status {
+  auto make_store = [options](MiCallContext& ctx, RstTreeState* state,
+                              const IndexDef* index, LoHandle handle,
+                              LoHandle* out_handle) -> Status {
     Sbspace* sbspace = ctx.server->FindSbspace(index->space);
     if (sbspace == nullptr) {
       return Status::NotFound("sbspace '" + index->space + "'");
@@ -102,8 +106,15 @@ BladeFns MakeBladeFns(const RStarBladeOptions& options) {
     if (!store_or.ok()) return store_or.status();
     *out_handle = store_or.value()->handle();
     state->base_store = std::move(store_or).value();
+    NodeStore* tree_store = state->base_store.get();
+    if (options.node_cache_pages > 0) {
+      state->node_cache =
+          std::make_unique<NodeCache>(tree_store, options.node_cache_pages);
+      state->node_cache->set_trace(&ctx.server->trace());
+      tree_store = state->node_cache.get();
+    }
     state->locking_store = std::make_unique<LockingNodeStore>(
-        state->base_store.get(), &ctx.server->lock_manager(), ctx.session);
+        tree_store, &ctx.server->lock_manager(), ctx.session);
     state->store = state->locking_store.get();
     return Status::OK();
   };
@@ -162,12 +173,18 @@ BladeFns MakeBladeFns(const RStarBladeOptions& options) {
   fns.close = [](MiCallContext&, MiAmTableDesc* desc) -> Status {
     RstTreeState* state = StateOf(desc);
     if (state == nullptr) return Status::OK();
+    Status status = Status::OK();
+    // Write back dirty cached nodes while this statement's exclusive LO
+    // locks are still held; the next opener builds a fresh cache.
+    if (state->node_cache != nullptr) {
+      status = state->node_cache->Flush();
+    }
     if (state->locking_store != nullptr) {
       state->locking_store->ReleaseSharedOnClose();
     }
     delete state;
     desc->user_data = nullptr;
-    return Status::OK();
+    return status;
   };
 
   fns.drop = [am_name, open_tree](MiCallContext& ctx,

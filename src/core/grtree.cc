@@ -118,8 +118,9 @@ StatusOr<std::unique_ptr<GRTree>> GRTree::Open(NodeStore* store,
 }
 
 Status GRTree::LoadAnchor() {
-  uint8_t page[kPageSize];
-  GRTDB_RETURN_IF_ERROR(store_->ReadNode(anchor_, page));
+  NodeView view;
+  GRTDB_RETURN_IF_ERROR(store_->ViewNode(anchor_, &view));
+  const uint8_t* page = view.data();
   if (LoadU32(page) != kAnchorMagic) {
     return Status::Corruption("bad GR-tree anchor magic");
   }
@@ -144,8 +145,12 @@ Status GRTree::SaveAnchor() {
 }
 
 Status GRTree::ReadNode(NodeId id, Node* node) const {
-  uint8_t page[kPageSize];
-  GRTDB_RETURN_IF_ERROR(store_->ReadNode(id, page));
+  // Zero-copy on cached stores: decode straight out of the pinned frame.
+  // The view (and the cache's read latch) is released on return, before
+  // any write can happen on this store from this thread.
+  NodeView view;
+  GRTDB_RETURN_IF_ERROR(store_->ViewNode(id, &view));
+  const uint8_t* page = view.data();
   node->level = LoadU32(page);
   const uint32_t count = LoadU32(page + 4);
   if (count > MaxEntriesForPage()) {

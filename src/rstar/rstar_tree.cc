@@ -61,8 +61,9 @@ StatusOr<std::unique_ptr<RStarTree>> RStarTree::Open(NodeStore* store,
 }
 
 Status RStarTree::LoadAnchor() {
-  uint8_t page[kPageSize];
-  GRTDB_RETURN_IF_ERROR(store_->ReadNode(anchor_, page));
+  NodeView view;
+  GRTDB_RETURN_IF_ERROR(store_->ViewNode(anchor_, &view));
+  const uint8_t* page = view.data();
   if (LoadU32(page) != kAnchorMagic) {
     return Status::Corruption("bad R*-tree anchor magic");
   }
@@ -83,8 +84,10 @@ Status RStarTree::SaveAnchor() {
 }
 
 Status RStarTree::ReadNode(NodeId id, Node* node) const {
-  uint8_t page[kPageSize];
-  GRTDB_RETURN_IF_ERROR(store_->ReadNode(id, page));
+  // Zero-copy on cached stores: decode straight out of the pinned frame.
+  NodeView view;
+  GRTDB_RETURN_IF_ERROR(store_->ViewNode(id, &view));
+  const uint8_t* page = view.data();
   node->level = LoadU32(page);
   const uint32_t count = LoadU32(page + 4);
   if (count > MaxEntriesForPage()) {

@@ -1,0 +1,227 @@
+#include "storage/node_cache.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace grtdb {
+
+NodeCache::NodeCache(NodeStore* inner, size_t capacity)
+    : inner_(inner), frames_(capacity == 0 ? 1 : capacity) {
+  for (Frame& frame : frames_) {
+    frame.data = std::make_unique<uint8_t[]>(kPageSize);
+  }
+}
+
+NodeCache::~NodeCache() {
+  // Best-effort write-back so a cache dropped without Flush() does not
+  // strand dirty pages (blades still Flush explicitly to see the status).
+  std::unique_lock lock(latch_);
+  for (Frame& frame : frames_) {
+    if (frame.node_id != kInvalidNodeId && frame.dirty) {
+      Status s = WriteBackLocked(frame);
+      (void)s;
+    }
+  }
+}
+
+Status NodeCache::WriteBackLocked(Frame& frame) {
+  GRTDB_RETURN_IF_ERROR(inner_->WriteNode(frame.node_id, frame.data.get()));
+  frame.dirty = false;
+  write_backs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status NodeCache::GrabFrameLocked(size_t* frame) {
+  size_t victim = frames_.size();
+  uint64_t victim_tick = ~0ull;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].pins.load(std::memory_order_acquire) != 0) continue;
+    if (frames_[i].node_id == kInvalidNodeId) {
+      victim = i;
+      break;
+    }
+    const uint64_t tick = frames_[i].lru_tick.load(std::memory_order_relaxed);
+    if (tick < victim_tick) {
+      victim = i;
+      victim_tick = tick;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::Internal("node cache: all frames pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.node_id != kInvalidNodeId) {
+    const bool was_dirty = f.dirty;
+    if (was_dirty) {
+      GRTDB_RETURN_IF_ERROR(WriteBackLocked(f));
+    }
+    if (trace_ != nullptr) {
+      trace_->Tprintf("cache", 2, "evict node %llu%s",
+                      static_cast<unsigned long long>(f.node_id),
+                      was_dirty ? " (dirty)" : "");
+    }
+    node_table_.erase(f.node_id);
+    f.node_id = kInvalidNodeId;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  *frame = victim;
+  return Status::OK();
+}
+
+Status NodeCache::PinFrame(NodeId id, size_t* frame,
+                           std::shared_lock<std::shared_mutex>* latch) {
+  {
+    std::shared_lock shared(latch_);
+    auto it = node_table_.find(id);
+    if (it != node_table_.end()) {
+      Frame& f = frames_[it->second];
+      f.pins.fetch_add(1, std::memory_order_acq_rel);
+      f.lru_tick.store(NextTick(), std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      *frame = it->second;
+      *latch = std::move(shared);
+      return Status::OK();
+    }
+  }
+  {
+    std::unique_lock exclusive(latch_);
+    auto it = node_table_.find(id);
+    if (it == node_table_.end()) {
+      size_t slot;
+      GRTDB_RETURN_IF_ERROR(GrabFrameLocked(&slot));
+      Frame& f = frames_[slot];
+      GRTDB_RETURN_IF_ERROR(inner_->ReadNode(id, f.data.get()));
+      f.node_id = id;
+      f.dirty = false;
+      node_table_[id] = slot;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      it = node_table_.find(id);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Frame& f = frames_[it->second];
+    f.pins.fetch_add(1, std::memory_order_acq_rel);
+    f.lru_tick.store(NextTick(), std::memory_order_relaxed);
+    *frame = it->second;
+  }
+  // Downgrade: the pin keeps the frame (and its mapping's data buffer)
+  // alive across the latch gap, so re-acquiring shared is safe.
+  *latch = std::shared_lock(latch_);
+  return Status::OK();
+}
+
+void NodeCache::Unpin(size_t frame) {
+  frames_[frame].pins.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Status NodeCache::ReadNode(NodeId id, uint8_t* out) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  size_t frame;
+  std::shared_lock<std::shared_mutex> latch;
+  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch));
+  std::memcpy(out, frames_[frame].data.get(), kPageSize);
+  latch.unlock();
+  Unpin(frame);
+  return Status::OK();
+}
+
+Status NodeCache::ViewNode(NodeId id, NodeView* view) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  size_t frame;
+  std::shared_lock<std::shared_mutex> latch;
+  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch));
+  view->AdoptPinned(this, frame, frames_[frame].data.get(),
+                    std::move(latch));
+  return Status::OK();
+}
+
+Status NodeCache::FrameForWriteLocked(NodeId id, size_t* frame) {
+  auto it = node_table_.find(id);
+  if (it != node_table_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *frame = it->second;
+    return Status::OK();
+  }
+  // Write-allocate without reading the inner store: WriteNode replaces the
+  // whole kPageSize image anyway.
+  GRTDB_RETURN_IF_ERROR(GrabFrameLocked(frame));
+  Frame& f = frames_[*frame];
+  f.node_id = id;
+  f.dirty = false;
+  node_table_[id] = *frame;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status NodeCache::WriteNode(NodeId id, const uint8_t* data) {
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(latch_);
+  size_t frame;
+  GRTDB_RETURN_IF_ERROR(FrameForWriteLocked(id, &frame));
+  Frame& f = frames_[frame];
+  std::memcpy(f.data.get(), data, kPageSize);
+  f.dirty = true;
+  f.lru_tick.store(NextTick(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status NodeCache::AllocateNode(NodeId* id) {
+  std::unique_lock lock(latch_);
+  return inner_->AllocateNode(id);
+}
+
+Status NodeCache::FreeNode(NodeId id) {
+  std::unique_lock lock(latch_);
+  auto it = node_table_.find(id);
+  if (it != node_table_.end()) {
+    // Drop the frame without write-back: the inner FreeNode may repurpose
+    // the slot (e.g. SingleLo scribbles its free-list next pointer), and a
+    // later dirty write-back of the dead image would corrupt it.
+    Frame& f = frames_[it->second];
+    f.node_id = kInvalidNodeId;
+    f.dirty = false;
+    node_table_.erase(it);
+  }
+  return inner_->FreeNode(id);
+}
+
+Status NodeCache::Flush() {
+  std::unique_lock lock(latch_);
+  uint64_t flushed = 0;
+  for (Frame& frame : frames_) {
+    if (frame.node_id != kInvalidNodeId && frame.dirty) {
+      GRTDB_RETURN_IF_ERROR(WriteBackLocked(frame));
+      ++flushed;
+    }
+  }
+  if (trace_ != nullptr && trace_->Enabled("cache", 1)) {
+    trace_->Tprintf("cache", 1,
+                    "flush: wrote back %llu dirty frame(s), %zu resident",
+                    static_cast<unsigned long long>(flushed),
+                    node_table_.size());
+  }
+  return inner_->Flush();
+}
+
+const NodeStoreStats& NodeCache::stats() const {
+  std::lock_guard guard(snapshot_mu_);
+  snapshot_.node_reads = reads_.load(std::memory_order_relaxed);
+  snapshot_.node_writes = writes_.load(std::memory_order_relaxed);
+  snapshot_.lo_opens = 0;
+  snapshot_.cache_hits = hits_.load(std::memory_order_relaxed);
+  snapshot_.cache_misses = misses_.load(std::memory_order_relaxed);
+  snapshot_.cache_evictions = evictions_.load(std::memory_order_relaxed);
+  snapshot_.cache_write_backs = write_backs_.load(std::memory_order_relaxed);
+  return snapshot_;
+}
+
+void NodeCache::ResetStats() {
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  write_backs_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace grtdb

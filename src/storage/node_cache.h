@@ -1,0 +1,99 @@
+#ifndef GRTDB_STORAGE_NODE_CACHE_H_
+#define GRTDB_STORAGE_NODE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "blade/trace.h"
+#include "common/status.h"
+#include "storage/node_store.h"
+
+namespace grtdb {
+
+// A buffer-managed node cache decorating any NodeStore, in the GiST-style
+// layered spirit: placed below the tree, every §5.3 storage layout gets the
+// same LRU frame pool, so repeated traversals stop paying an LoRead or
+// pager copy per node touch. Write policy is write-back: WriteNode dirties
+// the frame and the page reaches the inner store on eviction, Flush(), or
+// destruction. Reads can be zero-copy via ViewNode, which returns a pinned
+// frame guarded by the cache's reader latch.
+//
+// Concurrency: a reader-writer latch protects the frame table. Lookups and
+// frame reads take it shared (pin counts and LRU ticks are atomics);
+// anything that loads, evicts, writes, or remaps frames takes it exclusive.
+// A NodeView from ViewNode holds the shared latch for its lifetime, so a
+// thread must drop its views before calling a mutating method on the same
+// cache — the pin discipline DESIGN.md documents.
+class NodeCache final : public NodeStore {
+ public:
+  // `inner` must outlive the cache. `capacity` is the frame count (>=1).
+  NodeCache(NodeStore* inner, size_t capacity);
+  ~NodeCache() override;
+
+  Status AllocateNode(NodeId* id) override;
+  Status FreeNode(NodeId id) override;
+  Status ReadNode(NodeId id, uint8_t* out) override;
+  Status WriteNode(NodeId id, const uint8_t* data) override;
+  Status ViewNode(NodeId id, NodeView* view) override;
+  uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
+
+  // Writes back every dirty frame, then flushes the inner store. Frames
+  // stay resident (a flush is not an invalidation).
+  Status Flush() override;
+
+  // Logical traffic seen by the cache plus hit/miss/eviction/write-back
+  // counters; physical I/O remains on the inner store's stats.
+  const NodeStoreStats& stats() const override;
+  void ResetStats() override;
+
+  size_t capacity() const { return frames_.size(); }
+  NodeStore* inner() const { return inner_; }
+  void set_trace(TraceFacility* trace) { trace_ = trace; }
+
+  // Called by NodeView::Reset when a pinned view is dropped.
+  void Unpin(size_t frame);
+
+ private:
+  struct Frame {
+    std::atomic<uint32_t> pins{0};
+    std::atomic<uint64_t> lru_tick{0};
+    NodeId node_id = kInvalidNodeId;
+    bool dirty = false;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  // Returns with `latch` holding latch_ shared and the frame pinned.
+  Status PinFrame(NodeId id, size_t* frame,
+                  std::shared_lock<std::shared_mutex>* latch);
+  // Both require latch_ held exclusive.
+  Status GrabFrameLocked(size_t* frame);
+  Status FrameForWriteLocked(NodeId id, size_t* frame);
+  Status WriteBackLocked(Frame& frame);
+  uint64_t NextTick() { return tick_.fetch_add(1) + 1; }
+
+  NodeStore* inner_;
+  TraceFacility* trace_ = nullptr;
+
+  mutable std::shared_mutex latch_;
+  std::vector<Frame> frames_;
+  std::unordered_map<NodeId, size_t> node_table_;
+  std::atomic<uint64_t> tick_{0};
+
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> write_backs_{0};
+
+  mutable std::mutex snapshot_mu_;
+  mutable NodeStoreStats snapshot_;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_STORAGE_NODE_CACHE_H_

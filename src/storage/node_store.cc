@@ -1,10 +1,59 @@
 #include "storage/node_store.h"
 
 #include <cstring>
+#include <utility>
 
 #include "storage/layout.h"
+#include "storage/node_cache.h"
 
 namespace grtdb {
+
+// ------------------------------------------------------------- NodeView ---
+
+NodeView& NodeView::operator=(NodeView&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    owned_ = std::move(other.owned_);
+    cache_ = std::exchange(other.cache_, nullptr);
+    frame_ = other.frame_;
+    latch_ = std::move(other.latch_);
+  }
+  return *this;
+}
+
+void NodeView::Reset() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(frame_);
+    cache_ = nullptr;
+  }
+  latch_ = std::shared_lock<std::shared_mutex>();
+  owned_.reset();
+  data_ = nullptr;
+}
+
+void NodeView::AdoptOwned(std::unique_ptr<uint8_t[]> owned) {
+  Reset();
+  data_ = owned.get();
+  owned_ = std::move(owned);
+}
+
+void NodeView::AdoptPinned(NodeCache* cache, size_t frame,
+                           const uint8_t* data,
+                           std::shared_lock<std::shared_mutex> latch) {
+  Reset();
+  data_ = data;
+  cache_ = cache;
+  frame_ = frame;
+  latch_ = std::move(latch);
+}
+
+Status NodeStore::ViewNode(NodeId id, NodeView* view) {
+  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  GRTDB_RETURN_IF_ERROR(ReadNode(id, buf.get()));
+  view->AdoptOwned(std::move(buf));
+  return Status::OK();
+}
 
 // ---------------------------------------------------------------- Pager ---
 
@@ -12,6 +61,17 @@ Status PagerNodeStore::AllocateNode(NodeId* id) {
   if (!free_list_.empty()) {
     *id = free_list_.back();
     free_list_.pop_back();
+    // Zero the recycled slot: the AllocateNode contract promises a zeroed
+    // page, but the previous occupant's bytes are still in the frame.
+    uint8_t* data;
+    Status s = pager_->FetchPage(static_cast<PageId>(*id), &data);
+    if (!s.ok()) {
+      free_list_.push_back(static_cast<PageId>(*id));
+      return s;
+    }
+    std::memset(data, 0, kPageSize);
+    pager_->MarkDirty(static_cast<PageId>(*id));
+    pager_->Unpin(static_cast<PageId>(*id));
     return Status::OK();
   }
   PageId page;
@@ -86,6 +146,12 @@ Status SingleLoNodeStore::AllocateNode(NodeId* id) {
     GRTDB_RETURN_IF_ERROR(
         sbspace_->LoRead(handle_, free_head_ * kPageSize, 8, next_buf));
     free_head_ = LoadU64(next_buf);
+    // Zero the recycled slot; FreeNode only overwrote the first 8 bytes
+    // with the next pointer, the rest still holds the previous occupant.
+    uint8_t zeros[kPageSize];
+    std::memset(zeros, 0, sizeof(zeros));
+    GRTDB_RETURN_IF_ERROR(
+        sbspace_->LoWrite(handle_, *id * kPageSize, kPageSize, zeros));
     return StoreHeader();
   }
   *id = node_count_;
@@ -134,13 +200,12 @@ Status ClusteredLoNodeStore::HandleForCluster(uint64_t cluster, bool create,
     cluster_handles_.resize(cluster + 1);
   }
   GRTDB_RETURN_IF_ERROR(sbspace_->CreateLo(&cluster_handles_[cluster]));
-  // Materialize the whole cluster so unwritten slots read back zeroed.
-  uint8_t zeros[kPageSize];
-  std::memset(zeros, 0, sizeof(zeros));
-  for (uint64_t i = 0; i < nodes_per_lo_; ++i) {
-    GRTDB_RETURN_IF_ERROR(sbspace_->LoWrite(
-        cluster_handles_[cluster], i * kPageSize, kPageSize, zeros));
-  }
+  // Materialize the whole cluster in one ranged write so first touch is
+  // O(1) I/O calls, and charge the creation as a single LO open.
+  ++stats_.lo_opens;
+  std::vector<uint8_t> zeros(nodes_per_lo_ * kPageSize, 0);
+  GRTDB_RETURN_IF_ERROR(sbspace_->LoWrite(cluster_handles_[cluster], 0,
+                                          zeros.size(), zeros.data()));
   *handle = cluster_handles_[cluster];
   return Status::OK();
 }
@@ -149,7 +214,14 @@ Status ClusteredLoNodeStore::AllocateNode(NodeId* id) {
   if (!free_list_.empty()) {
     *id = free_list_.back();
     free_list_.pop_back();
-    return Status::OK();
+    // Zero the recycled slot per the AllocateNode contract.
+    LoHandle handle;
+    GRTDB_RETURN_IF_ERROR(
+        HandleForCluster(*id / nodes_per_lo_, /*create=*/false, &handle));
+    uint8_t zeros[kPageSize];
+    std::memset(zeros, 0, sizeof(zeros));
+    return sbspace_->LoWrite(handle, (*id % nodes_per_lo_) * kPageSize,
+                             kPageSize, zeros);
   }
   *id = node_count_;
   ++node_count_;
@@ -204,7 +276,12 @@ Status ExternalFileNodeStore::AllocateNode(NodeId* id) {
   if (!free_list_.empty()) {
     *id = free_list_.back();
     free_list_.pop_back();
-    return Status::OK();
+    // Zero the recycled slot per the AllocateNode contract.
+    uint8_t zeros[kPageSize];
+    std::memset(zeros, 0, sizeof(zeros));
+    Status s = file_->WritePage(static_cast<PageId>(*id), zeros);
+    if (!s.ok()) free_list_.push_back(*id);
+    return s;
   }
   PageId page;
   GRTDB_RETURN_IF_ERROR(file_->Extend(&page));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,11 +16,55 @@ namespace grtdb {
 using NodeId = uint64_t;
 inline constexpr NodeId kInvalidNodeId = ~0ull;
 
+class NodeCache;
+
 // Per-store access statistics: one read/write = one node (page) touched.
+// The cache_* fields are only populated by NodeCache decorators.
 struct NodeStoreStats {
   uint64_t node_reads = 0;
   uint64_t node_writes = 0;
   uint64_t lo_opens = 0;  // large-object opens (per-LO layouts only)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_write_backs = 0;
+
+  double cache_hit_rate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+// A read-only view of one node image. Either owns a private copy (the
+// default ViewNode path) or pins a NodeCache frame, in which case the view
+// also holds the cache's read latch for its lifetime: zero-copy for tree
+// search, but callers must drop the view before writing to the same store.
+class NodeView {
+ public:
+  NodeView() = default;
+  ~NodeView() { Reset(); }
+  NodeView(NodeView&& other) noexcept { *this = std::move(other); }
+  NodeView& operator=(NodeView&& other) noexcept;
+  NodeView(const NodeView&) = delete;
+  NodeView& operator=(const NodeView&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  bool valid() const { return data_ != nullptr; }
+  void Reset();
+
+  // Takes ownership of a kPageSize heap copy (default / non-cached path).
+  void AdoptOwned(std::unique_ptr<uint8_t[]> owned);
+  // Adopts a pinned cache frame; `latch` keeps readers latched while the
+  // view is live and `frame` is unpinned on Reset. Called by NodeCache.
+  void AdoptPinned(NodeCache* cache, size_t frame, const uint8_t* data,
+                   std::shared_lock<std::shared_mutex> latch);
+
+ private:
+  const uint8_t* data_ = nullptr;
+  std::unique_ptr<uint8_t[]> owned_;
+  NodeCache* cache_ = nullptr;
+  size_t frame_ = 0;
+  std::shared_lock<std::shared_mutex> latch_;
 };
 
 // Where a tree-based access method keeps its nodes. The paper (§5.3)
@@ -40,6 +85,11 @@ class NodeStore {
   virtual Status ReadNode(NodeId id, uint8_t* out) = 0;
   virtual Status WriteNode(NodeId id, const uint8_t* data) = 0;
 
+  // Read-only view of a node image. The default copies through ReadNode
+  // (so decorators keep their locking/buffering semantics); NodeCache
+  // overrides it with a zero-copy pinned frame.
+  virtual Status ViewNode(NodeId id, NodeView* view);
+
   // The large object the node lives in, or 0 when the layout is not
   // LO-based. Lock decorators use this to lock at LO granularity, exactly
   // as Informix locks LOs on open.
@@ -47,8 +97,8 @@ class NodeStore {
 
   virtual Status Flush() = 0;
 
-  const NodeStoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NodeStoreStats(); }
+  virtual const NodeStoreStats& stats() const { return stats_; }
+  virtual void ResetStats() { stats_ = NodeStoreStats(); }
 
  protected:
   NodeStoreStats stats_;

@@ -541,6 +541,17 @@ Status WalNodeStore::ReadNode(NodeId id, uint8_t* out) {
   return ReadNodeInner(id, out);
 }
 
+Status WalNodeStore::ViewNode(NodeId id, NodeView* view) {
+  if (default_txn_.open) {
+    // Transactional reads must see the txn buffer: take the copying
+    // default, which routes through our ReadNode (and its stats).
+    return NodeStore::ViewNode(id, view);
+  }
+  std::lock_guard<std::mutex> il(inner_mu_);
+  ++stats_.node_reads;
+  return inner_->ViewNode(id, view);  // zero-copy when inner is a cache
+}
+
 Status WalNodeStore::WriteNode(NodeId id, const uint8_t* data) {
   std::lock_guard<std::mutex> il(inner_mu_);
   ++stats_.node_writes;

@@ -125,6 +125,7 @@ class WalNodeStore final : public NodeStore {
   Status FreeNode(NodeId id) override;
   Status ReadNode(NodeId id, uint8_t* out) override;
   Status WriteNode(NodeId id, const uint8_t* data) override;
+  Status ViewNode(NodeId id, NodeView* view) override;
   uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
   Status Flush() override;
 

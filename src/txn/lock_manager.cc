@@ -10,6 +10,16 @@ bool LockManager::CompatibleLocked(const LockState& state, TxnId txn,
       return false;
     }
   }
+  // Writer-priority fence: while an S→X upgrader or a fresh exclusive
+  // request waits, *new* shared acquirers are held back (existing holders
+  // still nest via the early-return in AcquireWithTimeout). Without this,
+  // overlapping reader churn keeps the resource share-locked forever and
+  // the writer starves to LockTimeout despite no deadlock.
+  if (mode == LockMode::kShared &&
+      state.holders.find(txn) == state.holders.end() &&
+      (state.has_upgrader || state.waiting_exclusive > 0)) {
+    return false;
+  }
   return true;
 }
 
@@ -62,16 +72,40 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
     }
   };
 
+  // A blocked fresh-exclusive request registers itself so CompatibleLocked
+  // can fence new shared grants while it waits.
+  const bool fresh_exclusive = mode == LockMode::kExclusive && !upgrading;
+  bool counted_waiter = false;
+  auto uncount_waiter = [&] {
+    if (!counted_waiter) return;
+    counted_waiter = false;
+    auto it = locks_.find(resource);
+    if (it != locks_.end() && it->second.waiting_exclusive > 0) {
+      --it->second.waiting_exclusive;
+    }
+  };
+
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   bool waited = false;
   while (!CompatibleLocked(locks_[resource], txn, mode)) {
     waited = true;
+    if (fresh_exclusive && !counted_waiter) {
+      ++locks_[resource].waiting_exclusive;
+      counted_waiter = true;
+    }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
         !CompatibleLocked(locks_[resource], txn, mode)) {
       ++stats_.timeouts;
       clear_upgrader();
+      uncount_waiter();
       auto it = locks_.find(resource);
-      if (it != locks_.end() && it->second.holders.empty()) locks_.erase(it);
+      if (it != locks_.end() && it->second.holders.empty() &&
+          !it->second.has_upgrader && it->second.waiting_exclusive == 0) {
+        locks_.erase(it);
+      }
+      // The fence this request held is gone — wake blocked shared
+      // requests so they can re-evaluate.
+      cv_.notify_all();
       return Status::LockTimeout("lock wait timeout (resource kind " +
                                  std::to_string(static_cast<int>(
                                      resource.kind)) +
@@ -80,6 +114,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
   }
   if (waited) ++stats_.waits;
   clear_upgrader();
+  uncount_waiter();
 
   LockState& state = locks_[resource];
   auto self = state.holders.find(txn);
@@ -104,7 +139,9 @@ void LockManager::Release(TxnId txn, ResourceId resource) {
     if (it->second.has_upgrader && it->second.upgrader == txn) {
       it->second.has_upgrader = false;
     }
-    if (it->second.holders.empty()) locks_.erase(it);
+    if (it->second.holders.empty() && it->second.waiting_exclusive == 0) {
+      locks_.erase(it);
+    }
     cv_.notify_all();
   }
 }
@@ -117,7 +154,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     if (it->second.has_upgrader && it->second.upgrader == txn) {
       it->second.has_upgrader = false;
     }
-    if (it->second.holders.empty()) {
+    if (it->second.holders.empty() && it->second.waiting_exclusive == 0) {
       it = locks_.erase(it);
     } else {
       ++it;

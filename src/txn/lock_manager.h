@@ -92,6 +92,11 @@ class LockManager {
     // an upgrade–upgrade cycle and fails fast with Status::Deadlock.
     bool has_upgrader = false;
     TxnId upgrader = 0;
+    // Fresh (non-upgrade) exclusive requests currently blocked on this
+    // resource. Together with has_upgrader it fences *new* shared grants,
+    // so a stream of reader churn cannot starve a waiting writer. A state
+    // with a positive count must not be erased even when holders is empty.
+    uint32_t waiting_exclusive = 0;
   };
 
   // True if `txn` may be granted `mode` given current holders.

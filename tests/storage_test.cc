@@ -2,8 +2,11 @@
 
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "storage/node_cache.h"
 #include "storage/node_store.h"
 #include "storage/pager.h"
 #include "storage/sbspace.h"
@@ -398,72 +401,251 @@ TEST(SbspaceOpen, RejectsForeignSpaces) {
   EXPECT_FALSE(sbspace_or.ok());
 }
 
-// -------------------------------------------------------------- NodeStore --
+// ------------------------------------------- NodeStore conformance suite --
+// Every layout (and every layout under a NodeCache) must honor the same
+// contract: zeroed allocation (fresh *and* recycled slots), LIFO free-list
+// reuse, LoOfNode semantics, stats accounting, and reopen/restore. A new
+// layout only needs a case in MakeStore/Reopen below to inherit the checks.
 
-template <typename MakeStore>
-void ExerciseNodeStore(MakeStore make_store) {
-  auto store = make_store();
+enum class StoreKind { kPager, kSingleLo, kClusteredLo, kExternalFile };
+
+struct ConformanceParam {
+  StoreKind kind;
+  bool cached;
+};
+
+std::string ParamName(
+    const ::testing::TestParamInfo<ConformanceParam>& info) {
+  std::string name;
+  switch (info.param.kind) {
+    case StoreKind::kPager: name = "Pager"; break;
+    case StoreKind::kSingleLo: name = "SingleLo"; break;
+    case StoreKind::kClusteredLo: name = "ClusteredLo"; break;
+    case StoreKind::kExternalFile: name = "ExternalFile"; break;
+  }
+  return name + (info.param.cached ? "Cached" : "");
+}
+
+constexpr uint64_t kNodesPerLo = 4;
+
+class NodeStoreConformance
+    : public ::testing::TestWithParam<ConformanceParam> {
+ protected:
+  void SetUp() override {
+    if (GetParam().kind == StoreKind::kPager) {
+      pager_ = std::make_unique<Pager>(&space_, 128);
+    } else if (GetParam().kind == StoreKind::kExternalFile) {
+      path_ = TempPath("grtdb_conformance_test.dat");
+      std::remove(path_.c_str());
+    } else {
+      auto sbspace_or = Sbspace::Open(&space_, 128);
+      ASSERT_TRUE(sbspace_or.ok());
+      sbspace_ = std::move(sbspace_or).value();
+    }
+    ASSERT_TRUE(MakeStore(/*reopening=*/false).ok());
+  }
+
+  void TearDown() override {
+    cache_.reset();
+    base_.reset();
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  Status MakeStore(bool reopening) {
+    switch (GetParam().kind) {
+      case StoreKind::kPager:
+        base_ = std::make_unique<PagerNodeStore>(pager_.get());
+        break;
+      case StoreKind::kSingleLo: {
+        auto store_or = SingleLoNodeStore::Open(
+            sbspace_.get(), reopening ? lo_handle_ : LoHandle{});
+        if (!store_or.ok()) return store_or.status();
+        lo_handle_ = store_or.value()->handle();
+        base_ = std::move(store_or).value();
+        break;
+      }
+      case StoreKind::kClusteredLo: {
+        auto store = std::make_unique<ClusteredLoNodeStore>(sbspace_.get(),
+                                                            kNodesPerLo);
+        if (reopening) store->RestoreState(clusters_, node_count_);
+        base_ = std::move(store);
+        break;
+      }
+      case StoreKind::kExternalFile: {
+        auto store_or = ExternalFileNodeStore::Open(path_);
+        if (!store_or.ok()) return store_or.status();
+        base_ = std::move(store_or).value();
+        break;
+      }
+    }
+    if (GetParam().cached) {
+      cache_ = std::make_unique<NodeCache>(base_.get(), 8);
+    }
+    return Status::OK();
+  }
+
+  // Persist + tear down + reattach from the layout's durable state, the
+  // way the blades do through their AM catalog records. Free lists are
+  // not part of the contract across reopens (clustered layouts leak them
+  // by design); node *contents* and allocation progress are.
+  Status Reopen() {
+    GRTDB_RETURN_IF_ERROR(store()->Flush());
+    if (auto* clustered =
+            dynamic_cast<ClusteredLoNodeStore*>(base_.get())) {
+      clusters_ = clustered->cluster_handles();
+      node_count_ = clustered->node_count();
+    }
+    cache_.reset();
+    base_.reset();
+    return MakeStore(/*reopening=*/true);
+  }
+
+  NodeStore* store() {
+    return cache_ != nullptr ? static_cast<NodeStore*>(cache_.get())
+                             : base_.get();
+  }
+  NodeStore* base() { return base_.get(); }
+
+  MemorySpace space_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Sbspace> sbspace_;
+  std::string path_;
+  LoHandle lo_handle_;
+  std::vector<LoHandle> clusters_;
+  uint64_t node_count_ = 0;
+  std::unique_ptr<NodeStore> base_;
+  std::unique_ptr<NodeCache> cache_;
+};
+
+TEST_P(NodeStoreConformance, FreshAllocationIsZeroed) {
+  NodeId id;
+  ASSERT_TRUE(store()->AllocateNode(&id).ok());
+  uint8_t read[kPageSize];
+  std::memset(read, 0xEE, sizeof(read));
+  ASSERT_TRUE(store()->ReadNode(id, read).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(read[i], 0) << i;
+}
+
+// Regression: every layout used to hand a recycled free-list slot straight
+// back, stale bytes and all, violating the "kPageSize bytes, zeroed"
+// AllocateNode contract.
+TEST_P(NodeStoreConformance, RecycledAllocationIsZeroed) {
   NodeId a, b;
-  ASSERT_TRUE(store->AllocateNode(&a).ok());
-  ASSERT_TRUE(store->AllocateNode(&b).ok());
+  ASSERT_TRUE(store()->AllocateNode(&a).ok());
+  ASSERT_TRUE(store()->AllocateNode(&b).ok());
+  uint8_t page[kPageSize];
+  std::memset(page, 0xAB, sizeof(page));
+  ASSERT_TRUE(store()->WriteNode(a, page).ok());
+  ASSERT_TRUE(store()->FreeNode(a).ok());
+  NodeId c;
+  ASSERT_TRUE(store()->AllocateNode(&c).ok());
+  ASSERT_EQ(c, a);  // recycled, not extended
+  uint8_t read[kPageSize];
+  std::memset(read, 0xEE, sizeof(read));
+  ASSERT_TRUE(store()->ReadNode(c, read).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(read[i], 0) << i;
+}
+
+TEST_P(NodeStoreConformance, FreeListReusesInLifoOrder) {
+  NodeId ids[3];
+  for (auto& id : ids) ASSERT_TRUE(store()->AllocateNode(&id).ok());
+  for (const auto& id : ids) ASSERT_TRUE(store()->FreeNode(id).ok());
+  for (int i = 2; i >= 0; --i) {
+    NodeId got;
+    ASSERT_TRUE(store()->AllocateNode(&got).ok());
+    EXPECT_EQ(got, ids[i]);
+  }
+}
+
+TEST_P(NodeStoreConformance, ReadWriteRoundTripAndStats) {
+  NodeId a, b;
+  ASSERT_TRUE(store()->AllocateNode(&a).ok());
+  ASSERT_TRUE(store()->AllocateNode(&b).ok());
   EXPECT_NE(a, b);
+  store()->ResetStats();
   uint8_t page[kPageSize];
   std::memset(page, 0x21, sizeof(page));
-  ASSERT_TRUE(store->WriteNode(a, page).ok());
+  ASSERT_TRUE(store()->WriteNode(a, page).ok());
   std::memset(page, 0x42, sizeof(page));
-  ASSERT_TRUE(store->WriteNode(b, page).ok());
+  ASSERT_TRUE(store()->WriteNode(b, page).ok());
   uint8_t read[kPageSize];
-  ASSERT_TRUE(store->ReadNode(a, read).ok());
+  ASSERT_TRUE(store()->ReadNode(a, read).ok());
   EXPECT_EQ(read[17], 0x21);
-  ASSERT_TRUE(store->ReadNode(b, read).ok());
+  ASSERT_TRUE(store()->ReadNode(b, read).ok());
   EXPECT_EQ(read[17], 0x42);
-  EXPECT_EQ(store->stats().node_reads, 2u);
-  EXPECT_EQ(store->stats().node_writes, 2u);
-  // Freed nodes are recycled.
-  ASSERT_TRUE(store->FreeNode(a).ok());
-  NodeId c;
-  ASSERT_TRUE(store->AllocateNode(&c).ok());
-  EXPECT_EQ(c, a);
+  EXPECT_EQ(store()->stats().node_reads, 2u);
+  EXPECT_EQ(store()->stats().node_writes, 2u);
 }
 
-TEST(NodeStore, PagerBacked) {
-  MemorySpace space;
-  Pager pager(&space, 32);
-  ExerciseNodeStore([&] { return std::make_unique<PagerNodeStore>(&pager); });
+TEST_P(NodeStoreConformance, ViewNodeMatchesReadNode) {
+  NodeId id;
+  ASSERT_TRUE(store()->AllocateNode(&id).ok());
+  uint8_t page[kPageSize];
+  std::memset(page, 0x77, sizeof(page));
+  ASSERT_TRUE(store()->WriteNode(id, page).ok());
+  NodeView view;
+  ASSERT_TRUE(store()->ViewNode(id, &view).ok());
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(std::memcmp(view.data(), page, kPageSize), 0);
 }
 
-TEST(NodeStore, SingleLo) {
-  MemorySpace space;
-  auto sbspace_or = Sbspace::Open(&space, 64);
-  ASSERT_TRUE(sbspace_or.ok());
-  auto sbspace = std::move(sbspace_or).value();
-  ExerciseNodeStore([&] {
-    auto store_or = SingleLoNodeStore::Open(sbspace.get(), LoHandle{});
-    EXPECT_TRUE(store_or.ok());
-    return std::move(store_or).value();
-  });
+TEST_P(NodeStoreConformance, LoOfNodeSemantics) {
+  std::vector<NodeId> ids(kNodesPerLo + 1);
+  for (auto& id : ids) ASSERT_TRUE(store()->AllocateNode(&id).ok());
+  switch (GetParam().kind) {
+    case StoreKind::kPager:
+    case StoreKind::kExternalFile:
+      // Not LO-backed: always 0, so lock decorators skip LO locks.
+      for (const auto& id : ids) EXPECT_EQ(store()->LoOfNode(id), 0u);
+      break;
+    case StoreKind::kSingleLo:
+      // The whole index shares one LO.
+      EXPECT_NE(store()->LoOfNode(ids[0]), 0u);
+      for (const auto& id : ids) {
+        EXPECT_EQ(store()->LoOfNode(id), store()->LoOfNode(ids[0]));
+      }
+      break;
+    case StoreKind::kClusteredLo:
+      // kNodesPerLo nodes per cluster, then a new LO starts.
+      EXPECT_NE(store()->LoOfNode(ids[0]), 0u);
+      EXPECT_EQ(store()->LoOfNode(ids[kNodesPerLo - 1]),
+                store()->LoOfNode(ids[0]));
+      EXPECT_NE(store()->LoOfNode(ids[kNodesPerLo]),
+                store()->LoOfNode(ids[0]));
+      break;
+  }
 }
 
-TEST(NodeStore, ClusteredLo) {
-  MemorySpace space;
-  auto sbspace_or = Sbspace::Open(&space, 64);
-  ASSERT_TRUE(sbspace_or.ok());
-  auto sbspace = std::move(sbspace_or).value();
-  ExerciseNodeStore([&] {
-    return std::make_unique<ClusteredLoNodeStore>(sbspace.get(), 4);
-  });
+TEST_P(NodeStoreConformance, ReopenRestoresContents) {
+  NodeId a, b;
+  ASSERT_TRUE(store()->AllocateNode(&a).ok());
+  ASSERT_TRUE(store()->AllocateNode(&b).ok());
+  uint8_t page[kPageSize];
+  std::memset(page, 0x5D, sizeof(page));
+  ASSERT_TRUE(store()->WriteNode(b, page).ok());
+  ASSERT_TRUE(Reopen().ok());
+  uint8_t read[kPageSize];
+  ASSERT_TRUE(store()->ReadNode(b, read).ok());
+  EXPECT_EQ(read[123], 0x5D);
+  // Allocation progress survived: a fresh slot, not a or b again.
+  NodeId next;
+  ASSERT_TRUE(store()->AllocateNode(&next).ok());
+  EXPECT_NE(next, a);
+  EXPECT_NE(next, b);
 }
 
-TEST(NodeStore, ExternalFile) {
-  const std::string path = TempPath("grtdb_extstore_test.dat");
-  std::remove(path.c_str());
-  ExerciseNodeStore([&] {
-    auto store_or = ExternalFileNodeStore::Open(path);
-    EXPECT_TRUE(store_or.ok());
-    return std::move(store_or).value();
-  });
-  std::remove(path.c_str());
-}
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, NodeStoreConformance,
+    ::testing::Values(
+        ConformanceParam{StoreKind::kPager, false},
+        ConformanceParam{StoreKind::kSingleLo, false},
+        ConformanceParam{StoreKind::kClusteredLo, false},
+        ConformanceParam{StoreKind::kExternalFile, false},
+        ConformanceParam{StoreKind::kPager, true},
+        ConformanceParam{StoreKind::kSingleLo, true},
+        ConformanceParam{StoreKind::kClusteredLo, true},
+        ConformanceParam{StoreKind::kExternalFile, true}),
+    ParamName);
 
 TEST(NodeStore, SingleLoPersistsViaHandle) {
   MemorySpace space;

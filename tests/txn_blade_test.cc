@@ -117,6 +117,67 @@ TEST(LockManager, ConcurrentSharedReaders) {
   EXPECT_EQ(successes, 8);
 }
 
+// Regression: CompatibleLocked used to ignore the pending upgrader, so a
+// stream of new shared acquirers kept being granted and the S→X upgrader
+// starved to LockTimeout despite no deadlock. New shared requests must now
+// queue behind the upgrade.
+TEST(LockManager, PendingUpgradeBlocksNewSharedAcquirers) {
+  LockManager lm(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(2, kResA, LockMode::kShared).ok());
+  Status upgrade;
+  std::thread upgrader([&] {
+    upgrade = lm.Acquire(1, kResA, LockMode::kExclusive);
+  });
+  // Let txn 1 enter its upgrade wait (txn 2's shared lock blocks it).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Reader churn: every *new* shared request is fenced off while the
+  // upgrader waits — each times out instead of being granted.
+  for (TxnId reader = 3; reader <= 6; ++reader) {
+    EXPECT_TRUE(lm.AcquireWithTimeout(reader, kResA, LockMode::kShared,
+                                      std::chrono::milliseconds(20))
+                    .IsLockTimeout());
+  }
+  // The existing shared holder still nests.
+  EXPECT_TRUE(lm.Acquire(2, kResA, LockMode::kShared).ok());
+  lm.Release(2, kResA);
+  // Once the other holder lets go, the upgrade is granted promptly.
+  lm.Release(2, kResA);
+  upgrader.join();
+  EXPECT_TRUE(upgrade.ok()) << upgrade.ToString();
+  EXPECT_TRUE(lm.Holds(1, kResA, LockMode::kExclusive));
+}
+
+// Symmetric fence for a fresh (non-upgrade) exclusive request: new shared
+// acquirers must not overtake it, and a timed-out writer lifts the fence.
+TEST(LockManager, WaitingExclusiveBlocksNewSharedAcquirers) {
+  LockManager lm(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(lm.Acquire(1, kResA, LockMode::kShared).ok());
+  Status exclusive;
+  std::thread writer([&] {
+    exclusive = lm.Acquire(2, kResA, LockMode::kExclusive);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(lm.AcquireWithTimeout(3, kResA, LockMode::kShared,
+                                    std::chrono::milliseconds(20))
+                  .IsLockTimeout());
+  lm.Release(1, kResA);
+  writer.join();
+  EXPECT_TRUE(exclusive.ok()) << exclusive.ToString();
+  EXPECT_TRUE(lm.Holds(2, kResA, LockMode::kExclusive));
+  lm.ReleaseAll(2);
+
+  // A writer that gives up must lift the fence: after its timeout, new
+  // shared requests are granted again.
+  ASSERT_TRUE(lm.Acquire(4, kResB, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.AcquireWithTimeout(5, kResB, LockMode::kExclusive,
+                                    std::chrono::milliseconds(30))
+                  .IsLockTimeout());
+  EXPECT_TRUE(lm.AcquireWithTimeout(6, kResB, LockMode::kShared,
+                                    std::chrono::milliseconds(30))
+                  .ok());
+}
+
 // ----------------------------------------------------- TransactionManager --
 
 TEST(TransactionManager, ImplicitAndExplicit) {
