@@ -36,8 +36,10 @@ const char* Name(Layout layout) {
 }
 
 constexpr size_t kCachePages = 48;
-constexpr int kExtents = 2000;
-constexpr int kQueryRounds = 8;
+// --smoke shrinks the run for the ctest smoke label; the self-check holds
+// either way.
+int g_extents = 2000;
+int g_query_rounds = 8;
 constexpr int kQueriesPerRound = 25;
 
 struct Backing {
@@ -130,7 +132,7 @@ RunResult RunWorkload(Layout layout, bool cached) {
   auto tree_or = GRTree::Create(backing->store, options, &anchor);
   bench::Check(tree_or.ok() ? Status::OK() : tree_or.status(), "create");
   auto tree = std::move(tree_or).value();
-  for (int i = 0; i < kExtents; ++i) {
+  for (int i = 0; i < g_extents; ++i) {
     bench::Check(tree->Insert(ExtentFor(i), i + 1, 10000), "insert");
   }
   // Only the query phase is measured.
@@ -139,7 +141,7 @@ RunResult RunWorkload(Layout layout, bool cached) {
 
   RunResult run;
   bench::Timer timer;
-  for (int round = 0; round < kQueryRounds; ++round) {
+  for (int round = 0; round < g_query_rounds; ++round) {
     for (int q = 0; q < kQueriesPerRound; ++q) {
       std::vector<GRTree::Entry> results;
       bench::Check(tree->SearchAll(PredicateOp::kOverlaps, QueryFor(q),
@@ -161,7 +163,7 @@ int Run() {
   std::printf(
       "bench_node_cache: %d extents, %d rounds x %d overlap queries, "
       "cache %zu frames\n\n",
-      kExtents, kQueryRounds, kQueriesPerRound, kCachePages);
+      g_extents, g_query_rounds, kQueriesPerRound, kCachePages);
   bench::TablePrinter table({"layout", "cache", "node_reads", "lo_opens",
                              "physical_io", "hit_rate", "ms"});
   bool ok = true;
@@ -202,4 +204,12 @@ int Run() {
 }  // namespace
 }  // namespace grtdb
 
-int main() { return grtdb::Run(); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      grtdb::g_extents = 500;
+      grtdb::g_query_rounds = 2;
+    }
+  }
+  return grtdb::Run();
+}

@@ -1,0 +1,171 @@
+// Observability overhead: the same overlap-query workload runs on two
+// servers — observability on (metrics wired, purpose functions timed) and
+// off — with interleaved timing rounds, comparing the min-of-rounds query
+// time. Self-checking twice over:
+//   (a) metrics-on costs < 5% (plus a 1 ms absolute slack for timer noise)
+//       over metrics-off on the query phase;
+//   (b) the vii.am_getnext.calls delta read back through SELECT on
+//       sys_metrics equals the EXPLAIN PROFILE call count equals the rows
+//       fetched + 1 (the terminating "no more" call).
+// `--smoke` shrinks the workload for the ctest smoke label.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "blades/grtree_blade.h"
+#include "obs/query_profile.h"
+#include "server/server.h"
+
+namespace grtdb {
+namespace {
+
+int g_rows = 2000;
+int g_queries_per_round = 60;
+int g_rounds = 5;
+
+struct Instance {
+  std::unique_ptr<Server> server;
+  ServerSession* session = nullptr;
+};
+
+Instance MakeInstance(bool observability) {
+  ServerOptions server_options;
+  server_options.observability = observability;
+  Instance instance;
+  instance.server = std::make_unique<Server>(server_options);
+  bench::Check(RegisterGRTreeBlade(instance.server.get()),
+               "RegisterGRTreeBlade");
+  instance.session = instance.server->CreateSession();
+  bench::Exec(*instance.server, instance.session,
+              "CREATE TABLE t (id int, e grt_timeextent)");
+  bench::Exec(*instance.server, instance.session,
+              "CREATE INDEX t_idx ON t(e grt_opclass) USING grtree_am");
+  bench::Exec(*instance.server, instance.session,
+              "SET CURRENT_TIME TO 20000");
+  // Ground extents spread over a [18000, 20000] valid-time range, so the
+  // overlap queries below are selective (~7% of rows each) rather than a
+  // return-everything scan.
+  for (int i = 0; i < g_rows; ++i) {
+    const int64_t vt1 = 18000 + (i * 7) % 2000;
+    bench::Exec(*instance.server, instance.session,
+                "INSERT INTO t VALUES (" + std::to_string(i) +
+                    ", '20000, 20001, " + std::to_string(vt1) + ", " +
+                    std::to_string(vt1 + 40) + "')");
+  }
+  return instance;
+}
+
+std::string QueryFor(int q) {
+  const int64_t vt = 18000 + (q * 131) % 1900;
+  return "SELECT COUNT(*) FROM t WHERE Overlaps(e, '20000, 20001, " +
+         std::to_string(vt) + ", " + std::to_string(vt + 100) + "')";
+}
+
+// One timed round of the overlap-query workload.
+double QueryRoundMs(Instance& instance) {
+  bench::Timer timer;
+  for (int q = 0; q < g_queries_per_round; ++q) {
+    bench::Exec(*instance.server, instance.session, QueryFor(q));
+  }
+  return timer.ElapsedMs();
+}
+
+uint64_t MetricValue(Instance& instance, const std::string& name) {
+  ResultSet result =
+      bench::Exec(*instance.server, instance.session,
+                  "SELECT value FROM sys_metrics WHERE name = '" + name + "'");
+  if (result.rows.size() != 1) {
+    std::fprintf(stderr, "FATAL: metric %s not found in sys_metrics\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  return std::stoull(result.rows[0][0]);
+}
+
+int Run(bool smoke) {
+  if (smoke) {
+    g_rows = 300;
+    g_queries_per_round = 15;
+    g_rounds = 2;
+  }
+  std::printf("bench_obs_overhead: %d rows, %d rounds x %d overlap queries "
+              "(min-of-rounds)%s\n\n",
+              g_rows, g_rounds, g_queries_per_round, smoke ? " [smoke]" : "");
+
+  Instance on = MakeInstance(/*observability=*/true);
+  Instance off = MakeInstance(/*observability=*/false);
+
+  // Warm both caches, then interleave the timed rounds so drift hits both
+  // configurations equally.
+  QueryRoundMs(on);
+  QueryRoundMs(off);
+  double min_on = 0, min_off = 0;
+  for (int round = 0; round < g_rounds; ++round) {
+    const double t_on = QueryRoundMs(on);
+    const double t_off = QueryRoundMs(off);
+    if (round == 0 || t_on < min_on) min_on = t_on;
+    if (round == 0 || t_off < min_off) min_off = t_off;
+  }
+  const double overhead_pct = (min_on - min_off) / min_off * 100.0;
+  const double overhead_ms = min_on - min_off;
+
+  bench::TablePrinter table({"config", "round min (ms)", "per query (us)"});
+  table.AddRow({"observability off", bench::Fmt(min_off, 3),
+                bench::Fmt(min_off * 1000.0 / g_queries_per_round, 1)});
+  table.AddRow({"observability on", bench::Fmt(min_on, 3),
+                bench::Fmt(min_on * 1000.0 / g_queries_per_round, 1)});
+  table.Print();
+  std::printf("\noverhead: %s%% (%s ms absolute)\n",
+              bench::Fmt(overhead_pct, 2).c_str(),
+              bench::Fmt(overhead_ms, 3).c_str());
+
+  bool ok = true;
+  // (a) the overhead target; the absolute slack keeps sub-millisecond
+  // rounds from failing on timer noise alone.
+  if (overhead_pct >= 5.0 && overhead_ms >= 1.0) {
+    std::fprintf(stderr, "FATAL: observability overhead %.2f%% exceeds the "
+                 "5%% target\n", overhead_pct);
+    ok = false;
+  }
+
+  // (b) counter == profile == rows fetched, through the SQL surface.
+  const uint64_t calls_before = MetricValue(on, "vii.am_getnext.calls");
+  ResultSet rows = bench::Exec(*on.server, on.session,
+                               "SELECT id FROM t WHERE "
+                               "Overlaps(e, '20000, UC, 18000, NOW')");
+  const uint64_t profile_calls =
+      on.session->profile().calls(obs::PurposeFn::kAmGetNext);
+  const uint64_t rows_fetched = rows.rows.size();
+  const uint64_t calls_after = MetricValue(on, "vii.am_getnext.calls");
+  std::printf("cross-check: counter delta %llu, profile %llu, rows %llu\n",
+              static_cast<unsigned long long>(calls_after - calls_before),
+              static_cast<unsigned long long>(profile_calls),
+              static_cast<unsigned long long>(rows_fetched));
+  if (calls_after - calls_before != profile_calls ||
+      profile_calls != rows_fetched + 1) {
+    std::fprintf(stderr, "FATAL: am_getnext accounting disagrees "
+                 "(counter %llu, profile %llu, rows %llu)\n",
+                 static_cast<unsigned long long>(calls_after - calls_before),
+                 static_cast<unsigned long long>(profile_calls),
+                 static_cast<unsigned long long>(rows_fetched));
+    ok = false;
+  }
+
+  if (ok) std::printf("bench_obs_overhead: all checks passed\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace grtdb
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return grtdb::Run(smoke);
+}

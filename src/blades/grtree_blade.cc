@@ -160,6 +160,9 @@ Status MakeStore(MiCallContext& ctx, GrtTreeState* state,
       state->node_cache = std::make_unique<NodeCache>(
           wal_inner, options.node_cache_pages);
       state->node_cache->set_trace(&ctx.server->trace());
+      if (ctx.server->observability_enabled()) {
+        state->node_cache->set_metrics(&ctx.server->metrics());
+      }
       wal_inner = state->node_cache.get();
     }
     // §5.3: with an OS file the DataBlade must provide all recovery
@@ -168,6 +171,9 @@ Status MakeStore(MiCallContext& ctx, GrtTreeState* state,
     if (!wal_or.ok()) return wal_or.status();
     state->wal_store = std::move(wal_or).value();
     state->wal_store->set_trace(&ctx.server->trace());
+    if (ctx.server->observability_enabled()) {
+      state->wal_store->set_metrics(&ctx.server->metrics());
+    }
     GRTDB_RETURN_IF_ERROR(state->wal_store->Recover());
     state->store = state->wal_store.get();
     return Status::OK();
@@ -214,6 +220,9 @@ Status MakeStore(MiCallContext& ctx, GrtTreeState* state,
     state->node_cache =
         std::make_unique<NodeCache>(tree_store, options.node_cache_pages);
     state->node_cache->set_trace(&ctx.server->trace());
+    if (ctx.server->observability_enabled()) {
+      state->node_cache->set_metrics(&ctx.server->metrics());
+    }
     tree_store = state->node_cache.get();
   }
   if (options.lock_large_objects) {

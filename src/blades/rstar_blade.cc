@@ -111,6 +111,9 @@ BladeFns MakeBladeFns(const RStarBladeOptions& options) {
       state->node_cache =
           std::make_unique<NodeCache>(tree_store, options.node_cache_pages);
       state->node_cache->set_trace(&ctx.server->trace());
+      if (ctx.server->observability_enabled()) {
+        state->node_cache->set_metrics(&ctx.server->metrics());
+      }
       tree_store = state->node_cache.get();
     }
     state->locking_store = std::make_unique<LockingNodeStore>(

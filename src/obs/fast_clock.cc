@@ -1,0 +1,33 @@
+#include "obs/fast_clock.h"
+
+namespace grtdb {
+namespace obs {
+
+namespace {
+
+// Spins for ~200 us measuring ticks against steady_clock. Run once at
+// first use; every later NsPerTick() is a guarded static read.
+double Calibrate() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t k0 = Ticks();
+  for (;;) {
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    if (elapsed >= 200000) {
+      const uint64_t k1 = Ticks();
+      if (k1 == k0) return 1.0;  // tick source stuck; degrade gracefully
+      return static_cast<double>(elapsed) / static_cast<double>(k1 - k0);
+    }
+  }
+}
+
+}  // namespace
+
+double NsPerTick() {
+  static const double ns_per_tick = Calibrate();
+  return ns_per_tick;
+}
+
+}  // namespace obs
+}  // namespace grtdb

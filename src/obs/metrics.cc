@@ -1,0 +1,85 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace grtdb {
+namespace obs {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kCounter;
+    sample.value = static_cast<int64_t>(counter->value());
+    out.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kGauge;
+    sample.value = gauge->value();
+    out.push_back(std::move(sample));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kHistogram;
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    std::string buckets;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t n = histogram->bucket(i);
+      if (n == 0) continue;
+      if (!buckets.empty()) buckets += ' ';
+      if (i + 1 == Histogram::kBuckets) {
+        buckets += "inf:" + std::to_string(n);
+      } else {
+        buckets += "lt" + std::to_string(Histogram::BucketBound(i)) + ":" +
+                   std::to_string(n);
+      }
+    }
+    sample.buckets = std::move(buckets);
+    out.push_back(std::move(sample));
+  }
+  // maps iterate sorted; interleave the three kinds into one name order.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace grtdb

@@ -1,0 +1,133 @@
+#ifndef GRTDB_OBS_METRICS_H_
+#define GRTDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace grtdb {
+namespace obs {
+
+// Server-wide metrics: named counters, gauges, and fixed-bucket latency
+// histograms. The hot path is pure relaxed atomics on handles the caller
+// obtained once from the registry; the registry mutex is taken only at
+// registration and Snapshot() time, never per increment. Handles are
+// stable for the registry's lifetime (values are heap-allocated and never
+// erased), so subsystems cache the pointer at wiring time.
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Power-of-two bucketed histogram: bucket i counts values v with
+// bit_width(v) == i (bucket 0 holds v == 0), so bucket i covers
+// [2^(i-1), 2^i). The last bucket absorbs everything at or above
+// 2^(kBuckets-2). Units are the caller's (commit latencies record
+// microseconds, batch-size histograms record counts).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 22;
+
+  void Record(uint64_t v) {
+    size_t b = 0;
+    while (b + 1 < kBuckets && (v >> b) != 0) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Exclusive upper bound of bucket i (the last bucket has none).
+  static uint64_t BucketBound(size_t i) { return 1ull << i; }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// One metric at Snapshot() time.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;    // counter/gauge value; histograms report count/sum
+  uint64_t count = 0;   // histogram sample count
+  uint64_t sum = 0;     // histogram value sum
+  // Non-empty histogram buckets rendered "lt<bound>:<count>", space
+  // separated; the overflow bucket renders "inf:<count>".
+  std::string buckets;
+
+  const char* KindName() const {
+    switch (kind) {
+      case Kind::kCounter: return "counter";
+      case Kind::kGauge: return "gauge";
+      case Kind::kHistogram: return "histogram";
+    }
+    return "?";
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by name. The returned pointer is stable for the
+  // registry's lifetime; callers cache it and update through it without
+  // further registry involvement.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Consistent-enough snapshot of every registered metric, sorted by
+  // (name, kind). Values are read with relaxed loads; concurrent updates
+  // may or may not be visible, which is the usual monitoring contract.
+  std::vector<MetricSample> Snapshot() const;
+
+  // Zeroes every metric (benchmark epochs); handles stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace grtdb
+
+#endif  // GRTDB_OBS_METRICS_H_

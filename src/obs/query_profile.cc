@@ -1,0 +1,112 @@
+#include "obs/query_profile.h"
+
+namespace grtdb {
+namespace obs {
+
+namespace {
+thread_local QueryProfile* g_current_profile = nullptr;
+}  // namespace
+
+const char* PurposeFnName(PurposeFn fn) {
+  switch (fn) {
+    case PurposeFn::kAmCreate: return "am_create";
+    case PurposeFn::kAmDrop: return "am_drop";
+    case PurposeFn::kAmOpen: return "am_open";
+    case PurposeFn::kAmClose: return "am_close";
+    case PurposeFn::kAmBeginScan: return "am_beginscan";
+    case PurposeFn::kAmEndScan: return "am_endscan";
+    case PurposeFn::kAmRescan: return "am_rescan";
+    case PurposeFn::kAmGetNext: return "am_getnext";
+    case PurposeFn::kAmInsert: return "am_insert";
+    case PurposeFn::kAmDelete: return "am_delete";
+    case PurposeFn::kAmUpdate: return "am_update";
+    case PurposeFn::kAmScanCost: return "am_scancost";
+    case PurposeFn::kAmStats: return "am_stats";
+    case PurposeFn::kAmCheck: return "am_check";
+  }
+  return "am_unknown";
+}
+
+void QueryProfile::Reset() {
+  for (size_t i = 0; i < kPurposeFnCount; ++i) {
+    calls_[i] = 0;
+    ns_[i] = 0;
+  }
+  sequence_.clear();
+  sequence_dropped_ = 0;
+  rows_scanned = 0;
+  rows_returned = 0;
+  node_reads = 0;
+  cache_hits = 0;
+  lock_waits = 0;
+  lock_wait_ns = 0;
+}
+
+void QueryProfile::CountCall(PurposeFn fn) {
+  ++calls_[static_cast<size_t>(fn)];
+  if (sequence_.size() < kMaxSequence) {
+    sequence_.push_back(fn);
+  } else {
+    ++sequence_dropped_;
+  }
+}
+
+void QueryProfile::AddCallTime(PurposeFn fn, uint64_t ns) {
+  ns_[static_cast<size_t>(fn)] += ns;
+}
+
+uint64_t QueryProfile::total_calls() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kPurposeFnCount; ++i) total += calls_[i];
+  return total;
+}
+
+std::vector<std::string> QueryProfile::Report() const {
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < kPurposeFnCount; ++i) {
+    if (calls_[i] == 0) continue;
+    lines.push_back("PROFILE " +
+                    std::string(PurposeFnName(static_cast<PurposeFn>(i))) +
+                    " calls=" + std::to_string(calls_[i]) +
+                    " total_us=" + std::to_string(ns_[i] / 1000));
+  }
+  if (!sequence_.empty()) {
+    // Run-length compress the call sequence: "am_open am_beginscan
+    // am_getnext x61 am_endscan am_close".
+    std::string seq = "PROFILE sequence:";
+    size_t i = 0;
+    while (i < sequence_.size()) {
+      size_t run = 1;
+      while (i + run < sequence_.size() && sequence_[i + run] == sequence_[i]) {
+        ++run;
+      }
+      seq += ' ';
+      seq += PurposeFnName(sequence_[i]);
+      if (run > 1) seq += " x" + std::to_string(run);
+      i += run;
+    }
+    if (sequence_dropped_ > 0) {
+      seq += " ... +" + std::to_string(sequence_dropped_) + " dropped";
+    }
+    lines.push_back(std::move(seq));
+  }
+  lines.push_back("PROFILE rows_scanned=" + std::to_string(rows_scanned) +
+                  " rows_returned=" + std::to_string(rows_returned));
+  lines.push_back("PROFILE node_reads=" + std::to_string(node_reads) +
+                  " cache_hits=" + std::to_string(cache_hits) +
+                  " lock_waits=" + std::to_string(lock_waits) +
+                  " lock_wait_us=" + std::to_string(lock_wait_ns / 1000));
+  return lines;
+}
+
+QueryProfile* CurrentProfile() { return g_current_profile; }
+
+ScopedProfile::ScopedProfile(QueryProfile* profile)
+    : prev_(g_current_profile) {
+  g_current_profile = profile;
+}
+
+ScopedProfile::~ScopedProfile() { g_current_profile = prev_; }
+
+}  // namespace obs
+}  // namespace grtdb

@@ -1,0 +1,101 @@
+#ifndef GRTDB_OBS_QUERY_PROFILE_H_
+#define GRTDB_OBS_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grtdb {
+namespace obs {
+
+// The Virtual Index Interface purpose functions (paper Fig. 6), in the
+// order the profile report lists them.
+enum class PurposeFn {
+  kAmCreate,
+  kAmDrop,
+  kAmOpen,
+  kAmClose,
+  kAmBeginScan,
+  kAmEndScan,
+  kAmRescan,
+  kAmGetNext,
+  kAmInsert,
+  kAmDelete,
+  kAmUpdate,
+  kAmScanCost,
+  kAmStats,
+  kAmCheck,
+};
+inline constexpr size_t kPurposeFnCount = 14;
+
+// The generic (pre-resolution) name, e.g. "am_getnext".
+const char* PurposeFnName(PurposeFn fn);
+
+// Per-statement execution profile (paper Fig. 6 accounting): every VII
+// purpose-function invocation counted and timed, the invocation sequence,
+// and the substrate work attributable to the statement. Reset at the start
+// of each statement; not thread-safe (one statement executes on one
+// thread; substrate layers reach it through CurrentProfile()).
+class QueryProfile {
+ public:
+  void Reset();
+
+  void CountCall(PurposeFn fn);
+  void AddCallTime(PurposeFn fn, uint64_t ns);
+
+  uint64_t calls(PurposeFn fn) const {
+    return calls_[static_cast<size_t>(fn)];
+  }
+  uint64_t call_ns(PurposeFn fn) const {
+    return ns_[static_cast<size_t>(fn)];
+  }
+  uint64_t total_calls() const;
+  const std::vector<PurposeFn>& sequence() const { return sequence_; }
+
+  // Statement-attributable row and substrate counters, incremented
+  // directly by the executor and (via CurrentProfile()) by the node cache
+  // and lock manager.
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+  uint64_t node_reads = 0;
+  uint64_t cache_hits = 0;
+  uint64_t lock_waits = 0;
+  uint64_t lock_wait_ns = 0;
+
+  // Human/machine-readable report lines, each prefixed "PROFILE".
+  std::vector<std::string> Report() const;
+
+ private:
+  // The sequence is capped so a huge scan cannot balloon the profile;
+  // counts stay exact, only the ordered tail is dropped.
+  static constexpr size_t kMaxSequence = 4096;
+
+  uint64_t calls_[kPurposeFnCount] = {};
+  uint64_t ns_[kPurposeFnCount] = {};
+  std::vector<PurposeFn> sequence_;
+  uint64_t sequence_dropped_ = 0;
+};
+
+// Thread-local attribution point: the profile of the statement currently
+// executing on this thread, or null. Substrate layers (node cache, lock
+// manager) use it to charge work to the statement without plumbing a
+// context through every NodeStore call.
+QueryProfile* CurrentProfile();
+
+// RAII scope installing `profile` as the thread's current profile.
+class ScopedProfile {
+ public:
+  explicit ScopedProfile(QueryProfile* profile);
+  ~ScopedProfile();
+
+  ScopedProfile(const ScopedProfile&) = delete;
+  ScopedProfile& operator=(const ScopedProfile&) = delete;
+
+ private:
+  QueryProfile* prev_;
+};
+
+}  // namespace obs
+}  // namespace grtdb
+
+#endif  // GRTDB_OBS_QUERY_PROFILE_H_

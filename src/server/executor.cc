@@ -2,6 +2,7 @@
 
 #include "common/date.h"
 #include "common/strings.h"
+#include "server/purpose_call.h"
 #include "server/server.h"
 
 namespace grtdb {
@@ -409,10 +410,11 @@ Status Server::PlanQuery(ServerSession* session, Table* table,
       std::unique_ptr<OpenIndex> open;
       Status status = OpenIndexDesc(session, index, false, ctx, &open);
       if (status.ok()) {
-        session->LogPurposeCall(am->purpose_names.count("am_scancost") != 0
-                                    ? am->purpose_names.at("am_scancost")
-                                    : "am_scancost");
-        status = am->hooks.am_scancost(ctx, &open->desc, &qual, &cost);
+        {
+          PurposeCallScope call(this, session, am,
+                                obs::PurposeFn::kAmScanCost);
+          status = am->hooks.am_scancost(ctx, &open->desc, &qual, &cost);
+        }
         Status close = CloseIndexDesc(ctx, open.get());
         if (status.ok()) status = close;
       }
@@ -483,10 +485,8 @@ Status Server::InsertRow(ServerSession* session, Table* table,
         status = table->Get(id, &base_row);
         if (status.ok()) {
           Row key_row = KeyRowFor(open->desc, base_row);
-          session->LogPurposeCall(
-              open->am->purpose_names.count("am_insert") != 0
-                  ? open->am->purpose_names.at("am_insert")
-                  : "am_insert");
+          PurposeCallScope call(this, session, open->am,
+                                obs::PurposeFn::kAmInsert);
           status =
               open->am->hooks.am_insert(ctx, &open->desc, key_row, id.Pack());
         }
@@ -550,6 +550,7 @@ Status Server::ExecSelect(ServerSession* session, const sql::SelectStmt& stmt,
   uint64_t count = 0;
   auto emit = [&](const Row& row) -> Status {
     ++count;
+    ++session->profile().rows_returned;
     if (stmt.count_star) return Status::OK();
     std::vector<std::string> rendered;
     rendered.reserve(projection.size());
@@ -588,26 +589,25 @@ Status Server::ExecSelect(ServerSession* session, const sql::SelectStmt& stmt,
       scan.table_desc = &open->desc;
       scan.qual = &plan.qual;
       if (open->am->hooks.am_beginscan) {
-        session->LogPurposeCall(
-            open->am->purpose_names.count("am_beginscan") != 0
-                ? open->am->purpose_names.at("am_beginscan")
-                : "am_beginscan");
+        PurposeCallScope call(this, session, open->am,
+                              obs::PurposeFn::kAmBeginScan);
         status = open->am->hooks.am_beginscan(ctx, &scan);
       }
       while (status.ok()) {
         bool has = false;
         uint64_t retrowid = 0;
         Row retrow;
-        session->LogPurposeCall(
-            open->am->purpose_names.count("am_getnext") != 0
-                ? open->am->purpose_names.at("am_getnext")
-                : "am_getnext");
-        status = open->am->hooks.am_getnext(ctx, &scan, &has, &retrowid,
-                                            &retrow);
+        {
+          PurposeCallScope call(this, session, open->am,
+                                obs::PurposeFn::kAmGetNext);
+          status = open->am->hooks.am_getnext(ctx, &scan, &has, &retrowid,
+                                              &retrow);
+        }
         if (!status.ok() || !has) break;
         Row base_row;
         status = table->Get(RecordId::Unpack(retrowid), &base_row);
         if (!status.ok()) break;
+        ++session->profile().rows_scanned;
         bool matches = true;
         for (const sql::Expr* residual : plan.residual) {
           Value value;
@@ -625,10 +625,8 @@ Status Server::ExecSelect(ServerSession* session, const sql::SelectStmt& stmt,
         }
       }
       if (open->am->hooks.am_endscan) {
-        session->LogPurposeCall(
-            open->am->purpose_names.count("am_endscan") != 0
-                ? open->am->purpose_names.at("am_endscan")
-                : "am_endscan");
+        PurposeCallScope call(this, session, open->am,
+                              obs::PurposeFn::kAmEndScan);
         Status end = open->am->hooks.am_endscan(ctx, &scan);
         if (status.ok()) status = end;
       }
@@ -637,6 +635,7 @@ Status Server::ExecSelect(ServerSession* session, const sql::SelectStmt& stmt,
     }
   } else if (status.ok()) {
     Status scan_status = table->Scan([&](RecordId, const Row& row) {
+      ++session->profile().rows_scanned;
       if (stmt.where != nullptr) {
         Value value;
         Status eval = EvaluateExpr(ctx, *stmt.where, *table, row, &value);
@@ -703,10 +702,8 @@ Status Server::ExecDelete(ServerSession* session, const sql::DeleteStmt& stmt,
     for (auto& open : opens) {
       if (!open->am->hooks.am_delete) continue;
       Row key_row = KeyRowFor(open->desc, row);
-      session->LogPurposeCall(
-          open->am->purpose_names.count("am_delete") != 0
-              ? open->am->purpose_names.at("am_delete")
-              : "am_delete");
+      PurposeCallScope call(this, session, open->am,
+                            obs::PurposeFn::kAmDelete);
       GRTDB_RETURN_IF_ERROR(
           open->am->hooks.am_delete(ctx, &open->desc, key_row, id.Pack()));
     }
@@ -735,27 +732,26 @@ Status Server::ExecDelete(ServerSession* session, const sql::DeleteStmt& stmt,
       scan.table_desc = &scan_open->desc;
       scan.qual = &plan.qual;
       if (scan_open->am->hooks.am_beginscan) {
-        session->LogPurposeCall(
-            scan_open->am->purpose_names.count("am_beginscan") != 0
-                ? scan_open->am->purpose_names.at("am_beginscan")
-                : "am_beginscan");
+        PurposeCallScope call(this, session, scan_open->am,
+                              obs::PurposeFn::kAmBeginScan);
         status = scan_open->am->hooks.am_beginscan(ctx, &scan);
       }
       while (status.ok()) {
         bool has = false;
         uint64_t retrowid = 0;
         Row retrow;
-        session->LogPurposeCall(
-            scan_open->am->purpose_names.count("am_getnext") != 0
-                ? scan_open->am->purpose_names.at("am_getnext")
-                : "am_getnext");
-        status = scan_open->am->hooks.am_getnext(ctx, &scan, &has, &retrowid,
-                                                 &retrow);
+        {
+          PurposeCallScope call(this, session, scan_open->am,
+                                obs::PurposeFn::kAmGetNext);
+          status = scan_open->am->hooks.am_getnext(ctx, &scan, &has,
+                                                   &retrowid, &retrow);
+        }
         if (!status.ok() || !has) break;
         const RecordId id = RecordId::Unpack(retrowid);
         Row base_row;
         status = table->Get(id, &base_row);
         if (!status.ok()) break;
+        ++session->profile().rows_scanned;
         bool matches = true;
         for (const sql::Expr* residual : plan.residual) {
           Value value;
@@ -773,10 +769,8 @@ Status Server::ExecDelete(ServerSession* session, const sql::DeleteStmt& stmt,
         }
       }
       if (scan_open->am->hooks.am_endscan) {
-        session->LogPurposeCall(
-            scan_open->am->purpose_names.count("am_endscan") != 0
-                ? scan_open->am->purpose_names.at("am_endscan")
-                : "am_endscan");
+        PurposeCallScope call(this, session, scan_open->am,
+                              obs::PurposeFn::kAmEndScan);
         Status end = scan_open->am->hooks.am_endscan(ctx, &scan);
         if (status.ok()) status = end;
       }
@@ -785,6 +779,7 @@ Status Server::ExecDelete(ServerSession* session, const sql::DeleteStmt& stmt,
     // Sequential scan: collect matches first, then delete.
     std::vector<std::pair<RecordId, Row>> matches;
     Status scan_status = table->Scan([&](RecordId id, const Row& row) {
+      ++session->profile().rows_scanned;
       if (stmt.where != nullptr) {
         Value value;
         Status eval = EvaluateExpr(ctx, *stmt.where, *table, row, &value);
@@ -899,12 +894,12 @@ Status Server::ExecUpdate(ServerSession* session, const sql::UpdateStmt& stmt,
           if (!old_key[i].Equals(new_key[i])) key_changed = true;
         }
         if (!key_changed || !open->am->hooks.am_update) continue;
-        session->LogPurposeCall(
-            open->am->purpose_names.count("am_update") != 0
-                ? open->am->purpose_names.at("am_update")
-                : "am_update");
-        status = open->am->hooks.am_update(ctx, &open->desc, old_key,
-                                           id.Pack(), new_key, id.Pack());
+        {
+          PurposeCallScope call(this, session, open->am,
+                                obs::PurposeFn::kAmUpdate);
+          status = open->am->hooks.am_update(ctx, &open->desc, old_key,
+                                             id.Pack(), new_key, id.Pack());
+        }
         if (!status.ok()) break;
       }
       if (!status.ok()) break;

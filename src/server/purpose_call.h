@@ -1,0 +1,56 @@
+#ifndef GRTDB_SERVER_PURPOSE_CALL_H_
+#define GRTDB_SERVER_PURPOSE_CALL_H_
+
+#include <string>
+
+#include "obs/fast_clock.h"
+#include "obs/query_profile.h"
+#include "server/catalog.h"
+#include "server/server.h"
+
+namespace grtdb {
+
+// RAII wrapper around one VII purpose-function invocation: logs the
+// resolved name to the session's purpose log (the paper's Fig. 6 call
+// record), counts the call in the per-statement QueryProfile, and — when
+// server observability is on — times it into the vii.<fn>.us histogram and
+// vii.<fn>.calls counter. Construct immediately before invoking the hook;
+// the enclosed call is timed until the scope dies.
+class PurposeCallScope {
+ public:
+  PurposeCallScope(Server* server, ServerSession* session,
+                   const AccessMethodDef* am, obs::PurposeFn fn)
+      : server_(server), session_(session), fn_(fn) {
+    const char* generic = obs::PurposeFnName(fn);
+    auto it = am->purpose_names.find(generic);
+    session_->LogPurposeCall(it != am->purpose_names.end() ? it->second
+                                                           : generic);
+    session_->profile().CountCall(fn);
+    timed_ = server_->observability_enabled();
+    if (timed_) start_ticks_ = obs::Ticks();
+  }
+
+  ~PurposeCallScope() {
+    if (!timed_) return;
+    const uint64_t ns = obs::TicksToNs(obs::Ticks() - start_ticks_);
+    session_->profile().AddCallTime(fn_, ns);
+    if (obs::Counter* calls = server_->vii_call_counter(fn_)) calls->Add();
+    if (obs::Histogram* us = server_->vii_time_histogram(fn_)) {
+      us->Record(ns / 1000);
+    }
+  }
+
+  PurposeCallScope(const PurposeCallScope&) = delete;
+  PurposeCallScope& operator=(const PurposeCallScope&) = delete;
+
+ private:
+  Server* server_;
+  ServerSession* session_;
+  obs::PurposeFn fn_;
+  bool timed_ = false;
+  uint64_t start_ticks_ = 0;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_PURPOSE_CALL_H_

@@ -4,6 +4,7 @@
 
 #include "common/date.h"
 #include "common/strings.h"
+#include "server/purpose_call.h"
 #include "sql/parser.h"
 
 namespace grtdb {
@@ -13,6 +14,15 @@ Server::Server(const ServerOptions& options)
       lock_manager_(options.lock_timeout),
       txn_manager_(&lock_manager_),
       current_time_(options.initial_time) {
+  trace_.SetCapacity(options.trace_capacity);
+  if (options_.observability) {
+    for (size_t i = 0; i < obs::kPurposeFnCount; ++i) {
+      const std::string fn = obs::PurposeFnName(static_cast<obs::PurposeFn>(i));
+      vii_calls_[i] = metrics_.GetCounter("vii." + fn + ".calls");
+      vii_us_[i] = metrics_.GetHistogram("vii." + fn + ".us");
+    }
+    lock_manager_.set_metrics(&metrics_);
+  }
   // A default sbspace so CREATE INDEX without IN <space> works.
   Status st = CreateSbspace("default");
   (void)st;  // cannot fail on a fresh server
@@ -30,6 +40,9 @@ Status Server::CreateSbspace(const std::string& name) {
   if (!sbspace_or.ok()) return sbspace_or.status();
   space_backends_[key] = std::move(backend);
   sbspaces_[key] = std::move(sbspace_or).value();
+  if (options_.observability) {
+    sbspaces_[key]->pager().set_metrics(&metrics_);
+  }
   return Status::OK();
 }
 
@@ -180,6 +193,89 @@ std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
     }
     return table;
   }
+  if (EqualsIgnoreCase(name, "sys_metrics")) {
+    std::vector<ColumnDef> cols = {{"name", TypeDesc::Text()},
+                                   {"kind", TypeDesc::Text()},
+                                   {"value", TypeDesc::Integer()},
+                                   {"count", TypeDesc::Integer()},
+                                   {"sum", TypeDesc::Integer()},
+                                   {"buckets", TypeDesc::Text()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    auto insert = [&](const obs::MetricSample& sample) {
+      Status st = table->Insert(
+          {Value::Text(sample.name), Value::Text(sample.KindName()),
+           Value::Integer(sample.value),
+           Value::Integer(static_cast<int64_t>(sample.count)),
+           Value::Integer(static_cast<int64_t>(sample.sum)),
+           Value::Text(sample.buckets)},
+          &ignored);
+      (void)st;
+    };
+    for (const obs::MetricSample& sample : metrics_.Snapshot()) {
+      insert(sample);
+    }
+    // The trace facility keeps its own counter (the blade layer cannot
+    // depend on the registry); surface it as a synthetic row.
+    obs::MetricSample dropped;
+    dropped.name = "trace.dropped";
+    dropped.kind = obs::MetricSample::Kind::kCounter;
+    dropped.value = static_cast<int64_t>(trace_.dropped());
+    insert(dropped);
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sys_trace")) {
+    std::vector<ColumnDef> cols = {{"seq", TypeDesc::Integer()},
+                                   {"ts_us", TypeDesc::Integer()},
+                                   {"thread", TypeDesc::Integer()},
+                                   {"class", TypeDesc::Text()},
+                                   {"level", TypeDesc::Integer()},
+                                   {"message", TypeDesc::Text()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    for (const TraceRecord& record : trace_.records()) {
+      Status st = table->Insert(
+          {Value::Integer(static_cast<int64_t>(record.seq)),
+           Value::Integer(record.ts_us),
+           Value::Integer(static_cast<int64_t>(record.thread)),
+           Value::Text(record.trace_class),
+           Value::Integer(record.level), Value::Text(record.message)},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sys_locks")) {
+    std::vector<ColumnDef> cols = {{"kind", TypeDesc::Text()},
+                                   {"resource", TypeDesc::Integer()},
+                                   {"txn", TypeDesc::Integer()},
+                                   {"mode", TypeDesc::Text()},
+                                   {"depth", TypeDesc::Integer()},
+                                   {"upgrader_waiting", TypeDesc::Integer()},
+                                   {"waiting_exclusive", TypeDesc::Integer()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    auto kind_name = [](ResourceKind kind) -> const char* {
+      switch (kind) {
+        case ResourceKind::kLargeObject: return "large_object";
+        case ResourceKind::kTable: return "table";
+        case ResourceKind::kRow: return "row";
+      }
+      return "?";
+    };
+    for (const LockDumpRow& row : lock_manager_.Dump()) {
+      Status st = table->Insert(
+          {Value::Text(kind_name(row.kind)),
+           Value::Integer(static_cast<int64_t>(row.resource)),
+           Value::Integer(static_cast<int64_t>(row.txn)),
+           Value::Text(row.count == 0
+                           ? ""
+                           : (row.mode == LockMode::kExclusive ? "X" : "S")),
+           Value::Integer(row.count),
+           Value::Integer(row.upgrader_waiting ? 1 : 0),
+           Value::Integer(row.waiting_exclusive)},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
   return nullptr;
 }
 
@@ -299,8 +395,31 @@ Status Server::ExecuteStatement(ServerSession* session,
     Status operator()(const sql::UnloadStmt& s) {
       return server->ExecUnload(session, s, out);
     }
+    Status operator()(const sql::ExplainProfileStmt& s) {
+      return server->ExecExplainProfile(session, s, out);
+    }
   };
+  // Fresh per-statement profile, installed as this thread's attribution
+  // point so the node cache and lock manager can charge work to it. An
+  // EXPLAIN PROFILE wrapper re-enters here for its inner statement; the
+  // inner reset is exactly what gives the wrapper a clean profile to
+  // report.
+  session->profile().Reset();
+  obs::ScopedProfile profile_scope(&session->profile());
   return std::visit(Visitor{this, session, out}, stmt);
+}
+
+Status Server::ExecExplainProfile(ServerSession* session,
+                                  const sql::ExplainProfileStmt& stmt,
+                                  ResultSet* out) {
+  // Execute re-parses and runs the inner statement; its ExecuteStatement
+  // resets the session profile, so what is left afterwards is exactly the
+  // inner statement's accounting.
+  GRTDB_RETURN_IF_ERROR(Execute(session, stmt.inner_sql, out));
+  for (std::string& line : session->profile().Report()) {
+    out->messages.push_back(std::move(line));
+  }
+  return Status::OK();
 }
 
 // ------------------------------------------------------------------- DDL ---
@@ -467,9 +586,7 @@ Status Server::ExecDropIndex(ServerSession* session,
   desc.key_types = index->key_types;
   Status status = Status::OK();
   if (am->hooks.am_drop) {
-    session->LogPurposeCall(am->purpose_names.count("am_drop") != 0
-                                ? am->purpose_names.at("am_drop")
-                                : "am_drop");
+    PurposeCallScope call(this, session, am, obs::PurposeFn::kAmDrop);
     status = am->hooks.am_drop(ctx, &desc);
   }
   if (status.ok()) status = catalog_.DropIndex(stmt.index);
@@ -602,10 +719,10 @@ Status Server::ExecCheckIndex(ServerSession* session,
   std::unique_ptr<OpenIndex> open;
   Status status = OpenIndexDesc(session, index, false, ctx, &open);
   if (status.ok()) {
-    session->LogPurposeCall(am->purpose_names.count("am_check") != 0
-                                ? am->purpose_names.at("am_check")
-                                : "am_check");
-    status = am->hooks.am_check(ctx, &open->desc);
+    {
+      PurposeCallScope call(this, session, am, obs::PurposeFn::kAmCheck);
+      status = am->hooks.am_check(ctx, &open->desc);
+    }
     Status close = CloseIndexDesc(ctx, open.get());
     if (status.ok()) status = close;
   }
@@ -639,10 +756,10 @@ Status Server::ExecUpdateStatistics(ServerSession* session,
   std::unique_ptr<OpenIndex> open;
   Status status = OpenIndexDesc(session, index, false, ctx, &open);
   if (status.ok()) {
-    session->LogPurposeCall(am->purpose_names.count("am_stats") != 0
-                                ? am->purpose_names.at("am_stats")
-                                : "am_stats");
-    status = am->hooks.am_stats(ctx, &open->desc);
+    {
+      PurposeCallScope call(this, session, am, obs::PurposeFn::kAmStats);
+      status = am->hooks.am_stats(ctx, &open->desc);
+    }
     Status close = CloseIndexDesc(ctx, open.get());
     if (status.ok()) status = close;
   }
@@ -678,9 +795,7 @@ Status Server::OpenIndexDesc(ServerSession* session, IndexDef* index,
   open->desc.key_types = index->key_types;
   open->desc.just_created = just_created;
   if (am->hooks.am_open) {
-    session->LogPurposeCall(am->purpose_names.count("am_open") != 0
-                                ? am->purpose_names.at("am_open")
-                                : "am_open");
+    PurposeCallScope call(this, session, am, obs::PurposeFn::kAmOpen);
     GRTDB_RETURN_IF_ERROR(am->hooks.am_open(ctx, &open->desc));
   }
   *out = std::move(open);
@@ -689,10 +804,8 @@ Status Server::OpenIndexDesc(ServerSession* session, IndexDef* index,
 
 Status Server::CloseIndexDesc(MiCallContext& ctx, OpenIndex* open) {
   if (open->am->hooks.am_close) {
-    ctx.session->LogPurposeCall(
-        open->am->purpose_names.count("am_close") != 0
-            ? open->am->purpose_names.at("am_close")
-            : "am_close");
+    PurposeCallScope call(this, ctx.session, open->am,
+                          obs::PurposeFn::kAmClose);
     return open->am->hooks.am_close(ctx, &open->desc);
   }
   return Status::OK();
@@ -786,10 +899,11 @@ Status Server::ExecCreateIndex(ServerSession* session,
   create_desc.key_columns = stored->key_columns;
   create_desc.key_types = stored->key_types;
   if (am->hooks.am_create) {
-    session->LogPurposeCall(am->purpose_names.count("am_create") != 0
-                                ? am->purpose_names.at("am_create")
-                                : "am_create");
-    Status status = am->hooks.am_create(ctx, &create_desc);
+    Status status;
+    {
+      PurposeCallScope call(this, session, am, obs::PurposeFn::kAmCreate);
+      status = am->hooks.am_create(ctx, &create_desc);
+    }
     if (!status.ok()) return fail(status);
   }
   std::unique_ptr<OpenIndex> open;
@@ -802,9 +916,7 @@ Status Server::ExecCreateIndex(ServerSession* session,
   if (am->hooks.am_insert) {
     status = table->Scan([&](RecordId id, const Row& row) {
       Row key_row = KeyRowFor(open->desc, row);
-      session->LogPurposeCall(am->purpose_names.count("am_insert") != 0
-                                  ? am->purpose_names.at("am_insert")
-                                  : "am_insert");
+      PurposeCallScope call(this, session, am, obs::PurposeFn::kAmInsert);
       Status insert_status =
           am->hooks.am_insert(ctx, &open->desc, key_row, id.Pack());
       if (!insert_status.ok()) {

@@ -12,6 +12,8 @@
 #include "blade/mi_memory.h"
 #include "blade/trace.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
 #include "server/catalog.h"
 #include "server/result.h"
 #include "server/types.h"
@@ -53,11 +55,15 @@ class ServerSession {
     purpose_log_.push_back(name);
   }
 
+  // The most recent statement's execution profile (reset per statement).
+  obs::QueryProfile& profile() { return profile_; }
+
  private:
   Session session_;
   bool explain_ = false;
   CurrentTimeMode time_mode_ = CurrentTimeMode::kPerStatement;
   std::vector<std::string> purpose_log_;
+  obs::QueryProfile profile_;
 };
 
 struct ServerOptions {
@@ -66,6 +72,13 @@ struct ServerOptions {
   std::chrono::milliseconds lock_timeout{500};
   // Simulation clock start (chronons = days since 1970-01-01).
   int64_t initial_time = 10000;
+  // Wires subsystem counters into the metrics registry and times purpose
+  // functions. Off leaves only the per-statement call counts (needed by
+  // EXPLAIN PROFILE cross-checks) — the configuration bench_obs_overhead
+  // compares against.
+  bool observability = true;
+  // Trace ring capacity (records kept before the oldest is dropped).
+  size_t trace_capacity = TraceFacility::kDefaultCapacity;
 };
 
 // The extensible database server: catalog, SQL execution, the Virtual
@@ -90,6 +103,18 @@ class Server {
   LockManager& lock_manager() { return lock_manager_; }
   TransactionManager& txn_manager() { return txn_manager_; }
   Catalog& catalog() { return catalog_; }
+
+  // ---- observability ----------------------------------------------------
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  bool observability_enabled() const { return options_.observability; }
+  // Cached per-purpose-function registry handles (vii.<fn>.calls /
+  // vii.<fn>.us), used by PurposeCallScope.
+  obs::Counter* vii_call_counter(obs::PurposeFn fn) {
+    return vii_calls_[static_cast<size_t>(fn)];
+  }
+  obs::Histogram* vii_time_histogram(obs::PurposeFn fn) {
+    return vii_us_[static_cast<size_t>(fn)];
+  }
 
   // ---- simulation clock (granularity: days, §5.1) -----------------------
   int64_t current_time() const { return current_time_; }
@@ -169,6 +194,9 @@ class Server {
                               ResultSet* out);
   Status ExecLoad(ServerSession* session, const sql::LoadStmt& stmt,
                   ResultSet* out);
+  Status ExecExplainProfile(ServerSession* session,
+                            const sql::ExplainProfileStmt& stmt,
+                            ResultSet* out);
   // Shared insert path (heap insert + Fig. 6(a) index maintenance) used by
   // INSERT and LOAD.
   Status InsertRow(ServerSession* session, Table* table,
@@ -213,6 +241,9 @@ class Server {
   MiMemory memory_;
   MiNamedMemory named_memory_;
   TraceFacility trace_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* vii_calls_[obs::kPurposeFnCount] = {};
+  obs::Histogram* vii_us_[obs::kPurposeFnCount] = {};
   LockManager lock_manager_;
   TransactionManager txn_manager_;
   Catalog catalog_;

@@ -165,6 +165,14 @@ struct UpdateStatisticsStmt {
   std::string index;
 };
 
+// EXPLAIN PROFILE <stmt> — executes the inner statement and appends its
+// per-statement purpose-function profile to the result messages. The inner
+// statement is kept as text (validated at parse time, re-parsed at
+// execution) so the Statement variant stays non-recursive.
+struct ExplainProfileStmt {
+  std::string inner_sql;
+};
+
 using Statement =
     std::variant<CreateTableStmt, DropTableStmt, CreateFunctionStmt,
                  CreateAccessMethodStmt, CreateOpclassStmt, CreateIndexStmt,
@@ -172,7 +180,7 @@ using Statement =
                  DropOpclassStmt, InsertStmt, SelectStmt, DeleteStmt,
                  UpdateStmt, BeginWorkStmt, CommitWorkStmt, RollbackWorkStmt,
                  SetStmt, CheckIndexStmt, UpdateStatisticsStmt, LoadStmt,
-                 UnloadStmt>;
+                 UnloadStmt, ExplainProfileStmt>;
 
 }  // namespace sql
 }  // namespace grtdb

@@ -71,7 +71,7 @@ Status Parser::TakeIdentifier(std::string* out) {
 Status Parser::Parse(const std::string& text, Statement* out) {
   std::vector<Token> tokens;
   GRTDB_RETURN_IF_ERROR(Tokenize(text, &tokens));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), text);
   GRTDB_RETURN_IF_ERROR(parser.ParseStatement(out));
   parser.TrySymbol(";");
   if (parser.Peek().kind != Token::Kind::kEnd) {
@@ -84,7 +84,7 @@ Status Parser::ParseScript(const std::string& text,
                            std::vector<Statement>* out) {
   std::vector<Token> tokens;
   GRTDB_RETURN_IF_ERROR(Tokenize(text, &tokens));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), text);
   out->clear();
   while (parser.Peek().kind != Token::Kind::kEnd) {
     if (parser.TrySymbol(";")) continue;
@@ -104,6 +104,7 @@ Status Parser::ParseStatement(Statement* out) {
   if (AtKeyword("UPDATE")) return ParseUpdate(out);
   if (AtKeyword("SET")) return ParseSet(out);
   if (AtKeyword("CHECK")) return ParseCheck(out);
+  if (AtKeyword("EXPLAIN")) return ParseExplain(out);
   if (AtKeyword("LOAD")) return ParseLoad(out);
   if (AtKeyword("UNLOAD")) return ParseUnload(out);
   if (AtKeyword("BEGIN")) {
@@ -499,6 +500,25 @@ Status Parser::ParseCheck(Statement* out) {
   GRTDB_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
   CheckIndexStmt stmt;
   GRTDB_RETURN_IF_ERROR(TakeIdentifier(&stmt.index));
+  *out = std::move(stmt);
+  return Status::OK();
+}
+
+Status Parser::ParseExplain(Statement* out) {
+  GRTDB_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
+  GRTDB_RETURN_IF_ERROR(ExpectKeyword("PROFILE"));
+  const size_t start = Peek().offset;
+  if (Peek().kind == Token::Kind::kEnd) {
+    return ErrorAt(Peek(), "a statement to profile");
+  }
+  // Parse the inner statement now so syntax errors surface at parse time,
+  // but carry it as the original text span: the executor re-parses and
+  // runs it under a profile, and the Statement variant stays flat.
+  Statement inner;
+  GRTDB_RETURN_IF_ERROR(ParseStatement(&inner));
+  const size_t end = Peek().offset;
+  ExplainProfileStmt stmt;
+  stmt.inner_sql = text_.substr(start, end - start);
   *out = std::move(stmt);
   return Status::OK();
 }

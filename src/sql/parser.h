@@ -27,7 +27,8 @@ class Parser {
                             std::vector<Statement>* out);
 
  private:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, std::string text)
+      : tokens_(std::move(tokens)), text_(std::move(text)) {}
 
   const Token& Peek(size_t ahead = 0) const;
   Token Take();
@@ -51,6 +52,7 @@ class Parser {
   Status ParseUpdate(Statement* out);
   Status ParseSet(Statement* out);
   Status ParseCheck(Statement* out);
+  Status ParseExplain(Statement* out);
   Status ParseLoad(Statement* out);
   Status ParseUnload(Statement* out);
 
@@ -63,6 +65,9 @@ class Parser {
   Status ParseOperand(std::unique_ptr<Expr>* out);
 
   std::vector<Token> tokens_;
+  // Original statement text; token offsets index into it, which lets
+  // EXPLAIN PROFILE carry its inner statement as a text span.
+  std::string text_;
   size_t pos_ = 0;
 };
 

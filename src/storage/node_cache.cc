@@ -3,6 +3,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/query_profile.h"
+
 namespace grtdb {
 
 NodeCache::NodeCache(NodeStore* inner, size_t capacity)
@@ -24,10 +26,25 @@ NodeCache::~NodeCache() {
   }
 }
 
+void NodeCache::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_reads_ = m_writes_ = m_hits_ = m_misses_ = m_evictions_ =
+        m_write_backs_ = nullptr;
+    return;
+  }
+  m_reads_ = metrics->GetCounter("cache.reads");
+  m_writes_ = metrics->GetCounter("cache.writes");
+  m_hits_ = metrics->GetCounter("cache.hits");
+  m_misses_ = metrics->GetCounter("cache.misses");
+  m_evictions_ = metrics->GetCounter("cache.evictions");
+  m_write_backs_ = metrics->GetCounter("cache.write_backs");
+}
+
 Status NodeCache::WriteBackLocked(Frame& frame) {
   GRTDB_RETURN_IF_ERROR(inner_->WriteNode(frame.node_id, frame.data.get()));
   frame.dirty = false;
   write_backs_.fetch_add(1, std::memory_order_relaxed);
+  if (m_write_backs_ != nullptr) m_write_backs_->Add();
   return Status::OK();
 }
 
@@ -63,13 +80,16 @@ Status NodeCache::GrabFrameLocked(size_t* frame) {
     node_table_.erase(f.node_id);
     f.node_id = kInvalidNodeId;
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (m_evictions_ != nullptr) m_evictions_->Add();
   }
   *frame = victim;
   return Status::OK();
 }
 
 Status NodeCache::PinFrame(NodeId id, size_t* frame,
-                           std::shared_lock<std::shared_mutex>* latch) {
+                           std::shared_lock<std::shared_mutex>* latch,
+                           bool* hit) {
+  *hit = true;
   {
     std::shared_lock shared(latch_);
     auto it = node_table_.find(id);
@@ -78,6 +98,7 @@ Status NodeCache::PinFrame(NodeId id, size_t* frame,
       f.pins.fetch_add(1, std::memory_order_acq_rel);
       f.lru_tick.store(NextTick(), std::memory_order_relaxed);
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (m_hits_ != nullptr) m_hits_->Add();
       *frame = it->second;
       *latch = std::move(shared);
       return Status::OK();
@@ -95,9 +116,12 @@ Status NodeCache::PinFrame(NodeId id, size_t* frame,
       f.dirty = false;
       node_table_[id] = slot;
       misses_.fetch_add(1, std::memory_order_relaxed);
+      if (m_misses_ != nullptr) m_misses_->Add();
+      *hit = false;
       it = node_table_.find(id);
     } else {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (m_hits_ != nullptr) m_hits_->Add();
     }
     Frame& f = frames_[it->second];
     f.pins.fetch_add(1, std::memory_order_acq_rel);
@@ -116,9 +140,15 @@ void NodeCache::Unpin(size_t frame) {
 
 Status NodeCache::ReadNode(NodeId id, uint8_t* out) {
   reads_.fetch_add(1, std::memory_order_relaxed);
+  if (m_reads_ != nullptr) m_reads_->Add();
   size_t frame;
   std::shared_lock<std::shared_mutex> latch;
-  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch));
+  bool hit;
+  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch, &hit));
+  if (obs::QueryProfile* profile = obs::CurrentProfile()) {
+    ++profile->node_reads;
+    if (hit) ++profile->cache_hits;
+  }
   std::memcpy(out, frames_[frame].data.get(), kPageSize);
   latch.unlock();
   Unpin(frame);
@@ -127,9 +157,15 @@ Status NodeCache::ReadNode(NodeId id, uint8_t* out) {
 
 Status NodeCache::ViewNode(NodeId id, NodeView* view) {
   reads_.fetch_add(1, std::memory_order_relaxed);
+  if (m_reads_ != nullptr) m_reads_->Add();
   size_t frame;
   std::shared_lock<std::shared_mutex> latch;
-  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch));
+  bool hit;
+  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch, &hit));
+  if (obs::QueryProfile* profile = obs::CurrentProfile()) {
+    ++profile->node_reads;
+    if (hit) ++profile->cache_hits;
+  }
   view->AdoptPinned(this, frame, frames_[frame].data.get(),
                     std::move(latch));
   return Status::OK();
@@ -139,6 +175,7 @@ Status NodeCache::FrameForWriteLocked(NodeId id, size_t* frame) {
   auto it = node_table_.find(id);
   if (it != node_table_.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (m_hits_ != nullptr) m_hits_->Add();
     *frame = it->second;
     return Status::OK();
   }
@@ -150,11 +187,13 @@ Status NodeCache::FrameForWriteLocked(NodeId id, size_t* frame) {
   f.dirty = false;
   node_table_[id] = *frame;
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (m_misses_ != nullptr) m_misses_->Add();
   return Status::OK();
 }
 
 Status NodeCache::WriteNode(NodeId id, const uint8_t* data) {
   writes_.fetch_add(1, std::memory_order_relaxed);
+  if (m_writes_ != nullptr) m_writes_->Add();
   std::unique_lock lock(latch_);
   size_t frame;
   GRTDB_RETURN_IF_ERROR(FrameForWriteLocked(id, &frame));

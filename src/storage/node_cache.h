@@ -10,6 +10,7 @@
 
 #include "blade/trace.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/node_store.h"
 
 namespace grtdb {
@@ -54,6 +55,11 @@ class NodeCache final : public NodeStore {
   NodeStore* inner() const { return inner_; }
   void set_trace(TraceFacility* trace) { trace_ = trace; }
 
+  // Mirrors the private counters into server-wide cache.* metrics; the
+  // counter handles are resolved once here, never per access. Multiple
+  // caches on the same registry aggregate.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   // Called by NodeView::Reset when a pinned view is dropped.
   void Unpin(size_t frame);
 
@@ -66,9 +72,10 @@ class NodeCache final : public NodeStore {
     std::unique_ptr<uint8_t[]> data;
   };
 
-  // Returns with `latch` holding latch_ shared and the frame pinned.
+  // Returns with `latch` holding latch_ shared and the frame pinned;
+  // `*hit` reports whether the node was already resident.
   Status PinFrame(NodeId id, size_t* frame,
-                  std::shared_lock<std::shared_mutex>* latch);
+                  std::shared_lock<std::shared_mutex>* latch, bool* hit);
   // Both require latch_ held exclusive.
   Status GrabFrameLocked(size_t* frame);
   Status FrameForWriteLocked(NodeId id, size_t* frame);
@@ -77,6 +84,14 @@ class NodeCache final : public NodeStore {
 
   NodeStore* inner_;
   TraceFacility* trace_ = nullptr;
+
+  // Cached registry handles (null when no registry is wired).
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_writes_ = nullptr;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_write_backs_ = nullptr;
 
   mutable std::shared_mutex latch_;
   std::vector<Frame> frames_;

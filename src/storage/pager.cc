@@ -12,6 +12,21 @@ Pager::Pager(Space* space, size_t capacity) : space_(space) {
   }
 }
 
+void Pager::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    m_logical_reads_ = m_physical_reads_ = m_physical_writes_ = nullptr;
+    m_hits_ = m_misses_ = m_evictions_ = nullptr;
+    return;
+  }
+  m_logical_reads_ = metrics->GetCounter("pager.logical_reads");
+  m_physical_reads_ = metrics->GetCounter("pager.physical_reads");
+  m_physical_writes_ = metrics->GetCounter("pager.physical_writes");
+  m_hits_ = metrics->GetCounter("pager.hits");
+  m_misses_ = metrics->GetCounter("pager.misses");
+  m_evictions_ = metrics->GetCounter("pager.evictions");
+}
+
 Status Pager::GrabFrameLocked(size_t* frame_index) {
   size_t victim = frames_.size();
   uint64_t best_tick = UINT64_MAX;
@@ -33,11 +48,13 @@ Status Pager::GrabFrameLocked(size_t* frame_index) {
   if (frame.dirty) {
     GRTDB_RETURN_IF_ERROR(space_->WritePage(frame.page_id, frame.data.get()));
     ++stats_.physical_writes;
+    if (m_physical_writes_ != nullptr) m_physical_writes_->Add();
     frame.dirty = false;
   }
   page_table_.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
   ++stats_.evictions;
+  if (m_evictions_ != nullptr) m_evictions_->Add();
   *frame_index = victim;
   return Status::OK();
 }
@@ -66,16 +83,19 @@ Status Pager::NewPage(PageId* id, uint8_t** data) {
 Status Pager::FetchPage(PageId id, uint8_t** data) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.logical_reads;
+  if (m_logical_reads_ != nullptr) m_logical_reads_->Add();
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     Frame& frame = frames_[it->second];
     ++frame.pin_count;
     frame.lru_tick = ++tick_;
     ++stats_.hits;
+    if (m_hits_ != nullptr) m_hits_->Add();
     *data = frame.data.get();
     return Status::OK();
   }
   ++stats_.misses;
+  if (m_misses_ != nullptr) m_misses_->Add();
   size_t frame_index;
   GRTDB_RETURN_IF_ERROR(GrabFrameLocked(&frame_index));
   Frame& frame = frames_[frame_index];
@@ -90,6 +110,7 @@ Status Pager::FetchPage(PageId id, uint8_t** data) {
     return read;
   }
   ++stats_.physical_reads;
+  if (m_physical_reads_ != nullptr) m_physical_reads_->Add();
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = false;
@@ -120,6 +141,7 @@ Status Pager::FlushAll() {
       GRTDB_RETURN_IF_ERROR(
           space_->WritePage(frame.page_id, frame.data.get()));
       ++stats_.physical_writes;
+      if (m_physical_writes_ != nullptr) m_physical_writes_->Add();
       frame.dirty = false;
     }
   }

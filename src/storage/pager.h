@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/space.h"
 
 namespace grtdb {
@@ -53,6 +54,10 @@ class Pager {
   PagerStats stats() const;
   void ResetStats();
 
+  // Mirrors page-I/O counts into server-wide pager.* metrics. The names
+  // are shared, so every pager on the registry aggregates into one set.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   size_t capacity() const { return frames_.size(); }
   Space* space() const { return space_; }
 
@@ -74,6 +79,14 @@ class Pager {
   std::unordered_map<PageId, size_t> page_table_;
   uint64_t tick_ = 0;
   PagerStats stats_;
+
+  // Cached registry handles (null when no registry is wired).
+  obs::Counter* m_logical_reads_ = nullptr;
+  obs::Counter* m_physical_reads_ = nullptr;
+  obs::Counter* m_physical_writes_ = nullptr;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
 };
 
 // RAII pin on a page.

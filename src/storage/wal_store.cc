@@ -321,8 +321,28 @@ Status WalNodeStore::ApplyTxnInnerLocked(const TxnBuffer& txn) {
   return Status::OK();
 }
 
+void WalNodeStore::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_commit_us_ = m_batch_size_ = nullptr;
+    m_commits_ = m_syncs_ = m_group_commits_ = m_log_bytes_ = nullptr;
+    return;
+  }
+  m_commit_us_ = metrics->GetHistogram("wal.commit_us");
+  m_batch_size_ = metrics->GetHistogram("wal.batch_size");
+  m_commits_ = metrics->GetCounter("wal.commits");
+  m_syncs_ = metrics->GetCounter("wal.syncs");
+  m_group_commits_ = metrics->GetCounter("wal.group_commits");
+  m_log_bytes_ = metrics->GetCounter("wal.log_bytes");
+}
+
 Status WalNodeStore::CommitBuffer(TxnBuffer* txn, bool apply) {
   if (!txn->open) return Status::InvalidArgument("no WAL transaction open");
+
+  // The commit-latency histogram spans the whole commit: frame build,
+  // queueing, the (possibly borrowed) fsync, and the inner-store apply.
+  const auto commit_start = m_commit_us_ != nullptr
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point();
 
   CommitRequest req;
   req.txn = txn;
@@ -349,6 +369,13 @@ Status WalNodeStore::CommitBuffer(TxnBuffer* txn, bool apply) {
     txn->writes.clear();
     txn->frees.clear();
     txn->open = false;
+    if (m_commit_us_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - commit_start;
+      m_commit_us_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count()));
+    }
+    if (m_commits_ != nullptr) m_commits_->Add();
   }
   return req.result;
 }
@@ -412,6 +439,14 @@ void WalNodeStore::RunLeaderRound(std::unique_lock<std::mutex>& lk) {
       ++wal_stats_.group_commits;
       wal_stats_.batched_commits += batch.size() - 1;
       wal_stats_.fsyncs_saved += batch.size() - 1;
+    }
+  }
+  if (io.ok()) {
+    if (m_syncs_ != nullptr) m_syncs_->Add();
+    if (m_log_bytes_ != nullptr) m_log_bytes_->Add(blob.size());
+    if (m_batch_size_ != nullptr) m_batch_size_->Record(batch.size());
+    if (m_group_commits_ != nullptr && batch.size() > 1) {
+      m_group_commits_->Add();
     }
   }
   if (trace_ != nullptr && batch.size() > 1) {

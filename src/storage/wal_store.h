@@ -13,6 +13,7 @@
 
 #include "blade/trace.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/node_store.h"
 
 namespace grtdb {
@@ -137,6 +138,11 @@ class WalNodeStore final : public NodeStore {
   // and checkpoints, level 2: per-batch group commits). May be null.
   void set_trace(TraceFacility* trace) { trace_ = trace; }
 
+  // Mirrors commit-path activity into server-wide wal.* metrics: commit
+  // latency and group-commit batch-size histograms plus commit/sync
+  // counters. Handles are cached here; null unwires.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   // Test hook: commit to the log but "crash" before applying to the inner
   // store — Recover() must repair this.
   Status CommitWithCrashBeforeApply();
@@ -195,6 +201,14 @@ class WalNodeStore final : public NodeStore {
   int log_fd_ = -1;
   TraceFacility* trace_ = nullptr;
   WriteHook write_hook_;
+
+  // Cached registry handles (null when no registry is wired).
+  obs::Histogram* m_commit_us_ = nullptr;
+  obs::Histogram* m_batch_size_ = nullptr;
+  obs::Counter* m_commits_ = nullptr;
+  obs::Counter* m_syncs_ = nullptr;
+  obs::Counter* m_group_commits_ = nullptr;
+  obs::Counter* m_log_bytes_ = nullptr;
 
   // The built-in session behind Begin()/Commit()/Rollback().
   TxnBuffer default_txn_;

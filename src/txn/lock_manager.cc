@@ -1,5 +1,7 @@
 #include "txn/lock_manager.h"
 
+#include "obs/query_profile.h"
+
 namespace grtdb {
 
 bool LockManager::CompatibleLocked(const LockState& state, TxnId txn,
@@ -32,6 +34,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
                                        std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.acquisitions;
+  if (m_acquisitions_ != nullptr) m_acquisitions_->Add();
   // Never hold a reference into locks_ across a wait: other transactions
   // release (and erase empty) lock states while this thread is blocked.
   bool upgrading = false;
@@ -51,6 +54,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
       // deadlock. Fail the newcomer now instead of burning its timeout.
       if (state.has_upgrader && state.upgrader != txn) {
         ++stats_.deadlocks;
+        if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
         return Status::Deadlock(
             "upgrade-upgrade deadlock (resource kind " +
             std::to_string(static_cast<int>(resource.kind)) + ", id " +
@@ -87,8 +91,29 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
 
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   bool waited = false;
+  std::chrono::steady_clock::time_point wait_start;
+  // Charges the blocked interval to stats, the wait histogram, and the
+  // running statement's profile; called once on grant or timeout.
+  auto account_wait = [&] {
+    if (!waited) return;
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+    ++stats_.waits;
+    stats_.wait_ns += ns;
+    if (m_waits_ != nullptr) m_waits_->Add();
+    if (m_wait_us_ != nullptr) m_wait_us_->Record(ns / 1000);
+    if (obs::QueryProfile* profile = obs::CurrentProfile()) {
+      ++profile->lock_waits;
+      profile->lock_wait_ns += ns;
+    }
+  };
   while (!CompatibleLocked(locks_[resource], txn, mode)) {
-    waited = true;
+    if (!waited) {
+      waited = true;
+      wait_start = std::chrono::steady_clock::now();
+    }
     if (fresh_exclusive && !counted_waiter) {
       ++locks_[resource].waiting_exclusive;
       counted_waiter = true;
@@ -96,6 +121,8 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
         !CompatibleLocked(locks_[resource], txn, mode)) {
       ++stats_.timeouts;
+      if (m_timeouts_ != nullptr) m_timeouts_->Add();
+      account_wait();
       clear_upgrader();
       uncount_waiter();
       auto it = locks_.find(resource);
@@ -112,7 +139,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
                                  ", id " + std::to_string(resource.id) + ")");
     }
   }
-  if (waited) ++stats_.waits;
+  account_wait();
   clear_upgrader();
   uncount_waiter();
 
@@ -181,6 +208,45 @@ LockManagerStats LockManager::stats() const {
 void LockManager::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = LockManagerStats();
+}
+
+std::vector<LockDumpRow> LockManager::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LockDumpRow> rows;
+  for (const auto& [resource, state] : locks_) {
+    LockDumpRow base;
+    base.kind = resource.kind;
+    base.resource = resource.id;
+    base.upgrader_waiting = state.has_upgrader;
+    base.waiting_exclusive = state.waiting_exclusive;
+    if (state.holders.empty()) {
+      // Only a fenced waiter keeps an empty state alive; show it.
+      rows.push_back(base);
+      continue;
+    }
+    for (const auto& [txn, holder] : state.holders) {
+      LockDumpRow row = base;
+      row.txn = txn;
+      row.mode = holder.mode;
+      row.count = holder.count;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+void LockManager::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    m_acquisitions_ = m_waits_ = m_timeouts_ = m_deadlocks_ = nullptr;
+    m_wait_us_ = nullptr;
+    return;
+  }
+  m_acquisitions_ = metrics->GetCounter("lock.acquisitions");
+  m_waits_ = metrics->GetCounter("lock.waits");
+  m_timeouts_ = metrics->GetCounter("lock.timeouts");
+  m_deadlocks_ = metrics->GetCounter("lock.deadlocks");
+  m_wait_us_ = metrics->GetHistogram("lock.wait_us");
 }
 
 }  // namespace grtdb

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace grtdb {
 
@@ -43,6 +44,18 @@ struct LockManagerStats {
   uint64_t waits = 0;      // acquisitions that had to block
   uint64_t timeouts = 0;   // acquisitions that failed with LockTimeout
   uint64_t deadlocks = 0;  // acquisitions that failed with Status::Deadlock
+  uint64_t wait_ns = 0;    // total time spent blocked (granted or not)
+};
+
+// One granted lock at Dump() time (the sys_locks view).
+struct LockDumpRow {
+  ResourceKind kind;
+  uint64_t resource = 0;
+  TxnId txn = 0;
+  LockMode mode = LockMode::kShared;
+  uint32_t count = 0;            // nesting depth
+  bool upgrader_waiting = false; // an S→X upgrade is pending on the resource
+  uint32_t waiting_exclusive = 0;
 };
 
 // A strict two-phase lock manager with shared/exclusive modes, lock
@@ -80,6 +93,15 @@ class LockManager {
   LockManagerStats stats() const;
   void ResetStats();
 
+  // Every granted lock, one row per (resource, holder). Waiting-only
+  // resource states (a fenced writer with no holders yet) appear with
+  // txn = 0 and count = 0 so a stuck waiter is visible.
+  std::vector<LockDumpRow> Dump() const;
+
+  // Mirrors acquisition/wait/timeout/deadlock counts and a wait-latency
+  // histogram into server-wide lock.* metrics; handles cached here.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Holder {
     LockMode mode;
@@ -108,6 +130,13 @@ class LockManager {
   std::condition_variable cv_;
   std::map<ResourceId, LockState> locks_;
   LockManagerStats stats_;
+
+  // Cached registry handles (null when no registry is wired).
+  obs::Counter* m_acquisitions_ = nullptr;
+  obs::Counter* m_waits_ = nullptr;
+  obs::Counter* m_timeouts_ = nullptr;
+  obs::Counter* m_deadlocks_ = nullptr;
+  obs::Histogram* m_wait_us_ = nullptr;
 };
 
 }  // namespace grtdb

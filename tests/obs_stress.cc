@@ -1,0 +1,122 @@
+// Multi-threaded observability stress: writers hammer shared registry
+// counters/histograms and the trace ring while readers snapshot, render,
+// and flip trace classes. The third -DGRTDB_SANITIZE=thread target (next
+// to wal_stress and cache_stress): the interesting races are the lock-free
+// trace enabled check against SetClass, and the relaxed metric updates
+// against Snapshot.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "blade/trace.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+
+using grtdb::TraceFacility;
+using grtdb::obs::Counter;
+using grtdb::obs::Histogram;
+using grtdb::obs::MetricSample;
+using grtdb::obs::MetricsRegistry;
+using grtdb::obs::PurposeFn;
+using grtdb::obs::QueryProfile;
+using grtdb::obs::ScopedProfile;
+
+namespace {
+
+constexpr int kWriters = 8;
+constexpr int kOpsPerWriter = 20000;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  MetricsRegistry registry;
+  TraceFacility trace(/*capacity=*/256);
+  trace.SetClass("stress", 1);
+
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, &trace, w] {
+      // Half the threads resolve handles up front (the subsystem pattern),
+      // half go through the registry every time (contends the mutex).
+      Counter* cached = registry.GetCounter("stress.ops");
+      Histogram* latency = registry.GetHistogram("stress.us");
+      QueryProfile profile;
+      ScopedProfile scope(&profile);
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        if (w % 2 == 0) {
+          cached->Add();
+          latency->Record(static_cast<uint64_t>(i % 4096));
+        } else {
+          registry.GetCounter("stress.ops")->Add();
+          registry.GetHistogram("stress.us")->Record(
+              static_cast<uint64_t>(i % 4096));
+        }
+        registry.GetGauge("stress.gauge")->Set(i);
+        profile.CountCall(PurposeFn::kAmGetNext);
+        ++profile.node_reads;
+        // Mostly-disabled tracing (the fast path), with periodic records.
+        trace.Tprintf("quiet", 5, "never emitted %d", i);
+        if (i % 64 == 0) trace.Tprintf("stress", 1, "w%d op %d", w, i);
+      }
+      Check(profile.calls(PurposeFn::kAmGetNext) ==
+                static_cast<uint64_t>(kOpsPerWriter),
+            "thread-local profile count");
+    });
+  }
+
+  // Readers: registry snapshots, trace renders, and class flips racing the
+  // writers' Enabled() checks.
+  std::thread snapshotter([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const MetricSample& s : registry.Snapshot()) {
+        Check(!s.name.empty(), "sample has a name");
+      }
+    }
+  });
+  std::thread trace_reader([&trace, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)trace.log();
+      (void)trace.records();
+      (void)trace.dropped();
+    }
+  });
+  std::thread toggler([&trace, &stop] {
+    int level = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      trace.SetClass("flippy", level % 3);
+      trace.SetClass("quiet", 0);
+      ++level;
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  trace_reader.join();
+  toggler.join();
+
+  const uint64_t expected =
+      static_cast<uint64_t>(kWriters) * static_cast<uint64_t>(kOpsPerWriter);
+  Check(registry.GetCounter("stress.ops")->value() == expected,
+        "counter total");
+  Check(registry.GetHistogram("stress.us")->count() == expected,
+        "histogram total");
+  Check(trace.log().size() <= 256, "ring bounded");
+  std::printf("obs_stress OK: %llu ops, %zu trace records, %llu dropped\n",
+              static_cast<unsigned long long>(expected), trace.log().size(),
+              static_cast<unsigned long long>(trace.dropped()));
+  return 0;
+}

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blades/grtree_blade.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "server/server.h"
+#include "storage/node_cache.h"
+#include "storage/node_store.h"
+
+namespace grtdb {
+namespace {
+
+// ---- registry unit tests -------------------------------------------------
+
+TEST(MetricsRegistry, CounterHandlesAreStableAndSharedByName) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("x");
+  obs::Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Add();
+  a->Add(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_NE(registry.GetCounter("y"), a);
+}
+
+TEST(MetricsRegistry, GaugeTracksLastValue) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* g = registry.GetGauge("pool.free");
+  g->Set(100);
+  g->Add(-25);
+  EXPECT_EQ(g->value(), 75);
+}
+
+TEST(MetricsRegistry, HistogramBucketsByPowerOfTwo) {
+  obs::Histogram h;
+  h.Record(0);     // bucket 0: v == 0
+  h.Record(1);     // bucket 1: [1, 2)
+  h.Record(3);     // bucket 2: [2, 4)
+  h.Record(1000);  // bucket 10: [512, 1024)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1004u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(obs::Histogram::BucketBound(10), 1024u);
+  // Everything at or above 2^20 lands in the overflow bucket.
+  h.Record(~0ull);
+  EXPECT_EQ(h.bucket(obs::Histogram::kBuckets - 1), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndTyped) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Add(7);
+  registry.GetGauge("a.gauge")->Set(-3);
+  obs::Histogram* h = registry.GetHistogram("c.latency");
+  h->Record(3);
+  h->Record(3);
+
+  const std::vector<obs::MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.gauge");
+  EXPECT_EQ(std::string(samples[0].KindName()), "gauge");
+  EXPECT_EQ(samples[0].value, -3);
+  EXPECT_EQ(samples[1].name, "b.counter");
+  EXPECT_EQ(samples[1].value, 7);
+  EXPECT_EQ(samples[2].name, "c.latency");
+  EXPECT_EQ(samples[2].count, 2u);
+  EXPECT_EQ(samples[2].sum, 6u);
+  EXPECT_EQ(samples[2].buckets, "lt4:2");
+
+  registry.ResetAll();
+  for (const obs::MetricSample& s : registry.Snapshot()) {
+    EXPECT_EQ(s.value, 0) << s.name;
+    EXPECT_EQ(s.count, 0u) << s.name;
+  }
+}
+
+// ---- NodeCache <-> registry agreement ------------------------------------
+
+class MapStore final : public NodeStore {
+ public:
+  Status AllocateNode(NodeId* id) override {
+    *id = next_id_++;
+    pages_[*id] = std::vector<uint8_t>(kPageSize, 0);
+    return Status::OK();
+  }
+  Status FreeNode(NodeId id) override {
+    pages_.erase(id);
+    return Status::OK();
+  }
+  Status ReadNode(NodeId id, uint8_t* out) override {
+    auto it = pages_.find(id);
+    if (it == pages_.end()) return Status::NotFound("no node");
+    std::memcpy(out, it->second.data(), kPageSize);
+    return Status::OK();
+  }
+  Status WriteNode(NodeId id, const uint8_t* data) override {
+    pages_[id].assign(data, data + kPageSize);
+    return Status::OK();
+  }
+  uint64_t LoOfNode(NodeId) const override { return 0; }
+  Status Flush() override { return Status::OK(); }
+
+ private:
+  std::map<NodeId, std::vector<uint8_t>> pages_;
+  NodeId next_id_ = 0;
+};
+
+// The acceptance check: the cache.* registry counters mirror the cache's
+// own NodeStoreStats exactly.
+TEST(NodeCacheMetrics, RegistryCountersMatchCacheStats) {
+  obs::MetricsRegistry registry;
+  MapStore inner;
+  NodeCache cache(&inner, /*capacity=*/2);
+  cache.set_metrics(&registry);
+
+  std::vector<NodeId> ids(4);
+  uint8_t page[kPageSize] = {};
+  for (NodeId& id : ids) {
+    ASSERT_TRUE(cache.AllocateNode(&id).ok());
+    ASSERT_TRUE(cache.WriteNode(id, page).ok());
+  }
+  // Hits on resident nodes, misses + evictions cycling through all four.
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId id : ids) {
+      ASSERT_TRUE(cache.ReadNode(id, page).ok());
+      ASSERT_TRUE(cache.ReadNode(id, page).ok());  // immediate re-read: hit
+    }
+  }
+
+  const NodeStoreStats& stats = cache.stats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_EQ(registry.GetCounter("cache.reads")->value(), stats.node_reads);
+  EXPECT_EQ(registry.GetCounter("cache.writes")->value(), stats.node_writes);
+  EXPECT_EQ(registry.GetCounter("cache.hits")->value(), stats.cache_hits);
+  EXPECT_EQ(registry.GetCounter("cache.misses")->value(), stats.cache_misses);
+  EXPECT_EQ(registry.GetCounter("cache.evictions")->value(),
+            stats.cache_evictions);
+  EXPECT_EQ(registry.GetCounter("cache.write_backs")->value(),
+            stats.cache_write_backs);
+}
+
+// With a profile installed, reads are charged to the running statement.
+TEST(NodeCacheMetrics, ChargesCurrentProfile) {
+  MapStore inner;
+  NodeCache cache(&inner, /*capacity=*/1);
+  NodeId a, b;
+  uint8_t page[kPageSize] = {};
+  ASSERT_TRUE(cache.AllocateNode(&a).ok());
+  ASSERT_TRUE(cache.WriteNode(a, page).ok());
+  ASSERT_TRUE(cache.AllocateNode(&b).ok());
+  ASSERT_TRUE(cache.WriteNode(b, page).ok());  // evicts a
+
+  obs::QueryProfile profile;
+  {
+    obs::ScopedProfile scope(&profile);
+    ASSERT_TRUE(cache.ReadNode(a, page).ok());  // miss: a was evicted
+    ASSERT_TRUE(cache.ReadNode(a, page).ok());  // hit
+  }
+  EXPECT_EQ(profile.node_reads, 2u);
+  EXPECT_EQ(profile.cache_hits, 1u);
+  // Outside the scope nothing is charged.
+  ASSERT_TRUE(cache.ReadNode(a, page).ok());
+  EXPECT_EQ(profile.node_reads, 2u);
+}
+
+// ---- end-to-end through SQL ----------------------------------------------
+
+// External-file storage so the WAL (and its commit histogram) is in play;
+// the default node cache (64 frames) sits under it.
+class ObsSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GRTreeBladeOptions options;
+    options.storage = GRTreeBladeOptions::Storage::kExternalFile;
+    options.external_dir = ::testing::TempDir();
+    ASSERT_TRUE(RegisterGRTreeBlade(&server_, options).ok());
+    session_ = server_.CreateSession();
+    MustExec("CREATE TABLE t (id int, e grt_timeextent)");
+    MustExec("CREATE INDEX t_idx ON t(e grt_opclass) USING grtree_am");
+    MustExec("SET CURRENT_TIME TO 20000");
+    for (int i = 0; i < 40; ++i) {
+      MustExec("INSERT INTO t VALUES (" + std::to_string(i) + ", '20000, UC, " +
+               std::to_string(19900 + i) + ", NOW')");
+    }
+  }
+
+  Status Exec(const std::string& sql) {
+    return server_.Execute(session_, sql, &result_);
+  }
+
+  void MustExec(const std::string& sql) {
+    Status status = Exec(sql);
+    ASSERT_TRUE(status.ok()) << sql << " -> " << status.ToString();
+  }
+
+  // sys_metrics rows keyed by metric name (row: name kind value count sum
+  // buckets).
+  std::map<std::string, std::vector<std::string>> MetricsByName() {
+    std::map<std::string, std::vector<std::string>> out;
+    for (const auto& row : result_.rows) out[row[0]] = row;
+    return out;
+  }
+
+  Server server_;
+  ServerSession* session_ = nullptr;
+  ResultSet result_;
+};
+
+TEST_F(ObsSqlTest, SysMetricsReturnsLiveCounters) {
+  MustExec("SELECT id FROM t WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  MustExec("SELECT * FROM sys_metrics");
+  ASSERT_EQ(result_.columns.size(), 6u);
+  auto metrics = MetricsByName();
+
+  // WAL: every index mutation committed through the group-commit pipeline,
+  // so the commit-latency histogram has samples.
+  ASSERT_TRUE(metrics.count("wal.commits"));
+  EXPECT_GE(std::stoull(metrics["wal.commits"][2]), 40u);
+  ASSERT_TRUE(metrics.count("wal.commit_us"));
+  EXPECT_EQ(metrics["wal.commit_us"][1], "histogram");
+  EXPECT_GT(std::stoull(metrics["wal.commit_us"][3]), 0u);  // count
+  EXPECT_FALSE(metrics["wal.commit_us"][5].empty());        // buckets
+  ASSERT_TRUE(metrics.count("wal.batch_size"));
+  EXPECT_GT(std::stoull(metrics["wal.batch_size"][3]), 0u);
+
+  // Node cache: the inserts and the index scan went through it.
+  ASSERT_TRUE(metrics.count("cache.reads"));
+  EXPECT_GT(std::stoull(metrics["cache.reads"][2]), 0u);
+  ASSERT_TRUE(metrics.count("cache.hits"));
+  EXPECT_GT(std::stoull(metrics["cache.hits"][2]), 0u);
+
+  // VII purpose functions: 40 inserts each called am_insert once.
+  ASSERT_TRUE(metrics.count("vii.am_insert.calls"));
+  EXPECT_EQ(std::stoull(metrics["vii.am_insert.calls"][2]), 40u);
+  ASSERT_TRUE(metrics.count("vii.am_getnext.us"));
+  EXPECT_GT(std::stoull(metrics["vii.am_getnext.us"][3]), 0u);
+
+  // Locks and the synthetic trace counter are always present.
+  ASSERT_TRUE(metrics.count("lock.acquisitions"));
+  EXPECT_GT(std::stoull(metrics["lock.acquisitions"][2]), 0u);
+  ASSERT_TRUE(metrics.count("trace.dropped"));
+}
+
+TEST_F(ObsSqlTest, CacheCountersAgreeBetweenSnapshots) {
+  // Two snapshots around a query: the deltas must reflect the work.
+  MustExec("SELECT value FROM sys_metrics WHERE name = 'cache.reads'");
+  ASSERT_EQ(result_.rows.size(), 1u);
+  const uint64_t before = std::stoull(result_.rows[0][0]);
+  MustExec("SELECT id FROM t WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  const uint64_t profile_reads = session_->profile().node_reads;
+  EXPECT_GT(profile_reads, 0u);
+  MustExec("SELECT value FROM sys_metrics WHERE name = 'cache.reads'");
+  const uint64_t after = std::stoull(result_.rows[0][0]);
+  EXPECT_EQ(after - before, profile_reads);
+}
+
+TEST_F(ObsSqlTest, ExplainProfileReportsFig6Sequence) {
+  obs::Counter* getnext = server_.metrics().GetCounter("vii.am_getnext.calls");
+  const uint64_t counter_before = getnext->value();
+
+  MustExec("EXPLAIN PROFILE SELECT id FROM t "
+           "WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  // The inner statement's rows come through, followed by PROFILE lines.
+  EXPECT_EQ(result_.rows.size(), 40u);
+  const obs::QueryProfile& profile = session_->profile();
+
+  // Fig. 6(b): am_open -> [am_scancost during planning] -> am_beginscan ->
+  // am_getnext* -> am_endscan -> am_close; the final am_getnext returns
+  // "no more", so calls == rows + 1.
+  const auto& seq = profile.sequence();
+  ASSERT_GE(seq.size(), 5u);
+  EXPECT_EQ(seq.front(), obs::PurposeFn::kAmOpen);
+  EXPECT_EQ(seq[seq.size() - 2], obs::PurposeFn::kAmEndScan);
+  EXPECT_EQ(seq.back(), obs::PurposeFn::kAmClose);
+  const auto begin_it =
+      std::find(seq.begin(), seq.end(), obs::PurposeFn::kAmBeginScan);
+  const auto first_next =
+      std::find(seq.begin(), seq.end(), obs::PurposeFn::kAmGetNext);
+  ASSERT_NE(begin_it, seq.end());
+  ASSERT_NE(first_next, seq.end());
+  EXPECT_LT(begin_it, first_next);  // every getnext comes after beginscan
+  const uint64_t getnext_calls = profile.calls(obs::PurposeFn::kAmGetNext);
+  EXPECT_EQ(getnext_calls, profile.rows_scanned + 1);
+  EXPECT_EQ(profile.rows_returned, 40u);
+
+  // Cross-check: registry counter delta == profile count.
+  EXPECT_EQ(getnext->value() - counter_before, getnext_calls);
+
+  // And the rendered report says the same.
+  std::vector<std::string> profile_lines;
+  for (const std::string& line : result_.messages) {
+    if (line.rfind("PROFILE", 0) == 0) profile_lines.push_back(line);
+  }
+  ASSERT_FALSE(profile_lines.empty());
+  bool saw_getnext = false, saw_sequence = false, saw_rows = false;
+  for (const std::string& line : profile_lines) {
+    if (line.rfind("PROFILE am_getnext calls=" +
+                       std::to_string(getnext_calls),
+                   0) == 0) {
+      saw_getnext = true;
+    }
+    if (line.rfind("PROFILE sequence: am_open", 0) == 0 &&
+        line.find(" am_getnext x") != std::string::npos) {
+      saw_sequence = true;
+    }
+    if (line == "PROFILE rows_scanned=" + std::to_string(profile.rows_scanned) +
+                    " rows_returned=40") {
+      saw_rows = true;
+    }
+  }
+  EXPECT_TRUE(saw_getnext);
+  EXPECT_TRUE(saw_sequence);
+  EXPECT_TRUE(saw_rows);
+}
+
+TEST_F(ObsSqlTest, ExplainProfileRequiresAStatement) {
+  EXPECT_FALSE(Exec("EXPLAIN PROFILE").ok());
+}
+
+TEST_F(ObsSqlTest, SysTraceReturnsRecords) {
+  // "wal" level 2 traces every group commit, so the insert is guaranteed
+  // to leave a record.
+  MustExec("SET TRACE wal TO 2");
+  MustExec("INSERT INTO t VALUES (99, '20000, UC, 19999, NOW')");
+  MustExec("SELECT * FROM sys_trace");
+  ASSERT_FALSE(result_.rows.empty());
+  ASSERT_EQ(result_.columns.size(), 6u);
+  std::set<std::string> classes;
+  for (const auto& row : result_.rows) classes.insert(row[3]);
+  EXPECT_TRUE(classes.count("wal"));
+  // seq (column 0) is monotonically increasing.
+  for (size_t i = 1; i < result_.rows.size(); ++i) {
+    EXPECT_LT(std::stoll(result_.rows[i - 1][0]), std::stoll(result_.rows[i][0]));
+  }
+}
+
+TEST_F(ObsSqlTest, SysLocksShowsHeldLocks) {
+  MustExec("BEGIN WORK");
+  MustExec("INSERT INTO t VALUES (100, '20000, UC, 19999, NOW')");
+  MustExec("SELECT * FROM sys_locks");
+  ASSERT_FALSE(result_.rows.empty());
+  std::set<std::string> modes;
+  for (const auto& row : result_.rows) modes.insert(row[3]);
+  EXPECT_TRUE(modes.count("X"));  // the insert's exclusive table lock
+  MustExec("COMMIT WORK");
+}
+
+// Observability off: no registry traffic, but EXPLAIN PROFILE still counts
+// calls (bench_obs_overhead compares exactly these two configurations).
+TEST(ObsDisabled, ProfileWorksWithoutRegistry) {
+  ServerOptions server_options;
+  server_options.observability = false;
+  Server server(server_options);
+  GRTreeBladeOptions options;
+  ASSERT_TRUE(RegisterGRTreeBlade(&server, options).ok());
+  ServerSession* session = server.CreateSession();
+  ResultSet result;
+  auto exec = [&](const std::string& sql) {
+    Status status = server.Execute(session, sql, &result);
+    ASSERT_TRUE(status.ok()) << sql << " -> " << status.ToString();
+  };
+  exec("CREATE TABLE t (id int, e grt_timeextent)");
+  exec("CREATE INDEX t_idx ON t(e grt_opclass) USING grtree_am");
+  exec("SET CURRENT_TIME TO 20000");
+  for (int i = 0; i < 30; ++i) {
+    exec("INSERT INTO t VALUES (" + std::to_string(i) + ", '20000, UC, " +
+         std::to_string(19900 + i) + ", NOW')");
+  }
+  exec("EXPLAIN PROFILE SELECT id FROM t "
+       "WHERE Overlaps(e, '20000, UC, 19000, NOW')");
+  EXPECT_GT(session->profile().calls(obs::PurposeFn::kAmGetNext), 0u);
+  bool saw_profile = false;
+  for (const std::string& line : result.messages) {
+    if (line.rfind("PROFILE", 0) == 0) saw_profile = true;
+  }
+  EXPECT_TRUE(saw_profile);
+
+  // The registry saw no subsystem wiring: sys_metrics carries only the
+  // synthetic trace.dropped row.
+  exec("SELECT name FROM sys_metrics");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], "trace.dropped");
+}
+
+}  // namespace
+}  // namespace grtdb

@@ -1,0 +1,172 @@
+#include "blade/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+// Global allocation counter so the disabled-Tprintf fast path can be
+// asserted allocation-free. Overriding operator new applies binary-wide;
+// tests snapshot the counter tightly around the code under test.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace grtdb {
+namespace {
+
+TEST(TraceTest, LegacyLogFormat) {
+  TraceFacility trace;
+  trace.SetClass("grtree", 1);
+  trace.Tprintf("grtree", 1, "insert into node %d", 42);
+  const auto log = trace.log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "grtree 1: insert into node 42");
+}
+
+TEST(TraceTest, LevelGating) {
+  TraceFacility trace;
+  trace.SetClass("wal", 2);
+  trace.Tprintf("wal", 1, "kept");
+  trace.Tprintf("wal", 2, "kept too");
+  trace.Tprintf("wal", 3, "filtered");
+  trace.Tprintf("other", 1, "unknown class");
+  EXPECT_EQ(trace.log().size(), 2u);
+  EXPECT_TRUE(trace.Enabled("wal", 2));
+  EXPECT_FALSE(trace.Enabled("wal", 3));
+  EXPECT_FALSE(trace.Enabled("other", 1));
+  trace.SetClass("wal", 0);
+  EXPECT_FALSE(trace.Enabled("wal", 1));
+}
+
+TEST(TraceTest, DefaultCapacityIsBounded) {
+  TraceFacility trace;
+  EXPECT_EQ(trace.capacity(), TraceFacility::kDefaultCapacity);
+  EXPECT_EQ(trace.capacity(), 4096u);
+}
+
+// The regression the ring exists for: a hot loop of Tprintf must not grow
+// memory without bound — the ring stays at capacity and dropped() counts
+// the overwritten records.
+TEST(TraceTest, RingStaysBoundedUnderHotLoop) {
+  TraceFacility trace(/*capacity=*/8);
+  trace.SetClass("hot", 1);
+  for (int i = 0; i < 1000; ++i) {
+    trace.Tprintf("hot", 1, "message %d", i);
+  }
+  const auto log = trace.log();
+  ASSERT_EQ(log.size(), 8u);
+  EXPECT_EQ(trace.dropped(), 992u);
+  // The newest 8 records survive, oldest-first.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(log[static_cast<size_t>(i)],
+              "hot 1: message " + std::to_string(992 + i));
+  }
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 8u);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].seq, records[i].seq);
+  }
+}
+
+TEST(TraceTest, RecordsCarryTimestampAndThread) {
+  TraceFacility trace;
+  trace.SetClass("grtree", 1);
+  trace.Tprintf("grtree", 1, "one");
+  trace.Tprintf("grtree", 1, "two");
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_GT(records[0].ts_us, 0);
+  EXPECT_LE(records[0].ts_us, records[1].ts_us);
+  EXPECT_EQ(records[0].thread, records[1].thread);
+  EXPECT_EQ(records[0].trace_class, "grtree");
+  EXPECT_EQ(records[0].message, "one");
+  EXPECT_EQ(records[1].seq, records[0].seq + 1);
+}
+
+TEST(TraceTest, SetCapacityKeepsNewest) {
+  TraceFacility trace(/*capacity=*/16);
+  trace.SetClass("c", 1);
+  for (int i = 0; i < 10; ++i) trace.Tprintf("c", 1, "m%d", i);
+  trace.SetCapacity(4);
+  EXPECT_EQ(trace.capacity(), 4u);
+  const auto log = trace.log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "c 1: m6");
+  EXPECT_EQ(log[3], "c 1: m9");
+  // The ring keeps working at the new capacity.
+  trace.Tprintf("c", 1, "m10");
+  EXPECT_EQ(trace.log().back(), "c 1: m10");
+  EXPECT_EQ(trace.log().size(), 4u);
+}
+
+TEST(TraceTest, ClearResetsRingAndDroppedCounter) {
+  TraceFacility trace(/*capacity=*/2);
+  trace.SetClass("c", 1);
+  for (int i = 0; i < 5; ++i) trace.Tprintf("c", 1, "m%d", i);
+  EXPECT_EQ(trace.dropped(), 3u);
+  trace.Clear();
+  EXPECT_EQ(trace.log().size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+// §6.4 production steady state: when no class is enabled, Tprintf must be
+// a single atomic load — no locking, no formatting, and in particular no
+// heap allocation.
+TEST(TraceTest, DisabledTprintfDoesNotAllocate) {
+  TraceFacility trace;
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    trace.Tprintf("grtree", 2, "node %d split at %d", i, i * 3);
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(trace.log().size(), 0u);
+}
+
+// Same guarantee when some other class is enabled: the slow path walks the
+// fixed slot array, which never allocates either.
+TEST(TraceTest, DisabledClassTprintfDoesNotAllocateWithOtherClassOn) {
+  TraceFacility trace;
+  trace.SetClass("wal", 3);
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    trace.Tprintf("grtree", 2, "node %d", i);   // class not enabled
+    trace.Tprintf("wal", 4, "too detailed %d", i);  // level above threshold
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(trace.log().size(), 0u);
+}
+
+TEST(TraceTest, ReenablingExistingClassReusesSlot) {
+  TraceFacility trace;
+  trace.SetClass("a", 1);
+  trace.SetClass("a", 0);
+  trace.SetClass("a", 2);
+  EXPECT_TRUE(trace.Enabled("a", 2));
+  EXPECT_FALSE(trace.Enabled("a", 3));
+}
+
+}  // namespace
+}  // namespace grtdb
