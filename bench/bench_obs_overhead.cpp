@@ -125,8 +125,20 @@ int Run(bool smoke) {
 
   bool ok = true;
   // (a) the overhead target; the absolute slack keeps sub-millisecond
-  // rounds from failing on timer noise alone.
-  if (overhead_pct >= 5.0 && overhead_ms >= 1.0) {
+  // rounds from failing on timer noise alone. Sanitizer instrumentation
+  // multiplies every memory access unevenly across the two configs, so the
+  // percentage is only meaningful on plain builds — the (b) accounting
+  // cross-check still runs everywhere.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+  constexpr bool kSanitized = __has_feature(address_sanitizer) ||
+                              __has_feature(thread_sanitizer) ||
+                              __has_feature(undefined_behavior_sanitizer);
+#else
+  constexpr bool kSanitized = false;
+#endif
+  if (!kSanitized && overhead_pct >= 5.0 && overhead_ms >= 1.0) {
     std::fprintf(stderr, "FATAL: observability overhead %.2f%% exceeds the "
                  "5%% target\n", overhead_pct);
     ok = false;

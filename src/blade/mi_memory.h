@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,13 +27,58 @@ enum class MiDuration {
 };
 inline constexpr int kMiDurationCount = 4;
 
+const char* MiDurationName(MiDuration duration);
+
+// True when `inner` ends no later than `outer` — i.e. a pointer to memory
+// of duration `inner` stored in a structure of duration `outer` can go
+// stale while the structure is still reachable. Durations are strictly
+// nested (function ⊂ statement ⊂ transaction ⊂ session).
+inline bool MiDurationOutlives(MiDuration outer, MiDuration inner) {
+  return static_cast<int>(outer) > static_cast<int>(inner);
+}
+
+// Memory misuse detected by the allocator's debug checks — the bug classes
+// the paper could only chase by crashing the server (§4): memory touched or
+// retained after its duration ended, freed twice, or overrun.
+enum class MiViolationKind {
+  kDoubleFree,         // Free() of an already-freed block
+  kForeignFree,        // Free() of a pointer this allocator never returned
+  kFreeAfterEnd,       // Free() of a block whose duration already ended
+  kCrossDurationFree,  // Free(ptr, d) where the block was allocated under
+                       // a different duration
+  kHeaderCorruption,   // block header canary / magic destroyed (underrun)
+  kTrailerCorruption,  // trailing canary destroyed (overrun)
+  kDurationEscape,     // pointer stored into a structure that outlives it
+};
+
+const char* MiViolationKindName(MiViolationKind kind);
+
+struct MiViolation {
+  MiViolationKind kind;
+  std::string message;
+};
+
 // Duration-scoped allocator standing in for mi_alloc/mi_dalloc/mi_free.
 // DataBlade code must not use global/static variables or plain new/delete
 // (§6.2); the GR-tree blade routes all allocation through this, and tests
 // assert that nothing outlives its duration.
+//
+// Debug enforcement (always on; the costs are a canary-framed header per
+// block and a small free quarantine):
+//   - every block is framed by a magic+canary header and a trailing
+//     canary, checked on Free and at EndDuration — an overrun is caught at
+//     the free that would otherwise corrupt the arena;
+//   - freed and ended-duration blocks are poisoned with 0xDD (and, under
+//     ASan, manually poisoned so any touch is an immediate ASan report)
+//     and parked in a quarantine, so a double free or a stale duration
+//     pointer dereference is detected instead of silently recycled;
+//   - misuse is recorded as an MiViolation (and reported through the
+//     violation handler, if set) rather than trusted, the paper's
+//     signature DataBlade failure mode.
 class MiMemory {
  public:
   MiMemory() = default;
+  ~MiMemory();
 
   MiMemory(const MiMemory&) = delete;
   MiMemory& operator=(const MiMemory&) = delete;
@@ -39,26 +86,78 @@ class MiMemory {
   // mi_dalloc: zeroed block with an explicit duration.
   void* Alloc(MiDuration duration, size_t size);
 
-  // mi_free: early release of one block.
+  // mi_free: early release of one block. Detects double free, foreign
+  // pointers, free-after-duration-end, and canary corruption.
   void Free(void* ptr);
 
+  // mi_free with the duration the caller believes the block has: also
+  // flags a cross-duration free (freeing per-statement memory from a
+  // transaction-end path, say) even when the block is otherwise valid.
+  void Free(void* ptr, MiDuration expected);
+
   // The server calls this when a duration ends; everything allocated under
-  // it (and not explicitly freed) is released.
+  // it (and not explicitly freed) is poisoned and released.
   void EndDuration(MiDuration duration);
 
-  // Live blocks under a duration (test/diagnostic hook).
+  // Duration-escape registry (§4's stale-pointer bug): record that a
+  // pointer into one of this allocator's blocks was stored in a structure
+  // whose lifetime is `holder` (a descriptor, named memory, ...). If the
+  // block's duration ends before `holder`, a kDurationEscape violation is
+  // recorded. `context` names the store site for the report. Pointers not
+  // owned by this allocator are ignored. Interior pointers are resolved to
+  // their block.
+  void NoteStoredPointer(MiDuration holder, const void* stored,
+                         const std::string& context);
+
+  // Live blocks under a duration (test/diagnostic hook). Quarantined
+  // (freed/ended) blocks are not live.
   size_t LiveBlocks(MiDuration duration) const;
   size_t LiveBytes() const;
 
+  // Recorded misuse. The handler, if set, additionally fires on every new
+  // violation (outside the allocator lock); tests install one to fail the
+  // moment a seeded bug is detected.
+  std::vector<MiViolation> violations() const;
+  size_t violation_count() const;
+  void ClearViolations();
+  using ViolationHandler = std::function<void(const MiViolation&)>;
+  void set_violation_handler(ViolationHandler handler);
+
+  // Blocks parked in the free quarantine (test/diagnostic hook).
+  size_t QuarantinedBlocks() const;
+
+  // Maximum number of blocks the quarantine parks before the oldest is
+  // truly released.
+  static constexpr size_t kQuarantineCapacity = 64;
+
  private:
+  enum class BlockState : uint8_t { kLive = 1, kFreed = 2, kEnded = 3 };
+
   struct Block {
-    std::unique_ptr<uint8_t[]> data;
-    size_t size;
-    MiDuration duration;
+    std::unique_ptr<uint8_t[]> raw;  // header + user data + trailer
+    size_t size = 0;                 // user size
+    MiDuration duration = MiDuration::kPerFunction;
+    BlockState state = BlockState::kLive;
   };
+
+  // All require mu_ held; violations are collected into `out` and
+  // published (handler fired) after the lock is released.
+  void CheckCanariesLocked(void* ptr, const Block& block,
+                           std::vector<MiViolation>* out);
+  void RetireLocked(void* ptr, Block& block, BlockState state,
+                    std::deque<void*>* release);
+  void FreeLocked(void* ptr, const MiDuration* expected,
+                  std::vector<MiViolation>* out, std::deque<void*>* release);
+
+  void Publish(std::vector<MiViolation> violations);
 
   mutable std::mutex mu_;
   std::unordered_map<void*, Block> blocks_;
+  std::deque<void*> quarantine_;  // freed/ended blocks, oldest first
+
+  mutable std::mutex vio_mu_;
+  std::vector<MiViolation> violations_;
+  ViolationHandler handler_;
 };
 
 // Named memory (paper §5.4): server-wide blocks identified by name. The
@@ -80,11 +179,22 @@ class MiNamedMemory {
   // mi_named_free.
   Status NamedFree(const std::string& name);
 
+  // Stores a *pointer value* into the named block (which must hold at
+  // least sizeof(void*)). Named memory outlives every duration but the
+  // session, so a duration-scoped pointer stored here is the paper's
+  // signature escape bug — when a duration source is attached, the store
+  // is checked and flagged through its escape registry.
+  Status NamedStorePointer(const std::string& name, const void* pointee);
+
+  // Attaches the duration allocator whose blocks NamedStorePointer audits.
+  void set_duration_source(MiMemory* memory) { duration_source_ = memory; }
+
   size_t count() const;
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<uint8_t>> blocks_;
+  MiMemory* duration_source_ = nullptr;
 };
 
 }  // namespace grtdb

@@ -24,7 +24,7 @@ const char* PurposeFnName(PurposeFn fn) {
     case PurposeFn::kAmStats: return "am_stats";
     case PurposeFn::kAmCheck: return "am_check";
   }
-  return "am_unknown";
+  return "purpose_unknown";
 }
 
 void QueryProfile::Reset() {

@@ -15,6 +15,10 @@ Server::Server(const ServerOptions& options)
       txn_manager_(&lock_manager_),
       current_time_(options.initial_time) {
   trace_.SetCapacity(options.trace_capacity);
+  // Pointer stores into named memory are audited against the duration
+  // allocator: a per-statement pointer parked in session-lifetime named
+  // memory is the paper's §4 stale-pointer bug, flagged at the store.
+  named_memory_.set_duration_source(&memory_);
   if (options_.observability) {
     for (size_t i = 0; i < obs::kPurposeFnCount; ++i) {
       const std::string fn = obs::PurposeFnName(static_cast<obs::PurposeFn>(i));

@@ -4,8 +4,18 @@
 #include <mutex>
 
 #include "obs/query_profile.h"
+#include "txn/witness.h"
 
 namespace grtdb {
+
+namespace {
+// One witness class for the frame-table latch, shared and unique modes
+// alike: ordering against the lock manager and the pager is what matters.
+[[maybe_unused]] witness::LockClass& CacheLatchClass() {
+  static witness::LockClass cls("cache.latch");
+  return cls;
+}
+}  // namespace
 
 NodeCache::NodeCache(NodeStore* inner, size_t capacity)
     : inner_(inner), frames_(capacity == 0 ? 1 : capacity) {
@@ -17,6 +27,7 @@ NodeCache::NodeCache(NodeStore* inner, size_t capacity)
 NodeCache::~NodeCache() {
   // Best-effort write-back so a cache dropped without Flush() does not
   // strand dirty pages (blades still Flush explicitly to see the status).
+  GRTDB_WITNESS_SCOPE(CacheLatchClass());
   std::unique_lock lock(latch_);
   for (Frame& frame : frames_) {
     if (frame.node_id != kInvalidNodeId && frame.dirty) {
@@ -89,6 +100,9 @@ Status NodeCache::GrabFrameLocked(size_t* frame) {
 Status NodeCache::PinFrame(NodeId id, size_t* frame,
                            std::shared_lock<std::shared_mutex>* latch,
                            bool* hit) {
+  // The pin spans until Unpin() (possibly via a NodeView), which balances
+  // this witness record; error returns below balance it immediately.
+  GRTDB_WITNESS_ACQUIRE(CacheLatchClass());
   *hit = true;
   {
     std::shared_lock shared(latch_);
@@ -109,9 +123,17 @@ Status NodeCache::PinFrame(NodeId id, size_t* frame,
     auto it = node_table_.find(id);
     if (it == node_table_.end()) {
       size_t slot;
-      GRTDB_RETURN_IF_ERROR(GrabFrameLocked(&slot));
+      Status grab = GrabFrameLocked(&slot);
+      if (!grab.ok()) {
+        GRTDB_WITNESS_RELEASE(CacheLatchClass());
+        return grab;
+      }
       Frame& f = frames_[slot];
-      GRTDB_RETURN_IF_ERROR(inner_->ReadNode(id, f.data.get()));
+      Status read = inner_->ReadNode(id, f.data.get());
+      if (!read.ok()) {
+        GRTDB_WITNESS_RELEASE(CacheLatchClass());
+        return read;
+      }
       f.node_id = id;
       f.dirty = false;
       node_table_[id] = slot;
@@ -136,6 +158,7 @@ Status NodeCache::PinFrame(NodeId id, size_t* frame,
 
 void NodeCache::Unpin(size_t frame) {
   frames_[frame].pins.fetch_sub(1, std::memory_order_acq_rel);
+  GRTDB_WITNESS_RELEASE(CacheLatchClass());
 }
 
 Status NodeCache::ReadNode(NodeId id, uint8_t* out) {
@@ -194,6 +217,7 @@ Status NodeCache::FrameForWriteLocked(NodeId id, size_t* frame) {
 Status NodeCache::WriteNode(NodeId id, const uint8_t* data) {
   writes_.fetch_add(1, std::memory_order_relaxed);
   if (m_writes_ != nullptr) m_writes_->Add();
+  GRTDB_WITNESS_SCOPE(CacheLatchClass());
   std::unique_lock lock(latch_);
   size_t frame;
   GRTDB_RETURN_IF_ERROR(FrameForWriteLocked(id, &frame));
@@ -205,11 +229,13 @@ Status NodeCache::WriteNode(NodeId id, const uint8_t* data) {
 }
 
 Status NodeCache::AllocateNode(NodeId* id) {
+  GRTDB_WITNESS_SCOPE(CacheLatchClass());
   std::unique_lock lock(latch_);
   return inner_->AllocateNode(id);
 }
 
 Status NodeCache::FreeNode(NodeId id) {
+  GRTDB_WITNESS_SCOPE(CacheLatchClass());
   std::unique_lock lock(latch_);
   auto it = node_table_.find(id);
   if (it != node_table_.end()) {
@@ -225,6 +251,7 @@ Status NodeCache::FreeNode(NodeId id) {
 }
 
 Status NodeCache::Flush() {
+  GRTDB_WITNESS_SCOPE(CacheLatchClass());
   std::unique_lock lock(latch_);
   uint64_t flushed = 0;
   for (Frame& frame : frames_) {

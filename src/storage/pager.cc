@@ -2,7 +2,16 @@
 
 #include <cstring>
 
+#include "txn/witness.h"
+
 namespace grtdb {
+
+namespace {
+[[maybe_unused]] grtdb::witness::LockClass& PagerMutexClass() {
+  static grtdb::witness::LockClass cls("pager.mu");
+  return cls;
+}
+}  // namespace
 
 Pager::Pager(Space* space, size_t capacity) : space_(space) {
   if (capacity == 0) capacity = 1;
@@ -60,6 +69,7 @@ Status Pager::GrabFrameLocked(size_t* frame_index) {
 }
 
 Status Pager::NewPage(PageId* id, uint8_t** data) {
+  GRTDB_WITNESS_SCOPE(PagerMutexClass());
   std::lock_guard<std::mutex> lock(mu_);
   // Grab the frame *before* extending the space: Extend is irreversible,
   // so doing it first would leak the fresh page forever whenever the pool
@@ -81,6 +91,7 @@ Status Pager::NewPage(PageId* id, uint8_t** data) {
 }
 
 Status Pager::FetchPage(PageId id, uint8_t** data) {
+  GRTDB_WITNESS_SCOPE(PagerMutexClass());
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.logical_reads;
   if (m_logical_reads_ != nullptr) m_logical_reads_->Add();
@@ -121,12 +132,14 @@ Status Pager::FetchPage(PageId id, uint8_t** data) {
 }
 
 void Pager::MarkDirty(PageId id) {
+  GRTDB_WITNESS_SCOPE(PagerMutexClass());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) frames_[it->second].dirty = true;
 }
 
 void Pager::Unpin(PageId id) {
+  GRTDB_WITNESS_SCOPE(PagerMutexClass());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end() && frames_[it->second].pin_count > 0) {
@@ -135,6 +148,7 @@ void Pager::Unpin(PageId id) {
 }
 
 Status Pager::FlushAll() {
+  GRTDB_WITNESS_SCOPE(PagerMutexClass());
   std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.page_id != kInvalidPageId && frame.dirty) {

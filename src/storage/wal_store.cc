@@ -9,10 +9,16 @@
 #include <cstring>
 
 #include "storage/layout.h"
+#include "txn/witness.h"
 
 namespace grtdb {
 
 namespace {
+
+[[maybe_unused]] grtdb::witness::LockClass& CommitMutexClass() {
+  static grtdb::witness::LockClass cls("wal.commit_mu");
+  return cls;
+}
 
 // One redo record: type byte + (for writes/frees) a node id, + (for
 // writes) the full page image.
@@ -350,6 +356,7 @@ Status WalNodeStore::CommitBuffer(TxnBuffer* txn, bool apply) {
   req.frame = BuildFrame(*txn);
   req.records = 2 + txn->writes.size() + txn->frees.size();
 
+  GRTDB_WITNESS_ACQUIRE(CommitMutexClass());
   std::unique_lock<std::mutex> lk(commit_mu_);
   commit_queue_.push_back(&req);
   commit_cv_.notify_all();  // a lingering leader may be waiting for joiners
@@ -364,6 +371,7 @@ Status WalNodeStore::CommitBuffer(TxnBuffer* txn, bool apply) {
     commit_cv_.wait(lk);
   }
   lk.unlock();
+  GRTDB_WITNESS_RELEASE(CommitMutexClass());
 
   if (req.result.ok()) {
     txn->writes.clear();
@@ -394,6 +402,7 @@ void WalNodeStore::RunLeaderRound(std::unique_lock<std::mutex>& lk) {
     commit_queue_.pop_front();
   }
   lk.unlock();
+  GRTDB_WITNESS_RELEASE(CommitMutexClass());
 
   size_t blob_size = 0;
   uint64_t records = 0;
@@ -456,6 +465,7 @@ void WalNodeStore::RunLeaderRound(std::unique_lock<std::mutex>& lk) {
   }
   if (io.ok()) MaybeAutoCheckpoint();
 
+  GRTDB_WITNESS_ACQUIRE(CommitMutexClass());
   lk.lock();
   for (CommitRequest* r : batch) r->done = true;
   leader_active_ = false;
@@ -496,6 +506,7 @@ void WalNodeStore::MaybeAutoCheckpoint() {
 // ------------------------------------------------------------- checkpoint --
 
 void WalNodeStore::AcquirePipeline() {
+  GRTDB_WITNESS_ACQUIRE(CommitMutexClass());
   std::unique_lock<std::mutex> lk(commit_mu_);
   commit_cv_.wait(lk, [&] { return !leader_active_; });
   leader_active_ = true;  // blocks commit leaders; appends are quiesced
@@ -507,6 +518,7 @@ void WalNodeStore::ReleasePipeline() {
     leader_active_ = false;
   }
   commit_cv_.notify_all();
+  GRTDB_WITNESS_RELEASE(CommitMutexClass());
 }
 
 Status WalNodeStore::CheckpointQuiesced() {

@@ -1,8 +1,31 @@
 #include "txn/lock_manager.h"
 
 #include "obs/query_profile.h"
+#include "txn/witness.h"
 
 namespace grtdb {
+
+namespace {
+
+// Witness lock classes, one per resource kind: ordering between two locks
+// of the same kind (row vs row) is legitimate and not tracked, but a
+// table-after-row or lock-after-latch inversion is.
+[[maybe_unused]] witness::LockClass& WitnessClassFor(ResourceKind kind) {
+  static witness::LockClass lo("lockmgr.lo");
+  static witness::LockClass table("lockmgr.table");
+  static witness::LockClass row("lockmgr.row");
+  switch (kind) {
+    case ResourceKind::kLargeObject:
+      return lo;
+    case ResourceKind::kTable:
+      return table;
+    case ResourceKind::kRow:
+      break;
+  }
+  return row;
+}
+
+}  // namespace
 
 bool LockManager::CompatibleLocked(const LockState& state, TxnId txn,
                                    LockMode mode) {
@@ -32,6 +55,10 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode) {
 Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
                                        LockMode mode,
                                        std::chrono::milliseconds timeout) {
+  // Witness sees the acquisition *attempt*, before any blocking, so an
+  // ordering inversion is flagged even when this call would have been
+  // granted immediately. Failure paths below undo the record.
+  GRTDB_WITNESS_ACQUIRE(WitnessClassFor(resource.kind));
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.acquisitions;
   if (m_acquisitions_ != nullptr) m_acquisitions_->Add();
@@ -55,6 +82,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
       if (state.has_upgrader && state.upgrader != txn) {
         ++stats_.deadlocks;
         if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
+        GRTDB_WITNESS_RELEASE(WitnessClassFor(resource.kind));
         return Status::Deadlock(
             "upgrade-upgrade deadlock (resource kind " +
             std::to_string(static_cast<int>(resource.kind)) + ", id " +
@@ -133,6 +161,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
       // The fence this request held is gone — wake blocked shared
       // requests so they can re-evaluate.
       cv_.notify_all();
+      GRTDB_WITNESS_RELEASE(WitnessClassFor(resource.kind));
       return Status::LockTimeout("lock wait timeout (resource kind " +
                                  std::to_string(static_cast<int>(
                                      resource.kind)) +
@@ -156,6 +185,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
 }
 
 void LockManager::Release(TxnId txn, ResourceId resource) {
+  GRTDB_WITNESS_RELEASE(WitnessClassFor(resource.kind));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = locks_.find(resource);
   if (it == locks_.end()) return;
@@ -174,6 +204,11 @@ void LockManager::Release(TxnId txn, ResourceId resource) {
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
+  // A transaction's locks can be torn down in one sweep with arbitrary
+  // nesting counts; drop the calling thread's whole witness record.
+  GRTDB_WITNESS_RELEASE_ALL(WitnessClassFor(ResourceKind::kLargeObject));
+  GRTDB_WITNESS_RELEASE_ALL(WitnessClassFor(ResourceKind::kTable));
+  GRTDB_WITNESS_RELEASE_ALL(WitnessClassFor(ResourceKind::kRow));
   std::lock_guard<std::mutex> lock(mu_);
   bool released = false;
   for (auto it = locks_.begin(); it != locks_.end();) {

@@ -1,0 +1,201 @@
+#include "txn/witness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace grtdb {
+namespace witness {
+namespace {
+
+// The calling thread's held-set: one entry per held class, with the site
+// of the outermost acquisition and a nesting count.
+struct Held {
+  int cls;
+  uint32_t count;
+  Site site;
+};
+
+thread_local std::vector<Held> t_held;
+
+std::string SiteString(const Site& site) {
+  return std::string(site.file) + ":" + std::to_string(site.line);
+}
+
+}  // namespace
+
+std::string CycleReport::ToString() const {
+  std::string s = "witness: lock-order inversion: acquiring '";
+  s += acquiring_class;
+  s += "' at " + SiteString(acquiring_site);
+  s += " while holding '" + held_class;
+  s += "' (acquired at " + SiteString(held_site) + ")";
+  s += ", but the established order is " + path;
+  return s;
+}
+
+Witness& Witness::Global() {
+  static Witness* instance = new Witness();
+  return *instance;
+}
+
+int Witness::RegisterClass(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < class_count_; ++i) {
+    if (std::strcmp(names_[i], name) == 0) return i;
+  }
+  if (class_count_ >= kMaxClasses) return -1;
+  names_[class_count_] = name;
+  return class_count_++;
+}
+
+bool Witness::ReachableLocked(int from, int to) const {
+  if (from == to) return true;
+  bool visited[kMaxClasses] = {};
+  int stack[kMaxClasses];
+  int depth = 0;
+  stack[depth++] = from;
+  visited[from] = true;
+  while (depth > 0) {
+    const int node = stack[--depth];
+    for (int next = 0; next < class_count_; ++next) {
+      if (!edges_[node][next].present || visited[next]) continue;
+      if (next == to) return true;
+      visited[next] = true;
+      stack[depth++] = next;
+    }
+  }
+  return false;
+}
+
+void Witness::ReportLocked(int held, Site held_site, int acquiring,
+                          Site acquiring_site) {
+  if (reported_[held][acquiring]) return;
+  reported_[held][acquiring] = true;
+
+  // Render the pre-existing ordering acquiring -> ... -> held that the new
+  // edge inverts, with the sites that established each hop.
+  std::string path;
+  int node = acquiring;
+  bool visited[kMaxClasses] = {};
+  visited[node] = true;
+  path += "'" + std::string(names_[node]) + "'";
+  // Greedy walk: follow any edge that still reaches `held`.
+  while (node != held) {
+    int step = -1;
+    for (int next = 0; next < class_count_; ++next) {
+      if (!edges_[node][next].present || visited[next]) continue;
+      if (next == held || ReachableLocked(next, held)) {
+        step = next;
+        break;
+      }
+    }
+    if (step < 0) break;  // defensive; caller proved reachability
+    path += " -> '" + std::string(names_[step]) + "' (at " +
+            SiteString(edges_[node][step].to_site) + ")";
+    visited[step] = true;
+    node = step;
+  }
+
+  CycleReport report;
+  report.held_class = names_[held];
+  report.held_site = held_site;
+  report.acquiring_class = names_[acquiring];
+  report.acquiring_site = acquiring_site;
+  report.path = path;
+  reports_.push_back(std::move(report));
+  pending_.push_back(reports_.size() - 1);
+}
+
+void Witness::OnAcquire(int cls, const char* file, int line) {
+  if (cls < 0) return;
+  for (Held& held : t_held) {
+    if (held.cls == cls) {
+      ++held.count;
+      return;
+    }
+  }
+  const Site site{file, line};
+  std::vector<CycleReport> fire;  // handler runs outside mu_
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Held& held : t_held) {
+      if (held.cls == cls) continue;
+      Edge& edge = edges_[held.cls][cls];
+      if (!edge.present) {
+        // New ordering held -> cls. If cls already precedes held somewhere
+        // in the graph, this acquisition closes a cycle: report it now,
+        // *before* the caller blocks, and keep the graph acyclic by not
+        // inserting the reversing edge.
+        if (ReachableLocked(cls, held.cls)) {
+          ReportLocked(held.cls, held.site, cls, site);
+          continue;
+        }
+        edge.present = true;
+        edge.from_site = held.site;
+        edge.to_site = site;
+      }
+    }
+    for (size_t index : pending_) fire.push_back(reports_[index]);
+    pending_.clear();
+    handler = handler_;
+  }
+  t_held.push_back(Held{cls, 1, site});
+  for (const CycleReport& report : fire) {
+    if (handler) {
+      handler(report);
+    } else {
+      std::fprintf(stderr, "%s\n", report.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+void Witness::OnRelease(int cls) {
+  if (cls < 0) return;
+  for (auto it = t_held.begin(); it != t_held.end(); ++it) {
+    if (it->cls != cls) continue;
+    if (--it->count == 0) t_held.erase(it);
+    return;
+  }
+}
+
+void Witness::OnReleaseAll(int cls) {
+  if (cls < 0) return;
+  for (auto it = t_held.begin(); it != t_held.end(); ++it) {
+    if (it->cls == cls) {
+      t_held.erase(it);
+      return;
+    }
+  }
+}
+
+uint64_t Witness::cycles_reported() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_.size();
+}
+
+std::vector<CycleReport> Witness::reports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_;
+}
+
+void Witness::set_handler(Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handler_ = std::move(handler);
+}
+
+void Witness::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < kMaxClasses; ++i) {
+    for (int j = 0; j < kMaxClasses; ++j) {
+      edges_[i][j] = Edge();
+      reported_[i][j] = false;
+    }
+  }
+  reports_.clear();
+}
+
+}  // namespace witness
+}  // namespace grtdb

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <set>
 #include <string>
 
@@ -241,7 +243,11 @@ TEST_P(StorageVariantTest, EndToEnd) {
   GRTreeBladeOptions options;
   options.storage = GetParam();
   options.nodes_per_lo = 4;
-  options.external_dir = ::testing::TempDir();
+  // Per-process directory: a concurrent ctest case with the same index
+  // name must not share grtree_t_idx.dat (see ObsSqlTest::SetUp).
+  options.external_dir =
+      ::testing::TempDir() + "blades_" + std::to_string(::getpid());
+  std::filesystem::create_directories(options.external_dir);
   ASSERT_TRUE(RegisterGRTreeBlade(&server, options).ok());
   ServerSession* session = server.CreateSession();
   ResultSet result;

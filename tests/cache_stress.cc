@@ -17,6 +17,9 @@
 #include "storage/pager.h"
 #include "storage/sbspace.h"
 #include "storage/space.h"
+#ifdef GRTDB_WITNESS
+#include "txn/witness.h"
+#endif
 #include "temporal/predicates.h"
 
 namespace grtdb {
@@ -162,4 +165,23 @@ int Run() {
 }  // namespace
 }  // namespace grtdb
 
-int main() { return grtdb::Run(); }
+
+// Under GRTDB_WITNESS every latch/lock acquisition in the run fed the
+// order graph; a stress run is only clean if no inversion was recorded.
+static int WitnessVerdict() {
+#ifdef GRTDB_WITNESS
+  auto& witness = grtdb::witness::Witness::Global();
+  for (const auto& report : witness.reports()) {
+    std::fprintf(stderr, "%s\n", report.ToString().c_str());
+  }
+  if (witness.cycles_reported() != 0) return 1;
+  std::printf("witness: no lock-order inversions\n");
+#endif
+  return 0;
+}
+
+int main() {
+  const int rc = grtdb::Run();
+  const int witness_rc = WitnessVerdict();
+  return rc != 0 ? rc : witness_rc;
+}

@@ -14,6 +14,9 @@
 #include "blade/trace.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
+#ifdef GRTDB_WITNESS
+#include "txn/witness.h"
+#endif
 
 using grtdb::TraceFacility;
 using grtdb::obs::Counter;
@@ -37,6 +40,21 @@ void Check(bool ok, const char* what) {
 }
 
 }  // namespace
+
+
+// Under GRTDB_WITNESS every latch/lock acquisition in the run fed the
+// order graph; a stress run is only clean if no inversion was recorded.
+static int WitnessVerdict() {
+#ifdef GRTDB_WITNESS
+  auto& witness = grtdb::witness::Witness::Global();
+  for (const auto& report : witness.reports()) {
+    std::fprintf(stderr, "%s\n", report.ToString().c_str());
+  }
+  if (witness.cycles_reported() != 0) return 1;
+  std::printf("witness: no lock-order inversions\n");
+#endif
+  return 0;
+}
 
 int main() {
   MetricsRegistry registry;
@@ -118,5 +136,5 @@ int main() {
   std::printf("obs_stress OK: %llu ops, %zu trace records, %llu dropped\n",
               static_cast<unsigned long long>(expected), trace.log().size(),
               static_cast<unsigned long long>(trace.dropped()));
-  return 0;
+  return WitnessVerdict();
 }

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <set>
@@ -183,7 +186,12 @@ class ObsSqlTest : public ::testing::Test {
   void SetUp() override {
     GRTreeBladeOptions options;
     options.storage = GRTreeBladeOptions::Storage::kExternalFile;
-    options.external_dir = ::testing::TempDir();
+    // Per-process directory: ctest runs each case as its own process, and
+    // every fixture instance creates the same grtree_t_idx.dat — sharing
+    // TempDir() lets concurrent cases clobber each other's space file.
+    options.external_dir =
+        ::testing::TempDir() + "obs_sql_" + std::to_string(::getpid());
+    std::filesystem::create_directories(options.external_dir);
     ASSERT_TRUE(RegisterGRTreeBlade(&server_, options).ok());
     session_ = server_.CreateSession();
     MustExec("CREATE TABLE t (id int, e grt_timeextent)");

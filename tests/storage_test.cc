@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
 #include <filesystem>
@@ -16,7 +17,11 @@ namespace grtdb {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Pid-qualified: ctest runs each case as its own process, and two
+  // concurrent cases sharing a fixture file clobber each other's space.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(::getpid()) + "_" + name))
+      .string();
 }
 
 // ------------------------------------------------------------------ Space --

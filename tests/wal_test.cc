@@ -23,7 +23,10 @@ namespace grtdb {
 namespace {
 
 std::string LogPath(const char* name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Pid-qualified so concurrent ctest processes never share a log file.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(::getpid()) + "_" + name))
+      .string();
 }
 
 struct Fixture {

@@ -1,0 +1,29 @@
+// grtdb_lint: repo-invariant checker for DataBlade code. Usage:
+//   grtdb_lint <path>...
+// Lints every *.h/*.cc/*.cpp under each path and prints
+//   file:line: [rule] message
+// for each violation; exits 1 if any were found.
+
+#include <cstdio>
+
+#include "tools/lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <path>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) paths.push_back(argv[i]);
+  const std::vector<grtdb::lint::Issue> issues = grtdb::lint::LintPaths(paths);
+  for (const grtdb::lint::Issue& issue : issues) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", issue.file.c_str(), issue.line,
+                 issue.rule.c_str(), issue.message.c_str());
+  }
+  if (!issues.empty()) {
+    std::fprintf(stderr, "grtdb_lint: %zu issue(s)\n", issues.size());
+    return 1;
+  }
+  std::printf("grtdb_lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef GRTDB_TOOLS_LINT_H_
+#define GRTDB_TOOLS_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace grtdb {
+namespace lint {
+
+// grtdb_lint: a standalone repo-invariant checker (light tokenizer, no
+// clang dependency) run as a ctest over src/blades, src/blade, and
+// src/server. It enforces the DataBlade rules the paper's authors learned
+// by crashing Informix (§4, §6) plus two repo conventions:
+//
+//   purpose-fig6      Every am_* purpose-function name appearing in a
+//                     string literal (access-method registration scripts,
+//                     catalog keys) is one of the paper's Fig. 6 purpose
+//                     functions (+ am_sptype).
+//   tprintf-format    Tprintf calls pass a string-literal format whose
+//                     specifiers match the argument count, with obvious
+//                     type mismatches (%s fed a number literal, a numeric
+//                     specifier fed a .c_str()/string literal) rejected.
+//   naked-alloc       Blade code (src/blades, src/blade) takes no memory
+//                     from naked new/malloc-family calls — allocation goes
+//                     through MiMemory durations (§6.2).
+//   lockmgr-acquire   LockManager::Acquire / AcquireWithTimeout is called
+//                     only from the sanctioned wrappers (LockingNodeStore
+//                     and the executor's statement-level table locking) —
+//                     ad-hoc acquisition sites are how lock-order bugs
+//                     creep in.
+
+struct Issue {
+  std::string file;
+  int line = 0;
+  std::string rule;     // one of the rule slugs above
+  std::string message;
+};
+
+// Token stream exposed for tests of the tokenizer itself.
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+struct Token {
+  TokKind kind;
+  std::string text;  // for kString: the literal's *content*, unquoted
+  int line = 0;
+};
+
+// Tokenizes C++ source: comments are dropped, string/char literals become
+// single tokens carrying their content, preprocessor directives (and their
+// continuation lines) are skipped, and "->"/"::" survive as single punct
+// tokens.
+std::vector<Token> Tokenize(const std::string& source);
+
+// Runs every applicable rule over one translation unit. `path` selects
+// path-scoped rules (naked-alloc only applies to blade code; sanctioned
+// wrapper files are exempt from lockmgr-acquire).
+std::vector<Issue> LintSource(const std::string& path,
+                              const std::string& source);
+
+// Reads and lints a file; an unreadable file is itself an issue.
+std::vector<Issue> LintFile(const std::string& path);
+
+// Recursively lints every *.h / *.cc / *.cpp under each path (files are
+// linted directly).
+std::vector<Issue> LintPaths(const std::vector<std::string>& paths);
+
+}  // namespace lint
+}  // namespace grtdb
+
+#endif  // GRTDB_TOOLS_LINT_H_
