@@ -1,0 +1,208 @@
+// Flight-recorder overhead: the same explicit-transaction query workload
+// (every BEGIN/COMMIT pair emits txn_begin/txn_commit into the recorder,
+// and the scans ride the cache-eviction and slow-purpose-call probes) runs
+// with the process-global recorder enabled and disabled, in interleaved
+// min-of-rounds fashion. Read-only transactions keep the WAL out of the
+// timed loop — an fsync-bound insert phase swings tens of percent run to
+// run, drowning a nanosecond-scale effect. The recorder is always-on in
+// production, so its record path must be effectively free. Self-checking
+// twice over:
+//   (a) recorder-on costs < 5% (plus a 1 ms absolute slack for timer
+//       noise) over recorder-off on the query phase;
+//   (b) ring accounting is exact: a counted event burst retains precisely
+//       the newest kSlotsPerThread events with nothing lost, and a
+//       committed transaction shows up as txn_commit through DUMP FLIGHT.
+// `--smoke` shrinks the workload for the ctest smoke label.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "blades/grtree_blade.h"
+#include "obs/flight_recorder.h"
+#include "server/server.h"
+
+namespace grtdb {
+namespace {
+
+int g_rows = 2000;
+int g_txns_per_round = 60;
+int g_rounds = 5;
+
+struct Instance {
+  std::unique_ptr<Server> server;
+  ServerSession* session = nullptr;
+};
+
+Instance MakeInstance() {
+  Instance instance;
+  instance.server = std::make_unique<Server>();
+  bench::Check(RegisterGRTreeBlade(instance.server.get()),
+               "RegisterGRTreeBlade");
+  instance.session = instance.server->CreateSession();
+  bench::Exec(*instance.server, instance.session,
+              "CREATE TABLE t (id int, e grt_timeextent)");
+  bench::Exec(*instance.server, instance.session,
+              "CREATE INDEX t_idx ON t(e grt_opclass) USING grtree_am");
+  bench::Exec(*instance.server, instance.session,
+              "SET CURRENT_TIME TO 20000");
+  // Ground extents spread over a [18000, 20000] valid-time range so the
+  // overlap queries below are selective rather than return-everything.
+  for (int i = 0; i < g_rows; ++i) {
+    const int64_t vt1 = 18000 + (i * 7) % 2000;
+    bench::Exec(*instance.server, instance.session,
+                "INSERT INTO t VALUES (" + std::to_string(i) +
+                    ", '20000, 20001, " + std::to_string(vt1) + ", " +
+                    std::to_string(vt1 + 40) + "')");
+  }
+  return instance;
+}
+
+// One timed round: `g_txns_per_round` explicit transactions, each a
+// selective overlap scan between BEGIN WORK and COMMIT WORK. One server
+// instance hosts every round — only the recorder's enabled flag differs.
+double TxnRoundMs(Instance& instance) {
+  bench::Timer timer;
+  for (int q = 0; q < g_txns_per_round; ++q) {
+    const int64_t vt = 18000 + (q * 131) % 1900;
+    bench::Exec(*instance.server, instance.session, "BEGIN WORK");
+    bench::Exec(*instance.server, instance.session,
+                "SELECT COUNT(*) FROM t WHERE Overlaps(e, '20000, 20001, " +
+                    std::to_string(vt) + ", " + std::to_string(vt + 100) +
+                    "')");
+    bench::Exec(*instance.server, instance.session, "COMMIT WORK");
+  }
+  return timer.ElapsedMs();
+}
+
+int Run(bool smoke) {
+  if (smoke) {
+    g_rows = 300;
+    g_txns_per_round = 15;
+    g_rounds = 2;
+  }
+  std::printf("bench_flight_overhead: %d rows, %d rounds x %d explicit-txn "
+              "overlap scans (min-of-rounds)%s\n\n",
+              g_rows, g_rounds, g_txns_per_round, smoke ? " [smoke]" : "");
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  Instance instance = MakeInstance();
+
+  // Warm-up round per configuration, then interleave the timed rounds in
+  // ABBA order (on/off, off/on, ...) so periodic machine costs land on
+  // both configurations evenly; min-of-rounds discards the outliers.
+  recorder.set_enabled(true);
+  TxnRoundMs(instance);
+  recorder.set_enabled(false);
+  TxnRoundMs(instance);
+  double min_on = 0, min_off = 0;
+  for (int round = 0; round < g_rounds; ++round) {
+    const bool on_first = (round % 2 == 0);
+    recorder.set_enabled(on_first);
+    const double t_first = TxnRoundMs(instance);
+    recorder.set_enabled(!on_first);
+    const double t_second = TxnRoundMs(instance);
+    const double t_on = on_first ? t_first : t_second;
+    const double t_off = on_first ? t_second : t_first;
+    if (round == 0 || t_on < min_on) min_on = t_on;
+    if (round == 0 || t_off < min_off) min_off = t_off;
+  }
+  recorder.set_enabled(true);
+  const double overhead_pct = (min_on - min_off) / min_off * 100.0;
+  const double overhead_ms = min_on - min_off;
+
+  bench::TablePrinter table({"config", "round min (ms)", "per txn (us)"});
+  table.AddRow({"recorder off", bench::Fmt(min_off, 3),
+                bench::Fmt(min_off * 1000.0 / g_txns_per_round, 1)});
+  table.AddRow({"recorder on", bench::Fmt(min_on, 3),
+                bench::Fmt(min_on * 1000.0 / g_txns_per_round, 1)});
+  table.Print();
+  std::printf("\noverhead: %s%% (%s ms absolute)\n",
+              bench::Fmt(overhead_pct, 2).c_str(),
+              bench::Fmt(overhead_ms, 3).c_str());
+
+  bool ok = true;
+  // (a) the overhead target. Sanitizer instrumentation multiplies every
+  // memory access unevenly across the two configs, so the percentage is
+  // only meaningful on plain builds — the (b) accounting cross-checks
+  // still run everywhere.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+  constexpr bool kSanitized = __has_feature(address_sanitizer) ||
+                              __has_feature(thread_sanitizer) ||
+                              __has_feature(undefined_behavior_sanitizer);
+#else
+  constexpr bool kSanitized = false;
+#endif
+  if (!kSanitized && overhead_pct >= 5.0 && overhead_ms >= 1.0) {
+    std::fprintf(stderr, "FATAL: flight-recorder overhead %.2f%% exceeds "
+                 "the 5%% target\n", overhead_pct);
+    ok = false;
+  }
+
+  // (b1) ring accounting: a counted burst on a fresh thread retains
+  // exactly the newest kSlotsPerThread events and loses nothing.
+  const uint64_t lost_before = recorder.lost();
+  constexpr uint64_t kMarker = 0xF119E7000000ull;
+  constexpr uint64_t kBurst = obs::FlightRecorder::kSlotsPerThread + 100;
+  std::thread burster([&recorder] {
+    for (uint64_t i = 0; i < kBurst; ++i) {
+      recorder.RecordEvent(obs::FlightEvent::kCacheEviction, kMarker + i);
+    }
+  });
+  burster.join();
+  uint64_t retained = 0, newest = 0;
+  for (const obs::FlightEventRecord& record : recorder.Dump()) {
+    if (record.a >= kMarker && record.a < kMarker + kBurst) {
+      ++retained;
+      if (record.a > newest) newest = record.a;
+    }
+  }
+  std::printf("cross-check: burst of %llu retained %llu (ring %zu), "
+              "lost %llu\n",
+              static_cast<unsigned long long>(kBurst),
+              static_cast<unsigned long long>(retained),
+              obs::FlightRecorder::kSlotsPerThread,
+              static_cast<unsigned long long>(recorder.lost() - lost_before));
+  if (retained != obs::FlightRecorder::kSlotsPerThread ||
+      newest != kMarker + kBurst - 1 || recorder.lost() != lost_before) {
+    std::fprintf(stderr, "FATAL: ring retention accounting disagrees\n");
+    ok = false;
+  }
+
+  // (b2) the SQL surface: an explicit transaction's commit is visible
+  // through DUMP FLIGHT.
+  bench::Exec(*instance.server, instance.session, "BEGIN WORK");
+  bench::Exec(*instance.server, instance.session,
+              "INSERT INTO t VALUES (999999, '20000, 20001, 18000, 18040')");
+  bench::Exec(*instance.server, instance.session, "COMMIT WORK");
+  ResultSet dump =
+      bench::Exec(*instance.server, instance.session, "DUMP FLIGHT");
+  bool saw_commit = false;
+  for (const auto& row : dump.rows) {
+    if (row[2] == "txn_commit") saw_commit = true;
+  }
+  if (!saw_commit) {
+    std::fprintf(stderr, "FATAL: DUMP FLIGHT shows no txn_commit\n");
+    ok = false;
+  }
+
+  if (ok) std::printf("bench_flight_overhead: all checks passed\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace grtdb
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return grtdb::Run(smoke);
+}

@@ -1,5 +1,6 @@
 #include "blades/btree_blade.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <vector>
@@ -198,7 +199,7 @@ Status TranslateQual(MiCallContext& ctx, const IndexDef* index,
 }
 
 struct BladeFns {
-  AmSimpleFn create, drop, open, close, check;
+  AmSimpleFn create, drop, open, close, check, stats;
   AmScanFn beginscan, endscan, rescan;
   AmGetNextFn getnext;
   AmModifyFn insert, remove;
@@ -397,6 +398,11 @@ BladeFns MakeBladeFns(const BtreeBladeOptions& options) {
     auto cost_or = state->tree->EstimateScanCost(range, state->cmp);
     if (!cost_or.ok()) return cost_or.status();
     *cost = cost_or.value();
+    // Cap the estimate at the node count measured by UPDATE STATISTICS.
+    IndexStatsReport measured;
+    if (ctx.server->GetIndexStats(desc->index->name, &measured)) {
+      *cost = std::min(*cost, static_cast<double>(measured.nodes));
+    }
     return Status::OK();
   };
 
@@ -404,6 +410,42 @@ BladeFns MakeBladeFns(const BtreeBladeOptions& options) {
     BtTreeState* state = StateOf(desc);
     if (state == nullptr) return Status::Internal("index not open");
     return state->tree->CheckConsistency(state->cmp);
+  };
+
+  fns.stats = [](MiCallContext& ctx, MiAmTableDesc* desc) -> Status {
+    BtTreeState* state = StateOf(desc);
+    if (state == nullptr) return Status::Internal("index not open");
+    std::vector<BtreeLevelStats> levels;
+    GRTDB_RETURN_IF_ERROR(state->tree->LevelStats(&levels));
+    IndexStatsReport report;
+    report.index = desc->index->name;
+    report.access_method = desc->index->access_method;
+    report.size = state->tree->size();
+    report.height = state->tree->height();
+    report.free_list = state->store->FreeListLength();
+    report.computed_at = ctx.statement_time;
+    const size_t max_entries = state->tree->max_entries();
+    uint64_t total_entries = 0;
+    for (const BtreeLevelStats& level : levels) {
+      report.nodes += level.nodes;
+      total_entries += level.entries;
+      if (level.level == 0) report.entries = level.entries;
+      IndexLevelStats out;
+      out.level = level.level;
+      out.nodes = level.nodes;
+      out.entries = level.entries;
+      if (level.nodes > 0 && max_entries > 0) {
+        out.occupancy = static_cast<double>(level.entries) /
+                        static_cast<double>(level.nodes * max_entries);
+      }
+      report.levels.push_back(out);
+    }
+    if (report.nodes > 0 && max_entries > 0) {
+      report.occupancy = static_cast<double>(total_entries) /
+                         static_cast<double>(report.nodes * max_entries);
+    }
+    ctx.server->ReportIndexStats(report);
+    return Status::OK();
   };
 
   return fns;
@@ -514,6 +556,7 @@ Status RegisterBtreeBlade(Server* server, const BtreeBladeOptions& options) {
   library->Export(p + "_delete", std::any(AmModifyFn(fns.remove)));
   library->Export(p + "_update", std::any(AmUpdateFn(fns.update)));
   library->Export(p + "_scancost", std::any(AmScanCostFn(fns.scancost)));
+  library->Export(p + "_stats", std::any(AmSimpleFn(fns.stats)));
   library->Export(p + "_check", std::any(AmSimpleFn(fns.check)));
 
   std::string script;
@@ -527,7 +570,8 @@ Status RegisterBtreeBlade(Server* server, const BtreeBladeOptions& options) {
   };
   for (const char* suffix :
        {"_create", "_drop", "_open", "_close", "_beginscan", "_endscan",
-        "_rescan", "_getnext", "_insert", "_delete", "_update", "_check"}) {
+        "_rescan", "_getnext", "_insert", "_delete", "_update", "_stats",
+        "_check"}) {
     script += fn(p + suffix, p + suffix, "int");
   }
   script += fn(p + "_scancost", p + "_scancost", "float");
@@ -544,6 +588,7 @@ Status RegisterBtreeBlade(Server* server, const BtreeBladeOptions& options) {
   script += "  am_delete = " + p + "_delete,\n";
   script += "  am_update = " + p + "_update,\n";
   script += "  am_scancost = " + p + "_scancost,\n";
+  script += "  am_stats = " + p + "_stats,\n";
   script += "  am_check = " + p + "_check,\n";
   script += "  am_sptype = 'S'\n);\n";
   // Strategy positions 1..5 carry the slot semantics; compare is the

@@ -116,7 +116,7 @@ Status StrategyOf(const OpClassDef* opclass, const MiAmQualDesc& qual,
 }
 
 struct BladeFns {
-  AmSimpleFn create, drop, open, close, check;
+  AmSimpleFn create, drop, open, close, check, stats;
   AmScanFn beginscan, endscan, rescan;
   AmGetNextFn getnext;
   AmModifyFn insert, remove;
@@ -306,7 +306,7 @@ BladeFns MakeBladeFns(const GistBladeOptions& options) {
     return fns.insert(ctx, desc, newrow, newrowid);
   };
 
-  fns.scancost = [](MiCallContext&, MiAmTableDesc* desc,
+  fns.scancost = [](MiCallContext& ctx, MiAmTableDesc* desc,
                     const MiAmQualDesc* qual, double* cost) -> Status {
     GsTreeState* state = StateOf(desc);
     if (state == nullptr) return Status::Internal("index not open");
@@ -319,6 +319,11 @@ BladeFns MakeBladeFns(const GistBladeOptions& options) {
         state->tree->EstimateScanCost(key_or.value(), strategy, state->ext);
     if (!cost_or.ok()) return cost_or.status();
     *cost = cost_or.value();
+    // Cap the estimate at the node count measured by UPDATE STATISTICS.
+    IndexStatsReport measured;
+    if (ctx.server->GetIndexStats(desc->index->name, &measured)) {
+      *cost = std::min(*cost, static_cast<double>(measured.nodes));
+    }
     return Status::OK();
   };
 
@@ -326,6 +331,33 @@ BladeFns MakeBladeFns(const GistBladeOptions& options) {
     GsTreeState* state = StateOf(desc);
     if (state == nullptr) return Status::Internal("index not open");
     return state->tree->CheckConsistency(state->ext);
+  };
+
+  fns.stats = [](MiCallContext& ctx, MiAmTableDesc* desc) -> Status {
+    GsTreeState* state = StateOf(desc);
+    if (state == nullptr) return Status::Internal("index not open");
+    std::vector<GistLevelStats> levels;
+    GRTDB_RETURN_IF_ERROR(state->tree->LevelStats(&levels));
+    IndexStatsReport report;
+    report.index = desc->index->name;
+    report.access_method = desc->index->access_method;
+    report.size = state->tree->size();
+    report.height = state->tree->height();
+    report.free_list = state->store->FreeListLength();
+    report.computed_at = ctx.statement_time;
+    for (const GistLevelStats& level : levels) {
+      report.nodes += level.nodes;
+      if (level.level == 0) report.entries = level.entries;
+      IndexLevelStats out;
+      out.level = level.level;
+      out.nodes = level.nodes;
+      out.entries = level.entries;
+      // Keys are variable-length, so a per-entry capacity (and thus an
+      // occupancy ratio) is undefined for this blade.
+      report.levels.push_back(out);
+    }
+    ctx.server->ReportIndexStats(report);
+    return Status::OK();
   };
 
   return fns;
@@ -337,7 +369,8 @@ std::string PurposeSql(const std::string& prefix) {
   std::string script;
   for (const char* suffix :
        {"_create", "_drop", "_open", "_close", "_beginscan", "_endscan",
-        "_rescan", "_getnext", "_insert", "_delete", "_update", "_check"}) {
+        "_rescan", "_getnext", "_insert", "_delete", "_update", "_stats",
+        "_check"}) {
     script += "CREATE FUNCTION " + prefix + suffix +
               "(pointer) RETURNING int EXTERNAL NAME '" +
               std::string(kGistLibrary) + "(" + prefix + suffix +
@@ -371,6 +404,7 @@ Status RegisterGistBlade(Server* server, const GistBladeOptions& options) {
   library->Export(p + "_delete", std::any(AmModifyFn(fns.remove)));
   library->Export(p + "_update", std::any(AmUpdateFn(fns.update)));
   library->Export(p + "_scancost", std::any(AmScanCostFn(fns.scancost)));
+  library->Export(p + "_stats", std::any(AmSimpleFn(fns.stats)));
   library->Export(p + "_check", std::any(AmSimpleFn(fns.check)));
 
   std::string script = PurposeSql(p);
@@ -387,6 +421,7 @@ Status RegisterGistBlade(Server* server, const GistBladeOptions& options) {
   script += "  am_delete = " + p + "_delete,\n";
   script += "  am_update = " + p + "_update,\n";
   script += "  am_scancost = " + p + "_scancost,\n";
+  script += "  am_stats = " + p + "_stats,\n";
   script += "  am_check = " + p + "_check,\n";
   script += "  am_sptype = 'S'\n);\n";
   ServerSession* session = server->CreateSession();

@@ -1,5 +1,6 @@
 #include "blades/grtree_blade.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -643,6 +644,12 @@ BladeFns MakeBladeFns(const GRTreeBladeOptions& options) {
                                                  BladeCurrentTime(ctx));
     if (!cost_or.ok()) return cost_or.status();
     *cost = cost_or.value();
+    // A scan never reads more nodes than the tree holds; the measured count
+    // from the last UPDATE STATISTICS caps the estimate.
+    IndexStatsReport measured;
+    if (ctx.server->GetIndexStats(desc->index->name, &measured)) {
+      *cost = std::min(*cost, static_cast<double>(measured.nodes));
+    }
     return Status::OK();
   };
 
@@ -655,14 +662,51 @@ BladeFns MakeBladeFns(const GRTreeBladeOptions& options) {
   fns.stats = [](MiCallContext& ctx, MiAmTableDesc* desc) -> Status {
     GrtTreeState* state = StateOf(desc);
     if (state == nullptr) return Status::Internal("index not open");
+    const int64_t ct = BladeCurrentTime(ctx);
     GRTreeStats stats;
-    GRTDB_RETURN_IF_ERROR(state->tree->ComputeStats(
-        BladeCurrentTime(ctx), /*dead_space_samples=*/0, &stats));
+    GRTDB_RETURN_IF_ERROR(
+        state->tree->ComputeStats(ct, /*dead_space_samples=*/0, &stats));
+    IndexStatsReport report;
+    report.index = desc->index->name;
+    report.access_method = desc->index->access_method;
+    report.size = stats.size;
+    report.height = stats.height;
+    report.nodes = stats.nodes;
+    report.free_list = state->store->FreeListLength();
+    report.computed_at = ct;
+    const size_t max_entries = state->tree->max_entries();
+    uint64_t total_entries = 0;
+    for (const GRTreeLevelStats& level : stats.levels) {
+      total_entries += level.entries;
+      IndexLevelStats out;
+      out.level = level.level;
+      out.nodes = level.nodes;
+      out.entries = level.entries;
+      if (level.nodes > 0 && max_entries > 0) {
+        out.occupancy = static_cast<double>(level.entries) /
+                        static_cast<double>(level.nodes * max_entries);
+      }
+      out.total_area = level.total_area;
+      out.overlap_area = level.overlap_area;
+      report.levels.push_back(out);
+      if (level.level == 0) {
+        report.entries = level.entries;
+        report.dead_entries = level.dead_entries;
+        report.growing_regions = level.growing_entries;
+        report.growing_area = level.growing_area;
+      }
+    }
+    if (stats.nodes > 0 && max_entries > 0) {
+      report.occupancy = static_cast<double>(total_entries) /
+                         static_cast<double>(stats.nodes * max_entries);
+    }
+    ctx.server->ReportIndexStats(report);
     ctx.server->trace().Tprintf(
-        "grtree", 1, "stats %s: size=%llu height=%u nodes=%llu",
+        "grtree", 1, "stats %s: size=%llu height=%u nodes=%llu growing=%llu",
         desc->index->name.c_str(),
         static_cast<unsigned long long>(stats.size), stats.height,
-        static_cast<unsigned long long>(stats.nodes));
+        static_cast<unsigned long long>(stats.nodes),
+        static_cast<unsigned long long>(report.growing_regions));
     return Status::OK();
   };
 

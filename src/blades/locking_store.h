@@ -43,6 +43,7 @@ class LockingNodeStore final : public NodeStore {
   }
 
   uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
+  uint64_t FreeListLength() override { return inner_->FreeListLength(); }
   Status Flush() override { return inner_->Flush(); }
 
   // Called from am_close: drops the shared LO locks when the isolation

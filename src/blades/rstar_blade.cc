@@ -1,5 +1,6 @@
 #include "blades/rstar_blade.h"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -83,7 +84,7 @@ Status QueryRectOf(const MiAmQualDesc& qual, int64_t max_timestamp,
 }
 
 struct BladeFns {
-  AmSimpleFn create, drop, open, close, check;
+  AmSimpleFn create, drop, open, close, check, stats;
   AmScanFn beginscan, endscan, rescan;
   AmGetNextFn getnext;
   AmModifyFn insert, remove;
@@ -310,7 +311,7 @@ BladeFns MakeBladeFns(const RStarBladeOptions& options) {
     return fns.insert(ctx, desc, newrow, newrowid);
   };
 
-  fns.scancost = [options](MiCallContext&, MiAmTableDesc* desc,
+  fns.scancost = [options](MiCallContext& ctx, MiAmTableDesc* desc,
                            const MiAmQualDesc* qual, double* cost) -> Status {
     RstTreeState* state = StateOf(desc);
     if (state == nullptr) return Status::Internal("index not open");
@@ -321,6 +322,11 @@ BladeFns MakeBladeFns(const RStarBladeOptions& options) {
     auto cost_or = state->tree->EstimateScanCost(query);
     if (!cost_or.ok()) return cost_or.status();
     *cost = cost_or.value();
+    // Cap the estimate at the node count measured by UPDATE STATISTICS.
+    IndexStatsReport measured;
+    if (ctx.server->GetIndexStats(desc->index->name, &measured)) {
+      *cost = std::min(*cost, static_cast<double>(measured.nodes));
+    }
     return Status::OK();
   };
 
@@ -328,6 +334,44 @@ BladeFns MakeBladeFns(const RStarBladeOptions& options) {
     RstTreeState* state = StateOf(desc);
     if (state == nullptr) return Status::Internal("index not open");
     return state->tree->CheckConsistency();
+  };
+
+  fns.stats = [](MiCallContext& ctx, MiAmTableDesc* desc) -> Status {
+    RstTreeState* state = StateOf(desc);
+    if (state == nullptr) return Status::Internal("index not open");
+    std::vector<RStarLevelStats> levels;
+    GRTDB_RETURN_IF_ERROR(state->tree->LevelStats(&levels));
+    IndexStatsReport report;
+    report.index = desc->index->name;
+    report.access_method = desc->index->access_method;
+    report.size = state->tree->size();
+    report.height = state->tree->height();
+    report.free_list = state->store->FreeListLength();
+    report.computed_at = BladeCurrentTime(ctx);
+    const size_t max_entries = state->tree->max_entries();
+    uint64_t total_entries = 0;
+    for (const RStarLevelStats& level : levels) {
+      report.nodes += level.nodes;
+      total_entries += level.entries;
+      if (level.level == 0) report.entries = level.entries;
+      IndexLevelStats out;
+      out.level = level.level;
+      out.nodes = level.nodes;
+      out.entries = level.entries;
+      if (level.nodes > 0 && max_entries > 0) {
+        out.occupancy = static_cast<double>(level.entries) /
+                        static_cast<double>(level.nodes * max_entries);
+      }
+      out.total_area = level.total_area;
+      out.overlap_area = level.overlap_area;
+      report.levels.push_back(out);
+    }
+    if (report.nodes > 0 && max_entries > 0) {
+      report.occupancy = static_cast<double>(total_entries) /
+                         static_cast<double>(report.nodes * max_entries);
+    }
+    ctx.server->ReportIndexStats(report);
+    return Status::OK();
   };
 
   return fns;
@@ -356,6 +400,7 @@ Status RegisterRStarBlade(Server* server, const RStarBladeOptions& options) {
   library->Export(p + "_delete", std::any(AmModifyFn(fns.remove)));
   library->Export(p + "_update", std::any(AmUpdateFn(fns.update)));
   library->Export(p + "_scancost", std::any(AmScanCostFn(fns.scancost)));
+  library->Export(p + "_stats", std::any(AmSimpleFn(fns.stats)));
   library->Export(p + "_check", std::any(AmSimpleFn(fns.check)));
 
   auto fn = [&](const std::string& name, const std::string& symbol) {
@@ -368,7 +413,7 @@ Status RegisterRStarBlade(Server* server, const RStarBladeOptions& options) {
   for (const char* suffix :
        {"_create", "_drop", "_open", "_close", "_beginscan", "_endscan",
         "_rescan", "_getnext", "_insert", "_delete", "_update", "_scancost",
-        "_check"}) {
+        "_stats", "_check"}) {
     script += fn(p + suffix, p + suffix);
   }
   script += "CREATE SECONDARY ACCESS_METHOD " + options.am_name + " (\n";
@@ -384,6 +429,7 @@ Status RegisterRStarBlade(Server* server, const RStarBladeOptions& options) {
   script += "  am_delete = " + p + "_delete,\n";
   script += "  am_update = " + p + "_update,\n";
   script += "  am_scancost = " + p + "_scancost,\n";
+  script += "  am_stats = " + p + "_stats,\n";
   script += "  am_check = " + p + "_check,\n";
   script += "  am_sptype = 'S'\n);\n";
   script += "CREATE DEFAULT OPCLASS " + p + "_opclass FOR " +

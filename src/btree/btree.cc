@@ -479,6 +479,34 @@ Status BtreeIndex::CheckRecursive(NodeId node_id, uint32_t depth,
   return Status::OK();
 }
 
+Status BtreeIndex::LevelStats(std::vector<BtreeLevelStats>* out) const {
+  out->assign(height_, BtreeLevelStats{});
+  for (uint32_t i = 0; i < height_; ++i) (*out)[i].level = i;
+  // Nodes carry no level field; the BFS depth pins it (root = height-1,
+  // leaves = 0 to match the other trees' numbering).
+  std::vector<NodeId> frontier = {root_};
+  uint32_t depth = 0;
+  while (!frontier.empty()) {
+    if (depth >= height_) {
+      return Status::Corruption("B+-tree deeper than its anchor height");
+    }
+    BtreeLevelStats& stats = (*out)[height_ - 1 - depth];
+    std::vector<NodeId> next;
+    for (NodeId id : frontier) {
+      Node node;
+      GRTDB_RETURN_IF_ERROR(ReadNode(id, &node));
+      ++stats.nodes;
+      stats.entries += node.keys.size();
+      if (!node.leaf) {
+        for (uint64_t child : node.values) next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  return Status::OK();
+}
+
 Status BtreeIndex::Drop() {
   std::vector<NodeId> frontier = {root_};
   while (!frontier.empty()) {

@@ -21,6 +21,13 @@ using BtreeCompare = std::function<int(int64_t, int64_t)>;
 // The natural integer order (the default operator class's compare()).
 int NaturalCompare(int64_t a, int64_t b);
 
+// Per-level structure statistics (leaf = level 0). Backs am_stats.
+struct BtreeLevelStats {
+  uint32_t level = 0;
+  uint64_t nodes = 0;
+  uint64_t entries = 0;
+};
+
 // A disk-resident B+-tree over a NodeStore mapping int64 keys to uint64
 // payloads (rowids). Duplicate keys are allowed; entries are unique by
 // (key, payload). Leaves are chained for range scans.
@@ -71,6 +78,8 @@ class BtreeIndex {
   // Structural invariants: key order (per cmp), fill, leaf chaining,
   // entry count.
   Status CheckConsistency(const BtreeCompare& cmp) const;
+
+  Status LevelStats(std::vector<BtreeLevelStats>* out) const;
 
   Status Drop();
 

@@ -883,6 +883,11 @@ Status GRTree::ComputeStats(int64_t ct, uint64_t dead_space_samples,
             }
           }
           if (bound.Grows()) ++stats.growing_bounds;
+        } else if (bound.Grows()) {
+          ++stats.growing_entries;
+          stats.growing_area += resolved[i].Area();
+        } else {
+          ++stats.dead_entries;
         }
         stats.total_area += resolved[i].Area();
         for (size_t j = 0; j < i; ++j) {

@@ -51,6 +51,13 @@ struct GRTreeLevelStats {
   double total_area = 0.0;      // at the stats call's current time
   double overlap_area = 0.0;    // pairwise within-node overlap
   double dead_space = 0.0;      // Monte-Carlo sampled, internal levels only
+  // Leaf level only: current versions whose region still grows with time
+  // (TTend = UC) vs. logically deleted entries whose transaction time
+  // closed — the paper keeps both in the same tree, so their ratio is the
+  // index-health signal UPDATE STATISTICS surfaces.
+  uint64_t growing_entries = 0;
+  uint64_t dead_entries = 0;
+  double growing_area = 0.0;  // resolved area of the still-growing entries
 };
 
 struct GRTreeStats {

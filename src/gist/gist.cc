@@ -429,6 +429,32 @@ Status GistTree::CheckRecursive(NodeId node_id, uint32_t expected_level,
   return Status::OK();
 }
 
+Status GistTree::LevelStats(std::vector<GistLevelStats>* out) const {
+  out->assign(height_, GistLevelStats{});
+  for (uint32_t i = 0; i < height_; ++i) (*out)[i].level = i;
+  std::vector<NodeId> frontier = {root_};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId id : frontier) {
+      Node node;
+      GRTDB_RETURN_IF_ERROR(ReadNode(id, &node));
+      if (node.level >= height_) {
+        return Status::Corruption("GiST node above its anchor height");
+      }
+      GistLevelStats& stats = (*out)[node.level];
+      ++stats.nodes;
+      stats.entries += node.entries.size();
+      if (node.level > 0) {
+        for (const NodeEntry& entry : node.entries) {
+          next.push_back(entry.payload);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return Status::OK();
+}
+
 Status GistTree::Drop() {
   std::vector<NodeId> frontier = {root_};
   while (!frontier.empty()) {

@@ -16,6 +16,14 @@ namespace grtdb {
 // A GiST key: an opaque byte string interpreted only by the extension.
 using GistKey = std::vector<uint8_t>;
 
+// Per-level structure statistics (leaf = level 0). Keys are opaque, so
+// only structural counts are available — no areas. Backs am_stats.
+struct GistLevelStats {
+  uint32_t level = 0;
+  uint64_t nodes = 0;
+  uint64_t entries = 0;
+};
+
 // The extension interface of a generalized search tree [HNP95, AOK98] —
 // the paper's §7 proposal: "a generic extendible tree-based access method
 // ... providing a simple, high-level extension interface that isolates the
@@ -84,6 +92,8 @@ class GistTree {
   // Structural invariants: levels, parent keys consistent with children
   // (via strategy 0), entry count.
   Status CheckConsistency(const GistExtension& ext) const;
+
+  Status LevelStats(std::vector<GistLevelStats>* out) const;
 
   Status Drop();
 

@@ -1,0 +1,224 @@
+#include "obs/flight_recorder.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "obs/fast_clock.h"
+
+namespace grtdb {
+namespace obs {
+
+namespace {
+
+// Writes the decimal rendering of `v` into `buf` (which must hold at least
+// 21 bytes) and returns the digit count. Async-signal-safe.
+size_t U64ToDec(uint64_t v, char* buf) {
+  char tmp[20];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+// write(2) wrapper that retries short writes; best-effort (a failing fd
+// during a crash dump has no recovery).
+void WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t put = ::write(fd, data, len);
+    if (put <= 0) return;
+    data += static_cast<size_t>(put);
+    len -= static_cast<size_t>(put);
+  }
+}
+
+extern "C" void FlightSignalHandler(int sig) {
+  // SA_RESETHAND already restored the default disposition, so re-raising
+  // after the dump terminates the process with the original signal.
+  FlightRecorder::Global().DumpToFd(STDERR_FILENO);
+  ::raise(sig);
+}
+
+}  // namespace
+
+const char* FlightEventName(FlightEvent event) {
+  // The single registry of event names; kept in enum order and sized by
+  // kFlightEventCount so a skew fails the static_assert, not the dump.
+  static const char* const kNames[kFlightEventCount] = {
+      "txn_begin",    "txn_commit",    "txn_abort",
+      "checkpoint",   "recovery_begin", "recovery_end",
+      "lock_timeout", "lock_deadlock", "cache_eviction",
+      "slow_purpose_call",
+  };
+  const auto i = static_cast<size_t>(event);
+  return i < kFlightEventCount ? kNames[i] : "event_unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::ThreadHandle::~ThreadHandle() {
+  if (buffer != nullptr) {
+    buffer->in_use.store(false, std::memory_order_release);
+  }
+}
+
+FlightRecorder::ThreadBuffer* FlightRecorder::BufferForThisThread() {
+  thread_local ThreadHandle handle;
+  if (handle.buffer != nullptr) return handle.buffer;
+
+  std::lock_guard<std::mutex> lock(register_mu_);
+  const size_t count = buffer_count_.load(std::memory_order_relaxed);
+  ThreadBuffer* buffer = nullptr;
+  // Prefer reusing a ring released by an exited thread: each slot's events
+  // stay attributed to their original thread via the per-buffer thread id
+  // overwritten below, and the old slots age out of the ring naturally.
+  for (size_t i = 0; i < count; ++i) {
+    ThreadBuffer* candidate = buffers_[i].load(std::memory_order_relaxed);
+    if (!candidate->in_use.load(std::memory_order_acquire)) {
+      buffer = candidate;
+      break;
+    }
+  }
+  if (buffer == nullptr) {
+    if (count == kMaxThreads) return nullptr;
+    buffer = new ThreadBuffer();  // immortal: published below, never freed
+    buffers_[count].store(buffer, std::memory_order_release);
+    buffer_count_.store(count + 1, std::memory_order_release);
+  }
+  buffer->in_use.store(true, std::memory_order_relaxed);
+  buffer->thread.store(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()),
+      std::memory_order_relaxed);
+  handle.buffer = buffer;
+  return buffer;
+}
+
+void FlightRecorder::RecordEvent(FlightEvent event, uint64_t a, uint64_t b) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (buffer == nullptr) {
+    lost_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t n = buffer->next.load(std::memory_order_relaxed);
+  Slot& slot = buffer->slots[n % kSlotsPerThread];
+  // Seqlock publish: odd generation marks the write in flight so a
+  // concurrent dump skips the slot instead of reading a torn record.
+  const uint32_t gen = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(gen + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.ticks.store(Ticks(), std::memory_order_relaxed);
+  slot.event.store(static_cast<uint8_t>(event), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.seq.store(gen + 2, std::memory_order_release);
+  buffer->next.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightEventRecord> FlightRecorder::Dump() const {
+  std::vector<FlightEventRecord> records;
+  const size_t count = buffer_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count; ++i) {
+    const ThreadBuffer* buffer = buffers_[i].load(std::memory_order_acquire);
+    const uint64_t next = buffer->next.load(std::memory_order_acquire);
+    const uint64_t n = std::min<uint64_t>(next, kSlotsPerThread);
+    for (uint64_t pos = next - n; pos < next; ++pos) {
+      const Slot& slot = buffer->slots[pos % kSlotsPerThread];
+      const uint32_t gen = slot.seq.load(std::memory_order_acquire);
+      if (gen & 1) continue;  // write in flight
+      FlightEventRecord record;
+      record.ticks = slot.ticks.load(std::memory_order_relaxed);
+      record.event =
+          static_cast<FlightEvent>(slot.event.load(std::memory_order_relaxed));
+      record.a = slot.a.load(std::memory_order_relaxed);
+      record.b = slot.b.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != gen) continue;  // torn
+      record.thread = buffer->thread.load(std::memory_order_relaxed);
+      record.index = pos;
+      records.push_back(record);
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const FlightEventRecord& x, const FlightEventRecord& y) {
+              if (x.ticks != y.ticks) return x.ticks < y.ticks;
+              if (x.thread != y.thread) return x.thread < y.thread;
+              return x.index < y.index;
+            });
+  return records;
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  WriteAll(fd, "FLIGHT DUMP BEGIN\n", 18);
+  const size_t count = buffer_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count; ++i) {
+    const ThreadBuffer* buffer = buffers_[i].load(std::memory_order_acquire);
+    const uint64_t next = buffer->next.load(std::memory_order_acquire);
+    const uint64_t n = next < kSlotsPerThread ? next : kSlotsPerThread;
+    const uint64_t thread = buffer->thread.load(std::memory_order_relaxed);
+    for (uint64_t pos = next - n; pos < next; ++pos) {
+      const Slot& slot = buffer->slots[pos % kSlotsPerThread];
+      const uint32_t gen = slot.seq.load(std::memory_order_acquire);
+      if (gen & 1) continue;
+      const uint64_t ticks = slot.ticks.load(std::memory_order_relaxed);
+      const uint8_t event = slot.event.load(std::memory_order_relaxed);
+      const uint64_t a = slot.a.load(std::memory_order_relaxed);
+      const uint64_t b = slot.b.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != gen) continue;
+      // "FLIGHT t=<thread> ticks=<ticks> <event> a=<a> b=<b>\n", composed
+      // with only stack buffers and write(2).
+      char line[160];
+      size_t len = 0;
+      const auto append = [&](const char* s) {
+        const size_t l = std::strlen(s);
+        std::memcpy(line + len, s, l);
+        len += l;
+      };
+      append("FLIGHT t=");
+      len += U64ToDec(thread, line + len);
+      append(" ticks=");
+      len += U64ToDec(ticks, line + len);
+      append(" ");
+      append(FlightEventName(static_cast<FlightEvent>(event)));
+      append(" a=");
+      len += U64ToDec(a, line + len);
+      append(" b=");
+      len += U64ToDec(b, line + len);
+      line[len++] = '\n';
+      WriteAll(fd, line, len);
+    }
+  }
+  WriteAll(fd, "FLIGHT DUMP END\n", 16);
+}
+
+void FlightRecorder::InstallSignalHandler() {
+  static std::once_flag installed;
+  std::call_once(installed, [] {
+    Global();  // force construction before any signal can arrive
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = &FlightSignalHandler;
+    sigemptyset(&action.sa_mask);
+    // One shot: the handler runs with the default disposition restored, so
+    // its re-raise terminates instead of recursing on a crashing dump.
+    action.sa_flags = SA_RESETHAND;
+    const int signals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL};
+    for (const int sig : signals) {
+      ::sigaction(sig, &action, nullptr);
+    }
+  });
+}
+
+}  // namespace obs
+}  // namespace grtdb

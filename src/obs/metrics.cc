@@ -74,6 +74,55 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   return out;
 }
 
+namespace {
+
+// "wal.commit.us" -> "grtdb_wal_commit_us". Prometheus metric names admit
+// [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "grtdb_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+      cumulative += histogram->bucket(i);
+      // Bucket i covers v < 2^i; with integer samples that is the
+      // inclusive le = 2^i - 1 Prometheus wants.
+      out += prom + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketBound(i) - 1) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(histogram->count()) +
+           "\n";
+    out += prom + "_sum " + std::to_string(histogram->sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();

@@ -120,6 +120,13 @@ class MetricsRegistry {
   // Zeroes every metric (benchmark epochs); handles stay valid.
   void ResetAll();
 
+  // Prometheus text exposition format (EXPORT METRICS, tools/grtdb_metrics):
+  // names are prefixed "grtdb_" with '.' mapped to '_', each metric gets a
+  // "# TYPE" line, and histograms render as cumulative _bucket{le="..."}
+  // series (inclusive upper bounds, so le="N" counts v <= N) plus the
+  // mandatory le="+Inf", _sum, and _count series.
+  std::string ExportText() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

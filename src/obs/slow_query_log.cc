@@ -1,0 +1,54 @@
+#include "obs/slow_query_log.h"
+
+namespace grtdb {
+namespace obs {
+
+void SlowQueryLog::MaybeRecord(const std::string& sql, uint64_t total_ns,
+                               const QueryProfile& profile) {
+  const uint64_t threshold = threshold_ns_.load(std::memory_order_relaxed);
+  if (threshold == 0 || total_ns < threshold) return;
+
+  SlowQueryEntry entry;
+  entry.sql = sql;
+  entry.total_ns = total_ns;
+  for (size_t i = 0; i < kPurposeFnCount; ++i) {
+    const auto fn = static_cast<PurposeFn>(i);
+    entry.calls[i] = profile.calls(fn);
+    entry.ns[i] = profile.call_ns(fn);
+  }
+  entry.rows_scanned = profile.rows_scanned;
+  entry.rows_returned = profile.rows_returned;
+  entry.node_reads = profile.node_reads;
+  entry.cache_hits = profile.cache_hits;
+  entry.lock_waits = profile.lock_waits;
+  entry.lock_wait_ns = profile.lock_wait_ns;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    // Full: overwrite the oldest slot and advance the logical start.
+    ring_[first_] = std::move(entry);
+    first_ = (first_ + 1) % capacity_;
+  }
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(first_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  first_ = 0;
+}
+
+}  // namespace obs
+}  // namespace grtdb

@@ -517,6 +517,14 @@ Status Server::ExecSelect(ServerSession* session, const sql::SelectStmt& stmt,
     table = system_table.get();
   }
   if (table == nullptr) {
+    // A sys-prefixed name that BuildSystemTable doesn't answer to is almost
+    // certainly a typo'd system view; list what exists instead of the
+    // generic no-such-table error.
+    if (EqualsIgnoreCase(stmt.table.substr(0, 3), "sys")) {
+      return Status::NotFound("no system view '" + stmt.table +
+                              "'; available system views: " +
+                              Join(SystemTableNames(), ", "));
+    }
     return Status::NotFound("table '" + stmt.table + "'");
   }
   // Resolve the projection.

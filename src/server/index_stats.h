@@ -1,0 +1,47 @@
+#ifndef GRTDB_SERVER_INDEX_STATS_H_
+#define GRTDB_SERVER_INDEX_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grtdb {
+
+// Per-level structure numbers produced by an am_stats walker. Level 0 is
+// the leaf level.
+struct IndexLevelStats {
+  uint32_t level = 0;
+  uint64_t nodes = 0;
+  uint64_t entries = 0;
+  double occupancy = 0.0;  // entries / (nodes * max_entries); 0 if unknown
+  double total_area = 0.0;    // spatial blades only
+  double overlap_area = 0.0;  // pairwise within-node overlap
+};
+
+// What one am_stats purpose call reports back through
+// Server::ReportIndexStats. am_stats is an AmSimpleFn (no out-param in the
+// paper's Fig. 6 signature), so this side channel — keyed by index name,
+// refreshed by UPDATE STATISTICS, surfaced by sys_index_stats, and consulted
+// by am_scancost for measured (not guessed) sizes — is how the walker's
+// numbers reach SQL.
+struct IndexStatsReport {
+  std::string index;
+  std::string access_method;
+  uint64_t size = 0;     // logical entries per the tree's own counter
+  uint32_t height = 0;
+  uint64_t nodes = 0;
+  uint64_t entries = 0;  // leaf entries counted by the walker
+  double occupancy = 0.0;     // whole-tree entries / capacity
+  uint64_t free_list = 0;     // recycled node slots in the store
+  uint64_t dead_entries = 0;  // logically deleted but physically present
+  // GR-tree only: now-relative leaf regions (TT-end = UC) and their total
+  // area at the walk's current time (paper §3, §6).
+  uint64_t growing_regions = 0;
+  double growing_area = 0.0;
+  int64_t computed_at = 0;  // simulation clock at walk time
+  std::vector<IndexLevelStats> levels;
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_INDEX_STATS_H_

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/fast_clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/query_profile.h"
 #include "server/catalog.h"
 #include "server/server.h"
@@ -26,13 +27,24 @@ class PurposeCallScope {
     session_->LogPurposeCall(it != am->purpose_names.end() ? it->second
                                                            : generic);
     session_->profile().CountCall(fn);
-    timed_ = server_->observability_enabled();
+    obs_timed_ = server_->observability_enabled();
+    // The always-on flight recorder flags outliers even with observability
+    // off, so the call is also timed whenever its slow threshold is armed.
+    slow_ns_ = obs::FlightRecorder::Global().enabled()
+                   ? obs::FlightRecorder::Global().slow_purpose_ns()
+                   : 0;
+    timed_ = obs_timed_ || slow_ns_ != 0;
     if (timed_) start_ticks_ = obs::Ticks();
   }
 
   ~PurposeCallScope() {
     if (!timed_) return;
     const uint64_t ns = obs::TicksToNs(obs::Ticks() - start_ticks_);
+    if (slow_ns_ != 0 && ns >= slow_ns_) {
+      obs::FlightRecorder::Global().RecordEvent(
+          obs::FlightEvent::kSlowPurposeCall, static_cast<uint64_t>(fn_), ns);
+    }
+    if (!obs_timed_) return;
     session_->profile().AddCallTime(fn_, ns);
     if (obs::Counter* calls = server_->vii_call_counter(fn_)) calls->Add();
     if (obs::Histogram* us = server_->vii_time_histogram(fn_)) {
@@ -48,6 +60,8 @@ class PurposeCallScope {
   ServerSession* session_;
   obs::PurposeFn fn_;
   bool timed_ = false;
+  bool obs_timed_ = false;
+  uint64_t slow_ns_ = 0;
   uint64_t start_ticks_ = 0;
 };
 

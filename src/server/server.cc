@@ -4,6 +4,8 @@
 
 #include "common/date.h"
 #include "common/strings.h"
+#include "obs/fast_clock.h"
+#include "obs/flight_recorder.h"
 #include "server/purpose_call.h"
 #include "sql/parser.h"
 
@@ -30,6 +32,10 @@ Server::Server(const ServerOptions& options)
   // A default sbspace so CREATE INDEX without IN <space> works.
   Status st = CreateSbspace("default");
   (void)st;  // cannot fail on a fresh server
+  // The flight recorder's crash dump: process-wide and independent of the
+  // observability option — the black box must already be on when the fatal
+  // signal arrives. Idempotent across servers.
+  obs::FlightRecorder::InstallSignalHandler();
 }
 
 Server::~Server() = default;
@@ -280,7 +286,122 @@ std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
     }
     return table;
   }
+  if (EqualsIgnoreCase(name, "sys_index_stats")) {
+    std::vector<ColumnDef> cols = {{"idxname", TypeDesc::Text()},
+                                   {"amname", TypeDesc::Text()},
+                                   {"level", TypeDesc::Text()},
+                                   {"height", TypeDesc::Integer()},
+                                   {"nodes", TypeDesc::Integer()},
+                                   {"entries", TypeDesc::Integer()},
+                                   {"occupancy", TypeDesc::Float()},
+                                   {"free_list", TypeDesc::Integer()},
+                                   {"dead_entries", TypeDesc::Integer()},
+                                   {"growing_regions", TypeDesc::Integer()},
+                                   {"growing_area", TypeDesc::Float()},
+                                   {"computed_at", TypeDesc::Integer()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    for (const IndexStatsReport& report : AllIndexStats()) {
+      // One summary row (level "all") followed by the walker's per-level
+      // breakdown, root level first.
+      Status st = table->Insert(
+          {Value::Text(report.index), Value::Text(report.access_method),
+           Value::Text("all"), Value::Integer(report.height),
+           Value::Integer(static_cast<int64_t>(report.nodes)),
+           Value::Integer(static_cast<int64_t>(report.entries)),
+           Value::Float(report.occupancy),
+           Value::Integer(static_cast<int64_t>(report.free_list)),
+           Value::Integer(static_cast<int64_t>(report.dead_entries)),
+           Value::Integer(static_cast<int64_t>(report.growing_regions)),
+           Value::Float(report.growing_area),
+           Value::Integer(report.computed_at)},
+          &ignored);
+      (void)st;
+      for (const IndexLevelStats& level : report.levels) {
+        st = table->Insert(
+            {Value::Text(report.index), Value::Text(report.access_method),
+             Value::Text(std::to_string(level.level)),
+             Value::Integer(report.height),
+             Value::Integer(static_cast<int64_t>(level.nodes)),
+             Value::Integer(static_cast<int64_t>(level.entries)),
+             Value::Float(level.occupancy), Value::Integer(0),
+             Value::Integer(0), Value::Integer(0),
+             Value::Float(level.total_area),
+             Value::Integer(report.computed_at)},
+            &ignored);
+        (void)st;
+      }
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sys_slow_queries")) {
+    std::vector<ColumnDef> cols = {{"seq", TypeDesc::Integer()},
+                                   {"total_us", TypeDesc::Integer()},
+                                   {"rows_scanned", TypeDesc::Integer()},
+                                   {"rows_returned", TypeDesc::Integer()},
+                                   {"node_reads", TypeDesc::Integer()},
+                                   {"cache_hits", TypeDesc::Integer()},
+                                   {"lock_waits", TypeDesc::Integer()},
+                                   {"lock_wait_us", TypeDesc::Integer()},
+                                   {"purpose_calls", TypeDesc::Text()},
+                                   {"sql", TypeDesc::Text()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    for (const obs::SlowQueryEntry& entry : slow_query_log_.Snapshot()) {
+      // The retained profile's Fig. 6 breakdown, one clause per purpose
+      // function that was actually called: "am_getnext calls=41 us=103".
+      std::string breakdown;
+      for (size_t i = 0; i < obs::kPurposeFnCount; ++i) {
+        if (entry.calls[i] == 0) continue;
+        if (!breakdown.empty()) breakdown += "; ";
+        breakdown += std::string(
+                         obs::PurposeFnName(static_cast<obs::PurposeFn>(i))) +
+                     " calls=" + std::to_string(entry.calls[i]) +
+                     " us=" + std::to_string(entry.ns[i] / 1000);
+      }
+      Status st = table->Insert(
+          {Value::Integer(static_cast<int64_t>(entry.seq)),
+           Value::Integer(static_cast<int64_t>(entry.total_ns / 1000)),
+           Value::Integer(static_cast<int64_t>(entry.rows_scanned)),
+           Value::Integer(static_cast<int64_t>(entry.rows_returned)),
+           Value::Integer(static_cast<int64_t>(entry.node_reads)),
+           Value::Integer(static_cast<int64_t>(entry.cache_hits)),
+           Value::Integer(static_cast<int64_t>(entry.lock_waits)),
+           Value::Integer(static_cast<int64_t>(entry.lock_wait_ns / 1000)),
+           Value::Text(breakdown), Value::Text(entry.sql)},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
   return nullptr;
+}
+
+std::vector<std::string> Server::SystemTableNames() {
+  return {"systables",   "sysams",         "sysopclasses",
+          "sysindices",  "sysprocedures",  "sys_metrics",
+          "sys_trace",   "sys_locks",      "sys_index_stats",
+          "sys_slow_queries"};
+}
+
+void Server::ReportIndexStats(IndexStatsReport report) {
+  std::lock_guard<std::mutex> lock(index_stats_mu_);
+  index_stats_[ToLower(report.index)] = std::move(report);
+}
+
+bool Server::GetIndexStats(const std::string& index,
+                           IndexStatsReport* out) const {
+  std::lock_guard<std::mutex> lock(index_stats_mu_);
+  auto it = index_stats_.find(ToLower(index));
+  if (it == index_stats_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::vector<IndexStatsReport> Server::AllIndexStats() const {
+  std::lock_guard<std::mutex> lock(index_stats_mu_);
+  std::vector<IndexStatsReport> out;
+  out.reserve(index_stats_.size());
+  for (const auto& [key, report] : index_stats_) out.push_back(report);
+  return out;
 }
 
 std::string Server::RenderValue(const Value& value) const {
@@ -299,7 +420,13 @@ Status Server::Execute(ServerSession* session, const std::string& sql,
   sql::Statement stmt;
   GRTDB_RETURN_IF_ERROR(sql::Parser::Parse(sql, &stmt));
   out->Clear();
+  const uint64_t start_ticks = obs::Ticks();
   Status status = ExecuteStatement(session, stmt, out);
+  // Slow-query retention sees every statement, successful or not; its
+  // threshold check is one relaxed load, so the disabled default costs
+  // nothing beyond the two tick reads.
+  slow_query_log_.MaybeRecord(sql, obs::TicksToNs(obs::Ticks() - start_ticks),
+                              session->profile());
   // PER_FUNCTION and PER_STATEMENT memory die with the statement (§6.2).
   memory_.EndDuration(MiDuration::kPerFunction);
   memory_.EndDuration(MiDuration::kPerStatement);
@@ -402,6 +529,12 @@ Status Server::ExecuteStatement(ServerSession* session,
     Status operator()(const sql::ExplainProfileStmt& s) {
       return server->ExecExplainProfile(session, s, out);
     }
+    Status operator()(const sql::DumpFlightStmt&) {
+      return server->ExecDumpFlight(out);
+    }
+    Status operator()(const sql::ExportMetricsStmt&) {
+      return server->ExecExportMetrics(out);
+    }
   };
   // Fresh per-statement profile, installed as this thread's attribution
   // point so the node cache and lock manager can charge work to it. An
@@ -422,6 +555,36 @@ Status Server::ExecExplainProfile(ServerSession* session,
   GRTDB_RETURN_IF_ERROR(Execute(session, stmt.inner_sql, out));
   for (std::string& line : session->profile().Report()) {
     out->messages.push_back(std::move(line));
+  }
+  return Status::OK();
+}
+
+Status Server::ExecDumpFlight(ResultSet* out) {
+  out->columns = {"thread", "ticks", "event", "a", "b"};
+  const obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  for (const obs::FlightEventRecord& record : recorder.Dump()) {
+    out->rows.push_back({std::to_string(record.thread),
+                         std::to_string(record.ticks),
+                         obs::FlightEventName(record.event),
+                         std::to_string(record.a), std::to_string(record.b)});
+  }
+  out->messages.push_back(
+      "flight recorder: " + std::to_string(out->rows.size()) + " events" +
+      (recorder.lost() != 0
+           ? ", " + std::to_string(recorder.lost()) + " lost to thread overflow"
+           : ""));
+  return Status::OK();
+}
+
+Status Server::ExecExportMetrics(ResultSet* out) {
+  out->columns = {"line"};
+  const std::string text = metrics_.ExportText();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    out->rows.push_back({text.substr(start, end - start)});
+    start = end + 1;
   }
   return Status::OK();
 }
@@ -594,6 +757,11 @@ Status Server::ExecDropIndex(ServerSession* session,
     status = am->hooks.am_drop(ctx, &desc);
   }
   if (status.ok()) status = catalog_.DropIndex(stmt.index);
+  if (status.ok()) {
+    // A retained stats report must not outlive its index.
+    std::lock_guard<std::mutex> lock(index_stats_mu_);
+    index_stats_.erase(ToLower(stmt.index));
+  }
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
                              : txn_manager_.Rollback(&session->txn_session());
@@ -701,6 +869,20 @@ Status Server::ExecSet(ServerSession* session, const sql::SetStmt& stmt,
       trace_.SetClass(stmt.argument,
                       static_cast<int>(stmt.value.integer));
       return Status::OK();
+    case sql::SetStmt::What::kSlowQueryNs:
+      if (stmt.value.kind != sql::Literal::Kind::kInteger ||
+          stmt.value.integer < 0) {
+        return Status::InvalidArgument(
+            "SET SLOW_QUERY_NS expects a non-negative integer (0 disables)");
+      }
+      slow_query_log_.set_threshold_ns(
+          static_cast<uint64_t>(stmt.value.integer));
+      out->messages.push_back(
+          stmt.value.integer == 0
+              ? "slow-query log disabled"
+              : "slow-query threshold set to " +
+                    std::to_string(stmt.value.integer) + " ns");
+      return Status::OK();
   }
   return Status::Internal("bad SET statement");
 }
@@ -742,20 +924,12 @@ Status Server::ExecCheckIndex(ServerSession* session,
   return status;
 }
 
-Status Server::ExecUpdateStatistics(ServerSession* session,
-                                    const sql::UpdateStatisticsStmt& stmt,
-                                    ResultSet* out) {
-  IndexDef* index = catalog_.FindIndex(stmt.index);
-  if (index == nullptr) {
-    return Status::NotFound("index '" + stmt.index + "'");
-  }
+Status Server::RunIndexStats(ServerSession* session, IndexDef* index,
+                             ResultSet* out) {
   AccessMethodDef* am = catalog_.FindAccessMethod(index->access_method);
   if (am == nullptr || !am->hooks.am_stats) {
     return Status::NotSupported("access method provides no am_stats");
   }
-  bool implicit = false;
-  GRTDB_RETURN_IF_ERROR(
-      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
   MiCallContext ctx{this, session, current_time_};
   std::unique_ptr<OpenIndex> open;
   Status status = OpenIndexDesc(session, index, false, ctx, &open);
@@ -768,8 +942,44 @@ Status Server::ExecUpdateStatistics(ServerSession* session,
     if (status.ok()) status = close;
   }
   if (status.ok()) {
-    out->messages.push_back("statistics updated for index '" + stmt.index +
+    out->messages.push_back("statistics updated for index '" + index->name +
                             "'");
+  }
+  return status;
+}
+
+Status Server::ExecUpdateStatistics(ServerSession* session,
+                                    const sql::UpdateStatisticsStmt& stmt,
+                                    ResultSet* out) {
+  std::vector<IndexDef*> targets;
+  if (stmt.index.empty()) {
+    // Bare UPDATE STATISTICS: every index whose access method implements
+    // am_stats (the others are skipped, not errors).
+    for (const IndexDef* index : catalog_.AllIndexes()) {
+      const AccessMethodDef* am =
+          catalog_.FindAccessMethod(index->access_method);
+      if (am != nullptr && am->hooks.am_stats) {
+        targets.push_back(catalog_.FindIndex(index->name));
+      }
+    }
+  } else {
+    IndexDef* index = catalog_.FindIndex(stmt.index);
+    if (index == nullptr) {
+      return Status::NotFound("index '" + stmt.index + "'");
+    }
+    targets.push_back(index);
+  }
+  bool implicit = false;
+  GRTDB_RETURN_IF_ERROR(
+      txn_manager_.EnsureTxn(&session->txn_session(), &implicit));
+  Status status = Status::OK();
+  for (IndexDef* index : targets) {
+    status = RunIndexStats(session, index, out);
+    if (!status.ok()) break;
+  }
+  if (status.ok() && stmt.index.empty()) {
+    out->messages.push_back("statistics updated for " +
+                            std::to_string(targets.size()) + " index(es)");
   }
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())

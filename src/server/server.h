@@ -14,7 +14,9 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
+#include "obs/slow_query_log.h"
 #include "server/catalog.h"
+#include "server/index_stats.h"
 #include "server/result.h"
 #include "server/types.h"
 #include "server/udr.h"
@@ -115,6 +117,15 @@ class Server {
   obs::Histogram* vii_time_histogram(obs::PurposeFn fn) {
     return vii_us_[static_cast<size_t>(fn)];
   }
+  // Statements slower than SET SLOW_QUERY_NS land here with their profile.
+  obs::SlowQueryLog& slow_query_log() { return slow_query_log_; }
+
+  // ---- index-health telemetry (am_stats side channel) -------------------
+  // Blades report their walker's numbers here from inside am_stats; the
+  // latest report per index feeds sys_index_stats and am_scancost.
+  void ReportIndexStats(IndexStatsReport report);
+  bool GetIndexStats(const std::string& index, IndexStatsReport* out) const;
+  std::vector<IndexStatsReport> AllIndexStats() const;
 
   // ---- simulation clock (granularity: days, §5.1) -----------------------
   int64_t current_time() const { return current_time_; }
@@ -154,6 +165,9 @@ class Server {
   // SYSFRAGMENTS). Returns nullptr for unknown names.
   std::unique_ptr<Table> BuildSystemTable(const std::string& name);
 
+  // Every name BuildSystemTable answers to, for the unknown-sys_ error.
+  static std::vector<std::string> SystemTableNames();
+
  private:
   // The server-side state of one opened virtual index (between the am_open
   // and am_close of a statement).
@@ -192,6 +206,11 @@ class Server {
   Status ExecUpdateStatistics(ServerSession* session,
                               const sql::UpdateStatisticsStmt& stmt,
                               ResultSet* out);
+  // Runs one index's open -> am_stats -> close sequence.
+  Status RunIndexStats(ServerSession* session, IndexDef* index,
+                       ResultSet* out);
+  Status ExecDumpFlight(ResultSet* out);
+  Status ExecExportMetrics(ResultSet* out);
   Status ExecLoad(ServerSession* session, const sql::LoadStmt& stmt,
                   ResultSet* out);
   Status ExecExplainProfile(ServerSession* session,
@@ -252,6 +271,9 @@ class Server {
   std::map<std::string, std::unique_ptr<Sbspace>> sbspaces_;
   mutable std::mutex am_catalog_mu_;
   std::map<std::string, std::vector<uint8_t>> am_catalog_;
+  obs::SlowQueryLog slow_query_log_;
+  mutable std::mutex index_stats_mu_;
+  std::map<std::string, IndexStatsReport> index_stats_;  // lower-cased name
   std::vector<std::unique_ptr<ServerSession>> sessions_;
   std::mutex sessions_mu_;
   uint64_t next_session_id_ = 1;

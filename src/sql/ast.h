@@ -134,6 +134,7 @@ struct SetStmt {
     kCurrentTime,  // SET CURRENT_TIME TO <literal>   (simulation clock)
     kTimeMode,     // SET TIME MODE {STATEMENT|TRANSACTION}   (§5.4)
     kTrace,        // SET TRACE <class> TO <level>
+    kSlowQueryNs,  // SET SLOW_QUERY_NS {=|TO} <n>   (0 disables the log)
   };
   What what = What::kExplain;
   std::string argument;  // textual argument
@@ -162,8 +163,16 @@ struct CheckIndexStmt {
   std::string index;
 };
 struct UpdateStatisticsStmt {
-  std::string index;
+  std::string index;  // empty = every index whose access method has am_stats
 };
+
+// DUMP FLIGHT — stitches the process-wide flight recorder's per-thread
+// rings into a result set (the on-demand form of the crash dump).
+struct DumpFlightStmt {};
+
+// EXPORT METRICS — the MetricsRegistry in Prometheus text format, one
+// result row per line.
+struct ExportMetricsStmt {};
 
 // EXPLAIN PROFILE <stmt> — executes the inner statement and appends its
 // per-statement purpose-function profile to the result messages. The inner
@@ -180,7 +189,8 @@ using Statement =
                  DropOpclassStmt, InsertStmt, SelectStmt, DeleteStmt,
                  UpdateStmt, BeginWorkStmt, CommitWorkStmt, RollbackWorkStmt,
                  SetStmt, CheckIndexStmt, UpdateStatisticsStmt, LoadStmt,
-                 UnloadStmt, ExplainProfileStmt>;
+                 UnloadStmt, ExplainProfileStmt, DumpFlightStmt,
+                 ExportMetricsStmt>;
 
 }  // namespace sql
 }  // namespace grtdb

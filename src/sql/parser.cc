@@ -107,6 +107,18 @@ Status Parser::ParseStatement(Statement* out) {
   if (AtKeyword("EXPLAIN")) return ParseExplain(out);
   if (AtKeyword("LOAD")) return ParseLoad(out);
   if (AtKeyword("UNLOAD")) return ParseUnload(out);
+  if (AtKeyword("DUMP")) {
+    Take();
+    GRTDB_RETURN_IF_ERROR(ExpectKeyword("FLIGHT"));
+    *out = DumpFlightStmt{};
+    return Status::OK();
+  }
+  if (AtKeyword("EXPORT")) {
+    Take();
+    GRTDB_RETURN_IF_ERROR(ExpectKeyword("METRICS"));
+    *out = ExportMetricsStmt{};
+    return Status::OK();
+  }
   if (AtKeyword("BEGIN")) {
     Take();
     ExpectKeyword("WORK").ok();  // WORK is optional
@@ -408,10 +420,13 @@ Status Parser::ParseUpdate(Statement* out) {
   GRTDB_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
   if (AtKeyword("STATISTICS")) {
     Take();
-    GRTDB_RETURN_IF_ERROR(ExpectKeyword("FOR"));
-    GRTDB_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
     UpdateStatisticsStmt stmt;
-    GRTDB_RETURN_IF_ERROR(TakeIdentifier(&stmt.index));
+    // Bare UPDATE STATISTICS refreshes every index that has am_stats.
+    if (AtKeyword("FOR")) {
+      Take();
+      GRTDB_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+      GRTDB_RETURN_IF_ERROR(TakeIdentifier(&stmt.index));
+    }
     *out = std::move(stmt);
     return Status::OK();
   }
@@ -491,8 +506,19 @@ Status Parser::ParseSet(Statement* out) {
     *out = std::move(stmt);
     return Status::OK();
   }
+  if (AtKeyword("SLOW_QUERY_NS")) {
+    Take();
+    stmt.what = SetStmt::What::kSlowQueryNs;
+    if (!TrySymbol("=")) {
+      GRTDB_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    }
+    GRTDB_RETURN_IF_ERROR(ParseLiteral(&stmt.value));
+    *out = std::move(stmt);
+    return Status::OK();
+  }
   return ErrorAt(Peek(),
-                 "ISOLATION, EXPLAIN, CURRENT_TIME, TIME MODE, or TRACE");
+                 "ISOLATION, EXPLAIN, CURRENT_TIME, TIME MODE, TRACE, or "
+                 "SLOW_QUERY_NS");
 }
 
 Status Parser::ParseCheck(Statement* out) {

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/flight_recorder.h"
 #include "obs/query_profile.h"
 #include "txn/witness.h"
 
@@ -88,10 +89,13 @@ Status NodeCache::GrabFrameLocked(size_t* frame) {
                       static_cast<unsigned long long>(f.node_id),
                       was_dirty ? " (dirty)" : "");
     }
+    const NodeId evicted = f.node_id;
     node_table_.erase(f.node_id);
     f.node_id = kInvalidNodeId;
     evictions_.fetch_add(1, std::memory_order_relaxed);
     if (m_evictions_ != nullptr) m_evictions_->Add();
+    obs::FlightRecorder::Global().RecordEvent(obs::FlightEvent::kCacheEviction,
+                                              evicted, was_dirty ? 1 : 0);
   }
   *frame = victim;
   return Status::OK();

@@ -41,6 +41,7 @@ class NodeCache final : public NodeStore {
   Status WriteNode(NodeId id, const uint8_t* data) override;
   Status ViewNode(NodeId id, NodeView* view) override;
   uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
+  uint64_t FreeListLength() override { return inner_->FreeListLength(); }
 
   // Writes back every dirty frame, then flushes the inner store. Frames
   // stay resident (a flush is not an invalidation).

@@ -178,6 +178,22 @@ Status SingleLoNodeStore::ReadNode(NodeId id, uint8_t* out) {
   return sbspace_->LoRead(handle_, id * kPageSize, kPageSize, out);
 }
 
+uint64_t SingleLoNodeStore::FreeListLength() {
+  // The free list lives on the LO itself (each freed slot's first 8 bytes
+  // point at the next). The node-count cap makes a corrupt cycle terminate.
+  uint64_t length = 0;
+  NodeId cursor = free_head_;
+  while (cursor != kInvalidNodeId && length < node_count_) {
+    ++length;
+    uint8_t next_buf[8];
+    if (!sbspace_->LoRead(handle_, cursor * kPageSize, 8, next_buf).ok()) {
+      break;
+    }
+    cursor = LoadU64(next_buf);
+  }
+  return length;
+}
+
 Status SingleLoNodeStore::WriteNode(NodeId id, const uint8_t* data) {
   ++stats_.node_writes;
   return sbspace_->LoWrite(handle_, id * kPageSize, kPageSize, data);

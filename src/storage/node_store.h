@@ -97,6 +97,10 @@ class NodeStore {
 
   virtual Status Flush() = 0;
 
+  // Freed node slots awaiting reuse — structural telemetry for am_stats.
+  // The default covers layouts without an explicit free list.
+  virtual uint64_t FreeListLength() { return 0; }
+
   virtual const NodeStoreStats& stats() const { return stats_; }
   virtual void ResetStats() { stats_ = NodeStoreStats(); }
 
@@ -117,6 +121,7 @@ class PagerNodeStore final : public NodeStore {
   Status WriteNode(NodeId id, const uint8_t* data) override;
   uint64_t LoOfNode(NodeId) const override { return 0; }
   Status Flush() override { return pager_->FlushAll(); }
+  uint64_t FreeListLength() override { return free_list_.size(); }
 
  private:
   Pager* pager_;
@@ -138,6 +143,8 @@ class SingleLoNodeStore final : public NodeStore {
   Status WriteNode(NodeId id, const uint8_t* data) override;
   uint64_t LoOfNode(NodeId) const override { return handle_.id; }
   Status Flush() override { return sbspace_->pager().FlushAll(); }
+  // Walks the on-LO free chain (capped at node_count_ against cycles).
+  uint64_t FreeListLength() override;
 
   LoHandle handle() const { return handle_; }
 
@@ -170,6 +177,7 @@ class ClusteredLoNodeStore final : public NodeStore {
   Status WriteNode(NodeId id, const uint8_t* data) override;
   uint64_t LoOfNode(NodeId id) const override;
   Status Flush() override { return sbspace_->pager().FlushAll(); }
+  uint64_t FreeListLength() override { return free_list_.size(); }
 
   // Bytes of LO-handle overhead a parent entry would carry in this layout.
   size_t handle_overhead_per_entry() const {
@@ -211,6 +219,7 @@ class ExternalFileNodeStore final : public NodeStore {
   Status WriteNode(NodeId id, const uint8_t* data) override;
   uint64_t LoOfNode(NodeId) const override { return 0; }
   Status Flush() override;
+  uint64_t FreeListLength() override { return free_list_.size(); }
 
  private:
   explicit ExternalFileNodeStore(std::unique_ptr<FileSpace> file)

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/flight_recorder.h"
 #include "storage/layout.h"
 #include "txn/witness.h"
 
@@ -119,6 +120,7 @@ class ChunkedLogReader {
 
 Status WalNodeStore::Recover() {
   AcquirePipeline();
+  obs::FlightRecorder::Global().RecordEvent(obs::FlightEvent::kRecoveryBegin);
   Status status = [&]() -> Status {
     ChunkedLogReader reader(log_fd_);
     uint64_t replayed = 0;
@@ -207,6 +209,8 @@ Status WalNodeStore::Recover() {
       wal_stats_.crc_failures += crc_failures;
       wal_stats_.bytes_replayed += bytes_scanned;
     }
+    obs::FlightRecorder::Global().RecordEvent(obs::FlightEvent::kRecoveryEnd,
+                                              replayed, discarded);
     if (trace_ != nullptr) {
       trace_->Tprintf(
           "wal", 1,
@@ -492,6 +496,8 @@ void WalNodeStore::MaybeAutoCheckpoint() {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++wal_stats_.checkpoints;
     }
+    obs::FlightRecorder::Global().RecordEvent(obs::FlightEvent::kCheckpoint,
+                                              dropped);
     if (trace_ != nullptr) {
       trace_->Tprintf("wal", 1,
                       "size-triggered checkpoint: dropped %llu log bytes",
@@ -527,12 +533,15 @@ Status WalNodeStore::CheckpointQuiesced() {
   if (::ftruncate(log_fd_, 0) != 0) {
     return Status::IOError("cannot truncate WAL");
   }
+  const uint64_t dropped = log_size_;
   log_size_ = 0;
   unapplied_in_log_ = false;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++wal_stats_.checkpoints;
   }
+  obs::FlightRecorder::Global().RecordEvent(obs::FlightEvent::kCheckpoint,
+                                            dropped);
   return Status::OK();
 }
 

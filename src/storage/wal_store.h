@@ -128,6 +128,7 @@ class WalNodeStore final : public NodeStore {
   Status WriteNode(NodeId id, const uint8_t* data) override;
   Status ViewNode(NodeId id, NodeView* view) override;
   uint64_t LoOfNode(NodeId id) const override { return inner_->LoOfNode(id); }
+  uint64_t FreeListLength() override { return inner_->FreeListLength(); }
   Status Flush() override;
 
   WalStats wal_stats() const;
@@ -257,6 +258,7 @@ class WalTxn final : public NodeStore {
   Status ReadNode(NodeId id, uint8_t* out) override;
   Status WriteNode(NodeId id, const uint8_t* data) override;
   uint64_t LoOfNode(NodeId id) const override { return wal_->LoOfNode(id); }
+  uint64_t FreeListLength() override { return wal_->FreeListLength(); }
   Status Flush() override { return wal_->Flush(); }
 
  private:

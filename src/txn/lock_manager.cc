@@ -1,5 +1,6 @@
 #include "txn/lock_manager.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/query_profile.h"
 #include "txn/witness.h"
 
@@ -82,6 +83,8 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
       if (state.has_upgrader && state.upgrader != txn) {
         ++stats_.deadlocks;
         if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
+        obs::FlightRecorder::Global().RecordEvent(
+            obs::FlightEvent::kLockDeadlock, resource.id, txn);
         GRTDB_WITNESS_RELEASE(WitnessClassFor(resource.kind));
         return Status::Deadlock(
             "upgrade-upgrade deadlock (resource kind " +
@@ -150,6 +153,8 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
         !CompatibleLocked(locks_[resource], txn, mode)) {
       ++stats_.timeouts;
       if (m_timeouts_ != nullptr) m_timeouts_->Add();
+      obs::FlightRecorder::Global().RecordEvent(
+          obs::FlightEvent::kLockTimeout, resource.id, txn);
       account_wait();
       clear_upgrader();
       uncount_waiter();

@@ -1,5 +1,7 @@
 #include "txn/transaction.h"
 
+#include "obs/flight_recorder.h"
+
 namespace grtdb {
 
 Status TransactionManager::Begin(Session* session, bool explicit_txn) {
@@ -12,6 +14,8 @@ Status TransactionManager::Begin(Session* session, bool explicit_txn) {
   session->current_txn_ = std::make_unique<Transaction>(
       next_txn_id_.fetch_add(1), session->id(), session->isolation());
   session->explicit_txn_ = explicit_txn;
+  obs::FlightRecorder::Global().RecordEvent(obs::FlightEvent::kTxnBegin,
+                                            session->current_txn_->id());
   return Status::OK();
 }
 
@@ -27,6 +31,9 @@ Status TransactionManager::End(Session* session, bool committed) {
     callback(committed);
   }
   lock_manager_->ReleaseAll(txn->id());
+  obs::FlightRecorder::Global().RecordEvent(
+      committed ? obs::FlightEvent::kTxnCommit : obs::FlightEvent::kTxnAbort,
+      txn->id());
   session->current_txn_.reset();
   session->explicit_txn_ = false;
   return Status::OK();

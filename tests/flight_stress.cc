@@ -1,0 +1,128 @@
+// Multi-threaded flight-recorder stress: writer threads hammer RecordEvent
+// while dumper threads concurrently stitch the rings with Dump() and
+// DumpToFd() — the exact write-during-dump race the per-slot seqlock is
+// supposed to make benign. Plain executable (not gtest) so the ctest
+// target is literally `flight_stress`, the fourth -DGRTDB_SANITIZE=thread
+// target. Exit code 0 = consistency checks passed; TSan provides the
+// memory-model verdict.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace {
+
+using grtdb::obs::FlightEvent;
+using grtdb::obs::FlightEventRecord;
+using grtdb::obs::FlightRecorder;
+
+constexpr int kWriters = 8;
+constexpr int kDumpers = 3;
+constexpr uint64_t kEventsPerWriter = 20000;
+constexpr uint64_t kMarker = 0x57E55000000000ull;
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "flight_stress: FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> dumps{0};
+  std::atomic<bool> torn_payload{false};
+
+  // Dumpers run for the whole writer lifetime, checking that every stitched
+  // record is internally consistent: the two operands of one emission are
+  // published together or not at all (a torn slot would pair a fresh `a`
+  // with a stale `b`).
+  std::vector<std::thread> dumpers;
+  for (int d = 0; d < kDumpers; ++d) {
+    dumpers.emplace_back([&stop, &dumps, &torn_payload, &recorder, d] {
+      int null_fd = -1;
+      if (d == 0) null_fd = ::open("/dev/null", O_WRONLY);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const FlightEventRecord& record : recorder.Dump()) {
+          if (record.a >= kMarker &&
+              record.a < kMarker + (uint64_t{kWriters} << 32)) {
+            if (record.b != (record.a & 0xffffffffull)) {
+              torn_payload.store(true, std::memory_order_relaxed);
+            }
+            if (record.event != FlightEvent::kCacheEviction) {
+              torn_payload.store(true, std::memory_order_relaxed);
+            }
+          }
+        }
+        // One dumper also exercises the async-signal-safe path under load.
+        if (null_fd >= 0) recorder.DumpToFd(null_fd);
+        dumps.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (null_fd >= 0) ::close(null_fd);
+    });
+  }
+
+  // Each writer claims its ring (first RecordEvent registers it) BEFORE
+  // the rendezvous: a writer that finished while another was still between
+  // the barrier and its first event would have its released ring reused,
+  // collapsing the retained-count accounting below.
+  std::atomic<int> ready{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w, &recorder, &ready] {
+      recorder.RecordEvent(FlightEvent::kTxnBegin);  // register this ring
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (ready.load(std::memory_order_relaxed) < kWriters) {
+        std::this_thread::yield();
+      }
+      for (uint64_t i = 0; i < kEventsPerWriter; ++i) {
+        // a encodes writer and sequence; b repeats the sequence so a
+        // dumper can detect a torn pair.
+        recorder.RecordEvent(FlightEvent::kCacheEviction,
+                             kMarker + (uint64_t{static_cast<uint64_t>(w)}
+                                        << 32) + i,
+                             i);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : dumpers) t.join();
+
+  if (torn_payload.load()) return Fail("torn slot observed in dump");
+  if (dumps.load() == 0) return Fail("dumpers never ran");
+
+  // Post-quiescence: each writer's ring must hold exactly its newest
+  // kSlotsPerThread markers.
+  uint64_t mine = 0;
+  for (const FlightEventRecord& record : recorder.Dump()) {
+    if (record.a >= kMarker &&
+        record.a < kMarker + (uint64_t{kWriters} << 32)) {
+      ++mine;
+      const uint64_t seq = record.a & 0xffffffffull;
+      if (seq < kEventsPerWriter - FlightRecorder::kSlotsPerThread) {
+        return Fail("an overwritten (old) marker survived the wrap");
+      }
+    }
+  }
+  if (mine != uint64_t{kWriters} * FlightRecorder::kSlotsPerThread) {
+    std::fprintf(stderr, "flight_stress: retained %llu, want %llu\n",
+                 static_cast<unsigned long long>(mine),
+                 static_cast<unsigned long long>(
+                     uint64_t{kWriters} * FlightRecorder::kSlotsPerThread));
+    return Fail("retained-event count");
+  }
+
+  std::printf("flight_stress: OK (%llu dumps during %d x %llu writes)\n",
+              static_cast<unsigned long long>(dumps.load()), kWriters,
+              static_cast<unsigned long long>(kEventsPerWriter));
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blades/grtree_blade.h"
+#include "obs/flight_recorder.h"
+#include "server/server.h"
+#include "storage/pager.h"
+#include "storage/space.h"
+#include "storage/wal_store.h"
+#include "txn/lock_manager.h"
+
+namespace grtdb {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightEventRecord;
+using obs::FlightRecorder;
+
+// The recorder is process-global, so tests sharing a binary see each
+// other's events; every test stamps its own events with a marker operand
+// and filters the dump down to them.
+std::vector<FlightEventRecord> EventsWithMarker(uint64_t marker_base,
+                                                uint64_t count) {
+  std::vector<FlightEventRecord> out;
+  for (const FlightEventRecord& record : FlightRecorder::Global().Dump()) {
+    if (record.a >= marker_base && record.a < marker_base + count) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+TEST(FlightEventName, CoversEveryEventAndRejectsOutOfRange) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < obs::kFlightEventCount; ++i) {
+    const char* name = obs::FlightEventName(static_cast<FlightEvent>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "event_unknown") << "event " << i;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), obs::kFlightEventCount) << "names must be distinct";
+  EXPECT_TRUE(names.count("txn_begin"));
+  EXPECT_TRUE(names.count("checkpoint"));
+  EXPECT_TRUE(names.count("lock_timeout"));
+  EXPECT_TRUE(names.count("slow_purpose_call"));
+  EXPECT_STREQ(obs::FlightEventName(
+                   static_cast<FlightEvent>(obs::kFlightEventCount)),
+               "event_unknown");
+  EXPECT_STREQ(obs::FlightEventName(static_cast<FlightEvent>(255)),
+               "event_unknown");
+}
+
+TEST(FlightRecorderRing, WrapRetainsTheNewestSlotsPerThread) {
+  constexpr uint64_t kMarker = 0x11E00000;
+  constexpr uint64_t kEmitted = FlightRecorder::kSlotsPerThread + 50;
+  // A dedicated thread gets its own ring, so the wrap arithmetic is not
+  // perturbed by whatever this test binary's main thread recorded earlier.
+  std::thread writer([] {
+    for (uint64_t i = 0; i < kEmitted; ++i) {
+      FlightRecorder::Global().RecordEvent(FlightEvent::kTxnBegin,
+                                           kMarker + i);
+    }
+  });
+  writer.join();
+
+  const std::vector<FlightEventRecord> mine =
+      EventsWithMarker(kMarker, kEmitted);
+  ASSERT_EQ(mine.size(), FlightRecorder::kSlotsPerThread);
+  // Exactly the newest kSlotsPerThread emissions survive the wrap.
+  std::set<uint64_t> sequence;
+  for (const FlightEventRecord& record : mine) {
+    sequence.insert(record.a - kMarker);
+  }
+  EXPECT_EQ(*sequence.begin(), kEmitted - FlightRecorder::kSlotsPerThread);
+  EXPECT_EQ(*sequence.rbegin(), kEmitted - 1);
+  EXPECT_EQ(sequence.size(), FlightRecorder::kSlotsPerThread);
+}
+
+TEST(FlightRecorderRing, DisabledRecorderDropsEvents) {
+  constexpr uint64_t kMarker = 0x22E00000;
+  FlightRecorder::Global().set_enabled(false);
+  FlightRecorder::Global().RecordEvent(FlightEvent::kTxnBegin, kMarker);
+  FlightRecorder::Global().set_enabled(true);
+  EXPECT_TRUE(EventsWithMarker(kMarker, 1).empty());
+  FlightRecorder::Global().RecordEvent(FlightEvent::kTxnBegin, kMarker + 1);
+  EXPECT_EQ(EventsWithMarker(kMarker, 2).size(), 1u);
+}
+
+TEST(FlightRecorderRing, DumpIsSortedByTicks) {
+  for (int i = 0; i < 10; ++i) {
+    FlightRecorder::Global().RecordEvent(FlightEvent::kTxnBegin, 0x33E00000);
+  }
+  uint64_t last = 0;
+  for (const FlightEventRecord& record : FlightRecorder::Global().Dump()) {
+    EXPECT_GE(record.ticks, last);
+    last = record.ticks;
+  }
+}
+
+// ---- emission sites -------------------------------------------------------
+
+TEST(FlightEmission, LockTimeoutIsRecordedWithResourceAndTxn) {
+  constexpr ResourceId kRes{ResourceKind::kLargeObject, 0x44E00000};
+  LockManager lm(std::chrono::milliseconds(10));
+  ASSERT_TRUE(lm.Acquire(1, kRes, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(2, kRes, LockMode::kShared).IsLockTimeout());
+
+  const std::vector<FlightEventRecord> mine = EventsWithMarker(kRes.id, 1);
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_EQ(mine[0].event, FlightEvent::kLockTimeout);
+  EXPECT_EQ(mine[0].b, 2u);  // the timed-out transaction
+}
+
+TEST(FlightEmission, CheckpointRecordsDroppedLogBytes) {
+  const std::string log_path =
+      (std::filesystem::temp_directory_path() /
+       (std::to_string(::getpid()) + "_flight_ckpt.log"))
+          .string();
+  std::remove(log_path.c_str());
+  {
+    MemorySpace space;
+    Pager pager(&space, 256);
+    PagerNodeStore inner(&pager);
+    auto wal_or = WalNodeStore::Open(&inner, log_path);
+    ASSERT_TRUE(wal_or.ok());
+    std::unique_ptr<WalNodeStore> wal = std::move(wal_or).value();
+    ASSERT_TRUE(wal->Recover().ok());
+    NodeId id;
+    ASSERT_TRUE(wal->AllocateNode(&id).ok());
+    ASSERT_TRUE(wal->Begin().ok());
+    uint8_t page[kPageSize] = {0x5a};
+    ASSERT_TRUE(wal->WriteNode(id, page).ok());
+    ASSERT_TRUE(wal->Commit().ok());
+    ASSERT_TRUE(wal->Checkpoint().ok());
+  }
+  std::remove(log_path.c_str());
+
+  // No other test in this binary runs a WAL checkpoint, so a checkpoint
+  // event with a non-zero dropped-bytes operand anywhere in the dump is
+  // ours. (A before/after size diff would be fragile: once a ring has
+  // wrapped, recording doesn't grow the dump.)
+  bool found = false;
+  for (const FlightEventRecord& record : FlightRecorder::Global().Dump()) {
+    if (record.event == FlightEvent::kCheckpoint && record.a > 0) found = true;
+  }
+  EXPECT_TRUE(found) << "checkpoint event with dropped-bytes operand";
+}
+
+// ---- DUMP FLIGHT through SQL ---------------------------------------------
+
+TEST(FlightSql, DumpFlightShowsTxnEventsInOrder) {
+  Server server;
+  GRTreeBladeOptions options;
+  options.storage = GRTreeBladeOptions::Storage::kExternalFile;
+  options.external_dir = ::testing::TempDir() + "flight_sql_" +
+                         std::to_string(::getpid());
+  std::filesystem::create_directories(options.external_dir);
+  ASSERT_TRUE(RegisterGRTreeBlade(&server, options).ok());
+  ServerSession* session = server.CreateSession();
+  ResultSet result;
+  ASSERT_TRUE(server
+                  .ExecuteScript(session,
+                                 "CREATE TABLE t (id int, e grt_timeextent);"
+                                 "CREATE INDEX t_idx ON t(e grt_opclass) "
+                                 "USING grtree_am;"
+                                 "SET CURRENT_TIME TO 20000;"
+                                 "BEGIN WORK;"
+                                 "INSERT INTO t VALUES (1, '20000, UC, "
+                                 "19900, NOW');"
+                                 "COMMIT WORK;"
+                                 "BEGIN WORK;"
+                                 "INSERT INTO t VALUES (2, '20000, UC, "
+                                 "19950, NOW');"
+                                 "ROLLBACK WORK;",
+                                 &result)
+                  .ok());
+
+  ASSERT_TRUE(server.Execute(session, "DUMP FLIGHT", &result).ok());
+  ASSERT_EQ(result.columns,
+            (std::vector<std::string>{"thread", "ticks", "event", "a", "b"}));
+  ASSERT_FALSE(result.messages.empty());
+  EXPECT_NE(result.messages[0].find("flight recorder:"), std::string::npos);
+
+  // The workload's begin/commit/begin/abort must appear in emission order.
+  std::vector<std::string> txn_events;
+  for (const auto& row : result.rows) {
+    if (row[2] == "txn_begin" || row[2] == "txn_commit" ||
+        row[2] == "txn_abort") {
+      txn_events.push_back(row[2]);
+    }
+  }
+  ASSERT_GE(txn_events.size(), 4u);
+  const std::vector<std::string> tail(txn_events.end() - 4, txn_events.end());
+  EXPECT_EQ(tail, (std::vector<std::string>{"txn_begin", "txn_commit",
+                                            "txn_begin", "txn_abort"}));
+}
+
+// ---- fatal-signal dump ----------------------------------------------------
+
+// A forced abort in a subprocess must leave a readable flight dump on
+// stderr before the process dies of SIGABRT (the black-box promise).
+TEST(FlightSignalDump, AbortWritesDumpToStderr) {
+  // Register this thread's ring before forking so the child inherits a
+  // recorder with at least one populated buffer.
+  FlightRecorder::Global().RecordEvent(FlightEvent::kTxnBegin, 0x55E00000);
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: route stderr into the pipe, arm the handler, leave a
+    // distinctive event, and die the way a real bug would.
+    dup2(fds[1], STDERR_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    FlightRecorder::InstallSignalHandler();
+    FlightRecorder::Global().RecordEvent(FlightEvent::kCheckpoint, 4242);
+    std::abort();
+  }
+  close(fds[1]);
+  std::string captured;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) captured.append(buf, n);
+  close(fds[0]);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child must die of the re-raised signal";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+  EXPECT_NE(captured.find("FLIGHT DUMP BEGIN"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("FLIGHT DUMP END"), std::string::npos);
+  EXPECT_NE(captured.find("checkpoint"), std::string::npos);
+  EXPECT_NE(captured.find("a=4242"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grtdb

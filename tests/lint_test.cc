@@ -210,6 +210,41 @@ TEST(LockAcquire, UnrelatedAcquireIgnored) {
           .empty());
 }
 
+TEST(FlightEvent, NakedNumericEventCodeFlagged) {
+  EXPECT_TRUE(HasRule(
+      LintSource(kServerPath,
+                 "obs::FlightRecorder::Global().RecordEvent(3, id, 0);\n"),
+      "flight-event"));
+  // A cast dressing up the number is still a naked code.
+  EXPECT_TRUE(HasRule(
+      LintSource(kServerPath,
+                 "recorder.RecordEvent(static_cast<obs::FlightEvent>(7));\n"),
+      "flight-event"));
+}
+
+TEST(FlightEvent, EnumQualifiedCallPasses) {
+  EXPECT_TRUE(
+      LintSource(kServerPath,
+                 "obs::FlightRecorder::Global().RecordEvent(\n"
+                 "    obs::FlightEvent::kCheckpoint, dropped);\n")
+          .empty());
+  // Operand expressions may be arbitrary as long as the event itself is an
+  // enumerator — including a conditional choosing between two of them.
+  EXPECT_TRUE(
+      LintSource(kServerPath,
+                 "recorder.RecordEvent(committed ? obs::FlightEvent::kTxnCommit"
+                 " : obs::FlightEvent::kTxnAbort, txn->id);\n")
+          .empty());
+}
+
+TEST(FlightEvent, DeclarationIsNotACallSite) {
+  EXPECT_TRUE(
+      LintSource("src/obs/flight_recorder.h",
+                 "void RecordEvent(FlightEvent event, uint64_t a = 0, "
+                 "uint64_t b = 0);\n")
+          .empty());
+}
+
 // ------------------------------------------------------------- repo is clean
 
 // The final tree must lint clean — the same invariant the grtdb_lint ctest

@@ -14,6 +14,7 @@
 #include "blade/trace.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
+#include "obs/slow_query_log.h"
 #ifdef GRTDB_WITNESS
 #include "txn/witness.h"
 #endif
@@ -26,6 +27,8 @@ using grtdb::obs::MetricsRegistry;
 using grtdb::obs::PurposeFn;
 using grtdb::obs::QueryProfile;
 using grtdb::obs::ScopedProfile;
+using grtdb::obs::SlowQueryEntry;
+using grtdb::obs::SlowQueryLog;
 
 namespace {
 
@@ -60,13 +63,15 @@ int main() {
   MetricsRegistry registry;
   TraceFacility trace(/*capacity=*/256);
   trace.SetClass("stress", 1);
+  SlowQueryLog slow_log;
+  slow_log.set_threshold_ns(1);
 
   std::atomic<bool> stop{false};
 
   std::vector<std::thread> writers;
   writers.reserve(kWriters);
   for (int w = 0; w < kWriters; ++w) {
-    writers.emplace_back([&registry, &trace, w] {
+    writers.emplace_back([&registry, &trace, &slow_log, w] {
       // Half the threads resolve handles up front (the subsystem pattern),
       // half go through the registry every time (contends the mutex).
       Counter* cached = registry.GetCounter("stress.ops");
@@ -88,6 +93,10 @@ int main() {
         // Mostly-disabled tracing (the fast path), with periodic records.
         trace.Tprintf("quiet", 5, "never emitted %d", i);
         if (i % 64 == 0) trace.Tprintf("stress", 1, "w%d op %d", w, i);
+        // Periodic slow-statement admissions contending the log's ring.
+        if (i % 128 == 0) {
+          slow_log.MaybeRecord("stress query", 1 + i, profile);
+        }
       }
       Check(profile.calls(PurposeFn::kAmGetNext) ==
                 static_cast<uint64_t>(kOpsPerWriter),
@@ -119,12 +128,31 @@ int main() {
       ++level;
     }
   });
+  // Slow-query ring and exporter under load: Snapshot() and ExportText()
+  // race the writers' admissions and relaxed metric updates, and the
+  // threshold flips race the writers' MaybeRecord fast-path check.
+  std::thread slow_reader([&slow_log, &registry, &stop] {
+    uint64_t flips = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<SlowQueryEntry> entries = slow_log.Snapshot();
+      Check(entries.size() <= slow_log.capacity(), "slow ring bounded");
+      for (size_t i = 1; i < entries.size(); ++i) {
+        Check(entries[i].seq > entries[i - 1].seq, "slow ring oldest-first");
+      }
+      const std::string text = registry.ExportText();
+      Check(text.empty() || text.rfind("# TYPE ", 0) == 0,
+            "exporter renders under load");
+      slow_log.set_threshold_ns(++flips % 3 == 0 ? 0 : 1);
+    }
+    slow_log.set_threshold_ns(1);
+  });
 
   for (std::thread& t : writers) t.join();
   stop.store(true, std::memory_order_relaxed);
   snapshotter.join();
   trace_reader.join();
   toggler.join();
+  slow_reader.join();
 
   const uint64_t expected =
       static_cast<uint64_t>(kWriters) * static_cast<uint64_t>(kOpsPerWriter);

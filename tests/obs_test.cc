@@ -10,9 +10,13 @@
 #include <string>
 #include <vector>
 
+#include "blades/btree_blade.h"
+#include "blades/gist_blade.h"
 #include "blades/grtree_blade.h"
+#include "blades/rstar_blade.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
+#include "obs/slow_query_log.h"
 #include "server/server.h"
 #include "storage/node_cache.h"
 #include "storage/node_store.h"
@@ -362,6 +366,258 @@ TEST_F(ObsSqlTest, SysLocksShowsHeldLocks) {
   for (const auto& row : result_.rows) modes.insert(row[3]);
   EXPECT_TRUE(modes.count("X"));  // the insert's exclusive table lock
   MustExec("COMMIT WORK");
+}
+
+// ---- slow-query log -------------------------------------------------------
+
+TEST(SlowQueryLog, RingIsBoundedOldestFirstAndZeroDisables) {
+  obs::SlowQueryLog log;
+  EXPECT_EQ(log.threshold_ns(), 0u);  // disabled by default
+  obs::QueryProfile profile;
+  log.MaybeRecord("before threshold", 1ull << 40, profile);
+  EXPECT_TRUE(log.Snapshot().empty());
+
+  log.set_threshold_ns(1);
+  for (int i = 0; i < 70; ++i) {
+    log.MaybeRecord("q" + std::to_string(i), 5, profile);
+  }
+  std::vector<obs::SlowQueryEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), obs::SlowQueryLog::kDefaultCapacity);
+  EXPECT_EQ(entries.front().sql, "q6");  // the oldest six were evicted
+  EXPECT_EQ(entries.back().sql, "q69");
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, entries[i - 1].seq + 1);  // admission order
+  }
+
+  // Below the threshold: not retained.
+  log.set_threshold_ns(10);
+  log.MaybeRecord("fast", 9, profile);
+  EXPECT_EQ(log.Snapshot().back().sql, "q69");
+  // Threshold 0 turns retention back off entirely.
+  log.set_threshold_ns(0);
+  log.MaybeRecord("slowest ever", 1ull << 60, profile);
+  EXPECT_EQ(log.Snapshot().back().sql, "q69");
+}
+
+TEST_F(ObsSqlTest, SlowQueryLogCapturesProfilesAboveThreshold) {
+  // Threshold 1 ns: every statement from here on is "slow".
+  MustExec("SET SLOW_QUERY_NS = 1");
+  MustExec("SELECT id FROM t WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  MustExec("SELECT * FROM sys_slow_queries");
+  ASSERT_FALSE(result_.rows.empty());
+  ASSERT_EQ(result_.columns.size(), 10u);
+  // The scan we just ran is retained with its Fig. 6 breakdown.
+  bool found = false;
+  for (const auto& row : result_.rows) {
+    if (row[9].find("Overlaps") == std::string::npos) continue;
+    found = true;
+    EXPECT_EQ(row[3], "40");  // rows_returned
+    EXPECT_NE(row[8].find("am_getnext calls="), std::string::npos) << row[8];
+    EXPECT_NE(row[8].find("am_open calls="), std::string::npos) << row[8];
+  }
+  EXPECT_TRUE(found);
+
+  // Back to 0: new statements are no longer retained.
+  MustExec("SET SLOW_QUERY_NS = 0");
+  MustExec("SELECT id FROM t WHERE id = 31337");
+  MustExec("SELECT * FROM sys_slow_queries");
+  for (const auto& row : result_.rows) {
+    EXPECT_EQ(row[9].find("31337"), std::string::npos) << row[9];
+  }
+}
+
+// ---- metrics exporter -----------------------------------------------------
+
+TEST_F(ObsSqlTest, ExportMetricsRoundTripsTheRegistryText) {
+  MustExec("EXPORT METRICS");
+  ASSERT_EQ(result_.columns, std::vector<std::string>{"line"});
+  ASSERT_FALSE(result_.rows.empty());
+  std::string joined;
+  for (const auto& row : result_.rows) {
+    joined += row[0];
+    joined += '\n';
+  }
+  EXPECT_EQ(joined, server_.metrics().ExportText());
+
+  bool saw_counter_type = false, saw_insert_calls = false,
+       saw_histogram_bucket = false, saw_inf = false;
+  for (const auto& row : result_.rows) {
+    const std::string& line = row[0];
+    if (line.rfind("# TYPE grtdb_", 0) == 0 &&
+        line.find(" counter") != std::string::npos) {
+      saw_counter_type = true;
+    }
+    if (line == "grtdb_vii_am_insert_calls 40") saw_insert_calls = true;
+    if (line.rfind("grtdb_wal_commit_us_bucket{le=\"", 0) == 0) {
+      saw_histogram_bucket = true;
+    }
+    if (line.find("_bucket{le=\"+Inf\"}") != std::string::npos) saw_inf = true;
+  }
+  EXPECT_TRUE(saw_counter_type);
+  EXPECT_TRUE(saw_insert_calls);  // the fixture's 40 inserts
+  EXPECT_TRUE(saw_histogram_bucket);
+  EXPECT_TRUE(saw_inf);
+}
+
+// ---- index-health telemetry ----------------------------------------------
+
+// All four DataBlades registered side by side, each with an index the
+// test can hand-count against sys_index_stats.
+class IndexStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RegisterGRTreeBlade(&server_).ok());
+    ASSERT_TRUE(RegisterRStarBlade(&server_).ok());
+    ASSERT_TRUE(RegisterBtreeBlade(&server_).ok());
+    ASSERT_TRUE(RegisterGistBlade(&server_).ok());
+    ASSERT_TRUE(RegisterIntRangeOpclass(&server_).ok());
+    session_ = server_.CreateSession();
+    MustExec("SET CURRENT_TIME TO 20000");
+
+    MustExec("CREATE TABLE hist (id int, e grt_timeextent)");
+    MustExec("CREATE INDEX hist_grt ON hist(e grt_opclass) USING grtree_am");
+    MustExec("CREATE TABLE hist2 (id int, e grt_timeextent)");
+    MustExec("CREATE INDEX hist_rst ON hist2(e rst_opclass) USING rstar_am");
+    for (int i = 0; i < 40; ++i) {
+      const std::string extent =
+          "'20000, UC, " + std::to_string(19900 + i) + ", NOW'";
+      MustExec("INSERT INTO hist VALUES (" + std::to_string(i) + ", " +
+               extent + ")");
+      MustExec("INSERT INTO hist2 VALUES (" + std::to_string(i) + ", " +
+               extent + ")");
+    }
+
+    MustExec("CREATE TABLE emp (name text, salary int)");
+    MustExec("CREATE INDEX emp_bt ON emp(salary) USING btree_am");
+    for (int i = 0; i < 50; ++i) {
+      MustExec("INSERT INTO emp VALUES ('e" + std::to_string(i) + "', " +
+               std::to_string(1000 + 7 * i) + ")");
+    }
+
+    MustExec("CREATE TABLE bookings (room text, slot intrange)");
+    MustExec("CREATE INDEX bk_gist ON bookings(slot ir_opclass) "
+             "USING gist_am");
+    for (int i = 0; i < 30; ++i) {
+      MustExec("INSERT INTO bookings VALUES ('r" + std::to_string(i) +
+               "', '[" + std::to_string(10 * i) + "," +
+               std::to_string(10 * i + 15) + "]')");
+    }
+  }
+
+  Status Exec(const std::string& sql) {
+    return server_.Execute(session_, sql, &result_);
+  }
+
+  void MustExec(const std::string& sql) {
+    Status status = Exec(sql);
+    ASSERT_TRUE(status.ok()) << sql << " -> " << status.ToString();
+  }
+
+  // sys_index_stats rows for one index, keyed by the level column ("all"
+  // is the summary row).
+  std::map<std::string, std::vector<std::string>> StatsForIndex(
+      const std::string& index) {
+    std::map<std::string, std::vector<std::string>> out;
+    for (const auto& row : result_.rows) {
+      if (row[0] == index) out[row[2]] = row;
+    }
+    return out;
+  }
+
+  Server server_;
+  ServerSession* session_ = nullptr;
+  ResultSet result_;
+};
+
+TEST_F(IndexStatsTest, UpdateStatisticsFeedsSysIndexStatsForAllFourBlades) {
+  // Advance the clock so the still-growing extents (inserted at 20000)
+  // resolve to regions with a positive area.
+  MustExec("SET CURRENT_TIME TO 21000");
+  MustExec("UPDATE STATISTICS");  // bare form: every index with am_stats
+  MustExec("SELECT * FROM sys_index_stats");
+  ASSERT_EQ(result_.columns.size(), 12u);
+
+  const struct {
+    const char* index;
+    const char* am;
+    uint64_t entries;
+  } kExpected[] = {{"hist_grt", "grtree_am", 40},
+                   {"hist_rst", "rstar_am", 40},
+                   {"emp_bt", "btree_am", 50},
+                   {"bk_gist", "gist_am", 30}};
+  for (const auto& expect : kExpected) {
+    SCOPED_TRACE(expect.index);
+    auto stats = StatsForIndex(expect.index);
+    ASSERT_TRUE(stats.count("all")) << "summary row missing";
+    const auto& all = stats["all"];
+    EXPECT_EQ(all[1], expect.am);
+    const int64_t height = std::stoll(all[3]);
+    const uint64_t nodes = std::stoull(all[4]);
+    EXPECT_GE(height, 1);
+    EXPECT_GE(nodes, 1u);
+    // The walker's entry count must equal the rows the test inserted.
+    EXPECT_EQ(std::stoull(all[5]), expect.entries);
+
+    // Exactly `height` per-level rows (leaf = level 0), whose node counts
+    // sum to the summary's total and whose leaf level carries every entry.
+    uint64_t level_nodes = 0;
+    for (int64_t level = 0; level < height; ++level) {
+      ASSERT_TRUE(stats.count(std::to_string(level)))
+          << "missing level " << level;
+      level_nodes += std::stoull(stats[std::to_string(level)][4]);
+    }
+    EXPECT_EQ(stats.size(), static_cast<size_t>(height) + 1);
+    EXPECT_EQ(level_nodes, nodes);
+    EXPECT_EQ(std::stoull(stats["0"][5]), expect.entries);
+  }
+
+  // Blade-specific health signals. Every GR-tree extent is still current
+  // (TTend = UC), so all 40 leaf regions are growing and none are dead.
+  auto grt = StatsForIndex("hist_grt");
+  EXPECT_EQ(std::stoull(grt["all"][9]), 40u);  // growing_regions
+  EXPECT_EQ(std::stoull(grt["all"][8]), 0u);   // dead_entries
+  EXPECT_GT(std::stod(grt["all"][10]), 0.0);   // growing_area
+  EXPECT_EQ(std::stoll(grt["all"][11]), 21000);  // computed_at = current time
+
+  // Occupancy is a real fraction where node capacity is defined; the GiST
+  // blade's variable-length keys leave it undefined (reported as 0).
+  for (const char* index : {"hist_grt", "hist_rst", "emp_bt"}) {
+    auto stats = StatsForIndex(index);
+    const double occupancy = std::stod(stats["all"][6]);
+    EXPECT_GT(occupancy, 0.0) << index;
+    EXPECT_LE(occupancy, 1.0) << index;
+  }
+  EXPECT_EQ(std::stod(StatsForIndex("bk_gist")["all"][6]), 0.0);
+}
+
+TEST_F(IndexStatsTest, UpdateStatisticsForIndexRefreshesOnlyThatIndex) {
+  MustExec("UPDATE STATISTICS");
+  MustExec("INSERT INTO emp VALUES ('late', 9999)");
+  MustExec("INSERT INTO bookings VALUES ('late', '[900,910]')");
+  MustExec("UPDATE STATISTICS FOR INDEX emp_bt");
+  MustExec("SELECT * FROM sys_index_stats");
+  // emp_bt was recomputed and sees the new row; bk_gist still shows the
+  // snapshot from the first pass.
+  EXPECT_EQ(std::stoull(StatsForIndex("emp_bt")["all"][5]), 51u);
+  EXPECT_EQ(std::stoull(StatsForIndex("bk_gist")["all"][5]), 30u);
+}
+
+TEST_F(IndexStatsTest, CheckIndexReachesAmCheckInAllFourBlades) {
+  for (const char* index : {"hist_grt", "hist_rst", "emp_bt", "bk_gist"}) {
+    SCOPED_TRACE(index);
+    MustExec(std::string("CHECK INDEX ") + index);
+  }
+}
+
+TEST_F(IndexStatsTest, UnknownSysViewListsTheAvailableViews) {
+  const Status status = Exec("SELECT * FROM sys_nonsense");
+  ASSERT_FALSE(status.ok());
+  const std::string rendered = status.ToString();
+  EXPECT_NE(rendered.find("available system views"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("sys_index_stats"), std::string::npos);
+  EXPECT_NE(rendered.find("sys_slow_queries"), std::string::npos);
+  EXPECT_NE(rendered.find("sys_metrics"), std::string::npos);
 }
 
 // Observability off: no registry traffic, but EXPLAIN PROFILE still counts

@@ -533,6 +533,56 @@ void CheckLockAcquire(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// ------------------------------------------------------ rule: flight-event
+
+// RecordEvent's first argument must name its event through the FlightEvent
+// enum — the single registered table FlightEventName() decodes. A naked
+// numeric code (or an enum smuggled in via a numeric cast) would let the
+// wire value and the decoder drift apart.
+void CheckFlightEvent(const std::string& path, const std::vector<Token>& toks,
+                      std::vector<Issue>* issues) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "RecordEvent") {
+      continue;
+    }
+    if (toks[i + 1].text != "(") continue;
+    // First argument = tokens up to the first top-level comma (or the
+    // call's closing paren). Declarations pass too: their first tokens are
+    // the parameter's type, which is also spelled FlightEvent.
+    bool names_enum = false;
+    bool has_number = false;
+    int depth = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      const Token& tok = toks[j];
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == "(" || tok.text == "[" || tok.text == "{")) {
+        ++depth;
+        continue;
+      }
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == ")" || tok.text == "]" || tok.text == "}")) {
+        --depth;
+        if (depth == 0) break;
+        continue;
+      }
+      if (depth == 1 && tok.kind == TokKind::kPunct &&
+          (tok.text == "," || tok.text == ";")) {
+        break;
+      }
+      if (tok.kind == TokKind::kIdent && tok.text == "FlightEvent") {
+        names_enum = true;
+      }
+      if (tok.kind == TokKind::kNumber) has_number = true;
+    }
+    if (!names_enum || has_number) {
+      issues->push_back(
+          {path, toks[i].line, "flight-event",
+           "RecordEvent's event argument must be spelled through the "
+           "FlightEvent enum (no naked numeric event codes)"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Token> Tokenize(const std::string& source) {
@@ -556,6 +606,7 @@ std::vector<Issue> LintSource(const std::string& path,
       !PathContains(path, "txn/")) {
     CheckLockAcquire(path, toks, &issues);
   }
+  CheckFlightEvent(path, toks, &issues);
   return issues;
 }
 

@@ -28,6 +28,10 @@ namespace lint {
 //                     and the executor's statement-level table locking) —
 //                     ad-hoc acquisition sites are how lock-order bugs
 //                     creep in.
+//   flight-event      FlightRecorder::RecordEvent names its event through
+//                     the FlightEvent enum (the one registered table that
+//                     FlightEventName decodes) — a naked numeric event code
+//                     would silently drift from the dump's decoder.
 
 struct Issue {
   std::string file;
