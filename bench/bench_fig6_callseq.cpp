@@ -108,10 +108,10 @@ int main() {
   }
   const double total_ms = timer.ElapsedMs();
 
-  std::map<std::string, uint64_t> call_counts;
-  for (const std::string& call : session->purpose_log()) {
-    ++call_counts[call];
-  }
+  // purpose_counts() keeps exact totals even after the bounded call log
+  // starts dropping its oldest entries under a workload this size.
+  const std::map<std::string, uint64_t>& call_counts =
+      session->purpose_counts();
   TablePrinter calls({"purpose function", "calls", "calls/statement"});
   uint64_t statements = 0;
   for (const auto& [kind, count] : statement_counts) statements += count;

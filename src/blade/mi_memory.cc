@@ -1,5 +1,6 @@
 #include "blade/mi_memory.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -375,12 +376,33 @@ Status MiNamedMemory::NamedStorePointer(const std::string& name,
     std::memcpy(it->second.data(), &pointee, sizeof(void*));
   }
   // Named memory lives until it is explicitly freed — at best to session
-  // end — so audit the store against the longest duration.
-  if (duration_source_ != nullptr) {
-    duration_source_->NoteStoredPointer(MiDuration::kPerSession, pointee,
-                                        "named memory '" + name + "'");
+  // end — so audit the store against the longest duration of every
+  // attached allocator: the pointee may have come from any session.
+  std::vector<MiMemory*> sources;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources = duration_sources_;
+  }
+  for (MiMemory* source : sources) {
+    source->NoteStoredPointer(MiDuration::kPerSession, pointee,
+                              "named memory '" + name + "'");
   }
   return Status::OK();
+}
+
+void MiNamedMemory::AddDurationSource(MiMemory* memory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (MiMemory* source : duration_sources_) {
+    if (source == memory) return;
+  }
+  duration_sources_.push_back(memory);
+}
+
+void MiNamedMemory::RemoveDurationSource(MiMemory* memory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  duration_sources_.erase(
+      std::remove(duration_sources_.begin(), duration_sources_.end(), memory),
+      duration_sources_.end());
 }
 
 size_t MiNamedMemory::count() const {

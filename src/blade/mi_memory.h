@@ -186,15 +186,23 @@ class MiNamedMemory {
   // is checked and flagged through its escape registry.
   Status NamedStorePointer(const std::string& name, const void* pointee);
 
-  // Attaches the duration allocator whose blocks NamedStorePointer audits.
-  void set_duration_source(MiMemory* memory) { duration_source_ = memory; }
+  // Attaches a duration allocator whose blocks NamedStorePointer audits.
+  // With per-session allocators there is one source per live session (plus
+  // the server arena); a stored pointer is checked against every source,
+  // since named memory is server-wide and any session may read it back.
+  void AddDurationSource(MiMemory* memory);
+  void RemoveDurationSource(MiMemory* memory);
+  // Single-source convenience kept for embedded/test callers.
+  void set_duration_source(MiMemory* memory) {
+    AddDurationSource(memory);
+  }
 
   size_t count() const;
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<uint8_t>> blocks_;
-  MiMemory* duration_source_ = nullptr;
+  std::vector<MiMemory*> duration_sources_;
 };
 
 }  // namespace grtdb

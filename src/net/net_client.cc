@@ -1,0 +1,85 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace grtdb {
+namespace net {
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::RoundTrip(const Request& request, ResultSet* out) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  Status io = WriteFrame(fd_, EncodeRequest(request));
+  if (io.ok()) {
+    std::string payload;
+    io = ReadFrame(fd_, &payload);
+    if (io.ok()) {
+      Response response;
+      io = DecodeResponse(payload, &response);
+      if (io.ok()) {
+        if (out != nullptr) *out = std::move(response.result);
+        return response.status;
+      }
+    }
+  }
+  // Transport broke mid-exchange: the connection's framing state is
+  // unknown, so it is dead from here on.
+  Close();
+  return io;
+}
+
+Status NetClient::Execute(const std::string& sql, ResultSet* out) {
+  return RoundTrip(Request{Opcode::kExecute, sql}, out);
+}
+
+Status NetClient::ExecuteScript(const std::string& sql, ResultSet* out) {
+  return RoundTrip(Request{Opcode::kScript, sql}, out);
+}
+
+Status NetClient::Ping() {
+  return RoundTrip(Request{Opcode::kPing, ""}, nullptr);
+}
+
+}  // namespace net
+}  // namespace grtdb

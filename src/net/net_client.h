@@ -1,0 +1,46 @@
+#ifndef GRTDB_NET_NET_CLIENT_H_
+#define GRTDB_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "server/result.h"
+
+namespace grtdb {
+namespace net {
+
+// Blocking single-connection client. One NetClient is one server-side
+// session; statements sent through it share that session's transaction
+// and SET state. Not thread-safe — one thread per client, like one
+// connection per application thread.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { Close(); }
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Round-trips one statement (or script). The returned Status is the
+  // server's verdict on the SQL; transport failures surface as IOError
+  // and close the connection (the server has rolled the session back).
+  Status Execute(const std::string& sql, ResultSet* out);
+  Status ExecuteScript(const std::string& sql, ResultSet* out);
+  Status Ping();
+
+ private:
+  Status RoundTrip(const Request& request, ResultSet* out);
+
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace grtdb
+
+#endif  // GRTDB_NET_NET_CLIENT_H_

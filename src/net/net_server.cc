@@ -1,0 +1,200 @@
+#include "net/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/protocol.h"
+
+namespace grtdb {
+namespace net {
+
+NetServer::NetServer(Server* server, NetServerOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (listen_fd_ >= 0) return Status::InvalidArgument("already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stopping_.store(false, std::memory_order_relaxed);
+  int workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (listen_fd_ < 0 && workers_.empty()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+
+  // Unblock accept(): shutdown makes the blocked call return with an
+  // error even on platforms where close alone leaves it sleeping.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  {
+    // Close connections that never got a worker, then post one sentinel
+    // per worker so every WorkerLoop drains and exits.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int fd : pending_) {
+      if (fd >= 0) ::close(fd);
+    }
+    pending_.clear();
+    for (size_t i = 0; i < workers_.size(); ++i) pending_.push_back(-1);
+  }
+  queue_cv_.notify_all();
+
+  {
+    // Workers sit in blocking reads on their connections; shut those
+    // down so the reads return and ServeConnection unwinds (rollback +
+    // CloseSession included).
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void NetServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listener down, or it broke; either way, done.
+      return;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void NetServer::WorkerLoop() {
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !pending_.empty(); });
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    if (fd < 0) return;  // shutdown sentinel
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_fds_.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_fds_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void NetServer::ServeConnection(int fd) {
+  ServerSession* session = server_->CreateSession();
+  std::string payload;
+  Response response;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Status io = ReadFrame(fd, &payload);
+    if (!io.ok()) break;  // disconnect (clean or otherwise)
+
+    Request request;
+    Status parsed = DecodeRequest(payload, &request);
+    response.result.Clear();
+    if (!parsed.ok()) {
+      // Malformed frame: report it, then drop the connection — framing
+      // may be out of sync, so nothing after this byte can be trusted.
+      response.status = parsed;
+      WriteFrame(fd, EncodeResponse(response));
+      break;
+    }
+
+    switch (request.opcode) {
+      case Opcode::kExecute:
+        response.status = server_->Execute(session, request.sql,
+                                           &response.result);
+        break;
+      case Opcode::kScript:
+        response.status = server_->ExecuteScript(session, request.sql,
+                                                 &response.result);
+        break;
+      case Opcode::kPing:
+        response.status = Status::OK();
+        break;
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteFrame(fd, EncodeResponse(response)).ok()) break;
+  }
+  // Disconnect is the session's end: CloseSession rolls back whatever
+  // transaction the client left open and ends its memory durations.
+  server_->CloseSession(session);
+}
+
+}  // namespace net
+}  // namespace grtdb

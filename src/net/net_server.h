@@ -1,0 +1,91 @@
+#ifndef GRTDB_NET_NET_SERVER_H_
+#define GRTDB_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <condition_variable>
+
+#include "common/status.h"
+#include "server/server.h"
+
+namespace grtdb {
+namespace net {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 asks the kernel for an ephemeral port; port() reports the real one.
+  uint16_t port = 0;
+  // Worker pool size = maximum concurrent connections. A worker owns its
+  // connection for the connection's whole life, so connection N+1 queues
+  // until a session ends — the paper's session model (one server thread
+  // per client session), not a request-multiplexing front end.
+  int num_workers = 4;
+  int backlog = 64;
+};
+
+// TCP front end over an embedded Server. Lifecycle per connection:
+// accept → CreateSession → serve frames → (disconnect | Stop) →
+// CloseSession, which rolls back any transaction the client left open.
+class NetServer {
+ public:
+  NetServer(Server* server, NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, listens, and launches the accept loop + worker pool.
+  Status Start();
+
+  // Idempotent. Unblocks the accept loop, shuts down every live
+  // connection (the peer sees EOF), and joins all threads.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  // Runs one connection to completion; owns fd and the session.
+  void ServeConnection(int fd);
+
+  Server* server_;
+  NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  // Accepted fds waiting for a free worker; -1 is the shutdown sentinel.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  // Fds currently owned by workers, so Stop can shut them down and
+  // unblock the blocking reads.
+  std::mutex active_mu_;
+  std::unordered_set<int> active_fds_;
+};
+
+}  // namespace net
+}  // namespace grtdb
+
+#endif  // GRTDB_NET_NET_SERVER_H_

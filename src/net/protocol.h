@@ -1,0 +1,66 @@
+#ifndef GRTDB_NET_PROTOCOL_H_
+#define GRTDB_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/result.h"
+
+namespace grtdb {
+namespace net {
+
+// Wire protocol (DESIGN.md "Wire protocol"): every message is one frame,
+//
+//   u32-LE payload-length | payload bytes
+//
+// Request payload:  u8 opcode, u32-LE sql-length, sql bytes.
+// Response payload: u8 status-code, string message, u64 affected,
+//                   string-list columns, row-list rows, string-list
+//                   messages — where string = u32-LE length + bytes and
+//                   each list is u32-LE count + elements.
+//
+// The format is deliberately dumb: no negotiation, no versioning byte
+// beyond the opcode space, everything little-endian. A frame larger than
+// kMaxFrameBytes is a protocol error and closes the connection — the cap
+// bounds what one malformed or hostile client can make the server buffer.
+
+constexpr uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+enum class Opcode : uint8_t {
+  kExecute = 1,  // one statement, Server::Execute
+  kScript = 2,   // semicolon-separated script, Server::ExecuteScript
+  kPing = 3,     // liveness probe, empty sql
+};
+
+struct Request {
+  Opcode opcode = Opcode::kExecute;
+  std::string sql;
+};
+
+struct Response {
+  Status status;
+  ResultSet result;
+};
+
+// Payload (not frame) encode/decode. Decode returns InvalidArgument on a
+// truncated or malformed payload and never reads out of bounds.
+std::string EncodeRequest(const Request& request);
+Status DecodeRequest(const std::string& payload, Request* out);
+std::string EncodeResponse(const Response& response);
+Status DecodeResponse(const std::string& payload, Response* out);
+
+// Rebuilds a Status from its wire (code, message) pair. Unknown codes map
+// to Internal, so a newer peer degrades loudly instead of silently-OK.
+Status MakeStatus(uint8_t code, std::string message);
+
+// Blocking frame I/O over a connected socket. Loops over partial
+// reads/writes and EINTR. ReadFrame returns Aborted on clean EOF at a
+// frame boundary (peer closed), IOError on anything else.
+Status ReadFrame(int fd, std::string* payload);
+Status WriteFrame(int fd, const std::string& payload);
+
+}  // namespace net
+}  // namespace grtdb
+
+#endif  // GRTDB_NET_PROTOCOL_H_

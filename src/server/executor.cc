@@ -501,7 +501,7 @@ Status Server::InsertRow(ServerSession* session, Table* table,
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
                              : txn_manager_.Rollback(&session->txn_session());
-    memory_.EndDuration(MiDuration::kPerTransaction);
+    session->memory().EndDuration(MiDuration::kPerTransaction);
     if (status.ok()) status = end;
   }
   return status;
@@ -673,7 +673,7 @@ Status Server::ExecSelect(ServerSession* session, const sql::SelectStmt& stmt,
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
                              : txn_manager_.Rollback(&session->txn_session());
-    memory_.EndDuration(MiDuration::kPerTransaction);
+    session->memory().EndDuration(MiDuration::kPerTransaction);
     if (status.ok()) status = end;
   }
   return status;
@@ -819,7 +819,7 @@ Status Server::ExecDelete(ServerSession* session, const sql::DeleteStmt& stmt,
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
                              : txn_manager_.Rollback(&session->txn_session());
-    memory_.EndDuration(MiDuration::kPerTransaction);
+    session->memory().EndDuration(MiDuration::kPerTransaction);
     if (status.ok()) status = end;
   }
   return status;
@@ -923,7 +923,7 @@ Status Server::ExecUpdate(ServerSession* session, const sql::UpdateStmt& stmt,
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
                              : txn_manager_.Rollback(&session->txn_session());
-    memory_.EndDuration(MiDuration::kPerTransaction);
+    session->memory().EndDuration(MiDuration::kPerTransaction);
     if (status.ok()) status = end;
   }
   return status;

@@ -11,6 +11,64 @@
 
 namespace grtdb {
 
+namespace {
+
+// Holds the statement gate for the duration of one statement: DDL runs
+// exclusive (it mutates the catalog/type/UDR registries every concurrent
+// reader walks lock-free), everything else shared. Re-entrant per thread
+// (EXPLAIN PROFILE re-enters ExecuteStatement for its inner statement):
+// only the outermost frame acquires, so a nested statement runs under the
+// outer statement's grip.
+class StatementGateScope {
+ public:
+  StatementGateScope(std::shared_mutex* gate, bool exclusive)
+      : gate_(depth_ == 0 ? gate : nullptr), exclusive_(exclusive) {
+    ++depth_;
+    if (gate_ == nullptr) return;
+    if (exclusive_) {
+      gate_->lock();
+    } else {
+      gate_->lock_shared();
+    }
+  }
+  ~StatementGateScope() {
+    --depth_;
+    if (gate_ == nullptr) return;
+    if (exclusive_) {
+      gate_->unlock();
+    } else {
+      gate_->unlock_shared();
+    }
+  }
+
+  StatementGateScope(const StatementGateScope&) = delete;
+  StatementGateScope& operator=(const StatementGateScope&) = delete;
+
+ private:
+  static thread_local int depth_;
+  std::shared_mutex* gate_;
+  bool exclusive_;
+};
+
+thread_local int StatementGateScope::depth_ = 0;
+
+// Statements that mutate shared definition state (catalog, types, UDRs,
+// access methods) and therefore need the gate exclusively.
+bool IsDefinitionStatement(const sql::Statement& stmt) {
+  return std::holds_alternative<sql::CreateTableStmt>(stmt) ||
+         std::holds_alternative<sql::DropTableStmt>(stmt) ||
+         std::holds_alternative<sql::CreateFunctionStmt>(stmt) ||
+         std::holds_alternative<sql::DropFunctionStmt>(stmt) ||
+         std::holds_alternative<sql::CreateAccessMethodStmt>(stmt) ||
+         std::holds_alternative<sql::DropAccessMethodStmt>(stmt) ||
+         std::holds_alternative<sql::CreateOpclassStmt>(stmt) ||
+         std::holds_alternative<sql::DropOpclassStmt>(stmt) ||
+         std::holds_alternative<sql::CreateIndexStmt>(stmt) ||
+         std::holds_alternative<sql::DropIndexStmt>(stmt);
+}
+
+}  // namespace
+
 Server::Server(const ServerOptions& options)
     : options_(options),
       lock_manager_(options.lock_timeout),
@@ -91,24 +149,47 @@ Status Server::AmCatalogDelete(const std::string& am,
 }
 
 ServerSession* Server::CreateSession() {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  sessions_.push_back(std::make_unique<ServerSession>(next_session_id_++));
-  return sessions_.back().get();
+  ServerSession* session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.push_back(std::make_unique<ServerSession>(next_session_id_++));
+    session = sessions_.back().get();
+  }
+  // Named memory is server-wide; pointer stores into it are audited
+  // against every live session's allocator (see NamedStorePointer).
+  named_memory_.AddDurationSource(&session->memory());
+  return session;
 }
 
 Status Server::CloseSession(ServerSession* session) {
-  if (session->txn_session().current_txn() != nullptr) {
-    GRTDB_RETURN_IF_ERROR(txn_manager_.Rollback(&session->txn_session()));
-  }
-  memory_.EndDuration(MiDuration::kPerSession);
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-    if (it->get() == session) {
-      sessions_.erase(it);
-      return Status::OK();
+  // Registration is checked FIRST: closing a foreign or already-closed
+  // session must not roll back or free anything. Unregistering while
+  // keeping ownership also means a racing CloseSession for the same
+  // pointer cannot double-tear-down.
+  std::unique_ptr<ServerSession> owned;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->get() == session) {
+        owned = std::move(*it);
+        sessions_.erase(it);
+        break;
+      }
     }
   }
-  return Status::NotFound("session not registered");
+  if (owned == nullptr) return Status::NotFound("session not registered");
+  Status status = Status::OK();
+  if (owned->txn_session().current_txn() != nullptr) {
+    status = txn_manager_.Rollback(&owned->txn_session());
+    owned->memory().EndDuration(MiDuration::kPerTransaction);
+  }
+  // Duration teardown is scoped to the closing session's allocator —
+  // other sessions' PER_SESSION memory stays live.
+  owned->memory().EndDuration(MiDuration::kPerFunction);
+  owned->memory().EndDuration(MiDuration::kPerStatement);
+  owned->memory().EndDuration(MiDuration::kPerSession);
+  named_memory_.RemoveDurationSource(&owned->memory());
+  return status;
 }
 
 std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
@@ -428,8 +509,10 @@ Status Server::Execute(ServerSession* session, const std::string& sql,
   slow_query_log_.MaybeRecord(sql, obs::TicksToNs(obs::Ticks() - start_ticks),
                               session->profile());
   // PER_FUNCTION and PER_STATEMENT memory die with the statement (§6.2).
-  memory_.EndDuration(MiDuration::kPerFunction);
-  memory_.EndDuration(MiDuration::kPerStatement);
+  // Teardown is scoped to the executing session's allocator, so two
+  // concurrent statements cannot free each other's blocks.
+  session->memory().EndDuration(MiDuration::kPerFunction);
+  session->memory().EndDuration(MiDuration::kPerStatement);
   return status;
 }
 
@@ -439,9 +522,13 @@ Status Server::ExecuteScript(ServerSession* session,
   GRTDB_RETURN_IF_ERROR(sql::Parser::ParseScript(script, &statements));
   for (const sql::Statement& stmt : statements) {
     out->Clear();
-    GRTDB_RETURN_IF_ERROR(ExecuteStatement(session, stmt, out));
-    memory_.EndDuration(MiDuration::kPerFunction);
-    memory_.EndDuration(MiDuration::kPerStatement);
+    Status status = ExecuteStatement(session, stmt, out);
+    // Durations end for the failing statement too — Execute ends them
+    // unconditionally, and a mid-script error must not leak every
+    // per-statement block allocated before it.
+    session->memory().EndDuration(MiDuration::kPerFunction);
+    session->memory().EndDuration(MiDuration::kPerStatement);
+    GRTDB_RETURN_IF_ERROR(status);
   }
   return Status::OK();
 }
@@ -502,13 +589,13 @@ Status Server::ExecuteStatement(ServerSession* session,
     Status operator()(const sql::CommitWorkStmt&) {
       GRTDB_RETURN_IF_ERROR(
           server->txn_manager_.Commit(&session->txn_session()));
-      server->memory_.EndDuration(MiDuration::kPerTransaction);
+      session->memory().EndDuration(MiDuration::kPerTransaction);
       return Status::OK();
     }
     Status operator()(const sql::RollbackWorkStmt&) {
       GRTDB_RETURN_IF_ERROR(
           server->txn_manager_.Rollback(&session->txn_session()));
-      server->memory_.EndDuration(MiDuration::kPerTransaction);
+      session->memory().EndDuration(MiDuration::kPerTransaction);
       return Status::OK();
     }
     Status operator()(const sql::SetStmt& s) {
@@ -536,6 +623,9 @@ Status Server::ExecuteStatement(ServerSession* session,
       return server->ExecExportMetrics(out);
     }
   };
+  // Definition statements exclude every other session; DML and queries
+  // run concurrently (shared) and settle conflicts in the lock manager.
+  StatementGateScope gate(&statement_gate_, IsDefinitionStatement(stmt));
   // Fresh per-statement profile, installed as this thread's attribution
   // point so the node cache and lock manager can charge work to it. An
   // EXPLAIN PROFILE wrapper re-enters here for its inner statement; the
@@ -765,7 +855,7 @@ Status Server::ExecDropIndex(ServerSession* session,
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
                              : txn_manager_.Rollback(&session->txn_session());
-    memory_.EndDuration(MiDuration::kPerTransaction);
+    session->memory().EndDuration(MiDuration::kPerTransaction);
     if (status.ok()) status = end;
   }
   return status;
@@ -918,7 +1008,7 @@ Status Server::ExecCheckIndex(ServerSession* session,
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
                              : txn_manager_.Rollback(&session->txn_session());
-    memory_.EndDuration(MiDuration::kPerTransaction);
+    session->memory().EndDuration(MiDuration::kPerTransaction);
     if (status.ok()) status = end;
   }
   return status;
@@ -984,7 +1074,7 @@ Status Server::ExecUpdateStatistics(ServerSession* session,
   if (implicit) {
     Status end = status.ok() ? txn_manager_.Commit(&session->txn_session())
                              : txn_manager_.Rollback(&session->txn_session());
-    memory_.EndDuration(MiDuration::kPerTransaction);
+    session->memory().EndDuration(MiDuration::kPerTransaction);
     if (status.ok()) status = end;
   }
   return status;
@@ -1100,7 +1190,7 @@ Status Server::ExecCreateIndex(ServerSession* session,
     catalog_.DropIndex(stmt.name);
     if (implicit) {
       txn_manager_.Rollback(&session->txn_session());
-      memory_.EndDuration(MiDuration::kPerTransaction);
+      session->memory().EndDuration(MiDuration::kPerTransaction);
     }
     return status;
   };
@@ -1150,7 +1240,7 @@ Status Server::ExecCreateIndex(ServerSession* session,
 
   if (implicit) {
     Status end = txn_manager_.Commit(&session->txn_session());
-    memory_.EndDuration(MiDuration::kPerTransaction);
+    session->memory().EndDuration(MiDuration::kPerTransaction);
     if (!end.ok()) return end;
   }
   out->messages.push_back("index '" + stmt.name + "' created using " +

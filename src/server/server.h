@@ -1,10 +1,12 @@
 #ifndef GRTDB_SERVER_SERVER_H_
 #define GRTDB_SERVER_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -32,8 +34,9 @@ namespace grtdb {
 // per-transaction current time (paper §5.4).
 enum class CurrentTimeMode { kPerStatement, kPerTransaction };
 
-// A client session: transaction state plus server-side session settings
-// and the purpose-function call log tests and bench T2 read.
+// A client session: transaction state plus server-side session settings,
+// the session's duration-scoped allocator, and the purpose-function call
+// log tests and bench T2 read.
 class ServerSession {
  public:
   explicit ServerSession(SessionId id) : session_(id) {}
@@ -44,16 +47,47 @@ class ServerSession {
   Session& txn_session() { return session_; }
   SessionId id() const { return session_.id(); }
 
+  // The session's duration-scoped allocator (§6.2). Durations are a
+  // *session-lifetime* concept: PER_STATEMENT memory dies with this
+  // session's statement, not with whichever statement finishes first
+  // server-wide. Two sessions executing concurrently therefore must not
+  // share an arena — each ends its own durations on its own allocator.
+  MiMemory& memory() { return memory_; }
+
   bool explain() const { return explain_; }
   void set_explain(bool on) { explain_ = on; }
 
   CurrentTimeMode time_mode() const { return time_mode_; }
   void set_time_mode(CurrentTimeMode mode) { time_mode_ = mode; }
 
-  // Purpose-function invocations, in order ("grt_open", "grt_insert", ...).
+  // Recent purpose-function invocations, in order ("grt_open",
+  // "grt_insert", ...). Bounded: a long-lived connection must not grow
+  // session state on every call, so once the log reaches
+  // kPurposeLogCapacity entries the oldest half is dropped (counted in
+  // purpose_log_dropped). Sequence consumers (the Fig. 6 tests, EXPLAIN-
+  // style tooling) clear per statement and never get near the cap;
+  // aggregate consumers read purpose_counts(), which stays exact.
+  static constexpr size_t kPurposeLogCapacity = 4096;
   const std::vector<std::string>& purpose_log() const { return purpose_log_; }
-  void ClearPurposeLog() { purpose_log_.clear(); }
+  // Exact per-function call totals since the last ClearPurposeLog,
+  // unaffected by log truncation (bounded by the purpose-fn vocabulary).
+  const std::map<std::string, uint64_t>& purpose_counts() const {
+    return purpose_counts_;
+  }
+  uint64_t purpose_log_dropped() const { return purpose_log_dropped_; }
+  void ClearPurposeLog() {
+    purpose_log_.clear();
+    purpose_counts_.clear();
+    purpose_log_dropped_ = 0;
+  }
   void LogPurposeCall(const std::string& name) {
+    ++purpose_counts_[name];
+    if (purpose_log_.size() >= kPurposeLogCapacity) {
+      // Drop the oldest half in one move: amortized O(1) per call.
+      purpose_log_.erase(purpose_log_.begin(),
+                         purpose_log_.begin() + kPurposeLogCapacity / 2);
+      purpose_log_dropped_ += kPurposeLogCapacity / 2;
+    }
     purpose_log_.push_back(name);
   }
 
@@ -62,9 +96,12 @@ class ServerSession {
 
  private:
   Session session_;
+  MiMemory memory_;
   bool explain_ = false;
   CurrentTimeMode time_mode_ = CurrentTimeMode::kPerStatement;
   std::vector<std::string> purpose_log_;
+  std::map<std::string, uint64_t> purpose_counts_;
+  uint64_t purpose_log_dropped_ = 0;
   obs::QueryProfile profile_;
 };
 
@@ -99,6 +136,10 @@ class Server {
   TypeRegistry& types() { return types_; }
   UdrRegistry& udrs() { return udrs_; }
   BladeLibraryRegistry& blade_libraries() { return blade_libraries_; }
+  // The server-lifetime allocator. Statement/transaction/session durations
+  // belong to a *session* (ServerSession::memory()) — this arena is only
+  // for allocations that genuinely outlive every session, and no duration
+  // is ever ended on it by the execution path.
   MiMemory& memory() { return memory_; }
   MiNamedMemory& named_memory() { return named_memory_; }
   TraceFacility& trace() { return trace_; }
@@ -128,9 +169,17 @@ class Server {
   std::vector<IndexStatsReport> AllIndexStats() const;
 
   // ---- simulation clock (granularity: days, §5.1) -----------------------
-  int64_t current_time() const { return current_time_; }
-  void set_current_time(int64_t ct) { current_time_ = ct; }
-  void AdvanceTime(int64_t days) { current_time_ += days; }
+  // Atomic: sessions executing concurrently all read it, and SET
+  // CURRENT_TIME runs under the shared statement gate.
+  int64_t current_time() const {
+    return current_time_.load(std::memory_order_relaxed);
+  }
+  void set_current_time(int64_t ct) {
+    current_time_.store(ct, std::memory_order_relaxed);
+  }
+  void AdvanceTime(int64_t days) {
+    current_time_.fetch_add(days, std::memory_order_relaxed);
+  }
 
   // ---- storage spaces ("onspaces", §4 Step 5) ---------------------------
   Status CreateSbspace(const std::string& name);
@@ -145,14 +194,21 @@ class Server {
   Status AmCatalogDelete(const std::string& am, const std::string& index);
 
   // ---- sessions and execution ------------------------------------------
+  // Sessions may execute concurrently, one thread per session (the net
+  // front end drives exactly that shape). A single session is not
+  // thread-safe: its statements must be issued from one thread at a time.
   ServerSession* CreateSession();
+  // Rolls back any open transaction, ends the session's remaining memory
+  // durations (on that session's allocator only), and destroys it. Closing
+  // a session this server does not own is NotFound and mutates nothing.
   Status CloseSession(ServerSession* session);
 
   // Executes one statement.
   Status Execute(ServerSession* session, const std::string& sql,
                  ResultSet* out);
   // Executes a ;-separated script, stopping at the first error; `out`
-  // holds the last statement's result.
+  // holds the last statement's result. Per-statement durations are ended
+  // after every statement, including the one that failed.
   Status ExecuteScript(ServerSession* session, const std::string& script,
                        ResultSet* out);
 
@@ -266,7 +322,7 @@ class Server {
   LockManager lock_manager_;
   TransactionManager txn_manager_;
   Catalog catalog_;
-  int64_t current_time_;
+  std::atomic<int64_t> current_time_;
   std::map<std::string, std::unique_ptr<MemorySpace>> space_backends_;
   std::map<std::string, std::unique_ptr<Sbspace>> sbspaces_;
   mutable std::mutex am_catalog_mu_;
@@ -277,6 +333,12 @@ class Server {
   std::vector<std::unique_ptr<ServerSession>> sessions_;
   std::mutex sessions_mu_;
   uint64_t next_session_id_ = 1;
+  // Statement gate for concurrent sessions: DDL (and anything else that
+  // mutates the catalog/type/UDR registries) runs exclusive; DML and
+  // queries run shared, so read-only sessions execute genuinely in
+  // parallel. Row/table/LO conflicts between concurrent DML statements
+  // are the lock manager's job, not the gate's.
+  mutable std::shared_mutex statement_gate_;
 };
 
 }  // namespace grtdb

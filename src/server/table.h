@@ -1,6 +1,7 @@
 #ifndef GRTDB_SERVER_TABLE_H_
 #define GRTDB_SERVER_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -59,8 +60,11 @@ class Table {
   Status Update(RecordId id, Row row);
   Status Delete(RecordId id);
 
-  // Live rows (excludes deleted slots).
-  uint64_t row_count() const { return live_rows_; }
+  // Live rows (excludes deleted slots). Atomic so the sys-view path can
+  // read a count while another session's locked DML is mid-mutation.
+  uint64_t row_count() const {
+    return live_rows_.load(std::memory_order_relaxed);
+  }
 
   // Calls fn(id, row) for each live row; return false to stop.
   Status Scan(const std::function<bool(RecordId, const Row&)>& fn) const;
@@ -72,7 +76,7 @@ class Table {
   std::vector<ColumnDef> columns_;
   uint32_t fragment_capacity_;
   std::vector<Fragment> fragments_;
-  uint64_t live_rows_ = 0;
+  std::atomic<uint64_t> live_rows_{0};
 };
 
 }  // namespace grtdb

@@ -1,0 +1,297 @@
+#include "net/net_server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/net_client.h"
+#include "net/protocol.h"
+
+namespace grtdb {
+namespace net {
+namespace {
+
+// ------------------------------------------------------------ protocol ---
+
+TEST(Protocol, RequestRoundTrip) {
+  Request in{Opcode::kScript, "SELECT 1; SELECT 2;"};
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(in), &out).ok());
+  EXPECT_EQ(out.opcode, Opcode::kScript);
+  EXPECT_EQ(out.sql, in.sql);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response in;
+  in.status = Status::LockTimeout("lock on 't'");
+  in.result.columns = {"a", "b"};
+  in.result.rows = {{"1", "x"}, {"2", ""}};
+  in.result.messages = {"PLAN: sequential scan"};
+  in.result.affected = 7;
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(in), &out).ok());
+  EXPECT_TRUE(out.status.IsLockTimeout());
+  EXPECT_EQ(out.status.message(), "lock on 't'");
+  EXPECT_EQ(out.result.columns, in.result.columns);
+  EXPECT_EQ(out.result.rows, in.result.rows);
+  EXPECT_EQ(out.result.messages, in.result.messages);
+  EXPECT_EQ(out.result.affected, 7u);
+}
+
+TEST(Protocol, EveryStatusCodeSurvivesTheWire) {
+  const Status statuses[] = {
+      Status::OK(),           Status::NotFound("m"),
+      Status::InvalidArgument("m"), Status::IOError("m"),
+      Status::Corruption("m"), Status::NotSupported("m"),
+      Status::AlreadyExists("m"), Status::LockTimeout("m"),
+      Status::Deadlock("m"),  Status::Aborted("m"),
+      Status::Internal("m"),
+  };
+  for (const Status& status : statuses) {
+    Response in;
+    in.status = status;
+    Response out;
+    ASSERT_TRUE(DecodeResponse(EncodeResponse(in), &out).ok());
+    EXPECT_EQ(out.status.code(), status.code()) << status.ToString();
+    EXPECT_EQ(out.status.message(), status.message());
+  }
+}
+
+TEST(Protocol, MalformedPayloadsAreRejected) {
+  Request request;
+  EXPECT_TRUE(DecodeRequest("", &request).IsInvalidArgument());
+  // Opcode but a sql length pointing past the end.
+  std::string bad("\x01\xff\xff\xff\x7f", 5);
+  EXPECT_TRUE(DecodeRequest(bad, &request).IsInvalidArgument());
+  // Unknown opcode.
+  std::string unknown = EncodeRequest(Request{Opcode::kExecute, "x"});
+  unknown[0] = 99;
+  EXPECT_TRUE(DecodeRequest(unknown, &request).IsInvalidArgument());
+  // Trailing garbage after a valid request.
+  std::string trailing = EncodeRequest(Request{Opcode::kExecute, "x"});
+  trailing += "junk";
+  EXPECT_TRUE(DecodeRequest(trailing, &request).IsInvalidArgument());
+
+  Response response;
+  EXPECT_TRUE(DecodeResponse("", &response).IsInvalidArgument());
+  std::string truncated = EncodeResponse(Response{});
+  truncated.resize(truncated.size() - 1);
+  EXPECT_TRUE(DecodeResponse(truncated, &response).IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- end-to-end ---
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    // Short enough that the conflict test's timeout path is fast.
+    options.lock_timeout = std::chrono::milliseconds(100);
+    server_ = std::make_unique<Server>(options);
+    NetServerOptions net_options;
+    net_options.num_workers = 4;
+    net_ = std::make_unique<NetServer>(server_.get(), net_options);
+    ASSERT_TRUE(net_->Start().ok());
+  }
+
+  void TearDown() override { net_->Stop(); }
+
+  Status Connect(NetClient* client) {
+    return client->Connect("127.0.0.1", net_->port());
+  }
+
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<NetServer> net_;
+};
+
+TEST_F(NetTest, ExecuteOverTheWire) {
+  NetClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  ResultSet result;
+  ASSERT_TRUE(client.Execute("CREATE TABLE t (a int, b text)", &result).ok());
+  ASSERT_TRUE(client.Execute("INSERT INTO t VALUES (1, 'x')", &result).ok());
+  EXPECT_EQ(result.affected, 1u);
+  ASSERT_TRUE(
+      client.ExecuteScript("INSERT INTO t VALUES (2, 'y'); "
+                           "INSERT INTO t VALUES (3, 'z');",
+                           &result)
+          .ok());
+  ASSERT_TRUE(client.Execute("SELECT a, b FROM t WHERE a > 1", &result).ok());
+  ASSERT_EQ(result.columns.size(), 2u);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][1], "y");
+}
+
+TEST_F(NetTest, ServerErrorsComeBackTyped) {
+  NetClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ResultSet result;
+  EXPECT_TRUE(client.Execute("SELECT * FROM missing", &result).IsNotFound());
+  ASSERT_TRUE(client.Execute("CREATE TABLE t (a int)", &result).ok());
+  EXPECT_TRUE(
+      client.Execute("CREATE TABLE t (a int)", &result).IsAlreadyExists());
+  // The connection survives server-side errors.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(NetTest, DisconnectEndsTransactionAndReleasesLocks) {
+  {
+    NetClient writer;
+    ASSERT_TRUE(Connect(&writer).ok());
+    ResultSet result;
+    ASSERT_TRUE(writer.Execute("CREATE TABLE t (a int)", &result).ok());
+    ASSERT_TRUE(writer
+                    .ExecuteScript("BEGIN WORK; "
+                                   "INSERT INTO t VALUES (1); "
+                                   "INSERT INTO t VALUES (2);",
+                                   &result)
+                    .ok());
+    // Drop the connection with the transaction still open: it holds the
+    // table's X lock, which only the server-side rollback can release.
+  }
+  NetClient reader;
+  ASSERT_TRUE(Connect(&reader).ok());
+  ResultSet result;
+  // The server rolls the session back when the worker notices the EOF;
+  // until then the abandoned transaction still holds the table lock, so
+  // allow a few timeout rounds before insisting on an answer. Without
+  // the disconnect rollback this would time out forever.
+  Status status;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    status = reader.Execute("SELECT COUNT(*) FROM t", &result);
+    if (!status.IsLockTimeout()) break;
+  }
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // And the freed lock is grabbable for new writes.
+  ASSERT_TRUE(reader
+                  .ExecuteScript("BEGIN WORK; INSERT INTO t VALUES (3); "
+                                 "COMMIT WORK;",
+                                 &result)
+                  .ok());
+}
+
+TEST_F(NetTest, CommitIsVisibleAcrossSessions) {
+  NetClient a;
+  NetClient b;
+  ASSERT_TRUE(Connect(&a).ok());
+  ASSERT_TRUE(Connect(&b).ok());
+  ResultSet result;
+  ASSERT_TRUE(a.Execute("CREATE TABLE t (a int)", &result).ok());
+  ASSERT_TRUE(a.ExecuteScript("BEGIN WORK; INSERT INTO t VALUES (42); "
+                              "COMMIT WORK;",
+                              &result)
+                  .ok());
+  ASSERT_TRUE(b.Execute("SELECT a FROM t", &result).ok());
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], "42");
+}
+
+TEST_F(NetTest, LockConflictTimesOutAcrossSessions) {
+  NetClient writer;
+  NetClient reader;
+  ASSERT_TRUE(Connect(&writer).ok());
+  ASSERT_TRUE(Connect(&reader).ok());
+  ResultSet result;
+  ASSERT_TRUE(writer.Execute("CREATE TABLE t (a int)", &result).ok());
+  // Writer holds the table's X lock in an open transaction...
+  ASSERT_TRUE(
+      writer.ExecuteScript("BEGIN WORK; INSERT INTO t VALUES (1);", &result)
+          .ok());
+  // ...so the reader's S acquisition must time out, as a typed status.
+  Status status = reader.Execute("SELECT COUNT(*) FROM t", &result);
+  EXPECT_TRUE(status.IsLockTimeout()) << status.ToString();
+  // After the writer commits, the reader goes through and sees the row.
+  ASSERT_TRUE(writer.Execute("COMMIT WORK", &result).ok());
+  ASSERT_TRUE(reader.Execute("SELECT COUNT(*) FROM t", &result).ok());
+  EXPECT_EQ(result.rows[0][0], "1");
+}
+
+TEST_F(NetTest, SetStateIsPerSession) {
+  NetClient a;
+  NetClient b;
+  ASSERT_TRUE(Connect(&a).ok());
+  ASSERT_TRUE(Connect(&b).ok());
+  ResultSet result;
+  ASSERT_TRUE(a.Execute("CREATE TABLE t (a int)", &result).ok());
+  // Session a turns EXPLAIN on; its SELECTs carry the plan message.
+  ASSERT_TRUE(a.Execute("SET EXPLAIN ON", &result).ok());
+  ASSERT_TRUE(a.Execute("SELECT * FROM t", &result).ok());
+  ASSERT_EQ(result.messages.size(), 1u);
+  EXPECT_EQ(result.messages[0], "PLAN: sequential scan");
+  // Session b never did, so its SELECTs stay quiet.
+  ASSERT_TRUE(b.Execute("SELECT * FROM t", &result).ok());
+  EXPECT_TRUE(result.messages.empty());
+}
+
+TEST_F(NetTest, ConcurrentSessionsInterleave) {
+  ResultSet setup;
+  NetClient admin;
+  ASSERT_TRUE(Connect(&admin).ok());
+  ASSERT_TRUE(admin.Execute("CREATE TABLE t (a int)", &setup).ok());
+  admin.Close();
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([this, w, &failures] {
+      NetClient client;
+      if (!Connect(&client).ok()) {
+        failures[w] = -1;
+        return;
+      }
+      ResultSet result;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Status status = client.ExecuteScript(
+            "BEGIN WORK; INSERT INTO t VALUES (" + std::to_string(w) +
+                "); COMMIT WORK;",
+            &result);
+        if (!status.ok()) {
+          // Contention outcomes are legitimate; anything else is not.
+          if (!status.IsLockTimeout() && !status.IsDeadlock()) {
+            failures[w] = -1;
+            return;
+          }
+          // A failed script leaves the explicit transaction open on this
+          // session; clear it before retrying.
+          client.Execute("ROLLBACK WORK", &result);
+          --i;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_EQ(failures[w], 0) << w;
+
+  NetClient check;
+  ASSERT_TRUE(Connect(&check).ok());
+  ResultSet result;
+  ASSERT_TRUE(check.Execute("SELECT COUNT(*) FROM t", &result).ok());
+  EXPECT_EQ(result.rows[0][0], std::to_string(kThreads * kOpsPerThread));
+}
+
+TEST_F(NetTest, StopUnblocksIdleConnections) {
+  NetClient idle;
+  ASSERT_TRUE(Connect(&idle).ok());
+  ASSERT_TRUE(idle.Ping().ok());
+  // Stop with the client parked in no request: the worker is blocked in
+  // ReadFrame until Stop shuts the connection down.
+  net_->Stop();
+  EXPECT_FALSE(idle.Ping().ok());
+}
+
+TEST_F(NetTest, OversizedFrameIsRejected) {
+  NetClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ResultSet result;
+  std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_TRUE(client.Execute(big, &result).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace grtdb

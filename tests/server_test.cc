@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <any>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/date.h"
@@ -411,6 +413,110 @@ TEST_F(ToyAmTest, MultiColumnIndexRejected) {
   EXPECT_TRUE(Exec("CREATE INDEX two ON nums(n toy_opclass, tag toy_opclass)"
                    " USING toy_am")
                   .IsNotSupported());
+}
+
+// ------------------------------------------- session-lifetime regressions --
+
+// A failing statement mid-script must still tear down the per-statement /
+// per-function durations of the statements that ran — the pre-fix code
+// returned early and leaked every per-statement block. The UDR allocates
+// per-statement memory from the executing session before the script hits
+// its failing statement.
+TEST_F(ServerTest, ExecuteScriptEndsDurationsOnFailure) {
+  BladeLibrary* library = server_.blade_libraries().Load("leak.bld");
+  library->Export(
+      "leak_alloc",
+      std::any(UdrFunction([](MiCallContext& ctx, std::span<const Value>)
+                               -> StatusOr<Value> {
+        void* p = ctx.session->memory().Alloc(MiDuration::kPerStatement, 64);
+        EXPECT_NE(p, nullptr);
+        return Value::Boolean(true);
+      })));
+  // Allocates per-statement memory, then fails the statement — the block
+  // is live at the moment the script's early-return path used to fire.
+  library->Export(
+      "leak_boom",
+      std::any(UdrFunction([](MiCallContext& ctx, std::span<const Value>)
+                               -> StatusOr<Value> {
+        void* p = ctx.session->memory().Alloc(MiDuration::kPerStatement, 64);
+        EXPECT_NE(p, nullptr);
+        return Status::Aborted("leak_boom");
+      })));
+  MustExec(
+      "CREATE FUNCTION LeakAlloc(int) RETURNING boolean "
+      "EXTERNAL NAME 'leak.bld(leak_alloc)' LANGUAGE c");
+  MustExec(
+      "CREATE FUNCTION LeakBoom(int) RETURNING boolean "
+      "EXTERNAL NAME 'leak.bld(leak_boom)' LANGUAGE c");
+  MustExec("CREATE TABLE lt (a int)");
+  MustExec("INSERT INTO lt VALUES (1)");
+
+  Status status = server_.ExecuteScript(
+      session_,
+      "SELECT * FROM lt WHERE LeakAlloc(a); "
+      "SELECT * FROM lt WHERE LeakBoom(a); "
+      "INSERT INTO lt VALUES (2);",
+      &result_);
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  // The duration-enforcement canaries: a leaked per-statement block would
+  // still be live on the session's allocator.
+  EXPECT_EQ(session_->memory().LiveBlocks(MiDuration::kPerStatement), 0u);
+  EXPECT_EQ(session_->memory().LiveBlocks(MiDuration::kPerFunction), 0u);
+  EXPECT_EQ(session_->memory().violation_count(), 0u);
+}
+
+// CloseSession must (a) refuse a session it never registered without
+// mutating any state, and (b) end PER_SESSION memory only for the closing
+// session — the pre-fix code rolled back and ended durations before the
+// registration check, and ended the shared allocator's PER_SESSION
+// duration, freeing every session's blocks.
+TEST(ServerSessions, CloseSessionIsScopedAndChecksRegistration) {
+  Server server;
+  ServerSession* a = server.CreateSession();
+  ServerSession* b = server.CreateSession();
+  void* a_block = a->memory().Alloc(MiDuration::kPerSession, 32);
+  void* b_block = b->memory().Alloc(MiDuration::kPerSession, 32);
+  ASSERT_NE(a_block, nullptr);
+  ASSERT_NE(b_block, nullptr);
+
+  // A session registered with a *different* server: NotFound, and the
+  // foreign session's transaction and memory stay untouched.
+  Server other;
+  ServerSession* foreign = other.CreateSession();
+  ResultSet result;
+  ASSERT_TRUE(other.Execute(foreign, "BEGIN WORK", &result).ok());
+  EXPECT_TRUE(server.CloseSession(foreign).IsNotFound());
+  EXPECT_NE(foreign->txn_session().current_txn(), nullptr);
+  ASSERT_TRUE(other.Execute(foreign, "ROLLBACK WORK", &result).ok());
+  ASSERT_TRUE(other.CloseSession(foreign).ok());
+
+  // Closing a ends a's PER_SESSION memory — and only a's: b's block is
+  // still live afterwards.
+  EXPECT_TRUE(server.CloseSession(a).ok());
+  EXPECT_EQ(b->memory().LiveBlocks(MiDuration::kPerSession), 1u);
+  EXPECT_EQ(b->memory().violation_count(), 0u);
+  EXPECT_TRUE(server.CloseSession(b).ok());
+}
+
+// The per-session purpose-call log is bounded; exact totals live in
+// purpose_counts() (what the T2 bench aggregates), and the drop counter
+// accounts for every discarded entry.
+TEST(ServerSessions, PurposeLogIsBounded) {
+  Server server;
+  ServerSession* session = server.CreateSession();
+  const size_t total = 3 * ServerSession::kPurposeLogCapacity;
+  for (size_t i = 0; i < total; ++i) session->LogPurposeCall("am_getnext");
+  EXPECT_LE(session->purpose_log().size(), ServerSession::kPurposeLogCapacity);
+  EXPECT_EQ(session->purpose_counts().at("am_getnext"), total);
+  EXPECT_EQ(session->purpose_log().size() + session->purpose_log_dropped(),
+            total);
+  // The retained tail is the most recent calls, oldest first.
+  EXPECT_EQ(session->purpose_log().back(), "am_getnext");
+  session->ClearPurposeLog();
+  EXPECT_TRUE(session->purpose_log().empty());
+  EXPECT_TRUE(session->purpose_counts().empty());
+  EXPECT_EQ(session->purpose_log_dropped(), 0u);
+  server.CloseSession(session);
 }
 
 }  // namespace

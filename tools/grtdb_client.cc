@@ -1,0 +1,144 @@
+// grtdb_client: line client for a grtdb_server. Usage:
+//   grtdb_client [--host ADDR] [--port PORT] [-e "SQL"] [-f FILE]
+//
+// With -e or -f it runs the given statement/script and exits non-zero on
+// the first server error (scripted mode). With neither it reads from
+// stdin: statements accumulate across lines until a trailing ';', then
+// round-trip as one request — so BEGIN WORK / COMMIT WORK typed on
+// separate lines share this connection's transaction, which is the whole
+// point of a session-oriented protocol.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "net/net_client.h"
+
+namespace {
+
+// Prints a ResultSet the way the embedded examples do: fixed-width table
+// when there are columns, then messages, then an affected-rows line.
+void PrintResult(const grtdb::ResultSet& result) {
+  if (!result.columns.empty()) {
+    std::fputs(result.ToString().c_str(), stdout);
+    std::printf("(%zu row%s)\n", result.rows.size(),
+                result.rows.size() == 1 ? "" : "s");
+  }
+  for (const std::string& message : result.messages) {
+    std::printf("%s\n", message.c_str());
+  }
+  if (result.affected > 0 && result.columns.empty()) {
+    std::printf("affected %llu row%s\n",
+                static_cast<unsigned long long>(result.affected),
+                result.affected == 1 ? "" : "s");
+  }
+}
+
+// Runs one request; returns false on a server-reported error.
+bool RunStatement(grtdb::net::NetClient* client, const std::string& sql,
+                  bool script) {
+  grtdb::ResultSet result;
+  grtdb::Status status = script ? client->ExecuteScript(sql, &result)
+                                : client->Execute(sql, &result);
+  PrintResult(result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool BlankOrComment(const std::string& line) {
+  size_t i = line.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos) return true;
+  return line.compare(i, 2, "--") == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string inline_sql;
+  std::string script_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "grtdb_client: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "-e") {
+      inline_sql = next();
+    } else if (arg == "-f") {
+      script_file = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: grtdb_client [--host ADDR] --port PORT "
+                   "[-e \"SQL\"] [-f FILE]\n");
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "grtdb_client: --port is required\n");
+    return 2;
+  }
+
+  grtdb::net::NetClient client;
+  grtdb::Status status = client.Connect(host, port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "grtdb_client: connect: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  if (!inline_sql.empty()) {
+    return RunStatement(&client, inline_sql, /*script=*/true) ? 0 : 1;
+  }
+  if (!script_file.empty()) {
+    std::ifstream in(script_file);
+    if (!in) {
+      std::fprintf(stderr, "grtdb_client: cannot open %s\n",
+                   script_file.c_str());
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    return RunStatement(&client, script.str(), /*script=*/true) ? 0 : 1;
+  }
+
+  // Interactive: accumulate until ';' ends a line, keep going on errors.
+  bool tty = true;
+  std::string pending;
+  std::string line;
+  if (tty) std::printf("grtdb> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (pending.empty() && BlankOrComment(line)) {
+      if (tty) std::printf("grtdb> ");
+      std::fflush(stdout);
+      continue;
+    }
+    pending += line;
+    pending += '\n';
+    size_t last = line.find_last_not_of(" \t\r");
+    if (last != std::string::npos && line[last] == ';') {
+      if (pending == "quit;\n" || pending == "exit;\n") break;
+      RunStatement(&client, pending, /*script=*/true);
+      pending.clear();
+    }
+    if (tty) std::printf(pending.empty() ? "grtdb> " : "    -> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// grtdb_server: standalone daemon — an in-process Server with all four
+// DataBlades registered behind the TCP front end. Runs until SIGINT or
+// SIGTERM. Usage:
+//   grtdb_server [--host ADDR] [--port PORT] [--workers N] [--init FILE]
+//
+// --port 0 (the default) picks an ephemeral port and prints it, which is
+// what the smoke tests and the quickstart use; --init runs a SQL script
+// through an embedded session before the listener opens, so the daemon
+// can come up with schema and data already in place.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <semaphore>
+#include <sstream>
+#include <string>
+
+#include "blades/btree_blade.h"
+#include "blades/gist_blade.h"
+#include "blades/grtree_blade.h"
+#include "blades/rstar_blade.h"
+#include "net/net_server.h"
+
+namespace {
+
+// Binary semaphore posted from the signal handler: the only
+// async-signal-safe way here to wake the main thread.
+std::binary_semaphore g_shutdown(0);
+
+void HandleSignal(int) { g_shutdown.release(); }
+
+int Fail(const char* what, const grtdb::Status& status) {
+  std::fprintf(stderr, "grtdb_server: %s: %s\n", what,
+               status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  grtdb::net::NetServerOptions options;
+  std::string init_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "grtdb_server: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--workers") {
+      options.num_workers = std::atoi(next());
+    } else if (arg == "--init") {
+      init_file = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: grtdb_server [--host ADDR] [--port PORT] "
+                   "[--workers N] [--init FILE]\n");
+      return 2;
+    }
+  }
+
+  grtdb::Server server;
+  grtdb::Status status = grtdb::RegisterGRTreeBlade(&server);
+  if (status.ok()) status = grtdb::RegisterRStarBlade(&server);
+  if (status.ok()) status = grtdb::RegisterBtreeBlade(&server);
+  if (status.ok()) status = grtdb::RegisterGistBlade(&server);
+  if (!status.ok()) return Fail("blade registration failed", status);
+
+  if (!init_file.empty()) {
+    std::ifstream in(init_file);
+    if (!in) {
+      std::fprintf(stderr, "grtdb_server: cannot open %s\n",
+                   init_file.c_str());
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    grtdb::ServerSession* session = server.CreateSession();
+    grtdb::ResultSet result;
+    status = server.ExecuteScript(session, script.str(), &result);
+    server.CloseSession(session);
+    if (!status.ok()) return Fail("init script failed", status);
+  }
+
+  grtdb::net::NetServer net(&server, options);
+  status = net.Start();
+  if (!status.ok()) return Fail("listen failed", status);
+  std::printf("grtdb_server: listening on %s:%u\n", options.host.c_str(),
+              net.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  g_shutdown.acquire();
+
+  std::printf("grtdb_server: shutting down\n");
+  net.Stop();
+  return 0;
+}
