@@ -70,15 +70,42 @@ Status NetClient::RoundTrip(const Request& request, ResultSet* out) {
 }
 
 Status NetClient::Execute(const std::string& sql, ResultSet* out) {
-  return RoundTrip(Request{Opcode::kExecute, sql}, out);
+  Request request;
+  request.opcode = Opcode::kExecute;
+  request.sql = sql;
+  return RoundTrip(request, out);
 }
 
 Status NetClient::ExecuteScript(const std::string& sql, ResultSet* out) {
-  return RoundTrip(Request{Opcode::kScript, sql}, out);
+  Request request;
+  request.opcode = Opcode::kScript;
+  request.sql = sql;
+  return RoundTrip(request, out);
 }
 
 Status NetClient::Ping() {
-  return RoundTrip(Request{Opcode::kPing, ""}, nullptr);
+  Request request;
+  request.opcode = Opcode::kPing;
+  return RoundTrip(request, nullptr);
+}
+
+Status NetClient::Prepare(const std::string& name, const std::string& sql,
+                          ResultSet* out) {
+  Request request;
+  request.opcode = Opcode::kPrepare;
+  request.sql = sql;
+  request.stmt_name = name;
+  return RoundTrip(request, out);
+}
+
+Status NetClient::ExecutePrepared(const std::string& name,
+                                  const std::vector<sql::Literal>& params,
+                                  ResultSet* out) {
+  Request request;
+  request.opcode = Opcode::kExecutePrepared;
+  request.stmt_name = name;
+  request.params = params;
+  return RoundTrip(request, out);
 }
 
 }  // namespace net

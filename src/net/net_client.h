@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "net/protocol.h"
 #include "server/result.h"
+#include "sql/ast.h"
 
 namespace grtdb {
 namespace net {
@@ -33,6 +35,16 @@ class NetClient {
   Status Execute(const std::string& sql, ResultSet* out);
   Status ExecuteScript(const std::string& sql, ResultSet* out);
   Status Ping();
+
+  // Server-side prepared statements. Prepare registers `sql` (with `?`
+  // placeholders) under `name` in this connection's session;
+  // ExecutePrepared binds the parameters and runs it. Names live until
+  // DEALLOCATE or disconnect.
+  Status Prepare(const std::string& name, const std::string& sql,
+                 ResultSet* out);
+  Status ExecutePrepared(const std::string& name,
+                         const std::vector<sql::Literal>& params,
+                         ResultSet* out);
 
  private:
   Status RoundTrip(const Request& request, ResultSet* out);

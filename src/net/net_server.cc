@@ -187,9 +187,33 @@ void NetServer::ServeConnection(int fd) {
       case Opcode::kPing:
         response.status = Status::OK();
         break;
+      case Opcode::kPrepare:
+        response.status = server_->Prepare(session, request.stmt_name,
+                                           request.sql, &response.result);
+        break;
+      case Opcode::kExecutePrepared:
+        response.status = server_->ExecutePrepared(
+            session, request.stmt_name, request.params, &response.result);
+        break;
     }
     requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (!WriteFrame(fd, EncodeResponse(response)).ok()) break;
+    std::string encoded = EncodeResponse(response);
+    if (encoded.size() > kMaxFrameBytes) {
+      // The result is too large to frame. WriteFrame would refuse it and
+      // previously the connection was silently dropped mid-conversation;
+      // instead tell the client what happened with a well-formed error
+      // frame. The statement already executed — framing is intact and the
+      // transaction state is whatever the statement left — so the
+      // connection stays usable.
+      response.status = Status::InvalidArgument(
+          "response of " + std::to_string(encoded.size()) +
+          " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+          "-byte frame limit; narrow the query");
+      response.result.Clear();
+      encoded = EncodeResponse(response);
+      oversized_responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!WriteFrame(fd, encoded).ok()) break;
   }
   // Disconnect is the session's end: CloseSession rolls back whatever
   // transaction the client left open and ends its memory durations.

@@ -55,6 +55,11 @@ class NetServer {
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  // Responses that exceeded kMaxFrameBytes and were replaced by an error
+  // frame (the connection survives; the count is for tests/monitoring).
+  uint64_t oversized_responses() const {
+    return oversized_responses_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop();
@@ -70,6 +75,7 @@ class NetServer {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> oversized_responses_{0};
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

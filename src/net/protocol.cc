@@ -104,30 +104,136 @@ class Reader {
 
 }  // namespace
 
+namespace {
+
+// Parameter kind tags for kExecutePrepared. Only concrete literal kinds
+// travel the wire — a kParam placeholder can never be its own binding.
+constexpr uint8_t kParamNull = 0;
+constexpr uint8_t kParamInteger = 1;
+constexpr uint8_t kParamFloat = 2;
+constexpr uint8_t kParamString = 3;
+
+void PutParam(std::string* out, const sql::Literal& param) {
+  switch (param.kind) {
+    case sql::Literal::Kind::kInteger:
+      PutU8(out, kParamInteger);
+      PutU64(out, static_cast<uint64_t>(param.integer));
+      return;
+    case sql::Literal::Kind::kFloat: {
+      PutU8(out, kParamFloat);
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(param.real));
+      std::memcpy(&bits, &param.real, sizeof(bits));
+      PutU64(out, bits);
+      return;
+    }
+    case sql::Literal::Kind::kString:
+      PutU8(out, kParamString);
+      PutString(out, param.text);
+      return;
+    case sql::Literal::Kind::kNull:
+    case sql::Literal::Kind::kParam:  // unreachable; encode as NULL
+      PutU8(out, kParamNull);
+      return;
+  }
+}
+
+bool GetParam(Reader* reader, sql::Literal* out) {
+  uint8_t kind = 0;
+  if (!reader->GetU8(&kind)) return false;
+  switch (kind) {
+    case kParamNull:
+      out->kind = sql::Literal::Kind::kNull;
+      return true;
+    case kParamInteger: {
+      uint64_t bits = 0;
+      if (!reader->GetU64(&bits)) return false;
+      out->kind = sql::Literal::Kind::kInteger;
+      out->integer = static_cast<int64_t>(bits);
+      return true;
+    }
+    case kParamFloat: {
+      uint64_t bits = 0;
+      if (!reader->GetU64(&bits)) return false;
+      out->kind = sql::Literal::Kind::kFloat;
+      std::memcpy(&out->real, &bits, sizeof(out->real));
+      return true;
+    }
+    case kParamString:
+      out->kind = sql::Literal::Kind::kString;
+      return reader->GetString(&out->text);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 std::string EncodeRequest(const Request& request) {
   std::string out;
   PutU8(&out, static_cast<uint8_t>(request.opcode));
   PutString(&out, request.sql);
+  if (request.opcode == Opcode::kPrepare) {
+    PutString(&out, request.stmt_name);
+  } else if (request.opcode == Opcode::kExecutePrepared) {
+    PutString(&out, request.stmt_name);
+    PutU32(&out, static_cast<uint32_t>(request.params.size()));
+    for (const sql::Literal& param : request.params) {
+      PutParam(&out, param);
+    }
+  }
   return out;
 }
 
 Status DecodeRequest(const std::string& payload, Request* out) {
   Reader reader(payload);
   uint8_t opcode = 0;
-  if (!reader.GetU8(&opcode) || !reader.GetString(&out->sql) ||
-      !reader.AtEnd()) {
+  out->stmt_name.clear();
+  out->params.clear();
+  if (!reader.GetU8(&opcode) || !reader.GetString(&out->sql)) {
     return Status::InvalidArgument("malformed request payload");
   }
   switch (opcode) {
     case static_cast<uint8_t>(Opcode::kExecute):
     case static_cast<uint8_t>(Opcode::kScript):
     case static_cast<uint8_t>(Opcode::kPing):
-      out->opcode = static_cast<Opcode>(opcode);
-      return Status::OK();
+      break;
+    case static_cast<uint8_t>(Opcode::kPrepare):
+      if (!reader.GetString(&out->stmt_name)) {
+        return Status::InvalidArgument("malformed request payload");
+      }
+      break;
+    case static_cast<uint8_t>(Opcode::kExecutePrepared): {
+      uint32_t count = 0;
+      if (!reader.GetString(&out->stmt_name) || !reader.GetU32(&count)) {
+        return Status::InvalidArgument("malformed request payload");
+      }
+      // Each parameter occupies at least its 1-byte tag; an honest count
+      // never exceeds what is left of the payload.
+      if (count > payload.size()) {
+        return Status::InvalidArgument("malformed request payload");
+      }
+      out->params.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        sql::Literal param;
+        if (!GetParam(&reader, &param)) {
+          return Status::InvalidArgument(
+              "malformed parameter " + std::to_string(i + 1) +
+              " in request payload");
+        }
+        out->params.push_back(std::move(param));
+      }
+      break;
+    }
     default:
       return Status::InvalidArgument("unknown opcode " +
                                      std::to_string(opcode));
   }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("malformed request payload");
+  }
+  out->opcode = static_cast<Opcode>(opcode);
+  return Status::OK();
 }
 
 std::string EncodeResponse(const Response& response) {

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "server/result.h"
+#include "sql/ast.h"
 
 namespace grtdb {
 namespace net {
@@ -15,6 +17,12 @@ namespace net {
 //   u32-LE payload-length | payload bytes
 //
 // Request payload:  u8 opcode, u32-LE sql-length, sql bytes.
+//   kPrepare additionally carries: string stmt_name (the sql field holds
+//   the statement text to prepare).
+//   kExecutePrepared carries: string stmt_name, u32-LE param count, then
+//   per parameter a u8 kind tag (0 null, 1 integer, 2 float, 3 string)
+//   followed by the value (u64 two's-complement, u64 IEEE-754 bits, or a
+//   string). The sql field stays empty.
 // Response payload: u8 status-code, string message, u64 affected,
 //                   string-list columns, row-list rows, string-list
 //                   messages — where string = u32-LE length + bytes and
@@ -28,14 +36,18 @@ namespace net {
 constexpr uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
 
 enum class Opcode : uint8_t {
-  kExecute = 1,  // one statement, Server::Execute
-  kScript = 2,   // semicolon-separated script, Server::ExecuteScript
-  kPing = 3,     // liveness probe, empty sql
+  kExecute = 1,          // one statement, Server::Execute
+  kScript = 2,           // semicolon-separated script, Server::ExecuteScript
+  kPing = 3,             // liveness probe, empty sql
+  kPrepare = 4,          // PREPARE stmt_name AS sql, Server::Prepare
+  kExecutePrepared = 5,  // EXECUTE stmt_name (params), Server::ExecutePrepared
 };
 
 struct Request {
   Opcode opcode = Opcode::kExecute;
-  std::string sql;
+  std::string sql;        // kExecute / kScript / kPrepare (statement text)
+  std::string stmt_name;  // kPrepare / kExecutePrepared
+  std::vector<sql::Literal> params;  // kExecutePrepared
 };
 
 struct Response {

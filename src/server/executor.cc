@@ -31,6 +31,13 @@ void FlattenConjuncts(const sql::Expr* expr,
 
 Status Server::CoerceLiteral(const sql::Literal& literal,
                              const TypeDesc& type, Value* out) const {
+  if (literal.kind == sql::Literal::Kind::kParam) {
+    // Callers resolve parameters (ResolveParam) before coercing; a kParam
+    // arriving here means a '?' outside a prepared execution.
+    return Status::InvalidArgument(
+        "'?' parameters are only valid in a prepared statement executed "
+        "with EXECUTE");
+  }
   switch (type.base) {
     case TypeDesc::Base::kInteger:
       if (literal.kind == sql::Literal::Kind::kInteger) {
@@ -106,25 +113,50 @@ Status Server::CoerceLiteral(const sql::Literal& literal,
                                  types_.NameOf(type));
 }
 
+Status Server::ResolveParam(const ServerSession* session,
+                            const sql::Literal& literal,
+                            const sql::Literal** out) const {
+  if (literal.kind != sql::Literal::Kind::kParam) {
+    *out = &literal;
+    return Status::OK();
+  }
+  const std::vector<sql::Literal>* params =
+      session == nullptr ? nullptr : session->bound_params();
+  if (params == nullptr || literal.param_index >= params->size()) {
+    return Status::InvalidArgument(
+        "parameter ?" + std::to_string(literal.param_index + 1) +
+        " is not bound; '?' placeholders only execute through EXECUTE");
+  }
+  *out = &(*params)[literal.param_index];
+  return Status::OK();
+}
+
 Status Server::EvaluateExpr(MiCallContext& ctx, const sql::Expr& expr,
                             const Table& table, const Row& row, Value* out) {
   switch (expr.kind) {
-    case sql::Expr::Kind::kLiteral:
-      switch (expr.literal.kind) {
+    case sql::Expr::Kind::kLiteral: {
+      // A '?' in a residual conjunct (or any expression an index did not
+      // absorb) resolves against the executing session's bindings.
+      const sql::Literal* literal = &expr.literal;
+      GRTDB_RETURN_IF_ERROR(ResolveParam(ctx.session, *literal, &literal));
+      switch (literal->kind) {
         case sql::Literal::Kind::kNull:
           *out = Value::Null();
           return Status::OK();
         case sql::Literal::Kind::kInteger:
-          *out = Value::Integer(expr.literal.integer);
+          *out = Value::Integer(literal->integer);
           return Status::OK();
         case sql::Literal::Kind::kFloat:
-          *out = Value::Float(expr.literal.real);
+          *out = Value::Float(literal->real);
           return Status::OK();
         case sql::Literal::Kind::kString:
-          *out = Value::Text(expr.literal.text);
+          *out = Value::Text(literal->text);
           return Status::OK();
+        case sql::Literal::Kind::kParam:
+          break;  // a binding is never itself a parameter
       }
       return Status::Internal("bad literal");
+    }
     case sql::Expr::Kind::kColumn: {
       const int index = table.ColumnIndex(expr.column);
       if (index < 0) {
@@ -278,10 +310,14 @@ Status Server::EvaluateExpr(MiCallContext& ctx, const sql::Expr& expr,
   return Status::Internal("bad expression");
 }
 
-Status Server::PlanQuery(ServerSession* session, Table* table,
-                         const sql::Expr* where, Plan* plan) {
-  plan->use_index = false;
-  plan->seq_cost = static_cast<double>(table->row_count());
+Status Server::ComputePlanMemo(ServerSession* session, Table* table,
+                               const sql::Expr* where, PlanMemo* memo) {
+  memo->use_index = false;
+  memo->index = nullptr;
+  memo->terms.clear();
+  memo->residual.clear();
+  memo->index_cost = 0.0;
+  memo->seq_cost = static_cast<double>(table->row_count());
   if (where == nullptr) return Status::OK();
 
   std::vector<const sql::Expr*> conjuncts;
@@ -303,6 +339,7 @@ Status Server::PlanQuery(ServerSession* session, Table* table,
 
     MiAmQualDesc qual;
     std::vector<MiAmQualDesc> terms;
+    std::vector<PlanTermMemo> term_memos;
     std::vector<const sql::Expr*> residual;
     for (const sql::Expr* conjunct : conjuncts) {
       bool matched = false;
@@ -320,12 +357,12 @@ Status Server::PlanQuery(ServerSession* session, Table* table,
       if (call->kind == sql::Expr::Kind::kCall) {
         // Qualification shapes (§5.1): f(col, const), f(const, col), f(col).
         QualTerm term;
+        const sql::Expr* literal_expr = nullptr;
         bool shape_ok = false;
         if (call->children.size() == 2) {
           const sql::Expr* first = call->children[0].get();
           const sql::Expr* second = call->children[1].get();
           const sql::Expr* column_expr = nullptr;
-          const sql::Expr* literal_expr = nullptr;
           if (first->kind == sql::Expr::Kind::kColumn &&
               second->kind == sql::Expr::Kind::kLiteral) {
             column_expr = first;
@@ -339,9 +376,13 @@ Status Server::PlanQuery(ServerSession* session, Table* table,
           }
           if (column_expr != nullptr &&
               EqualsIgnoreCase(column_expr->column, key_column)) {
+            // A '?' constant resolves against the session's bindings here;
+            // an unbound or uncoercible one sends the conjunct to the
+            // residual, same as any other non-indexable constant.
+            const sql::Literal* literal = nullptr;
             Value constant;
-            if (CoerceLiteral(literal_expr->literal, key_type, &constant)
-                    .ok()) {
+            if (ResolveParam(session, literal_expr->literal, &literal).ok() &&
+                CoerceLiteral(*literal, key_type, &constant).ok()) {
               term.constant = std::move(constant);
               shape_ok = true;
             }
@@ -384,6 +425,12 @@ Status Server::PlanQuery(ServerSession* session, Table* table,
           if (effective != nullptr) {
             term.func = effective;
             term.column_first = column_first;
+            PlanTermMemo term_memo;
+            term_memo.func = effective;
+            term_memo.literal_expr = term.unary ? nullptr : literal_expr;
+            term_memo.column_first = column_first;
+            term_memo.unary = term.unary;
+            term_memos.push_back(term_memo);
             MiAmQualDesc term_desc;
             term_desc.op = MiAmQualDesc::Op::kTerm;
             term_desc.term = std::move(term);
@@ -403,7 +450,7 @@ Status Server::PlanQuery(ServerSession* session, Table* table,
     }
 
     // Cost the candidate with am_scancost when the AM provides it.
-    double cost = plan->seq_cost * 0.5;
+    double cost = memo->seq_cost * 0.5;
     AccessMethodDef* am = catalog_.FindAccessMethod(index->access_method);
     if (am != nullptr && am->hooks.am_scancost) {
       MiCallContext ctx{this, session, current_time_};
@@ -420,30 +467,114 @@ Status Server::PlanQuery(ServerSession* session, Table* table,
       }
       if (!status.ok()) return status;
     }
-    if (!plan->use_index || cost < best_cost) {
-      plan->use_index = true;
-      plan->index = index;
-      plan->qual = std::move(qual);
-      plan->residual = std::move(residual);
-      plan->index_cost = cost;
+    if (!memo->use_index || cost < best_cost) {
+      memo->use_index = true;
+      memo->index = index;
+      memo->terms = std::move(term_memos);
+      memo->residual = std::move(residual);
+      memo->index_cost = cost;
       best_cost = cost;
     }
   }
-  if (plan->use_index && plan->index_cost >= plan->seq_cost &&
-      plan->seq_cost > 0) {
+  if (memo->use_index && memo->index_cost >= memo->seq_cost &&
+      memo->seq_cost > 0) {
     // The optimizer prefers the sequential scan when it is cheaper.
-    plan->use_index = false;
+    memo->use_index = false;
   }
-  if (!plan->use_index) {
-    plan->residual.clear();
+  if (!memo->use_index) {
+    memo->index = nullptr;
+    memo->terms.clear();
+    memo->residual.clear();
   }
   return Status::OK();
+}
+
+Status Server::BindPlanMemo(ServerSession* session, const PlanMemo& memo,
+                            Plan* plan) {
+  plan->use_index = memo.use_index;
+  plan->index = memo.index;
+  plan->qual = MiAmQualDesc{};
+  plan->residual = memo.residual;
+  plan->index_cost = memo.index_cost;
+  plan->seq_cost = memo.seq_cost;
+  if (!memo.use_index) return Status::OK();
+  // Rebuild the qualification descriptor from the memoized strategy
+  // bindings, re-coercing each constant: this is where a '?' parameter
+  // picks up this execution's value without re-running the planner.
+  const TypeDesc& key_type = memo.index->key_types[0];
+  std::vector<MiAmQualDesc> terms;
+  terms.reserve(memo.terms.size());
+  for (const PlanTermMemo& term_memo : memo.terms) {
+    QualTerm term;
+    term.func = term_memo.func;
+    term.column_first = term_memo.column_first;
+    term.unary = term_memo.unary;
+    if (!term_memo.unary) {
+      const sql::Literal* literal = nullptr;
+      GRTDB_RETURN_IF_ERROR(
+          ResolveParam(session, term_memo.literal_expr->literal, &literal));
+      GRTDB_RETURN_IF_ERROR(CoerceLiteral(*literal, key_type, &term.constant));
+    }
+    MiAmQualDesc term_desc;
+    term_desc.op = MiAmQualDesc::Op::kTerm;
+    term_desc.term = std::move(term);
+    terms.push_back(std::move(term_desc));
+  }
+  if (terms.size() == 1) {
+    plan->qual = std::move(terms[0]);
+  } else {
+    plan->qual.op = MiAmQualDesc::Op::kAnd;
+    plan->qual.children = std::move(terms);
+  }
+  return Status::OK();
+}
+
+Status Server::PlanQuery(ServerSession* session, Table* table,
+                         const sql::Expr* where, Plan* plan) {
+  CachedPlan* cached = session == nullptr ? nullptr : session->active_plan();
+  if (cached != nullptr) {
+    PlanMemo memo;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(cached->memo_mu);
+      if (cached->planned) {
+        memo = cached->memo;
+        have = true;
+      }
+    }
+    if (!have) {
+      // Compute WITHOUT holding memo_mu: planning calls am_scancost, which
+      // opens the index and may take locks — nothing to hold a mutex
+      // across. Racing first executions compute independently; the first
+      // store wins and the computation is deterministic for the catalog
+      // the shared statement gate holds still.
+      GRTDB_RETURN_IF_ERROR(ComputePlanMemo(session, table, where, &memo));
+      std::lock_guard<std::mutex> lock(cached->memo_mu);
+      if (!cached->planned) {
+        cached->memo = memo;
+        cached->planned = true;
+      } else {
+        memo = cached->memo;
+      }
+    }
+    if (BindPlanMemo(session, memo, plan).ok()) return Status::OK();
+    // This execution's parameter would not coerce to the memoized key
+    // type; fall through to a fresh plan (not stored), which routes the
+    // conjunct to the residual exactly like the text path would.
+  }
+  PlanMemo memo;
+  GRTDB_RETURN_IF_ERROR(ComputePlanMemo(session, table, where, &memo));
+  return BindPlanMemo(session, memo, plan);
 }
 
 Status Server::ExecInsert(ServerSession* session, const sql::InsertStmt& stmt,
                           ResultSet* out) {
   Table* table = catalog_.FindTable(stmt.table);
   if (table == nullptr) {
+    if (IsSystemViewName(stmt.table)) {
+      return Status::InvalidArgument("system view '" + ToLower(stmt.table) +
+                                     "' is read-only");
+    }
     return Status::NotFound("table '" + stmt.table + "'");
   }
   if (stmt.values.size() != table->columns().size()) {
@@ -452,9 +583,11 @@ Status Server::ExecInsert(ServerSession* session, const sql::InsertStmt& stmt,
   Row row;
   row.reserve(stmt.values.size());
   for (size_t i = 0; i < stmt.values.size(); ++i) {
+    const sql::Literal* literal = nullptr;
+    GRTDB_RETURN_IF_ERROR(ResolveParam(session, stmt.values[i], &literal));
     Value value;
     GRTDB_RETURN_IF_ERROR(
-        CoerceLiteral(stmt.values[i], table->columns()[i].type, &value));
+        CoerceLiteral(*literal, table->columns()[i].type, &value));
     row.push_back(std::move(value));
   }
   return InsertRow(session, table, stmt.table, std::move(row), out);
@@ -683,6 +816,10 @@ Status Server::ExecDelete(ServerSession* session, const sql::DeleteStmt& stmt,
                           ResultSet* out) {
   Table* table = catalog_.FindTable(stmt.table);
   if (table == nullptr) {
+    if (IsSystemViewName(stmt.table)) {
+      return Status::InvalidArgument("system view '" + ToLower(stmt.table) +
+                                     "' is read-only");
+    }
     return Status::NotFound("table '" + stmt.table + "'");
   }
   bool implicit = false;
@@ -829,6 +966,10 @@ Status Server::ExecUpdate(ServerSession* session, const sql::UpdateStmt& stmt,
                           ResultSet* out) {
   Table* table = catalog_.FindTable(stmt.table);
   if (table == nullptr) {
+    if (IsSystemViewName(stmt.table)) {
+      return Status::InvalidArgument("system view '" + ToLower(stmt.table) +
+                                     "' is read-only");
+    }
     return Status::NotFound("table '" + stmt.table + "'");
   }
   // Resolve the assignments.
@@ -838,9 +979,12 @@ Status Server::ExecUpdate(ServerSession* session, const sql::UpdateStmt& stmt,
     if (index < 0) {
       return Status::NotFound("column '" + column + "'");
     }
+    const sql::Literal* resolved = nullptr;
+    GRTDB_RETURN_IF_ERROR(ResolveParam(session, literal, &resolved));
     Value value;
     GRTDB_RETURN_IF_ERROR(CoerceLiteral(
-        literal, table->columns()[static_cast<size_t>(index)].type, &value));
+        *resolved, table->columns()[static_cast<size_t>(index)].type,
+        &value));
     assignments.emplace_back(index, std::move(value));
   }
 

@@ -1,0 +1,94 @@
+#include "server/plan_cache.h"
+
+#include <cctype>
+
+#include "sql/parser.h"
+
+namespace grtdb {
+
+std::string PlanCache::Normalize(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  char quote = '\0';
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (quote != '\0') {
+      out.push_back(c);
+      if (c == quote) {
+        // A doubled quote is an escape, not a close.
+        if (i + 1 < sql.size() && sql[i + 1] == quote) {
+          out.push_back(sql[++i]);
+        } else {
+          quote = '\0';
+        }
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      quote = c;
+      out.push_back(c);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+Status PlanCache::Get(const std::string& sql,
+                      std::shared_ptr<CachedPlan>* out, bool* hit) {
+  const std::string key = Normalize(sql);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      *out = it->second;
+      *hit = true;
+      return Status::OK();
+    }
+  }
+  // Parse outside the cache lock: a slow parse must not stall every other
+  // session's lookup.
+  auto plan = std::make_shared<CachedPlan>();
+  plan->sql = sql;
+  GRTDB_RETURN_IF_ERROR(
+      sql::Parser::Parse(sql, &plan->ast, &plan->param_count));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(key, std::move(plan));
+  // A racing inserter may have beaten us; its entry is equivalent.
+  *out = it->second;
+  *hit = false;
+  return Status::OK();
+}
+
+std::shared_ptr<CachedPlan> PlanCache::Peek(const std::string& sql) const {
+  const std::string key = Normalize(sql);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void PlanCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace grtdb

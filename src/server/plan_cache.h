@@ -1,0 +1,100 @@
+#ifndef GRTDB_SERVER_PLAN_CACHE_H_
+#define GRTDB_SERVER_PLAN_CACHE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace grtdb {
+
+struct IndexDef;
+struct UdrDef;
+
+// One strategy-function term of a memoized plan. The literal expression is
+// a pointer into the cached statement's AST (kept alive by the CachedPlan
+// shared_ptr the executing statement holds); the constant itself is
+// re-coerced per execution so `?` parameters bind fresh values into the
+// same resolved strategy/opclass decision.
+struct PlanTermMemo {
+  const UdrDef* func = nullptr;
+  const sql::Expr* literal_expr = nullptr;  // null for unary terms
+  bool column_first = true;
+  bool unary = false;
+};
+
+// The parameter-independent outcome of query planning: the chosen index,
+// the opclass strategy/support bindings (as resolved UDRs), the residual
+// conjuncts, and the costs that picked the winner. Everything a repeat
+// execution would otherwise recompute through the catalog.
+struct PlanMemo {
+  bool use_index = false;
+  IndexDef* index = nullptr;
+  std::vector<PlanTermMemo> terms;
+  std::vector<const sql::Expr*> residual;  // into the cached AST
+  double index_cost = 0.0;
+  double seq_cost = 0.0;
+};
+
+// One cache entry: the parsed statement plus its lazily-filled plan memo.
+// The AST is immutable after construction and shared by every session
+// executing the statement; `?` parameters live in the AST as kParam
+// literals and are resolved against per-session bindings at execution.
+struct CachedPlan {
+  std::string sql;         // inner statement text as prepared
+  sql::Statement ast;
+  size_t param_count = 0;
+  std::atomic<uint64_t> executions{0};
+
+  // The memo fills on first execution (planning needs a transaction and
+  // bound parameters for am_scancost). Racing first executions compute
+  // independently and the first store wins — the computation is
+  // deterministic for a fixed catalog, which the statement gate holds
+  // still for the duration.
+  std::mutex memo_mu;
+  bool planned = false;
+  PlanMemo memo;
+};
+
+// Server-wide cache of parsed + planned statements, keyed on normalized
+// SQL text. DDL invalidates the whole map (under the exclusive statement
+// gate, so no statement is mid-execution); sessions re-fetch by key on
+// every EXECUTE, so a dropped entry is transparently re-parsed and
+// re-planned rather than ever dereferenced stale.
+class PlanCache {
+ public:
+  // Lowercases outside quoted strings, collapses whitespace runs, trims,
+  // and strips a trailing ';' — so spelling variants share one entry.
+  static std::string Normalize(const std::string& sql);
+
+  // Fetches the entry for `sql` (normalizing internally), parsing and
+  // inserting on miss. `hit` reports whether the entry already existed.
+  Status Get(const std::string& sql, std::shared_ptr<CachedPlan>* out,
+             bool* hit);
+
+  // Read-only lookup for sys_prepared: no insert, no counter effects.
+  std::shared_ptr<CachedPlan> Peek(const std::string& sql) const;
+
+  // Drops every entry. Called on DDL with the statement gate exclusive.
+  void InvalidateAll();
+
+  size_t size() const;
+  // Bumps on every InvalidateAll; lets tests prove invalidation happened.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<CachedPlan>> entries_;
+  std::atomic<uint64_t> generation_{0};
+};
+
+}  // namespace grtdb
+
+#endif  // GRTDB_SERVER_PLAN_CACHE_H_

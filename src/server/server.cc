@@ -86,6 +86,10 @@ Server::Server(const ServerOptions& options)
       vii_us_[i] = metrics_.GetHistogram("vii." + fn + ".us");
     }
     lock_manager_.set_metrics(&metrics_);
+    plan_cache_hits_ = metrics_.GetCounter("plan_cache.hits");
+    plan_cache_misses_ = metrics_.GetCounter("plan_cache.misses");
+    plan_cache_invalidations_ =
+        metrics_.GetCounter("plan_cache.invalidations");
   }
   // A default sbspace so CREATE INDEX without IN <space> works.
   Status st = CreateSbspace("default");
@@ -453,6 +457,46 @@ std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
     }
     return table;
   }
+  if (EqualsIgnoreCase(name, "sys_prepared")) {
+    std::vector<ColumnDef> cols = {{"session", TypeDesc::Integer()},
+                                   {"name", TypeDesc::Text()},
+                                   {"params", TypeDesc::Integer()},
+                                   {"executions", TypeDesc::Integer()},
+                                   {"plan", TypeDesc::Text()},
+                                   {"statement", TypeDesc::Text()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      for (const ServerSession::PreparedHandle& handle :
+           session->AllPrepared()) {
+        // The handle is text-only; whether a plan exists for it (and what
+        // the planner decided) comes from peeking the shared cache.
+        int64_t executions = 0;
+        std::string plan_text = "uncached";
+        if (std::shared_ptr<CachedPlan> plan = plan_cache_.Peek(handle.sql)) {
+          executions = static_cast<int64_t>(
+              plan->executions.load(std::memory_order_relaxed));
+          std::lock_guard<std::mutex> memo_lock(plan->memo_mu);
+          if (!plan->planned) {
+            plan_text = "unplanned";
+          } else if (plan->memo.use_index) {
+            plan_text = "index " + plan->memo.index->name;
+          } else {
+            plan_text = "seq scan";
+          }
+        }
+        Status st = table->Insert(
+            {Value::Integer(static_cast<int64_t>(session->id())),
+             Value::Text(handle.name),
+             Value::Integer(static_cast<int64_t>(handle.param_count)),
+             Value::Integer(executions), Value::Text(plan_text),
+             Value::Text(handle.sql)},
+            &ignored);
+        (void)st;
+      }
+    }
+    return table;
+  }
   return nullptr;
 }
 
@@ -460,7 +504,14 @@ std::vector<std::string> Server::SystemTableNames() {
   return {"systables",   "sysams",         "sysopclasses",
           "sysindices",  "sysprocedures",  "sys_metrics",
           "sys_trace",   "sys_locks",      "sys_index_stats",
-          "sys_slow_queries"};
+          "sys_slow_queries", "sys_prepared"};
+}
+
+bool Server::IsSystemViewName(const std::string& name) {
+  for (const std::string& sys : SystemTableNames()) {
+    if (EqualsIgnoreCase(name, sys)) return true;
+  }
+  return false;
 }
 
 void Server::ReportIndexStats(IndexStatsReport report) {
@@ -622,10 +673,20 @@ Status Server::ExecuteStatement(ServerSession* session,
     Status operator()(const sql::ExportMetricsStmt&) {
       return server->ExecExportMetrics(out);
     }
+    Status operator()(const sql::PrepareStmt& s) {
+      return server->ExecPrepare(session, s, out);
+    }
+    Status operator()(const sql::ExecuteStmt& s) {
+      return server->ExecExecute(session, s, out);
+    }
+    Status operator()(const sql::DeallocateStmt& s) {
+      return server->ExecDeallocate(session, s, out);
+    }
   };
   // Definition statements exclude every other session; DML and queries
   // run concurrently (shared) and settle conflicts in the lock manager.
-  StatementGateScope gate(&statement_gate_, IsDefinitionStatement(stmt));
+  const bool is_definition = IsDefinitionStatement(stmt);
+  StatementGateScope gate(&statement_gate_, is_definition);
   // Fresh per-statement profile, installed as this thread's attribution
   // point so the node cache and lock manager can charge work to it. An
   // EXPLAIN PROFILE wrapper re-enters here for its inner statement; the
@@ -633,7 +694,19 @@ Status Server::ExecuteStatement(ServerSession* session,
   // report.
   session->profile().Reset();
   obs::ScopedProfile profile_scope(&session->profile());
-  return std::visit(Visitor{this, session, out}, stmt);
+  Status status = std::visit(Visitor{this, session, out}, stmt);
+  if (is_definition) {
+    // Every definition change — successful or not (a failed CREATE INDEX
+    // still touched the catalog on the way) — drops every cached plan.
+    // The gate is held exclusively here, so no session is mid-execution
+    // on a plan this clears; the next EXECUTE re-parses and re-plans
+    // against the new catalog.
+    plan_cache_.InvalidateAll();
+    if (plan_cache_invalidations_ != nullptr) {
+      plan_cache_invalidations_->Add(1);
+    }
+  }
+  return status;
 }
 
 Status Server::ExecExplainProfile(ServerSession* session,
@@ -647,6 +720,121 @@ Status Server::ExecExplainProfile(ServerSession* session,
     out->messages.push_back(std::move(line));
   }
   return Status::OK();
+}
+
+// ------------------------------------------------ prepared statements ---
+
+Status Server::GetCachedPlan(const std::string& sql,
+                             std::shared_ptr<CachedPlan>* out) {
+  bool hit = false;
+  GRTDB_RETURN_IF_ERROR(plan_cache_.Get(sql, out, &hit));
+  obs::Counter* counter = hit ? plan_cache_hits_ : plan_cache_misses_;
+  if (counter != nullptr) counter->Add(1);
+  return Status::OK();
+}
+
+Status Server::ExecPrepare(ServerSession* session,
+                           const sql::PrepareStmt& stmt, ResultSet* out) {
+  std::shared_ptr<CachedPlan> plan;
+  GRTDB_RETURN_IF_ERROR(GetCachedPlan(stmt.inner_sql, &plan));
+  // The SQL parser enforces this for PREPARE ... AS, but the kPrepare wire
+  // opcode carries raw statement text; repeat the check on the parsed AST.
+  if (!std::holds_alternative<sql::SelectStmt>(plan->ast) &&
+      !std::holds_alternative<sql::InsertStmt>(plan->ast) &&
+      !std::holds_alternative<sql::DeleteStmt>(plan->ast) &&
+      !std::holds_alternative<sql::UpdateStmt>(plan->ast)) {
+    return Status::InvalidArgument(
+        "PREPARE supports SELECT, INSERT, DELETE, and UPDATE statements");
+  }
+  ServerSession::PreparedHandle handle;
+  handle.name = stmt.name;
+  handle.sql = stmt.inner_sql;
+  handle.param_count = plan->param_count;
+  // Re-PREPARE under the same name replaces the previous statement.
+  session->PutPrepared(std::move(handle));
+  out->messages.push_back("prepared '" + stmt.name + "' (" +
+                          std::to_string(plan->param_count) + " parameter" +
+                          (plan->param_count == 1 ? "" : "s") + ")");
+  return Status::OK();
+}
+
+Status Server::ExecExecute(ServerSession* session,
+                           const sql::ExecuteStmt& stmt, ResultSet* out) {
+  ServerSession::PreparedHandle handle;
+  if (!session->GetPrepared(stmt.name, &handle)) {
+    return Status::NotFound("no prepared statement '" + stmt.name + "'");
+  }
+  if (stmt.args.size() != handle.param_count) {
+    return Status::InvalidArgument(
+        "prepared statement '" + stmt.name + "' takes " +
+        std::to_string(handle.param_count) + " parameter" +
+        (handle.param_count == 1 ? "" : "s") + ", got " +
+        std::to_string(stmt.args.size()));
+  }
+  // Fetch by key on every execution: DDL clears the cache, and the handle
+  // stores only text — never a plan pointer that could dangle — so a
+  // post-invalidation EXECUTE transparently re-parses and re-plans.
+  std::shared_ptr<CachedPlan> plan;
+  GRTDB_RETURN_IF_ERROR(GetCachedPlan(handle.sql, &plan));
+  plan->executions.fetch_add(1, std::memory_order_relaxed);
+  // Save/restore around the nested dispatch: EXECUTE runs inside EXPLAIN
+  // PROFILE, and the outer frame's bindings must survive the inner one.
+  const std::vector<sql::Literal>* saved_params = session->bound_params();
+  CachedPlan* saved_plan = session->active_plan();
+  session->set_bound_params(&stmt.args);
+  session->set_active_plan(plan.get());
+  Status status = ExecuteStatement(session, plan->ast, out);
+  session->set_bound_params(saved_params);
+  session->set_active_plan(saved_plan);
+  return status;
+}
+
+Status Server::ExecDeallocate(ServerSession* session,
+                              const sql::DeallocateStmt& stmt,
+                              ResultSet* out) {
+  if (!session->ErasePrepared(stmt.name)) {
+    return Status::NotFound("no prepared statement '" + stmt.name + "'");
+  }
+  out->messages.push_back("deallocated '" + stmt.name + "'");
+  return Status::OK();
+}
+
+Status Server::Prepare(ServerSession* session, const std::string& name,
+                       const std::string& sql, ResultSet* out) {
+  sql::PrepareStmt prepare;
+  prepare.name = name;
+  prepare.inner_sql = sql;
+  sql::Statement stmt = std::move(prepare);
+  out->Clear();
+  Status status = ExecuteStatement(session, stmt, out);
+  session->memory().EndDuration(MiDuration::kPerFunction);
+  session->memory().EndDuration(MiDuration::kPerStatement);
+  return status;
+}
+
+Status Server::ExecutePrepared(ServerSession* session,
+                               const std::string& name,
+                               const std::vector<sql::Literal>& params,
+                               ResultSet* out) {
+  for (const sql::Literal& param : params) {
+    if (param.kind == sql::Literal::Kind::kParam) {
+      return Status::InvalidArgument(
+          "EXECUTE arguments must be literal values, not '?'");
+    }
+  }
+  sql::ExecuteStmt execute;
+  execute.name = name;
+  execute.args = params;
+  sql::Statement stmt = std::move(execute);
+  out->Clear();
+  const uint64_t start_ticks = obs::Ticks();
+  Status status = ExecuteStatement(session, stmt, out);
+  slow_query_log_.MaybeRecord("EXECUTE " + name,
+                              obs::TicksToNs(obs::Ticks() - start_ticks),
+                              session->profile());
+  session->memory().EndDuration(MiDuration::kPerFunction);
+  session->memory().EndDuration(MiDuration::kPerStatement);
+  return status;
 }
 
 Status Server::ExecDumpFlight(ResultSet* out) {
@@ -682,6 +870,16 @@ Status Server::ExecExportMetrics(ResultSet* out) {
 // ------------------------------------------------------------------- DDL ---
 
 Status Server::ExecCreateTable(const sql::CreateTableStmt& stmt) {
+  // System-view names are reserved: a table named 'systables' would be
+  // shadowed by the built-in view on SELECT but hit by INSERT/DROP, and
+  // that split resolution is exactly the inconsistency we refuse to host.
+  // Names that merely start with "sys" (syslog, system_config) are fine —
+  // the catalog is consulted before the views everywhere.
+  if (IsSystemViewName(stmt.table)) {
+    return Status::InvalidArgument(
+        "'" + ToLower(stmt.table) +
+        "' is a reserved system view name; choose another table name");
+  }
   std::vector<ColumnDef> columns;
   columns.reserve(stmt.columns.size());
   for (const sql::ColumnSpec& spec : stmt.columns) {
@@ -695,6 +893,14 @@ Status Server::ExecCreateTable(const sql::CreateTableStmt& stmt) {
 }
 
 Status Server::ExecDropTable(const sql::DropTableStmt& stmt) {
+  // Catalog first, views second — the same resolution order SELECT uses.
+  // No real table can carry a system-view name (CREATE rejects them), so
+  // reaching this branch means the user asked to drop the view itself.
+  if (catalog_.FindTable(stmt.table) == nullptr &&
+      IsSystemViewName(stmt.table)) {
+    return Status::InvalidArgument("'" + ToLower(stmt.table) +
+                                   "' is a system view; it cannot be dropped");
+  }
   // Indexes on the table must be dropped first (Informix drops them
   // implicitly; we keep it explicit and strict).
   if (!catalog_.IndexesOnTable(stmt.table).empty()) {

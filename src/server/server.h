@@ -14,10 +14,12 @@
 #include "blade/mi_memory.h"
 #include "blade/trace.h"
 #include "common/status.h"
+#include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/slow_query_log.h"
 #include "server/catalog.h"
+#include "server/plan_cache.h"
 #include "server/index_stats.h"
 #include "server/result.h"
 #include "server/types.h"
@@ -94,6 +96,52 @@ class ServerSession {
   // The most recent statement's execution profile (reset per statement).
   obs::QueryProfile& profile() { return profile_; }
 
+  // ---- prepared statements ---------------------------------------------
+  // A session-local handle onto the server-wide plan cache. Only text keys
+  // are stored — never plan pointers — so DDL invalidating the cache can
+  // never leave a handle dangling; the next EXECUTE simply re-parses.
+  struct PreparedHandle {
+    std::string name;       // as PREPAREd (original case)
+    std::string sql;        // inner statement text
+    size_t param_count = 0;
+  };
+  // The handle map is guarded because sys_prepared reads every session's
+  // handles from whichever session materializes the view.
+  void PutPrepared(PreparedHandle handle) {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    prepared_[ToLower(handle.name)] = std::move(handle);
+  }
+  bool GetPrepared(const std::string& name, PreparedHandle* out) const {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    auto it = prepared_.find(ToLower(name));
+    if (it == prepared_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  bool ErasePrepared(const std::string& name) {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    return prepared_.erase(ToLower(name)) != 0;
+  }
+  std::vector<PreparedHandle> AllPrepared() const {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    std::vector<PreparedHandle> out;
+    out.reserve(prepared_.size());
+    for (const auto& [key, handle] : prepared_) out.push_back(handle);
+    return out;
+  }
+
+  // Parameter bindings and the active cached plan for the statement this
+  // session is currently executing. Only the session's own thread touches
+  // them (a session is single-threaded by contract), so no lock.
+  const std::vector<sql::Literal>* bound_params() const {
+    return bound_params_;
+  }
+  void set_bound_params(const std::vector<sql::Literal>* params) {
+    bound_params_ = params;
+  }
+  CachedPlan* active_plan() const { return active_plan_; }
+  void set_active_plan(CachedPlan* plan) { active_plan_ = plan; }
+
  private:
   Session session_;
   MiMemory memory_;
@@ -103,6 +151,10 @@ class ServerSession {
   std::map<std::string, uint64_t> purpose_counts_;
   uint64_t purpose_log_dropped_ = 0;
   obs::QueryProfile profile_;
+  mutable std::mutex prepared_mu_;
+  std::map<std::string, PreparedHandle> prepared_;  // lower-cased name
+  const std::vector<sql::Literal>* bound_params_ = nullptr;
+  CachedPlan* active_plan_ = nullptr;
 };
 
 struct ServerOptions {
@@ -212,6 +264,24 @@ class Server {
   Status ExecuteScript(ServerSession* session, const std::string& script,
                        ResultSet* out);
 
+  // ---- prepared statements (wire-level entry points) --------------------
+  // Same contracts as Execute (statement gate, slow-query retention,
+  // per-statement duration teardown); these are what the kPrepare /
+  // kExecutePrepared opcodes call, and the SQL-level PREPARE / EXECUTE
+  // statements go through the same Exec* internals.
+  Status Prepare(ServerSession* session, const std::string& name,
+                 const std::string& sql, ResultSet* out);
+  Status ExecutePrepared(ServerSession* session, const std::string& name,
+                         const std::vector<sql::Literal>& params,
+                         ResultSet* out);
+
+  // The shared statement/plan cache (exposed for tests and tools).
+  PlanCache& plan_cache() { return plan_cache_; }
+
+  // True when `name` is one of the system views BuildSystemTable answers
+  // to — those names are reserved (CREATE TABLE rejects them).
+  static bool IsSystemViewName(const std::string& name);
+
   // Renders a value using opaque output support functions.
   std::string RenderValue(const Value& value) const;
 
@@ -235,6 +305,10 @@ class Server {
 
   Status ExecuteStatement(ServerSession* session, const sql::Statement& stmt,
                           ResultSet* out);
+
+  // Plan-cache fetch with hit/miss accounting.
+  Status GetCachedPlan(const std::string& sql,
+                       std::shared_ptr<CachedPlan>* out);
 
   Status ExecCreateTable(const sql::CreateTableStmt& stmt);
   Status ExecDropTable(const sql::DropTableStmt& stmt);
@@ -272,6 +346,12 @@ class Server {
   Status ExecExplainProfile(ServerSession* session,
                             const sql::ExplainProfileStmt& stmt,
                             ResultSet* out);
+  Status ExecPrepare(ServerSession* session, const sql::PrepareStmt& stmt,
+                     ResultSet* out);
+  Status ExecExecute(ServerSession* session, const sql::ExecuteStmt& stmt,
+                     ResultSet* out);
+  Status ExecDeallocate(ServerSession* session,
+                        const sql::DeallocateStmt& stmt, ResultSet* out);
   // Shared insert path (heap insert + Fig. 6(a) index maintenance) used by
   // INSERT and LOAD.
   Status InsertRow(ServerSession* session, Table* table,
@@ -282,6 +362,13 @@ class Server {
   // Literal -> Value coercion against a column/argument type.
   Status CoerceLiteral(const sql::Literal& literal, const TypeDesc& type,
                        Value* out) const;
+
+  // Resolves a kParam literal against the session's current bindings;
+  // passes every other literal through. `*out` points either at `literal`
+  // or into the session's binding vector.
+  Status ResolveParam(const ServerSession* session,
+                      const sql::Literal& literal,
+                      const sql::Literal** out) const;
 
   // WHERE evaluation on a row (UDF calls go through the UDR registry).
   Status EvaluateExpr(MiCallContext& ctx, const sql::Expr& expr,
@@ -299,8 +386,18 @@ class Server {
     double index_cost = 0.0;
     double seq_cost = 0.0;
   };
+  // PlanQuery = ComputePlanMemo + BindPlanMemo. The memo carries the
+  // parameter-independent decision (index, resolved strategy UDRs,
+  // residual pointers, costs); binding re-coerces the constants, which is
+  // where `?` parameters pick up their per-execution values. A session
+  // executing a cached plan (active_plan() set) skips the compute step
+  // after the first execution.
   Status PlanQuery(ServerSession* session, Table* table,
                    const sql::Expr* where, Plan* plan);
+  Status ComputePlanMemo(ServerSession* session, Table* table,
+                         const sql::Expr* where, PlanMemo* memo);
+  Status BindPlanMemo(ServerSession* session, const PlanMemo& memo,
+                      Plan* plan);
 
   // Purpose-function plumbing (Fig. 6 call sequences).
   Status OpenIndexDesc(ServerSession* session, IndexDef* index,
@@ -328,6 +425,11 @@ class Server {
   mutable std::mutex am_catalog_mu_;
   std::map<std::string, std::vector<uint8_t>> am_catalog_;
   obs::SlowQueryLog slow_query_log_;
+  PlanCache plan_cache_;
+  // Null when observability is off; bumped through MaybeAdd below.
+  obs::Counter* plan_cache_hits_ = nullptr;
+  obs::Counter* plan_cache_misses_ = nullptr;
+  obs::Counter* plan_cache_invalidations_ = nullptr;
   mutable std::mutex index_stats_mu_;
   std::map<std::string, IndexStatsReport> index_stats_;  // lower-cased name
   std::vector<std::unique_ptr<ServerSession>> sessions_;

@@ -11,13 +11,16 @@ namespace sql {
 
 // Untyped literal as written in the SQL text; the executor coerces it to
 // the column/argument type (string literals become dates, opaque values,
-// or text depending on context).
+// or text depending on context). kParam is a `?` placeholder in a
+// prepared statement: param_index is its 0-based lexical position, and
+// the executor substitutes the session's bound parameter before coercion.
 struct Literal {
-  enum class Kind { kNull, kInteger, kFloat, kString };
+  enum class Kind { kNull, kInteger, kFloat, kString, kParam };
   Kind kind = Kind::kNull;
   int64_t integer = 0;
   double real = 0.0;
   std::string text;
+  size_t param_index = 0;  // kParam only
 };
 
 // Boolean/value expression in a WHERE clause.
@@ -182,6 +185,26 @@ struct ExplainProfileStmt {
   std::string inner_sql;
 };
 
+// PREPARE name AS <stmt> — the inner statement is kept as a text span
+// (same idiom as ExplainProfileStmt) so the Statement variant stays
+// non-recursive; the server parses it once into its plan cache.
+struct PrepareStmt {
+  std::string name;
+  std::string inner_sql;
+};
+
+// EXECUTE name [(arg, ...)] — args bind the inner statement's `?`
+// placeholders in lexical order.
+struct ExecuteStmt {
+  std::string name;
+  std::vector<Literal> args;
+};
+
+// DEALLOCATE [PREPARE] name
+struct DeallocateStmt {
+  std::string name;
+};
+
 using Statement =
     std::variant<CreateTableStmt, DropTableStmt, CreateFunctionStmt,
                  CreateAccessMethodStmt, CreateOpclassStmt, CreateIndexStmt,
@@ -190,7 +213,7 @@ using Statement =
                  UpdateStmt, BeginWorkStmt, CommitWorkStmt, RollbackWorkStmt,
                  SetStmt, CheckIndexStmt, UpdateStatisticsStmt, LoadStmt,
                  UnloadStmt, ExplainProfileStmt, DumpFlightStmt,
-                 ExportMetricsStmt>;
+                 ExportMetricsStmt, PrepareStmt, ExecuteStmt, DeallocateStmt>;
 
 }  // namespace sql
 }  // namespace grtdb

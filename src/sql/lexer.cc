@@ -104,7 +104,7 @@ Status Tokenize(const std::string& input, std::vector<Token>* out) {
       out->push_back(std::move(token));
       continue;
     }
-    static const char kSingles[] = "(),;=<>*.";
+    static const char kSingles[] = "(),;=<>*.?";
     bool matched = false;
     for (const char* p = kSingles; *p != '\0'; ++p) {
       if (c == *p) {

@@ -15,7 +15,7 @@ struct Token {
     kInteger,
     kFloat,
     kString,  // 'single' or "double" quoted
-    kSymbol,  // ( ) , ; = < > <= >= <> * .
+    kSymbol,  // ( ) , ; = < > <= >= <> * . ?
     kEnd,
   };
   Kind kind = Kind::kEnd;

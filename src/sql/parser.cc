@@ -68,7 +68,8 @@ Status Parser::TakeIdentifier(std::string* out) {
   return Status::OK();
 }
 
-Status Parser::Parse(const std::string& text, Statement* out) {
+Status Parser::Parse(const std::string& text, Statement* out,
+                     size_t* param_count) {
   std::vector<Token> tokens;
   GRTDB_RETURN_IF_ERROR(Tokenize(text, &tokens));
   Parser parser(std::move(tokens), text);
@@ -77,6 +78,7 @@ Status Parser::Parse(const std::string& text, Statement* out) {
   if (parser.Peek().kind != Token::Kind::kEnd) {
     return ErrorAt(parser.Peek(), "end of statement");
   }
+  if (param_count != nullptr) *param_count = parser.param_count_;
   return Status::OK();
 }
 
@@ -107,6 +109,9 @@ Status Parser::ParseStatement(Statement* out) {
   if (AtKeyword("EXPLAIN")) return ParseExplain(out);
   if (AtKeyword("LOAD")) return ParseLoad(out);
   if (AtKeyword("UNLOAD")) return ParseUnload(out);
+  if (AtKeyword("PREPARE")) return ParsePrepare(out);
+  if (AtKeyword("EXECUTE")) return ParseExecute(out);
+  if (AtKeyword("DEALLOCATE")) return ParseDeallocate(out);
   if (AtKeyword("DUMP")) {
     Take();
     GRTDB_RETURN_IF_ERROR(ExpectKeyword("FLIGHT"));
@@ -584,8 +589,74 @@ Status Parser::ParseUnload(Statement* out) {
   return Status::OK();
 }
 
+Status Parser::ParsePrepare(Statement* out) {
+  GRTDB_RETURN_IF_ERROR(ExpectKeyword("PREPARE"));
+  PrepareStmt stmt;
+  GRTDB_RETURN_IF_ERROR(TakeIdentifier(&stmt.name));
+  GRTDB_RETURN_IF_ERROR(ExpectKeyword("AS"));
+  const size_t start = Peek().offset;
+  if (Peek().kind == Token::Kind::kEnd) {
+    return ErrorAt(Peek(), "a statement to prepare");
+  }
+  // Same text-span idiom as EXPLAIN PROFILE: parse the inner statement now
+  // so syntax errors surface at PREPARE time, but carry the original text —
+  // the server parses it once more into its shared plan cache.
+  Statement inner;
+  GRTDB_RETURN_IF_ERROR(ParseStatement(&inner));
+  if (!std::holds_alternative<SelectStmt>(inner) &&
+      !std::holds_alternative<InsertStmt>(inner) &&
+      !std::holds_alternative<DeleteStmt>(inner) &&
+      !std::holds_alternative<UpdateStmt>(inner)) {
+    return Status::InvalidArgument(
+        "PREPARE supports SELECT, INSERT, DELETE, and UPDATE statements");
+  }
+  const size_t end = Peek().offset;
+  stmt.inner_sql = text_.substr(start, end - start);
+  *out = std::move(stmt);
+  return Status::OK();
+}
+
+Status Parser::ParseExecute(Statement* out) {
+  GRTDB_RETURN_IF_ERROR(ExpectKeyword("EXECUTE"));
+  ExecuteStmt stmt;
+  GRTDB_RETURN_IF_ERROR(TakeIdentifier(&stmt.name));
+  if (TrySymbol("(")) {
+    if (!TrySymbol(")")) {
+      while (true) {
+        Literal literal;
+        GRTDB_RETURN_IF_ERROR(ParseLiteral(&literal));
+        if (literal.kind == Literal::Kind::kParam) {
+          return Status::InvalidArgument(
+              "EXECUTE arguments must be literal values, not '?'");
+        }
+        stmt.args.push_back(std::move(literal));
+        if (TrySymbol(",")) continue;
+        break;
+      }
+      GRTDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+  }
+  *out = std::move(stmt);
+  return Status::OK();
+}
+
+Status Parser::ParseDeallocate(Statement* out) {
+  GRTDB_RETURN_IF_ERROR(ExpectKeyword("DEALLOCATE"));
+  if (AtKeyword("PREPARE")) Take();  // PREPARE is optional noise
+  DeallocateStmt stmt;
+  GRTDB_RETURN_IF_ERROR(TakeIdentifier(&stmt.name));
+  *out = std::move(stmt);
+  return Status::OK();
+}
+
 Status Parser::ParseLiteral(Literal* out) {
   const Token& token = Peek();
+  if (token.kind == Token::Kind::kSymbol && token.text == "?") {
+    Take();
+    out->kind = Literal::Kind::kParam;
+    out->param_index = param_count_++;
+    return Status::OK();
+  }
   switch (token.kind) {
     case Token::Kind::kInteger:
       out->kind = Literal::Kind::kInteger;

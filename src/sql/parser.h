@@ -19,8 +19,11 @@ namespace sql {
 // CHECK INDEX / UPDATE STATISTICS hooks for am_check / am_stats).
 class Parser {
  public:
-  // Parses one statement.
-  static Status Parse(const std::string& text, Statement* out);
+  // Parses one statement. If param_count is non-null it receives the
+  // number of `?` placeholders seen, numbered left to right — the arity
+  // a later EXECUTE must match.
+  static Status Parse(const std::string& text, Statement* out,
+                      size_t* param_count = nullptr);
 
   // Parses a ;-separated script (trailing ; optional).
   static Status ParseScript(const std::string& text,
@@ -55,6 +58,9 @@ class Parser {
   Status ParseExplain(Statement* out);
   Status ParseLoad(Statement* out);
   Status ParseUnload(Statement* out);
+  Status ParsePrepare(Statement* out);
+  Status ParseExecute(Statement* out);
+  Status ParseDeallocate(Statement* out);
 
   Status ParseLiteral(Literal* out);
   Status ParseExpr(std::unique_ptr<Expr>* out);
@@ -66,9 +72,11 @@ class Parser {
 
   std::vector<Token> tokens_;
   // Original statement text; token offsets index into it, which lets
-  // EXPLAIN PROFILE carry its inner statement as a text span.
+  // EXPLAIN PROFILE / PREPARE carry their inner statement as a text span.
   std::string text_;
   size_t pos_ = 0;
+  // Number of `?` placeholders consumed so far; each gets the next index.
+  size_t param_count_ = 0;
 };
 
 }  // namespace sql

@@ -88,8 +88,24 @@ int main() {
       NetClient client;
       Check(client.Connect("127.0.0.1", net.port()).ok(), "client connects");
       ResultSet result;
+      // Prepared handles are session state, so they must be re-registered
+      // after every reconnect — which also stresses the plan cache's
+      // hit path from many sessions preparing the same text.
+      auto prepare_all = [&result](NetClient* c) {
+        Check(c->Prepare("ins", "INSERT INTO t VALUES (?, ?)", &result).ok(),
+              "prepare insert");
+        Check(c->Prepare("cnt", "SELECT COUNT(*) FROM t WHERE a = ?",
+                         &result)
+                  .ok(),
+              "prepare count");
+      };
+      prepare_all(&client);
+      grtdb::sql::Literal lit_c;
+      lit_c.kind = grtdb::sql::Literal::Kind::kInteger;
+      lit_c.integer = c;
+      grtdb::sql::Literal lit_i = lit_c;
       for (int i = 0; i < kOpsPerClient; ++i) {
-        switch (i % 5) {
+        switch (i % 7) {
           case 0:
           case 1: {
             // Committed write transaction.
@@ -144,6 +160,36 @@ int main() {
             client.Close();
             Check(client.Connect("127.0.0.1", net.port()).ok(),
                   "client reconnects");
+            // The new connection is a new session: the old handles are
+            // gone and EXECUTE of them must fail cleanly.
+            Check(client.ExecutePrepared("ins", {lit_c, lit_i}, &result)
+                      .IsNotFound(),
+                  "stale handle is NotFound after reconnect");
+            prepare_all(&client);
+            break;
+          }
+          case 5: {
+            // Prepared write: binds fresh parameters through the shared
+            // cached plan while other sessions re-plan around DDL-free
+            // traffic.
+            lit_i.integer = i;
+            Status status =
+                client.ExecutePrepared("ins", {lit_c, lit_i}, &result);
+            Check(Tolerable(status), "prepared insert outcome");
+            if (status.ok()) {
+              committed.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              contended.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case 6: {
+            // Prepared read with a bound predicate.
+            Status status = client.ExecutePrepared("cnt", {lit_c}, &result);
+            Check(Tolerable(status), "prepared count outcome");
+            if (!status.ok()) {
+              contended.fetch_add(1, std::memory_order_relaxed);
+            }
             break;
           }
         }

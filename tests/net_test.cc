@@ -16,7 +16,9 @@ namespace {
 // ------------------------------------------------------------ protocol ---
 
 TEST(Protocol, RequestRoundTrip) {
-  Request in{Opcode::kScript, "SELECT 1; SELECT 2;"};
+  Request in;
+  in.opcode = Opcode::kScript;
+  in.sql = "SELECT 1; SELECT 2;";
   Request out;
   ASSERT_TRUE(DecodeRequest(EncodeRequest(in), &out).ok());
   EXPECT_EQ(out.opcode, Opcode::kScript);
@@ -59,18 +61,96 @@ TEST(Protocol, EveryStatusCodeSurvivesTheWire) {
   }
 }
 
+TEST(Protocol, PreparedRequestsRoundTrip) {
+  Request in;
+  in.opcode = Opcode::kPrepare;
+  in.stmt_name = "q1";
+  in.sql = "SELECT a FROM t WHERE Equal(a, ?)";
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(in), &out).ok());
+  EXPECT_EQ(out.opcode, Opcode::kPrepare);
+  EXPECT_EQ(out.stmt_name, "q1");
+  EXPECT_EQ(out.sql, in.sql);
+
+  // Every parameter type survives the wire, including the sign and the
+  // exact float bits.
+  Request exec;
+  exec.opcode = Opcode::kExecutePrepared;
+  exec.stmt_name = "q1";
+  sql::Literal i;
+  i.kind = sql::Literal::Kind::kInteger;
+  i.integer = -42;
+  sql::Literal f;
+  f.kind = sql::Literal::Kind::kFloat;
+  f.real = 3.25;
+  sql::Literal s;
+  s.kind = sql::Literal::Kind::kString;
+  s.text = "100, 200, 100, 200";
+  sql::Literal n;
+  n.kind = sql::Literal::Kind::kNull;
+  exec.params = {i, f, s, n};
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(exec), &out).ok());
+  EXPECT_EQ(out.opcode, Opcode::kExecutePrepared);
+  EXPECT_EQ(out.stmt_name, "q1");
+  ASSERT_EQ(out.params.size(), 4u);
+  EXPECT_EQ(out.params[0].kind, sql::Literal::Kind::kInteger);
+  EXPECT_EQ(out.params[0].integer, -42);
+  EXPECT_EQ(out.params[1].kind, sql::Literal::Kind::kFloat);
+  EXPECT_EQ(out.params[1].real, 3.25);
+  EXPECT_EQ(out.params[2].kind, sql::Literal::Kind::kString);
+  EXPECT_EQ(out.params[2].text, "100, 200, 100, 200");
+  EXPECT_EQ(out.params[3].kind, sql::Literal::Kind::kNull);
+}
+
+TEST(Protocol, MalformedParamPayloadsAreRejected) {
+  Request good;
+  good.opcode = Opcode::kExecutePrepared;
+  good.stmt_name = "q";
+  sql::Literal i;
+  i.kind = sql::Literal::Kind::kInteger;
+  i.integer = 7;
+  good.params = {i};
+  std::string encoded = EncodeRequest(good);
+  Request out;
+  ASSERT_TRUE(DecodeRequest(encoded, &out).ok());
+
+  // Truncate mid-parameter: the u64 payload loses its last byte.
+  std::string truncated = encoded.substr(0, encoded.size() - 1);
+  Status status = DecodeRequest(truncated, &out);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.message().find("parameter 1"), std::string::npos);
+
+  // An unknown parameter tag is rejected, not misread.
+  std::string bad_tag = encoded;
+  bad_tag[bad_tag.size() - 9] = 99;  // tag byte sits before the u64 value
+  EXPECT_TRUE(DecodeRequest(bad_tag, &out).IsInvalidArgument());
+
+  // A parameter count that cannot fit in the payload is rejected up
+  // front rather than looping.
+  Request empty;
+  empty.opcode = Opcode::kExecutePrepared;
+  empty.stmt_name = "q";
+  std::string huge = EncodeRequest(empty);
+  huge[huge.size() - 4] = '\xff';  // count field: last u32 in the payload
+  huge[huge.size() - 3] = '\xff';
+  EXPECT_TRUE(DecodeRequest(huge, &out).IsInvalidArgument());
+}
+
 TEST(Protocol, MalformedPayloadsAreRejected) {
   Request request;
   EXPECT_TRUE(DecodeRequest("", &request).IsInvalidArgument());
   // Opcode but a sql length pointing past the end.
   std::string bad("\x01\xff\xff\xff\x7f", 5);
   EXPECT_TRUE(DecodeRequest(bad, &request).IsInvalidArgument());
+  Request simple;
+  simple.opcode = Opcode::kExecute;
+  simple.sql = "x";
   // Unknown opcode.
-  std::string unknown = EncodeRequest(Request{Opcode::kExecute, "x"});
+  std::string unknown = EncodeRequest(simple);
   unknown[0] = 99;
   EXPECT_TRUE(DecodeRequest(unknown, &request).IsInvalidArgument());
   // Trailing garbage after a valid request.
-  std::string trailing = EncodeRequest(Request{Opcode::kExecute, "x"});
+  std::string trailing = EncodeRequest(simple);
   trailing += "junk";
   EXPECT_TRUE(DecodeRequest(trailing, &request).IsInvalidArgument());
 
@@ -290,6 +370,69 @@ TEST_F(NetTest, OversizedFrameIsRejected) {
   ResultSet result;
   std::string big(kMaxFrameBytes + 1, 'x');
   EXPECT_TRUE(client.Execute(big, &result).IsInvalidArgument());
+}
+
+TEST_F(NetTest, OversizedResponseBecomesErrorFrameNotDisconnect) {
+  NetClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ResultSet result;
+  ASSERT_TRUE(client.Execute("CREATE TABLE blobs (v text)", &result).ok());
+  // 17 x 1MiB rows push the SELECT * response past the 16MiB frame cap.
+  const std::string megabyte(1 << 20, 'v');
+  for (int i = 0; i < 17; ++i) {
+    ASSERT_TRUE(
+        client.Execute("INSERT INTO blobs VALUES ('" + megabyte + "')",
+                       &result)
+            .ok());
+  }
+  // Before the fix the worker's WriteFrame failed and it silently dropped
+  // the connection; now the payload is replaced with a typed error frame.
+  Status status = client.Execute("SELECT * FROM blobs", &result);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.message().find("frame limit"), std::string::npos)
+      << status.ToString();
+  EXPECT_TRUE(result.rows.empty());
+  EXPECT_EQ(net_->oversized_responses(), 1u);
+  // The connection — and the session behind it — is still usable.
+  EXPECT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM blobs", &result).ok());
+  EXPECT_EQ(result.rows[0][0], "17");
+}
+
+TEST_F(NetTest, PreparedStatementsOverTheWire) {
+  NetClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ResultSet result;
+  ASSERT_TRUE(client.Execute("CREATE TABLE t (a int, b text)", &result).ok());
+  ASSERT_TRUE(
+      client.Prepare("ins", "INSERT INTO t VALUES (?, ?)", &result).ok());
+  sql::Literal one;
+  one.kind = sql::Literal::Kind::kInteger;
+  one.integer = 1;
+  sql::Literal x;
+  x.kind = sql::Literal::Kind::kString;
+  x.text = "x";
+  ASSERT_TRUE(client.ExecutePrepared("ins", {one, x}, &result).ok());
+  one.integer = 2;
+  x.text = "y";
+  ASSERT_TRUE(client.ExecutePrepared("ins", {one, x}, &result).ok());
+
+  ASSERT_TRUE(
+      client.Prepare("sel", "SELECT b FROM t WHERE a = ?", &result).ok());
+  ASSERT_TRUE(client.ExecutePrepared("sel", {one}, &result).ok());
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], "y");
+
+  // Errors come back typed over the wire, and the connection survives.
+  EXPECT_TRUE(client.ExecutePrepared("nothing", {}, &result).IsNotFound());
+  EXPECT_TRUE(
+      client.ExecutePrepared("sel", {one, x}, &result).IsInvalidArgument());
+  EXPECT_TRUE(client.Ping().ok());
+
+  // Prepared handles are per connection = per session.
+  NetClient other;
+  ASSERT_TRUE(Connect(&other).ok());
+  EXPECT_TRUE(other.ExecutePrepared("sel", {one}, &result).IsNotFound());
 }
 
 }  // namespace

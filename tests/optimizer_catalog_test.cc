@@ -86,9 +86,12 @@ TEST_F(CatalogFixture, SystablesCountsRows) {
 }
 
 TEST_F(CatalogFixture, SystemTablesAreReadOnly) {
-  EXPECT_TRUE(Exec("INSERT INTO sysams VALUES ('x','S','y','z')")
-                  .IsNotFound());
-  EXPECT_TRUE(Exec("DELETE FROM sysams").IsNotFound());
+  Status insert = Exec("INSERT INTO sysams VALUES ('x','S','y','z')");
+  EXPECT_TRUE(insert.IsInvalidArgument()) << insert.ToString();
+  EXPECT_NE(insert.message().find("read-only"), std::string::npos);
+  Status del = Exec("DELETE FROM sysams");
+  EXPECT_TRUE(del.IsInvalidArgument()) << del.ToString();
+  EXPECT_NE(del.message().find("read-only"), std::string::npos);
 }
 
 // ----------------------------------------------------------- LOAD/UNLOAD --

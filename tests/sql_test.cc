@@ -217,6 +217,47 @@ TEST(Parser, CheckIndexAndUpdateStatistics) {
   EXPECT_EQ(As<UpdateStatisticsStmt>(stmt).index, "grt_index");
 }
 
+TEST(Parser, PrepareExecuteDeallocate) {
+  Statement stmt;
+  ASSERT_TRUE(Parser::Parse(
+                  "PREPARE q AS SELECT a FROM t WHERE Overlaps(x, ?)", &stmt)
+                  .ok());
+  EXPECT_EQ(As<PrepareStmt>(stmt).name, "q");
+  // The inner text is carried verbatim for the server's shared cache.
+  EXPECT_EQ(As<PrepareStmt>(stmt).inner_sql,
+            "SELECT a FROM t WHERE Overlaps(x, ?)");
+
+  // Placeholders are numbered lexically, across clauses.
+  size_t params = 0;
+  ASSERT_TRUE(Parser::Parse("UPDATE t SET a = ?, b = ? WHERE c = ?", &stmt,
+                            &params)
+                  .ok());
+  EXPECT_EQ(params, 3u);
+  const UpdateStmt& update = As<UpdateStmt>(stmt);
+  EXPECT_EQ(update.assignments[0].second.param_index, 0u);
+  EXPECT_EQ(update.assignments[1].second.param_index, 1u);
+
+  ASSERT_TRUE(Parser::Parse("EXECUTE q (1, 'x', NULL, 3.5)", &stmt).ok());
+  EXPECT_EQ(As<ExecuteStmt>(stmt).name, "q");
+  ASSERT_EQ(As<ExecuteStmt>(stmt).args.size(), 4u);
+  EXPECT_EQ(As<ExecuteStmt>(stmt).args[0].kind, Literal::Kind::kInteger);
+  EXPECT_EQ(As<ExecuteStmt>(stmt).args[2].kind, Literal::Kind::kNull);
+  ASSERT_TRUE(Parser::Parse("EXECUTE q", &stmt).ok());
+  EXPECT_TRUE(As<ExecuteStmt>(stmt).args.empty());
+
+  ASSERT_TRUE(Parser::Parse("DEALLOCATE q", &stmt).ok());
+  EXPECT_EQ(As<DeallocateStmt>(stmt).name, "q");
+  ASSERT_TRUE(Parser::Parse("DEALLOCATE PREPARE q", &stmt).ok());
+  EXPECT_EQ(As<DeallocateStmt>(stmt).name, "q");
+
+  // Only DML can be prepared, and EXECUTE arguments are literals.
+  EXPECT_FALSE(Parser::Parse("PREPARE q AS CREATE TABLE t (a int)", &stmt)
+                   .ok());
+  EXPECT_FALSE(Parser::Parse("PREPARE q AS", &stmt).ok());
+  EXPECT_FALSE(Parser::Parse("EXECUTE q (?)", &stmt).ok());
+  EXPECT_FALSE(Parser::Parse("EXECUTE q (a)", &stmt).ok());
+}
+
 TEST(Parser, Script) {
   std::vector<Statement> statements;
   ASSERT_TRUE(Parser::ParseScript(

@@ -8,6 +8,9 @@
 // separate lines share this connection's transaction, which is the whole
 // point of a session-oriented protocol.
 
+#include <strings.h>
+
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +18,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "net/net_client.h"
 
@@ -56,6 +60,129 @@ bool BlankOrComment(const std::string& line) {
   size_t i = line.find_first_not_of(" \t\r\n");
   if (i == std::string::npos) return true;
   return line.compare(i, 2, "--") == 0;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Splits "\execute" arguments on top-level commas — quoted strings keep
+// their commas (extents are spelled '100, 200, 100, 200') — and classifies
+// each piece as null / integer / float / string.
+bool ParseClientArgs(const std::string& text,
+                     std::vector<grtdb::sql::Literal>* out) {
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    grtdb::sql::Literal literal;
+    if (text[i] == '\'') {
+      std::string value;
+      ++i;
+      while (i < text.size()) {
+        if (text[i] == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        value.push_back(text[i++]);
+      }
+      if (i >= text.size()) return false;  // unterminated string
+      ++i;
+      literal.kind = grtdb::sql::Literal::Kind::kString;
+      literal.text = std::move(value);
+    } else {
+      size_t end = text.find(',', i);
+      if (end == std::string::npos) end = text.size();
+      std::string token = Trim(text.substr(i, end - i));
+      i = end;
+      if (token.empty()) return false;
+      if (strcasecmp(token.c_str(), "null") == 0) {
+        literal.kind = grtdb::sql::Literal::Kind::kNull;
+      } else if (token.find_first_of(".eE") != std::string::npos) {
+        literal.kind = grtdb::sql::Literal::Kind::kFloat;
+        literal.real = std::atof(token.c_str());
+      } else {
+        literal.kind = grtdb::sql::Literal::Kind::kInteger;
+        literal.integer = std::atoll(token.c_str());
+      }
+    }
+    out->push_back(std::move(literal));
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i < text.size()) {
+      if (text[i] != ',') return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
+// Backslash commands ride the dedicated prepared-statement wire opcodes
+// (plain "PREPARE ... AS"/"EXECUTE ..." SQL works too, through kExecute):
+//   \prepare <name> <sql>;      registers sql under name on this session
+//   \execute <name> [args...];  binds args and runs it
+//   \deallocate <name>;         drops the handle
+bool RunBackslashCommand(grtdb::net::NetClient* client,
+                         const std::string& input) {
+  std::string text = Trim(input);
+  if (!text.empty() && text.back() == ';') text = Trim(text.substr(0, text.size() - 1));
+  size_t sp = text.find_first_of(" \t");
+  std::string command = sp == std::string::npos ? text : text.substr(0, sp);
+  std::string rest = sp == std::string::npos ? "" : Trim(text.substr(sp));
+  grtdb::ResultSet result;
+  grtdb::Status status;
+  if (command == "\\prepare") {
+    size_t name_end = rest.find_first_of(" \t");
+    if (name_end == std::string::npos) {
+      std::fprintf(stderr, "usage: \\prepare <name> <sql>;\n");
+      return false;
+    }
+    status = client->Prepare(rest.substr(0, name_end),
+                             Trim(rest.substr(name_end)), &result);
+  } else if (command == "\\execute") {
+    size_t name_end = rest.find_first_of(" \t");
+    std::string name =
+        name_end == std::string::npos ? rest : rest.substr(0, name_end);
+    if (name.empty()) {
+      std::fprintf(stderr, "usage: \\execute <name> [args...];\n");
+      return false;
+    }
+    std::vector<grtdb::sql::Literal> args;
+    if (name_end != std::string::npos &&
+        !ParseClientArgs(Trim(rest.substr(name_end)), &args)) {
+      std::fprintf(stderr, "\\execute: malformed argument list\n");
+      return false;
+    }
+    status = client->ExecutePrepared(name, args, &result);
+  } else if (command == "\\deallocate") {
+    if (rest.empty()) {
+      std::fprintf(stderr, "usage: \\deallocate <name>;\n");
+      return false;
+    }
+    status = client->Execute("DEALLOCATE " + rest, &result);
+  } else {
+    std::fprintf(stderr,
+                 "unknown command %s (have \\prepare, \\execute, "
+                 "\\deallocate)\n",
+                 command.c_str());
+    return false;
+  }
+  PrintResult(result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -103,6 +230,9 @@ int main(int argc, char** argv) {
   }
 
   if (!inline_sql.empty()) {
+    if (Trim(inline_sql).rfind('\\', 0) == 0) {
+      return RunBackslashCommand(&client, inline_sql) ? 0 : 1;
+    }
     return RunStatement(&client, inline_sql, /*script=*/true) ? 0 : 1;
   }
   if (!script_file.empty()) {
@@ -134,7 +264,11 @@ int main(int argc, char** argv) {
     size_t last = line.find_last_not_of(" \t\r");
     if (last != std::string::npos && line[last] == ';') {
       if (pending == "quit;\n" || pending == "exit;\n") break;
-      RunStatement(&client, pending, /*script=*/true);
+      if (Trim(pending).rfind('\\', 0) == 0) {
+        RunBackslashCommand(&client, pending);
+      } else {
+        RunStatement(&client, pending, /*script=*/true);
+      }
       pending.clear();
     }
     if (tty) std::printf(pending.empty() ? "grtdb> " : "    -> ");
