@@ -48,9 +48,10 @@ void NetClient::Close() {
   }
 }
 
-Status NetClient::RoundTrip(const Request& request, ResultSet* out) {
+Status NetClient::RoundTrip(Request* request, ResultSet* out) {
   if (fd_ < 0) return Status::IOError("not connected");
-  Status io = WriteFrame(fd_, EncodeRequest(request));
+  request->trace_id = trace_id_;
+  Status io = WriteFrame(fd_, EncodeRequest(*request));
   if (io.ok()) {
     std::string payload;
     io = ReadFrame(fd_, &payload);
@@ -73,20 +74,20 @@ Status NetClient::Execute(const std::string& sql, ResultSet* out) {
   Request request;
   request.opcode = Opcode::kExecute;
   request.sql = sql;
-  return RoundTrip(request, out);
+  return RoundTrip(&request, out);
 }
 
 Status NetClient::ExecuteScript(const std::string& sql, ResultSet* out) {
   Request request;
   request.opcode = Opcode::kScript;
   request.sql = sql;
-  return RoundTrip(request, out);
+  return RoundTrip(&request, out);
 }
 
 Status NetClient::Ping() {
   Request request;
   request.opcode = Opcode::kPing;
-  return RoundTrip(request, nullptr);
+  return RoundTrip(&request, nullptr);
 }
 
 Status NetClient::Prepare(const std::string& name, const std::string& sql,
@@ -95,7 +96,7 @@ Status NetClient::Prepare(const std::string& name, const std::string& sql,
   request.opcode = Opcode::kPrepare;
   request.sql = sql;
   request.stmt_name = name;
-  return RoundTrip(request, out);
+  return RoundTrip(&request, out);
 }
 
 Status NetClient::ExecutePrepared(const std::string& name,
@@ -105,7 +106,7 @@ Status NetClient::ExecutePrepared(const std::string& name,
   request.opcode = Opcode::kExecutePrepared;
   request.stmt_name = name;
   request.params = params;
-  return RoundTrip(request, out);
+  return RoundTrip(&request, out);
 }
 
 }  // namespace net

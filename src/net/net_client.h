@@ -46,10 +46,18 @@ class NetClient {
                          const std::vector<sql::Literal>& params,
                          ResultSet* out);
 
+  // Trace id stamped on every subsequent request; the server samples a
+  // traced request into sys_spans under this id regardless of its
+  // TRACE_SAMPLE setting. 0 (the default) sends no id — the server
+  // decides sampling itself. Set per operation for per-op attribution.
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
-  Status RoundTrip(const Request& request, ResultSet* out);
+  Status RoundTrip(Request* request, ResultSet* out);
 
   int fd_ = -1;
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace net

@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "net/protocol.h"
+#include "obs/fast_clock.h"
+#include "obs/span_tracer.h"
 
 namespace grtdb {
 namespace net {
@@ -62,6 +64,17 @@ Status NetServer::Start() {
     port_ = ntohs(bound.sin_port);
   }
 
+  obs::MetricsRegistry& metrics = server_->metrics();
+  m_connections_accepted_ = metrics.GetCounter("net.connections_accepted");
+  m_connections_closed_ = metrics.GetCounter("net.connections_closed");
+  m_frames_in_ = metrics.GetCounter("net.frames_in");
+  m_frames_out_ = metrics.GetCounter("net.frames_out");
+  m_bytes_in_ = metrics.GetCounter("net.bytes_in");
+  m_bytes_out_ = metrics.GetCounter("net.bytes_out");
+  m_oversized_responses_metric_ =
+      metrics.GetCounter("net.oversized_responses");
+  m_queue_depth_ = metrics.GetGauge("net.queue_depth");
+
   stopping_.store(false, std::memory_order_relaxed);
   int workers = options_.num_workers > 0 ? options_.num_workers : 1;
   workers_.reserve(workers);
@@ -89,11 +102,14 @@ void NetServer::Stop() {
     // Close connections that never got a worker, then post one sentinel
     // per worker so every WorkerLoop drains and exits.
     std::lock_guard<std::mutex> lock(queue_mu_);
-    for (int fd : pending_) {
-      if (fd >= 0) ::close(fd);
+    for (const PendingConn& conn : pending_) {
+      if (conn.fd >= 0) ::close(conn.fd);
     }
     pending_.clear();
-    for (size_t i = 0; i < workers_.size(); ++i) pending_.push_back(-1);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      pending_.push_back(PendingConn{});
+    }
+    if (m_queue_depth_ != nullptr) m_queue_depth_->Set(0);
   }
   queue_cv_.notify_all();
 
@@ -125,9 +141,14 @@ void NetServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (m_connections_accepted_ != nullptr) m_connections_accepted_->Add();
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      pending_.push_back(fd);
+      pending_.push_back(
+          PendingConn{fd, obs::Ticks(), pending_.size() + 1});
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
+      }
     }
     queue_cv_.notify_one();
   }
@@ -135,85 +156,142 @@ void NetServer::AcceptLoop() {
 
 void NetServer::WorkerLoop() {
   for (;;) {
-    int fd;
+    PendingConn conn;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return !pending_.empty(); });
-      fd = pending_.front();
+      conn = pending_.front();
       pending_.pop_front();
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
+      }
     }
-    if (fd < 0) return;  // shutdown sentinel
+    if (conn.fd < 0) return;  // shutdown sentinel
     {
       std::lock_guard<std::mutex> lock(active_mu_);
-      active_fds_.insert(fd);
+      active_fds_.insert(conn.fd);
     }
-    ServeConnection(fd);
+    ServeConnection(conn.fd, conn.enqueue_ticks, obs::Ticks(), conn.depth);
     {
       std::lock_guard<std::mutex> lock(active_mu_);
-      active_fds_.erase(fd);
+      active_fds_.erase(conn.fd);
     }
-    ::close(fd);
+    ::close(conn.fd);
+    if (m_connections_closed_ != nullptr) m_connections_closed_->Add();
   }
 }
 
-void NetServer::ServeConnection(int fd) {
+void NetServer::ServeConnection(int fd, uint64_t queue_enqueue_ticks,
+                                uint64_t queue_dequeue_ticks,
+                                uint64_t queue_depth) {
   ServerSession* session = server_->CreateSession();
+  obs::SpanTracer& tracer = server_->span_tracer();
+  // The accept-queue wait happened once, before any frame; it is charged
+  // to the connection's first traced request.
+  bool queue_wait_reported = false;
   std::string payload;
   Response response;
   while (!stopping_.load(std::memory_order_relaxed)) {
     Status io = ReadFrame(fd, &payload);
     if (!io.ok()) break;  // disconnect (clean or otherwise)
+    // Frame arrival is the traced request's start; taken before decode so
+    // the decode span nests fully inside the root.
+    const uint64_t frame_ticks = obs::Ticks();
+    if (m_frames_in_ != nullptr) m_frames_in_->Add();
+    if (m_bytes_in_ != nullptr) m_bytes_in_->Add(4 + payload.size());
 
     Request request;
     Status parsed = DecodeRequest(payload, &request);
+    const uint64_t decoded_ticks = obs::Ticks();
     response.result.Clear();
     if (!parsed.ok()) {
       // Malformed frame: report it, then drop the connection — framing
       // may be out of sync, so nothing after this byte can be trusted.
       response.status = parsed;
-      WriteFrame(fd, EncodeResponse(response));
+      std::string encoded = EncodeResponse(response);
+      if (m_frames_out_ != nullptr) m_frames_out_->Add();
+      if (m_bytes_out_ != nullptr) m_bytes_out_->Add(4 + encoded.size());
+      WriteFrame(fd, encoded);
       break;
     }
 
-    switch (request.opcode) {
-      case Opcode::kExecute:
-        response.status = server_->Execute(session, request.sql,
-                                           &response.result);
-        break;
-      case Opcode::kScript:
-        response.status = server_->ExecuteScript(session, request.sql,
-                                                 &response.result);
-        break;
-      case Opcode::kPing:
-        response.status = Status::OK();
-        break;
-      case Opcode::kPrepare:
-        response.status = server_->Prepare(session, request.stmt_name,
-                                           request.sql, &response.result);
-        break;
-      case Opcode::kExecutePrepared:
-        response.status = server_->ExecutePrepared(
-            session, request.stmt_name, request.params, &response.result);
-        break;
+    // Root the trace at frame arrival. A nonzero wire id (client-set) is
+    // always sampled under that id; otherwise the tracer's 1-in-N gate
+    // decides. When not sampled the handle is inactive and every tracing
+    // touch below — here and all the way down to the WAL — is a
+    // thread-local read and a branch.
+    obs::TraceHandle trace = tracer.StartTrace(request.trace_id);
+    bool write_failed = false;
+    {
+      obs::TraceScope root(trace, obs::SpanName::kRequest, frame_ticks,
+                           static_cast<uint64_t>(request.opcode),
+                           session->id());
+      if (root.active()) {
+        // Decode necessarily preceded the root (the trace id lives inside
+        // the frame), so its span — and, once, the accept-queue wait — is
+        // emitted retroactively under the fresh root.
+        obs::TraceHandle here = obs::CurrentTraceHandle();
+        tracer.EmitSpan(here, obs::SpanName::kWireDecode, frame_ticks,
+                        decoded_ticks, payload.size());
+        if (!queue_wait_reported) {
+          tracer.EmitSpan(here, obs::SpanName::kQueueWait,
+                          queue_enqueue_ticks, queue_dequeue_ticks,
+                          queue_depth);
+        }
+      }
+      queue_wait_reported = true;
+
+      switch (request.opcode) {
+        case Opcode::kExecute:
+          response.status = server_->Execute(session, request.sql,
+                                             &response.result);
+          break;
+        case Opcode::kScript:
+          response.status = server_->ExecuteScript(session, request.sql,
+                                                   &response.result);
+          break;
+        case Opcode::kPing:
+          response.status = Status::OK();
+          break;
+        case Opcode::kPrepare:
+          response.status = server_->Prepare(session, request.stmt_name,
+                                             request.sql, &response.result);
+          break;
+        case Opcode::kExecutePrepared:
+          response.status = server_->ExecutePrepared(
+              session, request.stmt_name, request.params, &response.result);
+          break;
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+      obs::SpanScope respond(obs::SpanName::kRespond);
+      std::string encoded = EncodeResponse(response);
+      if (encoded.size() > kMaxFrameBytes) {
+        // The result is too large to frame. WriteFrame would refuse it and
+        // previously the connection was silently dropped mid-conversation;
+        // instead tell the client what happened with a well-formed error
+        // frame. The statement already executed — framing is intact and the
+        // transaction state is whatever the statement left — so the
+        // connection stays usable.
+        response.status = Status::InvalidArgument(
+            "response of " + std::to_string(encoded.size()) +
+            " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+            "-byte frame limit; narrow the query");
+        response.result.Clear();
+        encoded = EncodeResponse(response);
+        oversized_responses_.fetch_add(1, std::memory_order_relaxed);
+        if (m_oversized_responses_metric_ != nullptr) {
+          m_oversized_responses_metric_->Add();
+        }
+      }
+      respond.set_operands(encoded.size(), 0);
+      if (m_frames_out_ != nullptr) m_frames_out_->Add();
+      if (m_bytes_out_ != nullptr) m_bytes_out_->Add(4 + encoded.size());
+      write_failed = !WriteFrame(fd, encoded).ok();
+      // The respond span and the request root close here, before the
+      // next frame is awaited.
     }
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    std::string encoded = EncodeResponse(response);
-    if (encoded.size() > kMaxFrameBytes) {
-      // The result is too large to frame. WriteFrame would refuse it and
-      // previously the connection was silently dropped mid-conversation;
-      // instead tell the client what happened with a well-formed error
-      // frame. The statement already executed — framing is intact and the
-      // transaction state is whatever the statement left — so the
-      // connection stays usable.
-      response.status = Status::InvalidArgument(
-          "response of " + std::to_string(encoded.size()) +
-          " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
-          "-byte frame limit; narrow the query");
-      response.result.Clear();
-      encoded = EncodeResponse(response);
-      oversized_responses_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (!WriteFrame(fd, encoded).ok()) break;
+    if (write_failed) break;
   }
   // Disconnect is the session's end: CloseSession rolls back whatever
   // transaction the client left open and ends its memory durations.

@@ -13,6 +13,7 @@
 #include <condition_variable>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 
 namespace grtdb {
@@ -62,10 +63,23 @@ class NetServer {
   }
 
  private:
+  // One accepted connection waiting for a free worker. The accept thread
+  // stamps the enqueue tick so the adopting worker can attribute the
+  // accept-queue wait to the connection's first traced request.
+  struct PendingConn {
+    int fd = -1;  // -1 = shutdown sentinel
+    uint64_t enqueue_ticks = 0;
+    uint64_t depth = 0;  // queue depth at enqueue, this entry included
+  };
+
   void AcceptLoop();
   void WorkerLoop();
-  // Runs one connection to completion; owns fd and the session.
-  void ServeConnection(int fd);
+  // Runs one connection to completion; owns fd and the session. The
+  // queue_* arguments describe the accept-queue wait this connection
+  // already paid, reported as a kQueueWait span on its first traced
+  // request.
+  void ServeConnection(int fd, uint64_t queue_enqueue_ticks,
+                       uint64_t queue_dequeue_ticks, uint64_t queue_depth);
 
   Server* server_;
   NetServerOptions options_;
@@ -80,10 +94,23 @@ class NetServer {
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
 
-  // Accepted fds waiting for a free worker; -1 is the shutdown sentinel.
+  // Accepted fds waiting for a free worker; fd -1 is the shutdown
+  // sentinel.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;
+  std::deque<PendingConn> pending_;
+
+  // Cached get-or-create handles into the embedded server's
+  // MetricsRegistry, registered at Start() so EXPORT METRICS shows every
+  // net.* series from the first scrape. Null until Start().
+  obs::Counter* m_connections_accepted_ = nullptr;
+  obs::Counter* m_connections_closed_ = nullptr;
+  obs::Counter* m_frames_in_ = nullptr;
+  obs::Counter* m_frames_out_ = nullptr;
+  obs::Counter* m_bytes_in_ = nullptr;
+  obs::Counter* m_bytes_out_ = nullptr;
+  obs::Counter* m_oversized_responses_metric_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
 
   // Fds currently owned by workers, so Stop can shut them down and
   // unblock the blocking reads.

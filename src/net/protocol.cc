@@ -182,6 +182,9 @@ std::string EncodeRequest(const Request& request) {
       PutParam(&out, param);
     }
   }
+  // Trailing trace id, only when set — a zero id encodes as nothing, so
+  // untraced requests keep the pre-tracing wire format byte for byte.
+  if (request.trace_id != 0) PutU64(&out, request.trace_id);
   return out;
 }
 
@@ -229,8 +232,13 @@ Status DecodeRequest(const std::string& payload, Request* out) {
       return Status::InvalidArgument("unknown opcode " +
                                      std::to_string(opcode));
   }
+  out->trace_id = 0;
   if (!reader.AtEnd()) {
-    return Status::InvalidArgument("malformed request payload");
+    // The only thing allowed after the opcode-specific fields is the
+    // optional trace id — exactly eight more bytes.
+    if (!reader.GetU64(&out->trace_id) || !reader.AtEnd()) {
+      return Status::InvalidArgument("malformed request payload");
+    }
   }
   out->opcode = static_cast<Opcode>(opcode);
   return Status::OK();

@@ -23,6 +23,10 @@ namespace net {
 //   per parameter a u8 kind tag (0 null, 1 integer, 2 float, 3 string)
 //   followed by the value (u64 two's-complement, u64 IEEE-754 bits, or a
 //   string). The sql field stays empty.
+//   Any request may end with an optional trailing u64-LE trace id; it is
+//   encoded only when nonzero, so frames from clients that never set one
+//   are byte-identical to the pre-tracing format. A nonzero id forces the
+//   server to sample the request into its span buffer under that id.
 // Response payload: u8 status-code, string message, u64 affected,
 //                   string-list columns, row-list rows, string-list
 //                   messages — where string = u32-LE length + bytes and
@@ -48,6 +52,8 @@ struct Request {
   std::string sql;        // kExecute / kScript / kPrepare (statement text)
   std::string stmt_name;  // kPrepare / kExecutePrepared
   std::vector<sql::Literal> params;  // kExecutePrepared
+  // Client-chosen trace id; 0 means "not set" (omitted from the wire).
+  uint64_t trace_id = 0;
 };
 
 struct Response {

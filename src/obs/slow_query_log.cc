@@ -4,12 +4,15 @@ namespace grtdb {
 namespace obs {
 
 void SlowQueryLog::MaybeRecord(const std::string& sql, uint64_t total_ns,
-                               const QueryProfile& profile) {
+                               const QueryProfile& profile,
+                               uint64_t session_id, uint64_t trace_id) {
   const uint64_t threshold = threshold_ns_.load(std::memory_order_relaxed);
   if (threshold == 0 || total_ns < threshold) return;
 
   SlowQueryEntry entry;
   entry.sql = sql;
+  entry.session_id = session_id;
+  entry.trace_id = trace_id;
   entry.total_ns = total_ns;
   for (size_t i = 0; i < kPurposeFnCount; ++i) {
     const auto fn = static_cast<PurposeFn>(i);

@@ -19,6 +19,8 @@ namespace obs {
 struct SlowQueryEntry {
   uint64_t seq = 0;  // monotone admission number (never reused)
   std::string sql;
+  uint64_t session_id = 0;  // which session ran it (0 = unknown)
+  uint64_t trace_id = 0;    // cross-link into sys_spans (0 = not sampled)
   uint64_t total_ns = 0;
   uint64_t calls[kPurposeFnCount] = {};
   uint64_t ns[kPurposeFnCount] = {};
@@ -50,9 +52,12 @@ class SlowQueryLog {
   }
 
   // Retains (sql, profile) when the threshold is set and total_ns reaches
-  // it, evicting the oldest entry once the ring is full.
+  // it, evicting the oldest entry once the ring is full. session_id and
+  // trace_id attribute the entry to its session and (when the statement
+  // was sampled) its span trace.
   void MaybeRecord(const std::string& sql, uint64_t total_ns,
-                   const QueryProfile& profile);
+                   const QueryProfile& profile, uint64_t session_id = 0,
+                   uint64_t trace_id = 0);
 
   // Retained entries, oldest first.
   std::vector<SlowQueryEntry> Snapshot() const;

@@ -531,6 +531,8 @@ Status Server::BindPlanMemo(ServerSession* session, const PlanMemo& memo,
 
 Status Server::PlanQuery(ServerSession* session, Table* table,
                          const sql::Expr* where, Plan* plan) {
+  // a = 1 when a cached memo was reused, 0 when this call planned afresh.
+  obs::SpanScope plan_span(obs::SpanName::kPlan);
   CachedPlan* cached = session == nullptr ? nullptr : session->active_plan();
   if (cached != nullptr) {
     PlanMemo memo;
@@ -557,6 +559,7 @@ Status Server::PlanQuery(ServerSession* session, Table* table,
         memo = cached->memo;
       }
     }
+    plan_span.set_operands(have ? 1 : 0, 0);
     if (BindPlanMemo(session, memo, plan).ok()) return Status::OK();
     // This execution's parameter would not coerce to the memoized key
     // type; fall through to a fresh plan (not stored), which routes the

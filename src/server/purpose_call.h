@@ -6,6 +6,7 @@
 #include "obs/fast_clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/query_profile.h"
+#include "obs/span_tracer.h"
 #include "server/catalog.h"
 #include "server/server.h"
 
@@ -21,7 +22,10 @@ class PurposeCallScope {
  public:
   PurposeCallScope(Server* server, ServerSession* session,
                    const AccessMethodDef* am, obs::PurposeFn fn)
-      : server_(server), session_(session), fn_(fn) {
+      : server_(server),
+        session_(session),
+        fn_(fn),
+        span_(obs::SpanName::kPurpose, static_cast<uint64_t>(fn)) {
     const char* generic = obs::PurposeFnName(fn);
     auto it = am->purpose_names.find(generic);
     session_->LogPurposeCall(it != am->purpose_names.end() ? it->second
@@ -63,6 +67,10 @@ class PurposeCallScope {
   bool obs_timed_ = false;
   uint64_t slow_ns_ = 0;
   uint64_t start_ticks_ = 0;
+  // Span per purpose call when the statement's request is sampled; a
+  // thread-local read and a branch otherwise. Declared last so the span
+  // closes (destructors run in reverse) after the accounting above.
+  obs::SpanScope span_;
 };
 
 }  // namespace grtdb

@@ -1,6 +1,8 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
 
 #include "common/date.h"
 #include "common/strings.h"
@@ -25,6 +27,10 @@ class StatementGateScope {
       : gate_(depth_ == 0 ? gate : nullptr), exclusive_(exclusive) {
     ++depth_;
     if (gate_ == nullptr) return;
+    // The span covers only the acquisition: under concurrent sessions this
+    // is the time a statement sat blocked behind DDL (or, for DDL, behind
+    // every in-flight reader).
+    obs::SpanScope span(obs::SpanName::kGateWait, exclusive_ ? 1 : 0);
     if (exclusive_) {
       gate_->lock();
     } else {
@@ -73,7 +79,8 @@ Server::Server(const ServerOptions& options)
     : options_(options),
       lock_manager_(options.lock_timeout),
       txn_manager_(&lock_manager_),
-      current_time_(options.initial_time) {
+      current_time_(options.initial_time),
+      span_tracer_(options.span_capacity) {
   trace_.SetCapacity(options.trace_capacity);
   // Pointer stores into named memory are audited against the duration
   // allocator: a per-statement pointer parked in session-lifetime named
@@ -418,8 +425,42 @@ std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
     }
     return table;
   }
+  if (EqualsIgnoreCase(name, "sys_spans")) {
+    std::vector<ColumnDef> cols = {{"seq", TypeDesc::Integer()},
+                                   {"trace_id", TypeDesc::Integer()},
+                                   {"span_id", TypeDesc::Integer()},
+                                   {"parent_id", TypeDesc::Integer()},
+                                   {"name", TypeDesc::Text()},
+                                   {"start_ns", TypeDesc::Integer()},
+                                   {"dur_ns", TypeDesc::Integer()},
+                                   {"thread", TypeDesc::Integer()},
+                                   {"a", TypeDesc::Integer()},
+                                   {"b", TypeDesc::Integer()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    const uint64_t base = span_tracer_.base_ticks();
+    for (const obs::SpanRecord& span : span_tracer_.Snapshot()) {
+      Status st = table->Insert(
+          {Value::Integer(static_cast<int64_t>(span.seq)),
+           Value::Integer(static_cast<int64_t>(span.trace_id)),
+           Value::Integer(static_cast<int64_t>(span.span_id)),
+           Value::Integer(static_cast<int64_t>(span.parent_id)),
+           Value::Text(obs::SpanNameString(span.name)),
+           Value::Integer(static_cast<int64_t>(
+               obs::TicksToNs(span.start_ticks - base))),
+           Value::Integer(static_cast<int64_t>(
+               obs::TicksToNs(span.end_ticks - span.start_ticks))),
+           Value::Integer(static_cast<int64_t>(span.thread)),
+           Value::Integer(static_cast<int64_t>(span.a)),
+           Value::Integer(static_cast<int64_t>(span.b))},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
   if (EqualsIgnoreCase(name, "sys_slow_queries")) {
     std::vector<ColumnDef> cols = {{"seq", TypeDesc::Integer()},
+                                   {"session", TypeDesc::Integer()},
+                                   {"trace_id", TypeDesc::Integer()},
                                    {"total_us", TypeDesc::Integer()},
                                    {"rows_scanned", TypeDesc::Integer()},
                                    {"rows_returned", TypeDesc::Integer()},
@@ -444,6 +485,8 @@ std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
       }
       Status st = table->Insert(
           {Value::Integer(static_cast<int64_t>(entry.seq)),
+           Value::Integer(static_cast<int64_t>(entry.session_id)),
+           Value::Integer(static_cast<int64_t>(entry.trace_id)),
            Value::Integer(static_cast<int64_t>(entry.total_ns / 1000)),
            Value::Integer(static_cast<int64_t>(entry.rows_scanned)),
            Value::Integer(static_cast<int64_t>(entry.rows_returned)),
@@ -504,7 +547,7 @@ std::vector<std::string> Server::SystemTableNames() {
   return {"systables",   "sysams",         "sysopclasses",
           "sysindices",  "sysprocedures",  "sys_metrics",
           "sys_trace",   "sys_locks",      "sys_index_stats",
-          "sys_slow_queries", "sys_prepared"};
+          "sys_slow_queries", "sys_prepared", "sys_spans"};
 }
 
 bool Server::IsSystemViewName(const std::string& name) {
@@ -549,8 +592,19 @@ std::string Server::RenderValue(const Value& value) const {
 
 Status Server::Execute(ServerSession* session, const std::string& sql,
                        ResultSet* out) {
+  // Root the request trace here unless one is already installed on this
+  // thread (the net front end roots at frame arrival so decode and queue
+  // wait are covered; EXPLAIN TRACE roots its own). When sampling is off —
+  // the default — StartTrace is one relaxed load and the scope is inert.
+  const obs::TraceHandle ambient = obs::CurrentTraceHandle();
+  obs::TraceScope root_scope(
+      ambient.active() ? obs::TraceHandle{} : span_tracer_.StartTrace(),
+      obs::SpanName::kRequest);
   sql::Statement stmt;
-  GRTDB_RETURN_IF_ERROR(sql::Parser::Parse(sql, &stmt));
+  {
+    obs::SpanScope parse_span(obs::SpanName::kParse);
+    GRTDB_RETURN_IF_ERROR(sql::Parser::Parse(sql, &stmt));
+  }
   out->Clear();
   const uint64_t start_ticks = obs::Ticks();
   Status status = ExecuteStatement(session, stmt, out);
@@ -558,7 +612,8 @@ Status Server::Execute(ServerSession* session, const std::string& sql,
   // threshold check is one relaxed load, so the disabled default costs
   // nothing beyond the two tick reads.
   slow_query_log_.MaybeRecord(sql, obs::TicksToNs(obs::Ticks() - start_ticks),
-                              session->profile());
+                              session->profile(), session->id(),
+                              obs::CurrentTraceHandle().trace_id);
   // PER_FUNCTION and PER_STATEMENT memory die with the statement (§6.2).
   // Teardown is scoped to the executing session's allocator, so two
   // concurrent statements cannot free each other's blocks.
@@ -569,6 +624,11 @@ Status Server::Execute(ServerSession* session, const std::string& sql,
 
 Status Server::ExecuteScript(ServerSession* session,
                              const std::string& script, ResultSet* out) {
+  // One root spans the whole script (a script arrives as one request).
+  const obs::TraceHandle ambient = obs::CurrentTraceHandle();
+  obs::TraceScope root_scope(
+      ambient.active() ? obs::TraceHandle{} : span_tracer_.StartTrace(),
+      obs::SpanName::kRequest);
   std::vector<sql::Statement> statements;
   GRTDB_RETURN_IF_ERROR(sql::Parser::ParseScript(script, &statements));
   for (const sql::Statement& stmt : statements) {
@@ -667,8 +727,14 @@ Status Server::ExecuteStatement(ServerSession* session,
     Status operator()(const sql::ExplainProfileStmt& s) {
       return server->ExecExplainProfile(session, s, out);
     }
+    Status operator()(const sql::ExplainTraceStmt& s) {
+      return server->ExecExplainTrace(session, s, out);
+    }
     Status operator()(const sql::DumpFlightStmt&) {
       return server->ExecDumpFlight(out);
+    }
+    Status operator()(const sql::DumpTraceStmt& s) {
+      return server->ExecDumpTrace(s, out);
     }
     Status operator()(const sql::ExportMetricsStmt&) {
       return server->ExecExportMetrics(out);
@@ -694,7 +760,11 @@ Status Server::ExecuteStatement(ServerSession* session,
   // report.
   session->profile().Reset();
   obs::ScopedProfile profile_scope(&session->profile());
-  Status status = std::visit(Visitor{this, session, out}, stmt);
+  Status status;
+  {
+    obs::SpanScope exec_span(obs::SpanName::kExec);
+    status = std::visit(Visitor{this, session, out}, stmt);
+  }
   if (is_definition) {
     // Every definition change — successful or not (a failed CREATE INDEX
     // still touched the catalog on the way) — drops every cached plan.
@@ -722,12 +792,130 @@ Status Server::ExecExplainProfile(ServerSession* session,
   return Status::OK();
 }
 
+Status Server::ExecExplainTrace(ServerSession* session,
+                                const sql::ExplainTraceStmt& stmt,
+                                ResultSet* out) {
+  // Force-sample a fresh trace and run the inner statement under it; every
+  // instrumented layer nests its spans below this root automatically. The
+  // inner Execute sees the ambient trace and does not re-sample.
+  const obs::TraceHandle handle = span_tracer_.StartTraceForced();
+  Status status;
+  {
+    obs::TraceScope root(handle, obs::SpanName::kRequest);
+    status = Execute(session, stmt.inner_sql, out);
+  }
+  GRTDB_RETURN_IF_ERROR(status);
+  std::vector<obs::SpanRecord> spans =
+      span_tracer_.SnapshotTrace(handle.trace_id);
+  // Stitch the parent/child tree and render it depth-first, children in
+  // start order. Spans evicted by ring wrap under heavy sampling simply
+  // don't appear; the root always survives (it was recorded last).
+  std::map<uint64_t, std::vector<const obs::SpanRecord*>> children;
+  for (const obs::SpanRecord& span : spans) {
+    children[span.parent_id].push_back(&span);
+  }
+  for (auto& [parent, list] : children) {
+    std::sort(list.begin(), list.end(),
+              [](const obs::SpanRecord* a, const obs::SpanRecord* b) {
+                return a->start_ticks < b->start_ticks;
+              });
+  }
+  out->messages.push_back("TRACE trace_id=" +
+                          std::to_string(handle.trace_id) + " spans=" +
+                          std::to_string(spans.size()));
+  struct Frame {
+    const obs::SpanRecord* span;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const obs::SpanRecord& span = *frame.span;
+    char line[160];
+    std::snprintf(line, sizeof(line), "TRACE %*s%s %.1fus a=%llu b=%llu",
+                  frame.depth * 2, "", obs::SpanNameString(span.name),
+                  static_cast<double>(
+                      obs::TicksToNs(span.end_ticks - span.start_ticks)) /
+                      1000.0,
+                  static_cast<unsigned long long>(span.a),
+                  static_cast<unsigned long long>(span.b));
+    out->messages.push_back(line);
+    auto kids = children.find(span.span_id);
+    if (kids != children.end()) {
+      for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+        stack.push_back({*it, frame.depth + 1});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Server::ExecDumpTrace(const sql::DumpTraceStmt& stmt, ResultSet* out) {
+  const std::vector<obs::SpanRecord> spans = span_tracer_.Snapshot();
+  const uint64_t base = span_tracer_.base_ticks();
+  if (!stmt.json) {
+    out->columns = {"seq",      "trace_id", "span_id", "parent_id", "name",
+                    "start_ns", "dur_ns",   "thread",  "a",         "b"};
+    for (const obs::SpanRecord& span : spans) {
+      out->rows.push_back(
+          {std::to_string(span.seq), std::to_string(span.trace_id),
+           std::to_string(span.span_id), std::to_string(span.parent_id),
+           obs::SpanNameString(span.name),
+           std::to_string(obs::TicksToNs(span.start_ticks - base)),
+           std::to_string(obs::TicksToNs(span.end_ticks - span.start_ticks)),
+           std::to_string(span.thread), std::to_string(span.a),
+           std::to_string(span.b)});
+    }
+    out->messages.push_back("span tracer: " + std::to_string(spans.size()) +
+                            " spans retained, " +
+                            std::to_string(span_tracer_.evicted()) +
+                            " evicted");
+    return Status::OK();
+  }
+  // Chrome trace-event JSON (the "JSON Object Format"): complete events
+  // ("ph":"X"), timestamps and durations in fractional microseconds,
+  // loadable in Perfetto / chrome://tracing. One result row per line so
+  // wire clients reassemble with newlines.
+  out->columns = {"json"};
+  out->rows.push_back({"{\"displayTimeUnit\":\"ms\",\"traceEvents\":["});
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const obs::SpanRecord& span = spans[i];
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"name\":\"%s\",\"cat\":\"grtdb\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%llu,\"args\":{\"trace_id\":%llu,"
+        "\"span_id\":%llu,\"parent_id\":%llu,\"a\":%llu,\"b\":%llu}}%s",
+        obs::SpanNameString(span.name),
+        static_cast<double>(obs::TicksToNs(span.start_ticks - base)) / 1000.0,
+        static_cast<double>(obs::TicksToNs(span.end_ticks -
+                                           span.start_ticks)) /
+            1000.0,
+        static_cast<unsigned long long>(span.thread % 1000000),
+        static_cast<unsigned long long>(span.trace_id),
+        static_cast<unsigned long long>(span.span_id),
+        static_cast<unsigned long long>(span.parent_id),
+        static_cast<unsigned long long>(span.a),
+        static_cast<unsigned long long>(span.b),
+        i + 1 == spans.size() ? "" : ",");
+    out->rows.push_back({line});
+  }
+  out->rows.push_back({"]}"});
+  return Status::OK();
+}
+
 // ------------------------------------------------ prepared statements ---
 
 Status Server::GetCachedPlan(const std::string& sql,
                              std::shared_ptr<CachedPlan>* out) {
+  obs::SpanScope plan_span(obs::SpanName::kPlan);
   bool hit = false;
   GRTDB_RETURN_IF_ERROR(plan_cache_.Get(sql, out, &hit));
+  plan_span.set_operands(hit ? 1 : 0, 0);
   obs::Counter* counter = hit ? plan_cache_hits_ : plan_cache_misses_;
   if (counter != nullptr) counter->Add(1);
   return Status::OK();
@@ -827,11 +1015,18 @@ Status Server::ExecutePrepared(ServerSession* session,
   execute.args = params;
   sql::Statement stmt = std::move(execute);
   out->Clear();
+  // Same trace-rooting rule as Execute: the net front end usually owns the
+  // root; the embedded path samples here.
+  const obs::TraceHandle ambient = obs::CurrentTraceHandle();
+  obs::TraceScope root_scope(
+      ambient.active() ? obs::TraceHandle{} : span_tracer_.StartTrace(),
+      obs::SpanName::kRequest);
   const uint64_t start_ticks = obs::Ticks();
   Status status = ExecuteStatement(session, stmt, out);
   slow_query_log_.MaybeRecord("EXECUTE " + name,
                               obs::TicksToNs(obs::Ticks() - start_ticks),
-                              session->profile());
+                              session->profile(), session->id(),
+                              obs::CurrentTraceHandle().trace_id);
   session->memory().EndDuration(MiDuration::kPerFunction);
   session->memory().EndDuration(MiDuration::kPerStatement);
   return status;
@@ -1178,6 +1373,20 @@ Status Server::ExecSet(ServerSession* session, const sql::SetStmt& stmt,
               ? "slow-query log disabled"
               : "slow-query threshold set to " +
                     std::to_string(stmt.value.integer) + " ns");
+      return Status::OK();
+    case sql::SetStmt::What::kTraceSample:
+      if (stmt.value.kind != sql::Literal::Kind::kInteger ||
+          stmt.value.integer < 0) {
+        return Status::InvalidArgument(
+            "SET TRACE_SAMPLE expects a non-negative integer (0 disables)");
+      }
+      span_tracer_.set_sample_every(
+          static_cast<uint32_t>(stmt.value.integer));
+      out->messages.push_back(
+          stmt.value.integer == 0
+              ? "request tracing disabled"
+              : "tracing 1 in " + std::to_string(stmt.value.integer) +
+                    " requests");
       return Status::OK();
   }
   return Status::Internal("bad SET statement");

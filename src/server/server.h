@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/slow_query_log.h"
+#include "obs/span_tracer.h"
 #include "server/catalog.h"
 #include "server/plan_cache.h"
 #include "server/index_stats.h"
@@ -170,6 +171,9 @@ struct ServerOptions {
   bool observability = true;
   // Trace ring capacity (records kept before the oldest is dropped).
   size_t trace_capacity = TraceFacility::kDefaultCapacity;
+  // Span-tracer ring capacity (finished request spans kept for sys_spans /
+  // DUMP TRACE; the driver's tail-attribution phase sizes this up).
+  size_t span_capacity = obs::SpanTracer::kDefaultCapacity;
 };
 
 // The extensible database server: catalog, SQL execution, the Virtual
@@ -212,6 +216,8 @@ class Server {
   }
   // Statements slower than SET SLOW_QUERY_NS land here with their profile.
   obs::SlowQueryLog& slow_query_log() { return slow_query_log_; }
+  // The request-span tracer (SET TRACE_SAMPLE, sys_spans, DUMP TRACE).
+  obs::SpanTracer& span_tracer() { return span_tracer_; }
 
   // ---- index-health telemetry (am_stats side channel) -------------------
   // Blades report their walker's numbers here from inside am_stats; the
@@ -340,12 +346,15 @@ class Server {
   Status RunIndexStats(ServerSession* session, IndexDef* index,
                        ResultSet* out);
   Status ExecDumpFlight(ResultSet* out);
+  Status ExecDumpTrace(const sql::DumpTraceStmt& stmt, ResultSet* out);
   Status ExecExportMetrics(ResultSet* out);
   Status ExecLoad(ServerSession* session, const sql::LoadStmt& stmt,
                   ResultSet* out);
   Status ExecExplainProfile(ServerSession* session,
                             const sql::ExplainProfileStmt& stmt,
                             ResultSet* out);
+  Status ExecExplainTrace(ServerSession* session,
+                          const sql::ExplainTraceStmt& stmt, ResultSet* out);
   Status ExecPrepare(ServerSession* session, const sql::PrepareStmt& stmt,
                      ResultSet* out);
   Status ExecExecute(ServerSession* session, const sql::ExecuteStmt& stmt,
@@ -425,6 +434,7 @@ class Server {
   mutable std::mutex am_catalog_mu_;
   std::map<std::string, std::vector<uint8_t>> am_catalog_;
   obs::SlowQueryLog slow_query_log_;
+  obs::SpanTracer span_tracer_;
   PlanCache plan_cache_;
   // Null when observability is off; bumped through MaybeAdd below.
   obs::Counter* plan_cache_hits_ = nullptr;

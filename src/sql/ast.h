@@ -138,6 +138,7 @@ struct SetStmt {
     kTimeMode,     // SET TIME MODE {STATEMENT|TRANSACTION}   (§5.4)
     kTrace,        // SET TRACE <class> TO <level>
     kSlowQueryNs,  // SET SLOW_QUERY_NS {=|TO} <n>   (0 disables the log)
+    kTraceSample,  // SET TRACE_SAMPLE {=|TO} <n>   (sample 1-in-n requests)
   };
   What what = What::kExplain;
   std::string argument;  // textual argument
@@ -185,6 +186,21 @@ struct ExplainProfileStmt {
   std::string inner_sql;
 };
 
+// EXPLAIN TRACE <stmt> — executes the inner statement under a forced span
+// trace and appends the span tree (one "TRACE" message per span, indented
+// by depth, with durations) to the result. Same text-span idiom as
+// ExplainProfileStmt.
+struct ExplainTraceStmt {
+  std::string inner_sql;
+};
+
+// DUMP TRACE [JSON] — the span tracer's retained buffer. Plain form: one
+// result row per span. JSON form: Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing), one result row per output line.
+struct DumpTraceStmt {
+  bool json = false;
+};
+
 // PREPARE name AS <stmt> — the inner statement is kept as a text span
 // (same idiom as ExplainProfileStmt) so the Statement variant stays
 // non-recursive; the server parses it once into its plan cache.
@@ -212,8 +228,9 @@ using Statement =
                  DropOpclassStmt, InsertStmt, SelectStmt, DeleteStmt,
                  UpdateStmt, BeginWorkStmt, CommitWorkStmt, RollbackWorkStmt,
                  SetStmt, CheckIndexStmt, UpdateStatisticsStmt, LoadStmt,
-                 UnloadStmt, ExplainProfileStmt, DumpFlightStmt,
-                 ExportMetricsStmt, PrepareStmt, ExecuteStmt, DeallocateStmt>;
+                 UnloadStmt, ExplainProfileStmt, ExplainTraceStmt,
+                 DumpFlightStmt, DumpTraceStmt, ExportMetricsStmt,
+                 PrepareStmt, ExecuteStmt, DeallocateStmt>;
 
 }  // namespace sql
 }  // namespace grtdb

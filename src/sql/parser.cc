@@ -114,6 +114,16 @@ Status Parser::ParseStatement(Statement* out) {
   if (AtKeyword("DEALLOCATE")) return ParseDeallocate(out);
   if (AtKeyword("DUMP")) {
     Take();
+    if (AtKeyword("TRACE")) {
+      Take();
+      DumpTraceStmt stmt;
+      if (AtKeyword("JSON")) {
+        Take();
+        stmt.json = true;
+      }
+      *out = std::move(stmt);
+      return Status::OK();
+    }
     GRTDB_RETURN_IF_ERROR(ExpectKeyword("FLIGHT"));
     *out = DumpFlightStmt{};
     return Status::OK();
@@ -497,6 +507,16 @@ Status Parser::ParseSet(Statement* out) {
     *out = std::move(stmt);
     return Status::OK();
   }
+  if (AtKeyword("TRACE_SAMPLE")) {
+    Take();
+    stmt.what = SetStmt::What::kTraceSample;
+    if (!TrySymbol("=")) {
+      GRTDB_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    }
+    GRTDB_RETURN_IF_ERROR(ParseLiteral(&stmt.value));
+    *out = std::move(stmt);
+    return Status::OK();
+  }
   if (AtKeyword("TRACE")) {
     Take();
     stmt.what = SetStmt::What::kTrace;
@@ -522,8 +542,8 @@ Status Parser::ParseSet(Statement* out) {
     return Status::OK();
   }
   return ErrorAt(Peek(),
-                 "ISOLATION, EXPLAIN, CURRENT_TIME, TIME MODE, TRACE, or "
-                 "SLOW_QUERY_NS");
+                 "ISOLATION, EXPLAIN, CURRENT_TIME, TIME MODE, TRACE, "
+                 "TRACE_SAMPLE, or SLOW_QUERY_NS");
 }
 
 Status Parser::ParseCheck(Statement* out) {
@@ -537,10 +557,17 @@ Status Parser::ParseCheck(Statement* out) {
 
 Status Parser::ParseExplain(Statement* out) {
   GRTDB_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
-  GRTDB_RETURN_IF_ERROR(ExpectKeyword("PROFILE"));
+  bool trace = false;
+  if (AtKeyword("TRACE")) {
+    Take();
+    trace = true;
+  } else {
+    GRTDB_RETURN_IF_ERROR(ExpectKeyword("PROFILE"));
+  }
   const size_t start = Peek().offset;
   if (Peek().kind == Token::Kind::kEnd) {
-    return ErrorAt(Peek(), "a statement to profile");
+    return ErrorAt(Peek(), trace ? "a statement to trace"
+                                 : "a statement to profile");
   }
   // Parse the inner statement now so syntax errors surface at parse time,
   // but carry it as the original text span: the executor re-parses and
@@ -548,6 +575,12 @@ Status Parser::ParseExplain(Statement* out) {
   Statement inner;
   GRTDB_RETURN_IF_ERROR(ParseStatement(&inner));
   const size_t end = Peek().offset;
+  if (trace) {
+    ExplainTraceStmt stmt;
+    stmt.inner_sql = text_.substr(start, end - start);
+    *out = std::move(stmt);
+    return Status::OK();
+  }
   ExplainProfileStmt stmt;
   stmt.inner_sql = text_.substr(start, end - start);
   *out = std::move(stmt);

@@ -5,6 +5,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/query_profile.h"
+#include "obs/span_tracer.h"
 #include "txn/witness.h"
 
 namespace grtdb {
@@ -133,7 +134,13 @@ Status NodeCache::PinFrame(NodeId id, size_t* frame,
         return grab;
       }
       Frame& f = frames_[slot];
-      Status read = inner_->ReadNode(id, f.data.get());
+      Status read;
+      {
+        // The miss is the interesting part of a traced read: the time the
+        // inner store (pager I/O) took to fill the frame.
+        obs::SpanScope io_span(obs::SpanName::kNodeIo, id);
+        read = inner_->ReadNode(id, f.data.get());
+      }
       if (!read.ok()) {
         GRTDB_WITNESS_RELEASE(CacheLatchClass());
         return read;

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "obs/flight_recorder.h"
+#include "obs/span_tracer.h"
 #include "storage/layout.h"
 #include "txn/witness.h"
 
@@ -361,20 +362,27 @@ Status WalNodeStore::CommitBuffer(TxnBuffer* txn, bool apply) {
   req.records = 2 + txn->writes.size() + txn->frees.size();
 
   GRTDB_WITNESS_ACQUIRE(CommitMutexClass());
-  std::unique_lock<std::mutex> lk(commit_mu_);
-  commit_queue_.push_back(&req);
-  commit_cv_.notify_all();  // a lingering leader may be waiting for joiners
-  for (;;) {
-    if (req.done) break;
-    if (!leader_active_) {
-      // No leader: this thread drains the queue (including its own
-      // request, unless the batch cap defers it to the next round).
-      RunLeaderRound(lk);
-      continue;
+  {
+    // Group-commit wait for a traced request: enqueue until this
+    // transaction is durable, whether this thread led the round's fsync
+    // or rode on another leader's.
+    obs::SpanScope wal_span(obs::SpanName::kWalWait, req.records,
+                            req.frame.size());
+    std::unique_lock<std::mutex> lk(commit_mu_);
+    commit_queue_.push_back(&req);
+    commit_cv_.notify_all();  // a lingering leader may be waiting for joiners
+    for (;;) {
+      if (req.done) break;
+      if (!leader_active_) {
+        // No leader: this thread drains the queue (including its own
+        // request, unless the batch cap defers it to the next round).
+        RunLeaderRound(lk);
+        continue;
+      }
+      commit_cv_.wait(lk);
     }
-    commit_cv_.wait(lk);
+    lk.unlock();
   }
-  lk.unlock();
   GRTDB_WITNESS_RELEASE(CommitMutexClass());
 
   if (req.result.ok()) {

@@ -1,7 +1,9 @@
 #include "txn/lock_manager.h"
 
+#include "obs/fast_clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/query_profile.h"
+#include "obs/span_tracer.h"
 #include "txn/witness.h"
 
 namespace grtdb {
@@ -123,8 +125,10 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   bool waited = false;
   std::chrono::steady_clock::time_point wait_start;
-  // Charges the blocked interval to stats, the wait histogram, and the
-  // running statement's profile; called once on grant or timeout.
+  uint64_t wait_start_ticks = 0;
+  // Charges the blocked interval to stats, the wait histogram, the
+  // running statement's profile, and — when the request is traced — a
+  // kLockWait span; called once on grant or timeout.
   auto account_wait = [&] {
     if (!waited) return;
     const uint64_t ns = static_cast<uint64_t>(
@@ -139,11 +143,18 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
       ++profile->lock_waits;
       profile->lock_wait_ns += ns;
     }
+    const obs::TraceHandle trace = obs::CurrentTraceHandle();
+    if (trace.active()) {
+      trace.tracer->EmitSpan(trace, obs::SpanName::kLockWait,
+                             wait_start_ticks, obs::Ticks(), resource.id,
+                             txn);
+    }
   };
   while (!CompatibleLocked(locks_[resource], txn, mode)) {
     if (!waited) {
       waited = true;
       wait_start = std::chrono::steady_clock::now();
+      wait_start_ticks = obs::Ticks();
     }
     if (fresh_exclusive && !counted_waiter) {
       ++locks_[resource].waiting_exclusive;

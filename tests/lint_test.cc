@@ -245,6 +245,54 @@ TEST(FlightEvent, DeclarationIsNotACallSite) {
           .empty());
 }
 
+// ------------------------------------------------------------------ span-name
+
+TEST(SpanName, NakedNumericSpanCodeFlagged) {
+  EXPECT_TRUE(HasRule(LintSource(kServerPath, "obs::SpanScope span(3);\n"),
+                      "span-name"));
+  EXPECT_TRUE(HasRule(
+      LintSource(kServerPath, "tracer.EmitSpan(handle, 5, t0, t1);\n"),
+      "span-name"));
+  EXPECT_TRUE(HasRule(
+      LintSource(kServerPath, "obs::TraceScope root(handle, 0, ticks);\n"),
+      "span-name"));
+  // A cast dressing up the number is still a naked code.
+  EXPECT_TRUE(HasRule(
+      LintSource(kServerPath,
+                 "obs::SpanScope s(static_cast<obs::SpanName>(7));\n"),
+      "span-name"));
+}
+
+TEST(SpanName, EnumQualifiedSpansPass) {
+  // Numeric operands after the span name are fine — only the name
+  // argument itself must be spelled through the enum.
+  EXPECT_TRUE(
+      LintSource(kServerPath,
+                 "obs::SpanScope io(obs::SpanName::kNodeIo, 42);\n"
+                 "obs::TraceScope root(handle, obs::SpanName::kRequest,\n"
+                 "                     frame_ticks, 1, 0);\n"
+                 "tracer.EmitSpan(here, obs::SpanName::kQueueWait, t0, t1,\n"
+                 "                depth);\n")
+          .empty());
+  EXPECT_TRUE(LintSource(kServerPath,
+                         "obs::SpanScope s(flag ? obs::SpanName::kParse"
+                         " : obs::SpanName::kPlan);\n")
+                  .empty());
+}
+
+TEST(SpanName, DeclarationsAndDeletedCopiesAreNotCallSites) {
+  EXPECT_TRUE(
+      LintSource("src/obs/span_tracer.h",
+                 "explicit SpanScope(SpanName name, uint64_t a = 0);\n"
+                 "TraceScope(const TraceHandle& handle, SpanName name,\n"
+                 "           uint64_t start_ticks = 0);\n"
+                 "void EmitSpan(const TraceHandle& handle, SpanName name,\n"
+                 "              uint64_t start_ticks, uint64_t end_ticks);\n"
+                 "~TraceScope();\n"
+                 "SpanScope(const SpanScope&) = delete;\n")
+          .empty());
+}
+
 // ------------------------------------------------------------- repo is clean
 
 // The final tree must lint clean — the same invariant the grtdb_lint ctest

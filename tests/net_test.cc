@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -433,6 +434,50 @@ TEST_F(NetTest, PreparedStatementsOverTheWire) {
   NetClient other;
   ASSERT_TRUE(Connect(&other).ok());
   EXPECT_TRUE(other.ExecutePrepared("sel", {one}, &result).IsNotFound());
+}
+
+TEST_F(NetTest, WireTraceIdPropagatesIntoSysSpans) {
+  NetClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ResultSet result;
+  ASSERT_TRUE(client.Execute("CREATE TABLE t (a int)", &result).ok());
+
+  // A client-chosen trace id forces sampling server-side (no SET
+  // TRACE_SAMPLE needed) and every span of that request carries it —
+  // that's how the load driver joins client latencies to server phases.
+  // Fresh connection: the accept-queue wait is attributable only to a
+  // connection's first request, so trace that one.
+  constexpr uint64_t kTraceId = 0x5EED5EEDull;
+  NetClient traced;
+  ASSERT_TRUE(Connect(&traced).ok());
+  traced.set_trace_id(kTraceId);
+  ASSERT_TRUE(traced.Execute("INSERT INTO t VALUES (7)", &result).ok());
+  traced.set_trace_id(0);
+
+  ASSERT_TRUE(client.Execute("SELECT * FROM sys_spans WHERE trace_id = " +
+                                 std::to_string(kTraceId),
+                             &result)
+                  .ok());
+  ASSERT_FALSE(result.rows.empty());
+  // name is column 4; the wire pipeline spans (root, decode, respond) and
+  // the server pipeline (parse, exec) all landed under the wire id.
+  std::map<std::string, int> names;
+  for (const auto& row : result.rows) names[row[4]]++;
+  EXPECT_EQ(names["request"], 1);
+  EXPECT_EQ(names["decode"], 1);
+  EXPECT_EQ(names["parse"], 1);
+  EXPECT_EQ(names["exec"], 1);
+  EXPECT_EQ(names["respond"], 1);
+  // The first traced request on a connection also reports the
+  // accept-queue wait measured by the accept thread.
+  EXPECT_EQ(names["queue_wait"], 1);
+
+  // The untraced SELECT above must not have been sampled: no other ids
+  // beyond the explicit one appear for this connection's requests.
+  ASSERT_TRUE(client.Execute("SELECT trace_id FROM sys_spans", &result).ok());
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[0], std::to_string(kTraceId));
+  }
 }
 
 }  // namespace

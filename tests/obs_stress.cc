@@ -1,9 +1,11 @@
 // Multi-threaded observability stress: writers hammer shared registry
-// counters/histograms and the trace ring while readers snapshot, render,
-// and flip trace classes. The third -DGRTDB_SANITIZE=thread target (next
-// to wal_stress and cache_stress): the interesting races are the lock-free
-// trace enabled check against SetClass, and the relaxed metric updates
-// against Snapshot.
+// counters/histograms, the trace ring, and the span tracer while readers
+// snapshot, render, and flip trace classes. The third
+// -DGRTDB_SANITIZE=thread target (next to wal_stress and cache_stress):
+// the interesting races are the lock-free trace enabled check against
+// SetClass, the relaxed metric updates against Snapshot, and the span
+// tracer's relaxed sampling gate against set_sample_every while scopes
+// record into the ring racing Snapshot/Clear.
 
 #include <atomic>
 #include <cstdio>
@@ -15,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/slow_query_log.h"
+#include "obs/span_tracer.h"
 #ifdef GRTDB_WITNESS
 #include "txn/witness.h"
 #endif
@@ -29,6 +32,12 @@ using grtdb::obs::QueryProfile;
 using grtdb::obs::ScopedProfile;
 using grtdb::obs::SlowQueryEntry;
 using grtdb::obs::SlowQueryLog;
+using grtdb::obs::SpanName;
+using grtdb::obs::SpanRecord;
+using grtdb::obs::SpanScope;
+using grtdb::obs::SpanTracer;
+using grtdb::obs::TraceHandle;
+using grtdb::obs::TraceScope;
 
 namespace {
 
@@ -65,13 +74,15 @@ int main() {
   trace.SetClass("stress", 1);
   SlowQueryLog slow_log;
   slow_log.set_threshold_ns(1);
+  SpanTracer tracer(/*capacity=*/512);
+  tracer.set_sample_every(1);
 
   std::atomic<bool> stop{false};
 
   std::vector<std::thread> writers;
   writers.reserve(kWriters);
   for (int w = 0; w < kWriters; ++w) {
-    writers.emplace_back([&registry, &trace, &slow_log, w] {
+    writers.emplace_back([&registry, &trace, &slow_log, &tracer, w] {
       // Half the threads resolve handles up front (the subsystem pattern),
       // half go through the registry every time (contends the mutex).
       Counter* cached = registry.GetCounter("stress.ops");
@@ -97,6 +108,21 @@ int main() {
         if (i % 128 == 0) {
           slow_log.MaybeRecord("stress query", 1 + i, profile);
         }
+        // Span traffic: the sampling gate races the toggler's
+        // set_sample_every; sampled iterations drive the net-server shape
+        // (root scope, nested child, one retroactive EmitSpan) into the
+        // shared ring racing the span reader's Snapshot/Clear.
+        const TraceHandle handle =
+            tracer.StartTrace(i % 509 == 0 ? 0x1D0000u + i : 0);
+        if (handle.active()) {
+          TraceScope root(handle, SpanName::kRequest);
+          SpanScope exec(SpanName::kExec, static_cast<uint64_t>(w));
+          if (i % 32 == 0) {
+            const TraceHandle here = grtdb::obs::CurrentTraceHandle();
+            tracer.EmitSpan(here, SpanName::kLockWait, 1, 2,
+                            static_cast<uint64_t>(i));
+          }
+        }
       }
       Check(profile.calls(PurposeFn::kAmGetNext) ==
                 static_cast<uint64_t>(kOpsPerWriter),
@@ -120,12 +146,29 @@ int main() {
       (void)trace.dropped();
     }
   });
-  std::thread toggler([&trace, &stop] {
+  std::thread toggler([&trace, &tracer, &stop] {
     int level = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       trace.SetClass("flippy", level % 3);
       trace.SetClass("quiet", 0);
+      // Race the writers' StartTrace relaxed load: every, off, 1-in-4.
+      static const uint32_t kRates[3] = {1, 0, 4};
+      tracer.set_sample_every(kRates[level % 3]);
       ++level;
+    }
+  });
+  // Span ring under load: Snapshot() ordering and bounds hold at every
+  // instant, and periodic Clear() races the writers' Record().
+  std::thread span_reader([&tracer, &stop] {
+    uint64_t rounds = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<SpanRecord> spans = tracer.Snapshot();
+      Check(spans.size() <= tracer.capacity(), "span ring bounded");
+      for (size_t i = 1; i < spans.size(); ++i) {
+        Check(spans[i].seq > spans[i - 1].seq, "span ring oldest-first");
+      }
+      (void)tracer.SnapshotTrace(0x1D0000u);
+      if (++rounds % 64 == 0) tracer.Clear();
     }
   });
   // Slow-query ring and exporter under load: Snapshot() and ExportText()
@@ -152,6 +195,7 @@ int main() {
   snapshotter.join();
   trace_reader.join();
   toggler.join();
+  span_reader.join();
   slow_reader.join();
 
   const uint64_t expected =
@@ -161,8 +205,18 @@ int main() {
   Check(registry.GetHistogram("stress.us")->count() == expected,
         "histogram total");
   Check(trace.log().size() <= 256, "ring bounded");
-  std::printf("obs_stress OK: %llu ops, %zu trace records, %llu dropped\n",
+  // Span accounting: wire-id starts (1 in 509 iterations) sample
+  // regardless of the gate, so traffic definitely reached the ring; the
+  // admitted/evicted counters only ever grow (Clear drops records, not
+  // history).
+  Check(tracer.admitted() > 0, "span tracer saw traffic");
+  Check(tracer.admitted() >= tracer.evicted(), "span eviction accounting");
+  Check(tracer.Snapshot().size() <= tracer.capacity(), "span ring bounded");
+  std::printf("obs_stress OK: %llu ops, %zu trace records, %llu dropped, "
+              "%llu spans admitted (%llu evicted)\n",
               static_cast<unsigned long long>(expected), trace.log().size(),
-              static_cast<unsigned long long>(trace.dropped()));
+              static_cast<unsigned long long>(trace.dropped()),
+              static_cast<unsigned long long>(tracer.admitted()),
+              static_cast<unsigned long long>(tracer.evicted()));
   return WitnessVerdict();
 }

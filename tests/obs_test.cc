@@ -8,6 +8,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "blades/btree_blade.h"
@@ -17,6 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/slow_query_log.h"
+#include "obs/span_tracer.h"
 #include "server/server.h"
 #include "storage/node_cache.h"
 #include "storage/node_store.h"
@@ -405,15 +407,21 @@ TEST_F(ObsSqlTest, SlowQueryLogCapturesProfilesAboveThreshold) {
   MustExec("SELECT id FROM t WHERE Overlaps(e, '20000, UC, 19900, NOW')");
   MustExec("SELECT * FROM sys_slow_queries");
   ASSERT_FALSE(result_.rows.empty());
-  ASSERT_EQ(result_.columns.size(), 10u);
-  // The scan we just ran is retained with its Fig. 6 breakdown.
+  ASSERT_EQ(result_.columns.size(), 12u);
+  EXPECT_EQ(result_.columns[1], "session");
+  EXPECT_EQ(result_.columns[2], "trace_id");
+  // The scan we just ran is retained with its Fig. 6 breakdown, stamped
+  // with the session that ran it (untraced, so trace_id stays 0).
   bool found = false;
   for (const auto& row : result_.rows) {
-    if (row[9].find("Overlaps") == std::string::npos) continue;
+    if (row[11].find("Overlaps") == std::string::npos) continue;
     found = true;
-    EXPECT_EQ(row[3], "40");  // rows_returned
-    EXPECT_NE(row[8].find("am_getnext calls="), std::string::npos) << row[8];
-    EXPECT_NE(row[8].find("am_open calls="), std::string::npos) << row[8];
+    EXPECT_NE(row[1], "0");   // session id
+    EXPECT_EQ(row[2], "0");   // trace_id: tracing was off
+    EXPECT_EQ(row[5], "40");  // rows_returned
+    EXPECT_NE(row[10].find("am_getnext calls="), std::string::npos)
+        << row[10];
+    EXPECT_NE(row[10].find("am_open calls="), std::string::npos) << row[10];
   }
   EXPECT_TRUE(found);
 
@@ -422,7 +430,7 @@ TEST_F(ObsSqlTest, SlowQueryLogCapturesProfilesAboveThreshold) {
   MustExec("SELECT id FROM t WHERE id = 31337");
   MustExec("SELECT * FROM sys_slow_queries");
   for (const auto& row : result_.rows) {
-    EXPECT_EQ(row[9].find("31337"), std::string::npos) << row[9];
+    EXPECT_EQ(row[11].find("31337"), std::string::npos) << row[11];
   }
 }
 
@@ -457,6 +465,186 @@ TEST_F(ObsSqlTest, ExportMetricsRoundTripsTheRegistryText) {
   EXPECT_TRUE(saw_insert_calls);  // the fixture's 40 inserts
   EXPECT_TRUE(saw_histogram_bucket);
   EXPECT_TRUE(saw_inf);
+}
+
+// ---- span tracer ---------------------------------------------------------
+
+TEST(SpanTracer, ScopesNestIntoAParentChildTree) {
+  obs::SpanTracer tracer;
+  const obs::TraceHandle handle = tracer.StartTraceForced();
+  ASSERT_TRUE(handle.active());
+  {
+    obs::TraceScope root(handle, obs::SpanName::kRequest);
+    ASSERT_TRUE(root.active());
+    {
+      obs::SpanScope exec(obs::SpanName::kExec);
+      ASSERT_TRUE(exec.active());
+      obs::SpanScope purpose(obs::SpanName::kPurpose, 7);
+      ASSERT_TRUE(purpose.active());
+    }
+    obs::SpanScope plan(obs::SpanName::kPlan);
+  }
+  // No trace installed anymore: further scopes are inert.
+  obs::SpanScope after(obs::SpanName::kExec);
+  EXPECT_FALSE(after.active());
+
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(tracer.admitted(), 4u);
+  // Scopes record at close, innermost first; seq is admission order.
+  std::map<std::string, const obs::SpanRecord*> by_name;
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace_id, handle.trace_id);
+    by_name[obs::SpanNameString(span.name)] = &span;
+  }
+  ASSERT_EQ(by_name.size(), 4u);
+  const obs::SpanRecord& root = *by_name.at("request");
+  const obs::SpanRecord& exec = *by_name.at("exec");
+  const obs::SpanRecord& purpose = *by_name.at("purpose");
+  const obs::SpanRecord& plan = *by_name.at("plan");
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(exec.parent_id, root.span_id);
+  EXPECT_EQ(plan.parent_id, root.span_id);
+  EXPECT_EQ(purpose.parent_id, exec.span_id);
+  EXPECT_EQ(purpose.a, 7u);
+  // Children start no earlier and end no later than their parent.
+  EXPECT_GE(exec.start_ticks, root.start_ticks);
+  EXPECT_LE(exec.end_ticks, root.end_ticks);
+  EXPECT_GE(purpose.start_ticks, exec.start_ticks);
+  EXPECT_LE(purpose.end_ticks, exec.end_ticks);
+}
+
+TEST(SpanTracer, HandleCrossesThreadsAndKeepsTheTraceTogether) {
+  obs::SpanTracer tracer;
+  const obs::TraceHandle handle = tracer.StartTraceForced();
+  // The net server's pattern: one thread starts the trace, another adopts
+  // it through the copied handle and opens its spans there.
+  std::thread worker([handle] {
+    obs::TraceScope adopted(handle, obs::SpanName::kRequest);
+    obs::SpanScope exec(obs::SpanName::kExec);
+  });
+  worker.join();
+  {
+    obs::TraceScope local(handle, obs::SpanName::kQueueWait);
+  }
+  const std::vector<obs::SpanRecord> spans =
+      tracer.SnapshotTrace(handle.trace_id);
+  ASSERT_EQ(spans.size(), 3u);
+  uint64_t worker_thread = 0, local_thread = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == obs::SpanName::kExec) worker_thread = span.thread;
+    if (span.name == obs::SpanName::kQueueWait) local_thread = span.thread;
+    EXPECT_EQ(span.trace_id, handle.trace_id);
+  }
+  EXPECT_NE(worker_thread, local_thread);
+}
+
+TEST(SpanTracer, SamplingOffIsInert) {
+  obs::SpanTracer tracer;  // sample_every defaults to 0
+  const obs::TraceHandle handle = tracer.StartTrace();
+  EXPECT_FALSE(handle.active());
+  {
+    obs::TraceScope root(handle, obs::SpanName::kRequest);
+    EXPECT_FALSE(root.active());
+    obs::SpanScope child(obs::SpanName::kExec);
+    EXPECT_FALSE(child.active());
+  }
+  EXPECT_EQ(tracer.admitted(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(SpanTracer, OneInNGateAndWireIdsAlwaysSample) {
+  obs::SpanTracer tracer;
+  tracer.set_sample_every(4);
+  int sampled = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (tracer.StartTrace().active()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 10);
+  tracer.set_sample_every(1);
+  EXPECT_TRUE(tracer.StartTrace().active());
+  // A client-chosen wire id forces sampling under that id even when the
+  // gate is closed, so driver traces stay joinable.
+  tracer.set_sample_every(0);
+  const obs::TraceHandle wire = tracer.StartTrace(0xABCDu);
+  ASSERT_TRUE(wire.active());
+  EXPECT_EQ(wire.trace_id, 0xABCDu);
+}
+
+TEST(SpanTracer, RingEvictsOldestFirstAndCounts) {
+  obs::SpanTracer tracer(4);
+  const obs::TraceHandle handle = tracer.StartTraceForced();
+  for (uint64_t i = 0; i < 6; ++i) {
+    tracer.EmitSpan(handle, obs::SpanName::kExec, i, i + 1, /*a=*/i);
+  }
+  EXPECT_EQ(tracer.admitted(), 6u);
+  EXPECT_EQ(tracer.evicted(), 2u);
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].a, i + 2);  // oldest two evicted, rest in order
+    EXPECT_EQ(spans[i].seq, i + 2);
+  }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST_F(ObsSqlTest, TraceSamplePopulatesSysSpans) {
+  MustExec("SET TRACE_SAMPLE = 1");
+  MustExec("SELECT id FROM t WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  MustExec("SET TRACE_SAMPLE = 0");
+  MustExec("SELECT * FROM sys_spans");
+  const std::vector<std::string> expected_cols = {
+      "seq",      "trace_id", "span_id", "parent_id", "name",
+      "start_ns", "dur_ns",   "thread",  "a",         "b"};
+  ASSERT_EQ(result_.columns, expected_cols);
+  ASSERT_FALSE(result_.rows.empty());
+  // The SELECT and the trailing SET statement each rooted a trace; the
+  // SELECT's is the one whose exec did index work (purpose spans). It must
+  // carry the full pipeline: one root, parse, gate wait, exec.
+  std::map<std::string, std::map<std::string, int>> by_trace;
+  for (const auto& row : result_.rows) by_trace[row[1]][row[4]]++;
+  bool found_select_trace = false;
+  for (const auto& [trace, names] : by_trace) {
+    if (names.count("purpose") == 0) continue;
+    found_select_trace = true;
+    EXPECT_EQ(names.at("request"), 1) << "trace " << trace;
+    EXPECT_EQ(names.at("parse"), 1) << "trace " << trace;
+    EXPECT_EQ(names.at("gate_wait"), 1) << "trace " << trace;
+    EXPECT_EQ(names.at("exec"), 1) << "trace " << trace;
+  }
+  EXPECT_TRUE(found_select_trace);
+}
+
+TEST_F(ObsSqlTest, ExplainTraceRendersTheSpanTree) {
+  // EXPLAIN TRACE force-samples its statement; no SET TRACE_SAMPLE needed.
+  MustExec("EXPLAIN TRACE SELECT id FROM t "
+           "WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  ASSERT_FALSE(result_.messages.empty());
+  EXPECT_EQ(result_.messages[0].rfind("TRACE trace_id=", 0), 0u)
+      << result_.messages[0];
+  bool saw_root = false, saw_indented_exec = false;
+  for (const std::string& line : result_.messages) {
+    if (line.rfind("TRACE request ", 0) == 0) saw_root = true;
+    if (line.find("  exec ") != std::string::npos) saw_indented_exec = true;
+  }
+  EXPECT_TRUE(saw_root);
+  EXPECT_TRUE(saw_indented_exec);
+}
+
+TEST_F(ObsSqlTest, DumpTraceJsonEmitsCompleteEvents) {
+  MustExec("EXPLAIN TRACE SELECT id FROM t "
+           "WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  MustExec("DUMP TRACE JSON");
+  ASSERT_EQ(result_.columns, std::vector<std::string>{"json"});
+  ASSERT_GE(result_.rows.size(), 3u);  // header, >= 1 event, footer
+  std::string joined;
+  for (const auto& row : result_.rows) joined += row[0];
+  EXPECT_EQ(joined.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(joined.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(joined.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(joined.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_EQ(joined.substr(joined.size() - 2), "]}");
 }
 
 // ---- index-health telemetry ----------------------------------------------

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "blades/rstar_blade.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
+#include "obs/fast_clock.h"
+#include "obs/span_tracer.h"
 
 namespace {
 
@@ -159,6 +162,140 @@ void RunPreparedSession(uint16_t port, int ops,
   }
 }
 
+// ---- tail attribution -----------------------------------------------------
+//
+// The traced phase re-runs the Overlaps workload with a unique wire trace
+// id stamped on every operation (a nonzero id forces server-side
+// sampling), then joins the client-measured latencies with the server's
+// span buffer to explain where p99 operations spend their time.
+
+// One traced operation: the id the client chose and what it measured.
+struct TracedOp {
+  uint64_t trace_id = 0;
+  double client_us = 0;
+};
+
+void RunTracedSession(uint16_t port, int ops, uint64_t trace_base,
+                      std::vector<TracedOp>* out, uint64_t* errors) {
+  grtdb::net::NetClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    *errors += static_cast<uint64_t>(ops);
+    return;
+  }
+  const char* probes[] = {
+      "SELECT id FROM flights WHERE Overlaps(e, '20000, UC, 19900, NOW');",
+      "SELECT id FROM flights WHERE Overlaps(e, '20000, UC, 19950, NOW');",
+      "SELECT id FROM flights WHERE Overlaps(e, '20000, UC, 19990, NOW');",
+      "SELECT id FROM flights WHERE Overlaps(e, '20000, UC, 19920, NOW');",
+  };
+  grtdb::ResultSet result;
+  for (int i = 0; i < ops; ++i) {
+    TracedOp op;
+    op.trace_id = trace_base + static_cast<uint64_t>(i);
+    client.set_trace_id(op.trace_id);
+    auto start = std::chrono::steady_clock::now();
+    grtdb::Status status =
+        client.Execute(probes[i % (sizeof(probes) / sizeof(probes[0]))],
+                       &result);
+    auto end = std::chrono::steady_clock::now();
+    if (!status.ok()) {
+      ++*errors;
+      continue;
+    }
+    op.client_us =
+        std::chrono::duration<double, std::micro>(end - start).count();
+    out->push_back(op);
+  }
+}
+
+std::vector<TracedOp> RunTracedPhase(uint16_t port, int sessions, int ops,
+                                     uint64_t trace_base, uint64_t* errors) {
+  std::vector<std::vector<TracedOp>> per_session(sessions);
+  std::vector<uint64_t> session_errors(sessions, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back(RunTracedSession, port, ops,
+                         trace_base + static_cast<uint64_t>(s) *
+                                          static_cast<uint64_t>(ops),
+                         &per_session[s], &session_errors[s]);
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<TracedOp> all;
+  for (int s = 0; s < sessions; ++s) {
+    all.insert(all.end(), per_session[s].begin(), per_session[s].end());
+    *errors += session_errors[s];
+  }
+  return all;
+}
+
+// One operation's server-side breakdown: the root request span plus the
+// *exclusive* time under each span name (a span's duration minus its
+// direct children, children clamped to the parent's interval — so the
+// phases of one op sum to at most the root and never double-count).
+struct Attribution {
+  double root_us = 0;
+  double excl_us[grtdb::obs::kSpanNameCount] = {0};
+  // Fraction of the root covered by named child phases.
+  double coverage = 0;
+};
+
+// Joins one trace's spans into an Attribution. Returns false when the
+// trace has no root request span (evicted from the ring).
+bool AttributeTrace(const std::vector<grtdb::obs::SpanRecord>& spans,
+                    Attribution* out) {
+  using grtdb::obs::SpanName;
+  const grtdb::obs::SpanRecord* root = nullptr;
+  for (const auto& s : spans) {
+    if (s.name == SpanName::kRequest && s.parent_id == 0) root = &s;
+  }
+  if (root == nullptr) return false;
+  std::map<uint64_t, double> exclusive_ticks;  // span_id -> remaining ticks
+  std::map<uint64_t, const grtdb::obs::SpanRecord*> by_id;
+  for (const auto& s : spans) {
+    exclusive_ticks[s.span_id] =
+        static_cast<double>(s.end_ticks - s.start_ticks);
+    by_id[s.span_id] = &s;
+  }
+  for (const auto& s : spans) {
+    auto parent = by_id.find(s.parent_id);
+    if (parent == by_id.end()) continue;
+    // Clamp to the parent: the accept-queue wait starts before the root.
+    const uint64_t lo = std::max(s.start_ticks, parent->second->start_ticks);
+    const uint64_t hi = std::min(s.end_ticks, parent->second->end_ticks);
+    if (hi > lo) exclusive_ticks[s.parent_id] -= static_cast<double>(hi - lo);
+  }
+  const double ns_per_tick = grtdb::obs::NsPerTick();
+  out->root_us = static_cast<double>(root->end_ticks - root->start_ticks) *
+                 ns_per_tick / 1000.0;
+  for (const auto& s : spans) {
+    if (&s == root) continue;
+    const double us =
+        std::max(0.0, exclusive_ticks[s.span_id]) * ns_per_tick / 1000.0;
+    out->excl_us[static_cast<size_t>(s.name)] += us;
+  }
+  const double root_excl_us =
+      std::max(0.0, exclusive_ticks[root->span_id]) * ns_per_tick / 1000.0;
+  out->coverage =
+      out->root_us > 0 ? 1.0 - root_excl_us / out->root_us : 0.0;
+  return true;
+}
+
+// Mean per-phase exclusive time over a set of operations.
+void MeanPhases(const std::vector<const Attribution*>& ops,
+                double mean_us[grtdb::obs::kSpanNameCount]) {
+  for (size_t n = 0; n < grtdb::obs::kSpanNameCount; ++n) mean_us[n] = 0;
+  if (ops.empty()) return;
+  for (const Attribution* a : ops) {
+    for (size_t n = 0; n < grtdb::obs::kSpanNameCount; ++n) {
+      mean_us[n] += a->excl_us[n];
+    }
+  }
+  for (size_t n = 0; n < grtdb::obs::kSpanNameCount; ++n) {
+    mean_us[n] /= static_cast<double>(ops.size());
+  }
+}
+
 using SessionFn = void (*)(uint16_t, int, std::vector<double>*, uint64_t*);
 
 PhaseResult RunPhase(uint16_t port, int sessions, int ops_per_session,
@@ -243,7 +380,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  grtdb::Server server;
+  grtdb::ServerOptions server_options;
+  // Retain every span of the traced phases without ring eviction: each
+  // traced op emits a request tree whose size scales with rows touched.
+  // Sized for the traced concurrent phase: sessions * ops trees at a
+  // couple hundred spans each (one per purpose call the scan makes).
+  server_options.span_capacity = 1u << 19;
+  grtdb::Server server(server_options);
   grtdb::Status status = grtdb::RegisterGRTreeBlade(&server);
   if (status.ok()) status = grtdb::RegisterRStarBlade(&server);
   if (status.ok()) status = grtdb::RegisterBtreeBlade(&server);
@@ -400,6 +543,21 @@ int main(int argc, char** argv) {
 
   PhaseResult single = RunPhase(net.port(), 1, ops);
   PhaseResult concurrent = RunPhase(net.port(), sessions, ops);
+
+  // Traced re-run of both shapes: every op carries a unique client-set
+  // trace id, so the server's span buffer holds a full phase tree per op.
+  // Snapshot + clear between the phases: each op emits a span per purpose
+  // call, so the concurrent phase alone needs most of the ring — letting
+  // it also evict the single phase's trees would punch holes in the join.
+  using grtdb::obs::SpanRecord;
+  server.span_tracer().Clear();
+  uint64_t trace_errors = 0;
+  std::vector<TracedOp> traced_single =
+      RunTracedPhase(net.port(), 1, ops, 1ull << 32, &trace_errors);
+  std::vector<SpanRecord> all_spans = server.span_tracer().Snapshot();
+  server.span_tracer().Clear();
+  std::vector<TracedOp> traced_conc =
+      RunTracedPhase(net.port(), sessions, ops, 1ull << 33, &trace_errors);
   net.Stop();
 
   PrintPhase("single", single);
@@ -415,13 +573,119 @@ int main(int argc, char** argv) {
   std::printf("scaling %.2fx (target %.2fx on %u-core hardware)\n", scaling,
               target, hw);
 
+  // ---- join the traced ops against the span buffer --------------------
+  {
+    std::vector<SpanRecord> conc_spans = server.span_tracer().Snapshot();
+    all_spans.insert(all_spans.end(), conc_spans.begin(), conc_spans.end());
+  }
+  const uint64_t spans_evicted = server.span_tracer().evicted();
+  std::map<uint64_t, std::vector<SpanRecord>> by_trace;
+  for (const SpanRecord& s : all_spans) by_trace[s.trace_id].push_back(s);
+
+  uint64_t traces_missing = 0;
+  auto attribute = [&](const std::vector<TracedOp>& traced,
+                       std::vector<Attribution>* out) {
+    for (const TracedOp& op : traced) {
+      auto it = by_trace.find(op.trace_id);
+      Attribution a;
+      if (it == by_trace.end() || !AttributeTrace(it->second, &a)) {
+        ++traces_missing;
+        continue;
+      }
+      out->push_back(a);
+    }
+  };
+  std::vector<Attribution> attr_single;
+  std::vector<Attribution> attr_conc;
+  attribute(traced_single, &attr_single);
+  attribute(traced_conc, &attr_conc);
+
+  // Tail attribution: rank the concurrent ops by their server-side root
+  // duration and compare the slowest 1%'s mean phase breakdown against
+  // the median band's. The phase that grew the most *is* the p99 gap.
+  std::vector<const Attribution*> ranked;
+  ranked.reserve(attr_conc.size());
+  for (const Attribution& a : attr_conc) ranked.push_back(&a);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Attribution* x, const Attribution* y) {
+              return x->root_us < y->root_us;
+            });
+  std::vector<const Attribution*> tail_ops;
+  std::vector<const Attribution*> median_ops;
+  if (!ranked.empty()) {
+    const size_t tail_from =
+        std::min(ranked.size() - 1,
+                 static_cast<size_t>(0.99 * static_cast<double>(
+                                                ranked.size())));
+    for (size_t i = tail_from; i < ranked.size(); ++i) {
+      tail_ops.push_back(ranked[i]);
+    }
+    const size_t mid_from = static_cast<size_t>(
+        0.40 * static_cast<double>(ranked.size()));
+    const size_t mid_to = std::max(
+        mid_from + 1,
+        static_cast<size_t>(0.60 * static_cast<double>(ranked.size())));
+    for (size_t i = mid_from; i < mid_to && i < ranked.size(); ++i) {
+      median_ops.push_back(ranked[i]);
+    }
+  }
+  double tail_us[grtdb::obs::kSpanNameCount];
+  double median_us[grtdb::obs::kSpanNameCount];
+  MeanPhases(tail_ops, tail_us);
+  MeanPhases(median_ops, median_us);
+  size_t dominant = 0;
+  for (size_t n = 1; n < grtdb::obs::kSpanNameCount; ++n) {
+    if (tail_us[n] - median_us[n] > tail_us[dominant] - median_us[dominant]) {
+      dominant = n;
+    }
+  }
+  const char* dominant_phase = grtdb::obs::SpanNameString(
+      static_cast<grtdb::obs::SpanName>(dominant));
+
+  // Self-check: the named phases of each traced op must sum to (at
+  // least) 90% of the measured root latency — the attribution explains
+  // the op instead of gesturing at it.
+  double coverage_sum = 0;
+  for (const Attribution& a : attr_single) coverage_sum += a.coverage;
+  for (const Attribution& a : attr_conc) coverage_sum += a.coverage;
+  const size_t attributed = attr_single.size() + attr_conc.size();
+  const double coverage =
+      attributed > 0 ? coverage_sum / static_cast<double>(attributed) : 0;
+
+  std::printf("traced %zu ops (%llu missing, %llu spans evicted), phase "
+              "coverage %.3f (target >= 0.90)\n",
+              attributed, static_cast<unsigned long long>(traces_missing),
+              static_cast<unsigned long long>(spans_evicted), coverage);
+  std::printf("concurrent p99 gap dominated by '%s' (tail mean %.1f us vs "
+              "median mean %.1f us)\n",
+              dominant_phase, tail_us[dominant], median_us[dominant]);
+
   bool pass = single.errors == 0 && concurrent.errors == 0 &&
+              trace_errors == 0 && traces_missing == 0 &&
               concurrent.ops ==
                   static_cast<uint64_t>(sessions) *
                       static_cast<uint64_t>(ops) &&
-              (!check || scaling >= target);
+              (!check || (scaling >= target && coverage >= 0.90));
 
-  char json[2048];
+  // Per-phase mean breakdown of the concurrent tail, one JSON entry per
+  // span name that actually showed up.
+  std::string phases_json;
+  for (size_t n = 0; n < grtdb::obs::kSpanNameCount; ++n) {
+    if (tail_us[n] <= 0 && median_us[n] <= 0) continue;
+    char entry[160];
+    std::snprintf(entry, sizeof(entry),
+                  "      \"%s\": {\"tail_mean_us\": %.1f, "
+                  "\"median_mean_us\": %.1f},\n",
+                  grtdb::obs::SpanNameString(
+                      static_cast<grtdb::obs::SpanName>(n)),
+                  tail_us[n], median_us[n]);
+    phases_json += entry;
+  }
+  if (!phases_json.empty()) {
+    phases_json.erase(phases_json.size() - 2, 1);  // drop trailing comma
+  }
+
+  char json[4096];
   std::snprintf(
       json, sizeof(json),
       "{\n"
@@ -436,6 +700,17 @@ int main(int argc, char** argv) {
       "  \"concurrent\": {\"throughput_ops_per_sec\": %.1f, \"p50_us\": "
       "%.1f, \"p99_us\": %.1f, \"ops\": %llu, \"errors\": %llu},\n"
       "  \"scaling\": %.3f,\n"
+      "  \"trace\": {\n"
+      "    \"attributed_ops\": %zu,\n"
+      "    \"missing_traces\": %llu,\n"
+      "    \"spans_evicted\": %llu,\n"
+      "    \"phase_coverage\": %.3f,\n"
+      "    \"coverage_target\": 0.90,\n"
+      "    \"p99_gap_dominant_phase\": \"%s\",\n"
+      "    \"tail_phases\": {\n"
+      "%s"
+      "    }\n"
+      "  },\n"
       "  \"pass\": %s\n"
       "}\n",
       rows, ops, sessions, hw, target, single.throughput, single.p50_us,
@@ -444,7 +719,9 @@ int main(int argc, char** argv) {
       concurrent.p50_us, concurrent.p99_us,
       static_cast<unsigned long long>(concurrent.ops),
       static_cast<unsigned long long>(concurrent.errors), scaling,
-      pass ? "true" : "false");
+      attributed, static_cast<unsigned long long>(traces_missing),
+      static_cast<unsigned long long>(spans_evicted), coverage,
+      dominant_phase, phases_json.c_str(), pass ? "true" : "false");
   std::ofstream out(out_file);
   out << json;
   out.close();

@@ -1,11 +1,17 @@
-// grtdb_metrics: boots an in-process server with all four DataBlades
-// registered, executes the SQL script files named on the command line (a
-// built-in smoke workload when none are given), and prints the server's
-// metrics registry in Prometheus text exposition format on stdout — the
-// same text EXPORT METRICS returns through SQL. Usage:
-//   grtdb_metrics [script.sql ...]
+// grtdb_metrics: prints a server's metrics registry in Prometheus text
+// exposition format on stdout. Two modes:
+//   grtdb_metrics --connect host:port   scrape a running grtdb_server
+//                                       over the wire (EXPORT METRICS)
+//   grtdb_metrics [script.sql ...]      embedded fallback: boot an
+//                                       in-process server with all four
+//                                       DataBlades, run the named SQL
+//                                       scripts (a built-in smoke
+//                                       workload when none are given),
+//                                       and export its registry
+// Both modes emit the same text EXPORT METRICS returns through SQL.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -14,6 +20,7 @@
 #include "blades/gist_blade.h"
 #include "blades/grtree_blade.h"
 #include "blades/rstar_blade.h"
+#include "net/net_client.h"
 #include "server/server.h"
 
 namespace {
@@ -32,9 +39,56 @@ SELECT id FROM flights WHERE Overlaps(e, '20000, UC, 19900, NOW');
 UPDATE STATISTICS;
 )sql";
 
+// Remote scrape: one connection, one EXPORT METRICS round-trip, rows of
+// the "line" column straight to stdout.
+int ScrapeRemote(const std::string& target) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == target.size()) {
+    std::fprintf(stderr, "grtdb_metrics: --connect wants host:port, got "
+                         "'%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "grtdb_metrics: bad port in '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  grtdb::net::NetClient client;
+  grtdb::Status status =
+      client.Connect(host, static_cast<uint16_t>(port));
+  if (!status.ok()) {
+    std::fprintf(stderr, "grtdb_metrics: connect %s: %s\n", target.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  grtdb::ResultSet result;
+  status = client.Execute("EXPORT METRICS", &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "grtdb_metrics: EXPORT METRICS: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  for (const auto& row : result.rows) {
+    if (!row.empty()) std::printf("%s\n", row[0].c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--connect") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: grtdb_metrics --connect host:port\n");
+      return 2;
+    }
+    return ScrapeRemote(argv[2]);
+  }
+
   grtdb::Server server;
   grtdb::Status status = grtdb::RegisterGRTreeBlade(&server);
   if (status.ok()) status = grtdb::RegisterRStarBlade(&server);

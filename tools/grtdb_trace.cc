@@ -1,0 +1,378 @@
+// grtdb_trace: pulls a server's span buffer as Chrome trace-event JSON
+// (chrome://tracing / Perfetto "load trace" format) and self-checks that
+// the dump really is loadable JSON with the fields the viewers key on.
+// Two modes:
+//   grtdb_trace --connect host:port [--sample N] [--out FILE]
+//       scrape a running grtdb_server over the wire. With --sample the
+//       tool first arms SET TRACE_SAMPLE = N on its own session (the
+//       tracer is server-wide, so every session's requests start
+//       sampling) and runs no workload of its own — scrape again later
+//       to collect what the live traffic produced.
+//   grtdb_trace [--out FILE]
+//       embedded demo: boot an in-process server with all four
+//       DataBlades, trace a small indexed workload at SAMPLE = 1, and
+//       dump it. This is the smoke-test mode.
+// The JSON goes to --out (default stdout); diagnostics go to stderr, and
+// the final "grtdb_trace: OK" only appears when the validity checks pass.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "blades/btree_blade.h"
+#include "blades/gist_blade.h"
+#include "blades/grtree_blade.h"
+#include "blades/rstar_blade.h"
+#include "net/net_client.h"
+#include "server/server.h"
+
+namespace {
+
+// ---- minimal JSON validator ----------------------------------------------
+//
+// Just enough of RFC 8259 to prove the dump would load: full recursive
+// value grammar, no semantic interpretation beyond counting traceEvents
+// elements and remembering which keys each event object carried.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  // Validates the whole document and counts the "traceEvents" array's
+  // elements; every element must carry the keys Chrome keys on.
+  bool Validate(std::string* error, size_t* events, size_t* bad_events) {
+    *events = 0;
+    *bad_events = 0;
+    events_out_ = events;
+    bad_events_out_ = bad_events;
+    SkipWs();
+    if (!ParseValue(error)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      *error = "trailing bytes after the top-level value at offset " +
+               std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, std::string* error) {
+    const size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) {
+      *error = std::string("expected '") + word + "' at offset " +
+               std::to_string(pos_);
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      *error = "expected string at offset " + std::to_string(pos_);
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        pos_ += 2;
+        continue;
+      }
+      out->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      *error = "unterminated string";
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(std::string* error) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      *error = "expected number at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+  // in_events: this object is one traceEvents element; check its keys.
+  bool ParseObject(std::string* error, bool in_events) {
+    ++pos_;  // '{'
+    bool has_name = false;
+    bool has_ph = false;
+    bool has_ts = false;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+    } else {
+      for (;;) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key, error)) return false;
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          *error = "expected ':' at offset " + std::to_string(pos_);
+          return false;
+        }
+        ++pos_;
+        SkipWs();
+        const bool is_events_array = key == "traceEvents";
+        if (!ParseValue(error, is_events_array)) return false;
+        if (in_events) {
+          has_name |= key == "name";
+          has_ph |= key == "ph";
+          has_ts |= key == "ts";
+        }
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          break;
+        }
+        *error = "expected ',' or '}' at offset " + std::to_string(pos_);
+        return false;
+      }
+    }
+    if (in_events) {
+      ++*events_out_;
+      if (!has_name || !has_ph || !has_ts) ++*bad_events_out_;
+    }
+    return true;
+  }
+
+  // elements_are_events: children of the "traceEvents" key.
+  bool ParseArray(std::string* error, bool elements_are_events) {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (elements_are_events &&
+          (pos_ >= text_.size() || text_[pos_] != '{')) {
+        *error = "traceEvents element is not an object at offset " +
+                 std::to_string(pos_);
+        return false;
+      }
+      if (!ParseValue(error, /*value_is_events_array=*/false,
+                      elements_are_events)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      *error = "expected ',' or ']' at offset " + std::to_string(pos_);
+      return false;
+    }
+  }
+
+  bool ParseValue(std::string* error, bool value_is_events_array = false,
+                  bool object_is_event = false) {
+    if (pos_ >= text_.size()) {
+      *error = "unexpected end of document";
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(error, object_is_event);
+      case '[':
+        return ParseArray(error, value_is_events_array);
+      case '"': {
+        std::string scratch;
+        return ParseString(&scratch, error);
+      }
+      case 't':
+        return Literal("true", error);
+      case 'f':
+        return Literal("false", error);
+      case 'n':
+        return Literal("null", error);
+      default:
+        return ParseNumber(error);
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t* events_out_ = nullptr;
+  size_t* bad_events_out_ = nullptr;
+};
+
+// Joins a DUMP TRACE JSON result (rows of the "json" column) back into
+// the one document the server pretty-printed across rows.
+std::string JoinRows(const grtdb::ResultSet& result) {
+  std::string text;
+  for (const auto& row : result.rows) {
+    if (row.empty()) continue;
+    text += row[0];
+    text += '\n';
+  }
+  return text;
+}
+
+// Setup runs untraced; SET TRACE_SAMPLE arms the tracer *last*, so the
+// traced work is the probe statements executed after this script (a
+// statement's sampling decision is made when its request starts).
+const char kDemoSetup[] = R"sql(
+CREATE TABLE flights (id int, e grt_timeextent);
+CREATE INDEX flights_idx ON flights(e grt_opclass) USING grtree_am;
+SET CURRENT_TIME TO 20000;
+INSERT INTO flights VALUES (1, '20000, UC, 19900, NOW');
+INSERT INTO flights VALUES (2, '20000, UC, 19950, NOW');
+INSERT INTO flights VALUES (3, '20000, UC, 19990, NOW');
+SET TRACE_SAMPLE = 1;
+)sql";
+
+const char* kDemoProbes[] = {
+    "SELECT id FROM flights WHERE Overlaps(e, '20000, UC, 19900, NOW')",
+    "INSERT INTO flights VALUES (4, '20000, UC, 19960, NOW')",
+    "SELECT id FROM flights WHERE Overlaps(e, '20000, UC, 19950, NOW')",
+};
+
+int Fail(const char* what, const grtdb::Status& status) {
+  std::fprintf(stderr, "grtdb_trace: %s: %s\n", what,
+               status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  std::string out_file;
+  int sample = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "grtdb_trace: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      connect = next();
+    } else if (arg == "--out") {
+      out_file = next();
+    } else if (arg == "--sample") {
+      sample = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "usage: grtdb_trace [--connect host:port] "
+                           "[--sample N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  grtdb::ResultSet result;
+  if (!connect.empty()) {
+    const size_t colon = connect.rfind(':');
+    const int port =
+        colon == std::string::npos ? 0 : std::atoi(connect.c_str() + colon + 1);
+    if (colon == std::string::npos || colon == 0 || port <= 0 ||
+        port > 65535) {
+      std::fprintf(stderr, "grtdb_trace: --connect wants host:port, got "
+                           "'%s'\n",
+                   connect.c_str());
+      return 2;
+    }
+    grtdb::net::NetClient client;
+    grtdb::Status status = client.Connect(connect.substr(0, colon),
+                                          static_cast<uint16_t>(port));
+    if (!status.ok()) return Fail("connect", status);
+    if (sample > 0) {
+      status = client.Execute(
+          "SET TRACE_SAMPLE = " + std::to_string(sample), &result);
+      if (!status.ok()) return Fail("SET TRACE_SAMPLE", status);
+    }
+    status = client.Execute("DUMP TRACE JSON", &result);
+    if (!status.ok()) return Fail("DUMP TRACE JSON", status);
+  } else {
+    grtdb::Server server;
+    grtdb::Status status = grtdb::RegisterGRTreeBlade(&server);
+    if (status.ok()) status = grtdb::RegisterRStarBlade(&server);
+    if (status.ok()) status = grtdb::RegisterBtreeBlade(&server);
+    if (status.ok()) status = grtdb::RegisterGistBlade(&server);
+    if (!status.ok()) return Fail("blade registration", status);
+    grtdb::ServerSession* session = server.CreateSession();
+    status = server.ExecuteScript(session, kDemoSetup, &result);
+    if (!status.ok()) return Fail("demo setup", status);
+    for (const char* probe : kDemoProbes) {
+      status = server.Execute(session, probe, &result);
+      if (!status.ok()) return Fail("demo probe", status);
+    }
+    status = server.Execute(session, "DUMP TRACE JSON", &result);
+    if (!status.ok()) return Fail("DUMP TRACE JSON", status);
+  }
+
+  const std::string text = JoinRows(result);
+  std::string error;
+  size_t events = 0;
+  size_t bad_events = 0;
+  JsonChecker checker(text);
+  if (!checker.Validate(&error, &events, &bad_events)) {
+    std::fprintf(stderr, "grtdb_trace: dump is not valid JSON: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  // A --connect scrape of an idle, unsampled server legitimately dumps
+  // zero events; the embedded demo must produce some.
+  if (connect.empty() && events == 0) {
+    std::fprintf(stderr, "grtdb_trace: demo produced no trace events\n");
+    return 1;
+  }
+  if (bad_events != 0) {
+    std::fprintf(stderr,
+                 "grtdb_trace: %zu of %zu events lack name/ph/ts\n",
+                 bad_events, events);
+    return 1;
+  }
+
+  if (out_file.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(out_file);
+    out << text;
+    if (!out) {
+      std::fprintf(stderr, "grtdb_trace: cannot write %s\n",
+                   out_file.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "grtdb_trace: %zu events, valid Chrome trace JSON\n",
+               events);
+  std::printf("grtdb_trace: OK\n");
+  return 0;
+}

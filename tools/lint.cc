@@ -583,6 +583,77 @@ void CheckFlightEvent(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// -------------------------------------------------------- rule: span-name
+
+// Span emission sites must spell the span's name through the SpanName
+// enum, mirroring the flight-event rule: SpanScope's first argument and
+// TraceScope's / EmitSpan's second must name SpanName and carry no naked
+// numeric code, so the buffer's wire value and SpanNameString() cannot
+// drift apart.
+void CheckSpanName(const std::string& path, const std::vector<Token>& toks,
+                   std::vector<Issue>* issues) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    int name_arg;
+    if (toks[i].text == "SpanScope") {
+      name_arg = 0;
+    } else if (toks[i].text == "TraceScope" || toks[i].text == "EmitSpan") {
+      name_arg = 1;
+    } else {
+      continue;
+    }
+    // Destructors open and close no span name.
+    if (i > 0 && toks[i - 1].text == "~") continue;
+    // Constructor spelling declares a variable: `SpanScope span(...)`.
+    size_t open = i + 1;
+    if (toks[open].kind == TokKind::kIdent && open + 1 < toks.size()) {
+      ++open;
+    }
+    if (toks[open].text != "(") continue;
+    bool names_enum = false;
+    bool has_number = false;
+    int arg = 0;
+    int depth = 0;
+    size_t j = open;
+    for (; j < toks.size(); ++j) {
+      const Token& tok = toks[j];
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == "(" || tok.text == "[" || tok.text == "{")) {
+        ++depth;
+        continue;
+      }
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == ")" || tok.text == "]" || tok.text == "}")) {
+        --depth;
+        if (depth == 0) break;
+        continue;
+      }
+      if (depth == 1 && tok.kind == TokKind::kPunct && tok.text == ",") {
+        ++arg;
+        continue;
+      }
+      if (depth >= 1 && arg == name_arg) {
+        if (tok.kind == TokKind::kIdent && tok.text == "SpanName") {
+          names_enum = true;
+        }
+        if (tok.kind == TokKind::kNumber) has_number = true;
+      }
+    }
+    // Deleted copy operations name the class itself, not a span.
+    if (j + 2 < toks.size() && toks[j + 1].text == "=" &&
+        toks[j + 2].text == "delete") {
+      continue;
+    }
+    if (!names_enum || has_number) {
+      issues->push_back(
+          {path, toks[i].line, "span-name",
+           "the span-name argument of " + toks[i].text +
+               " must be spelled through the SpanName enum (no naked "
+               "numeric span codes)"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Token> Tokenize(const std::string& source) {
@@ -607,6 +678,7 @@ std::vector<Issue> LintSource(const std::string& path,
     CheckLockAcquire(path, toks, &issues);
   }
   CheckFlightEvent(path, toks, &issues);
+  CheckSpanName(path, toks, &issues);
   return issues;
 }
 
