@@ -113,7 +113,8 @@ void* MiMemory::Alloc(MiDuration duration, size_t size) {
   std::memcpy(TrailerOf(user, size), &kCanary, kTrailerSize);
 
   std::lock_guard<std::mutex> lock(mu_);
-  blocks_[user] = Block{std::move(raw), size, duration, BlockState::kLive};
+  blocks_[user] =
+      Block{std::move(raw), size, duration, BlockState::kLive, next_seq_++};
   return user;
 }
 
@@ -238,13 +239,32 @@ void MiMemory::Free(void* ptr, MiDuration expected) {
   Publish(std::move(found));
 }
 
+void MiMemory::BeginDuration(MiDuration duration) {
+  std::lock_guard<std::mutex> lock(mu_);
+  duration_marks_[static_cast<int>(duration)].push_back(next_seq_);
+}
+
+size_t MiMemory::DurationDepth(MiDuration duration) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duration_marks_[static_cast<int>(duration)].size();
+}
+
 void MiMemory::EndDuration(MiDuration duration) {
   std::vector<MiViolation> found;
   std::deque<void*> release;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // With no open scope the mark is 0: every live block of the duration
+    // goes, the pre-BeginDuration behavior.
+    std::vector<uint64_t>& marks = duration_marks_[static_cast<int>(duration)];
+    uint64_t mark = 0;
+    if (!marks.empty()) {
+      mark = marks.back();
+      marks.pop_back();
+    }
     for (auto& [ptr, block] : blocks_) {
-      if (block.state != BlockState::kLive || block.duration != duration) {
+      if (block.state != BlockState::kLive || block.duration != duration ||
+          block.seq < mark) {
         continue;
       }
       CheckCanariesLocked(ptr, block, &found);

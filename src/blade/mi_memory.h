@@ -95,9 +95,21 @@ class MiMemory {
   // transaction-end path, say) even when the block is otherwise valid.
   void Free(void* ptr, MiDuration expected);
 
+  // Opens a nested scope for `duration`: the matching EndDuration releases
+  // only blocks allocated after this call. Scopes stack, so a UDR invoked
+  // from inside another UDR brackets its own PER_FUNCTION allocations
+  // without freeing its caller's. Optional — EndDuration with no open
+  // scope keeps the historical "free everything under the duration"
+  // behavior.
+  void BeginDuration(MiDuration duration);
+
   // The server calls this when a duration ends; everything allocated under
-  // it (and not explicitly freed) is poisoned and released.
+  // it since the matching BeginDuration (or ever, when no scope is open)
+  // and not explicitly freed is poisoned and released.
   void EndDuration(MiDuration duration);
+
+  // Open BeginDuration scopes for a duration (test/diagnostic hook).
+  size_t DurationDepth(MiDuration duration) const;
 
   // Duration-escape registry (§4's stale-pointer bug): record that a
   // pointer into one of this allocator's blocks was stored in a structure
@@ -138,6 +150,7 @@ class MiMemory {
     size_t size = 0;                 // user size
     MiDuration duration = MiDuration::kPerFunction;
     BlockState state = BlockState::kLive;
+    uint64_t seq = 0;  // allocation order, for nested duration scopes
   };
 
   // All require mu_ held; violations are collected into `out` and
@@ -154,6 +167,10 @@ class MiMemory {
   mutable std::mutex mu_;
   std::unordered_map<void*, Block> blocks_;
   std::deque<void*> quarantine_;  // freed/ended blocks, oldest first
+  uint64_t next_seq_ = 0;
+  // Per-duration stacks of BeginDuration marks (the next_seq_ value at
+  // scope open); EndDuration releases blocks at or past the top mark.
+  std::vector<uint64_t> duration_marks_[kMiDurationCount];
 
   mutable std::mutex vio_mu_;
   std::vector<MiViolation> violations_;

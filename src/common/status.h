@@ -82,6 +82,15 @@ class Status {
   // Human-readable "CODE: message" string for logs and test diagnostics.
   std::string ToString() const;
 
+  // Copy of this status with `note` appended to the message — for
+  // surfacing a secondary failure (a cleanup or close that also went
+  // wrong) without masking the primary error. No-op when this status is
+  // OK or the note is empty.
+  Status WithNote(const std::string& note) const {
+    if (ok() || note.empty()) return *this;
+    return Status(code_, msg_.empty() ? note : msg_ + "; " + note);
+  }
+
  private:
   Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
 

@@ -73,6 +73,8 @@ Status NetServer::Start() {
   m_bytes_out_ = metrics.GetCounter("net.bytes_out");
   m_oversized_responses_metric_ =
       metrics.GetCounter("net.oversized_responses");
+  m_session_close_failures_ =
+      metrics.GetCounter("net.session_close_failures");
   m_queue_depth_ = metrics.GetGauge("net.queue_depth");
 
   stopping_.store(false, std::memory_order_relaxed);
@@ -211,7 +213,9 @@ void NetServer::ServeConnection(int fd, uint64_t queue_enqueue_ticks,
       std::string encoded = EncodeResponse(response);
       if (m_frames_out_ != nullptr) m_frames_out_->Add();
       if (m_bytes_out_ != nullptr) m_bytes_out_->Add(4 + encoded.size());
-      WriteFrame(fd, encoded);
+      // Best-effort error report: the connection is being dropped either
+      // way, so a failed write changes nothing the server can act on.
+      (void)WriteFrame(fd, encoded);
       break;
     }
 
@@ -294,8 +298,13 @@ void NetServer::ServeConnection(int fd, uint64_t queue_enqueue_ticks,
     if (write_failed) break;
   }
   // Disconnect is the session's end: CloseSession rolls back whatever
-  // transaction the client left open and ends its memory durations.
-  server_->CloseSession(session);
+  // transaction the client left open and ends its memory durations. A
+  // failing close means that teardown did NOT happen — there is no client
+  // left to tell, so it surfaces through the metrics endpoint instead.
+  Status closed = server_->CloseSession(session);
+  if (!closed.ok() && m_session_close_failures_ != nullptr) {
+    m_session_close_failures_->Add();
+  }
 }
 
 }  // namespace net

@@ -110,6 +110,7 @@ class NetServer {
   obs::Counter* m_bytes_in_ = nullptr;
   obs::Counter* m_bytes_out_ = nullptr;
   obs::Counter* m_oversized_responses_metric_ = nullptr;
+  obs::Counter* m_session_close_failures_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
 
   // Fds currently owned by workers, so Stop can shut them down and

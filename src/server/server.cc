@@ -169,6 +169,8 @@ ServerSession* Server::CreateSession() {
   // Named memory is server-wide; pointer stores into it are audited
   // against every live session's allocator (see NamedStorePointer).
   named_memory_.AddDurationSource(&session->memory());
+  // The session-long duration scope; CloseSession ends it.
+  session->memory().BeginDuration(MiDuration::kPerSession);
   return session;
 }
 
@@ -607,6 +609,10 @@ Status Server::Execute(ServerSession* session, const std::string& sql,
   }
   out->Clear();
   const uint64_t start_ticks = obs::Ticks();
+  // Statement-scoped durations open here and close unconditionally below,
+  // so a UDR that re-enters Execute only tears down its own nested scope.
+  session->memory().BeginDuration(MiDuration::kPerFunction);
+  session->memory().BeginDuration(MiDuration::kPerStatement);
   Status status = ExecuteStatement(session, stmt, out);
   // Slow-query retention sees every statement, successful or not; its
   // threshold check is one relaxed load, so the disabled default costs
@@ -633,6 +639,8 @@ Status Server::ExecuteScript(ServerSession* session,
   GRTDB_RETURN_IF_ERROR(sql::Parser::ParseScript(script, &statements));
   for (const sql::Statement& stmt : statements) {
     out->Clear();
+    session->memory().BeginDuration(MiDuration::kPerFunction);
+    session->memory().BeginDuration(MiDuration::kPerStatement);
     Status status = ExecuteStatement(session, stmt, out);
     // Durations end for the failing statement too — Execute ends them
     // unconditionally, and a mid-script error must not leak every
@@ -698,16 +706,17 @@ Status Server::ExecuteStatement(ServerSession* session,
                                         /*explicit_txn=*/true);
     }
     Status operator()(const sql::CommitWorkStmt&) {
-      GRTDB_RETURN_IF_ERROR(
-          server->txn_manager_.Commit(&session->txn_session()));
+      Status end = server->txn_manager_.Commit(&session->txn_session());
+      // The duration ends even when the commit errors (COMMIT WORK with
+      // no open transaction): per-transaction allocations must never
+      // survive an attempted transaction end.
       session->memory().EndDuration(MiDuration::kPerTransaction);
-      return Status::OK();
+      return end;
     }
     Status operator()(const sql::RollbackWorkStmt&) {
-      GRTDB_RETURN_IF_ERROR(
-          server->txn_manager_.Rollback(&session->txn_session()));
+      Status end = server->txn_manager_.Rollback(&session->txn_session());
       session->memory().EndDuration(MiDuration::kPerTransaction);
-      return Status::OK();
+      return end;
     }
     Status operator()(const sql::SetStmt& s) {
       return server->ExecSet(session, s, out);
@@ -994,6 +1003,8 @@ Status Server::Prepare(ServerSession* session, const std::string& name,
   prepare.inner_sql = sql;
   sql::Statement stmt = std::move(prepare);
   out->Clear();
+  session->memory().BeginDuration(MiDuration::kPerFunction);
+  session->memory().BeginDuration(MiDuration::kPerStatement);
   Status status = ExecuteStatement(session, stmt, out);
   session->memory().EndDuration(MiDuration::kPerFunction);
   session->memory().EndDuration(MiDuration::kPerStatement);
@@ -1022,6 +1033,8 @@ Status Server::ExecutePrepared(ServerSession* session,
       ambient.active() ? obs::TraceHandle{} : span_tracer_.StartTrace(),
       obs::SpanName::kRequest);
   const uint64_t start_ticks = obs::Ticks();
+  session->memory().BeginDuration(MiDuration::kPerFunction);
+  session->memory().BeginDuration(MiDuration::kPerStatement);
   Status status = ExecuteStatement(session, stmt, out);
   slow_query_log_.MaybeRecord("EXECUTE " + name,
                               obs::TicksToNs(obs::Ticks() - start_ticks),
@@ -1602,9 +1615,18 @@ Status Server::ExecCreateIndex(ServerSession* session,
   MiCallContext ctx{this, session, current_time_};
 
   auto fail = [&](Status status) {
-    catalog_.DropIndex(stmt.name);
+    // Cleanup failures never mask the build error, but they must not
+    // vanish either: a half-registered index poisons every retry of the
+    // same CREATE INDEX, so the caller hears about it in the same status.
+    Status dropped = catalog_.DropIndex(stmt.name);
+    if (!dropped.ok()) {
+      status = status.WithNote("cleanup failed: " + dropped.message());
+    }
     if (implicit) {
-      txn_manager_.Rollback(&session->txn_session());
+      Status rolled = txn_manager_.Rollback(&session->txn_session());
+      if (!rolled.ok()) {
+        status = status.WithNote("rollback failed: " + rolled.message());
+      }
       session->memory().EndDuration(MiDuration::kPerTransaction);
     }
     return status;
@@ -1633,7 +1655,9 @@ Status Server::ExecCreateIndex(ServerSession* session,
   // keep it (Informix passes the same descriptor to the following calls).
   open->desc.user_data = create_desc.user_data;
   if (am->hooks.am_insert) {
-    status = table->Scan([&](RecordId id, const Row& row) {
+    // The callback stops the scan on an insert error and parks it in
+    // `status`; Scan's own (traversal) error must not overwrite it.
+    Status scan = table->Scan([&](RecordId id, const Row& row) {
       Row key_row = KeyRowFor(open->desc, row);
       PurposeCallScope call(this, session, am, obs::PurposeFn::kAmInsert);
       Status insert_status =
@@ -1644,12 +1668,16 @@ Status Server::ExecCreateIndex(ServerSession* session,
       }
       return true;
     });
+    if (status.ok()) status = scan;
   }
   if (status.ok()) {
     Status close = CloseIndexDesc(ctx, open.get());
     if (!close.ok()) status = close;
   } else {
-    CloseIndexDesc(ctx, open.get());
+    Status close = CloseIndexDesc(ctx, open.get());
+    if (!close.ok()) {
+      status = status.WithNote("am_close failed: " + close.message());
+    }
   }
   if (!status.ok()) return fail(status);
 

@@ -106,8 +106,9 @@ Status NodeCache::PinFrame(NodeId id, size_t* frame,
                            std::shared_lock<std::shared_mutex>* latch,
                            bool* hit) {
   // The pin spans until Unpin() (possibly via a NodeView), which balances
-  // this witness record; error returns below balance it immediately.
-  GRTDB_WITNESS_ACQUIRE(CacheLatchClass());
+  // this witness record; error returns below balance it immediately. The
+  // success paths deliberately transfer the held record to the caller.
+  GRTDB_WITNESS_ACQUIRE(CacheLatchClass());  // NOLINT(grtdb-resource-balance)
   *hit = true;
   {
     std::shared_lock shared(latch_);

@@ -60,8 +60,9 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
                                        std::chrono::milliseconds timeout) {
   // Witness sees the acquisition *attempt*, before any blocking, so an
   // ordering inversion is flagged even when this call would have been
-  // granted immediately. Failure paths below undo the record.
-  GRTDB_WITNESS_ACQUIRE(WitnessClassFor(resource.kind));
+  // granted immediately. Failure paths below undo the record; on success
+  // the record transfers to the holder and ReleaseAll balances it.
+  GRTDB_WITNESS_ACQUIRE(WitnessClassFor(resource.kind));  // NOLINT(grtdb-resource-balance)
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.acquisitions;
   if (m_acquisitions_ != nullptr) m_acquisitions_->Add();

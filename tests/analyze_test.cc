@@ -1,0 +1,662 @@
+// Unit tests for the grtdb_analyze flow-sensitive analyzer: every rule
+// family gets a seeded-violation fixture (which must fire) and a clean
+// counterpart (which must not). The fixtures are deliberately small C++
+// sources fed through Analyzer::AddSource, exercising the same lexer /
+// parser / CFG pipeline the binary runs over the real tree.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/analyze/analyzer.h"
+#include "tools/analyze/ast.h"
+#include "tools/analyze/cfg.h"
+
+namespace grtdb {
+namespace analyze {
+namespace {
+
+std::vector<Finding> RunOn(const std::string& path, const std::string& src,
+                           AnalyzerStats* stats = nullptr) {
+  Analyzer a;
+  a.AddSource(path, src);
+  return a.Run(stats);
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------------------
+// resource-balance: mutex leaks over branches and loops
+// ------------------------------------------------------------------------
+
+TEST(ResourceBalance, LeakOnElseBranchIsReported) {
+  const std::string src = R"cc(
+    void ElseLeak() {
+      mu_.lock();
+      if (ready_) {
+        mu_.unlock();
+      } else {
+        Helper();
+      }
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "resource-balance"), 1);
+  EXPECT_EQ(findings[0].line, 3);  // the lock() line
+  EXPECT_NE(findings[0].message.find("mu_"), std::string::npos);
+  EXPECT_FALSE(findings[0].path_note.empty());
+}
+
+TEST(ResourceBalance, BothBranchesReleasingIsClean) {
+  const std::string src = R"cc(
+    void Balanced() {
+      mu_.lock();
+      if (ready_) {
+        mu_.unlock();
+      } else {
+        mu_.unlock();
+      }
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(ResourceBalance, LeakViaBreakIsReported) {
+  const std::string src = R"cc(
+    void BreakLeak() {
+      for (int i = 0; i < n_; ++i) {
+        mu_.lock();
+        if (stop_) break;
+        mu_.unlock();
+      }
+    }
+  )cc";
+  EXPECT_EQ(CountRule(RunOn("src/x.cc", src), "resource-balance"), 1);
+}
+
+TEST(ResourceBalance, LeakOnErrorReturnMacroIsReported) {
+  const std::string src = R"cc(
+    Status DurLeak(ServerSession* session) {
+      session->memory().BeginDuration(MiDuration::kPerStatement);
+      GRTDB_RETURN_IF_ERROR(Step());
+      session->memory().EndDuration(MiDuration::kPerStatement);
+      return Status::OK();
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "resource-balance"), 1);
+  EXPECT_NE(findings[0].message.find("kPerStatement"), std::string::npos);
+}
+
+TEST(ResourceBalance, ErrorReturnAfterReleaseIsClean) {
+  const std::string src = R"cc(
+    Status DurOk(ServerSession* session) {
+      session->memory().BeginDuration(MiDuration::kPerStatement);
+      Status status = Step();
+      session->memory().EndDuration(MiDuration::kPerStatement);
+      GRTDB_RETURN_IF_ERROR(status);
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(ResourceBalance, RaiiGuardTrafficIsExempt) {
+  // lock/unlock through an RAII-managed variable is balanced by its
+  // destructor on every path, including the early return.
+  const std::string src = R"cc(
+    void RaiiOk() {
+      std::unique_lock<std::mutex> lk(mu_);
+      lk.lock();
+      if (shortcut_) return;
+      lk.unlock();
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(ResourceBalance, AcquireOnlyIsOwnershipTransfer) {
+  // No release anywhere in the function: the lock is handed to the
+  // caller by design, not leaked.
+  const std::string src = R"cc(
+    Status TakeLock() {
+      mu_.lock();
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(ResourceBalance, GuardedAcquireErrorPathIsClean) {
+  // `Status st = Acquire(...); if (!st.ok()) return st;` — on the error
+  // branch the acquire never happened, so returning without Release is
+  // correct.
+  const std::string src = R"cc(
+    Status Guarded(LockManager* mgr) {
+      Status st = mgr->Acquire(txn, res, mode);
+      if (!st.ok()) return st;
+      Use();
+      mgr->Release(txn, res);
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(ResourceBalance, UnguardedLockManagerLeakIsReported) {
+  const std::string src = R"cc(
+    Status Unguarded(LockManager* mgr) {
+      Status st = mgr->Acquire(txn, res, mode);
+      if (!st.ok()) return st;
+      if (shortcut_) return Status::OK();
+      mgr->Release(txn, res);
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(RunOn("src/x.cc", src), "resource-balance"), 1);
+}
+
+TEST(ResourceBalance, WitnessImbalanceIsReported) {
+  const std::string src = R"cc(
+    Status Pin() {
+      GRTDB_WITNESS_ACQUIRE(CacheLatchClass());
+      if (miss_) {
+        return Status::NotFound("no frame");
+      }
+      GRTDB_WITNESS_RELEASE(CacheLatchClass());
+      return Status::OK();
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "resource-balance"), 1);
+  EXPECT_NE(findings[0].message.find("CacheLatchClass"), std::string::npos);
+}
+
+TEST(ResourceBalance, AbortPathWaivesObligation) {
+  // A dead-end (abort()) path owes nothing.
+  const std::string src = R"cc(
+    void Checked() {
+      mu_.lock();
+      if (corrupt_) abort();
+      mu_.unlock();
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+// ------------------------------------------------------------------------
+// resource-balance follow rule: EndDuration(kPerTransaction) after commit
+// ------------------------------------------------------------------------
+
+TEST(CommitDuration, ErrorPathSkippingEndDurationIsReported) {
+  const std::string src = R"cc(
+    Status CommitStmt(Session* session) {
+      GRTDB_RETURN_IF_ERROR(server->txn_manager_.Commit(&session->txn()));
+      session->memory().EndDuration(MiDuration::kPerTransaction);
+      return Status::OK();
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "resource-balance"), 1);
+  EXPECT_NE(findings[0].message.find("kPerTransaction"), std::string::npos);
+}
+
+TEST(CommitDuration, UnconditionalEndDurationIsClean) {
+  const std::string src = R"cc(
+    Status CommitStmt(Session* session) {
+      Status end = server->txn_manager_.Commit(&session->txn());
+      session->memory().EndDuration(MiDuration::kPerTransaction);
+      return end;
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+// ------------------------------------------------------------------------
+// unchecked-status
+// ------------------------------------------------------------------------
+
+TEST(UncheckedStatus, BareCallIsReported) {
+  const std::string src = R"cc(
+    Status DoWork() { return Status::OK(); }
+    void Caller() {
+      DoWork();
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "unchecked-status"), 1);
+  EXPECT_NE(findings[0].message.find("DoWork"), std::string::npos);
+}
+
+TEST(UncheckedStatus, ReturnedTestedAndVoidedAreClean) {
+  const std::string src = R"cc(
+    Status DoWork() { return Status::OK(); }
+    Status Propagates() { return DoWork(); }
+    void Tested() {
+      Status st = DoWork();
+      if (!st.ok()) Log(st);
+    }
+    void Voided() {
+      (void)DoWork();
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(UncheckedStatus, StatusOrCountsToo) {
+  const std::string src = R"cc(
+    StatusOr<int> Compute() { return 7; }
+    void Caller() {
+      Compute();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(RunOn("src/x.cc", src), "unchecked-status"), 1);
+}
+
+TEST(UncheckedStatus, NonStatusCalleeIsIgnored) {
+  const std::string src = R"cc(
+    int Count() { return 3; }
+    void Caller() {
+      Count();
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+// ------------------------------------------------------------------------
+// lock-order
+// ------------------------------------------------------------------------
+
+// Witness helper spellings mirror the real tree: a static LockClass in a
+// helper function, acquired through the helper's name.
+const char* kHelpers = R"cc(
+    witness::LockClass& RowCls() {
+      static witness::LockClass cls("lockmgr.row");
+      return cls;
+    }
+    witness::LockClass& CacheCls() {
+      static witness::LockClass cls("cache.latch");
+      return cls;
+    }
+    witness::LockClass& PagerCls() {
+      static witness::LockClass cls("pager.mu");
+      return cls;
+    }
+)cc";
+
+TEST(LockOrder, DirectInversionIsReported) {
+  // cache.latch ranks after lockmgr.row in the canonical order, so
+  // acquiring the row lock while the latch is held is an inversion.
+  const std::string src = std::string(kHelpers) + R"cc(
+    void Inverted() {
+      GRTDB_WITNESS_ACQUIRE(CacheCls());
+      GRTDB_WITNESS_ACQUIRE(RowCls());
+      GRTDB_WITNESS_RELEASE(RowCls());
+      GRTDB_WITNESS_RELEASE(CacheCls());
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "lock-order"), 1);
+  EXPECT_NE(findings[0].message.find("lockmgr.row"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("cache.latch"), std::string::npos);
+}
+
+TEST(LockOrder, CanonicalNestingIsClean) {
+  const std::string src = std::string(kHelpers) + R"cc(
+    void Ordered() {
+      GRTDB_WITNESS_ACQUIRE(RowCls());
+      GRTDB_WITNESS_ACQUIRE(CacheCls());
+      GRTDB_WITNESS_RELEASE(CacheCls());
+      GRTDB_WITNESS_RELEASE(RowCls());
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(LockOrder, CrossFunctionInversionIsReported) {
+  // Outer holds pager.mu and calls Inner, which (transitively) acquires
+  // cache.latch — an inversion only visible through the call graph.
+  const std::string src = std::string(kHelpers) + R"cc(
+    void Inner() {
+      GRTDB_WITNESS_ACQUIRE(CacheCls());
+      GRTDB_WITNESS_RELEASE(CacheCls());
+    }
+    void Outer() {
+      GRTDB_WITNESS_ACQUIRE(PagerCls());
+      Inner();
+      GRTDB_WITNESS_RELEASE(PagerCls());
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "lock-order"), 1);
+  EXPECT_NE(findings[0].message.find("pager.mu"), std::string::npos);
+}
+
+TEST(LockOrder, AmbiguousCalleeContributesIntersectionOnly) {
+  // Two definitions share the simple name WriteNode; only one acquires
+  // cache.latch. A call through the ambiguous name must not import that
+  // class into the caller's edges (deliberate under-approximation).
+  const std::string src = std::string(kHelpers) + R"cc(
+    Status WriteNode(PlainStore* s) {
+      return s->Put();
+    }
+    Status WriteNode(LockingStore* s) {
+      GRTDB_WITNESS_ACQUIRE(CacheCls());
+      Status st = s->Put();
+      GRTDB_WITNESS_RELEASE(CacheCls());
+      return st;
+    }
+    void Holder() {
+      GRTDB_WITNESS_ACQUIRE(PagerCls());
+      (void)WriteNode(store_);
+      GRTDB_WITNESS_RELEASE(PagerCls());
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(LockOrder, ScopeAcquireReleasesAtScopeEnd) {
+  // GRTDB_WITNESS_SCOPE is released when its block closes, so a later
+  // acquisition of an earlier class is not "while holding".
+  const std::string src = std::string(kHelpers) + R"cc(
+    void Scoped() {
+      {
+        GRTDB_WITNESS_SCOPE(CacheCls());
+        Touch();
+      }
+      GRTDB_WITNESS_ACQUIRE(RowCls());
+      GRTDB_WITNESS_RELEASE(RowCls());
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/x.cc", src).empty());
+}
+
+TEST(LockOrder, UnknownClassIsReported) {
+  const std::string src = R"cc(
+    witness::LockClass& MysteryCls() {
+      static witness::LockClass cls("foo.bar");
+      return cls;
+    }
+    void User() {
+      GRTDB_WITNESS_ACQUIRE(MysteryCls());
+      GRTDB_WITNESS_RELEASE(MysteryCls());
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "lock-order"), 1);
+  EXPECT_NE(findings[0].message.find("foo.bar"), std::string::npos);
+}
+
+// ------------------------------------------------------------------------
+// blade-contract
+// ------------------------------------------------------------------------
+
+// A full, conforming registration: script + Export()s, in the idiom the
+// real blades use. Built by string-assembly so pieces can be knocked out.
+std::string BladeSource(bool script_getnext, const char* getnext_wrapper,
+                        bool export_delete_referenced) {
+  std::string src;
+  src += "void Register(BladeLibrary* library, const std::string& p) {\n";
+  struct Fn {
+    const char* am;
+    const char* wrapper;
+  };
+  const Fn fns[] = {
+      {"create", "AmSimpleFn"},   {"drop", "AmSimpleFn"},
+      {"open", "AmSimpleFn"},     {"close", "AmSimpleFn"},
+      {"beginscan", "AmScanFn"},  {"endscan", "AmScanFn"},
+      {"rescan", "AmScanFn"},     {"getnext", "AmGetNextFn"},
+      {"insert", "AmModifyFn"},   {"delete", "AmModifyFn"},
+      {"update", "AmUpdateFn"},   {"scancost", "AmScanCostFn"},
+      {"stats", "AmSimpleFn"},    {"check", "AmSimpleFn"},
+  };
+  for (const Fn& fn : fns) {
+    const char* wrapper =
+        std::string(fn.am) == "getnext" ? getnext_wrapper : fn.wrapper;
+    src += std::string("  library->Export(p + \"_") + fn.am +
+           "\", std::any(" + wrapper + "(Hook)));\n";
+  }
+  src += "  std::string script =\n";
+  src += "      std::string(\"CREATE SECONDARY ACCESS_METHOD toy (\\n\")";
+  for (const Fn& fn : fns) {
+    if (!script_getnext && std::string(fn.am) == "getnext") continue;
+    if (!export_delete_referenced && std::string(fn.am) == "delete") continue;
+    src += std::string(" +\n      \"  am_") + fn.am + " = \" + p + \"_" +
+           fn.am + ",\\n\"";
+  }
+  src += " +\n      \"  am_sptype = 'S'\\n);\"";
+  src += ";\n  Run(script);\n}\n";
+  return src;
+}
+
+TEST(BladeContract, FullRegistrationIsClean) {
+  EXPECT_TRUE(
+      RunOn("src/blades/toy_blade.cc", BladeSource(true, "AmGetNextFn", true))
+          .empty());
+}
+
+TEST(BladeContract, MissingRequiredEntryIsReported) {
+  std::vector<Finding> findings = RunOn(
+      "src/blades/toy_blade.cc", BladeSource(false, "AmGetNextFn", true));
+  bool missing = false;
+  bool dead = false;
+  for (const Finding& f : findings) {
+    if (f.rule != "blade-contract") continue;
+    if (f.message.find("does not set 'am_getnext'") != std::string::npos) {
+      missing = true;
+    }
+    // The orphaned Export of _getnext is dead once the script drops it.
+    if (f.message.find("'_getnext' is not referenced") != std::string::npos) {
+      dead = true;
+    }
+  }
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(dead);
+}
+
+TEST(BladeContract, WrongWrapperTypeIsReported) {
+  std::vector<Finding> findings = RunOn(
+      "src/blades/toy_blade.cc", BladeSource(true, "AmSimpleFn", true));
+  ASSERT_EQ(CountRule(findings, "blade-contract"), 1);
+  EXPECT_NE(findings[0].message.find("AmSimpleFn"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("AmGetNextFn"), std::string::npos);
+}
+
+TEST(BladeContract, UnknownPurposeFunctionIsReported) {
+  std::string src = BladeSource(true, "AmGetNextFn", true);
+  const std::string needle = "\"  am_sptype = 'S'\\n);\"";
+  const size_t at = src.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  src.insert(at, "\"  am_frobnicate = \" + p + \"_frob,\\n\" +\n      ");
+  std::vector<Finding> findings = RunOn("src/blades/toy_blade.cc", src);
+  bool unknown = false;
+  for (const Finding& f : findings) {
+    if (f.message.find("unknown purpose function 'am_frobnicate'") !=
+        std::string::npos) {
+      unknown = true;
+    }
+  }
+  EXPECT_TRUE(unknown);
+}
+
+TEST(BladeContract, GeneratorWithoutExportsIsSkipped) {
+  // BladeSmith-style codegen mentions the DDL and am_* names in string
+  // fragments but Export()s nothing — not a registration site.
+  const std::string src = R"cc(
+    std::string GenerateSql(const Project& p) {
+      std::string out = "CREATE SECONDARY ACCESS_METHOD " + p.name + " (\n";
+      out += "  am_getnext = scan_next,\n";
+      out += "  am_sptype = 'S'\n);\n";
+      return out;
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/dbdk/gen.cc", src).empty());
+}
+
+// ------------------------------------------------------------------------
+// token rules ride on the same parse
+// ------------------------------------------------------------------------
+
+TEST(TokenRules, NakedAllocInBladeIsReported) {
+  const std::string src = R"cc(
+    void Hook() {
+      int* p = new int[4];
+    }
+  )cc";
+  std::vector<Finding> findings = RunOn("src/blades/toy_blade.cc", src);
+  EXPECT_EQ(CountRule(findings, "naked-alloc"), 1);
+  // The same source outside the blade surfaces is not path-gated.
+  EXPECT_TRUE(RunOn("src/common/util.cc", src).empty());
+}
+
+// ------------------------------------------------------------------------
+// suppression and baseline
+// ------------------------------------------------------------------------
+
+TEST(Suppression, NolintOnFindingLineSuppresses) {
+  const std::string src = R"cc(
+    void ElseLeak() {
+      mu_.lock();  // NOLINT(grtdb-resource-balance)
+      if (ready_) {
+        mu_.unlock();
+      } else {
+        Helper();
+      }
+    }
+  )cc";
+  AnalyzerStats stats;
+  std::vector<Finding> findings = RunOn("src/x.cc", src, &stats);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(stats.suppressed, 1);
+}
+
+TEST(Suppression, BaselineEntryFilters) {
+  const std::string src = R"cc(
+    void ElseLeak() {
+      mu_.lock();
+      if (ready_) {
+        mu_.unlock();
+      } else {
+        Helper();
+      }
+    }
+  )cc";
+  const std::string baseline_path =
+      testing::TempDir() + "/analyze_test_baseline.txt";
+  {
+    std::ofstream out(baseline_path);
+    out << "# comment line\n";
+    out << "src/x.cc:3:grtdb-resource-balance\n";
+  }
+  Analyzer a;
+  a.AddSource("src/x.cc", src);
+  a.LoadBaseline(baseline_path);
+  AnalyzerStats stats;
+  std::vector<Finding> findings = a.Run(&stats);
+  std::remove(baseline_path.c_str());
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(stats.baseline_filtered, 1);
+}
+
+TEST(RuleFilter, RestrictsToNamedRules) {
+  const std::string src = R"cc(
+    Status DoWork() { return Status::OK(); }
+    void Caller() {
+      mu_.lock();
+      DoWork();
+      if (ready_) return;
+      mu_.unlock();
+    }
+  )cc";
+  Analyzer a;
+  a.AddSource("src/x.cc", src);
+  a.SetRuleFilter({"unchecked-status"});
+  std::vector<Finding> findings = a.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unchecked-status");
+}
+
+// ------------------------------------------------------------------------
+// parser / CFG / stats plumbing
+// ------------------------------------------------------------------------
+
+TEST(Parser, CountsFunctionsAndStatements) {
+  const std::string src = R"cc(
+    int Twice(int x) { return 2 * x; }
+    void Loop() {
+      for (int i = 0; i < 4; ++i) {
+        if (i % 2) continue;
+        Emit(i);
+      }
+    }
+  )cc";
+  AnalyzerStats stats;
+  RunOn("src/x.cc", src, &stats);
+  EXPECT_EQ(stats.files, 1);
+  EXPECT_EQ(stats.functions, 2);
+  EXPECT_GE(stats.statements, 5);
+  EXPECT_GT(stats.cfg_nodes, stats.statements);
+  EXPECT_EQ(stats.findings_per_rule.size(), 0u)
+      << "clean fixture produced findings";
+  EXPECT_EQ(stats.rule_micros.size(), 5u);  // all five rule groups timed
+}
+
+TEST(Parser, LambdasAreHoistedAndNamed) {
+  const std::string src = R"cc(
+    void Outer() {
+      auto fail = [&](Status status) {
+        mu_.lock();
+        if (bad_) return status;
+        mu_.unlock();
+        return status;
+      };
+      fail(Status::OK());
+    }
+  )cc";
+  // The leak inside the lambda is found — the lambda body is parsed and
+  // walked as its own function.
+  std::vector<Finding> findings = RunOn("src/x.cc", src);
+  ASSERT_EQ(CountRule(findings, "resource-balance"), 1);
+}
+
+TEST(Parser, SwitchFallthroughAndDefault) {
+  // A leak on exactly one switch arm is found even with fallthrough.
+  const std::string src = R"cc(
+    void Dispatch(int k) {
+      mu_.lock();
+      switch (k) {
+        case 0:
+          mu_.unlock();
+          break;
+        case 1:
+          Handle();
+          break;
+        default:
+          mu_.unlock();
+          break;
+      }
+    }
+  )cc";
+  EXPECT_EQ(CountRule(RunOn("src/x.cc", src), "resource-balance"), 1);
+}
+
+TEST(Json, EmptyFindingsRenderAsEmptyArray) {
+  AnalyzerStats stats;
+  std::vector<Finding> none;
+  const std::string json = ResultToJson(none, &stats);
+  EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace grtdb

@@ -29,6 +29,19 @@ TEST(Status, CodesAndMessages) {
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
 }
 
+TEST(Status, WithNoteAppendsWithoutMaskingThePrimaryError) {
+  Status err = Status::NotFound("missing index");
+  Status annotated = err.WithNote("cleanup failed: boom");
+  EXPECT_TRUE(annotated.IsNotFound());
+  EXPECT_EQ(annotated.message(), "missing index; cleanup failed: boom");
+  // Chained notes accumulate in order.
+  EXPECT_EQ(annotated.WithNote("rollback failed").message(),
+            "missing index; cleanup failed: boom; rollback failed");
+  // An empty note or an OK status is a no-op.
+  EXPECT_EQ(err.WithNote("").message(), "missing index");
+  EXPECT_TRUE(Status::OK().WithNote("ignored").ok());
+}
+
 TEST(StatusOr, ValueAndError) {
   StatusOr<int> value = 42;
   ASSERT_TRUE(value.ok());

@@ -81,6 +81,53 @@ TEST(MiMemoryEnforcement, EndDurationOnlyRetiresThatDuration) {
   (void)fn;
 }
 
+// Nested duration scopes: a UDR invoked from inside another UDR brackets
+// its own PER_FUNCTION allocations with BeginDuration/EndDuration and must
+// not free its caller's blocks.
+TEST(MiMemoryScopes, NestedScopeRetiresOnlyItsOwnBlocks) {
+  MiMemory memory;
+  void* outer = memory.Alloc(MiDuration::kPerFunction, 16);
+  memory.BeginDuration(MiDuration::kPerFunction);
+  EXPECT_EQ(memory.DurationDepth(MiDuration::kPerFunction), 1u);
+  void* inner = memory.Alloc(MiDuration::kPerFunction, 16);
+  memory.EndDuration(MiDuration::kPerFunction);
+  EXPECT_EQ(memory.DurationDepth(MiDuration::kPerFunction), 0u);
+  EXPECT_EQ(memory.LiveBlocks(MiDuration::kPerFunction), 1u);
+  // The outer block survived the inner scope and is still freeable.
+  memory.Free(outer);
+  EXPECT_EQ(memory.violation_count(), 0u);
+  (void)inner;
+}
+
+TEST(MiMemoryScopes, EndWithNoOpenScopeKeepsFreeAllBehavior) {
+  MiMemory memory;
+  memory.Alloc(MiDuration::kPerStatement, 16);
+  memory.BeginDuration(MiDuration::kPerStatement);
+  memory.Alloc(MiDuration::kPerStatement, 16);
+  memory.EndDuration(MiDuration::kPerStatement);  // closes the scope
+  EXPECT_EQ(memory.LiveBlocks(MiDuration::kPerStatement), 1u);
+  memory.EndDuration(MiDuration::kPerStatement);  // legacy: frees the rest
+  EXPECT_EQ(memory.LiveBlocks(MiDuration::kPerStatement), 0u);
+  EXPECT_EQ(memory.violation_count(), 0u);
+}
+
+TEST(MiMemoryScopes, ScopesStackAndAreIndependentPerDuration) {
+  MiMemory memory;
+  memory.BeginDuration(MiDuration::kPerFunction);
+  memory.BeginDuration(MiDuration::kPerFunction);
+  EXPECT_EQ(memory.DurationDepth(MiDuration::kPerFunction), 2u);
+  // A kPerFunction scope says nothing about the other durations.
+  EXPECT_EQ(memory.DurationDepth(MiDuration::kPerStatement), 0u);
+  void* deep = memory.Alloc(MiDuration::kPerFunction, 8);
+  memory.EndDuration(MiDuration::kPerFunction);
+  EXPECT_EQ(memory.LiveBlocks(MiDuration::kPerFunction), 0u);
+  EXPECT_EQ(memory.DurationDepth(MiDuration::kPerFunction), 1u);
+  memory.EndDuration(MiDuration::kPerFunction);
+  EXPECT_EQ(memory.DurationDepth(MiDuration::kPerFunction), 0u);
+  EXPECT_EQ(memory.violation_count(), 0u);
+  (void)deep;
+}
+
 TEST(MiMemoryEnforcement, BufferOverrunCaughtAtFree) {
   MiMemory memory;
   auto* p = static_cast<uint8_t*>(memory.Alloc(MiDuration::kPerStatement, 16));

@@ -415,6 +415,53 @@ TEST_F(ToyAmTest, MultiColumnIndexRejected) {
                   .IsNotSupported());
 }
 
+// A CREATE INDEX whose build pass fails (am_insert errors on an existing
+// row) must unwind completely: drop the half-registered catalog entry,
+// roll back the implicit transaction, end the per-transaction duration,
+// and surface the blade's error unmasked. The pre-fix code left the
+// catalog entry and the implicit transaction dangling (found by
+// grtdb_analyze's resource-balance walk over the error paths).
+TEST_F(ToyAmTest, FailedIndexBuildCleansUpCatalogAndTxn) {
+  BladeLibrary* library = server_.blade_libraries().Load("toy.bld");
+  library->Export(
+      "boom_insert",
+      std::any(AmModifyFn([](MiCallContext&, MiAmTableDesc*, const Row&,
+                             uint64_t) {
+        return Status::Aborted("toy build boom");
+      })));
+  MustExec(
+      "CREATE FUNCTION boom_insert(pointer) RETURNING int "
+      "EXTERNAL NAME 'toy.bld(boom_insert)' LANGUAGE c");
+  MustExec(
+      "CREATE SECONDARY ACCESS_METHOD boom_am ("
+      "am_create = toy_create, am_drop = toy_drop, "
+      "am_open = toy_open, am_close = toy_close, "
+      "am_beginscan = toy_beginscan, am_endscan = toy_endscan, "
+      "am_getnext = toy_getnext, "
+      "am_insert = boom_insert, am_delete = toy_delete, "
+      "am_scancost = toy_scancost, am_sptype = 'S')");
+  MustExec(
+      "CREATE DEFAULT OPCLASS boom_opclass FOR boom_am "
+      "STRATEGIES(IsEven) SUPPORT(IsEven)");
+
+  void* txn_block = session_->memory().Alloc(MiDuration::kPerTransaction, 32);
+  ASSERT_NE(txn_block, nullptr);
+  Status status = Exec("CREATE INDEX boom_idx ON nums(n) USING boom_am");
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  EXPECT_NE(status.message().find("toy build boom"), std::string::npos)
+      << status.ToString();
+  // Catalog clean: the half-registered index is gone, so dropping it is
+  // NotFound rather than finding a poisoned entry.
+  EXPECT_TRUE(Exec("DROP INDEX boom_idx").IsNotFound());
+  // The implicit transaction was rolled back, and its duration ended.
+  EXPECT_EQ(session_->txn_session().current_txn(), nullptr);
+  EXPECT_EQ(session_->memory().LiveBlocks(MiDuration::kPerTransaction), 0u);
+  EXPECT_EQ(session_->memory().violation_count(), 0u);
+  // The session is still fully usable.
+  MustExec("SELECT COUNT(*) FROM nums");
+  EXPECT_EQ(result_.rows[0][0], "8");
+}
+
 // ------------------------------------------- session-lifetime regressions --
 
 // A failing statement mid-script must still tear down the per-statement /
@@ -462,6 +509,23 @@ TEST_F(ServerTest, ExecuteScriptEndsDurationsOnFailure) {
   // still be live on the session's allocator.
   EXPECT_EQ(session_->memory().LiveBlocks(MiDuration::kPerStatement), 0u);
   EXPECT_EQ(session_->memory().LiveBlocks(MiDuration::kPerFunction), 0u);
+  EXPECT_EQ(session_->memory().violation_count(), 0u);
+}
+
+// COMMIT/ROLLBACK WORK with no open transaction errors — but the
+// per-transaction duration must still end: the pre-fix visitors returned
+// the transaction manager's error before EndDuration, leaking every
+// per-transaction block on the error path (found by grtdb_analyze's
+// commit-duration follow check).
+TEST_F(ServerTest, FailedTxnEndStillEndsPerTxnDuration) {
+  ASSERT_NE(session_->memory().Alloc(MiDuration::kPerTransaction, 16),
+            nullptr);
+  EXPECT_TRUE(Exec("COMMIT WORK").IsInvalidArgument());
+  EXPECT_EQ(session_->memory().LiveBlocks(MiDuration::kPerTransaction), 0u);
+  ASSERT_NE(session_->memory().Alloc(MiDuration::kPerTransaction, 16),
+            nullptr);
+  EXPECT_TRUE(Exec("ROLLBACK WORK").IsInvalidArgument());
+  EXPECT_EQ(session_->memory().LiveBlocks(MiDuration::kPerTransaction), 0u);
   EXPECT_EQ(session_->memory().violation_count(), 0u);
 }
 

@@ -1,0 +1,236 @@
+#include "tools/analyze/analyzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/analyze/cfg.h"
+#include "tools/analyze/rules.h"
+
+namespace grtdb {
+namespace analyze {
+
+namespace {
+
+long MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void Analyzer::AddSource(const std::string& path,
+                         const std::string& source) {
+  files_.push_back(Parse(path, source));
+}
+
+bool Analyzer::AddFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  AddSource(path, buffer.str());
+  return true;
+}
+
+int Analyzer::AddPaths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  int added = 0;
+  for (const std::string& file : files) {
+    if (AddFile(file)) ++added;
+  }
+  return added;
+}
+
+void Analyzer::LoadBaseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.back()))) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    // path-suffix:line:grtdb-rule  (split on the LAST two colons so paths
+    // containing colons still work)
+    const size_t c2 = line.rfind(':');
+    if (c2 == std::string::npos) continue;
+    const size_t c1 = line.rfind(':', c2 - 1);
+    if (c1 == std::string::npos) continue;
+    BaselineEntry entry;
+    entry.path_suffix = line.substr(0, c1);
+    entry.line = std::atoi(line.substr(c1 + 1, c2 - c1 - 1).c_str());
+    entry.rule = line.substr(c2 + 1);
+    if (entry.rule.compare(0, 6, "grtdb-") == 0) {
+      entry.rule.erase(0, 6);
+    }
+    baseline_.push_back(std::move(entry));
+  }
+}
+
+void Analyzer::SetRuleFilter(const std::set<std::string>& rules) {
+  rule_filter_ = rules;
+}
+
+bool Analyzer::RuleEnabled(const std::string& rule) const {
+  return rule_filter_.empty() || rule_filter_.count(rule) > 0;
+}
+
+bool Analyzer::Suppressed(const Finding& f) const {
+  for (const ParsedFile& file : files_) {
+    if (file.path != f.file) continue;
+    auto it = file.lex.nolint.find(f.line);
+    if (it == file.lex.nolint.end()) return false;
+    return it->second.count("") > 0 ||
+           it->second.count("grtdb-" + f.rule) > 0 ||
+           it->second.count(f.rule) > 0;
+  }
+  return false;
+}
+
+bool Analyzer::InBaseline(const Finding& f) const {
+  for (const BaselineEntry& e : baseline_) {
+    if (e.line == f.line && e.rule == f.rule &&
+        f.file.size() >= e.path_suffix.size() &&
+        f.file.compare(f.file.size() - e.path_suffix.size(),
+                       e.path_suffix.size(), e.path_suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Finding> Analyzer::Run(AnalyzerStats* stats) {
+  std::vector<Finding> raw;
+  AnalyzerStats local;
+  AnalyzerStats* st = stats != nullptr ? stats : &local;
+  st->files = static_cast<int>(files_.size());
+  for (const ParsedFile& file : files_) {
+    st->functions += static_cast<int>(file.functions.size());
+    for (const FunctionDef& fn : file.functions) {
+      st->statements += CountStmts(fn.body);
+      st->cfg_nodes += static_cast<int>(BuildCfg(fn).nodes.size());
+    }
+  }
+
+  auto timed = [&](const char* key, auto&& body) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    st->rule_micros[key] += MicrosSince(start);
+  };
+
+  if (RuleEnabled("resource-balance")) {
+    timed("resource-balance", [&] {
+      for (const ParsedFile& file : files_) {
+        CheckResourceBalance(file, &raw);
+      }
+    });
+  }
+  if (RuleEnabled("unchecked-status")) {
+    timed("unchecked-status", [&] {
+      StatusIndex index;
+      for (const ParsedFile& file : files_) index.Add(file);
+      for (const ParsedFile& file : files_) {
+        CheckUncheckedStatus(file, index, &raw);
+      }
+    });
+  }
+  if (RuleEnabled("lock-order")) {
+    timed("lock-order", [&] {
+      LockOrderChecker checker;
+      for (const ParsedFile& file : files_) checker.Add(file);
+      checker.Finish(LockOrderChecker::DefaultOrder(), &raw);
+    });
+  }
+  if (RuleEnabled("blade-contract")) {
+    timed("blade-contract", [&] {
+      for (const ParsedFile& file : files_) {
+        CheckBladeContract(file, &raw);
+      }
+    });
+  }
+  timed("token-rules", [&] {
+    for (const ParsedFile& file : files_) {
+      CheckTokenRules(file, &raw);
+    }
+  });
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    if (!RuleEnabled(f.rule)) continue;
+    if (Suppressed(f)) {
+      ++st->suppressed;
+      continue;
+    }
+    if (InBaseline(f)) {
+      ++st->baseline_filtered;
+      continue;
+    }
+    ++st->findings_per_rule[f.rule];
+    out.push_back(std::move(f));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return out;
+}
+
+std::string ResultToJson(const std::vector<Finding>& findings,
+                         const AnalyzerStats* stats) {
+  std::string out = "{\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out += ",";
+    out += FindingToJson(findings[i]);
+  }
+  out += "]";
+  if (stats != nullptr) {
+    out += ",\"stats\":{\"files\":" + std::to_string(stats->files) +
+           ",\"functions\":" + std::to_string(stats->functions) +
+           ",\"statements\":" + std::to_string(stats->statements) +
+           ",\"cfg_nodes\":" + std::to_string(stats->cfg_nodes) +
+           ",\"suppressed\":" + std::to_string(stats->suppressed) +
+           ",\"baseline_filtered\":" +
+           std::to_string(stats->baseline_filtered) + ",\"rules\":{";
+    bool first = true;
+    for (const auto& kv : stats->rule_micros) {
+      if (!first) out += ",";
+      first = false;
+      int count = 0;
+      auto it = stats->findings_per_rule.find(kv.first);
+      if (it != stats->findings_per_rule.end()) count = it->second;
+      out += "\"" + JsonEscape(kv.first) +
+             "\":{\"micros\":" + std::to_string(kv.second) +
+             ",\"findings\":" + std::to_string(count) + "}";
+    }
+    out += "}}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace grtdb

@@ -1,0 +1,74 @@
+#ifndef GRTDB_TOOLS_ANALYZE_ANALYZER_H_
+#define GRTDB_TOOLS_ANALYZE_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/ast.h"
+#include "tools/analyze/finding.h"
+
+namespace grtdb {
+namespace analyze {
+
+struct AnalyzerStats {
+  int files = 0;
+  int functions = 0;
+  int statements = 0;
+  int cfg_nodes = 0;
+  int suppressed = 0;         // NOLINT'd findings
+  int baseline_filtered = 0;  // findings matched by the baseline file
+  std::map<std::string, int> findings_per_rule;
+  std::map<std::string, long> rule_micros;
+};
+
+// Drives every rule over a set of translation units. Typical use:
+//   Analyzer a;
+//   a.AddPaths({"src", "tools"});
+//   a.LoadBaseline("tools/analyze/baseline.txt");
+//   std::vector<Finding> findings = a.Run(&stats);
+class Analyzer {
+ public:
+  // In-memory source (unit tests). Path is used for reporting and
+  // path-gated rules.
+  void AddSource(const std::string& path, const std::string& source);
+  // Reads one file from disk; returns false if unreadable.
+  bool AddFile(const std::string& path);
+  // Files and directories (recursed for .h/.cc/.cpp). Returns files added.
+  int AddPaths(const std::vector<std::string>& paths);
+
+  // Baseline file: one "path-suffix:line:grtdb-rule" per line, '#'
+  // comments. A finding matching an entry is filtered (counted in stats).
+  // Missing file is fine (empty baseline).
+  void LoadBaseline(const std::string& path);
+
+  // Restrict to the named rule slugs (without "grtdb-"); empty set = all.
+  void SetRuleFilter(const std::set<std::string>& rules);
+
+  std::vector<Finding> Run(AnalyzerStats* stats = nullptr);
+
+ private:
+  bool RuleEnabled(const std::string& rule) const;
+  bool Suppressed(const Finding& f) const;
+  bool InBaseline(const Finding& f) const;
+
+  std::vector<ParsedFile> files_;
+  std::set<std::string> rule_filter_;
+  struct BaselineEntry {
+    std::string path_suffix;
+    int line;
+    std::string rule;  // without the grtdb- prefix
+  };
+  std::vector<BaselineEntry> baseline_;
+};
+
+// Renders the whole result as one JSON document (findings array plus the
+// stats object when provided).
+std::string ResultToJson(const std::vector<Finding>& findings,
+                         const AnalyzerStats* stats);
+
+}  // namespace analyze
+}  // namespace grtdb
+
+#endif  // GRTDB_TOOLS_ANALYZE_ANALYZER_H_

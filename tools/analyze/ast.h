@@ -1,0 +1,84 @@
+#ifndef GRTDB_TOOLS_ANALYZE_AST_H_
+#define GRTDB_TOOLS_ANALYZE_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/token.h"
+
+namespace grtdb {
+namespace analyze {
+
+// A per-function statement tree: deep enough for control flow (if/else,
+// loops, switch, early return, break/continue, the GRTDB_RETURN_IF_ERROR
+// hidden early return), shallow enough to need no type information.
+// Expressions stay as token runs — the rules pattern-match call sites out
+// of them.
+
+enum class StmtKind {
+  kExpr,         // expression or declaration statement; tokens = the run
+  kCompound,     // { body }
+  kIf,           // cond tokens, body = then, else_body = else
+  kWhile,        // cond tokens, body
+  kDoWhile,      // body, cond tokens
+  kFor,          // cond tokens = whole header, body (covers range-for)
+  kSwitch,       // cond tokens, cases
+  kReturn,       // tokens = return expression (possibly empty)
+  kBreak,
+  kContinue,
+  kErrorReturn,  // GRTDB_RETURN_IF_ERROR(expr): error path returns, success
+                 // path falls through *without* the expr's side effects
+                 // having failed — acquire events bind to the success edge
+  kNoReturn,     // abort()/exit(): path ends, balance obligations waived
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+struct SwitchCase {
+  bool is_default = false;
+  std::vector<Token> label;  // tokens between `case` and `:`
+  StmtList body;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  int line = 0;
+  std::vector<Token> tokens;  // expr / cond / return-expr tokens
+  StmtList body;
+  StmtList else_body;
+  std::vector<SwitchCase> cases;
+};
+
+struct FunctionDef {
+  std::string name;        // qualified spelling, e.g. "NodeCache::PinFrame"
+  std::string simple_name; // last component, e.g. "PinFrame"
+  int line = 0;
+  // Tokens preceding the name in the declarator: return type and
+  // specifiers. For lambdas this is the trailing return type, if any.
+  std::vector<Token> head;
+  bool is_lambda = false;
+  StmtList body;
+};
+
+struct ParsedFile {
+  std::string path;
+  LexedFile lex;
+  // Flattened: file-scope and member functions, plus every lambda / local-
+  // class method hoisted out of its enclosing function (enclosing bodies
+  // do NOT contain the nested statements).
+  std::vector<FunctionDef> functions;
+};
+
+// Parses one translation unit. Unparseable regions are skipped, not fatal.
+ParsedFile Parse(const std::string& path, const std::string& source);
+
+// Counts statements in a list, recursively (the stats surface).
+int CountStmts(const StmtList& list);
+
+}  // namespace analyze
+}  // namespace grtdb
+
+#endif  // GRTDB_TOOLS_ANALYZE_AST_H_

@@ -1,0 +1,233 @@
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/rules.h"
+
+namespace grtdb {
+namespace analyze {
+
+namespace {
+
+bool IsPunctTok(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+// The Fig. 6 registry: required am_* entries and the wrapper type the
+// purpose-function table expects for each.
+const std::map<std::string, std::string>& RequiredWrappers() {
+  static const std::map<std::string, std::string> kReq = {
+      {"create", "AmSimpleFn"},    {"drop", "AmSimpleFn"},
+      {"open", "AmSimpleFn"},      {"close", "AmSimpleFn"},
+      {"beginscan", "AmScanFn"},   {"endscan", "AmScanFn"},
+      {"rescan", "AmScanFn"},      {"getnext", "AmGetNextFn"},
+      {"insert", "AmModifyFn"},    {"delete", "AmModifyFn"},
+      {"update", "AmUpdateFn"},    {"scancost", "AmScanCostFn"},
+      {"stats", "AmSimpleFn"},     {"check", "AmSimpleFn"},
+  };
+  return kReq;
+}
+
+const std::set<std::string>& WrapperTypes() {
+  static const std::set<std::string> kTypes = {
+      "AmSimpleFn", "AmScanFn",   "AmGetNextFn",
+      "AmModifyFn", "AmUpdateFn", "AmScanCostFn"};
+  return kTypes;
+}
+
+struct ScriptEntry {
+  std::string am;      // "create", "sptype", ...
+  std::string suffix;  // exported-symbol suffix without '_' ("" = inline)
+  int line = 0;
+};
+
+struct ExportEntry {
+  std::string suffix;   // without the leading '_'
+  std::string wrapper;  // "" if none of the Am wrapper types appeared
+  int line = 0;
+};
+
+bool IsWordChar(char c) { return IsIdentChar(c); }
+
+// Scans one string token's content for "am_<word>" occurrences. For
+// sptype the value is inline; for the rest the symbol suffix usually
+// arrives via the following `+ prefix + "_suffix"` tokens.
+void MineScriptStrings(const std::vector<Token>& toks,
+                       std::vector<ScriptEntry>* entries) {
+  for (size_t ti = 0; ti < toks.size(); ++ti) {
+    if (toks[ti].kind != TokKind::kString) continue;
+    const std::string& s = toks[ti].text;
+    size_t pos = 0;
+    while ((pos = s.find("am_", pos)) != std::string::npos) {
+      // Reject mid-word hits like "team_...".
+      if (pos > 0 && IsWordChar(s[pos - 1])) {
+        pos += 3;
+        continue;
+      }
+      size_t end = pos + 3;
+      while (end < s.size() && IsWordChar(s[end])) ++end;
+      ScriptEntry entry;
+      entry.am = s.substr(pos + 3, end - pos - 3);
+      entry.line = toks[ti].line;
+      if (entry.am.empty()) {  // a bare "am_" prefix, not a script entry
+        pos = end;
+        continue;
+      }
+      // Value in the same string (sptype's 'S', or a fully inline symbol).
+      size_t v = end;
+      while (v < s.size() && (s[v] == ' ' || s[v] == '=')) ++v;
+      if (v < s.size() && s[v] != '\n' && s[v] != ',') {
+        if (s[v] == '\'') {
+          entry.suffix = "";  // quoted scalar (am_sptype = 'S')
+        } else {
+          size_t w = v;
+          while (w < s.size() && IsWordChar(s[w])) ++w;
+          const std::string sym = s.substr(v, w - v);
+          const size_t us = sym.rfind('_');
+          if (us != std::string::npos) entry.suffix = sym.substr(us + 1);
+        }
+      } else if (ti + 4 < toks.size() && IsPunctTok(toks[ti + 1], "+")) {
+        // "  am_create = " + p + "_create,\n"
+        for (size_t j = ti + 1; j < toks.size() && j < ti + 6; ++j) {
+          if (toks[j].kind == TokKind::kString && !toks[j].text.empty() &&
+              toks[j].text[0] == '_') {
+            std::string suffix = toks[j].text.substr(1);
+            size_t w = 0;
+            while (w < suffix.size() && IsWordChar(suffix[w])) ++w;
+            entry.suffix = suffix.substr(0, w);
+            break;
+          }
+        }
+      }
+      entries->push_back(std::move(entry));
+      pos = end;
+    }
+  }
+}
+
+void MineExports(const std::vector<Token>& toks,
+                 std::vector<ExportEntry>* exports) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "Export" ||
+        !IsPunctTok(toks[i + 1], "(")) {
+      continue;
+    }
+    ExportEntry entry;
+    entry.line = toks[i].line;
+    int depth = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      if (IsPunctTok(toks[j], "(")) ++depth;
+      if (IsPunctTok(toks[j], ")") && --depth == 0) break;
+      if (toks[j].kind == TokKind::kString && entry.suffix.empty() &&
+          !toks[j].text.empty() && toks[j].text[0] == '_') {
+        std::string suffix = toks[j].text.substr(1);
+        size_t w = 0;
+        while (w < suffix.size() && IsWordChar(suffix[w])) ++w;
+        entry.suffix = suffix.substr(0, w);
+      }
+      if (toks[j].kind == TokKind::kIdent && entry.wrapper.empty() &&
+          WrapperTypes().count(toks[j].text) > 0) {
+        entry.wrapper = toks[j].text;
+      }
+    }
+    if (!entry.suffix.empty()) exports->push_back(std::move(entry));
+  }
+}
+
+}  // namespace
+
+void CheckBladeContract(const ParsedFile& file,
+                        std::vector<Finding>* findings) {
+  const std::vector<Token>& toks = file.lex.tokens;
+  bool registers_blade = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kString &&
+        t.text.find("CREATE SECONDARY ACCESS_METHOD") != std::string::npos) {
+      registers_blade = true;
+      break;
+    }
+  }
+  if (!registers_blade) return;
+
+  std::vector<ScriptEntry> entries;
+  std::vector<ExportEntry> exports;
+  MineScriptStrings(toks, &entries);
+  MineExports(toks, &exports);
+  // Only real registration sites — a registration script *and* Export()ed
+  // purpose functions — are checkable. Files that merely mention the DDL
+  // (BladeSmith's data-driven generator, this rule's own source, docs in
+  // strings) have nothing to diff against the registry.
+  if (entries.empty() || exports.empty()) return;
+
+  auto add = [&](int line, std::string msg) {
+    Finding f;
+    f.file = file.path;
+    f.line = line;
+    f.rule = "blade-contract";
+    f.message = std::move(msg);
+    findings->push_back(std::move(f));
+  };
+
+  int script_line = 0;
+  std::set<std::string> script_ams;
+  for (const ScriptEntry& e : entries) {
+    if (script_line == 0) script_line = e.line;
+    script_ams.insert(e.am);
+    if (e.am != "sptype" && RequiredWrappers().count(e.am) == 0) {
+      add(e.line, "registration script sets unknown purpose function 'am_" +
+                      e.am + "'");
+    }
+  }
+
+  // Full required coverage.
+  for (const auto& req : RequiredWrappers()) {
+    if (script_ams.count(req.first) == 0) {
+      add(script_line, "registration script does not set 'am_" + req.first +
+                           "' (required by the Fig. 6 purpose-function "
+                           "table)");
+    }
+  }
+  if (script_ams.count("sptype") == 0) {
+    add(script_line, "registration script does not set 'am_sptype'");
+  }
+
+  // Each script entry resolves to an Export with the expected wrapper.
+  std::map<std::string, const ExportEntry*> by_suffix;
+  for (const ExportEntry& e : exports) {
+    by_suffix[e.suffix] = &e;
+  }
+  std::set<std::string> referenced;
+  for (const ScriptEntry& e : entries) {
+    if (e.am == "sptype" || e.suffix.empty()) continue;
+    referenced.insert(e.suffix);
+    auto it = by_suffix.find(e.suffix);
+    if (it == by_suffix.end()) {
+      add(e.line, "'am_" + e.am + "' references symbol suffix '_" +
+                      e.suffix + "' that is never Export()ed");
+      continue;
+    }
+    auto req = RequiredWrappers().find(e.am);
+    if (req != RequiredWrappers().end() &&
+        it->second->wrapper != req->second) {
+      add(it->second->line,
+          "'am_" + e.am + "' symbol '_" + e.suffix + "' exported as " +
+              (it->second->wrapper.empty() ? "a non-purpose type"
+                                           : it->second->wrapper) +
+              ", registry expects " + req->second);
+    }
+  }
+
+  // No dead purpose-function exports: an am-named suffix that the script
+  // never references.
+  for (const ExportEntry& e : exports) {
+    if (RequiredWrappers().count(e.suffix) == 0) continue;  // _compare etc.
+    if (referenced.count(e.suffix) == 0) {
+      add(e.line, "exported purpose function '_" + e.suffix +
+                      "' is not referenced by the registration script");
+    }
+  }
+}
+
+}  // namespace analyze
+}  // namespace grtdb

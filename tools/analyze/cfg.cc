@@ -1,0 +1,159 @@
+#include "tools/analyze/cfg.h"
+
+#include <utility>
+
+namespace grtdb {
+namespace analyze {
+
+namespace {
+
+class Builder {
+ public:
+  Cfg Run(const FunctionDef& fn) {
+    cfg_.nodes.emplace_back();  // kEntry
+    cfg_.nodes.emplace_back();  // kExit
+    cfg_.nodes[Cfg::kEntry].apply_events = false;
+    cfg_.nodes[Cfg::kExit].apply_events = false;
+    std::vector<int> frontier = BuildList(fn.body, {Cfg::kEntry});
+    Wire(frontier, Cfg::kExit);
+    return std::move(cfg_);
+  }
+
+ private:
+  int NewNode(const Stmt* stmt, bool apply_events = true) {
+    const int id = static_cast<int>(cfg_.nodes.size());
+    cfg_.nodes.emplace_back();
+    cfg_.nodes.back().stmt = stmt;
+    cfg_.nodes.back().line = stmt != nullptr ? stmt->line : 0;
+    cfg_.nodes.back().apply_events = apply_events;
+    return id;
+  }
+
+  void Wire(const std::vector<int>& preds, int node) {
+    for (int p : preds) cfg_.nodes[p].succ.push_back(node);
+  }
+
+  std::vector<int> BuildList(const StmtList& list, std::vector<int> preds) {
+    for (const StmtPtr& stmt : list) {
+      preds = BuildStmt(*stmt, std::move(preds));
+    }
+    return preds;
+  }
+
+  std::vector<int> BuildStmt(const Stmt& s, std::vector<int> preds) {
+    switch (s.kind) {
+      case StmtKind::kExpr: {
+        const int n = NewNode(&s);
+        Wire(preds, n);
+        return {n};
+      }
+      case StmtKind::kCompound:
+        return BuildList(s.body, std::move(preds));
+      case StmtKind::kReturn: {
+        const int n = NewNode(&s);
+        Wire(preds, n);
+        cfg_.nodes[n].succ.push_back(Cfg::kExit);
+        return {};
+      }
+      case StmtKind::kNoReturn: {
+        const int n = NewNode(&s);
+        Wire(preds, n);
+        return {};  // dead end: obligations waived on this path
+      }
+      case StmtKind::kErrorReturn: {
+        const int branch = NewNode(&s, /*apply_events=*/false);
+        Wire(preds, branch);
+        const int success = NewNode(&s);
+        cfg_.nodes[branch].succ.push_back(Cfg::kExit);  // error edge first
+        cfg_.nodes[branch].succ.push_back(success);
+        return {success};
+      }
+      case StmtKind::kBreak: {
+        const int n = NewNode(&s);
+        Wire(preds, n);
+        if (!break_targets_.empty()) break_targets_.back()->push_back(n);
+        return {};
+      }
+      case StmtKind::kContinue: {
+        const int n = NewNode(&s);
+        Wire(preds, n);
+        if (!continue_targets_.empty()) {
+          cfg_.nodes[n].succ.push_back(continue_targets_.back());
+        }
+        return {};
+      }
+      case StmtKind::kIf: {
+        const int cond = NewNode(&s);
+        Wire(preds, cond);
+        std::vector<int> out = BuildList(s.body, {cond});
+        if (s.else_body.empty()) {
+          out.push_back(cond);  // false edge falls through
+        } else {
+          std::vector<int> else_out = BuildList(s.else_body, {cond});
+          out.insert(out.end(), else_out.begin(), else_out.end());
+        }
+        return out;
+      }
+      case StmtKind::kWhile:
+      case StmtKind::kFor: {
+        const int cond = NewNode(&s);
+        Wire(preds, cond);
+        std::vector<int> breaks;
+        break_targets_.push_back(&breaks);
+        continue_targets_.push_back(cond);
+        std::vector<int> body_out = BuildList(s.body, {cond});
+        continue_targets_.pop_back();
+        break_targets_.pop_back();
+        Wire(body_out, cond);  // back edge
+        breaks.push_back(cond);  // zero-iteration / loop-done edge
+        return breaks;
+      }
+      case StmtKind::kDoWhile: {
+        const int head = NewNode(&s, /*apply_events=*/false);
+        Wire(preds, head);
+        std::vector<int> breaks;
+        const int cond = NewNode(&s);
+        break_targets_.push_back(&breaks);
+        continue_targets_.push_back(cond);
+        std::vector<int> body_out = BuildList(s.body, {head});
+        continue_targets_.pop_back();
+        break_targets_.pop_back();
+        Wire(body_out, cond);
+        cfg_.nodes[cond].succ.push_back(head);  // back edge
+        breaks.push_back(cond);
+        return breaks;
+      }
+      case StmtKind::kSwitch: {
+        const int cond = NewNode(&s);
+        Wire(preds, cond);
+        std::vector<int> breaks;
+        break_targets_.push_back(&breaks);
+        std::vector<int> fallthrough;  // out of the previous case body
+        bool has_default = false;
+        for (const SwitchCase& c : s.cases) {
+          if (c.is_default) has_default = true;
+          std::vector<int> case_preds = fallthrough;
+          case_preds.push_back(cond);
+          fallthrough = BuildList(c.body, std::move(case_preds));
+        }
+        break_targets_.pop_back();
+        std::vector<int> out = std::move(breaks);
+        out.insert(out.end(), fallthrough.begin(), fallthrough.end());
+        if (!has_default || s.cases.empty()) out.push_back(cond);
+        return out;
+      }
+    }
+    return preds;
+  }
+
+  Cfg cfg_;
+  std::vector<std::vector<int>*> break_targets_;
+  std::vector<int> continue_targets_;
+};
+
+}  // namespace
+
+Cfg BuildCfg(const FunctionDef& fn) { return Builder().Run(fn); }
+
+}  // namespace analyze
+}  // namespace grtdb

@@ -1,0 +1,44 @@
+#ifndef GRTDB_TOOLS_ANALYZE_CFG_H_
+#define GRTDB_TOOLS_ANALYZE_CFG_H_
+
+#include <vector>
+
+#include "tools/analyze/ast.h"
+
+namespace grtdb {
+namespace analyze {
+
+// A per-function control-flow graph over the statement tree. One node per
+// statement (condition tokens live on the branch node; body statements get
+// their own nodes). Two synthetic nodes: entry (id 0) and exit (id 1).
+//
+// GRTDB_RETURN_IF_ERROR(expr) is a hidden early return and is modeled as
+// TWO nodes: a branch node (apply_events = false) whose first successor is
+// the exit — the error edge, taken *before* the expression's side effects
+// are considered to have happened — and a success node (apply_events =
+// true) carrying the expression tokens, through which the fall-through
+// path runs. Rules that accumulate events from node tokens must honor
+// apply_events.
+//
+// abort()/exit() statements become dead-end nodes (no successors): a path
+// that reaches one terminates without reaching the exit node, so balance
+// obligations are waived there.
+struct CfgNode {
+  const Stmt* stmt = nullptr;  // null for entry/exit/synthetic joins
+  int line = 0;
+  bool apply_events = true;
+  std::vector<int> succ;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  static constexpr int kEntry = 0;
+  static constexpr int kExit = 1;
+};
+
+Cfg BuildCfg(const FunctionDef& fn);
+
+}  // namespace analyze
+}  // namespace grtdb
+
+#endif  // GRTDB_TOOLS_ANALYZE_CFG_H_

@@ -1,0 +1,56 @@
+#include "tools/analyze/finding.h"
+
+#include <cstdio>
+
+namespace grtdb {
+namespace analyze {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::string out = f.file + ":" + std::to_string(f.line) + ": [grtdb-" +
+                    f.rule + "] " + f.message;
+  if (!f.path_note.empty()) out += " (path: " + f.path_note + ")";
+  return out;
+}
+
+std::string FindingToJson(const Finding& f) {
+  return "{\"file\":\"" + JsonEscape(f.file) +
+         "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"grtdb-" +
+         JsonEscape(f.rule) + "\",\"message\":\"" + JsonEscape(f.message) +
+         "\",\"path\":\"" + JsonEscape(f.path_note) + "\"}";
+}
+
+}  // namespace analyze
+}  // namespace grtdb

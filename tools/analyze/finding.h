@@ -1,0 +1,33 @@
+#ifndef GRTDB_TOOLS_ANALYZE_FINDING_H_
+#define GRTDB_TOOLS_ANALYZE_FINDING_H_
+
+#include <string>
+#include <vector>
+
+namespace grtdb {
+namespace analyze {
+
+// One analyzer diagnostic. `rule` is the suppression slug without the
+// "grtdb-" prefix (e.g. "resource-balance"); `path_note` spells out the
+// leaking path for flow-sensitive findings ("branch at line 12 -> branch
+// at line 30 -> exit").
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string path_note;
+};
+
+std::string JsonEscape(const std::string& s);
+
+// "file:line: [grtdb-rule] message (path: ...)"
+std::string FormatFinding(const Finding& f);
+
+// One JSON object, no trailing newline.
+std::string FindingToJson(const Finding& f);
+
+}  // namespace analyze
+}  // namespace grtdb
+
+#endif  // GRTDB_TOOLS_ANALYZE_FINDING_H_

@@ -1,0 +1,281 @@
+#include "tools/analyze/token.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace grtdb {
+namespace analyze {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Two-character operators kept whole. "->" and "::" matter for receiver
+// chains; the comparison/compound-assignment family matters so a single
+// '=' punct token reliably means assignment.
+bool IsTwoCharOp(char a, char b) {
+  switch (a) {
+    case '-':
+      return b == '>' || b == '=' || b == '-';
+    case ':':
+      return b == ':';
+    case '=':
+    case '!':
+    case '<':
+    case '>':
+      return b == '=';
+    case '&':
+      return b == '&' || b == '=';
+    case '|':
+      return b == '|' || b == '=';
+    case '+':
+      return b == '=' || b == '+';
+    case '*':
+    case '/':
+    case '%':
+    case '^':
+      return b == '=';
+    default:
+      return false;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        SkipPreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          ScanComment(/*block=*/false);
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          ScanComment(/*block=*/true);
+          continue;
+        }
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == 'R' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '"') {
+        LexRawString();
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdent();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void SkipPreprocessor() {
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  // Consumes a comment, mining NOLINT / NOLINTNEXTLINE markers before the
+  // text is dropped. Forms accepted:
+  //   // NOLINT                          (suppress every rule, this line)
+  //   // NOLINT(grtdb-resource-balance)  (one or more comma-separated)
+  //   // NOLINTNEXTLINE(...)             (same, next line)
+  void ScanComment(bool block) {
+    const int start_line = line_;
+    std::string text;
+    if (block) {
+      pos_ += 2;
+      while (pos_ + 1 < src_.size() &&
+             !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+        if (src_[pos_] == '\n') ++line_;
+        text.push_back(src_[pos_]);
+        ++pos_;
+      }
+      pos_ = std::min(pos_ + 2, src_.size());
+    } else {
+      while (pos_ < src_.size() && src_[pos_] != '\n') {
+        text.push_back(src_[pos_]);
+        ++pos_;
+      }
+    }
+    MineNolint(text, start_line);
+  }
+
+  void MineNolint(const std::string& text, int comment_line) {
+    size_t i = 0;
+    while ((i = text.find("NOLINT", i)) != std::string::npos) {
+      size_t j = i + 6;  // past "NOLINT"
+      int target = comment_line;
+      if (text.compare(j, 8, "NEXTLINE") == 0) {
+        j += 8;
+        target = comment_line + 1;
+      }
+      std::set<std::string>& rules = out_.nolint[target];
+      if (j < text.size() && text[j] == '(') {
+        ++j;
+        std::string rule;
+        while (j < text.size() && text[j] != ')') {
+          if (text[j] == ',') {
+            if (!rule.empty()) rules.insert(rule);
+            rule.clear();
+          } else if (!std::isspace(static_cast<unsigned char>(text[j]))) {
+            rule.push_back(text[j]);
+          }
+          ++j;
+        }
+        if (!rule.empty()) rules.insert(rule);
+      } else {
+        rules.insert("");  // bare NOLINT: everything
+      }
+      i = j;
+    }
+  }
+
+  void LexString() {
+    const int start_line = line_;
+    ++pos_;
+    std::string content;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        content.push_back(src_[pos_]);
+        content.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') ++line_;  // unterminated; be forgiving
+      content.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;
+    out_.tokens.push_back({TokKind::kString, std::move(content), start_line});
+  }
+
+  void LexRawString() {
+    const int start_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_++]);
+    }
+    if (pos_ < src_.size()) ++pos_;  // (
+    const std::string close = ")" + delim + "\"";
+    std::string content;
+    while (pos_ < src_.size() &&
+           src_.compare(pos_, close.size(), close) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      content.push_back(src_[pos_++]);
+    }
+    pos_ = std::min(pos_ + close.size(), src_.size());
+    out_.tokens.push_back({TokKind::kString, std::move(content), start_line});
+  }
+
+  void LexChar() {
+    const int start_line = line_;
+    ++pos_;
+    std::string content;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        content.push_back(src_[pos_]);
+        content.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      content.push_back(src_[pos_++]);
+    }
+    if (pos_ < src_.size()) ++pos_;
+    out_.tokens.push_back({TokKind::kChar, std::move(content), start_line});
+  }
+
+  void LexIdent() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
+      text.push_back(src_[pos_++]);
+    }
+    out_.tokens.push_back({TokKind::kIdent, std::move(text), start_line});
+  }
+
+  void LexNumber() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() &&
+           (IsIdentChar(src_[pos_]) || src_[pos_] == '.' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && !text.empty() &&
+             (text.back() == 'e' || text.back() == 'E' ||
+              text.back() == 'p' || text.back() == 'P')))) {
+      text.push_back(src_[pos_++]);
+    }
+    out_.tokens.push_back({TokKind::kNumber, std::move(text), start_line});
+  }
+
+  void LexPunct() {
+    const int start_line = line_;
+    std::string text(1, src_[pos_]);
+    if (pos_ + 1 < src_.size() && IsTwoCharOp(src_[pos_], src_[pos_ + 1])) {
+      text.push_back(src_[pos_ + 1]);
+      ++pos_;
+    }
+    ++pos_;
+    out_.tokens.push_back({TokKind::kPunct, std::move(text), start_line});
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+LexedFile Lex(const std::string& source) { return Lexer(source).Run(); }
+
+}  // namespace analyze
+}  // namespace grtdb

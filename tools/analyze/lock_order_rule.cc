@@ -1,0 +1,447 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/rules.h"
+
+namespace grtdb {
+namespace analyze {
+
+namespace {
+
+bool IsPunctTok(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+const std::set<std::string>& NonCallees() {
+  static const std::set<std::string> kSkip = {
+      "if", "while", "for", "switch", "return", "sizeof", "catch",
+      "GRTDB_WITNESS_ACQUIRE", "GRTDB_WITNESS_RELEASE",
+      "GRTDB_WITNESS_RELEASE_ALL", "GRTDB_WITNESS_SCOPE"};
+  return kSkip;
+}
+
+// One witness helper: a function declaring `static witness::LockClass`.
+// Single-class helpers resolve unconditionally; multi-class helpers (a
+// switch over an enum, like WitnessClassFor) resolve through the call
+// argument when it names one of the case labels.
+struct HelperInfo {
+  std::map<std::string, std::string> by_case;  // case-label ident -> class
+  std::vector<std::string> all;
+  // Local LockClass variables, for the `static LockClass c("x");
+  // GRTDB_WITNESS_ACQUIRE(c)` spelling.
+  std::map<std::string, std::string> by_var;
+};
+
+// Finds `witness :: LockClass <var> ( "name" )` declarations in a token
+// run. Returns (var, class-name) pairs.
+std::vector<std::pair<std::string, std::string>> LockClassDecls(
+    const std::vector<Token>& toks) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (size_t i = 0; i + 5 < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "witness" &&
+        IsPunctTok(toks[i + 1], "::") &&
+        toks[i + 2].kind == TokKind::kIdent &&
+        toks[i + 2].text == "LockClass" &&
+        toks[i + 3].kind == TokKind::kIdent &&
+        IsPunctTok(toks[i + 4], "(") &&
+        toks[i + 5].kind == TokKind::kString) {
+      out.emplace_back(toks[i + 3].text, toks[i + 5].text);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------ event stream --
+
+struct Ev {
+  enum Kind { kAcq, kScopeAcq, kRel, kRelAll, kCall, kPush, kPop } kind;
+  std::vector<std::string> classes;  // resolved class set (kAcq/kScopeAcq/kRel)
+  std::string callee;                // kAcq/kScopeAcq from an unresolved arg
+                                     // keep empty; kCall: simple name
+  int line = 0;
+};
+
+struct FnEvents {
+  std::string file;
+  std::string name;  // simple name
+  std::vector<Ev> events;
+};
+
+class Extractor {
+ public:
+  void AddFile(const ParsedFile& file) {
+    // Pass 1 over the file: helper discovery.
+    for (const FunctionDef& fn : file.functions) {
+      HelperInfo info;
+      CollectHelper(fn.body, &info);
+      if (!info.all.empty()) {
+        HelperInfo& merged = helpers_[fn.simple_name];
+        merged.all.insert(merged.all.end(), info.all.begin(),
+                          info.all.end());
+        merged.by_case.insert(info.by_case.begin(), info.by_case.end());
+        merged.by_var.insert(info.by_var.begin(), info.by_var.end());
+      }
+    }
+    pending_.push_back(&file);
+  }
+
+  // Pass 2 (after all files added): event extraction with helper
+  // resolution available across files.
+  std::vector<FnEvents> Extract() {
+    std::vector<FnEvents> out;
+    for (const ParsedFile* file : pending_) {
+      for (const FunctionDef& fn : file->functions) {
+        FnEvents fe;
+        fe.file = file->path;
+        fe.name = fn.simple_name;
+        HelperInfo* local = nullptr;
+        auto it = helpers_.find(fn.simple_name);
+        if (it != helpers_.end()) local = &it->second;
+        Walk(fn.body, local, &fe.events);
+        out.push_back(std::move(fe));
+      }
+    }
+    return out;
+  }
+
+  const std::set<std::string>& AllClasses() const { return classes_seen_; }
+
+ private:
+  void CollectHelper(const StmtList& body, HelperInfo* info) {
+    for (const StmtPtr& s : body) {
+      for (const auto& decl : LockClassDecls(s->tokens)) {
+        info->by_var[decl.first] = decl.second;
+        info->all.push_back(decl.second);
+        classes_seen_.insert(decl.second);
+      }
+      if (s->kind == StmtKind::kSwitch) {
+        for (const SwitchCase& c : s->cases) {
+          // The class declared under this case resolves via the last
+          // label ident (e.g. `case ResourceKind::kTable:` -> kTable).
+          std::string key;
+          for (const Token& t : c.label) {
+            if (t.kind == TokKind::kIdent) key = t.text;
+          }
+          HelperInfo sub;
+          CollectHelper(c.body, &sub);
+          if (!key.empty() && sub.all.size() == 1) {
+            info->by_case[key] = sub.all[0];
+          }
+          info->all.insert(info->all.end(), sub.all.begin(),
+                           sub.all.end());
+          info->by_var.insert(sub.by_var.begin(), sub.by_var.end());
+        }
+        continue;  // cases already recursed
+      }
+      CollectHelper(s->body, info);
+      CollectHelper(s->else_body, info);
+    }
+  }
+
+  // Resolves an ACQUIRE/SCOPE/RELEASE argument token run to a class set.
+  std::vector<std::string> Resolve(const std::vector<Token>& arg,
+                                   const HelperInfo* local) {
+    for (size_t i = 0; i < arg.size(); ++i) {
+      if (arg[i].kind != TokKind::kIdent) continue;
+      // A helper call: TheHelper( ... )
+      auto h = helpers_.find(arg[i].text);
+      if (h != helpers_.end() && i + 1 < arg.size() &&
+          IsPunctTok(arg[i + 1], "(")) {
+        const HelperInfo& info = h->second;
+        for (size_t j = i + 2; j < arg.size(); ++j) {
+          if (arg[j].kind != TokKind::kIdent) continue;
+          auto c = info.by_case.find(arg[j].text);
+          if (c != info.by_case.end()) return {c->second};
+        }
+        if (info.all.size() == 1) return {info.all[0]};
+        std::vector<std::string> span(info.all);
+        std::sort(span.begin(), span.end());
+        span.erase(std::unique(span.begin(), span.end()), span.end());
+        return span;
+      }
+      // A local LockClass variable.
+      if (local != nullptr) {
+        auto v = local->by_var.find(arg[i].text);
+        if (v != local->by_var.end()) return {v->second};
+      }
+    }
+    return {};
+  }
+
+  // Argument tokens of the call starting at toks[open] == '('.
+  static std::vector<Token> ArgTokens(const std::vector<Token>& toks,
+                                      size_t open) {
+    std::vector<Token> out;
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+      if (IsPunctTok(toks[i], "(")) {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (IsPunctTok(toks[i], ")")) {
+        if (--depth == 0) break;
+      }
+      if (depth >= 1) out.push_back(toks[i]);
+    }
+    return out;
+  }
+
+  void ScanTokens(const std::vector<Token>& toks, const HelperInfo* local,
+                  std::vector<Ev>* out) {
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !IsPunctTok(toks[i + 1], "(")) {
+        continue;
+      }
+      const std::string& name = toks[i].text;
+      const int line = toks[i].line;
+      if (name == "GRTDB_WITNESS_ACQUIRE" || name == "GRTDB_WITNESS_SCOPE" ||
+          name == "GRTDB_WITNESS_RELEASE") {
+        Ev ev;
+        ev.kind = name == "GRTDB_WITNESS_RELEASE"  ? Ev::kRel
+                  : name == "GRTDB_WITNESS_SCOPE" ? Ev::kScopeAcq
+                                                  : Ev::kAcq;
+        ev.classes = Resolve(ArgTokens(toks, i + 1), local);
+        ev.line = line;
+        if (!ev.classes.empty()) out->push_back(std::move(ev));
+        continue;
+      }
+      if (name == "GRTDB_WITNESS_RELEASE_ALL") {
+        out->push_back({Ev::kRelAll, {}, "", line});
+        continue;
+      }
+      if (NonCallees().count(name) == 0) {
+        out->push_back({Ev::kCall, {}, name, line});
+      }
+    }
+  }
+
+  void Walk(const StmtList& body, const HelperInfo* local,
+            std::vector<Ev>* out) {
+    for (const StmtPtr& s : body) {
+      ScanTokens(s->tokens, local, out);
+      auto walk_scope = [&](const StmtList& list) {
+        out->push_back({Ev::kPush, {}, "", s->line});
+        Walk(list, local, out);
+        out->push_back({Ev::kPop, {}, "", s->line});
+      };
+      if (!s->body.empty()) walk_scope(s->body);
+      if (!s->else_body.empty()) walk_scope(s->else_body);
+      for (const SwitchCase& c : s->cases) {
+        if (!c.body.empty()) walk_scope(c.body);
+      }
+    }
+  }
+
+  std::map<std::string, HelperInfo> helpers_;
+  std::set<std::string> classes_seen_;
+  std::vector<const ParsedFile*> pending_;
+};
+
+// ----------------------------------------------------- graph fixpoint --
+
+// Per-simple-name summary: the classes a function acquires directly or
+// through any callee (transitively). Deliberately NO held-at-exit set:
+// propagating "still held when the callee returns" through the
+// name-merged graph turns every deliberate ownership transfer
+// (NodeCache::PinFrame, LockManager::AcquireWithTimeout) and every
+// common-name collision (Open/Create/Commit) into a phantom held lock in
+// the caller, and the false inversions swamp the report. The held set in
+// Simulate() therefore comes only from witness events in the function
+// being walked; calls contribute the *acquired* side of edges.
+struct FnSummary {
+  std::set<std::string> trans;  // classes acquired here or in callees
+};
+
+bool operator==(const FnSummary& a, const FnSummary& b) {
+  return a.trans == b.trans;
+}
+
+struct Edge {
+  std::string before, after;  // `before` held while acquiring `after`
+  std::string file;
+  int line = 0;
+  std::string fn;
+};
+
+struct Held {
+  std::string cls;
+  int depth;  // scope depth for SCOPE acquires; -1 for manual
+};
+
+void Simulate(const FnEvents& fe,
+              const std::map<std::string, FnSummary>& table,
+              FnSummary* summary, std::vector<Edge>* edges) {
+  std::vector<Held> held;
+  int depth = 0;
+  auto note_edges = [&](const std::vector<std::string>& acquired, int line) {
+    if (edges == nullptr) return;
+    for (const Held& h : held) {
+      for (const std::string& c : acquired) {
+        if (h.cls == c) continue;
+        edges->push_back({h.cls, c, fe.file, line, fe.name});
+      }
+    }
+  };
+  for (const Ev& ev : fe.events) {
+    switch (ev.kind) {
+      case Ev::kPush:
+        ++depth;
+        break;
+      case Ev::kPop: {
+        --depth;
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [&](const Held& h) {
+                                    return h.depth > depth;
+                                  }),
+                   held.end());
+        break;
+      }
+      case Ev::kAcq:
+      case Ev::kScopeAcq: {
+        note_edges(ev.classes, ev.line);
+        for (const std::string& c : ev.classes) {
+          held.push_back({c, ev.kind == Ev::kScopeAcq ? depth : -1});
+          if (summary != nullptr) summary->trans.insert(c);
+        }
+        break;
+      }
+      case Ev::kRel: {
+        for (const std::string& c : ev.classes) {
+          for (size_t i = held.size(); i-- > 0;) {
+            if (held[i].cls == c) {
+              held.erase(held.begin() + i);
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case Ev::kRelAll:
+        held.clear();
+        break;
+      case Ev::kCall: {
+        auto it = table.find(ev.callee);
+        if (it == table.end()) break;
+        note_edges(std::vector<std::string>(it->second.trans.begin(),
+                                            it->second.trans.end()),
+                   ev.line);
+        if (summary != nullptr) {
+          summary->trans.insert(it->second.trans.begin(),
+                                it->second.trans.end());
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// The canonical order follows how the store stacks actually compose:
+// LockingNodeStore decorates the top (row/table/LO locks first), the WAL
+// sits above the node cache (the commit leader applies frames through it
+// while holding commit_mu), and the cache writes back through the
+// sbspace's pager. Lower layers must never call back up.
+const std::vector<std::string>& LockOrderChecker::DefaultOrder() {
+  static const std::vector<std::string> kOrder = {
+      "lockmgr.lo",    "lockmgr.table", "lockmgr.row",
+      "wal.commit_mu", "cache.latch",   "pager.mu"};
+  return kOrder;
+}
+
+void LockOrderChecker::Add(const ParsedFile& file) {
+  files_.push_back(&file);
+}
+
+void LockOrderChecker::Finish(const std::vector<std::string>& order,
+                              std::vector<Finding>* findings) {
+  Extractor extractor;
+  for (const ParsedFile* f : files_) extractor.AddFile(*f);
+  std::vector<FnEvents> fns = extractor.Extract();
+
+  // Unknown classes: declared but absent from the canonical order.
+  std::map<std::string, int> idx;
+  for (size_t i = 0; i < order.size(); ++i) {
+    idx[order[i]] = static_cast<int>(i);
+  }
+  for (const std::string& cls : extractor.AllClasses()) {
+    if (idx.count(cls) == 0) {
+      Finding f;
+      f.rule = "lock-order";
+      f.message = "lock class \"" + cls +
+                  "\" is not in the canonical witness order";
+      // Attribute to the declaring file if we can find it.
+      for (const FnEvents& fe : fns) {
+        for (const Ev& ev : fe.events) {
+          if ((ev.kind == Ev::kAcq || ev.kind == Ev::kScopeAcq) &&
+              std::find(ev.classes.begin(), ev.classes.end(), cls) !=
+                  ev.classes.end()) {
+            f.file = fe.file;
+            f.line = ev.line;
+            break;
+          }
+        }
+        if (f.line != 0) break;
+      }
+      findings->push_back(std::move(f));
+    }
+  }
+
+  // Name-merged call-graph fixpoint for the transitive-acquire sets.
+  // Calls resolve by simple name only, so an override set (every
+  // NodeStore's WriteNode, say) collapses to one entry. Taking the UNION
+  // of the definitions' sets makes every store stack appear to acquire
+  // whatever the locking decorator acquires — phantom edges from layers
+  // that never compose that way. An ambiguous name therefore contributes
+  // the INTERSECTION: only classes every same-named definition acquires.
+  // (Still monotone: per-definition sets grow round over round, so the
+  // intersection does too.)
+  std::map<std::string, FnSummary> table;
+  for (int round = 0; round < 5; ++round) {
+    std::map<std::string, FnSummary> next;
+    std::set<std::string> seen_name;
+    for (const FnEvents& fe : fns) {
+      FnSummary s;
+      Simulate(fe, table, &s, nullptr);
+      if (seen_name.insert(fe.name).second) {
+        next[fe.name] = std::move(s);
+      } else {
+        FnSummary& merged = next[fe.name];
+        std::set<std::string> both;
+        std::set_intersection(merged.trans.begin(), merged.trans.end(),
+                              s.trans.begin(), s.trans.end(),
+                              std::inserter(both, both.begin()));
+        merged.trans = std::move(both);
+      }
+    }
+    if (next == table) break;
+    table = std::move(next);
+  }
+
+  // Edge extraction and order diff.
+  std::vector<Edge> edges;
+  for (const FnEvents& fe : fns) {
+    Simulate(fe, table, nullptr, &edges);
+  }
+  std::set<std::string> reported;
+  for (const Edge& e : edges) {
+    auto a = idx.find(e.before);
+    auto b = idx.find(e.after);
+    if (a == idx.end() || b == idx.end()) continue;  // unknown: reported above
+    if (a->second <= b->second) continue;
+    if (!reported.insert(e.before + ">" + e.after).second) continue;
+    Finding f;
+    f.file = e.file;
+    f.line = e.line;
+    f.rule = "lock-order";
+    f.message = "acquisition of \"" + e.after + "\" while holding \"" +
+                e.before + "\" in '" + e.fn +
+                "' inverts the canonical witness order";
+    findings->push_back(std::move(f));
+  }
+}
+
+}  // namespace analyze
+}  // namespace grtdb

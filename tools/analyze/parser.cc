@@ -1,0 +1,663 @@
+#include "tools/analyze/ast.h"
+
+#include <algorithm>
+#include <set>
+
+namespace grtdb {
+namespace analyze {
+
+namespace {
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kw = {
+      "if", "for", "while", "switch", "catch", "return",
+      "sizeof", "alignof", "decltype", "new", "delete"};
+  return kw;
+}
+
+bool IsQualifierIdent(const std::string& s) {
+  return s == "const" || s == "noexcept" || s == "override" ||
+         s == "final" || s == "mutable" || s == "volatile" ||
+         s == "constexpr";
+}
+
+class Parser {
+ public:
+  Parser(const std::string& path, LexedFile lex)
+      : path_(path), lex_(std::move(lex)), t_(lex_.tokens) {}
+
+  ParsedFile Run() {
+    ParsedFile out;
+    out.path = path_;
+    ScanRegion(0, t_.size(), "");
+    out.functions = std::move(functions_);
+    out.lex = std::move(lex_);
+    return out;
+  }
+
+ private:
+  struct BodyInfo {
+    std::string name;
+    std::string simple_name;
+    std::vector<Token> head;
+    bool is_lambda = false;
+  };
+
+  // ---------------------------------------------------------- matching --
+
+  size_t MatchForward(size_t open) const {
+    const std::string& oc = t_[open].text;
+    const char open_c = oc[0];
+    const char close_c = open_c == '(' ? ')' : open_c == '[' ? ']' : '}';
+    int depth = 0;
+    for (size_t i = open; i < t_.size(); ++i) {
+      if (t_[i].kind != TokKind::kPunct || t_[i].text.size() != 1) continue;
+      const char c = t_[i].text[0];
+      if (c == open_c) ++depth;
+      if (c == close_c && --depth == 0) return i;
+    }
+    return t_.size();
+  }
+
+  size_t MatchBackward(size_t close) const {
+    const std::string& cc = t_[close].text;
+    const char close_c = cc[0];
+    const char open_c = close_c == ')' ? '(' : close_c == ']' ? '[' : '{';
+    int depth = 0;
+    for (size_t i = close + 1; i-- > 0;) {
+      if (t_[i].kind != TokKind::kPunct || t_[i].text.size() != 1) continue;
+      const char c = t_[i].text[0];
+      if (c == close_c) ++depth;
+      if (c == open_c && --depth == 0) return i;
+    }
+    return t_.size();
+  }
+
+  bool IsPunct(size_t i, const char* s) const {
+    return i < t_.size() && t_[i].kind == TokKind::kPunct && t_[i].text == s;
+  }
+  bool IsIdent(size_t i, const char* s) const {
+    return i < t_.size() && t_[i].kind == TokKind::kIdent && t_[i].text == s;
+  }
+
+  // ------------------------------------------------- function detection --
+
+  // Collects the qualified-name chain ending at token `last` (inclusive):
+  // idents joined by "::" plus a possible leading "~".
+  void NameChain(size_t last, std::string* name, std::string* simple,
+                 size_t* chain_begin) const {
+    std::string out;
+    size_t i = last;
+    *simple = t_[last].text;
+    for (;;) {
+      out = t_[i].text + out;
+      if (i > 0 && IsPunct(i - 1, "~")) {
+        out = "~" + out;
+        --i;
+      }
+      if (i >= 2 && IsPunct(i - 1, "::") && t_[i - 2].kind == TokKind::kIdent) {
+        out = "::" + out;
+        i -= 2;
+        continue;
+      }
+      break;
+    }
+    *name = std::move(out);
+    *chain_begin = i;
+  }
+
+  // Grabs up to `max` tokens before `end` (exclusive) back to a statement
+  // boundary: the declarator's return type + specifiers.
+  std::vector<Token> HeadTokens(size_t end, size_t max = 10) const {
+    size_t begin = end;
+    while (begin > 0 && end - begin < max) {
+      const Token& tok = t_[begin - 1];
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == ";" || tok.text == "}" || tok.text == "{" ||
+           tok.text == ":" || tok.text == ")" || tok.text == ",")) {
+        break;
+      }
+      if (tok.kind == TokKind::kIdent &&
+          (tok.text == "public" || tok.text == "private" ||
+           tok.text == "protected")) {
+        break;
+      }
+      --begin;
+    }
+    return std::vector<Token>(t_.begin() + begin, t_.begin() + end);
+  }
+
+  // Decides whether the '{' at `i` opens a function (or lambda) body.
+  bool FunctionBodyAt(size_t i, BodyInfo* info) const {
+    if (i == 0) return false;
+    size_t k = i - 1;
+    // Walk back over trailing qualifiers and a possible trailing return
+    // type, looking for the ')' that closes the parameter list (or the
+    // ']' of a parameterless lambda).
+    int steps = 0;
+    bool saw_type_tokens = false;
+    while (true) {
+      if (++steps > 40 || k == 0) return false;
+      const Token& tok = t_[k];
+      if (tok.kind == TokKind::kIdent && IsQualifierIdent(tok.text)) {
+        --k;
+        continue;
+      }
+      if (tok.kind == TokKind::kPunct && tok.text == "->") {
+        // Trailing return type: the token before '->' must close the
+        // parameter list (or be a lambda's mutable/qualifier, already
+        // consumed above).
+        if (!IsPunct(k - 1, ")") && !IsPunct(k - 1, "]")) return false;
+        --k;
+        break;
+      }
+      if (tok.kind == TokKind::kIdent || tok.kind == TokKind::kNumber ||
+          (tok.kind == TokKind::kPunct &&
+           (tok.text == "::" || tok.text == "<" || tok.text == ">" ||
+            tok.text == "*" || tok.text == "&" || tok.text == "&&" ||
+            tok.text == ","))) {
+        // Possibly inside a trailing return type; keep walking, but only
+        // commit if we actually reach a '->'.
+        saw_type_tokens = true;
+        --k;
+        continue;
+      }
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == ")" || tok.text == "]")) {
+        if (saw_type_tokens) return false;  // e.g. `= {1, 2}` initializers
+        break;
+      }
+      return false;
+    }
+
+    // k now sits on ')' (parameter list or noexcept(...)) or ']'.
+    for (int hops = 0; hops < 4; ++hops) {
+      if (IsPunct(k, "]")) {
+        // Lambda with no parameter list: [caps] { ... }
+        const size_t open = MatchBackward(k);
+        if (open == t_.size()) return false;
+        info->is_lambda = true;
+        info->head = {};
+        return true;
+      }
+      if (!IsPunct(k, ")")) return false;
+      const size_t open = MatchBackward(k);
+      if (open == t_.size() || open == 0) return false;
+      const size_t pre = open - 1;
+      const Token& ptok = t_[pre];
+      if (ptok.kind == TokKind::kIdent && ptok.text == "noexcept") {
+        // ) noexcept(...) { — keep walking to the parameter list.
+        if (pre == 0) return false;
+        k = pre - 1;
+        continue;
+      }
+      if (ptok.kind == TokKind::kPunct && ptok.text == "]") {
+        info->is_lambda = true;
+        info->head = {};
+        return true;
+      }
+      if (ptok.kind == TokKind::kPunct && ptok.text == ")") {
+        // Possibly operator()(...) { — check for 'operator' before the
+        // inner parens.
+        const size_t inner_open = MatchBackward(pre);
+        if (inner_open != t_.size() && inner_open >= 1 &&
+            IsIdent(inner_open - 1, "operator")) {
+          info->name = info->simple_name = "operator()";
+          info->head = HeadTokens(inner_open - 1);
+          return true;
+        }
+        return false;
+      }
+      if (ptok.kind == TokKind::kPunct && ptok.text != "]") {
+        // operator+, operator==, operator->, ... spelled as punct tokens.
+        if (pre >= 1 && IsIdent(pre - 1, "operator")) {
+          info->name = info->simple_name = "operator" + ptok.text;
+          info->head = HeadTokens(pre - 1);
+          return true;
+        }
+        return false;
+      }
+      if (ptok.kind != TokKind::kIdent) return false;
+      if (ControlKeywords().count(ptok.text) > 0) return false;
+      // Constructor member-init list? name(...) preceded by ':' or ','
+      // chains back to the constructor's own parameter list.
+      if (pre >= 1 &&
+          (IsPunct(pre - 1, ":") || IsPunct(pre - 1, ","))) {
+        size_t r = pre - 1;
+        int guard = 0;
+        while (guard++ < 64) {
+          if (IsPunct(r, ":")) {
+            if (r == 0 || !IsPunct(r - 1, ")")) return false;
+            k = r - 1;
+            break;  // re-run the paren case on the ctor's param list
+          }
+          if (!IsPunct(r, ",")) return false;
+          // Walk over the previous init item: name(...) or name{...}.
+          if (r == 0) return false;
+          size_t item_close = r - 1;
+          if (!IsPunct(item_close, ")") && !IsPunct(item_close, "}")) {
+            return false;
+          }
+          const size_t item_open = MatchBackward(item_close);
+          if (item_open == t_.size() || item_open < 2) return false;
+          if (t_[item_open - 1].kind != TokKind::kIdent) return false;
+          r = item_open - 2;
+        }
+        if (guard >= 64) return false;
+        continue;  // loop with k on the ctor parameter-list ')'
+      }
+      size_t chain_begin;
+      NameChain(pre, &info->name, &info->simple_name, &chain_begin);
+      info->head = HeadTokens(chain_begin);
+      // Reject patterns that are definitely not definitions: a call
+      // followed by '{' cannot appear in statement position in valid C++,
+      // but `Type var{...}` can; those have no parameter list and were
+      // rejected above (the '{' there follows an ident, not a ')').
+      return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------- region scan --
+
+  // Hunts function bodies in [begin, end): file scope, namespace/class
+  // bodies, and (via ParseExpr) lambdas and local classes.
+  void ScanRegion(size_t begin, size_t end, const std::string& scope) {
+    size_t i = begin;
+    while (i < end) {
+      if (IsPunct(i, "{")) {
+        BodyInfo info;
+        if (FunctionBodyAt(i, &info)) {
+          const size_t close = MatchForward(i);
+          AddFunction(info, scope, i, close);
+          i = close == t_.size() ? end : close + 1;
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+
+  void AddFunction(BodyInfo& info, const std::string& scope, size_t open,
+                   size_t close, const std::string& assign_hint = "") {
+    FunctionDef fn;
+    fn.is_lambda = info.is_lambda;
+    if (info.is_lambda) {
+      fn.simple_name = assign_hint.empty() ? "<lambda>" : assign_hint;
+      fn.name = (scope.empty() ? "" : scope + "::") +
+                (assign_hint.empty()
+                     ? "<lambda:" + std::to_string(t_[open].line) + ">"
+                     : assign_hint);
+    } else {
+      fn.name = scope.empty() ? info.name : scope + "::" + info.name;
+      fn.simple_name = info.simple_name;
+    }
+    fn.line = t_[open].line;
+    fn.head = std::move(info.head);
+    const std::string inner_scope = fn.name;
+    fn.body = ParseStatements(open + 1, std::min(close, t_.size()),
+                              inner_scope);
+    functions_.push_back(std::move(fn));
+  }
+
+  // -------------------------------------------------- statement parser --
+
+  StmtList ParseStatements(size_t begin, size_t end,
+                           const std::string& scope) {
+    StmtList out;
+    size_t i = begin;
+    while (i < end) {
+      StmtPtr stmt = ParseStmt(&i, end, scope);
+      if (stmt != nullptr) out.push_back(std::move(stmt));
+    }
+    return out;
+  }
+
+  StmtPtr MakeStmt(StmtKind kind, int line) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->line = line;
+    return stmt;
+  }
+
+  // Parses one statement starting at *i (advances *i past it). Returns
+  // nullptr for skipped constructs (stray semicolons, labels).
+  StmtPtr ParseStmt(size_t* i, size_t end, const std::string& scope) {
+    if (*i >= end) return nullptr;
+    const Token& tok = t_[*i];
+    const int line = tok.line;
+
+    if (IsPunct(*i, ";")) {
+      ++*i;
+      return nullptr;
+    }
+    if (IsPunct(*i, "{")) {
+      const size_t close = std::min(MatchForward(*i), end);
+      StmtPtr stmt = MakeStmt(StmtKind::kCompound, line);
+      stmt->body = ParseStatements(*i + 1, close, scope);
+      *i = close + 1;
+      return stmt;
+    }
+    if (tok.kind == TokKind::kIdent) {
+      const std::string& kw = tok.text;
+      if (kw == "if") return ParseIf(i, end, scope);
+      if (kw == "while") return ParseWhile(i, end, scope);
+      if (kw == "do") return ParseDoWhile(i, end, scope);
+      if (kw == "for") return ParseFor(i, end, scope);
+      if (kw == "switch") return ParseSwitch(i, end, scope);
+      if (kw == "return") {
+        StmtPtr stmt = MakeStmt(StmtKind::kReturn, line);
+        ++*i;
+        stmt->tokens = CollectExpr(i, end, scope);
+        return stmt;
+      }
+      if (kw == "break" || kw == "continue") {
+        StmtPtr stmt = MakeStmt(
+            kw == "break" ? StmtKind::kBreak : StmtKind::kContinue, line);
+        ++*i;
+        if (*i < end && IsPunct(*i, ";")) ++*i;
+        return stmt;
+      }
+      if (kw == "GRTDB_RETURN_IF_ERROR") {
+        StmtPtr stmt = MakeStmt(StmtKind::kErrorReturn, line);
+        ++*i;
+        if (*i < end && IsPunct(*i, "(")) {
+          const size_t close = std::min(MatchForward(*i), end);
+          stmt->tokens.assign(t_.begin() + *i + 1, t_.begin() + close);
+          *i = close + 1;
+        }
+        if (*i < end && IsPunct(*i, ";")) ++*i;
+        return stmt;
+      }
+      if (kw == "abort" || kw == "exit" || kw == "_exit" || kw == "_Exit") {
+        // Bare terminator call: path ends here, obligations waived. The
+        // std:: spelling arrives via the expression path below.
+        StmtPtr stmt = MakeStmt(StmtKind::kNoReturn, line);
+        stmt->tokens = CollectExpr(i, end, scope);
+        return stmt;
+      }
+      if (kw == "struct" || kw == "class" || kw == "union" ||
+          kw == "enum") {
+        return ParseLocalType(i, end, scope);
+      }
+      if (kw == "else") {
+        // Dangling else (shouldn't happen; defensive): skip the keyword.
+        ++*i;
+        return ParseStmt(i, end, scope);
+      }
+      if (kw == "try") {
+        ++*i;
+        StmtPtr stmt = ParseStmt(i, end, scope);  // the try compound
+        // catch clauses: may-or-may-not execute; model each as an
+        // elseless if so both worlds are explored.
+        while (*i < end && IsIdent(*i, "catch")) {
+          ++*i;
+          if (*i < end && IsPunct(*i, "(")) {
+            *i = std::min(MatchForward(*i), end) + 1;
+          }
+          StmtPtr handler = MakeStmt(StmtKind::kIf, line);
+          StmtPtr body = ParseStmt(i, end, scope);
+          if (body != nullptr) handler->body.push_back(std::move(body));
+          if (stmt != nullptr && handler != nullptr) {
+            // Chain after the try block inside a compound.
+            StmtPtr wrap = MakeStmt(StmtKind::kCompound, line);
+            wrap->body.push_back(std::move(stmt));
+            wrap->body.push_back(std::move(handler));
+            stmt = std::move(wrap);
+          }
+        }
+        return stmt;
+      }
+    }
+    // Expression / declaration statement.
+    StmtPtr stmt = MakeStmt(StmtKind::kExpr, line);
+    stmt->tokens = CollectExpr(i, end, scope);
+    if (!stmt->tokens.empty()) {
+      const Token& first = stmt->tokens.front();
+      if (first.kind == TokKind::kIdent &&
+          (first.text == "std" || first.text == "abort" ||
+           first.text == "exit")) {
+        // std::abort() / std::exit(n) in expression position.
+        for (size_t k = 0; k + 1 < stmt->tokens.size(); ++k) {
+          const Token& a = stmt->tokens[k];
+          if (a.kind == TokKind::kIdent &&
+              (a.text == "abort" || a.text == "exit" || a.text == "_Exit") &&
+              stmt->tokens[k + 1].text == "(") {
+            stmt->kind = StmtKind::kNoReturn;
+            break;
+          }
+          if (k > 1) break;  // only leading std:: chains count
+        }
+      }
+    }
+    return stmt;
+  }
+
+  StmtPtr ParseIf(size_t* i, size_t end, const std::string& scope) {
+    StmtPtr stmt = MakeStmt(StmtKind::kIf, t_[*i].line);
+    ++*i;                                       // if
+    if (*i < end && IsIdent(*i, "constexpr")) ++*i;
+    if (*i < end && IsPunct(*i, "(")) {
+      const size_t close = std::min(MatchForward(*i), end);
+      stmt->tokens.assign(t_.begin() + *i + 1, t_.begin() + close);
+      *i = close + 1;
+    }
+    StmtPtr then_stmt = ParseStmt(i, end, scope);
+    if (then_stmt != nullptr) stmt->body.push_back(std::move(then_stmt));
+    if (*i < end && IsIdent(*i, "else")) {
+      ++*i;
+      StmtPtr else_stmt = ParseStmt(i, end, scope);
+      if (else_stmt != nullptr) {
+        stmt->else_body.push_back(std::move(else_stmt));
+      }
+    }
+    return stmt;
+  }
+
+  StmtPtr ParseWhile(size_t* i, size_t end, const std::string& scope) {
+    StmtPtr stmt = MakeStmt(StmtKind::kWhile, t_[*i].line);
+    ++*i;
+    if (*i < end && IsPunct(*i, "(")) {
+      const size_t close = std::min(MatchForward(*i), end);
+      stmt->tokens.assign(t_.begin() + *i + 1, t_.begin() + close);
+      *i = close + 1;
+    }
+    StmtPtr body = ParseStmt(i, end, scope);
+    if (body != nullptr) stmt->body.push_back(std::move(body));
+    return stmt;
+  }
+
+  StmtPtr ParseDoWhile(size_t* i, size_t end, const std::string& scope) {
+    StmtPtr stmt = MakeStmt(StmtKind::kDoWhile, t_[*i].line);
+    ++*i;  // do
+    StmtPtr body = ParseStmt(i, end, scope);
+    if (body != nullptr) stmt->body.push_back(std::move(body));
+    if (*i < end && IsIdent(*i, "while")) {
+      ++*i;
+      if (*i < end && IsPunct(*i, "(")) {
+        const size_t close = std::min(MatchForward(*i), end);
+        stmt->tokens.assign(t_.begin() + *i + 1, t_.begin() + close);
+        *i = close + 1;
+      }
+      if (*i < end && IsPunct(*i, ";")) ++*i;
+    }
+    return stmt;
+  }
+
+  StmtPtr ParseFor(size_t* i, size_t end, const std::string& scope) {
+    StmtPtr stmt = MakeStmt(StmtKind::kFor, t_[*i].line);
+    ++*i;
+    if (*i < end && IsPunct(*i, "(")) {
+      const size_t close = std::min(MatchForward(*i), end);
+      stmt->tokens.assign(t_.begin() + *i + 1, t_.begin() + close);
+      *i = close + 1;
+    }
+    StmtPtr body = ParseStmt(i, end, scope);
+    if (body != nullptr) stmt->body.push_back(std::move(body));
+    return stmt;
+  }
+
+  StmtPtr ParseSwitch(size_t* i, size_t end, const std::string& scope) {
+    StmtPtr stmt = MakeStmt(StmtKind::kSwitch, t_[*i].line);
+    ++*i;
+    if (*i < end && IsPunct(*i, "(")) {
+      const size_t close = std::min(MatchForward(*i), end);
+      stmt->tokens.assign(t_.begin() + *i + 1, t_.begin() + close);
+      *i = close + 1;
+    }
+    if (*i >= end || !IsPunct(*i, "{")) return stmt;
+    const size_t body_close = std::min(MatchForward(*i), end);
+    size_t j = *i + 1;
+    SwitchCase* current = nullptr;
+    while (j < body_close) {
+      if (IsIdent(j, "case") || IsIdent(j, "default")) {
+        stmt->cases.emplace_back();
+        current = &stmt->cases.back();
+        current->is_default = IsIdent(j, "default");
+        ++j;
+        // Collect the label up to its ':' (single-colon punct; '::' is one
+        // merged token and cannot terminate the label).
+        while (j < body_close && !IsPunct(j, ":")) {
+          current->label.push_back(t_[j]);
+          ++j;
+        }
+        if (j < body_close) ++j;  // ':'
+        continue;
+      }
+      StmtPtr inner = ParseStmt(&j, body_close, scope);
+      if (inner != nullptr) {
+        if (current == nullptr) {
+          stmt->cases.emplace_back();
+          current = &stmt->cases.back();
+        }
+        current->body.push_back(std::move(inner));
+      }
+    }
+    *i = body_close + 1;
+    return stmt;
+  }
+
+  // Local struct/class/enum definition: skip its braces (recursing into
+  // them for member-function bodies), then the trailing ';'.
+  StmtPtr ParseLocalType(size_t* i, size_t end, const std::string& scope) {
+    const int line = t_[*i].line;
+    size_t j = *i;
+    while (j < end && !IsPunct(j, "{") && !IsPunct(j, ";")) ++j;
+    if (j < end && IsPunct(j, "{")) {
+      const size_t close = std::min(MatchForward(j), end);
+      ScanRegion(j + 1, close, scope);
+      j = close + 1;
+      while (j < end && !IsPunct(j, ";")) ++j;
+    }
+    *i = std::min(j + 1, end);
+    return MakeStmt(StmtKind::kExpr, line);  // no tokens: no events
+  }
+
+  // Collects an expression statement's tokens up to its terminating ';'
+  // (exclusive). Lambda and local-function bodies embedded in the
+  // expression are hoisted into their own FunctionDefs and excluded from
+  // the returned run.
+  std::vector<Token> CollectExpr(size_t* i, size_t end,
+                                 const std::string& scope) {
+    std::vector<Token> out;
+    int paren = 0, bracket = 0, brace = 0;
+    while (*i < end) {
+      if (t_[*i].kind == TokKind::kPunct) {
+        const std::string& p = t_[*i].text;
+        if (p == ";" && paren == 0 && bracket == 0 && brace == 0) {
+          ++*i;
+          break;
+        }
+        if (p == "{") {
+          BodyInfo info;
+          if (FunctionBodyAt(*i, &info)) {
+            const size_t close = std::min(MatchForward(*i), end);
+            AddFunction(info, scope, *i, close, AssignHint(out));
+            // Represent the hoisted body with an empty brace pair so the
+            // surrounding expression stays bracket-balanced.
+            *i = close + 1;
+            continue;
+          }
+          ++brace;
+        } else if (p == "}") {
+          if (brace == 0 && paren == 0 && bracket == 0) break;  // defensive
+          --brace;
+        } else if (p == "(") {
+          ++paren;
+        } else if (p == ")") {
+          if (paren == 0) break;  // defensive: ran past our region
+          --paren;
+        } else if (p == "[") {
+          ++bracket;
+        } else if (p == "]") {
+          --bracket;
+        }
+      }
+      out.push_back(t_[*i]);
+      ++*i;
+    }
+    return out;
+  }
+
+  // The assignment target feeding a lambda: for `auto fail = [&](...)`,
+  // the last ident before the trailing '='.
+  static std::string AssignHint(const std::vector<Token>& expr_so_far) {
+    size_t n = expr_so_far.size();
+    // Strip the lambda's introducer tokens collected so far: "[...](...)"
+    // or "[...]" pieces sit at the tail; walk back to the '='.
+    for (size_t i = n; i-- > 0;) {
+      const Token& tok = expr_so_far[i];
+      if (tok.kind == TokKind::kPunct && tok.text == "=") {
+        for (size_t j = i; j-- > 0;) {
+          if (expr_so_far[j].kind == TokKind::kIdent) {
+            return expr_so_far[j].text;
+          }
+          if (expr_so_far[j].kind == TokKind::kPunct &&
+              (expr_so_far[j].text == "." || expr_so_far[j].text == "->" ||
+               expr_so_far[j].text == "::")) {
+            continue;
+          }
+          break;
+        }
+        return "";
+      }
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == "," || tok.text == "(" || tok.text == ";")) {
+        return "";  // lambda passed as an argument, not assigned
+      }
+    }
+    return "";
+  }
+
+  const std::string path_;
+  LexedFile lex_;
+  const std::vector<Token>& t_;
+  std::vector<FunctionDef> functions_;
+};
+
+int CountList(const StmtList& list);
+
+int CountOne(const Stmt& stmt) {
+  int n = 1;
+  n += CountList(stmt.body);
+  n += CountList(stmt.else_body);
+  for (const SwitchCase& c : stmt.cases) n += CountList(c.body);
+  return n;
+}
+
+int CountList(const StmtList& list) {
+  int n = 0;
+  for (const StmtPtr& s : list) n += CountOne(*s);
+  return n;
+}
+
+}  // namespace
+
+ParsedFile Parse(const std::string& path, const std::string& source) {
+  return Parser(path, Lex(source)).Run();
+}
+
+int CountStmts(const StmtList& list) { return CountList(list); }
+
+}  // namespace grtdb
+}  // namespace grtdb

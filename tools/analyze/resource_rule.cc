@@ -1,0 +1,593 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/cfg.h"
+#include "tools/analyze/rules.h"
+
+namespace grtdb {
+namespace analyze {
+
+namespace {
+
+// ------------------------------------------------------------ events --
+
+enum class EventKind { kAcquire, kRelease, kDrainKey, kDrainPrefix };
+
+struct Event {
+  EventKind kind;
+  std::string key;   // for kDrainPrefix: the prefix
+  int line = 0;
+  std::string desc;  // human spelling of the acquire site
+};
+
+bool IsPunctTok(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+bool IsChainSep(const Token& t) {
+  return t.kind == TokKind::kPunct &&
+         (t.text == "." || t.text == "->" || t.text == "::");
+}
+
+// Renders the receiver chain ending just before token index `i` (the
+// callee ident): "session->memory()" for `session->memory().EndDuration`,
+// "mu_" for `mu_.lock`, "" for a bare call.
+std::string ReceiverText(const std::vector<Token>& toks, size_t i) {
+  std::string out;
+  size_t j = i;  // walk backward; j is one past the piece we want
+  while (j >= 2 && IsChainSep(toks[j - 1])) {
+    const std::string sep = toks[j - 1].text;
+    size_t k = j - 2;
+    std::string piece;
+    if (IsPunctTok(toks[k], ")")) {
+      // A call in the chain: collapse `name(...)` to `name()`.
+      int depth = 1;
+      while (k > 0 && depth > 0) {
+        --k;
+        if (IsPunctTok(toks[k], ")")) ++depth;
+        if (IsPunctTok(toks[k], "(")) --depth;
+      }
+      if (depth != 0 || k == 0) break;
+      piece = "()";
+      --k;  // the ident before '('
+      if (toks[k].kind != TokKind::kIdent) break;
+      piece = toks[k].text + piece;
+    } else if (toks[k].kind == TokKind::kIdent) {
+      piece = toks[k].text;
+    } else {
+      break;
+    }
+    out = piece + sep + out;
+    j = k;
+  }
+  // Trim the separator that connected the chain to the callee.
+  if (out.size() >= 2 &&
+      (out.compare(out.size() - 2, 2, "->") == 0 ||
+       out.compare(out.size() - 2, 2, "::") == 0)) {
+    out.erase(out.size() - 2);
+  } else if (!out.empty() && out.back() == '.') {
+    out.pop_back();
+  }
+  return out;
+}
+
+// First argument's token text: from `open` (the '(' index) to the first
+// depth-0 ',' or the matching ')'.
+std::string FirstArgText(const std::vector<Token>& toks, size_t open) {
+  std::string out;
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+        if (depth == 1) continue;  // skip the outer '('
+      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+        if (depth == 0) break;
+      } else if (t.text == "," && depth == 1) {
+        break;
+      }
+    }
+    if (depth >= 1) out += t.text;
+  }
+  return out;
+}
+
+// Whole-argument-list text, parens excluded.
+std::string AllArgsText(const std::vector<Token>& toks, size_t open) {
+  std::string out;
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth >= 1) out += t.text;
+  }
+  return out;
+}
+
+const std::set<std::string>& RaiiTypes() {
+  static const std::set<std::string> kTypes = {
+      "lock_guard", "unique_lock", "shared_lock", "scoped_lock",
+      "NodeView",   "PurposeCallScope", "TraceScope", "SpanScope"};
+  return kTypes;
+}
+
+// Variables declared with an RAII type anywhere in the function: their
+// lock/unlock traffic is scope-balanced by the destructor.
+void CollectRaiiVars(const StmtList& body, std::set<std::string>* out) {
+  for (const StmtPtr& s : body) {
+    const std::vector<Token>& toks = s->tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          RaiiTypes().count(toks[i].text) == 0) {
+        continue;
+      }
+      size_t j = i + 1;
+      if (j < toks.size() && IsPunctTok(toks[j], "<")) {
+        int depth = 0;
+        size_t guard = 0;
+        for (; j < toks.size() && guard < 64; ++j, ++guard) {
+          if (IsPunctTok(toks[j], "<")) ++depth;
+          if (IsPunctTok(toks[j], ">") && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      while (j < toks.size() &&
+             (IsPunctTok(toks[j], "&") || IsPunctTok(toks[j], "*"))) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+        out->insert(toks[j].text);
+      }
+    }
+    CollectRaiiVars(s->body, out);
+    CollectRaiiVars(s->else_body, out);
+    for (const SwitchCase& c : s->cases) CollectRaiiVars(c.body, out);
+  }
+}
+
+void ExtractEvents(const std::vector<Token>& toks,
+                   const std::set<std::string>& raii_vars,
+                   std::vector<Event>* out) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !IsPunctTok(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::string& name = toks[i].text;
+    const int line = toks[i].line;
+    const std::string recv = ReceiverText(toks, i);
+    // Receiver rooted at an RAII-managed variable: destructor balances it.
+    const std::string root = recv.substr(0, recv.find_first_of(".-"));
+    const bool raii = !root.empty() && raii_vars.count(root) > 0;
+
+    auto push = [&](EventKind kind, std::string key, std::string desc) {
+      out->push_back({kind, std::move(key), line, std::move(desc)});
+    };
+
+    if (name == "lock" || name == "unlock") {
+      if (raii || recv.empty()) continue;
+      push(name == "lock" ? EventKind::kAcquire : EventKind::kRelease,
+           "mu:" + recv, "mutex '" + recv + "'");
+    } else if (name == "lock_shared" || name == "unlock_shared") {
+      if (raii || recv.empty()) continue;
+      push(name == "lock_shared" ? EventKind::kAcquire : EventKind::kRelease,
+           "mus:" + recv, "shared lock on '" + recv + "'");
+    } else if (name == "Acquire" || name == "AcquireWithTimeout") {
+      if (raii) continue;
+      push(EventKind::kAcquire, "lockmgr:" + recv,
+           "lock via '" + recv + (recv.empty() ? "" : "->") + name + "'");
+    } else if (name == "Release") {
+      if (raii) continue;
+      push(EventKind::kRelease, "lockmgr:" + recv, "");
+    } else if (name == "ReleaseAll") {
+      push(EventKind::kDrainKey, "lockmgr:" + recv, "");
+    } else if (name == "BeginDuration" || name == "EndDuration") {
+      const std::string arg = FirstArgText(toks, i + 1);
+      push(name == "BeginDuration" ? EventKind::kAcquire
+                                   : EventKind::kRelease,
+           "dur:" + recv + "#" + arg,
+           "duration " + arg + " on '" + recv + "'");
+    } else if (name == "PinFrame") {
+      if (raii) continue;
+      push(EventKind::kAcquire, "pin:" + recv,
+           "pin via '" + recv + (recv.empty() ? "" : ".") + "PinFrame'");
+    } else if (name == "Unpin") {
+      if (raii) continue;
+      push(EventKind::kRelease, "pin:" + recv, "");
+    } else if (name == "GRTDB_WITNESS_ACQUIRE" ||
+               name == "GRTDB_WITNESS_RELEASE") {
+      const std::string arg = AllArgsText(toks, i + 1);
+      push(name == "GRTDB_WITNESS_ACQUIRE" ? EventKind::kAcquire
+                                           : EventKind::kRelease,
+           "wit:" + arg, "witness class " + arg);
+    } else if (name == "GRTDB_WITNESS_RELEASE_ALL") {
+      push(EventKind::kDrainPrefix, "wit:", "");
+    }
+  }
+}
+
+// ------------------------------------------------------------- walker --
+
+constexpr int kSaturate = 3;
+constexpr int kMaxVisits = 20000;
+constexpr size_t kMaxTrail = 8;
+
+struct PathState {
+  std::map<std::string, int> net;
+  std::map<std::string, int> acq_line;  // first unmatched acquire
+  std::map<std::string, std::string> acq_desc;
+  std::vector<int> trail;
+};
+
+void ApplyEvent(const Event& e, PathState* st) {
+  switch (e.kind) {
+    case EventKind::kAcquire: {
+      int& n = st->net[e.key];
+      if (n <= 0 || st->acq_line.count(e.key) == 0) {
+        st->acq_line[e.key] = e.line;
+        st->acq_desc[e.key] = e.desc;
+      }
+      n = std::min(n + 1, kSaturate);
+      break;
+    }
+    case EventKind::kRelease: {
+      int& n = st->net[e.key];
+      n = std::max(n - 1, -kSaturate);
+      if (n <= 0) st->acq_line.erase(e.key);
+      break;
+    }
+    case EventKind::kDrainKey: {
+      auto it = st->net.find(e.key);
+      if (it != st->net.end() && it->second > 0) it->second = 0;
+      st->acq_line.erase(e.key);
+      break;
+    }
+    case EventKind::kDrainPrefix: {
+      for (auto& kv : st->net) {
+        if (kv.first.compare(0, e.key.size(), e.key) == 0 && kv.second > 0) {
+          kv.second = 0;
+          st->acq_line.erase(kv.first);
+        }
+      }
+      break;
+    }
+  }
+}
+
+std::string SerializeNet(const PathState& st) {
+  std::string out;
+  for (const auto& kv : st.net) {
+    if (kv.second == 0) continue;
+    out += kv.first + "=" + std::to_string(kv.second) + ";";
+  }
+  return out;
+}
+
+class BalanceWalker {
+ public:
+  BalanceWalker(const Cfg& cfg, const std::vector<std::vector<Event>>& events,
+                const std::map<int, std::vector<Event>>& deferred,
+                const std::set<std::string>& reportable)
+      : cfg_(cfg),
+        events_(events),
+        deferred_(deferred),
+        reportable_(reportable) {}
+
+  // Returns false if the walk blew the visit budget (function skipped).
+  bool Run(const std::string& file, const std::string& fn_name,
+           std::vector<Finding>* findings) {
+    file_ = file;
+    fn_name_ = fn_name;
+    findings_ = findings;
+    PathState st;
+    Visit(Cfg::kEntry, st);
+    return visits_ <= kMaxVisits;
+  }
+
+ private:
+  void Visit(int node, PathState st) {
+    if (++visits_ > kMaxVisits) return;
+    const CfgNode& n = cfg_.nodes[node];
+    if (n.apply_events) {
+      for (const Event& e : events_[node]) ApplyEvent(e, &st);
+    }
+    if (node == Cfg::kExit) {
+      AtExit(st);
+      return;
+    }
+    if (n.succ.empty()) return;  // dead end (abort/exit): waived
+    if (n.succ.size() > 1 && st.trail.size() < kMaxTrail) {
+      st.trail.push_back(n.line);
+    }
+    const std::string memo_key =
+        std::to_string(node) + "|" + SerializeNet(st);
+    if (!memo_.insert(memo_key).second) return;
+    auto def = deferred_.find(node);
+    for (size_t i = 0; i < n.succ.size(); ++i) {
+      PathState child = st;
+      if (def != deferred_.end() && i != 0) {
+        // Guarded acquire: the acquire only happened if the status check
+        // fell through (successor 0 is the error branch).
+        for (const Event& e : def->second) ApplyEvent(e, &child);
+      }
+      Visit(n.succ[i], std::move(child));
+    }
+  }
+
+  void AtExit(const PathState& st) {
+    for (const auto& kv : st.net) {
+      if (kv.second <= 0 || reportable_.count(kv.first) == 0) continue;
+      auto line_it = st.acq_line.find(kv.first);
+      const int line = line_it != st.acq_line.end() ? line_it->second : 0;
+      if (!reported_.insert(kv.first + "@" + std::to_string(line)).second) {
+        continue;
+      }
+      auto desc_it = st.acq_desc.find(kv.first);
+      Finding f;
+      f.file = file_;
+      f.line = line;
+      f.rule = "resource-balance";
+      f.message =
+          (desc_it != st.acq_desc.end() && !desc_it->second.empty()
+               ? desc_it->second
+               : kv.first) +
+          " acquired in '" + fn_name_ +
+          "' is not released on some path to exit (net +" +
+          std::to_string(kv.second) + ")";
+      std::string note;
+      for (int l : st.trail) {
+        if (!note.empty()) note += " -> ";
+        note += "branch at line " + std::to_string(l);
+      }
+      if (!note.empty()) note += " -> exit";
+      f.path_note = note;
+      findings_->push_back(std::move(f));
+    }
+  }
+
+  const Cfg& cfg_;
+  const std::vector<std::vector<Event>>& events_;
+  const std::map<int, std::vector<Event>>& deferred_;
+  const std::set<std::string>& reportable_;
+  std::string file_, fn_name_;
+  std::vector<Finding>* findings_ = nullptr;
+  std::set<std::string> memo_;
+  std::set<std::string> reported_;
+  int visits_ = 0;
+};
+
+// -------------------------------------------- commit-duration follow --
+
+// True if the token run calls Commit/Rollback through a receiver chain
+// rooted in a txn_manager.
+bool HasTxnManagerCommit(const std::vector<Token>& toks) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "Commit" && toks[i].text != "Rollback") ||
+        !IsPunctTok(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::string recv = ReceiverText(toks, i);
+    if (recv.find("txn_manager") != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool HasEndPerTxn(const std::vector<Token>& toks) {
+  bool has_end = false, has_key = false;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "EndDuration") has_end = true;
+    if (t.text == "kPerTransaction") has_key = true;
+  }
+  return has_end && has_key;
+}
+
+// From `start`, is the exit reachable without passing an
+// EndDuration(kPerTransaction) statement? Returns the first such path's
+// branch trail via *trail (empty if none found).
+bool LeakyPathToExit(const Cfg& cfg, int start, std::vector<int>* trail) {
+  std::set<int> visiting;
+  std::vector<int> cur;
+  struct Rec {
+    const Cfg& cfg;
+    std::set<int>& visiting;
+    std::vector<int>& cur;
+    std::vector<int>* out;
+    bool Go(int node) {
+      if (node == Cfg::kExit) {
+        *out = cur;
+        return true;
+      }
+      const CfgNode& n = cfg.nodes[node];
+      if (n.apply_events && n.stmt != nullptr &&
+          HasEndPerTxn(n.stmt->tokens)) {
+        return false;  // obligation met on this path
+      }
+      if (!visiting.insert(node).second) return false;
+      if (n.succ.size() > 1 && cur.size() < kMaxTrail) {
+        cur.push_back(n.line);
+      }
+      for (int s : n.succ) {
+        if (Go(s)) return true;
+      }
+      if (n.succ.size() > 1 && !cur.empty()) cur.pop_back();
+      return false;
+    }
+  } rec{cfg, visiting, cur, trail};
+  return rec.Go(start);
+}
+
+void CheckCommitDuration(const std::string& file, const FunctionDef& fn,
+                         const Cfg& cfg, std::vector<Finding>* findings) {
+  if (fn.is_lambda) return;  // tail-delegation to the caller is common
+  for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+    const CfgNode& n = cfg.nodes[i];
+    if (n.stmt == nullptr || !HasTxnManagerCommit(n.stmt->tokens)) continue;
+    // Trigger once per statement: for GRTDB_RETURN_IF_ERROR use the branch
+    // node (both edges explored from there), otherwise the event node.
+    if (n.stmt->kind == StmtKind::kErrorReturn && n.apply_events) continue;
+    if (n.stmt->kind == StmtKind::kReturn) continue;  // delegates upward
+    if (HasEndPerTxn(n.stmt->tokens)) continue;  // same-statement balance
+    std::vector<int> trail;
+    bool leaky = false;
+    for (int s : n.succ) {
+      if (LeakyPathToExit(cfg, s, &trail)) {
+        leaky = true;
+        break;
+      }
+    }
+    if (!leaky) continue;
+    Finding f;
+    f.file = file;
+    f.line = n.line;
+    f.rule = "resource-balance";
+    f.message = "txn_manager Commit/Rollback in '" + fn.name +
+                "' has a path to exit that skips "
+                "EndDuration(kPerTransaction)";
+    std::string note;
+    for (int l : trail) {
+      if (!note.empty()) note += " -> ";
+      note += "branch at line " + std::to_string(l);
+    }
+    if (!note.empty()) note += " -> exit";
+    f.path_note = note;
+    findings->push_back(std::move(f));
+  }
+}
+
+// ----------------------------------------------------- per function --
+
+// Token shape `Status v = <acquire>(...)` (or auto): find the guarded
+// variable name, or "" if the statement is not an assignment.
+std::string AssignedVar(const std::vector<Token>& toks) {
+  int depth = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (t.text == "=" && depth == 0 && i > 0 &&
+          toks[i - 1].kind == TokKind::kIdent) {
+        return toks[i - 1].text;
+      }
+    }
+  }
+  return "";
+}
+
+bool CondIsNotOk(const std::vector<Token>& cond, const std::string& var) {
+  return cond.size() == 6 && IsPunctTok(cond[0], "!") &&
+         cond[1].kind == TokKind::kIdent && cond[1].text == var &&
+         IsPunctTok(cond[2], ".") && cond[3].kind == TokKind::kIdent &&
+         cond[3].text == "ok" && IsPunctTok(cond[4], "(") &&
+         IsPunctTok(cond[5], ")");
+}
+
+void CheckFunction(const std::string& file, const FunctionDef& fn,
+                   std::vector<Finding>* findings) {
+  std::set<std::string> raii_vars;
+  CollectRaiiVars(fn.body, &raii_vars);
+  const Cfg cfg = BuildCfg(fn);
+
+  std::vector<std::vector<Event>> events(cfg.nodes.size());
+  for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+    if (cfg.nodes[i].apply_events && cfg.nodes[i].stmt != nullptr) {
+      ExtractEvents(cfg.nodes[i].stmt->tokens, raii_vars, &events[i]);
+    }
+  }
+
+  // Guarded-acquire: `Status st = mgr->Acquire(...); if (!st.ok())
+  // return ...;` — the acquire did not happen on the error branch.
+  std::map<int, std::vector<Event>> deferred;
+  for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+    const CfgNode& n = cfg.nodes[i];
+    if (n.stmt == nullptr || n.stmt->kind != StmtKind::kExpr ||
+        n.succ.size() != 1) {
+      continue;
+    }
+    bool has_acquire = false;
+    for (const Event& e : events[i]) {
+      if (e.kind == EventKind::kAcquire) has_acquire = true;
+    }
+    if (!has_acquire) continue;
+    const std::string var = AssignedVar(n.stmt->tokens);
+    if (var.empty()) continue;
+    const int y = n.succ[0];
+    const CfgNode& cond = cfg.nodes[y];
+    if (cond.stmt == nullptr || cond.stmt->kind != StmtKind::kIf ||
+        !CondIsNotOk(cond.stmt->tokens, var) || cond.succ.size() < 2) {
+      continue;
+    }
+    std::vector<Event> moved;
+    std::vector<Event> kept;
+    for (const Event& e : events[i]) {
+      (e.kind == EventKind::kAcquire ? moved : kept).push_back(e);
+    }
+    events[i] = std::move(kept);
+    deferred[y] = std::move(moved);
+  }
+
+  // Only keys with both an acquire and a release inside this function are
+  // reportable: acquire-only is an ownership transfer to the caller,
+  // release-only is the matching half of one.
+  std::map<std::string, int> acq_count, rel_count;
+  auto note_events = [&](const std::vector<Event>& evs) {
+    for (const Event& e : evs) {
+      switch (e.kind) {
+        case EventKind::kAcquire:
+          ++acq_count[e.key];
+          break;
+        case EventKind::kRelease:
+        case EventKind::kDrainKey:
+          ++rel_count[e.key];
+          break;
+        case EventKind::kDrainPrefix:
+          rel_count[e.key + "*"] = 1;  // marks every wit: key below
+          break;
+      }
+    }
+  };
+  for (const auto& evs : events) note_events(evs);
+  for (const auto& kv : deferred) note_events(kv.second);
+  const bool wit_drain = rel_count.count("wit:*") > 0;
+  std::set<std::string> reportable;
+  for (const auto& kv : acq_count) {
+    const bool has_rel =
+        rel_count.count(kv.first) > 0 ||
+        (wit_drain && kv.first.compare(0, 4, "wit:") == 0);
+    if (has_rel) reportable.insert(kv.first);
+  }
+
+  if (!reportable.empty()) {
+    BalanceWalker walker(cfg, events, deferred, reportable);
+    walker.Run(file, fn.name, findings);
+  }
+  CheckCommitDuration(file, fn, cfg, findings);
+}
+
+}  // namespace
+
+void CheckResourceBalance(const ParsedFile& file,
+                          std::vector<Finding>* findings) {
+  for (const FunctionDef& fn : file.functions) {
+    CheckFunction(file.path, fn, findings);
+  }
+}
+
+}  // namespace analyze
+}  // namespace grtdb

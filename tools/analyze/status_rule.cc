@@ -1,0 +1,133 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/rules.h"
+
+namespace grtdb {
+namespace analyze {
+
+namespace {
+
+bool IsPunctTok(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+const std::set<std::string>& HeadSpecifiers() {
+  static const std::set<std::string> kSpec = {
+      "static", "inline",   "virtual", "explicit",
+      "constexpr", "friend", "extern",  "const"};
+  return kSpec;
+}
+
+// True if the declarator head names Status / StatusOr as the return type.
+bool HeadReturnsStatus(const std::vector<Token>& head) {
+  for (const Token& t : head) {
+    if (t.kind != TokKind::kIdent) continue;
+    if (HeadSpecifiers().count(t.text) > 0) continue;
+    if (t.text == "grtdb" || t.text == "common") continue;  // namespaces
+    return t.text == "Status" || t.text == "StatusOr";
+  }
+  return false;
+}
+
+// A statement is "bare" if it is a call chain whose value is discarded:
+// no top-level assignment, no (void) cast, not a declaration.
+// Returns the callee simple name of the last top-level call, or "".
+std::string BareCallee(const std::vector<Token>& toks) {
+  if (toks.size() < 3) return "";
+  // (void)foo(...) is an explicit discard.
+  if (IsPunctTok(toks[0], "(") && toks[1].kind == TokKind::kIdent &&
+      toks[1].text == "void" && IsPunctTok(toks[2], ")")) {
+    return "";
+  }
+  int depth = 0;
+  std::string last_callee;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+        continue;
+      }
+      if (depth == 0 &&
+          (t.text == "=" || t.text == "+=" || t.text == "-=" ||
+           t.text == "|=" || t.text == "&=" || t.text == "^=" ||
+           t.text == "*=" || t.text == "/=" || t.text == "%=")) {
+        return "";  // assignment: the value is consumed
+      }
+      if (depth == 0 && t.text == "?") return "";  // ternary, too clever
+      continue;
+    }
+    if (depth == 0 && t.kind == TokKind::kIdent && i + 1 < toks.size() &&
+        IsPunctTok(toks[i + 1], "(")) {
+      last_callee = t.text;
+    }
+  }
+  // Two top-level idents in a row with no call = a declaration
+  // (`Status st;`); declarations have no top-level call anyway, and
+  // last_callee stays empty for them.
+  return last_callee;
+}
+
+}  // namespace
+
+void StatusIndex::Add(const ParsedFile& file) {
+  for (const FunctionDef& fn : file.functions) {
+    if (fn.is_lambda && fn.head.empty()) continue;  // deduced return type
+    auto& entry = counts_[fn.simple_name];
+    if (HeadReturnsStatus(fn.head)) {
+      ++entry.first;
+    } else {
+      ++entry.second;
+    }
+  }
+}
+
+bool StatusIndex::ReturnsStatus(const std::string& simple_name) const {
+  auto it = counts_.find(simple_name);
+  return it != counts_.end() && it->second.first > 0 &&
+         it->second.second == 0;
+}
+
+namespace {
+
+void CheckList(const std::string& path, const StmtList& body,
+               const StatusIndex& index, std::vector<Finding>* findings) {
+  for (const StmtPtr& s : body) {
+    if (s->kind == StmtKind::kExpr) {
+      const std::string callee = BareCallee(s->tokens);
+      if (!callee.empty() && index.ReturnsStatus(callee)) {
+        Finding f;
+        f.file = path;
+        f.line = s->line;
+        f.rule = "unchecked-status";
+        f.message = "result of '" + callee +
+                    "' (returns Status) is neither tested, returned, nor "
+                    "voided";
+        findings->push_back(std::move(f));
+      }
+    }
+    CheckList(path, s->body, index, findings);
+    CheckList(path, s->else_body, index, findings);
+    for (const SwitchCase& c : s->cases) {
+      CheckList(path, c.body, index, findings);
+    }
+  }
+}
+
+}  // namespace
+
+void CheckUncheckedStatus(const ParsedFile& file, const StatusIndex& index,
+                          std::vector<Finding>* findings) {
+  for (const FunctionDef& fn : file.functions) {
+    CheckList(file.path, fn.body, index, findings);
+  }
+}
+
+}  // namespace analyze
+}  // namespace grtdb

@@ -1,0 +1,44 @@
+#ifndef GRTDB_TOOLS_ANALYZE_TOKEN_H_
+#define GRTDB_TOOLS_ANALYZE_TOKEN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace grtdb {
+namespace analyze {
+
+// The analyzer's token model. Comments and preprocessor directives are
+// dropped by the lexer (after NOLINT extraction), string/char literals
+// become single tokens carrying their *content*, and the common multi-char
+// operators survive as single punct tokens so later passes can tell an
+// assignment from an equality test.
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // for kString: the literal's content, unquoted
+  int line = 0;
+};
+
+// One lexed translation unit: the token stream plus the suppression lines
+// mined from comments before they were dropped. `nolint[line]` holds the
+// rule slugs named in a NOLINT(...) comment on that line (the empty string
+// means a bare NOLINT, which suppresses every rule). NOLINTNEXTLINE
+// comments are recorded against the following line.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::map<int, std::set<std::string>> nolint;
+};
+
+// Tokenizes C++ source. Never fails: malformed input degrades to a best-
+// effort stream (the analyzer is a reviewer, not a compiler).
+LexedFile Lex(const std::string& source);
+
+bool IsIdentChar(char c);
+
+}  // namespace analyze
+}  // namespace grtdb
+
+#endif  // GRTDB_TOOLS_ANALYZE_TOKEN_H_

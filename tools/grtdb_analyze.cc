@@ -1,0 +1,107 @@
+// grtdb_analyze: flow-sensitive static analyzer for the grtdb tree.
+//
+//   grtdb_analyze [--json] [--stats] [--baseline FILE] [--rule SLUG]...
+//                 PATH...
+//
+// Paths are files or directories (recursed for .h/.cc/.cpp). Exit status
+// is 1 when findings remain after NOLINT and baseline filtering, 0 when
+// clean, 2 on usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyzer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: grtdb_analyze [--json] [--stats] [--baseline FILE] "
+               "[--rule SLUG]... PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool stats_mode = false;
+  std::string baseline;
+  std::set<std::string> rules;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--stats") {
+      stats_mode = true;
+    } else if (arg == "--baseline") {
+      if (++i >= argc) return Usage();
+      baseline = argv[i];
+    } else if (arg == "--rule") {
+      if (++i >= argc) return Usage();
+      std::string slug = argv[i];
+      if (slug.compare(0, 6, "grtdb-") == 0) slug.erase(0, 6);
+      rules.insert(slug);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  grtdb::analyze::Analyzer analyzer;
+  const int added = analyzer.AddPaths(paths);
+  if (added == 0) {
+    std::fprintf(stderr, "grtdb_analyze: no source files found\n");
+    return 2;
+  }
+  if (!baseline.empty()) analyzer.LoadBaseline(baseline);
+  if (!rules.empty()) analyzer.SetRuleFilter(rules);
+
+  grtdb::analyze::AnalyzerStats stats;
+  const std::vector<grtdb::analyze::Finding> findings =
+      analyzer.Run(&stats);
+
+  if (json) {
+    std::printf("%s\n",
+                grtdb::analyze::ResultToJson(findings,
+                                             stats_mode ? &stats : nullptr)
+                    .c_str());
+  } else {
+    for (const auto& f : findings) {
+      std::printf("%s\n", grtdb::analyze::FormatFinding(f).c_str());
+    }
+    if (stats_mode) {
+      std::printf(
+          "-- stats: %d file(s), %d function(s), %d statement(s), "
+          "%d cfg node(s); %d suppressed, %d baselined\n",
+          stats.files, stats.functions, stats.statements, stats.cfg_nodes,
+          stats.suppressed, stats.baseline_filtered);
+      for (const auto& kv : stats.rule_micros) {
+        int count = 0;
+        auto it = stats.findings_per_rule.find(kv.first);
+        if (it != stats.findings_per_rule.end()) count = it->second;
+        std::printf("--   %-18s %6ld us  %d finding(s)\n", kv.first.c_str(),
+                    kv.second, count);
+      }
+      for (const auto& kv : stats.findings_per_rule) {
+        if (stats.rule_micros.count(kv.first) == 0) {
+          std::printf("--   %-18s %6s     %d finding(s)\n", kv.first.c_str(),
+                      "-", kv.second);
+        }
+      }
+    }
+    if (findings.empty() && !stats_mode) {
+      std::printf("grtdb_analyze: clean (%d file(s))\n", stats.files);
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -414,7 +414,8 @@ int main(int argc, char** argv) {
                            std::to_string(19900 + i % 100) + ", NOW')";
       status = server.Execute(session, insert, &result);
     }
-    server.CloseSession(session);
+    grtdb::Status closed = server.CloseSession(session);
+    if (status.ok()) status = closed;
     if (!status.ok()) {
       std::fprintf(stderr, "grtdb_driver: setup failed: %s\n",
                    status.ToString().c_str());

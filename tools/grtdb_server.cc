@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
     grtdb::ServerSession* session = server.CreateSession();
     grtdb::ResultSet result;
     status = server.ExecuteScript(session, script.str(), &result);
-    server.CloseSession(session);
+    grtdb::Status closed = server.CloseSession(session);
+    if (status.ok()) status = closed;
     if (!status.ok()) return Fail("init script failed", status);
   }
 

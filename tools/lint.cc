@@ -1,684 +1,64 @@
+// grtdb_lint is now a thin alias over tools/analyze: the lexer and the six
+// token rules live there (shared with grtdb_analyze), and this shim keeps
+// the one-release-old lint::* API stable. New callers should use
+// analyze::Analyzer directly.
+
 #include "tools/lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <set>
 #include <sstream>
+
+#include "tools/analyze/rules.h"
 
 namespace grtdb {
 namespace lint {
 
 namespace {
 
-// ------------------------------------------------------------- tokenizer --
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-class Tokenizer {
- public:
-  explicit Tokenizer(const std::string& source) : src_(source) {}
-
-  std::vector<Token> Run() {
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (c == '\n') {
-        ++line_;
-        ++pos_;
-        at_line_start_ = true;
-        continue;
-      }
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++pos_;
-        continue;
-      }
-      if (c == '#' && at_line_start_) {
-        SkipPreprocessor();
-        continue;
-      }
-      at_line_start_ = false;
-      if (c == '/' && pos_ + 1 < src_.size()) {
-        if (src_[pos_ + 1] == '/') {
-          SkipLineComment();
-          continue;
-        }
-        if (src_[pos_ + 1] == '*') {
-          SkipBlockComment();
-          continue;
-        }
-      }
-      if (c == '"') {
-        LexString();
-        continue;
-      }
-      if (c == 'R' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '"') {
-        LexRawString();
-        continue;
-      }
-      if (c == '\'') {
-        LexChar();
-        continue;
-      }
-      if (IsIdentStart(c)) {
-        LexIdent();
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        LexNumber();
-        continue;
-      }
-      LexPunct();
-    }
-    return std::move(tokens_);
+TokKind ConvertKind(analyze::TokKind kind) {
+  switch (kind) {
+    case analyze::TokKind::kIdent:
+      return TokKind::kIdent;
+    case analyze::TokKind::kNumber:
+      return TokKind::kNumber;
+    case analyze::TokKind::kString:
+      return TokKind::kString;
+    case analyze::TokKind::kChar:
+      return TokKind::kChar;
+    case analyze::TokKind::kPunct:
+      return TokKind::kPunct;
   }
-
- private:
-  void SkipPreprocessor() {
-    // Consume the directive including backslash-continued lines.
-    while (pos_ < src_.size()) {
-      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
-          src_[pos_ + 1] == '\n') {
-        ++line_;
-        pos_ += 2;
-        continue;
-      }
-      if (src_[pos_] == '\n') {
-        ++line_;
-        ++pos_;
-        at_line_start_ = true;
-        return;
-      }
-      ++pos_;
-    }
-  }
-
-  void SkipLineComment() {
-    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
-  }
-
-  void SkipBlockComment() {
-    pos_ += 2;
-    while (pos_ + 1 < src_.size() &&
-           !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
-      if (src_[pos_] == '\n') ++line_;
-      ++pos_;
-    }
-    pos_ = std::min(pos_ + 2, src_.size());
-  }
-
-  void LexString() {
-    const int start_line = line_;
-    ++pos_;  // opening quote
-    std::string content;
-    while (pos_ < src_.size() && src_[pos_] != '"') {
-      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
-        content.push_back(src_[pos_]);
-        content.push_back(src_[pos_ + 1]);
-        pos_ += 2;
-        continue;
-      }
-      if (src_[pos_] == '\n') ++line_;  // unterminated; be forgiving
-      content.push_back(src_[pos_]);
-      ++pos_;
-    }
-    if (pos_ < src_.size()) ++pos_;  // closing quote
-    tokens_.push_back({TokKind::kString, std::move(content), start_line});
-  }
-
-  void LexRawString() {
-    const int start_line = line_;
-    pos_ += 2;  // R"
-    std::string delim;
-    while (pos_ < src_.size() && src_[pos_] != '(') {
-      delim.push_back(src_[pos_++]);
-    }
-    if (pos_ < src_.size()) ++pos_;  // (
-    const std::string close = ")" + delim + "\"";
-    std::string content;
-    while (pos_ < src_.size() && src_.compare(pos_, close.size(), close) != 0) {
-      if (src_[pos_] == '\n') ++line_;
-      content.push_back(src_[pos_++]);
-    }
-    pos_ = std::min(pos_ + close.size(), src_.size());
-    tokens_.push_back({TokKind::kString, std::move(content), start_line});
-  }
-
-  void LexChar() {
-    const int start_line = line_;
-    ++pos_;
-    std::string content;
-    while (pos_ < src_.size() && src_[pos_] != '\'') {
-      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
-        content.push_back(src_[pos_]);
-        content.push_back(src_[pos_ + 1]);
-        pos_ += 2;
-        continue;
-      }
-      content.push_back(src_[pos_++]);
-    }
-    if (pos_ < src_.size()) ++pos_;
-    tokens_.push_back({TokKind::kChar, std::move(content), start_line});
-  }
-
-  void LexIdent() {
-    const int start_line = line_;
-    std::string text;
-    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
-      text.push_back(src_[pos_++]);
-    }
-    tokens_.push_back({TokKind::kIdent, std::move(text), start_line});
-  }
-
-  void LexNumber() {
-    const int start_line = line_;
-    std::string text;
-    while (pos_ < src_.size() &&
-           (IsIdentChar(src_[pos_]) || src_[pos_] == '.' ||
-            ((src_[pos_] == '+' || src_[pos_] == '-') && !text.empty() &&
-             (text.back() == 'e' || text.back() == 'E' ||
-              text.back() == 'p' || text.back() == 'P')))) {
-      text.push_back(src_[pos_++]);
-    }
-    tokens_.push_back({TokKind::kNumber, std::move(text), start_line});
-  }
-
-  void LexPunct() {
-    const int start_line = line_;
-    std::string text(1, src_[pos_]);
-    if (pos_ + 1 < src_.size()) {
-      const char a = src_[pos_];
-      const char b = src_[pos_ + 1];
-      if ((a == '-' && b == '>') || (a == ':' && b == ':')) {
-        text.push_back(b);
-        ++pos_;
-      }
-    }
-    ++pos_;
-    tokens_.push_back({TokKind::kPunct, std::move(text), start_line});
-  }
-
-  const std::string& src_;
-  size_t pos_ = 0;
-  int line_ = 1;
-  bool at_line_start_ = true;
-  std::vector<Token> tokens_;
-};
-
-// ------------------------------------------------------------ rule helpers --
-
-bool PathEndsWith(const std::string& path, const std::string& suffix) {
-  return path.size() >= suffix.size() &&
-         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool PathContains(const std::string& path, const std::string& needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-// -------------------------------------------------------- rule: purpose-fig6
-
-// The paper's Fig. 6 purpose-function vocabulary plus the am_sptype
-// registration property. Anything else spelled am_* in a string literal is
-// a typo'd or invented purpose function the server would never call.
-const std::set<std::string>& Fig6Names() {
-  static const std::set<std::string> names = {
-      "am_create",  "am_drop",    "am_open",     "am_close",
-      "am_beginscan", "am_endscan", "am_rescan", "am_getnext",
-      "am_insert",  "am_delete",  "am_update",   "am_scancost",
-      "am_stats",   "am_check",   "am_sptype",
-  };
-  return names;
-}
-
-void CheckPurposeFig6(const std::string& path, const std::vector<Token>& toks,
-                      std::vector<Issue>* issues) {
-  for (const Token& tok : toks) {
-    if (tok.kind != TokKind::kString) continue;
-    const std::string& s = tok.text;
-    size_t i = 0;
-    while ((i = s.find("am_", i)) != std::string::npos) {
-      // Must be a standalone word: not preceded by an identifier char.
-      if (i > 0 && IsIdentChar(s[i - 1])) {
-        i += 3;
-        continue;
-      }
-      size_t end = i;
-      while (end < s.size() && IsIdentChar(s[end])) ++end;
-      const std::string word = s.substr(i, end - i);
-      if (Fig6Names().count(word) == 0) {
-        issues->push_back(
-            {path, tok.line, "purpose-fig6",
-             "'" + word + "' is not a Fig. 6 purpose function (expected one "
-             "of am_create/am_drop/am_open/am_close/am_beginscan/am_endscan/"
-             "am_rescan/am_getnext/am_insert/am_delete/am_update/"
-             "am_scancost/am_stats/am_check or am_sptype)"});
-      }
-      i = end;
-    }
-  }
-}
-
-// ------------------------------------------------------ rule: tprintf-format
-
-struct Spec {
-  char conversion;
-  int args_consumed;  // 1, or 2 with a '*' width/precision
-};
-
-// Parses printf specifiers; returns false on a malformed specifier.
-bool ParseFormat(const std::string& format, std::vector<Spec>* specs,
-                 std::string* error) {
-  for (size_t i = 0; i < format.size(); ++i) {
-    if (format[i] != '%') continue;
-    if (i + 1 >= format.size()) {
-      *error = "format string ends with a bare '%'";
-      return false;
-    }
-    ++i;
-    if (format[i] == '%') continue;  // literal %%
-    Spec spec{'\0', 1};
-    // flags
-    while (i < format.size() && std::string("-+ #0").find(format[i]) !=
-                                    std::string::npos) {
-      ++i;
-    }
-    // width
-    if (i < format.size() && format[i] == '*') {
-      ++spec.args_consumed;
-      ++i;
-    } else {
-      while (i < format.size() &&
-             std::isdigit(static_cast<unsigned char>(format[i]))) {
-        ++i;
-      }
-    }
-    // precision
-    if (i < format.size() && format[i] == '.') {
-      ++i;
-      if (i < format.size() && format[i] == '*') {
-        ++spec.args_consumed;
-        ++i;
-      } else {
-        while (i < format.size() &&
-               std::isdigit(static_cast<unsigned char>(format[i]))) {
-          ++i;
-        }
-      }
-    }
-    // length modifier
-    while (i < format.size() &&
-           std::string("hljztL").find(format[i]) != std::string::npos) {
-      ++i;
-    }
-    if (i >= format.size()) {
-      *error = "format specifier is missing its conversion character";
-      return false;
-    }
-    spec.conversion = format[i];
-    if (std::string("diouxXfFeEgGaAcsp").find(spec.conversion) ==
-        std::string::npos) {
-      *error = std::string("unknown conversion '%") + spec.conversion + "'";
-      return false;
-    }
-    specs->push_back(spec);
-  }
-  return true;
-}
-
-// True when the argument expression is definitely a C string: a string
-// literal (possibly concatenated / ternary-selected) or an expression
-// ending in .c_str().
-bool DefinitelyString(const std::vector<Token>& arg) {
-  if (arg.empty()) return false;
-  const size_t n = arg.size();
-  if (n >= 3 && arg[n - 1].text == ")" && arg[n - 2].text == "(" &&
-      arg[n - 3].text == "c_str") {
-    return true;
-  }
-  bool any_string = false;
-  bool all_string_or_glue = true;
-  for (const Token& tok : arg) {
-    if (tok.kind == TokKind::kString) {
-      any_string = true;
-    } else if (tok.kind == TokKind::kPunct &&
-               (tok.text == "?" || tok.text == ":" || tok.text == "(" ||
-                tok.text == ")")) {
-      // ternary selecting between literals, or parenthesization
-    } else if (tok.kind == TokKind::kIdent) {
-      // an identifier condition in a ternary is fine if strings are the
-      // selected values; treat as glue only when strings are present
-    } else {
-      all_string_or_glue = false;
-    }
-  }
-  return any_string && all_string_or_glue;
-}
-
-bool DefinitelyNumberLiteral(const std::vector<Token>& arg) {
-  return arg.size() == 1 && arg[0].kind == TokKind::kNumber;
-}
-
-void CheckTprintf(const std::string& path, const std::vector<Token>& toks,
-                  std::vector<Issue>* issues) {
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kIdent || toks[i].text != "Tprintf") continue;
-    if (toks[i + 1].text != "(") continue;
-    // A declaration ("void Tprintf(...)") rather than a call: preceded by a
-    // type name rather than . -> ; { } etc. Distinguish by looking for a
-    // format *string literal* in the args — declarations have none.
-    const int call_line = toks[i].line;
-    // Collect top-level comma-separated argument token lists.
-    std::vector<std::vector<Token>> args;
-    std::vector<Token> current;
-    int depth = 0;
-    size_t j = i + 1;
-    for (; j < toks.size(); ++j) {
-      const Token& tok = toks[j];
-      if (tok.kind == TokKind::kPunct &&
-          (tok.text == "(" || tok.text == "[" || tok.text == "{")) {
-        ++depth;
-        if (depth == 1) continue;  // the call's own opening paren
-      } else if (tok.kind == TokKind::kPunct &&
-                 (tok.text == ")" || tok.text == "]" || tok.text == "}")) {
-        --depth;
-        if (depth == 0) break;
-      } else if (tok.kind == TokKind::kPunct && tok.text == "," &&
-                 depth == 1) {
-        args.push_back(std::move(current));
-        current.clear();
-        continue;
-      } else if (tok.kind == TokKind::kPunct && tok.text == ";" &&
-                 depth <= 0) {
-        break;  // malformed; bail out
-      }
-      if (depth >= 1) current.push_back(tok);
-    }
-    if (!current.empty()) args.push_back(std::move(current));
-    if (args.size() < 3) continue;  // declaration or macro; not a call
-
-    // The format argument: must be (concatenated) string literal(s).
-    const std::vector<Token>& fmt_arg = args[2];
-    bool all_strings = !fmt_arg.empty();
-    std::string format;
-    for (const Token& tok : fmt_arg) {
-      if (tok.kind != TokKind::kString) {
-        all_strings = false;
-        break;
-      }
-      format += tok.text;
-    }
-    if (!all_strings) {
-      // A declaration's third parameter ("const char* format") lands here
-      // too; require a string somewhere in the arg to call it a violation.
-      bool has_string = false;
-      for (const Token& tok : fmt_arg) {
-        if (tok.kind == TokKind::kString) has_string = true;
-      }
-      if (has_string) {
-        issues->push_back({path, call_line, "tprintf-format",
-                           "Tprintf format must be a string literal"});
-      }
-      continue;
-    }
-
-    std::vector<Spec> specs;
-    std::string error;
-    if (!ParseFormat(format, &specs, &error)) {
-      issues->push_back({path, call_line, "tprintf-format",
-                         "bad Tprintf format \"" + format + "\": " + error});
-      continue;
-    }
-    size_t needed = 0;
-    for (const Spec& spec : specs) needed += spec.args_consumed;
-    const size_t provided = args.size() - 3;
-    if (needed != provided) {
-      issues->push_back(
-          {path, call_line, "tprintf-format",
-           "Tprintf format \"" + format + "\" consumes " +
-               std::to_string(needed) + " argument(s) but " +
-               std::to_string(provided) + " provided"});
-      continue;
-    }
-    // Positional type sanity (conservative: only flag certainties).
-    size_t arg_index = 3;
-    for (const Spec& spec : specs) {
-      if (spec.args_consumed == 2) ++arg_index;  // the '*' width int
-      if (arg_index >= args.size()) break;
-      const std::vector<Token>& arg = args[arg_index];
-      if (spec.conversion == 's') {
-        if (DefinitelyNumberLiteral(arg)) {
-          issues->push_back({path, call_line, "tprintf-format",
-                             "Tprintf %s specifier fed a number literal"});
-        }
-      } else if (DefinitelyString(arg)) {
-        issues->push_back(
-            {path, call_line, "tprintf-format",
-             std::string("Tprintf %") + spec.conversion +
-                 " specifier fed a string expression (std::string must go "
-                 "through .c_str() into %s)"});
-      }
-      ++arg_index;
-    }
-    i = j;
-  }
-}
-
-// -------------------------------------------------------- rule: naked-alloc
-
-void CheckNakedAlloc(const std::string& path, const std::vector<Token>& toks,
-                     std::vector<Issue>* issues) {
-  static const std::set<std::string> alloc_calls = {"malloc", "calloc",
-                                                    "realloc", "strdup"};
-  for (size_t i = 0; i < toks.size(); ++i) {
-    const Token& tok = toks[i];
-    if (tok.kind != TokKind::kIdent) continue;
-    if (tok.text == "new") {
-      // `= delete` is the only deletion idiom; `new` has no benign form in
-      // blade code — paper §6.2: allocation goes through mi_alloc.
-      issues->push_back({path, tok.line, "naked-alloc",
-                         "naked 'new' in blade code: allocate through "
-                         "MiMemory durations (mi_alloc), not the global "
-                         "heap"});
-    } else if (alloc_calls.count(tok.text) > 0 && i + 1 < toks.size() &&
-               toks[i + 1].text == "(") {
-      // Not a call if preceded by :: member qualification of another class
-      // or by . / -> (e.g. allocator.malloc is not a thing here, but be
-      // safe about my_obj->malloc()).
-      const bool member = i > 0 && (toks[i - 1].text == "." ||
-                                    toks[i - 1].text == "->");
-      if (!member) {
-        issues->push_back({path, tok.line, "naked-alloc",
-                           "naked '" + tok.text +
-                               "()' in blade code: allocate through "
-                               "MiMemory durations (mi_alloc)"});
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------- rule: lockmgr-acquire
-
-void CheckLockAcquire(const std::string& path, const std::vector<Token>& toks,
-                      std::vector<Issue>* issues) {
-  for (size_t i = 0; i < toks.size(); ++i) {
-    const Token& tok = toks[i];
-    if (tok.kind != TokKind::kIdent ||
-        (tok.text != "Acquire" && tok.text != "AcquireWithTimeout")) {
-      continue;
-    }
-    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
-    // Direct call through something named *lock_manager* (member, local,
-    // accessor) in the preceding few tokens.
-    bool on_lock_manager = false;
-    const size_t window = i >= 5 ? i - 5 : 0;
-    for (size_t j = window; j < i; ++j) {
-      if (toks[j].kind == TokKind::kIdent &&
-          toks[j].text.find("lock_manager") != std::string::npos) {
-        on_lock_manager = true;
-      }
-    }
-    if (on_lock_manager) {
-      issues->push_back(
-          {path, tok.line, "lockmgr-acquire",
-           "direct LockManager::" + tok.text +
-               " outside the sanctioned wrappers (LockingNodeStore::LockFor "
-               "or the executor's statement-level table locking)"});
-    }
-  }
-}
-
-// ------------------------------------------------------ rule: flight-event
-
-// RecordEvent's first argument must name its event through the FlightEvent
-// enum — the single registered table FlightEventName() decodes. A naked
-// numeric code (or an enum smuggled in via a numeric cast) would let the
-// wire value and the decoder drift apart.
-void CheckFlightEvent(const std::string& path, const std::vector<Token>& toks,
-                      std::vector<Issue>* issues) {
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kIdent || toks[i].text != "RecordEvent") {
-      continue;
-    }
-    if (toks[i + 1].text != "(") continue;
-    // First argument = tokens up to the first top-level comma (or the
-    // call's closing paren). Declarations pass too: their first tokens are
-    // the parameter's type, which is also spelled FlightEvent.
-    bool names_enum = false;
-    bool has_number = false;
-    int depth = 0;
-    for (size_t j = i + 1; j < toks.size(); ++j) {
-      const Token& tok = toks[j];
-      if (tok.kind == TokKind::kPunct &&
-          (tok.text == "(" || tok.text == "[" || tok.text == "{")) {
-        ++depth;
-        continue;
-      }
-      if (tok.kind == TokKind::kPunct &&
-          (tok.text == ")" || tok.text == "]" || tok.text == "}")) {
-        --depth;
-        if (depth == 0) break;
-        continue;
-      }
-      if (depth == 1 && tok.kind == TokKind::kPunct &&
-          (tok.text == "," || tok.text == ";")) {
-        break;
-      }
-      if (tok.kind == TokKind::kIdent && tok.text == "FlightEvent") {
-        names_enum = true;
-      }
-      if (tok.kind == TokKind::kNumber) has_number = true;
-    }
-    if (!names_enum || has_number) {
-      issues->push_back(
-          {path, toks[i].line, "flight-event",
-           "RecordEvent's event argument must be spelled through the "
-           "FlightEvent enum (no naked numeric event codes)"});
-    }
-  }
-}
-
-// -------------------------------------------------------- rule: span-name
-
-// Span emission sites must spell the span's name through the SpanName
-// enum, mirroring the flight-event rule: SpanScope's first argument and
-// TraceScope's / EmitSpan's second must name SpanName and carry no naked
-// numeric code, so the buffer's wire value and SpanNameString() cannot
-// drift apart.
-void CheckSpanName(const std::string& path, const std::vector<Token>& toks,
-                   std::vector<Issue>* issues) {
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kIdent) continue;
-    int name_arg;
-    if (toks[i].text == "SpanScope") {
-      name_arg = 0;
-    } else if (toks[i].text == "TraceScope" || toks[i].text == "EmitSpan") {
-      name_arg = 1;
-    } else {
-      continue;
-    }
-    // Destructors open and close no span name.
-    if (i > 0 && toks[i - 1].text == "~") continue;
-    // Constructor spelling declares a variable: `SpanScope span(...)`.
-    size_t open = i + 1;
-    if (toks[open].kind == TokKind::kIdent && open + 1 < toks.size()) {
-      ++open;
-    }
-    if (toks[open].text != "(") continue;
-    bool names_enum = false;
-    bool has_number = false;
-    int arg = 0;
-    int depth = 0;
-    size_t j = open;
-    for (; j < toks.size(); ++j) {
-      const Token& tok = toks[j];
-      if (tok.kind == TokKind::kPunct &&
-          (tok.text == "(" || tok.text == "[" || tok.text == "{")) {
-        ++depth;
-        continue;
-      }
-      if (tok.kind == TokKind::kPunct &&
-          (tok.text == ")" || tok.text == "]" || tok.text == "}")) {
-        --depth;
-        if (depth == 0) break;
-        continue;
-      }
-      if (depth == 1 && tok.kind == TokKind::kPunct && tok.text == ",") {
-        ++arg;
-        continue;
-      }
-      if (depth >= 1 && arg == name_arg) {
-        if (tok.kind == TokKind::kIdent && tok.text == "SpanName") {
-          names_enum = true;
-        }
-        if (tok.kind == TokKind::kNumber) has_number = true;
-      }
-    }
-    // Deleted copy operations name the class itself, not a span.
-    if (j + 2 < toks.size() && toks[j + 1].text == "=" &&
-        toks[j + 2].text == "delete") {
-      continue;
-    }
-    if (!names_enum || has_number) {
-      issues->push_back(
-          {path, toks[i].line, "span-name",
-           "the span-name argument of " + toks[i].text +
-               " must be spelled through the SpanName enum (no naked "
-               "numeric span codes)"});
-    }
-  }
+  return TokKind::kPunct;
 }
 
 }  // namespace
 
 std::vector<Token> Tokenize(const std::string& source) {
-  return Tokenizer(source).Run();
+  analyze::LexedFile lexed = analyze::Lex(source);
+  std::vector<Token> out;
+  out.reserve(lexed.tokens.size());
+  for (analyze::Token& tok : lexed.tokens) {
+    out.push_back({ConvertKind(tok.kind), std::move(tok.text), tok.line});
+  }
+  return out;
 }
 
 std::vector<Issue> LintSource(const std::string& path,
                               const std::string& source) {
-  const std::vector<Token> toks = Tokenize(source);
+  // The token rules only need the lexed stream; no statement parse here.
+  analyze::ParsedFile file;
+  file.path = path;
+  file.lex = analyze::Lex(source);
+  std::vector<analyze::Finding> findings;
+  analyze::CheckTokenRules(file, &findings);
   std::vector<Issue> issues;
-  CheckPurposeFig6(path, toks, &issues);
-  CheckTprintf(path, toks, &issues);
-  // Blade code only: the server core may use the heap.
-  if (PathContains(path, "blades/") || PathContains(path, "blade/")) {
-    CheckNakedAlloc(path, toks, &issues);
+  issues.reserve(findings.size());
+  for (analyze::Finding& f : findings) {
+    issues.push_back(
+        {std::move(f.file), f.line, std::move(f.rule), std::move(f.message)});
   }
-  // Sanctioned wrappers are the only direct LockManager::Acquire sites;
-  // the lock manager's own sources obviously call themselves.
-  if (!PathEndsWith(path, "blades/locking_store.h") &&
-      !PathEndsWith(path, "server/executor.cc") &&
-      !PathContains(path, "txn/")) {
-    CheckLockAcquire(path, toks, &issues);
-  }
-  CheckFlightEvent(path, toks, &issues);
-  CheckSpanName(path, toks, &issues);
   return issues;
 }
 

@@ -9,8 +9,13 @@ namespace lint {
 
 // grtdb_lint: a standalone repo-invariant checker (light tokenizer, no
 // clang dependency) run as a ctest over src/blades, src/blade, and
-// src/server. It enforces the DataBlade rules the paper's authors learned
-// by crashing Informix (§4, §6) plus two repo conventions:
+// src/server.
+//
+// DEPRECATION: as of the grtdb_analyze release this API is a thin alias
+// over tools/analyze (same lexer, same rules, shared with the
+// flow-sensitive analyzer). It is kept for one release; new callers should
+// use analyze::Analyzer. It enforces the DataBlade rules the paper's
+// authors learned by crashing Informix (§4, §6) plus two repo conventions:
 //
 //   purpose-fig6      Every am_* purpose-function name appearing in a
 //                     string literal (access-method registration scripts,
