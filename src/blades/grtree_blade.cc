@@ -161,6 +161,7 @@ Status MakeStore(MiCallContext& ctx, GrtTreeState* state,
       state->node_cache = std::make_unique<NodeCache>(
           wal_inner, options.node_cache_pages);
       state->node_cache->set_trace(&ctx.server->trace());
+      state->node_cache->set_heat(&ctx.server->heat_tracker(), index->name);
       if (ctx.server->observability_enabled()) {
         state->node_cache->set_metrics(&ctx.server->metrics());
       }
@@ -221,6 +222,7 @@ Status MakeStore(MiCallContext& ctx, GrtTreeState* state,
     state->node_cache =
         std::make_unique<NodeCache>(tree_store, options.node_cache_pages);
     state->node_cache->set_trace(&ctx.server->trace());
+    state->node_cache->set_heat(&ctx.server->heat_tracker(), index->name);
     if (ctx.server->observability_enabled()) {
       state->node_cache->set_metrics(&ctx.server->metrics());
     }

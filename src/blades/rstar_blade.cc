@@ -112,6 +112,7 @@ BladeFns MakeBladeFns(const RStarBladeOptions& options) {
       state->node_cache =
           std::make_unique<NodeCache>(tree_store, options.node_cache_pages);
       state->node_cache->set_trace(&ctx.server->trace());
+      state->node_cache->set_heat(&ctx.server->heat_tracker(), index->name);
       if (ctx.server->observability_enabled()) {
         state->node_cache->set_metrics(&ctx.server->metrics());
       }

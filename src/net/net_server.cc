@@ -187,6 +187,18 @@ void NetServer::ServeConnection(int fd, uint64_t queue_enqueue_ticks,
                                 uint64_t queue_dequeue_ticks,
                                 uint64_t queue_depth) {
   ServerSession* session = server_->CreateSession();
+  // Stamp the remote endpoint on the session so sys_sessions can tell the
+  // connections apart; best-effort (a vanished peer just shows no address).
+  sockaddr_in peer{};
+  socklen_t peer_len = sizeof(peer);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&peer), &peer_len) == 0 &&
+      peer.sin_family == AF_INET) {
+    char host[INET_ADDRSTRLEN] = {};
+    if (::inet_ntop(AF_INET, &peer.sin_addr, host, sizeof(host)) != nullptr) {
+      session->set_peer(std::string(host) + ":" +
+                        std::to_string(ntohs(peer.sin_port)));
+    }
+  }
   obs::SpanTracer& tracer = server_->span_tracer();
   // The accept-queue wait happened once, before any frame; it is charged
   // to the connection's first traced request.

@@ -119,6 +119,13 @@ std::string MetricsRegistry::ExportText() const {
            "\n";
     out += prom + "_sum " + std::to_string(histogram->sum()) + "\n";
     out += prom + "_count " + std::to_string(histogram->count()) + "\n";
+    // Precomputed tail quantiles as gauges: scrapers that can't run
+    // histogram_quantile (or dashboards that want the cheap answer) read
+    // these directly. Estimates, interpolated within the winning bucket.
+    out += "# TYPE " + prom + "_p50 gauge\n";
+    out += prom + "_p50 " + std::to_string(histogram->Quantile(0.5)) + "\n";
+    out += "# TYPE " + prom + "_p99 gauge\n";
+    out += prom + "_p99 " + std::to_string(histogram->Quantile(0.99)) + "\n";
   }
   return out;
 }

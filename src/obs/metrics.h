@@ -65,6 +65,39 @@ class Histogram {
   // Exclusive upper bound of bucket i (the last bucket has none).
   static uint64_t BucketBound(size_t i) { return 1ull << i; }
 
+  // Estimated q-quantile (0 < q <= 1) from the bucket counts, linearly
+  // interpolated inside the winning power-of-two bucket. An empty
+  // histogram reports 0; the open-ended overflow bucket reports its lower
+  // bound. Relaxed reads make this an estimate under concurrent
+  // recording — the usual monitoring contract, same as Snapshot().
+  uint64_t Quantile(double q) const {
+    uint64_t counts[kBuckets];
+    uint64_t total = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    if (total == 0) return 0;
+    // The 1-based rank of the sample the quantile lands on.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (rank == 0) rank = 1;
+    if (rank > total) rank = total;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      if (seen + counts[i] < rank) {
+        seen += counts[i];
+        continue;
+      }
+      if (i == 0) return 0;  // bucket 0 holds v == 0 exactly
+      const uint64_t lo = 1ull << (i - 1);  // bucket i covers [2^(i-1), 2^i)
+      if (i + 1 == kBuckets) return lo;
+      const double into = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts[i]);
+      return lo + static_cast<uint64_t>(into * static_cast<double>(lo));
+    }
+    return 0;
+  }
+
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -124,7 +157,8 @@ class MetricsRegistry {
   // names are prefixed "grtdb_" with '.' mapped to '_', each metric gets a
   // "# TYPE" line, and histograms render as cumulative _bucket{le="..."}
   // series (inclusive upper bounds, so le="N" counts v <= N) plus the
-  // mandatory le="+Inf", _sum, and _count series.
+  // mandatory le="+Inf", _sum, and _count series and precomputed _p50 /
+  // _p99 quantile gauges (Quantile() estimates).
   std::string ExportText() const;
 
  private:

@@ -73,6 +73,25 @@ bool IsDefinitionStatement(const sql::Statement& stmt) {
          std::holds_alternative<sql::DropIndexStmt>(stmt);
 }
 
+// Marks the session busy for sys_sessions for the duration of one
+// statement, recording the statement text and trace id; the destructor
+// flips it back to idle and re-mirrors the transaction state. Nesting
+// (EXPLAIN PROFILE, EXECUTE) is handled inside Begin/EndStatement.
+class SessionStatementScope {
+ public:
+  SessionStatementScope(ServerSession* session, const std::string& sql)
+      : session_(session) {
+    session_->BeginStatement(sql, obs::CurrentTraceHandle().trace_id);
+  }
+  ~SessionStatementScope() { session_->EndStatement(); }
+
+  SessionStatementScope(const SessionStatementScope&) = delete;
+  SessionStatementScope& operator=(const SessionStatementScope&) = delete;
+
+ private:
+  ServerSession* session_;
+};
+
 }  // namespace
 
 Server::Server(const ServerOptions& options)
@@ -463,13 +482,13 @@ std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
     std::vector<ColumnDef> cols = {{"seq", TypeDesc::Integer()},
                                    {"session", TypeDesc::Integer()},
                                    {"trace_id", TypeDesc::Integer()},
-                                   {"total_us", TypeDesc::Integer()},
+                                   {"total_ns", TypeDesc::Integer()},
                                    {"rows_scanned", TypeDesc::Integer()},
                                    {"rows_returned", TypeDesc::Integer()},
                                    {"node_reads", TypeDesc::Integer()},
                                    {"cache_hits", TypeDesc::Integer()},
                                    {"lock_waits", TypeDesc::Integer()},
-                                   {"lock_wait_us", TypeDesc::Integer()},
+                                   {"lock_wait_ns", TypeDesc::Integer()},
                                    {"purpose_calls", TypeDesc::Text()},
                                    {"sql", TypeDesc::Text()}};
     auto table = std::make_unique<Table>(name, std::move(cols));
@@ -483,19 +502,19 @@ std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
         breakdown += std::string(
                          obs::PurposeFnName(static_cast<obs::PurposeFn>(i))) +
                      " calls=" + std::to_string(entry.calls[i]) +
-                     " us=" + std::to_string(entry.ns[i] / 1000);
+                     " ns=" + std::to_string(entry.ns[i]);
       }
       Status st = table->Insert(
           {Value::Integer(static_cast<int64_t>(entry.seq)),
            Value::Integer(static_cast<int64_t>(entry.session_id)),
            Value::Integer(static_cast<int64_t>(entry.trace_id)),
-           Value::Integer(static_cast<int64_t>(entry.total_ns / 1000)),
+           Value::Integer(static_cast<int64_t>(entry.total_ns)),
            Value::Integer(static_cast<int64_t>(entry.rows_scanned)),
            Value::Integer(static_cast<int64_t>(entry.rows_returned)),
            Value::Integer(static_cast<int64_t>(entry.node_reads)),
            Value::Integer(static_cast<int64_t>(entry.cache_hits)),
            Value::Integer(static_cast<int64_t>(entry.lock_waits)),
-           Value::Integer(static_cast<int64_t>(entry.lock_wait_ns / 1000)),
+           Value::Integer(static_cast<int64_t>(entry.lock_wait_ns)),
            Value::Text(breakdown), Value::Text(entry.sql)},
           &ignored);
       (void)st;
@@ -542,6 +561,127 @@ std::unique_ptr<Table> Server::BuildSystemTable(const std::string& name) {
     }
     return table;
   }
+  auto kind_name = [](ResourceKind kind) -> const char* {
+    switch (kind) {
+      case ResourceKind::kLargeObject: return "large_object";
+      case ResourceKind::kTable: return "table";
+      case ResourceKind::kRow: return "row";
+    }
+    return "?";
+  };
+  if (EqualsIgnoreCase(name, "sys_contention")) {
+    // Where the lock waits went, hottest resource first. History, not a
+    // snapshot: rows persist after the last lock is released, so a
+    // post-mortem read still sees the contended rows.
+    std::vector<ColumnDef> cols = {{"kind", TypeDesc::Text()},
+                                   {"resource", TypeDesc::Integer()},
+                                   {"waits", TypeDesc::Integer()},
+                                   {"wait_ns", TypeDesc::Integer()},
+                                   {"max_wait_ns", TypeDesc::Integer()},
+                                   {"timeouts", TypeDesc::Integer()},
+                                   {"deadlocks", TypeDesc::Integer()},
+                                   {"last_holder", TypeDesc::Integer()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    for (const ContentionRow& row : lock_manager_.ContentionDump()) {
+      Status st = table->Insert(
+          {Value::Text(kind_name(row.kind)),
+           Value::Integer(static_cast<int64_t>(row.resource)),
+           Value::Integer(static_cast<int64_t>(row.waits)),
+           Value::Integer(static_cast<int64_t>(row.wait_ns)),
+           Value::Integer(static_cast<int64_t>(row.max_wait_ns)),
+           Value::Integer(static_cast<int64_t>(row.timeouts)),
+           Value::Integer(static_cast<int64_t>(row.deadlocks)),
+           Value::Integer(static_cast<int64_t>(row.last_holder))},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sys_waits")) {
+    // The wait-for graph right now: one row per (waiter, conflicting
+    // holder). A waiter blocked only by the writer-priority fence shows
+    // holder = 0. Empty on an uncontended server.
+    std::vector<ColumnDef> cols = {{"kind", TypeDesc::Text()},
+                                   {"resource", TypeDesc::Integer()},
+                                   {"waiter", TypeDesc::Integer()},
+                                   {"mode", TypeDesc::Text()},
+                                   {"waited_ns", TypeDesc::Integer()},
+                                   {"holder", TypeDesc::Integer()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    for (const WaitEdge& edge : lock_manager_.WaitsDump()) {
+      Status st = table->Insert(
+          {Value::Text(kind_name(edge.kind)),
+           Value::Integer(static_cast<int64_t>(edge.resource)),
+           Value::Integer(static_cast<int64_t>(edge.waiter)),
+           Value::Text(edge.mode == LockMode::kExclusive ? "X" : "S"),
+           Value::Integer(static_cast<int64_t>(edge.waited_ns)),
+           Value::Integer(static_cast<int64_t>(edge.holder))},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sys_hot_nodes")) {
+    // The heat tracker's ranked access map, hottest node first. Empty
+    // until SET HEAT_TRACK = 1 arms the tracker. The store column carries
+    // the index name, so it joins against sys_index_stats.idxname.
+    std::vector<ColumnDef> cols = {{"store", TypeDesc::Text()},
+                                   {"node", TypeDesc::Integer()},
+                                   {"heat", TypeDesc::Float()},
+                                   {"reads", TypeDesc::Integer()},
+                                   {"writes", TypeDesc::Integer()},
+                                   {"pin_wait_ns", TypeDesc::Integer()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    for (const obs::HotNode& node : heat_tracker_.Snapshot()) {
+      Status st = table->Insert(
+          {Value::Text(node.store),
+           Value::Integer(static_cast<int64_t>(node.node)),
+           Value::Float(node.heat),
+           Value::Integer(static_cast<int64_t>(node.reads)),
+           Value::Integer(static_cast<int64_t>(node.writes)),
+           Value::Integer(static_cast<int64_t>(node.pin_wait_ns))},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
+  if (EqualsIgnoreCase(name, "sys_sessions")) {
+    // Every live session and what it is doing. The info mirror is written
+    // at statement boundaries by the owning thread; locks held comes from
+    // grouping the lock manager's dump by the mirrored transaction id.
+    std::vector<ColumnDef> cols = {{"session", TypeDesc::Integer()},
+                                   {"peer", TypeDesc::Text()},
+                                   {"state", TypeDesc::Text()},
+                                   {"statement", TypeDesc::Text()},
+                                   {"txn", TypeDesc::Integer()},
+                                   {"explicit_txn", TypeDesc::Integer()},
+                                   {"locks", TypeDesc::Integer()},
+                                   {"trace_id", TypeDesc::Integer()},
+                                   {"statements", TypeDesc::Integer()}};
+    auto table = std::make_unique<Table>(name, std::move(cols));
+    std::map<TxnId, int64_t> locks_by_txn;
+    for (const LockDumpRow& row : lock_manager_.Dump()) {
+      if (row.txn != 0) ++locks_by_txn[row.txn];
+    }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      const ServerSession::SessionInfo info = session->info();
+      auto held = locks_by_txn.find(info.txn);
+      Status st = table->Insert(
+          {Value::Integer(static_cast<int64_t>(session->id())),
+           Value::Text(info.peer.empty() ? "embedded" : info.peer),
+           Value::Text(info.active ? "active" : "idle"),
+           Value::Text(info.statement),
+           Value::Integer(static_cast<int64_t>(info.txn)),
+           Value::Integer(info.explicit_txn ? 1 : 0),
+           Value::Integer(held != locks_by_txn.end() ? held->second : 0),
+           Value::Integer(static_cast<int64_t>(info.trace_id)),
+           Value::Integer(static_cast<int64_t>(info.statements))},
+          &ignored);
+      (void)st;
+    }
+    return table;
+  }
   return nullptr;
 }
 
@@ -549,7 +689,8 @@ std::vector<std::string> Server::SystemTableNames() {
   return {"systables",   "sysams",         "sysopclasses",
           "sysindices",  "sysprocedures",  "sys_metrics",
           "sys_trace",   "sys_locks",      "sys_index_stats",
-          "sys_slow_queries", "sys_prepared", "sys_spans"};
+          "sys_slow_queries", "sys_prepared", "sys_spans",
+          "sys_contention", "sys_waits", "sys_hot_nodes", "sys_sessions"};
 }
 
 bool Server::IsSystemViewName(const std::string& name) {
@@ -602,6 +743,7 @@ Status Server::Execute(ServerSession* session, const std::string& sql,
   obs::TraceScope root_scope(
       ambient.active() ? obs::TraceHandle{} : span_tracer_.StartTrace(),
       obs::SpanName::kRequest);
+  SessionStatementScope stmt_scope(session, sql);
   sql::Statement stmt;
   {
     obs::SpanScope parse_span(obs::SpanName::kParse);
@@ -635,6 +777,7 @@ Status Server::ExecuteScript(ServerSession* session,
   obs::TraceScope root_scope(
       ambient.active() ? obs::TraceHandle{} : span_tracer_.StartTrace(),
       obs::SpanName::kRequest);
+  SessionStatementScope stmt_scope(session, script);
   std::vector<sql::Statement> statements;
   GRTDB_RETURN_IF_ERROR(sql::Parser::ParseScript(script, &statements));
   for (const sql::Statement& stmt : statements) {
@@ -744,6 +887,9 @@ Status Server::ExecuteStatement(ServerSession* session,
     }
     Status operator()(const sql::DumpTraceStmt& s) {
       return server->ExecDumpTrace(s, out);
+    }
+    Status operator()(const sql::DumpHeatStmt& s) {
+      return server->ExecDumpHeat(s, out);
     }
     Status operator()(const sql::ExportMetricsStmt&) {
       return server->ExecExportMetrics(out);
@@ -917,6 +1063,53 @@ Status Server::ExecDumpTrace(const sql::DumpTraceStmt& stmt, ResultSet* out) {
   return Status::OK();
 }
 
+Status Server::ExecDumpHeat(const sql::DumpHeatStmt& stmt, ResultSet* out) {
+  const std::vector<obs::HotNode> nodes = heat_tracker_.Snapshot();
+  if (!stmt.json) {
+    out->columns = {"store", "node",   "heat",
+                    "reads", "writes", "pin_wait_ns"};
+    for (const obs::HotNode& node : nodes) {
+      char heat[32];
+      std::snprintf(heat, sizeof(heat), "%.3f", node.heat);
+      out->rows.push_back(
+          {node.store, std::to_string(node.node), heat,
+           std::to_string(node.reads), std::to_string(node.writes),
+           std::to_string(node.pin_wait_ns)});
+    }
+    out->messages.push_back(
+        "heat tracker: " + std::string(heat_tracker_.enabled() ? "on" : "off") +
+        ", " + std::to_string(nodes.size()) + " nodes tracked" +
+        (heat_tracker_.dropped() != 0
+             ? ", " + std::to_string(heat_tracker_.dropped()) +
+                   " dropped at capacity"
+             : ""));
+    return Status::OK();
+  }
+  // One JSON document for offline heat-map rendering, one result row per
+  // line (the DUMP TRACE JSON convention: wire clients join with newlines).
+  out->columns = {"json"};
+  out->rows.push_back({"{\"enabled\":" +
+                       std::string(heat_tracker_.enabled() ? "true" : "false") +
+                       ",\"dropped\":" + std::to_string(heat_tracker_.dropped()) +
+                       ",\"nodes\":["});
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const obs::HotNode& node = nodes[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "{\"store\":\"%s\",\"node\":%llu,\"heat\":%.3f,"
+                  "\"reads\":%llu,\"writes\":%llu,\"pin_wait_ns\":%llu}%s",
+                  node.store.c_str(),
+                  static_cast<unsigned long long>(node.node), node.heat,
+                  static_cast<unsigned long long>(node.reads),
+                  static_cast<unsigned long long>(node.writes),
+                  static_cast<unsigned long long>(node.pin_wait_ns),
+                  i + 1 == nodes.size() ? "" : ",");
+    out->rows.push_back({line});
+  }
+  out->rows.push_back({"]}"});
+  return Status::OK();
+}
+
 // ------------------------------------------------ prepared statements ---
 
 Status Server::GetCachedPlan(const std::string& sql,
@@ -1003,6 +1196,7 @@ Status Server::Prepare(ServerSession* session, const std::string& name,
   prepare.inner_sql = sql;
   sql::Statement stmt = std::move(prepare);
   out->Clear();
+  SessionStatementScope stmt_scope(session, "PREPARE " + name);
   session->memory().BeginDuration(MiDuration::kPerFunction);
   session->memory().BeginDuration(MiDuration::kPerStatement);
   Status status = ExecuteStatement(session, stmt, out);
@@ -1032,6 +1226,7 @@ Status Server::ExecutePrepared(ServerSession* session,
   obs::TraceScope root_scope(
       ambient.active() ? obs::TraceHandle{} : span_tracer_.StartTrace(),
       obs::SpanName::kRequest);
+  SessionStatementScope stmt_scope(session, "EXECUTE " + name);
   const uint64_t start_ticks = obs::Ticks();
   session->memory().BeginDuration(MiDuration::kPerFunction);
   session->memory().BeginDuration(MiDuration::kPerStatement);
@@ -1046,11 +1241,16 @@ Status Server::ExecutePrepared(ServerSession* session,
 }
 
 Status Server::ExecDumpFlight(ResultSet* out) {
-  out->columns = {"thread", "ticks", "event", "a", "b"};
+  out->columns = {"thread", "ns", "event", "a", "b"};
   const obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  // Same clock origin as sys_spans' start_ns (the span tracer's base), so
+  // flight events line up with span windows without unit juggling. Events
+  // recorded before this server existed clamp to 0 rather than wrapping.
+  const uint64_t base = span_tracer_.base_ticks();
   for (const obs::FlightEventRecord& record : recorder.Dump()) {
-    out->rows.push_back({std::to_string(record.thread),
-                         std::to_string(record.ticks),
+    const uint64_t ns =
+        record.ticks > base ? obs::TicksToNs(record.ticks - base) : 0;
+    out->rows.push_back({std::to_string(record.thread), std::to_string(ns),
                          obs::FlightEventName(record.event),
                          std::to_string(record.a), std::to_string(record.b)});
   }
@@ -1400,6 +1600,16 @@ Status Server::ExecSet(ServerSession* session, const sql::SetStmt& stmt,
               ? "request tracing disabled"
               : "tracing 1 in " + std::to_string(stmt.value.integer) +
                     " requests");
+      return Status::OK();
+    case sql::SetStmt::What::kHeatTrack:
+      if (stmt.value.kind != sql::Literal::Kind::kInteger ||
+          (stmt.value.integer != 0 && stmt.value.integer != 1)) {
+        return Status::InvalidArgument("SET HEAT_TRACK expects 0 or 1");
+      }
+      heat_tracker_.set_enabled(stmt.value.integer != 0);
+      out->messages.push_back(stmt.value.integer != 0
+                                  ? "heat tracking enabled"
+                                  : "heat tracking disabled");
       return Status::OK();
   }
   return Status::Internal("bad SET statement");

@@ -15,6 +15,7 @@
 #include "blade/trace.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "obs/heat_tracker.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/slow_query_log.h"
@@ -143,7 +144,57 @@ class ServerSession {
   CachedPlan* active_plan() const { return active_plan_; }
   void set_active_plan(CachedPlan* plan) { active_plan_ = plan; }
 
+  // ---- live-session view (sys_sessions) --------------------------------
+  // A mirror of "what is this session doing right now", written by the
+  // owning thread at statement boundaries (and by the net front end at
+  // connect time) and read cross-thread by whichever session materializes
+  // sys_sessions — hence the mutex. The transaction id is mirrored here
+  // because txn_session() may only be touched from the owning thread.
+  struct SessionInfo {
+    std::string peer;       // "host:port", empty for embedded sessions
+    bool active = false;    // currently inside a statement
+    std::string statement;  // current (active) or last finished SQL
+    uint64_t trace_id = 0;  // that statement's trace id (0 = unsampled)
+    TxnId txn = 0;          // open transaction at the last boundary
+    bool explicit_txn = false;
+    uint64_t statements = 0;  // statements started on this session
+  };
+  void set_peer(const std::string& peer) {
+    std::lock_guard<std::mutex> lock(info_mu_);
+    info_.peer = peer;
+  }
+  // Statement boundaries nest: EXPLAIN PROFILE / EXECUTE re-enter the
+  // execution path for their inner statement, and the view should keep
+  // showing the outermost text until the whole request finishes.
+  void BeginStatement(const std::string& sql, uint64_t trace_id) {
+    std::lock_guard<std::mutex> lock(info_mu_);
+    if (++stmt_depth_ == 1) {
+      info_.statement = sql;
+      info_.trace_id = trace_id;
+      ++info_.statements;
+    }
+    info_.active = true;
+    MirrorTxnLocked();
+  }
+  void EndStatement() {
+    std::lock_guard<std::mutex> lock(info_mu_);
+    if (stmt_depth_ > 0 && --stmt_depth_ == 0) info_.active = false;
+    MirrorTxnLocked();
+  }
+  SessionInfo info() const {
+    std::lock_guard<std::mutex> lock(info_mu_);
+    return info_;
+  }
+
  private:
+  // Requires info_mu_; called from the owning thread only (statement
+  // boundaries), which makes the current_txn() read safe.
+  void MirrorTxnLocked() {
+    const Transaction* txn = session_.current_txn();
+    info_.txn = txn != nullptr ? txn->id() : 0;
+    info_.explicit_txn = session_.in_explicit_txn();
+  }
+
   Session session_;
   MiMemory memory_;
   bool explain_ = false;
@@ -156,6 +207,9 @@ class ServerSession {
   std::map<std::string, PreparedHandle> prepared_;  // lower-cased name
   const std::vector<sql::Literal>* bound_params_ = nullptr;
   CachedPlan* active_plan_ = nullptr;
+  mutable std::mutex info_mu_;
+  SessionInfo info_;
+  uint32_t stmt_depth_ = 0;  // statement-boundary nesting (info_mu_)
 };
 
 struct ServerOptions {
@@ -218,6 +272,10 @@ class Server {
   obs::SlowQueryLog& slow_query_log() { return slow_query_log_; }
   // The request-span tracer (SET TRACE_SAMPLE, sys_spans, DUMP TRACE).
   obs::SpanTracer& span_tracer() { return span_tracer_; }
+  // Per-node access heat (SET HEAT_TRACK, sys_hot_nodes, DUMP HEAT). The
+  // blades wire each index's node cache into this tracker at open time;
+  // with the gate off — the default — every touch is one relaxed load.
+  obs::HeatTracker& heat_tracker() { return heat_tracker_; }
 
   // ---- index-health telemetry (am_stats side channel) -------------------
   // Blades report their walker's numbers here from inside am_stats; the
@@ -347,6 +405,7 @@ class Server {
                        ResultSet* out);
   Status ExecDumpFlight(ResultSet* out);
   Status ExecDumpTrace(const sql::DumpTraceStmt& stmt, ResultSet* out);
+  Status ExecDumpHeat(const sql::DumpHeatStmt& stmt, ResultSet* out);
   Status ExecExportMetrics(ResultSet* out);
   Status ExecLoad(ServerSession* session, const sql::LoadStmt& stmt,
                   ResultSet* out);
@@ -435,6 +494,7 @@ class Server {
   std::map<std::string, std::vector<uint8_t>> am_catalog_;
   obs::SlowQueryLog slow_query_log_;
   obs::SpanTracer span_tracer_;
+  obs::HeatTracker heat_tracker_;
   PlanCache plan_cache_;
   // Null when observability is off; bumped through MaybeAdd below.
   obs::Counter* plan_cache_hits_ = nullptr;

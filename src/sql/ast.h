@@ -139,6 +139,7 @@ struct SetStmt {
     kTrace,        // SET TRACE <class> TO <level>
     kSlowQueryNs,  // SET SLOW_QUERY_NS {=|TO} <n>   (0 disables the log)
     kTraceSample,  // SET TRACE_SAMPLE {=|TO} <n>   (sample 1-in-n requests)
+    kHeatTrack,    // SET HEAT_TRACK {=|TO} {0|1}   (per-node heat tracking)
   };
   What what = What::kExplain;
   std::string argument;  // textual argument
@@ -201,6 +202,13 @@ struct DumpTraceStmt {
   bool json = false;
 };
 
+// DUMP HEAT [JSON] — the heat tracker's ranked per-node access map. Plain
+// form: one result row per (store, node). JSON form: a single document for
+// offline rendering (heat-map tooling), one result row per output line.
+struct DumpHeatStmt {
+  bool json = false;
+};
+
 // PREPARE name AS <stmt> — the inner statement is kept as a text span
 // (same idiom as ExplainProfileStmt) so the Statement variant stays
 // non-recursive; the server parses it once into its plan cache.
@@ -229,8 +237,9 @@ using Statement =
                  UpdateStmt, BeginWorkStmt, CommitWorkStmt, RollbackWorkStmt,
                  SetStmt, CheckIndexStmt, UpdateStatisticsStmt, LoadStmt,
                  UnloadStmt, ExplainProfileStmt, ExplainTraceStmt,
-                 DumpFlightStmt, DumpTraceStmt, ExportMetricsStmt,
-                 PrepareStmt, ExecuteStmt, DeallocateStmt>;
+                 DumpFlightStmt, DumpTraceStmt, DumpHeatStmt,
+                 ExportMetricsStmt, PrepareStmt, ExecuteStmt,
+                 DeallocateStmt>;
 
 }  // namespace sql
 }  // namespace grtdb

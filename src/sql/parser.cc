@@ -124,6 +124,16 @@ Status Parser::ParseStatement(Statement* out) {
       *out = std::move(stmt);
       return Status::OK();
     }
+    if (AtKeyword("HEAT")) {
+      Take();
+      DumpHeatStmt stmt;
+      if (AtKeyword("JSON")) {
+        Take();
+        stmt.json = true;
+      }
+      *out = std::move(stmt);
+      return Status::OK();
+    }
     GRTDB_RETURN_IF_ERROR(ExpectKeyword("FLIGHT"));
     *out = DumpFlightStmt{};
     return Status::OK();
@@ -541,9 +551,19 @@ Status Parser::ParseSet(Statement* out) {
     *out = std::move(stmt);
     return Status::OK();
   }
+  if (AtKeyword("HEAT_TRACK")) {
+    Take();
+    stmt.what = SetStmt::What::kHeatTrack;
+    if (!TrySymbol("=")) {
+      GRTDB_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    }
+    GRTDB_RETURN_IF_ERROR(ParseLiteral(&stmt.value));
+    *out = std::move(stmt);
+    return Status::OK();
+  }
   return ErrorAt(Peek(),
                  "ISOLATION, EXPLAIN, CURRENT_TIME, TIME MODE, TRACE, "
-                 "TRACE_SAMPLE, or SLOW_QUERY_NS");
+                 "TRACE_SAMPLE, SLOW_QUERY_NS, or HEAT_TRACK");
 }
 
 Status Parser::ParseCheck(Statement* out) {

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/fast_clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/query_profile.h"
 #include "obs/span_tracer.h"
@@ -51,6 +52,11 @@ void NodeCache::set_metrics(obs::MetricsRegistry* metrics) {
   m_misses_ = metrics->GetCounter("cache.misses");
   m_evictions_ = metrics->GetCounter("cache.evictions");
   m_write_backs_ = metrics->GetCounter("cache.write_backs");
+}
+
+void NodeCache::set_heat(obs::HeatTracker* heat, const std::string& label) {
+  heat_ = heat;
+  heat_store_ = heat != nullptr ? heat->RegisterStore(label) : 0;
 }
 
 Status NodeCache::WriteBackLocked(Frame& frame) {
@@ -104,14 +110,25 @@ Status NodeCache::GrabFrameLocked(size_t* frame) {
 
 Status NodeCache::PinFrame(NodeId id, size_t* frame,
                            std::shared_lock<std::shared_mutex>* latch,
-                           bool* hit) {
+                           bool* hit, uint64_t* pin_wait_ns) {
   // The pin spans until Unpin() (possibly via a NodeView), which balances
   // this witness record; error returns below balance it immediately. The
   // success paths deliberately transfer the held record to the caller.
   GRTDB_WITNESS_ACQUIRE(CacheLatchClass());  // NOLINT(grtdb-resource-balance)
   *hit = true;
+  *pin_wait_ns = 0;
+  const bool heat_on = heat_ != nullptr && heat_->enabled();
   {
-    std::shared_lock shared(latch_);
+    std::shared_lock shared(latch_, std::defer_lock);
+    if (heat_on && !shared.try_lock()) {
+      // Only a blocked acquisition pays for clock reads, and only while
+      // the heat gate is armed — the dormant path never reaches here.
+      const uint64_t blocked_from = obs::Ticks();
+      shared.lock();
+      *pin_wait_ns += obs::TicksToNs(obs::Ticks() - blocked_from);
+    } else if (!heat_on) {
+      shared.lock();
+    }
     auto it = node_table_.find(id);
     if (it != node_table_.end()) {
       Frame& f = frames_[it->second];
@@ -125,7 +142,14 @@ Status NodeCache::PinFrame(NodeId id, size_t* frame,
     }
   }
   {
-    std::unique_lock exclusive(latch_);
+    std::unique_lock exclusive(latch_, std::defer_lock);
+    if (heat_on && !exclusive.try_lock()) {
+      const uint64_t blocked_from = obs::Ticks();
+      exclusive.lock();
+      *pin_wait_ns += obs::TicksToNs(obs::Ticks() - blocked_from);
+    } else if (!heat_on) {
+      exclusive.lock();
+    }
     auto it = node_table_.find(id);
     if (it == node_table_.end()) {
       size_t slot;
@@ -179,10 +203,15 @@ Status NodeCache::ReadNode(NodeId id, uint8_t* out) {
   size_t frame;
   std::shared_lock<std::shared_mutex> latch;
   bool hit;
-  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch, &hit));
+  uint64_t pin_wait_ns;
+  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch, &hit, &pin_wait_ns));
   if (obs::QueryProfile* profile = obs::CurrentProfile()) {
     ++profile->node_reads;
     if (hit) ++profile->cache_hits;
+  }
+  if (heat_ != nullptr && heat_->enabled()) {
+    heat_->RecordAccess(heat_store_, id, obs::HeatAccess::kRead,
+                        pin_wait_ns);
   }
   std::memcpy(out, frames_[frame].data.get(), kPageSize);
   latch.unlock();
@@ -196,10 +225,15 @@ Status NodeCache::ViewNode(NodeId id, NodeView* view) {
   size_t frame;
   std::shared_lock<std::shared_mutex> latch;
   bool hit;
-  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch, &hit));
+  uint64_t pin_wait_ns;
+  GRTDB_RETURN_IF_ERROR(PinFrame(id, &frame, &latch, &hit, &pin_wait_ns));
   if (obs::QueryProfile* profile = obs::CurrentProfile()) {
     ++profile->node_reads;
     if (hit) ++profile->cache_hits;
+  }
+  if (heat_ != nullptr && heat_->enabled()) {
+    heat_->RecordAccess(heat_store_, id, obs::HeatAccess::kRead,
+                        pin_wait_ns);
   }
   view->AdoptPinned(this, frame, frames_[frame].data.get(),
                     std::move(latch));
@@ -230,7 +264,20 @@ Status NodeCache::WriteNode(NodeId id, const uint8_t* data) {
   writes_.fetch_add(1, std::memory_order_relaxed);
   if (m_writes_ != nullptr) m_writes_->Add();
   GRTDB_WITNESS_SCOPE(CacheLatchClass());
-  std::unique_lock lock(latch_);
+  const bool heat_on = heat_ != nullptr && heat_->enabled();
+  uint64_t pin_wait_ns = 0;
+  std::unique_lock lock(latch_, std::defer_lock);
+  if (heat_on && !lock.try_lock()) {
+    const uint64_t blocked_from = obs::Ticks();
+    lock.lock();
+    pin_wait_ns = obs::TicksToNs(obs::Ticks() - blocked_from);
+  } else if (!heat_on) {
+    lock.lock();
+  }
+  if (heat_on) {
+    heat_->RecordAccess(heat_store_, id, obs::HeatAccess::kWrite,
+                        pin_wait_ns);
+  }
   size_t frame;
   GRTDB_RETURN_IF_ERROR(FrameForWriteLocked(id, &frame));
   Frame& f = frames_[frame];

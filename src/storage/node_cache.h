@@ -10,6 +10,7 @@
 
 #include "blade/trace.h"
 #include "common/status.h"
+#include "obs/heat_tracker.h"
 #include "obs/metrics.h"
 #include "storage/node_store.h"
 
@@ -61,6 +62,12 @@ class NodeCache final : public NodeStore {
   // caches on the same registry aggregate.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  // Wires per-node heat accounting: every ReadNode/ViewNode/WriteNode on
+  // this cache reports to `heat` under `label` (blades pass the index
+  // name, so sys_hot_nodes joins sys_index_stats). While the tracker's
+  // gate is off the per-access cost is one relaxed load and a branch.
+  void set_heat(obs::HeatTracker* heat, const std::string& label);
+
   // Called by NodeView::Reset when a pinned view is dropped.
   void Unpin(size_t frame);
 
@@ -74,9 +81,13 @@ class NodeCache final : public NodeStore {
   };
 
   // Returns with `latch` holding latch_ shared and the frame pinned;
-  // `*hit` reports whether the node was already resident.
+  // `*hit` reports whether the node was already resident. When heat
+  // tracking is armed, `*pin_wait_ns` reports the time this call spent
+  // blocked on the frame-table latch (0 when it was free or heat is off —
+  // the clock is only read after a failed try_lock).
   Status PinFrame(NodeId id, size_t* frame,
-                  std::shared_lock<std::shared_mutex>* latch, bool* hit);
+                  std::shared_lock<std::shared_mutex>* latch, bool* hit,
+                  uint64_t* pin_wait_ns);
   // Both require latch_ held exclusive.
   Status GrabFrameLocked(size_t* frame);
   Status FrameForWriteLocked(NodeId id, size_t* frame);
@@ -85,6 +96,8 @@ class NodeCache final : public NodeStore {
 
   NodeStore* inner_;
   TraceFacility* trace_ = nullptr;
+  obs::HeatTracker* heat_ = nullptr;
+  uint32_t heat_store_ = 0;
 
   // Cached registry handles (null when no registry is wired).
   obs::Counter* m_reads_ = nullptr;

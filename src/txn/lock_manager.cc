@@ -1,5 +1,7 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
+
 #include "obs/fast_clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/query_profile.h"
@@ -55,6 +57,18 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode) {
   return AcquireWithTimeout(txn, resource, mode, default_timeout_);
 }
 
+LockManager::Contention* LockManager::ContentionFor(ResourceId resource) {
+  auto it = contention_.find(resource);
+  if (it == contention_.end()) {
+    if (contention_.size() >= kMaxContentionEntries) {
+      ++contention_dropped_;
+      return nullptr;
+    }
+    it = contention_.emplace(resource, Contention{}).first;
+  }
+  return &it->second;
+}
+
 Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
                                        LockMode mode,
                                        std::chrono::milliseconds timeout) {
@@ -86,6 +100,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
       if (state.has_upgrader && state.upgrader != txn) {
         ++stats_.deadlocks;
         if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
+        if (Contention* c = ContentionFor(resource)) ++c->deadlocks;
         obs::FlightRecorder::Global().RecordEvent(
             obs::FlightEvent::kLockDeadlock, resource.id, txn);
         GRTDB_WITNESS_RELEASE(WitnessClassFor(resource.kind));
@@ -127,9 +142,34 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
   bool waited = false;
   std::chrono::steady_clock::time_point wait_start;
   uint64_t wait_start_ticks = 0;
+  TxnId blocking_holder = 0;
+  // A registered waiter is an edge of WaitsDump's wait-for graph; it also
+  // pins the lock state (the erase conditions check waiters.empty()).
+  bool registered_waiter = false;
+  auto unregister_waiter = [&] {
+    if (!registered_waiter) return;
+    registered_waiter = false;
+    auto it = locks_.find(resource);
+    if (it != locks_.end()) it->second.waiters.erase(txn);
+  };
+  // The conflicting holder observed when the wait begins — sys_contention's
+  // last_holder, the "who was in the way" attribution.
+  auto conflicting_holder = [&]() -> TxnId {
+    auto it = locks_.find(resource);
+    if (it == locks_.end()) return 0;
+    for (const auto& [holder_txn, holder] : it->second.holders) {
+      if (holder_txn == txn) continue;
+      if (mode == LockMode::kExclusive ||
+          holder.mode == LockMode::kExclusive) {
+        return holder_txn;
+      }
+    }
+    return 0;
+  };
   // Charges the blocked interval to stats, the wait histogram, the
-  // running statement's profile, and — when the request is traced — a
-  // kLockWait span; called once on grant or timeout.
+  // per-resource contention row, the running statement's profile, and —
+  // when the request is traced — a kLockWait span; called once on grant or
+  // timeout.
   auto account_wait = [&] {
     if (!waited) return;
     const uint64_t ns = static_cast<uint64_t>(
@@ -140,6 +180,12 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
     stats_.wait_ns += ns;
     if (m_waits_ != nullptr) m_waits_->Add();
     if (m_wait_us_ != nullptr) m_wait_us_->Record(ns / 1000);
+    if (Contention* c = ContentionFor(resource)) {
+      ++c->waits;
+      c->wait_ns += ns;
+      if (ns > c->max_wait_ns) c->max_wait_ns = ns;
+      if (blocking_holder != 0) c->last_holder = blocking_holder;
+    }
     if (obs::QueryProfile* profile = obs::CurrentProfile()) {
       ++profile->lock_waits;
       profile->lock_wait_ns += ns;
@@ -156,6 +202,11 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
       waited = true;
       wait_start = std::chrono::steady_clock::now();
       wait_start_ticks = obs::Ticks();
+      blocking_holder = conflicting_holder();
+    }
+    if (!registered_waiter) {
+      locks_[resource].waiters[txn] = Waiter{mode, wait_start};
+      registered_waiter = true;
     }
     if (fresh_exclusive && !counted_waiter) {
       ++locks_[resource].waiting_exclusive;
@@ -165,14 +216,17 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
         !CompatibleLocked(locks_[resource], txn, mode)) {
       ++stats_.timeouts;
       if (m_timeouts_ != nullptr) m_timeouts_->Add();
+      if (Contention* c = ContentionFor(resource)) ++c->timeouts;
       obs::FlightRecorder::Global().RecordEvent(
           obs::FlightEvent::kLockTimeout, resource.id, txn);
       account_wait();
       clear_upgrader();
       uncount_waiter();
+      unregister_waiter();
       auto it = locks_.find(resource);
       if (it != locks_.end() && it->second.holders.empty() &&
-          !it->second.has_upgrader && it->second.waiting_exclusive == 0) {
+          !it->second.has_upgrader && it->second.waiting_exclusive == 0 &&
+          it->second.waiters.empty()) {
         locks_.erase(it);
       }
       // The fence this request held is gone — wake blocked shared
@@ -188,6 +242,7 @@ Status LockManager::AcquireWithTimeout(TxnId txn, ResourceId resource,
   account_wait();
   clear_upgrader();
   uncount_waiter();
+  unregister_waiter();
 
   LockState& state = locks_[resource];
   auto self = state.holders.find(txn);
@@ -213,7 +268,8 @@ void LockManager::Release(TxnId txn, ResourceId resource) {
     if (it->second.has_upgrader && it->second.upgrader == txn) {
       it->second.has_upgrader = false;
     }
-    if (it->second.holders.empty() && it->second.waiting_exclusive == 0) {
+    if (it->second.holders.empty() && it->second.waiting_exclusive == 0 &&
+        it->second.waiters.empty()) {
       locks_.erase(it);
     }
     cv_.notify_all();
@@ -233,7 +289,8 @@ void LockManager::ReleaseAll(TxnId txn) {
     if (it->second.has_upgrader && it->second.upgrader == txn) {
       it->second.has_upgrader = false;
     }
-    if (it->second.holders.empty() && it->second.waiting_exclusive == 0) {
+    if (it->second.holders.empty() && it->second.waiting_exclusive == 0 &&
+        it->second.waiters.empty()) {
       it = locks_.erase(it);
     } else {
       ++it;
@@ -260,6 +317,8 @@ LockManagerStats LockManager::stats() const {
 void LockManager::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = LockManagerStats();
+  contention_.clear();
+  contention_dropped_ = 0;
 }
 
 std::vector<LockDumpRow> LockManager::Dump() const {
@@ -285,6 +344,70 @@ std::vector<LockDumpRow> LockManager::Dump() const {
     }
   }
   return rows;
+}
+
+std::vector<ContentionRow> LockManager::ContentionDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ContentionRow> rows;
+  rows.reserve(contention_.size());
+  for (const auto& [resource, c] : contention_) {
+    ContentionRow row;
+    row.kind = resource.kind;
+    row.resource = resource.id;
+    row.waits = c.waits;
+    row.wait_ns = c.wait_ns;
+    row.max_wait_ns = c.max_wait_ns;
+    row.timeouts = c.timeouts;
+    row.deadlocks = c.deadlocks;
+    row.last_holder = c.last_holder;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ContentionRow& a, const ContentionRow& b) {
+              if (a.wait_ns != b.wait_ns) return a.wait_ns > b.wait_ns;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.resource < b.resource;
+            });
+  return rows;
+}
+
+std::vector<WaitEdge> LockManager::WaitsDump() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WaitEdge> edges;
+  for (const auto& [resource, state] : locks_) {
+    for (const auto& [waiter_txn, waiter] : state.waiters) {
+      WaitEdge base;
+      base.kind = resource.kind;
+      base.resource = resource.id;
+      base.waiter = waiter_txn;
+      base.mode = waiter.mode;
+      base.waited_ns = now <= waiter.since
+                           ? 0
+                           : static_cast<uint64_t>(
+                                 std::chrono::duration_cast<
+                                     std::chrono::nanoseconds>(now -
+                                                               waiter.since)
+                                     .count());
+      bool any_edge = false;
+      for (const auto& [holder_txn, holder] : state.holders) {
+        if (holder_txn == waiter_txn) continue;
+        if (waiter.mode != LockMode::kExclusive &&
+            holder.mode != LockMode::kExclusive) {
+          continue;  // S waiter vs S holder: blocked by a fence, not them
+        }
+        WaitEdge edge = base;
+        edge.holder = holder_txn;
+        edges.push_back(edge);
+        any_edge = true;
+      }
+      // A shared waiter held back by the writer-priority fence (or an
+      // exclusive waiter racing a just-released holder) blocks on no
+      // specific transaction; keep the waiter visible anyway.
+      if (!any_edge) edges.push_back(base);
+    }
+  }
+  return edges;
 }
 
 void LockManager::set_metrics(obs::MetricsRegistry* metrics) {

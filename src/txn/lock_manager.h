@@ -58,6 +58,33 @@ struct LockDumpRow {
   uint32_t waiting_exclusive = 0;
 };
 
+// Per-resource contention tallies at ContentionDump() time (the
+// sys_contention view). Unlike LockDumpRow this is *history*: the row
+// persists after the last lock on the resource is released, so a
+// post-mortem read still sees where the waits went.
+struct ContentionRow {
+  ResourceKind kind;
+  uint64_t resource = 0;
+  uint64_t waits = 0;        // acquisitions that blocked on this resource
+  uint64_t wait_ns = 0;      // cumulative blocked time
+  uint64_t max_wait_ns = 0;  // worst single blocked interval
+  uint64_t timeouts = 0;     // waits that ended in LockTimeout
+  uint64_t deadlocks = 0;    // upgrade-upgrade fast-fails on this resource
+  TxnId last_holder = 0;     // conflicting holder seen at the last wait
+};
+
+// One waiter→holder edge of the wait-for graph at WaitsDump() time (the
+// sys_waits view). A waiter blocked by a writer-priority fence rather than
+// a holder appears once with holder = 0.
+struct WaitEdge {
+  ResourceKind kind;
+  uint64_t resource = 0;
+  TxnId waiter = 0;
+  LockMode mode = LockMode::kShared;  // the mode the waiter wants
+  uint64_t waited_ns = 0;             // blocked so far, at snapshot time
+  TxnId holder = 0;
+};
+
 // A strict two-phase lock manager with shared/exclusive modes, lock
 // upgrades, and timeout-based deadlock resolution (a blocked request that
 // exceeds its timeout returns Status::LockTimeout and the caller aborts).
@@ -91,12 +118,23 @@ class LockManager {
   bool Holds(TxnId txn, ResourceId resource, LockMode mode) const;
 
   LockManagerStats stats() const;
+  // Clears the aggregate stats and the per-resource contention history.
   void ResetStats();
 
   // Every granted lock, one row per (resource, holder). Waiting-only
   // resource states (a fenced writer with no holders yet) appear with
   // txn = 0 and count = 0 so a stuck waiter is visible.
   std::vector<LockDumpRow> Dump() const;
+
+  // Per-resource contention history, hottest (by wait_ns) first. Bounded:
+  // at most kMaxContentionEntries distinct resources are tracked; waits on
+  // further resources still feed the aggregate stats but not a row.
+  std::vector<ContentionRow> ContentionDump() const;
+
+  // The wait-for graph right now: one edge per (waiter, conflicting
+  // holder) pair, built from the registered waiters. Empty on an
+  // uncontended server.
+  std::vector<WaitEdge> WaitsDump() const;
 
   // Mirrors acquisition/wait/timeout/deadlock counts and a wait-latency
   // histogram into server-wide lock.* metrics; handles cached here.
@@ -106,6 +144,13 @@ class LockManager {
   struct Holder {
     LockMode mode;
     uint32_t count;
+  };
+  // A blocked acquisition, registered for the duration of its wait so
+  // WaitsDump can draw the wait-for graph without instrumenting waiters
+  // from outside.
+  struct Waiter {
+    LockMode mode;
+    std::chrono::steady_clock::time_point since;
   };
   struct LockState {
     std::map<TxnId, Holder> holders;
@@ -119,7 +164,25 @@ class LockManager {
     // so a stream of reader churn cannot starve a waiting writer. A state
     // with a positive count must not be erased even when holders is empty.
     uint32_t waiting_exclusive = 0;
+    // Every transaction currently blocked in AcquireWithTimeout on this
+    // resource (exclusive *and* shared waiters). A state with registered
+    // waiters must not be erased: the blocked thread re-reads it through
+    // locks_[resource] after every wake-up.
+    std::map<TxnId, Waiter> waiters;
   };
+  // Contention history value; keyed by ResourceId in contention_.
+  struct Contention {
+    uint64_t waits = 0;
+    uint64_t wait_ns = 0;
+    uint64_t max_wait_ns = 0;
+    uint64_t timeouts = 0;
+    uint64_t deadlocks = 0;
+    TxnId last_holder = 0;
+  };
+  static constexpr size_t kMaxContentionEntries = 4096;
+
+  // Requires mu_ held; nullptr when the entry cap is reached.
+  Contention* ContentionFor(ResourceId resource);
 
   // True if `txn` may be granted `mode` given current holders.
   static bool CompatibleLocked(const LockState& state, TxnId txn,
@@ -130,6 +193,8 @@ class LockManager {
   std::condition_variable cv_;
   std::map<ResourceId, LockState> locks_;
   LockManagerStats stats_;
+  std::map<ResourceId, Contention> contention_;
+  uint64_t contention_dropped_ = 0;  // waits beyond the entry cap
 
   // Cached registry handles (null when no registry is wired).
   obs::Counter* m_acquisitions_ = nullptr;

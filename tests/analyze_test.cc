@@ -518,6 +518,23 @@ TEST(TokenRules, NakedAllocInBladeIsReported) {
   EXPECT_TRUE(RunOn("src/common/util.cc", src).empty());
 }
 
+TEST(TokenRules, NakedHeatAccessCodeIsReported) {
+  const std::string bad = R"cc(
+    void Touch() {
+      heat_->RecordAccess(heat_store_, id, 1, pin_wait_ns);
+    }
+  )cc";
+  EXPECT_EQ(CountRule(RunOn("src/storage/node_cache.cc", bad), "heat-access"),
+            1);
+  const std::string good = R"cc(
+    void Touch() {
+      heat_->RecordAccess(heat_store_, id, obs::HeatAccess::kRead,
+                          pin_wait_ns);
+    }
+  )cc";
+  EXPECT_TRUE(RunOn("src/storage/node_cache.cc", good).empty());
+}
+
 // ------------------------------------------------------------------------
 // suppression and baseline
 // ------------------------------------------------------------------------

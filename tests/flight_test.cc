@@ -188,7 +188,7 @@ TEST(FlightSql, DumpFlightShowsTxnEventsInOrder) {
 
   ASSERT_TRUE(server.Execute(session, "DUMP FLIGHT", &result).ok());
   ASSERT_EQ(result.columns,
-            (std::vector<std::string>{"thread", "ticks", "event", "a", "b"}));
+            (std::vector<std::string>{"thread", "ns", "event", "a", "b"}));
   ASSERT_FALSE(result.messages.empty());
   EXPECT_NE(result.messages[0].find("flight recorder:"), std::string::npos);
 

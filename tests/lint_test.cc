@@ -293,6 +293,39 @@ TEST(SpanName, DeclarationsAndDeletedCopiesAreNotCallSites) {
           .empty());
 }
 
+// --------------------------------------------------------------- heat-access
+
+TEST(HeatAccess, NakedNumericAccessCodeFlagged) {
+  EXPECT_TRUE(HasRule(
+      LintSource(kServerPath, "heat->RecordAccess(store, id, 1);\n"),
+      "heat-access"));
+  // A cast dressing up the number is still a naked code.
+  EXPECT_TRUE(HasRule(
+      LintSource(kServerPath,
+                 "heat->RecordAccess(store, id, "
+                 "static_cast<obs::HeatAccess>(0), wait_ns);\n"),
+      "heat-access"));
+}
+
+TEST(HeatAccess, EnumQualifiedAccessesPass) {
+  // Numeric operands in the other arguments are fine — only the access
+  // argument itself must be spelled through the enum.
+  EXPECT_TRUE(
+      LintSource(kServerPath,
+                 "heat->RecordAccess(0, 42, obs::HeatAccess::kRead,\n"
+                 "                   pin_wait_ns);\n"
+                 "heat.RecordAccess(store, id, obs::HeatAccess::kWrite);\n")
+          .empty());
+}
+
+TEST(HeatAccess, DeclarationsAreNotCallSites) {
+  EXPECT_TRUE(
+      LintSource("src/obs/heat_tracker.h",
+                 "void RecordAccess(uint32_t store, uint64_t node, "
+                 "HeatAccess access, uint64_t pin_wait_ns = 0);\n")
+          .empty());
+}
+
 // ------------------------------------------------------------- repo is clean
 
 // The final tree must lint clean — the same invariant the grtdb_lint ctest

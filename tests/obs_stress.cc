@@ -1,30 +1,41 @@
 // Multi-threaded observability stress: writers hammer shared registry
-// counters/histograms, the trace ring, and the span tracer while readers
-// snapshot, render, and flip trace classes. The third
-// -DGRTDB_SANITIZE=thread target (next to wal_stress and cache_stress):
-// the interesting races are the lock-free trace enabled check against
-// SetClass, the relaxed metric updates against Snapshot, and the span
-// tracer's relaxed sampling gate against set_sample_every while scopes
-// record into the ring racing Snapshot/Clear.
+// counters/histograms, the trace ring, the span tracer, and the heat
+// tracker while readers snapshot, render, and flip trace classes. The
+// third -DGRTDB_SANITIZE=thread target (next to wal_stress and
+// cache_stress): the interesting races are the lock-free trace enabled
+// check against SetClass, the relaxed metric updates against Snapshot,
+// the span tracer's relaxed sampling gate against set_sample_every while
+// scopes record into the ring racing Snapshot/Clear, and the heat
+// tracker's relaxed gate against RecordAccess racing Snapshot/Clear. A
+// second phase runs the same heat machinery inside a live server: scan
+// traffic feeds sys_hot_nodes while UPDATE STATISTICS races CREATE/DROP
+// INDEX and concurrent sys_hot_nodes readers.
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "blade/trace.h"
+#include "blades/grtree_blade.h"
+#include "obs/heat_tracker.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/slow_query_log.h"
 #include "obs/span_tracer.h"
+#include "server/server.h"
 #ifdef GRTDB_WITNESS
 #include "txn/witness.h"
 #endif
 
 using grtdb::TraceFacility;
 using grtdb::obs::Counter;
+using grtdb::obs::HeatAccess;
+using grtdb::obs::HeatTracker;
 using grtdb::obs::Histogram;
+using grtdb::obs::HotNode;
 using grtdb::obs::MetricSample;
 using grtdb::obs::MetricsRegistry;
 using grtdb::obs::PurposeFn;
@@ -54,6 +65,103 @@ void Check(bool ok, const char* what) {
 }  // namespace
 
 
+// Phase two: the heat machinery inside a live server. Scanner sessions
+// feed sys_hot_nodes through the grtree blade's node cache while UPDATE
+// STATISTICS (shared statement gate, walks every index) races CREATE/DROP
+// INDEX (exclusive gate) and concurrent sys_hot_nodes readers — the
+// cross-layer interleavings behind the contention observatory.
+static void ServerHeatPhase() {
+  grtdb::Server server;
+  Check(grtdb::RegisterGRTreeBlade(&server).ok(), "register grtree blade");
+
+  auto exec = [&server](grtdb::ServerSession* session, const std::string& sql) {
+    grtdb::ResultSet result;
+    const grtdb::Status status = server.Execute(session, sql, &result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "FAIL: %s -> %s\n", sql.c_str(),
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    return result;
+  };
+
+  grtdb::ServerSession* admin = server.CreateSession();
+  exec(admin, "CREATE TABLE t (id int, e grt_timeextent)");
+  exec(admin, "CREATE INDEX t_idx ON t(e grt_opclass) USING grtree_am");
+  // The DDL churn gets its own table: a second grtree index on t(e) would
+  // trip the duplicate-index guard.
+  exec(admin, "CREATE TABLE ddl_t (id int, e grt_timeextent)");
+  exec(admin, "SET CURRENT_TIME TO 20000");
+  exec(admin, "SET HEAT_TRACK = 1");
+  for (int i = 0; i < 64; ++i) {
+    exec(admin, "INSERT INTO t VALUES (" + std::to_string(i) +
+                    ", '20000, UC, " + std::to_string(19900 + i) + ", NOW')");
+  }
+
+  constexpr int kScanners = 2;
+  constexpr int kSysReaders = 2;
+  constexpr int kScansPerThread = 300;
+  constexpr int kStatsRounds = 100;
+  constexpr int kDdlRounds = 40;
+
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kScanners; ++s) {
+    grtdb::ServerSession* session = server.CreateSession();
+    threads.emplace_back([&exec, session] {
+      for (int i = 0; i < kScansPerThread; ++i) {
+        exec(session, "SELECT id FROM t WHERE Overlaps(e, "
+                      "'20000, UC, 19900, NOW')");
+      }
+    });
+  }
+  {
+    grtdb::ServerSession* session = server.CreateSession();
+    threads.emplace_back([&exec, session] {
+      for (int i = 0; i < kStatsRounds; ++i) {
+        exec(session, "UPDATE STATISTICS");
+      }
+    });
+  }
+  {
+    grtdb::ServerSession* session = server.CreateSession();
+    threads.emplace_back([&exec, session] {
+      for (int i = 0; i < kDdlRounds; ++i) {
+        exec(session, "CREATE INDEX tmp_idx ON ddl_t(e grt_opclass) "
+                      "USING grtree_am");
+        exec(session, "DROP INDEX tmp_idx");
+      }
+    });
+  }
+  for (int r = 0; r < kSysReaders; ++r) {
+    grtdb::ServerSession* session = server.CreateSession();
+    threads.emplace_back([&exec, session] {
+      for (int i = 0; i < kScansPerThread; ++i) {
+        const grtdb::ResultSet result =
+            exec(session, "SELECT * FROM sys_hot_nodes");
+        Check(result.columns.size() == 6, "sys_hot_nodes has 6 columns");
+        for (const auto& row : result.rows) {
+          Check(row.size() == 6, "sys_hot_nodes row shape");
+          Check(!row[0].empty(), "sys_hot_nodes store label");
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The scanners ran with the gate armed the whole phase and nothing
+  // cleared the tracker, so the index the traffic hammered must rank.
+  const grtdb::ResultSet final_heat =
+      exec(admin, "SELECT * FROM sys_hot_nodes");
+  Check(!final_heat.rows.empty(), "heat survived the phase");
+  bool saw_t_idx = false;
+  for (const auto& row : final_heat.rows) {
+    if (row[0] == "t_idx") saw_t_idx = true;
+  }
+  Check(saw_t_idx, "t_idx shows in sys_hot_nodes");
+  std::printf("obs_stress heat phase OK: %zu hot nodes\n",
+              final_heat.rows.size());
+}
+
 // Under GRTDB_WITNESS every latch/lock acquisition in the run fed the
 // order graph; a stress run is only clean if no inversion was recorded.
 static int WitnessVerdict() {
@@ -76,17 +184,25 @@ int main() {
   slow_log.set_threshold_ns(1);
   SpanTracer tracer(/*capacity=*/512);
   tracer.set_sample_every(1);
+  // Small cap so the stress drives both the admission and the dropped()
+  // paths; the toggler flips the gate against in-flight RecordAccess.
+  HeatTracker heat(/*max_nodes=*/256);
+  heat.set_enabled(true);
 
   std::atomic<bool> stop{false};
 
   std::vector<std::thread> writers;
   writers.reserve(kWriters);
   for (int w = 0; w < kWriters; ++w) {
-    writers.emplace_back([&registry, &trace, &slow_log, &tracer, w] {
+    writers.emplace_back([&registry, &trace, &slow_log, &tracer, &heat, w] {
       // Half the threads resolve handles up front (the subsystem pattern),
       // half go through the registry every time (contends the mutex).
       Counter* cached = registry.GetCounter("stress.ops");
       Histogram* latency = registry.GetHistogram("stress.us");
+      // Two labels across the writers: RegisterStore's dedup runs
+      // concurrently and every cache of a store aggregates into one id.
+      const uint32_t store =
+          heat.RegisterStore(w % 2 == 0 ? "stress_idx_a" : "stress_idx_b");
       QueryProfile profile;
       ScopedProfile scope(&profile);
       for (int i = 0; i < kOpsPerWriter; ++i) {
@@ -107,6 +223,17 @@ int main() {
         // Periodic slow-statement admissions contending the log's ring.
         if (i % 128 == 0) {
           slow_log.MaybeRecord("stress query", 1 + i, profile);
+        }
+        // Heat traffic, gated exactly like the production recording
+        // sites: a handful of keys take most of the hits (the decayed
+        // ranking the heat reader checks) while the tail wanders past
+        // the node cap into dropped().
+        if (heat.enabled()) {
+          const uint64_t node = i % 16 == 0 ? static_cast<uint64_t>(i)
+                                            : static_cast<uint64_t>(i % 7);
+          heat.RecordAccess(store, node,
+                            i % 4 == 0 ? HeatAccess::kWrite : HeatAccess::kRead,
+                            /*pin_wait_ns=*/i % 512 == 0 ? 1000 : 0);
         }
         // Span traffic: the sampling gate races the toggler's
         // set_sample_every; sampled iterations drive the net-server shape
@@ -146,7 +273,7 @@ int main() {
       (void)trace.dropped();
     }
   });
-  std::thread toggler([&trace, &tracer, &stop] {
+  std::thread toggler([&trace, &tracer, &heat, &stop] {
     int level = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       trace.SetClass("flippy", level % 3);
@@ -154,8 +281,12 @@ int main() {
       // Race the writers' StartTrace relaxed load: every, off, 1-in-4.
       static const uint32_t kRates[3] = {1, 0, 4};
       tracer.set_sample_every(kRates[level % 3]);
+      // Race the writers' heat.enabled() relaxed load (mostly on, so
+      // traffic definitely reaches the shards).
+      heat.set_enabled(level % 4 != 3);
       ++level;
     }
+    heat.set_enabled(true);
   });
   // Span ring under load: Snapshot() ordering and bounds hold at every
   // instant, and periodic Clear() races the writers' Record().
@@ -169,6 +300,21 @@ int main() {
       }
       (void)tracer.SnapshotTrace(0x1D0000u);
       if (++rounds % 64 == 0) tracer.Clear();
+    }
+  });
+  // Heat tracker under load: Snapshot() ranking and the node cap hold at
+  // every instant while writers record and the toggler flips the gate;
+  // periodic Clear() races in-flight RecordAccess.
+  std::thread heat_reader([&heat, &stop] {
+    uint64_t rounds = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<HotNode> nodes = heat.Snapshot();
+      Check(nodes.size() <= heat.max_nodes(), "heat tracker bounded");
+      for (size_t i = 1; i < nodes.size(); ++i) {
+        Check(nodes[i].heat <= nodes[i - 1].heat, "heat ranked descending");
+      }
+      (void)heat.dropped();
+      if (++rounds % 128 == 0) heat.Clear();
     }
   });
   // Slow-query ring and exporter under load: Snapshot() and ExportText()
@@ -196,6 +342,7 @@ int main() {
   trace_reader.join();
   toggler.join();
   span_reader.join();
+  heat_reader.join();
   slow_reader.join();
 
   const uint64_t expected =
@@ -212,11 +359,20 @@ int main() {
   Check(tracer.admitted() > 0, "span tracer saw traffic");
   Check(tracer.admitted() >= tracer.evicted(), "span eviction accounting");
   Check(tracer.Snapshot().size() <= tracer.capacity(), "span ring bounded");
+  // Heat accounting: the reader's last Clear may land after the writers
+  // finish, so only the bound holds here — the ranking invariants were
+  // checked at every instant of the run by the heat reader.
+  Check(heat.Snapshot().size() <= heat.max_nodes(), "heat tracker bounded");
   std::printf("obs_stress OK: %llu ops, %zu trace records, %llu dropped, "
-              "%llu spans admitted (%llu evicted)\n",
+              "%llu spans admitted (%llu evicted), %zu hot nodes "
+              "(%llu heat drops)\n",
               static_cast<unsigned long long>(expected), trace.log().size(),
               static_cast<unsigned long long>(trace.dropped()),
               static_cast<unsigned long long>(tracer.admitted()),
-              static_cast<unsigned long long>(tracer.evicted()));
+              static_cast<unsigned long long>(tracer.evicted()),
+              heat.Snapshot().size(),
+              static_cast<unsigned long long>(heat.dropped()));
+
+  ServerHeatPhase();
   return WitnessVerdict();
 }

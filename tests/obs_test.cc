@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -63,6 +64,59 @@ TEST(MetricsRegistry, HistogramBucketsByPowerOfTwo) {
   // Everything at or above 2^20 lands in the overflow bucket.
   h.Record(~0ull);
   EXPECT_EQ(h.bucket(obs::Histogram::kBuckets - 1), 1u);
+}
+
+TEST(MetricsRegistry, QuantileEstimatesFromBuckets) {
+  obs::Histogram h;
+  // Empty histogram: every quantile is 0 (the edge case EXPORT METRICS
+  // must not divide by).
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(0.99), 0u);
+
+  // All mass at zero.
+  for (int i = 0; i < 10; ++i) h.Record(0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+
+  // 90 fast samples in [2,4), 10 slow ones in [512,1024): the median stays
+  // in the fast bucket, the p99 lands in the slow one.
+  h.Reset();
+  for (int i = 0; i < 90; ++i) h.Record(3);
+  for (int i = 0; i < 10; ++i) h.Record(700);
+  const uint64_t p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 2u);
+  EXPECT_LE(p50, 4u);
+  const uint64_t p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 512u);
+  EXPECT_LE(p99, 1024u);
+  // p100 of the overflow bucket reports its lower bound.
+  h.Record(~0ull);
+  EXPECT_EQ(h.Quantile(1.0),
+            obs::Histogram::BucketBound(obs::Histogram::kBuckets - 2));
+}
+
+TEST(MetricsRegistry, ExportTextEmitsQuantileGauges) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("rpc.us");
+  for (int i = 0; i < 100; ++i) h->Record(3);
+  registry.GetHistogram("empty.us");  // registered, never recorded
+
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("# TYPE grtdb_rpc_us_p50 gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE grtdb_rpc_us_p99 gauge\n"), std::string::npos);
+  // Every sample is 3 (bucket [2,4)), so both quantiles interpolate
+  // inside that bucket.
+  const auto value_of = [&](const std::string& series) -> long {
+    const size_t at = text.find("\n" + series + " ");
+    if (at == std::string::npos) return -1;
+    return std::stol(text.substr(at + series.size() + 2));
+  };
+  EXPECT_GE(value_of("grtdb_rpc_us_p50"), 2);
+  EXPECT_LE(value_of("grtdb_rpc_us_p50"), 4);
+  EXPECT_GE(value_of("grtdb_rpc_us_p99"), 2);
+  EXPECT_LE(value_of("grtdb_rpc_us_p99"), 4);
+  // The empty histogram still exports, with 0 quantiles.
+  EXPECT_EQ(value_of("grtdb_empty_us_p50"), 0);
+  EXPECT_EQ(value_of("grtdb_empty_us_p99"), 0);
 }
 
 TEST(MetricsRegistry, SnapshotIsSortedAndTyped) {
@@ -645,6 +699,224 @@ TEST_F(ObsSqlTest, DumpTraceJsonEmitsCompleteEvents) {
   EXPECT_NE(joined.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(joined.find("\"name\":\"request\""), std::string::npos);
   EXPECT_EQ(joined.substr(joined.size() - 2), "]}");
+}
+
+// ---- heat tracking --------------------------------------------------------
+
+TEST_F(ObsSqlTest, HeatTrackingRanksHotNodesAndDumps) {
+  // Dormant by default: the view exists but is empty, and nothing records.
+  MustExec("SELECT * FROM sys_hot_nodes");
+  const std::vector<std::string> expected_cols = {
+      "store", "node", "heat", "reads", "writes", "pin_wait_ns"};
+  ASSERT_EQ(result_.columns, expected_cols);
+  EXPECT_TRUE(result_.rows.empty());
+
+  MustExec("SET HEAT_TRACK = 1");
+  for (int i = 0; i < 8; ++i) {
+    MustExec("SELECT id FROM t WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  }
+  MustExec("SELECT * FROM sys_hot_nodes");
+  ASSERT_FALSE(result_.rows.empty());
+  // Every row belongs to the fixture's one index, reads dominate (the
+  // workload is scans), and the ranking is heat-descending.
+  double last_heat = 1e300;
+  for (const auto& row : result_.rows) {
+    EXPECT_EQ(row[0], "t_idx");
+    EXPECT_GT(std::stoull(row[3]), 0u) << "reads";
+    const double heat = std::stod(row[2]);
+    EXPECT_LE(heat, last_heat);
+    last_heat = heat;
+  }
+
+  MustExec("DUMP HEAT");
+  ASSERT_EQ(result_.columns, expected_cols);
+  ASSERT_FALSE(result_.rows.empty());
+  ASSERT_FALSE(result_.messages.empty());
+  EXPECT_EQ(result_.messages[0].rfind("heat tracker: on", 0), 0u)
+      << result_.messages[0];
+
+  MustExec("DUMP HEAT JSON");
+  ASSERT_EQ(result_.columns, std::vector<std::string>{"json"});
+  std::string joined;
+  for (const auto& row : result_.rows) joined += row[0];
+  EXPECT_EQ(joined.rfind("{\"enabled\":true", 0), 0u);
+  EXPECT_NE(joined.find("\"store\":\"t_idx\""), std::string::npos);
+  EXPECT_NE(joined.find("\"pin_wait_ns\":"), std::string::npos);
+  EXPECT_EQ(joined.substr(joined.size() - 2), "]}");
+
+  // Gate off: recorded heat is retained for post-hoc reads, but new
+  // accesses no longer move the counters.
+  MustExec("SET HEAT_TRACK = 0");
+  MustExec("SELECT * FROM sys_hot_nodes");
+  ASSERT_FALSE(result_.rows.empty());
+  uint64_t reads_before = 0;
+  for (const auto& row : result_.rows) reads_before += std::stoull(row[3]);
+  MustExec("SELECT id FROM t WHERE Overlaps(e, '20000, UC, 19900, NOW')");
+  MustExec("SELECT * FROM sys_hot_nodes");
+  uint64_t reads_after = 0;
+  for (const auto& row : result_.rows) reads_after += std::stoull(row[3]);
+  EXPECT_EQ(reads_after, reads_before);
+}
+
+TEST_F(ObsSqlTest, SetHeatTrackValidatesItsArgument) {
+  EXPECT_FALSE(Exec("SET HEAT_TRACK = 2").ok());
+  EXPECT_FALSE(Exec("SET HEAT_TRACK = 'on'").ok());
+  MustExec("SET HEAT_TRACK TO 1");
+  MustExec("SET HEAT_TRACK = 0");
+}
+
+// ---- sessions view --------------------------------------------------------
+
+TEST_F(ObsSqlTest, SysSessionsShowsLiveSessionState) {
+  MustExec("BEGIN WORK");
+  MustExec("INSERT INTO t VALUES (600, '20000, UC, 19999, NOW')");
+  MustExec("SELECT * FROM sys_sessions");
+  const std::vector<std::string> expected_cols = {
+      "session", "peer",         "state", "statement", "txn",
+      "explicit_txn", "locks",   "trace_id", "statements"};
+  ASSERT_EQ(result_.columns, expected_cols);
+  bool found = false;
+  for (const auto& row : result_.rows) {
+    if (row[0] != std::to_string(session_->id())) continue;
+    found = true;
+    EXPECT_EQ(row[1], "embedded");  // no net front end stamped a peer
+    // The view materializes while this very SELECT runs, so the session
+    // reports itself active on it.
+    EXPECT_EQ(row[2], "active");
+    EXPECT_NE(row[3].find("sys_sessions"), std::string::npos) << row[3];
+    EXPECT_NE(row[4], "0");  // the explicit transaction is open
+    EXPECT_EQ(row[5], "1");
+    EXPECT_GT(std::stoll(row[6]), 0);  // the INSERT's locks are held
+    EXPECT_GT(std::stoull(row[8]), 2u);  // fixture setup statements count
+  }
+  EXPECT_TRUE(found);
+  MustExec("COMMIT WORK");
+  // The next statement boundary re-mirrors: transaction gone.
+  MustExec("SELECT id FROM t WHERE id = -1");
+  EXPECT_EQ(session_->info().txn, 0u);
+  EXPECT_FALSE(session_->info().active);
+  EXPECT_NE(session_->info().statement.find("id = -1"), std::string::npos);
+}
+
+// ---- contention and wait-for views ----------------------------------------
+
+TEST_F(ObsSqlTest, SysContentionAndSysWaitsAttributeLockWaits) {
+  // Uncontended so far: both views are empty (contention rows are born
+  // only when someone actually blocks).
+  MustExec("SELECT * FROM sys_contention");
+  EXPECT_TRUE(result_.rows.empty());
+  MustExec("SELECT * FROM sys_waits");
+  EXPECT_TRUE(result_.rows.empty());
+
+  // Hold the table's X lock in an explicit transaction, then let a second
+  // session block on it.
+  MustExec("BEGIN WORK");
+  MustExec("INSERT INTO t VALUES (700, '20000, UC, 19999, NOW')");
+  const TxnId holder_txn = session_->txn_session().current_txn()->id();
+
+  ServerSession* other = server_.CreateSession();
+  std::thread blocked([&] {
+    ResultSet r;
+    // Succeeds once the holder commits (the wait is under the 500 ms
+    // default lock timeout unless the snapshot loop below stalls; a
+    // timeout would still feed sys_contention, which is what we assert).
+    Status st = server_.Execute(
+        other, "INSERT INTO t VALUES (701, '20000, UC, 19999, NOW')", &r);
+    (void)st;
+  });
+
+  // Catch the waiter on the wait-for graph while it is parked.
+  bool saw_edge = false;
+  for (int i = 0; i < 200 && !saw_edge; ++i) {
+    MustExec("SELECT * FROM sys_waits");
+    for (const auto& row : result_.rows) {
+      if (row[0] != "table") continue;
+      saw_edge = true;
+      EXPECT_EQ(row[3], "X");
+      EXPECT_EQ(row[5], std::to_string(holder_txn));  // blocked on us
+      EXPECT_GE(std::stoll(row[4]), 0);               // waited_ns
+    }
+    if (!saw_edge) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(saw_edge);
+  MustExec("COMMIT WORK");
+  blocked.join();
+
+  // The wait persists as history after the lock is gone.
+  MustExec("SELECT * FROM sys_waits");
+  EXPECT_TRUE(result_.rows.empty());
+  MustExec("SELECT * FROM sys_contention");
+  ASSERT_FALSE(result_.rows.empty());
+  bool found = false;
+  for (const auto& row : result_.rows) {
+    if (row[0] != "table") continue;
+    found = true;
+    EXPECT_GE(std::stoull(row[2]), 1u);  // waits
+    EXPECT_GT(std::stoull(row[3]), 0u);  // wait_ns
+    EXPECT_GE(std::stoull(row[4]), 1u);  // max_wait_ns
+    EXPECT_EQ(row[7], std::to_string(holder_txn));  // last_holder
+  }
+  EXPECT_TRUE(found);
+  ASSERT_TRUE(server_.CloseSession(other).ok());
+}
+
+// ---- units agreement across time surfaces ---------------------------------
+
+// sys_spans, sys_slow_queries, and DUMP FLIGHT all report wall-clock
+// nanoseconds on the span tracer's clock origin, so one statement's numbers
+// line up across all three without conversion.
+TEST_F(ObsSqlTest, TimeSurfacesAgreeOnOneStatementInNanoseconds) {
+  MustExec("SET TRACE_SAMPLE = 1");
+  MustExec("SET SLOW_QUERY_NS = 1");
+  // The insert group-commits through the WAL, leaving a txn_commit flight
+  // event inside the statement's request span.
+  MustExec("INSERT INTO t VALUES (800, '20000, UC, 19999, NOW')");
+  MustExec("SET TRACE_SAMPLE = 0");
+  MustExec("SET SLOW_QUERY_NS = 0");
+
+  // Surface 1: the slow-query log's total_ns and the trace id.
+  MustExec("SELECT * FROM sys_slow_queries");
+  uint64_t total_ns = 0, trace_id = 0;
+  for (const auto& row : result_.rows) {
+    if (row[11].find("VALUES (800") == std::string::npos) continue;
+    trace_id = std::stoull(row[2]);
+    total_ns = std::stoull(row[3]);
+  }
+  ASSERT_NE(trace_id, 0u);
+  ASSERT_GT(total_ns, 0u);
+
+  // Surface 2: the same statement's request span.
+  MustExec("SELECT * FROM sys_spans");
+  uint64_t start_ns = 0, dur_ns = 0;
+  bool span_found = false;
+  for (const auto& row : result_.rows) {
+    if (row[1] != std::to_string(trace_id) || row[4] != "request") continue;
+    span_found = true;
+    start_ns = std::stoull(row[5]);
+    dur_ns = std::stoull(row[6]);
+  }
+  ASSERT_TRUE(span_found);
+  // The request span wraps parse + exec, so it can only be longer than the
+  // executor's own total — and not by more than parse overhead (bounded
+  // generously for slow CI machines).
+  constexpr uint64_t kSlackNs = 100'000'000;  // 100 ms
+  EXPECT_GE(dur_ns + kSlackNs / 100, total_ns);
+  EXPECT_LT(dur_ns - std::min(dur_ns, total_ns), kSlackNs);
+
+  // Surface 3: the insert's txn_commit flight event falls inside the
+  // request window (same clock origin, same unit).
+  MustExec("DUMP FLIGHT");
+  ASSERT_EQ(result_.columns[1], "ns");
+  bool event_in_window = false;
+  for (const auto& row : result_.rows) {
+    if (row[2] != "txn_commit") continue;
+    const uint64_t event_ns = std::stoull(row[1]);
+    if (event_ns + kSlackNs >= start_ns &&
+        event_ns <= start_ns + dur_ns + kSlackNs) {
+      event_in_window = true;
+    }
+  }
+  EXPECT_TRUE(event_in_window);
 }
 
 // ---- index-health telemetry ----------------------------------------------

@@ -1,4 +1,4 @@
-// The six grtdb_lint seed rules, re-hosted on the analyzer's lexer (which
+// The grtdb_lint token rules, re-hosted on the analyzer's lexer (which
 // drops comments and disabled regions before these run, and handles NOLINT
 // centrally in the analyzer driver).
 
@@ -422,6 +422,55 @@ void CheckSpanName(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// --------------------------------------------------------- heat-access --
+
+// Same contract as flight-event and span-name, for the heat tracker's
+// access vocabulary: RecordAccess's access argument (index 2) must be
+// spelled through the HeatAccess enum, never a raw number.
+void CheckHeatAccess(const std::string& path, const std::vector<Token>& toks,
+                     std::vector<Finding>* findings) {
+  constexpr int kAccessArg = 2;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "RecordAccess") {
+      continue;
+    }
+    if (toks[i + 1].text != "(") continue;
+    bool names_enum = false;
+    bool has_number = false;
+    int arg = 0;
+    int depth = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      const Token& tok = toks[j];
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == "(" || tok.text == "[" || tok.text == "{")) {
+        ++depth;
+        continue;
+      }
+      if (tok.kind == TokKind::kPunct &&
+          (tok.text == ")" || tok.text == "]" || tok.text == "}")) {
+        --depth;
+        if (depth == 0) break;
+        continue;
+      }
+      if (depth == 1 && tok.kind == TokKind::kPunct && tok.text == ",") {
+        ++arg;
+        continue;
+      }
+      if (depth >= 1 && arg == kAccessArg) {
+        if (tok.kind == TokKind::kIdent && tok.text == "HeatAccess") {
+          names_enum = true;
+        }
+        if (tok.kind == TokKind::kNumber) has_number = true;
+      }
+    }
+    if (!names_enum || has_number) {
+      Add(findings, path, toks[i].line, "heat-access",
+          "RecordAccess's access argument must be spelled through the "
+          "HeatAccess enum (no naked numeric access codes)");
+    }
+  }
+}
+
 }  // namespace
 
 void CheckTokenRules(const ParsedFile& file,
@@ -443,6 +492,7 @@ void CheckTokenRules(const ParsedFile& file,
   }
   CheckFlightEvent(path, toks, findings);
   CheckSpanName(path, toks, findings);
+  CheckHeatAccess(path, toks, findings);
 }
 
 }  // namespace analyze
